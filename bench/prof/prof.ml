@@ -1,0 +1,13 @@
+(* Developer profiling probe: breaks labeling cost into dissection vs.
+   per-atom labeling. Not part of the benchmark suite proper. *)
+let () =
+  let pipeline = Fbschema.Fb_views.pipeline () in
+  let g = Workload.Querygen.create ~seed:1 () in
+  let queries = Array.init 3000 (fun _ -> Workload.Querygen.generate g ~max_subqueries:5) in
+  let time name f = let t0 = Sys.time () in f (); Printf.printf "%-28s %.3f s\n" name (Sys.time () -. t0) in
+  let dissected = Array.map Disclosure.Dissect.dissect queries in
+  time "dissect only" (fun () -> Array.iter (fun q -> ignore (Disclosure.Dissect.dissect q)) queries);
+  time "minimize only" (fun () -> Array.iter (fun q -> ignore (Cq.Minimize.minimize q)) queries);
+  time "label_atoms (bitvec, no dissect)" (fun () -> Array.iter (fun a -> ignore (Disclosure.Pipeline.label_atoms pipeline a)) dissected);
+  time "full bitvec label" (fun () -> Array.iter (fun q -> ignore (Disclosure.Pipeline.label pipeline q)) queries);
+  time "full hashed label" (fun () -> Array.iter (fun q -> ignore (Disclosure.Pipeline.label_hashed pipeline q)) queries)

@@ -1,0 +1,368 @@
+(* disclosurectl: command-line front end to the disclosure-control library.
+
+   Subcommands:
+     label    label queries with the security views they require
+     check    run a sequence of queries through a reference monitor
+     lattice  print the disclosure lattice over a view file as Graphviz
+     audit    run the Facebook Table 2 documentation audit
+
+   View files contain one security view definition per line, e.g.
+
+     V1(x, y) :- Meetings(x, y)
+     V2(x) :- Meetings(x, y)
+
+   Blank lines and lines starting with '#' are ignored. Queries are read from
+   positional arguments or, with no arguments, one per line on stdin. *)
+
+open Cmdliner
+
+module Service = Disclosure.Service
+
+module Pipeline = Disclosure.Pipeline
+module Sview = Disclosure.Sview
+module Label = Disclosure.Label
+module Policy = Disclosure.Policy
+module Monitor = Disclosure.Monitor
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_views path =
+  let text = read_file path in
+  match Cq.Parser.queries text with
+  | Error e -> failwith ("cannot parse views in " ^ path ^ ": " ^ e)
+  | Ok qs -> List.map Sview.of_query qs
+
+let read_queries = function
+  | [] ->
+    let rec loop acc =
+      match In_channel.input_line stdin with
+      | None -> List.rev acc
+      | Some line ->
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then loop acc else loop (line :: acc)
+    in
+    loop []
+  | args -> args
+
+(* Query syntax selector: datalog-style conjunctive queries (default), FQL
+   selects, or Graph API request paths. FQL and Graph API queries are parsed
+   against the built-in Facebook schema. *)
+let syntax_arg =
+  Arg.(
+    value
+    & opt (enum [ ("cq", `Cq); ("fql", `Fql); ("graph", `Graph) ]) `Cq
+    & info [ "s"; "syntax" ] ~docv:"SYNTAX"
+        ~doc:"Query syntax: $(b,cq) (datalog-style), $(b,fql), or $(b,graph).")
+
+(* Queries are handled as unions of conjunctive queries so FQL's OR works
+   everywhere; plain conjunctive queries are one-disjunct unions. *)
+let parse_query syntax s =
+  match syntax with
+  | `Cq -> (
+    match Cq.Parser.query s with
+    | Ok q -> Cq.Ucq.of_query q
+    | Error e -> failwith ("cannot parse query " ^ s ^ ": " ^ e))
+  | `Fql -> (
+    match Fb_api.Fql.ucq Fbschema.Fb_schema.schema s with
+    | Ok u -> u
+    | Error e -> failwith ("cannot parse FQL query " ^ s ^ ": " ^ e))
+  | `Graph -> (
+    match Fb_api.Graph_api.query s with
+    | Ok q -> Cq.Ucq.of_query q
+    | Error e -> failwith ("cannot parse Graph API request " ^ s ^ ": " ^ e))
+
+(* With no --views file, the built-in Facebook security views are used. *)
+let optional_views_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "v"; "views" ] ~docv:"FILE"
+        ~doc:
+          "Security view definitions, one per line. Defaults to the built-in \
+           Facebook-model views.")
+
+let load_views = function
+  | Some path -> parse_views path
+  | None -> Fbschema.Fb_views.all
+
+(* --- label ---------------------------------------------------------- *)
+
+let label_cmd =
+  let queries_arg =
+    Arg.(value & pos_all string [] & info [] ~docv:"QUERY" ~doc:"Queries to label.")
+  in
+  let run views_file syntax queries =
+    let pipeline = Pipeline.create (load_views views_file) in
+    let registry = Pipeline.registry pipeline in
+    List.iter
+      (fun s ->
+        let u = parse_query syntax s in
+        let label = Pipeline.label_ucq pipeline u in
+        Format.printf "%-60s %a@." s (Label.pp registry) label)
+      (read_queries queries);
+    0
+  in
+  let doc = "Label queries with the security views needed to answer them." in
+  Cmd.v (Cmd.info "label" ~doc) Term.(const run $ optional_views_arg $ syntax_arg $ queries_arg)
+
+(* --- check ---------------------------------------------------------- *)
+
+(* Policy syntax: "name:V1,V2;name2:V3" — partitions separated by ';',
+   each 'name:' followed by comma-separated view names from the view file. *)
+let parse_policy registry views spec =
+  let find_view name =
+    match List.find_opt (fun v -> String.equal v.Sview.name name) views with
+    | Some v -> v
+    | None -> failwith ("policy references unknown view " ^ name)
+  in
+  let parse_partition s =
+    match String.index_opt s ':' with
+    | None -> failwith ("malformed partition (expected name:V1,V2): " ^ s)
+    | Some i ->
+      let name = String.sub s 0 i in
+      let view_names =
+        String.sub s (i + 1) (String.length s - i - 1)
+        |> String.split_on_char ','
+        |> List.map String.trim
+        |> List.filter (fun x -> x <> "")
+      in
+      (name, List.map find_view view_names)
+  in
+  Policy.make registry (List.map parse_partition (String.split_on_char ';' spec))
+
+let check_cmd =
+  let policy_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "p"; "policy" ] ~docv:"SPEC"
+          ~doc:
+            "Policy partitions: 'name:V1,V2;other:V3'. A query is answered while \
+             at least one partition covers everything answered so far.")
+  in
+  let queries_arg =
+    Arg.(value & pos_all string [] & info [] ~docv:"QUERY" ~doc:"Queries to submit in order.")
+  in
+  let run views_file syntax policy_spec queries =
+    let views = load_views views_file in
+    let pipeline = Pipeline.create views in
+    let registry = Pipeline.registry pipeline in
+    let policy = parse_policy registry views policy_spec in
+    let monitor = Monitor.create policy in
+    List.iter
+      (fun s ->
+        let u = parse_query syntax s in
+        let d = Monitor.submit monitor (Pipeline.label_ucq pipeline u) in
+        Format.printf "%-60s %a   (alive: %s)@." s Monitor.pp_decision d
+          (String.concat ", " (Monitor.alive monitor)))
+      (read_queries queries);
+    Format.printf "answered %d, refused %d@." (Monitor.answered_count monitor)
+      (Monitor.refused_count monitor);
+    0
+  in
+  let doc = "Enforce a (possibly Chinese-Wall) policy over a sequence of queries." in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(const run $ optional_views_arg $ syntax_arg $ policy_arg $ queries_arg)
+
+(* --- lattice -------------------------------------------------------- *)
+
+let lattice_cmd =
+  let views_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "v"; "views" ] ~docv:"FILE"
+          ~doc:"Security view definitions (at most 16 views).")
+  in
+  let run views_file =
+    let views = parse_views views_file in
+    let universe = List.map (fun v -> v.Sview.atom) views in
+    let lattice =
+      Disclosure.Lattice.build ~order:Disclosure.Order.rewriting ~universe
+    in
+    let name_of a =
+      match
+        List.find_opt (fun v -> Disclosure.Tagged.iso_equivalent v.Sview.atom a) views
+      with
+      | Some v -> v.Sview.name
+      | None -> Disclosure.Tagged.atom_to_string a
+    in
+    print_string
+      (Disclosure.Lattice.to_dot
+         ~pp_view:(fun ppf v -> Format.pp_print_string ppf (name_of v))
+         lattice);
+    0
+  in
+  let doc = "Print the disclosure lattice over the views as a Graphviz digraph." in
+  Cmd.v (Cmd.info "lattice" ~doc) Term.(const run $ views_arg)
+
+(* --- replay --------------------------------------------------------- *)
+
+let replay_cmd =
+  let config_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "c"; "config" ] ~docv:"FILE"
+          ~doc:
+            "Deployment configuration: 'view ...' definitions followed by \
+             'principal ...' / 'partition name: V1, V2' sections.")
+  in
+  let workload_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "w"; "workload" ] ~docv:"FILE"
+          ~doc:
+            "Workload file with one 'principal<TAB>query' per line; defaults to stdin.")
+  in
+  let run config_file syntax workload_file =
+    let config =
+      match Disclosure.Policyfile.parse_file config_file with
+      | Ok c -> c
+      | Error e -> failwith e
+    in
+    let service =
+      match Disclosure.Policyfile.load config with
+      | Ok s -> s
+      | Error e -> failwith e
+    in
+    let lines =
+      match workload_file with
+      | Some path ->
+        String.split_on_char '\n' (read_file path)
+      | None ->
+        let rec loop acc =
+          match In_channel.input_line stdin with
+          | None -> List.rev acc
+          | Some l -> loop (l :: acc)
+        in
+        loop []
+    in
+    List.iter
+      (fun line ->
+        let line = String.trim line in
+        if line <> "" && line.[0] <> '#' then
+          match String.index_opt line '\t' with
+          | None -> failwith ("malformed workload line (expected principal<TAB>query): " ^ line)
+          | Some i ->
+            let principal = String.trim (String.sub line 0 i) in
+            let query_s = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+            let u = parse_query syntax query_s in
+            let label = Pipeline.label_ucq (Service.pipeline service) u in
+            let d = Service.submit_label service ~principal label in
+            Format.printf "%-20s %-55s %a@." principal query_s Monitor.pp_decision d)
+      lines;
+    Format.printf "@.";
+    List.iter
+      (fun principal ->
+        let answered, refused = Service.stats service ~principal in
+        Format.printf "%-20s answered %d, refused %d (alive: %s)@." principal answered
+          refused
+          (String.concat ", " (Service.alive service ~principal)))
+      (Service.principals service);
+    0
+  in
+  let doc = "Replay a workload of (principal, query) pairs against a deployment config." in
+  Cmd.v (Cmd.info "replay" ~doc) Term.(const run $ config_arg $ syntax_arg $ workload_arg)
+
+(* --- analyze -------------------------------------------------------- *)
+
+let analyze_cmd =
+  let config_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "c"; "config" ] ~docv:"FILE" ~doc:"Deployment configuration to analyze.")
+  in
+  let run config_file =
+    let config =
+      match Disclosure.Policyfile.parse_file config_file with
+      | Ok c -> c
+      | Error e -> failwith e
+    in
+    let pipeline = Pipeline.create config.Disclosure.Policyfile.views in
+    let registry = Pipeline.registry pipeline in
+    Format.printf "%d security views over %d relations; %d principals@.@."
+      (List.length config.Disclosure.Policyfile.views)
+      (Disclosure.Registry.relation_count registry)
+      (List.length config.Disclosure.Policyfile.principals);
+    (* Views subsumed by other views (redundant grants). *)
+    let views = config.Disclosure.Policyfile.views in
+    List.iter
+      (fun v ->
+        let dominators =
+          List.filter
+            (fun v' ->
+              (not (Sview.equal v v'))
+              && Disclosure.Rewrite_single.leq_atom v.Sview.atom v'.Sview.atom)
+            views
+        in
+        if dominators <> [] then
+          Format.printf "view %s is implied by %s@." v.Sview.name
+            (String.concat ", " (List.map (fun v -> v.Sview.name) dominators)))
+      views;
+    (* Per-principal policy diagnostics. *)
+    List.iter
+      (fun (principal, partitions) ->
+        let resolve name =
+          List.find (fun v -> String.equal v.Sview.name name) views
+        in
+        let policy =
+          Policy.make registry
+            (List.map (fun (n, names) -> (n, List.map resolve names)) partitions)
+        in
+        (match Policy.redundant_partitions policy with
+        | [] -> ()
+        | redundant ->
+          Format.printf "principal %s: redundant partition(s): %s@." principal
+            (String.concat ", " redundant));
+        let parts = Policy.partitions policy in
+        Array.iteri
+          (fun i a ->
+            Array.iteri
+              (fun j b ->
+                if i < j then
+                  match Policy.overlap registry a b with
+                  | [] -> ()
+                  | common ->
+                    Format.printf "principal %s: partitions %s and %s both grant %s@."
+                      principal (Policy.partition_name a) (Policy.partition_name b)
+                      (String.concat ", " (List.map (fun v -> v.Sview.name) common)))
+              parts)
+          parts)
+      config.Disclosure.Policyfile.principals;
+    Format.printf "@.analysis complete.@.";
+    0
+  in
+  let doc =
+    "Analyze a deployment for redundant views, redundant partitions, and partition \
+     overlap (Section 2.2)."
+  in
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ config_arg)
+
+(* --- audit ---------------------------------------------------------- *)
+
+let audit_cmd =
+  let run () =
+    let module Audit = Disclosure.Audit in
+    let module Perms = Fbschema.Fb_permissions in
+    let discrepancies = Audit.compare_labelings ~left:Perms.fql ~right:Perms.graph in
+    Format.printf "audited %d User views; %d inconsistencies:@."
+      (List.length Perms.subjects) (List.length discrepancies);
+    List.iter (fun d -> Format.printf "  %a@." Audit.pp_discrepancy d) discrepancies;
+    0
+  in
+  let doc = "Audit the Facebook FQL vs Graph API permission documentation (Table 2)." in
+  Cmd.v (Cmd.info "audit" ~doc) Term.(const run $ const ())
+
+let main_cmd =
+  let doc = "fine-grained disclosure control for app ecosystems" in
+  let info = Cmd.info "disclosurectl" ~version:"1.0.0" ~doc in
+  Cmd.group info [ label_cmd; check_cmd; lattice_cmd; audit_cmd; replay_cmd; analyze_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,45 @@
+(* The Facebook permissions audit of Section 7.1 (Table 2).
+
+   Facebook documented, for each of 42 User-table views reachable through
+   both FQL and the Graph API, the permissions an app must hold. These are two
+   hand-generated disclosure labelings of the same queries — and they
+   disagree on six views. The audit below rediscovers exactly Table 2.
+
+   Run with: dune exec examples/facebook_audit.exe *)
+
+module Audit = Disclosure.Audit
+module Perms = Fbschema.Fb_permissions
+
+let () =
+  Format.printf "=== Auditing Facebook's documented permission labelings ===@.";
+  Format.printf "views over the User table exposed by both APIs: %d@."
+    (List.length Perms.subjects);
+
+  let discrepancies = Audit.compare_labelings ~left:Perms.fql ~right:Perms.graph in
+  Format.printf "documented labelings disagree on %d views:@.@."
+    (List.length discrepancies);
+
+  Format.printf "%-22s | %-35s | %-45s | %s@." "Attribute" "FQL permissions"
+    "Graph API permissions" "Correct";
+  Format.printf "%s@." (String.make 125 '-');
+  List.iter
+    (fun d ->
+      let subject = d.Audit.subject in
+      let alias = Perms.graph_name subject in
+      let name = if alias = subject then subject else subject ^ " (" ^ alias ^ ")" in
+      let winner =
+        match List.assoc_opt subject Perms.table2 with
+        | Some Perms.Fql_was_right -> "FQL"
+        | Some Perms.Graph_was_right -> "Graph API"
+        | None -> "?"
+      in
+      Format.printf "%-22s | %-35s | %-45s | %s@." name
+        (Format.asprintf "%a" Audit.pp_requirement d.Audit.left)
+        (Format.asprintf "%a" Audit.pp_requirement d.Audit.right)
+        winner)
+    discrepancies;
+
+  Format.printf
+    "@.In all six cases the paper found (by issuing the queries) that the true@.\
+     requirements agreed across APIs — the inconsistencies were documentation@.\
+     bugs. Hand-maintained labelings drift; machine labeling cannot.@."

@@ -1,0 +1,81 @@
+(* Overprivilege detection (Section 2.2).
+
+   A Facebook app requests a broad set of permissions but its actual query
+   workload only touches friends' birthdays and public profile data. Labeling
+   the workload reveals which requested permissions are unnecessary, and what
+   a minimal sufficient request looks like.
+
+   Run with: dune exec examples/overprivilege.exe *)
+
+module Pipeline = Disclosure.Pipeline
+module Audit = Disclosure.Audit
+module Label = Disclosure.Label
+module Sview = Disclosure.Sview
+module Views = Fbschema.Fb_views
+module Fb = Fbschema.Fb_schema
+
+let view name = Option.get (Views.by_name name)
+
+(* The app's manifest asks for far more than it uses. *)
+let requested =
+  [
+    view "user_public";
+    view "friend_public";
+    view "friends_birthday";
+    view "friends_location";
+    view "user_likes";
+    view "user_contact";
+    view "friends_relationships";
+  ]
+
+(* Its actual workload: friends' birthdays (with the friend join) and names. *)
+let user_query ?(consts = []) ~head_attrs () =
+  let cell attr =
+    match List.assoc_opt attr consts with
+    | Some v -> Cq.Term.Const v
+    | None -> Cq.Term.Var attr
+  in
+  Cq.Query.make ~name:"Q"
+    ~head:(List.map (fun a -> Cq.Term.Var a) head_attrs)
+    ~body:[ Cq.Atom.make "User" (List.map cell Fb.user_attrs) ]
+    ()
+
+let queries =
+  [
+    user_query
+      ~consts:[ ("is_friend", Relational.Value.Bool true) ]
+      ~head_attrs:[ "uid"; "birthday" ] ();
+    user_query ~head_attrs:[ "uid"; "name"; "pic" ] ();
+    Cq.Parser.query_exn "Q(f) :- Friend('me', f, e)";
+  ]
+
+let () =
+  let pipeline = Views.pipeline () in
+  let registry = Pipeline.registry pipeline in
+
+  Format.printf "=== The app's workload and its labels ===@.";
+  List.iter
+    (fun q ->
+      Format.printf "  %-60s label: %a@."
+        (Cq.Query.to_string q)
+        (Label.pp registry)
+        (Pipeline.label pipeline q))
+    queries;
+
+  Format.printf "@.=== Requested permissions ===@.";
+  List.iter (fun v -> Format.printf "  %s@." v.Sview.name) requested;
+
+  let unnecessary = Audit.overprivileged pipeline ~requested ~queries in
+  Format.printf "@.=== Individually unnecessary permissions ===@.";
+  List.iter (fun v -> Format.printf "  %s@." v.Sview.name) unnecessary;
+
+  let minimal = Audit.required_views pipeline queries in
+  Format.printf "@.=== A minimal sufficient request (greedy) ===@.";
+  List.iter (fun v -> Format.printf "  %s@." v.Sview.name) minimal;
+
+  (* Sanity: the minimal request really covers the workload. *)
+  let policy = Disclosure.Policy.stateless registry minimal in
+  let all_covered =
+    List.for_all (fun q -> Disclosure.Policy.allowed policy (Pipeline.label pipeline q)) queries
+  in
+  Format.printf "@.minimal request covers the whole workload: %b@." all_covered

@@ -1,0 +1,92 @@
+module Rel = Relational.Relation
+module Db = Relational.Database
+module Value = Relational.Value
+
+(* A partial valuation of the query's variables. Per-atom answers become
+   lists of bindings which are then natural-joined. Dissection promotes every
+   variable shared between atoms to distinguished, so shared variables are
+   always present in both atoms' answer columns. *)
+type binding = (string * Value.t) list
+
+let merge (a : binding) (b : binding) =
+  let rec loop acc = function
+    | [] -> Some acc
+    | (x, v) :: rest -> (
+      match List.assoc_opt x acc with
+      | None -> loop ((x, v) :: acc) rest
+      | Some v' -> if Value.equal v v' then loop acc rest else None)
+  in
+  loop a b
+
+let atom_bindings pipeline db (atom : Tagged.atom) =
+  match Rewrite_single.find ~query:atom ~views:(Pipeline.views pipeline) with
+  | None -> None
+  | Some (view, rw) ->
+    let view_answer = Sview.eval db view in
+    let answer = Rewrite_single.execute ~view_answer rw in
+    let columns = rw.Rewrite_single.head in
+    let bindings =
+      Rel.fold
+        (fun tup acc ->
+          List.mapi (fun i x -> (x, Relational.Tuple.get tup i)) columns :: acc)
+        answer []
+    in
+    Some bindings
+
+let via_views pipeline db (q : Cq.Query.t) =
+  let q = Cq.Minimize.minimize q in
+  (* The non-deduplicated split: reconstruction needs one answer per body
+     atom with that atom's own variable names, so the per-atom list is
+     rebuilt from the minimized body directly, using Dissect's promotion
+     rule but skipping its iso-deduplication. *)
+  let tagged = Tagged.of_query q in
+  let occurrences : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun (x, k) ->
+          if k = Tagged.Existential then
+            Hashtbl.replace occurrences x
+              (1 + Option.value ~default:0 (Hashtbl.find_opt occurrences x)))
+        (Tagged.atom_vars a))
+    tagged;
+  let promote = function
+    | Tagged.Var (x, Tagged.Existential)
+      when Option.value ~default:0 (Hashtbl.find_opt occurrences x) >= 2 ->
+      Tagged.Var (x, Tagged.Distinguished)
+    | t -> t
+  in
+  let split =
+    List.map
+      (fun (a : Tagged.atom) -> { a with Tagged.args = List.map promote a.Tagged.args })
+      tagged
+  in
+  let rec join acc = function
+    | [] -> Some acc
+    | atom :: rest -> (
+      match atom_bindings pipeline db atom with
+      | None -> None
+      | Some bindings ->
+        let acc' =
+          List.concat_map
+            (fun row -> List.filter_map (fun b -> merge row b) bindings)
+            acc
+        in
+        join acc' rest)
+  in
+  match join [ [] ] split with
+  | None -> None
+  | Some rows ->
+    let head_cell row (t : Cq.Term.t) =
+      match t with
+      | Cq.Term.Const v -> v
+      | Cq.Term.Var x -> List.assoc x row
+    in
+    let answer =
+      List.fold_left
+        (fun rel row ->
+          Rel.add (Array.of_list (List.map (head_cell row) q.head)) rel)
+        (Rel.empty (Cq.Query.head_arity q))
+        rows
+    in
+    Some answer

@@ -1,0 +1,18 @@
+(** Constructive label sufficiency: answering a query {e through} the
+    security views in its disclosure label.
+
+    The disclosure label of [Q] is defined so that the labeled views suffice
+    to answer [Q] (Definition 3.4 (c), via Definition 3.2). This module makes
+    that statement executable: it materializes, for every dissected atom of
+    [Q], the answer of one sufficient security view, evaluates the witness
+    rewriting over it, joins the per-atom answers on their shared
+    (promoted) variables, and projects onto [Q]'s head — touching the base
+    relations only through the views.
+
+    Used by the test suite as an end-to-end semantic check of the pipeline:
+    [via_views] must equal direct evaluation whenever the label is not ⊤. *)
+
+val via_views :
+  Pipeline.t -> Relational.Database.t -> Cq.Query.t -> Relational.Relation.t option
+(** [None] when some dissected atom is unanswerable (⊤ label). Otherwise the
+    query's answer, computed exclusively from materialized security views. *)

@@ -1,0 +1,83 @@
+type requirement =
+  | None_required
+  | Any_nonempty
+  | One_of of string list
+  | Restricted of string
+
+type labeling = (string * requirement) list
+
+type discrepancy = {
+  subject : string;
+  left : requirement;
+  right : requirement;
+}
+
+let normalize = function
+  | One_of [] -> None_required
+  | One_of perms -> One_of (List.sort_uniq String.compare perms)
+  | (None_required | Any_nonempty | Restricted _) as r -> r
+
+let requirement_equal a b =
+  match normalize a, normalize b with
+  | None_required, None_required | Any_nonempty, Any_nonempty -> true
+  | One_of xs, One_of ys -> List.equal String.equal xs ys
+  | Restricted x, Restricted y -> String.equal x y
+  | (None_required | Any_nonempty | One_of _ | Restricted _), _ -> false
+
+let shared_subjects left right =
+  List.filter_map
+    (fun (subject, _) -> if List.mem_assoc subject right then Some subject else None)
+    left
+
+let compare_labelings ~left ~right =
+  List.filter_map
+    (fun (subject, l) ->
+      match List.assoc_opt subject right with
+      | None -> None
+      | Some r ->
+        if requirement_equal l r then None else Some { subject; left = l; right = r })
+    left
+
+let covered pipeline views label =
+  match views with
+  | [] -> not (Array.exists (fun _ -> true) label) (* only the empty label *)
+  | _ ->
+    let policy = Policy.stateless (Pipeline.registry pipeline) views in
+    Policy.allowed policy label
+
+let overprivileged pipeline ~requested ~queries =
+  let labels = List.map (Pipeline.label pipeline) queries in
+  let unnecessary view =
+    let remaining = List.filter (fun v -> not (Sview.equal v view)) requested in
+    List.for_all
+      (fun label -> covered pipeline requested label = covered pipeline remaining label)
+      labels
+  in
+  List.filter unnecessary requested
+
+let required_views pipeline queries =
+  let atoms = List.concat_map Dissect.dissect queries in
+  let chosen = ref [] in
+  List.iter
+    (fun atom ->
+      let plus = Pipeline.plus_views pipeline atom in
+      let already = List.exists (fun v -> List.exists (Sview.equal v) plus) !chosen in
+      if not already then
+        match plus with
+        | [] -> () (* a ⊤ atom: no request can cover it *)
+        | v :: _ -> chosen := !chosen @ [ v ])
+    atoms;
+  !chosen
+
+let pp_requirement ppf r =
+  match normalize r with
+  | None_required -> Format.pp_print_string ppf "none"
+  | Any_nonempty -> Format.pp_print_string ppf "any"
+  | One_of perms ->
+    Format.pp_print_string ppf (String.concat " or " perms)
+  | Restricted text -> Format.fprintf ppf "restricted: %s" text
+
+let pp_discrepancy ppf d =
+  Format.fprintf ppf "%-20s  left: %-40s right: %a" d.subject
+    (Format.asprintf "%a" pp_requirement d.left)
+    pp_requirement d.right

@@ -1,0 +1,55 @@
+(** Auditing hand-crafted labelings and permission requests (Sections 2.2 and
+    7.1).
+
+    The paper's Facebook case study compares the documented permission
+    requirements of corresponding FQL and Graph API queries and finds six
+    inconsistencies among 42 views of the User table (Table 2). This module
+    provides the comparison machinery plus the Section 2.2 application of
+    labeling: detecting overprivileged apps that request more permissions than
+    their queries need. *)
+
+type requirement =
+  | None_required  (** No permissions needed. *)
+  | Any_nonempty  (** Any nonempty set of permissions suffices ("any"). *)
+  | One_of of string list  (** Any one of the named permissions suffices. *)
+  | Restricted of string
+      (** A special documented restriction, compared as free text. *)
+
+type labeling = (string * requirement) list
+(** Pairs of (subject, documented requirement); a subject is e.g. a User
+    attribute exposed by both APIs. *)
+
+type discrepancy = {
+  subject : string;
+  left : requirement;
+  right : requirement;
+}
+
+val normalize : requirement -> requirement
+(** Sorts [One_of] alternatives; [One_of []] becomes [None_required]. *)
+
+val requirement_equal : requirement -> requirement -> bool
+(** Up to {!normalize}. *)
+
+val compare_labelings : left:labeling -> right:labeling -> discrepancy list
+(** Discrepancies among subjects present in both labelings, in the left
+    labeling's order. *)
+
+val shared_subjects : labeling -> labeling -> string list
+
+val overprivileged :
+  Pipeline.t -> requested:Sview.t list -> queries:Cq.Query.t list -> Sview.t list
+(** Requested security views (permissions) that are individually unnecessary:
+    removing the view still leaves every query's label covered by the
+    remaining request. Views are reported in request order. Simultaneous
+    removal of several reported views need not be safe. *)
+
+val required_views : Pipeline.t -> Cq.Query.t list -> Sview.t list
+(** A minimal-ish sufficient request computed greedily: for each dissected
+    atom, if no already-chosen view answers it, the first view of its [ℓ⁺]
+    set is added. Empty [ℓ⁺] sets (⊤ atoms) are skipped — such queries cannot
+    be answered under any request. *)
+
+val pp_requirement : Format.formatter -> requirement -> unit
+
+val pp_discrepancy : Format.formatter -> discrepancy -> unit

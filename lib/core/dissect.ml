@@ -1,0 +1,29 @@
+let split (q : Cq.Query.t) =
+  let tagged = Tagged.of_query q in
+  (* Count atom occurrences of each existential variable. *)
+  let occurrences : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let record_atom a =
+    List.iter
+      (fun (x, k) ->
+        if k = Tagged.Existential then
+          Hashtbl.replace occurrences x
+            (1 + Option.value ~default:0 (Hashtbl.find_opt occurrences x)))
+      (Tagged.atom_vars a)
+  in
+  List.iter record_atom tagged;
+  let promote (t : Tagged.term) =
+    match t with
+    | Tagged.Var (x, Tagged.Existential)
+      when Option.value ~default:0 (Hashtbl.find_opt occurrences x) >= 2 ->
+      Tagged.Var (x, Tagged.Distinguished)
+    | Tagged.Const _ | Tagged.Var _ -> t
+  in
+  let atoms =
+    List.map (fun (a : Tagged.atom) -> { a with Tagged.args = List.map promote a.Tagged.args })
+      tagged
+  in
+  Glb.dedup atoms
+
+let dissect q = split (Cq.Minimize.minimize q)
+
+let dissect_no_fold q = split q

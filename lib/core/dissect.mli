@@ -1,0 +1,20 @@
+(** The [Dissect] algorithm (Section 5.2): converts an arbitrary conjunctive
+    query into a set of single-atom tagged queries whose combined disclosure
+    label equals the query's label.
+
+    Dissection first computes a folding (minimization) of the query, then
+    splits the folded body into its atoms, promoting to distinguished any
+    existential variable that occurs in at least two atoms — a join attribute
+    whose values any set of single-atom views answering the join must
+    reveal (Example 5.4). [Dissect] is itself a disclosure labeler from
+    multi-atom to single-atom queries; composed with single-atom labeling it
+    labels arbitrary conjunctive queries. *)
+
+val dissect : Cq.Query.t -> Tagged.atom list
+(** Results are deduplicated up to {!Tagged.iso_equivalent} and returned in
+    the folded body's atom order. *)
+
+val dissect_no_fold : Cq.Query.t -> Tagged.atom list
+(** Dissection without the initial minimization step. Labels computed from it
+    are still sound but may overestimate disclosure on redundant queries;
+    exposed for the benchmark's ablation. *)

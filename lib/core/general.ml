@@ -1,0 +1,84 @@
+module Rewrite = Rewriting.Rewrite
+
+type t = {
+  named : (string * Cq.Query.t) list;
+  (* Definitions renamed so their head predicate is the view name — the form
+     the expansion engine expects. *)
+  as_views : Cq.Query.t list;
+  fds : Cq.Fd.t list;
+}
+
+exception Duplicate_view of string
+
+let create ?(fds = []) named =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (name, _) ->
+      if Hashtbl.mem seen name then raise (Duplicate_view name);
+      Hashtbl.add seen name ())
+    named;
+  let as_views =
+    List.map
+      (fun (name, (q : Cq.Query.t)) ->
+        let v = Cq.Query.make ~name ~head:q.head ~body:q.body () in
+        Rewriting.Expansion.check_view v;
+        v)
+      named
+  in
+  { named; as_views; fds }
+
+let views t = t.named
+
+let fds t = t.fds
+
+let find_rewriting t q = Rewrite.find ~fds:t.fds ~views:t.as_views q
+
+let answerable t q = Option.is_some (find_rewriting t q)
+
+let plus t q =
+  List.filter_map
+    (fun (v : Cq.Query.t) ->
+      if Rewrite.rewritable ~fds:t.fds ~views:[ v ] q then Some v.name else None)
+    t.as_views
+
+type decision =
+  | Answered
+  | Refused
+
+type monitor = {
+  system : t;
+  partitions : (string * Cq.Query.t list) array;
+  mutable alive_mask : int;
+}
+
+let monitor t ~partitions =
+  if partitions = [] then invalid_arg "General.monitor: no partitions";
+  let resolve name =
+    match List.find_opt (fun (v : Cq.Query.t) -> String.equal v.name name) t.as_views with
+    | Some v -> v
+    | None -> invalid_arg ("General.monitor: unknown view " ^ name)
+  in
+  let parts =
+    Array.of_list
+      (List.map (fun (pname, names) -> (pname, List.map resolve names)) partitions)
+  in
+  { system = t; partitions = parts; alive_mask = (1 lsl Array.length parts) - 1 }
+
+let submit m q =
+  let surviving = ref 0 in
+  Array.iteri
+    (fun i (_, views) ->
+      if m.alive_mask land (1 lsl i) <> 0 && Rewrite.rewritable ~fds:m.system.fds ~views q
+      then
+        surviving := !surviving lor (1 lsl i))
+    m.partitions;
+  if !surviving <> 0 then begin
+    m.alive_mask <- !surviving;
+    Answered
+  end
+  else Refused
+
+let alive m =
+  Array.to_list m.partitions
+  |> List.filteri (fun i _ -> m.alive_mask land (1 lsl i) <> 0)
+  |> List.map fst

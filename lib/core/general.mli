@@ -1,0 +1,61 @@
+(** Disclosure control with multi-atom (join) security views — the extension
+    Section 5 of the paper leaves as ongoing work.
+
+    Some real permissions need joins: Facebook's friends-birthday permission
+    is naturally [FriendsBirthday(u, b) :- Friend('me', u, f), User(u, …, b, …)].
+    The paper side-steps this with the [is_friend] denormalization column;
+    this module supports such views directly, using the multi-atom equivalent
+    rewriting engine ({!Rewriting.Rewrite}) as the [⪯] oracle.
+
+    The machinery here is sound for policy enforcement: a query is answered
+    only if it has an equivalent rewriting over a still-consistent partition's
+    views, and cumulative enforcement follows from Definition 3.1 (b) exactly
+    as in Section 6.2. What is {e not} available in the multi-atom world is
+    the decomposable-universe fast path (bit-vector [ℓ⁺] labels): the
+    universe of conjunctive queries is not decomposable, so coverage checks
+    run the rewriting search directly. Use {!Pipeline} when all views are
+    single-atom. *)
+
+type t
+
+exception Duplicate_view of string
+
+val create : ?fds:Cq.Fd.t list -> (string * Cq.Query.t) list -> t
+(** [(name, definition)] pairs. Names must be unique; definitions may have
+    any number of body atoms but need distinct-variable heads. Functional
+    dependencies, when given, are assumed to hold on the protected database
+    and enlarge what is answerable (e.g. joining two views on a key).
+    @raise Duplicate_view
+    @raise Rewriting.Expansion.Invalid_view *)
+
+val fds : t -> Cq.Fd.t list
+
+val views : t -> (string * Cq.Query.t) list
+
+val answerable : t -> Cq.Query.t -> bool
+(** Whether the query has an equivalent rewriting over the whole view set. *)
+
+val find_rewriting : t -> Cq.Query.t -> Cq.Query.t option
+(** The witness rewriting, with view names as body predicates. *)
+
+val plus : t -> Cq.Query.t -> string list
+(** Names of the views that are {e individually} sufficient to answer the
+    query — the multi-atom analogue of the [ℓ⁺] set. Note that a query can be
+    [answerable] through a combination of views even when [plus] is empty. *)
+
+type decision =
+  | Answered
+  | Refused
+
+type monitor
+
+val monitor : t -> partitions:(string * string list) list -> monitor
+(** A reference monitor over partitions named by view names.
+    @raise Invalid_argument on an unknown view name or empty partition
+    list. *)
+
+val submit : monitor -> Cq.Query.t -> decision
+(** Answers iff some still-alive partition can answer the query; narrows the
+    alive set accordingly, as in Section 6.2. *)
+
+val alive : monitor -> string list

@@ -1,0 +1,62 @@
+let mem_equiv order w family = List.exists (Order.equiv order w) family
+
+let glb_closure ~order ~glb family =
+  let rec loop family =
+    let additions =
+      List.concat_map
+        (fun a ->
+          List.filter_map
+            (fun b ->
+              let g = glb a b in
+              if mem_equiv order g family then None else Some g)
+            family)
+        family
+    in
+    match additions with
+    | [] -> family
+    | _ ->
+      (* Deduplicate the additions against each other before recursing. *)
+      let fresh =
+        List.fold_left
+          (fun acc g -> if mem_equiv order g acc then acc else g :: acc)
+          [] additions
+      in
+      loop (family @ List.rev fresh)
+  in
+  loop family
+
+let is_glb_closed ~order ~glb family =
+  List.for_all
+    (fun a -> List.for_all (fun b -> mem_equiv order (glb a b) family) family)
+    family
+
+let induces_labeler ~order ~glb ~top family =
+  is_glb_closed ~order ~glb family
+  && List.exists (fun w -> Order.leq order top w) family
+
+(* W is redundant iff it is equivalent to the GLB of the elements (other than
+   itself) above it: that GLB is the finest reconstruction available, so if it
+   fails no other subset succeeds. *)
+let redundant ~order ~glb family w =
+  let above =
+    List.filter (fun w' -> (not (w' == w)) && Order.leq order w w') family
+  in
+  match above with
+  | [] -> false
+  | first :: rest -> Order.equiv order (List.fold_left glb first rest) w
+
+let minimal_downward_generating ~order ~glb family =
+  let rec loop kept =
+    match List.find_opt (redundant ~order ~glb kept) kept with
+    | None -> kept
+    | Some w -> loop (List.filter (fun w' -> not (w' == w)) kept)
+  in
+  loop family
+
+let is_downward_generating ~order ~glb ~fd ~f =
+  List.for_all
+    (fun w ->
+      match List.filter (fun w' -> Order.leq order w w') fd with
+      | [] -> false
+      | first :: rest -> Order.equiv order (List.fold_left glb first rest) w)
+    f

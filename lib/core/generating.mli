@@ -1,0 +1,31 @@
+(** Downward generating sets and GLB closures (Section 4.1).
+
+    A family [F] of view sets induces a labeler exactly when its downset
+    family is closed under GLB and contains ⊤ (Theorem 3.7). A downward
+    generating set [Fd ⊆ F] regenerates all of [F] through GLBs
+    (Definition 4.2); every inducing [F] has a minimal one, unique up to
+    equivalence (Theorem 4.3). Conversely any family containing ⊤ extends to
+    an inducing [F] by GLB closure (Theorem 4.5). *)
+
+val glb_closure :
+  order:'v Order.t -> glb:'v Labeler.glb -> 'v list list -> 'v list list
+(** Theorem 4.5: closes the family under pairwise GLB (up to [≡]) until
+    fixpoint. The input sets are kept; new GLBs are appended. *)
+
+val is_glb_closed : order:'v Order.t -> glb:'v Labeler.glb -> 'v list list -> bool
+
+val induces_labeler :
+  order:'v Order.t -> glb:'v Labeler.glb -> top:'v list -> 'v list list -> bool
+(** Theorem 3.7 test: the family is GLB-closed and contains an element at or
+    above [top] (the generator of [⇓U]). *)
+
+val minimal_downward_generating :
+  order:'v Order.t -> glb:'v Labeler.glb -> 'v list list -> 'v list list
+(** Theorem 4.3: iteratively removes every element equivalent to the GLB of
+    the other elements above it. *)
+
+val is_downward_generating :
+  order:'v Order.t -> glb:'v Labeler.glb -> fd:'v list list -> f:'v list list -> bool
+(** Definition 4.2: every element of [f] is equivalent to a GLB of elements
+    of [fd]. Checked by taking, for each [W ∈ f], the GLB of all elements of
+    [fd] above [W] — the best reconstruction [fd] can offer. *)

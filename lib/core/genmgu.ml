@@ -1,0 +1,133 @@
+module Value = Relational.Value
+
+(* Union-find over variable names, with a constant attached to a class once a
+   variable is unified with a constant. *)
+type uf = {
+  parent : (string, string) Hashtbl.t;
+  const : (string, Value.t) Hashtbl.t; (* keyed by representative *)
+}
+
+let uf_create () = { parent = Hashtbl.create 16; const = Hashtbl.create 16 }
+
+let rec uf_find uf x =
+  match Hashtbl.find_opt uf.parent x with
+  | None -> x
+  | Some p ->
+    let r = uf_find uf p in
+    if not (String.equal r p) then Hashtbl.replace uf.parent x r;
+    r
+
+exception Fail
+
+let uf_union uf x y =
+  let rx = uf_find uf x and ry = uf_find uf y in
+  if not (String.equal rx ry) then begin
+    Hashtbl.replace uf.parent rx ry;
+    match Hashtbl.find_opt uf.const rx with
+    | None -> ()
+    | Some c -> (
+      match Hashtbl.find_opt uf.const ry with
+      | None -> Hashtbl.replace uf.const ry c
+      | Some c' -> if not (Value.equal c c') then raise Fail)
+  end
+
+let uf_attach_const uf x c =
+  let r = uf_find uf x in
+  match Hashtbl.find_opt uf.const r with
+  | None -> Hashtbl.replace uf.const r c
+  | Some c' -> if not (Value.equal c c') then raise Fail
+
+let unify (a : Tagged.atom) (b : Tagged.atom) =
+  if
+    (not (String.equal a.Tagged.pred b.Tagged.pred))
+    || Tagged.atom_arity a <> Tagged.atom_arity b
+  then None
+  else begin
+    (* Rename apart so the two atoms' variable scopes stay independent. *)
+    let a = Tagged.rename_atom (fun x -> "l#" ^ x) a in
+    let b = Tagged.rename_atom (fun x -> "r#" ^ x) b in
+    let uf = uf_create () in
+    let kinds : (string, Tagged.kind) Hashtbl.t = Hashtbl.create 16 in
+    let record_kind = function
+      | Tagged.Const _ -> ()
+      | Tagged.Var (x, k) -> Hashtbl.replace kinds x k
+    in
+    List.iter record_kind a.Tagged.args;
+    List.iter record_kind b.Tagged.args;
+    let merge (ta : Tagged.term) (tb : Tagged.term) =
+      match ta, tb with
+      | Tagged.Const c, Tagged.Const c' -> if not (Value.equal c c') then raise Fail
+      | Tagged.Const c, Tagged.Var (x, _) | Tagged.Var (x, _), Tagged.Const c ->
+        uf_attach_const uf x c
+      | Tagged.Var (x, _), Tagged.Var (y, _) -> uf_union uf x y
+    in
+    let class_has_existential =
+      (* computed lazily after all unions *)
+      lazy
+        (let table : (string, bool) Hashtbl.t = Hashtbl.create 16 in
+         Hashtbl.iter
+           (fun x k ->
+             let r = uf_find uf x in
+             let existing = Option.value ~default:false (Hashtbl.find_opt table r) in
+             Hashtbl.replace table r (existing || k = Tagged.Existential))
+           kinds;
+         table)
+    in
+    (* Rule 1 (Example 5.1): a constant unified into a class containing an
+       existential variable fails, no matter through which atom the class is
+       observed. *)
+    let check_const_existential () =
+      Hashtbl.iter
+        (fun x k ->
+          if k = Tagged.Existential && Hashtbl.mem uf.const (uf_find uf x) then raise Fail)
+        kinds
+    in
+    let result_term (t : Tagged.term) =
+      match t with
+      | Tagged.Const _ as c -> c
+      | Tagged.Var (x, _) -> (
+        let r = uf_find uf x in
+        match Hashtbl.find_opt uf.const r with
+        | Some c -> Tagged.Const c
+        | None ->
+          let k =
+            if Option.value ~default:false (Hashtbl.find_opt (Lazy.force class_has_existential) r)
+            then Tagged.Existential
+            else Tagged.Distinguished
+          in
+          Tagged.Var (r, k))
+    in
+    (* New-equality check (Example 5.3): two previously distinct terms of the
+       same original atom now share a class, and at least one was an
+       existential variable. *)
+    let new_equality_forced (atom : Tagged.atom) =
+      let args = Array.of_list atom.Tagged.args in
+      let n = Array.length args in
+      let repr = function
+        | Tagged.Const _ -> None
+        | Tagged.Var (x, _) -> Some (uf_find uf x)
+      in
+      let exists_bad = ref false in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          match args.(i), args.(j) with
+          | Tagged.Var (x, kx), Tagged.Var (y, ky)
+            when (not (String.equal x y))
+                 && (kx = Tagged.Existential || ky = Tagged.Existential) -> (
+            match repr args.(i), repr args.(j) with
+            | Some rx, Some ry when String.equal rx ry -> exists_bad := true
+            | _ -> ())
+          | _ -> ()
+        done
+      done;
+      !exists_bad
+    in
+    match
+      List.iter2 merge a.Tagged.args b.Tagged.args;
+      check_const_existential ();
+      if new_equality_forced a || new_equality_forced b then raise Fail;
+      { Tagged.pred = a.Tagged.pred; args = List.map result_term a.Tagged.args }
+    with
+    | result -> Some (Tagged.canonicalize result)
+    | exception Fail -> None
+  end

@@ -1,0 +1,19 @@
+(** The generalized most-general-unifier of Section 5.1 ([GenMGU]).
+
+    Computes the unification of two single-atom tagged queries under the
+    paper's modified rules:
+    - unifying a constant with an existential variable {e fails};
+    - unifying an existential variable with any variable yields an
+      existential variable;
+    - unifying two distinguished variables yields a distinguished variable;
+    - unifying a constant with a distinguished variable yields the constant.
+
+    A post-pass rejects results in which unification forced a {e new} equality
+    between two positions of the same original atom when at least one of the
+    two original terms was an existential variable (Examples 5.1 and 5.3). *)
+
+val unify : Tagged.atom -> Tagged.atom -> Tagged.atom option
+(** [None] means the unification failed or was rejected by the new-equality
+    check; the corresponding GLB is ⊥. The two atoms' variable scopes are
+    independent (they are renamed apart internally). The result is returned in
+    canonical form. *)

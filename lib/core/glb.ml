@@ -1,0 +1,40 @@
+let singleton = Genmgu.unify
+
+(* Deduplicate via canonical forms: one canonicalization per atom and a
+   structural hash table, rather than O(k²) pairwise iso checks. *)
+let dedup atoms =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun a ->
+      let key = Tagged.canonicalize a in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    atoms
+
+let reduce atoms =
+  let atoms = dedup atoms in
+  (* Keep a view only if no *other* kept-or-candidate view strictly dominates
+     it; among mutually equivalent views the first survives via dedup. *)
+  List.filter
+    (fun a ->
+      not
+        (List.exists
+           (fun b ->
+             (not (Tagged.atom_equal a b))
+             && Rewrite_single.leq_atom a b
+             && not (Rewrite_single.leq_atom b a))
+           atoms))
+    atoms
+
+let of_sets w1 w2 =
+  let pairs =
+    List.concat_map (fun a -> List.filter_map (fun b -> singleton a b) w2) w1
+  in
+  reduce pairs
+
+let of_many = function
+  | [] -> invalid_arg "Glb.of_many: empty list"
+  | w :: rest -> List.fold_left of_sets w rest

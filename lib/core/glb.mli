@@ -1,0 +1,26 @@
+(** Greatest lower bounds in the disclosure lattice for sets of single-atom
+    views under the equivalent view rewriting order (Section 5.1).
+
+    [GLBSingleton] of two views is their {!Genmgu.unify}; the GLB of two sets
+    of views is the union of the pairwise singleton GLBs. *)
+
+val singleton : Tagged.atom -> Tagged.atom -> Tagged.atom option
+(** The paper's [GLBSingleton]; [None] is ⊥ (no common information beyond the
+    empty view). *)
+
+val of_sets : Tagged.atom list -> Tagged.atom list -> Tagged.atom list
+(** [GLB(W1, W2)]: all pairwise singleton GLBs, deduplicated up to
+    {!Tagged.iso_equivalent} and reduced to their maximal elements under [⪯]
+    (dominated views add no information). The empty list is ⊥. *)
+
+val of_many : Tagged.atom list list -> Tagged.atom list
+(** Left fold of {!of_sets}; [of_many []] is undefined and raises
+    [Invalid_argument]. A good identity for folding is the universe's top. *)
+
+val dedup : Tagged.atom list -> Tagged.atom list
+(** Remove duplicates up to {!Tagged.iso_equivalent}, keeping first
+    occurrences. *)
+
+val reduce : Tagged.atom list -> Tagged.atom list
+(** Keep only [⪯]-maximal elements (plus {!dedup}); the result denotes the
+    same lattice point. *)

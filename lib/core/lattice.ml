@@ -1,0 +1,193 @@
+type elt = int
+
+type 'v t = {
+  order : 'v Order.t;
+  universe : 'v array;
+  elements : elt list; (* all distinct downsets, ascending by popcount *)
+  element_set : (elt, unit) Hashtbl.t;
+  top : elt;
+  bottom : elt;
+}
+
+exception Universe_too_large of int
+
+let popcount m =
+  let rec loop m acc = if m = 0 then acc else loop (m lsr 1) (acc + (m land 1)) in
+  loop m 0
+
+let views_of_mask universe m =
+  let out = ref [] in
+  for i = Array.length universe - 1 downto 0 do
+    if m land (1 lsl i) <> 0 then out := universe.(i) :: !out
+  done;
+  !out
+
+let down_mask order universe w =
+  let m = ref 0 in
+  Array.iteri (fun i v -> if order.Order.view_leq v w then m := !m lor (1 lsl i)) universe;
+  !m
+
+let build ~order ~universe =
+  let n = List.length universe in
+  if n > 16 then raise (Universe_too_large n);
+  let universe = Array.of_list universe in
+  let seen = Hashtbl.create 64 in
+  for mask = 0 to (1 lsl n) - 1 do
+    let subset =
+      List.filteri (fun i _ -> mask land (1 lsl i) <> 0) (Array.to_list universe)
+    in
+    let d = down_mask order universe subset in
+    if not (Hashtbl.mem seen d) then Hashtbl.add seen d ()
+  done;
+  let elements =
+    Hashtbl.fold (fun e () acc -> e :: acc) seen []
+    |> List.sort (fun a b ->
+           let c = Int.compare (popcount a) (popcount b) in
+           if c <> 0 then c else Int.compare a b)
+  in
+  let top = down_mask order universe (Array.to_list universe) in
+  let bottom = down_mask order universe [] in
+  { order; universe; elements; element_set = seen; top; bottom }
+
+let order t = t.order
+
+let universe t = Array.to_list t.universe
+
+let size t = List.length t.elements
+
+let elements t = t.elements
+
+let index_of t v =
+  let n = Array.length t.universe in
+  let rec loop i =
+    if i >= n then invalid_arg "Lattice.down: view not in universe"
+    else if t.order.Order.equal v t.universe.(i) then i
+    else loop (i + 1)
+  in
+  loop 0
+
+let down t w =
+  let w = List.map (fun v -> t.universe.(index_of t v)) w in
+  down_mask t.order t.universe w
+
+let views t e = views_of_mask t.universe e
+
+let leq a b = a land b = a
+
+let mem t e = Hashtbl.mem t.element_set e
+
+let glb t a b =
+  let g = a land b in
+  assert (mem t g);
+  g
+
+let lub t a b =
+  let target = a lor b in
+  let candidates = List.filter (fun e -> leq target e) t.elements in
+  match candidates with
+  | [] -> assert false (* top is always a candidate *)
+  | first :: rest ->
+    List.fold_left (fun best e -> if popcount e < popcount best then e else best) first rest
+
+let top t = t.top
+
+let bottom t = t.bottom
+
+let covers t =
+  let strictly_below a b = leq a b && a <> b in
+  List.concat_map
+    (fun lower ->
+      List.filter_map
+        (fun upper ->
+          if
+            strictly_below lower upper
+            && not
+                 (List.exists
+                    (fun mid -> strictly_below lower mid && strictly_below mid upper)
+                    t.elements)
+          then Some (lower, upper)
+          else None)
+        t.elements)
+    t.elements
+
+let is_distributive t =
+  List.for_all
+    (fun a ->
+      List.for_all
+        (fun b ->
+          List.for_all
+            (fun c -> glb t a (lub t b c) = lub t (glb t a b) (glb t a c))
+            t.elements)
+        t.elements)
+    t.elements
+
+let is_decomposable t =
+  let n = Array.length t.universe in
+  let subsets = List.init (1 lsl n) Fun.id in
+  let views_of m = views_of_mask t.universe m in
+  List.for_all
+    (fun m1 ->
+      List.for_all
+        (fun m2 ->
+          let w1 = views_of m1 and w2 = views_of m2 in
+          let w12 = views_of (m1 lor m2) in
+          Array.for_all
+            (fun v ->
+              (not (t.order.Order.view_leq v w12))
+              || t.order.Order.view_leq v w1
+              || t.order.Order.view_leq v w2)
+            t.universe)
+        subsets)
+    subsets
+
+let labeler_exists t k =
+  List.mem t.top k
+  && List.for_all (fun a -> List.for_all (fun b -> List.mem (a land b) k) k) k
+
+let label _t k w =
+  let above = List.filter (fun e -> leq w e) k in
+  match above with
+  | [] -> None
+  | first :: rest ->
+    Some
+      (List.fold_left (fun best e -> if popcount e < popcount best then e else best) first rest)
+
+let lattice_of_labels t k =
+  List.filter_map (fun e -> label t k e) t.elements |> List.sort_uniq Int.compare
+
+let maximal_views t e =
+  let vs = views t e in
+  List.filter
+    (fun v ->
+      not
+        (List.exists
+           (fun u ->
+             (not (t.order.Order.equal u v))
+             && t.order.Order.view_leq v [ u ]
+             && not (t.order.Order.view_leq u [ v ]))
+           vs))
+    vs
+
+let to_dot ?pp_view t =
+  let pp_view = Option.value ~default:t.order.Order.pp pp_view in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph disclosure_lattice {\n  rankdir=BT;\n  node [shape=box];\n";
+  let node_name e = Printf.sprintf "e%d" e in
+  List.iter
+    (fun e ->
+      let label =
+        if e = t.bottom then "⊥"
+        else
+          String.concat ", "
+            (List.map (fun v -> Format.asprintf "%a" pp_view v) (maximal_views t e))
+      in
+      let label = if e = t.top then "⊤ = " ^ label else label in
+      Buffer.add_string buf (Printf.sprintf "  %s [label=\"%s\"];\n" (node_name e) label))
+    t.elements;
+  List.iter
+    (fun (lower, upper) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s -> %s;\n" (node_name lower) (node_name upper)))
+    (covers t);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,80 @@
+(** Explicit disclosure lattices over small finite universes (Theorem 3.3).
+
+    The lattice [I = {(⇓ W) : W ⊆ U}] is materialized with each element
+    represented as a bitmask over the universe [U] (bit [i] set iff the [i]-th
+    universe view is below the generating set). Materialization enumerates all
+    [2^|U|] subsets and is intended for reasoning, testing, visualization and
+    the paper's Figure 3 — production labeling never builds it (Section 4).
+
+    The functions {!labeler_exists}, {!label} and {!lattice_of_labels}
+    implement Theorems 3.6 and 3.7 on this explicit representation. *)
+
+type 'v t
+
+type elt = int
+(** A lattice element [(⇓ W)], as a bitmask over the universe. *)
+
+exception Universe_too_large of int
+
+val build : order:'v Order.t -> universe:'v list -> 'v t
+(** @raise Universe_too_large if the universe has more than 16 views. *)
+
+val order : 'v t -> 'v Order.t
+
+val universe : 'v t -> 'v list
+
+val size : 'v t -> int
+(** Number of distinct lattice elements. *)
+
+val elements : 'v t -> elt list
+(** Ascending by population count, then numerically. *)
+
+val down : 'v t -> 'v list -> elt
+(** [(⇓ W)] for a set [W] of universe views (membership by the order's
+    [equal]).
+    @raise Invalid_argument if some view is not in the universe. *)
+
+val views : 'v t -> elt -> 'v list
+(** The universe views in the downset. *)
+
+val leq : elt -> elt -> bool
+(** Subset ordering on downsets. *)
+
+val lub : 'v t -> elt -> elt -> elt
+(** [⇓(W1 ∪ W2)] — Theorem 3.3 (a). *)
+
+val glb : 'v t -> elt -> elt -> elt
+(** [(⇓ W1) ∩ (⇓ W2)] — Theorem 3.3 (b). *)
+
+val top : 'v t -> elt
+
+val bottom : 'v t -> elt
+
+val mem : 'v t -> elt -> bool
+
+val covers : 'v t -> (elt * elt) list
+(** Hasse-diagram edges [(lower, upper)]. *)
+
+val is_distributive : 'v t -> bool
+(** Checks [a ⊓ (b ⊔ c) = (a ⊓ b) ⊔ (a ⊓ c)] over all triples
+    (Theorem 4.8: holds when the universe is decomposable). *)
+
+val is_decomposable : 'v t -> bool
+(** Definition 4.7, checked by brute force over pairs of view sets. *)
+
+val labeler_exists : 'v t -> elt list -> bool
+(** Theorem 3.7: the family [K] (downsets of the candidate label sets) must be
+    closed under GLB and contain ⊤. *)
+
+val label : 'v t -> elt list -> elt -> elt option
+(** The induced labeler: least element of [K] above the input, or [None] when
+    no element of [K] is above it ([K] then fails the Theorem 3.7 conditions —
+    with a conforming [K], ⊤ ∈ K guarantees a result). *)
+
+val lattice_of_labels : 'v t -> elt list -> elt list
+(** Theorem 3.6: the image [ℓ(I)] of the lattice under the labeler induced by
+    [K] — the lattice of disclosure labels. *)
+
+val to_dot : ?pp_view:(Format.formatter -> 'v -> unit) -> 'v t -> string
+(** Graphviz rendering of the Hasse diagram, one node per element labeled with
+    its maximal views. *)

@@ -1,0 +1,69 @@
+type decision =
+  | Answered
+  | Refused
+
+type t = {
+  policy : Policy.t;
+  initial : int;
+  mutable alive : int;
+  mutable answered : int;
+  mutable refused : int;
+}
+
+exception Too_many_partitions of int
+
+let full_mask n =
+  if n > 62 then raise (Too_many_partitions n);
+  (1 lsl n) - 1
+
+let create policy =
+  let initial = full_mask (Policy.num_partitions policy) in
+  { policy; initial; alive = initial; answered = 0; refused = 0 }
+
+let policy t = t.policy
+
+let submit t label =
+  let parts = Policy.partitions t.policy in
+  let surviving = ref 0 in
+  Array.iteri
+    (fun i p ->
+      if t.alive land (1 lsl i) <> 0 && Policy.partition_covers p label then
+        surviving := !surviving lor (1 lsl i))
+    parts;
+  if !surviving <> 0 then begin
+    t.alive <- !surviving;
+    t.answered <- t.answered + 1;
+    Answered
+  end
+  else begin
+    t.refused <- t.refused + 1;
+    Refused
+  end
+
+let submit_query t pipeline q = submit t (Pipeline.label pipeline q)
+
+let alive t =
+  let parts = Policy.partitions t.policy in
+  Array.to_list parts
+  |> List.filteri (fun i _ -> t.alive land (1 lsl i) <> 0)
+  |> List.map Policy.partition_name
+
+let alive_mask t = t.alive
+
+let answered_count t = t.answered
+
+let refused_count t = t.refused
+
+let reset t =
+  t.alive <- t.initial;
+  t.answered <- 0;
+  t.refused <- 0
+
+let decision_equal a b =
+  match a, b with
+  | Answered, Answered | Refused, Refused -> true
+  | Answered, Refused | Refused, Answered -> false
+
+let pp_decision ppf = function
+  | Answered -> Format.pp_print_string ppf "answered"
+  | Refused -> Format.pp_print_string ppf "refused"

@@ -1,0 +1,45 @@
+(** The reference monitor (Sections 3.4 and 6.2).
+
+    Inspects each incoming query's disclosure label and answers or refuses it
+    so that cumulative disclosure never violates the policy. Per the paper's
+    equivalence argument, the monitor never consults query history: it only
+    keeps one bit per policy partition recording whether that partition is
+    still consistent with everything answered so far (Example 6.3). *)
+
+type decision =
+  | Answered
+  | Refused
+
+type t
+
+exception Too_many_partitions of int
+(** The alive set is one machine word; policies are limited to 62
+    partitions (the paper uses at most 5). *)
+
+val create : Policy.t -> t
+
+val policy : t -> Policy.t
+
+val submit : t -> Label.t -> decision
+(** Answers iff some still-alive partition covers the label; on answer, kills
+    every alive partition that does not cover it. Refusals leave the state
+    unchanged. *)
+
+val submit_query : t -> Pipeline.t -> Cq.Query.t -> decision
+(** Labels the query with the pipeline, then {!submit}s it. *)
+
+val alive : t -> string list
+(** Names of partitions still consistent with the answered history. *)
+
+val alive_mask : t -> int
+
+val answered_count : t -> int
+
+val refused_count : t -> int
+
+val reset : t -> unit
+(** Forget the history: all partitions alive again, counters cleared. *)
+
+val decision_equal : decision -> decision -> bool
+
+val pp_decision : Format.formatter -> decision -> unit

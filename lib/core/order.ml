@@ -1,0 +1,36 @@
+type 'v t = {
+  name : string;
+  equal : 'v -> 'v -> bool;
+  pp : Format.formatter -> 'v -> unit;
+  view_leq : 'v -> 'v list -> bool;
+}
+
+let leq ord w1 w2 = List.for_all (fun v -> ord.view_leq v w2) w1
+
+let equiv ord w1 w2 = leq ord w1 w2 && leq ord w2 w1
+
+let down ord ~universe w = List.filter (fun v -> ord.view_leq v w) universe
+
+let rewriting =
+  {
+    name = "equivalent view rewriting";
+    equal = Tagged.atom_equal;
+    pp = Tagged.pp_atom;
+    view_leq = (fun v w -> List.exists (Rewrite_single.leq_atom v) w);
+  }
+
+let conjunctive =
+  {
+    name = "equivalent view rewriting (multi-atom)";
+    equal = Cq.Query.equal;
+    pp = Cq.Query.pp;
+    view_leq = (fun v w -> Rewriting.Rewrite.leq [ v ] w);
+  }
+
+let subset ~equal ~pp =
+  {
+    name = "subset";
+    equal;
+    pp;
+    view_leq = (fun v w -> List.exists (equal v) w);
+  }

@@ -1,0 +1,45 @@
+(** Disclosure orders (Definition 3.1): preorders on sets of views ranking
+    relative information disclosure.
+
+    A disclosure order must satisfy
+    (a) [W1 ⊆ W2 ⟹ W1 ⪯ W2], and
+    (b) if every [W ∈ φ] satisfies [W ⪯ W0] then [⋃φ ⪯ W0].
+
+    Orders are first-class values so the lattice and labeling machinery is
+    generic; the two standard instances are the subset order and the
+    equivalent view rewriting order. *)
+
+type 'v t = {
+  name : string;
+  equal : 'v -> 'v -> bool;  (** Syntactic equality on views. *)
+  pp : Format.formatter -> 'v -> unit;
+  view_leq : 'v -> 'v list -> bool;  (** [{V} ⪯ W]. *)
+}
+
+val leq : 'v t -> 'v list -> 'v list -> bool
+(** [W1 ⪯ W2], i.e. every view of [W1] is below [W2]. This extension of
+    [view_leq] is exact for decomposable universes (Definition 4.7) such as
+    the single-atom universe, and a sound approximation otherwise. *)
+
+val equiv : 'v t -> 'v list -> 'v list -> bool
+(** The [≡] relation of Section 3.1: mutual [⪯]. *)
+
+val down : 'v t -> universe:'v list -> 'v list -> 'v list
+(** [(⇓ W)] within a finite universe (Definition 3.2): all universe views
+    individually below [W]. *)
+
+val rewriting : Tagged.atom t
+(** Equivalent view rewriting order on single-atom tagged queries
+    (Section 5.1). *)
+
+val conjunctive : Cq.Query.t t
+(** Equivalent view rewriting order on arbitrary conjunctive queries and
+    views, decided by the multi-atom engine ({!Rewriting.Rewrite}). Unlike
+    the single-atom universe this one is {e not} decomposable, so
+    [view_leq v w] genuinely searches for rewritings combining several views
+    of [w]. Exponential in query size; intended for small universes,
+    lattices, and the join-view extension. *)
+
+val subset : equal:('v -> 'v -> bool) -> pp:(Format.formatter -> 'v -> unit) -> 'v t
+(** The usual set order: [W1 ⪯ W2] iff [W1 ⊆ W2] (mentioned after
+    Definition 3.1). *)

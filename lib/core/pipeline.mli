@@ -1,0 +1,49 @@
+(** The end-to-end disclosure labeler for conjunctive queries (Sections 5–6):
+    dissection into single-atom views followed by single-atom labeling against
+    a generating set of security views.
+
+    Three implementations mirror the variants benchmarked in the paper's
+    Figure 5:
+    - {!label_baseline} — the straightforward [LabelGen] adaptation: every
+      dissected atom is compared against {e all} security views and the label
+      is materialized as an explicit set of views through [GLBSingleton]
+      unifications;
+    - {!label_hashed} — like the baseline, but only views registered for the
+      atom's base relation are considered (hashtable partitioning);
+    - {!label} — hashing {e and} the Section 6.1 bit-vector representation:
+      the [ℓ⁺] mask is assembled directly and no GLB is ever computed.
+
+    All three agree: the explicit view set computed by the baseline denotes
+    the same lattice point as the decoded bit-vector label (tested). *)
+
+type t
+
+val create : Sview.t list -> t
+(** @raise Registry.Too_many_views
+    @raise Registry.Duplicate_view *)
+
+val registry : t -> Registry.t
+
+val views : t -> Sview.t list
+
+val label : t -> Cq.Query.t -> Label.t
+(** Bit vectors + hashing (the fast path). *)
+
+val label_atoms : t -> Tagged.atom list -> Label.t
+(** Fast path for already-dissected atoms. *)
+
+val label_atom : t -> Tagged.atom -> Label.atom_label
+
+val label_hashed : t -> Cq.Query.t -> Tagged.atom list option
+(** Hashing only: explicit GLB label; [None] is ⊤. *)
+
+val label_baseline : t -> Cq.Query.t -> Tagged.atom list option
+(** No hashing, no bit vectors; [None] is ⊤. *)
+
+val plus_views : t -> Tagged.atom -> Sview.t list
+(** The [ℓ⁺] set of a single atom, as views. *)
+
+val label_ucq : t -> Cq.Ucq.t -> Label.t
+(** Label of a union of conjunctive queries: the union (lattice LUB, by
+    Definition 3.1 (b)) of the minimized disjuncts' labels — answering the
+    union requires answering every non-redundant disjunct. *)

@@ -1,0 +1,95 @@
+type partition = {
+  name : string;
+  (* Dense per-relation masks indexed by relation id; relations beyond the
+     array length have mask 0. *)
+  masks : int array;
+}
+
+type t = {
+  parts : partition array;
+}
+
+let compile registry (name, views) =
+  let masks = Array.make (Registry.relation_count registry) 0 in
+  List.iter (fun (rel, mask) -> masks.(rel) <- mask) (Registry.mask_of_views registry views);
+  { name; masks }
+
+let make registry partitions =
+  if partitions = [] then invalid_arg "Policy.make: no partitions";
+  { parts = Array.of_list (List.map (compile registry) partitions) }
+
+let stateless registry views = make registry [ ("default", views) ]
+
+let partitions t = t.parts
+
+let partition_name p = p.name
+
+let partition_views _t p =
+  Array.to_list (Array.mapi (fun rel mask -> (rel, mask)) p.masks)
+  |> List.filter (fun (_, mask) -> mask <> 0)
+
+let num_partitions t = Array.length t.parts
+
+let partition_covers p label =
+  Array.for_all
+    (fun al ->
+      let rel = Label.rel al in
+      let pmask = if rel < Array.length p.masks then p.masks.(rel) else 0 in
+      Label.mask al land pmask <> 0)
+    label
+
+let allowed t label = Array.exists (fun p -> partition_covers p label) t.parts
+
+let mask_at p rel = if rel < Array.length p.masks then p.masks.(rel) else 0
+
+let subsumes a b =
+  let rels = max (Array.length a.masks) (Array.length b.masks) in
+  let rec loop rel =
+    rel >= rels
+    || (mask_at b rel land mask_at a rel = mask_at b rel && loop (rel + 1))
+  in
+  loop 0
+
+let redundant_partitions t =
+  let n = Array.length t.parts in
+  let redundant i =
+    let p = t.parts.(i) in
+    let rec scan j =
+      if j >= n then false
+      else if j = i then scan (j + 1)
+      else
+        let other = t.parts.(j) in
+        (* Strict subsumption, or equal masks with the earlier index winning. *)
+        let sub = subsumes other p in
+        if sub && (not (subsumes p other) || j < i) then true else scan (j + 1)
+    in
+    scan 0
+  in
+  List.init n Fun.id
+  |> List.filter redundant
+  |> List.map (fun i -> t.parts.(i).name)
+
+let overlap registry a b =
+  let rels = min (Array.length a.masks) (Array.length b.masks) in
+  let views = ref [] in
+  for rel = 0 to rels - 1 do
+    let common = a.masks.(rel) land b.masks.(rel) in
+    if common <> 0 then begin
+      let entries = Registry.entries_for registry (Registry.rel_name registry rel) in
+      Array.iter
+        (fun (e : Registry.entry) ->
+          if common land (1 lsl e.bit) <> 0 then views := e.view :: !views)
+        entries
+    end
+  done;
+  List.rev !views
+
+let pp ppf t =
+  Array.iter
+    (fun p ->
+      Format.fprintf ppf "@[partition %s:" p.name;
+      Array.iteri
+        (fun rel mask -> if mask <> 0 then Format.fprintf ppf " rel%d=0x%x" rel mask)
+        p.masks;
+      Format.fprintf ppf "@]@,")
+    t.parts

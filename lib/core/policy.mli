@@ -1,0 +1,52 @@
+(** Security policies (Definition 3.9, represented as in Section 6.2).
+
+    A policy is a collection of {e partitions} [{W1, ..., Wk}], each a set of
+    single-atom security views compiled to per-relation bit masks. The
+    invariant enforced by the reference monitor is that the set of all
+    answered queries stays below at least one partition — with [k = 1] this is
+    a stateless policy; with [k > 1] it expresses stateful policies such as
+    Chinese Walls (Example 6.2). *)
+
+type partition
+
+type t
+
+val make : Registry.t -> (string * Sview.t list) list -> t
+(** One [(name, views)] pair per partition. All views must be registered.
+    @raise Invalid_argument on an unregistered view or an empty partition
+    list. *)
+
+val stateless : Registry.t -> Sview.t list -> t
+(** A single-partition policy: a plain threshold cut. *)
+
+val partitions : t -> partition array
+
+val partition_name : partition -> string
+
+val partition_views : t -> partition -> (int * int) list
+(** Compiled [(rel_id, mask)] pairs. *)
+
+val num_partitions : t -> int
+
+val partition_covers : partition -> Label.t -> bool
+(** Whether every atom of the label is answerable from the partition's views:
+    the atom's [ℓ⁺] mask intersects the partition's mask for that relation.
+    ⊤ atoms are never covered. *)
+
+val allowed : t -> Label.t -> bool
+(** Stateless check: some partition covers the label. *)
+
+val subsumes : partition -> partition -> bool
+(** [subsumes a b] when [a]'s masks contain [b]'s for every relation: any
+    label covered under [b] is covered under [a]. *)
+
+val redundant_partitions : t -> string list
+(** Partitions subsumed by another partition (Section 2.2: reasoning about
+    overlap and redundancy in policies). A redundant partition never changes
+    any decision — the subsuming partition stays alive whenever it would.
+    Among mutually equal partitions, later ones are reported. *)
+
+val overlap : Registry.t -> partition -> partition -> Sview.t list
+(** Security views granted by both partitions. *)
+
+val pp : Format.formatter -> t -> unit

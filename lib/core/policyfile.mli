@@ -1,0 +1,38 @@
+(** A line-oriented configuration format for whole disclosure-control
+    deployments: security views plus per-principal partitioned policies.
+
+    {v
+      # Alice's calendar deployment
+      view V1(x, y) :- Meetings(x, y)
+      view V2(x) :- Meetings(x, y)
+      view V3(x, y, z) :- Contacts(x, y, z)
+
+      principal calendar-app
+      partition default: V2
+
+      principal crm-app
+      partition meetings: V1, V2
+      partition contacts: V3
+    v}
+
+    Blank lines and [#] comments are ignored. Every [partition] line attaches
+    to the most recent [principal]. The parsed form loads into a
+    {!Service.t}. *)
+
+type t = {
+  views : Sview.t list;
+  principals : (string * (string * string list) list) list;
+      (** [(principal, [(partition, view names)])] in file order. *)
+}
+
+val parse : string -> (t, string) result
+(** Errors carry the offending line number. *)
+
+val parse_file : string -> (t, string) result
+
+val load : t -> (Service.t, string) result
+(** Builds the pipeline and registers every principal. Fails on unknown view
+    names, duplicate views/principals, or principals without partitions. *)
+
+val to_string : t -> string
+(** Prints back to the file format; [parse (to_string t)] recovers [t]. *)

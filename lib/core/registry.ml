@@ -1,0 +1,95 @@
+type entry = {
+  view : Sview.t;
+  rel_id : int;
+  bit : int;
+}
+
+type t = {
+  all : Sview.t array;
+  by_relation : (string, entry array) Hashtbl.t;
+  rel_ids : (string, int) Hashtbl.t;
+  rel_names : string array;
+  by_name : (string, entry) Hashtbl.t;
+}
+
+exception Too_many_views of string
+exception Duplicate_view of string
+
+let max_views_per_relation = 31
+
+let build views =
+  let by_relation_lists : (string, entry list) Hashtbl.t = Hashtbl.create 16 in
+  let rel_ids = Hashtbl.create 16 in
+  let rel_names_rev = ref [] in
+  let by_name = Hashtbl.create 64 in
+  let register v =
+    if Hashtbl.mem by_name v.Sview.name then raise (Duplicate_view v.Sview.name);
+    let rel = Sview.relation v in
+    let rel_id =
+      match Hashtbl.find_opt rel_ids rel with
+      | Some id -> id
+      | None ->
+        let id = Hashtbl.length rel_ids in
+        Hashtbl.add rel_ids rel id;
+        rel_names_rev := rel :: !rel_names_rev;
+        id
+    in
+    let existing = Option.value ~default:[] (Hashtbl.find_opt by_relation_lists rel) in
+    let bit = List.length existing in
+    if bit >= max_views_per_relation then raise (Too_many_views rel);
+    let entry = { view = v; rel_id; bit } in
+    Hashtbl.replace by_relation_lists rel (existing @ [ entry ]);
+    Hashtbl.add by_name v.Sview.name entry
+  in
+  List.iter register views;
+  let by_relation = Hashtbl.create 16 in
+  Hashtbl.iter (fun rel entries -> Hashtbl.add by_relation rel (Array.of_list entries))
+    by_relation_lists;
+  {
+    all = Array.of_list views;
+    by_relation;
+    rel_ids;
+    rel_names = Array.of_list (List.rev !rel_names_rev);
+    by_name;
+  }
+
+let views t = Array.to_list t.all
+
+let size t = Array.length t.all
+
+let entries_for t rel = Option.value ~default:[||] (Hashtbl.find_opt t.by_relation rel)
+
+let rel_id t rel = Hashtbl.find_opt t.rel_ids rel
+
+let rel_name t id =
+  if id < 0 || id >= Array.length t.rel_names then
+    invalid_arg (Printf.sprintf "Registry.rel_name: unknown relation id %d" id);
+  t.rel_names.(id)
+
+let relation_count t = Array.length t.rel_names
+
+let find_view t name = Hashtbl.find_opt t.by_name name
+
+let mask_of_views t views =
+  let masks : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun v ->
+      match find_view t v.Sview.name with
+      | None -> invalid_arg ("Registry.mask_of_views: unregistered view " ^ v.Sview.name)
+      | Some e ->
+        let existing = Option.value ~default:0 (Hashtbl.find_opt masks e.rel_id) in
+        Hashtbl.replace masks e.rel_id (existing lor (1 lsl e.bit)))
+    views;
+  Hashtbl.fold (fun rel mask acc -> (rel, mask) :: acc) masks []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let pp ppf t =
+  Array.iteri
+    (fun id rel ->
+      let entries = entries_for t rel in
+      Format.fprintf ppf "@[<v 2>relation %d: %s (%d views)@," id rel (Array.length entries);
+      Array.iter
+        (fun e -> Format.fprintf ppf "bit %2d: %a@," e.bit Sview.pp e.view)
+        entries;
+      Format.fprintf ppf "@]@,")
+    t.rel_names

@@ -1,0 +1,52 @@
+(** Security-view registry: hash-partitions the generating set [F_gen] by base
+    relation and assigns each view a relation id and a bit position within its
+    relation's mask — the two optimizations behind the paper's "hashing" and
+    "bit vectors + hashing" labeler variants (Sections 6.1 and 7.2).
+
+    A single-atom view can only rewrite queries over its own base relation, so
+    labeling an atom needs to consider only the views registered for that
+    atom's relation. *)
+
+type entry = {
+  view : Sview.t;
+  rel_id : int;  (** Dense id of the view's base relation. *)
+  bit : int;  (** Bit position within the relation's view mask, 0–30. *)
+}
+
+type t
+
+exception Too_many_views of string
+(** More than 31 security views registered for one relation (the compressed
+    label keeps a 31-bit mask per relation; the paper's Facebook model needs
+    at most 16). *)
+
+exception Duplicate_view of string
+(** Two registered views share a name. *)
+
+val build : Sview.t list -> t
+(** Relation ids are assigned in order of first appearance. *)
+
+val views : t -> Sview.t list
+(** All registered views, in registration order. *)
+
+val size : t -> int
+
+val entries_for : t -> string -> entry array
+(** Entries for a relation name; empty when none are registered. *)
+
+val rel_id : t -> string -> int option
+
+val rel_name : t -> int -> string
+(** @raise Invalid_argument on an unknown id. *)
+
+val relation_count : t -> int
+
+val find_view : t -> string -> entry option
+(** Look up a view by name. *)
+
+val mask_of_views : t -> Sview.t list -> (int * int) list
+(** Per-relation masks [(rel_id, mask)] for a set of registered views (looked
+    up by name); used to compile policy partitions.
+    @raise Invalid_argument if a view is not registered. *)
+
+val pp : Format.formatter -> t -> unit

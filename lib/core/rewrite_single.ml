@@ -1,0 +1,153 @@
+module Value = Relational.Value
+
+type rw_term =
+  | Dist of string
+  | Exist of string
+  | Cst of Value.t
+
+type t = {
+  view_args : rw_term list;
+  head : string list;
+}
+
+let rw_term_equal a b =
+  match a, b with
+  | Dist x, Dist y | Exist x, Exist y -> String.equal x y
+  | Cst u, Cst v -> Value.equal u v
+  | (Dist _ | Exist _ | Cst _), _ -> false
+
+(* Coverage of a query existential class: all its positions must be matched
+   either by view distinguished variables, or by one single view existential
+   variable — never a mixture (see DESIGN.md §4 and the derivation in the
+   paper's Examples 5.1–5.3). *)
+type cover =
+  | By_dist
+  | By_exist of string
+
+exception Fail
+
+let check ~(query : Tagged.atom) ~(view : Tagged.atom) =
+  if
+    (not (String.equal query.Tagged.pred view.Tagged.pred))
+    || Tagged.atom_arity query <> Tagged.atom_arity view
+  then None
+  else
+    let theta : (string, rw_term) Hashtbl.t = Hashtbl.create 16 in
+    let cover : (string, cover) Hashtbl.t = Hashtbl.create 16 in
+    let q_of_w : (string, string) Hashtbl.t = Hashtbl.create 16 in
+    let assign_theta u t =
+      match Hashtbl.find_opt theta u with
+      | None -> Hashtbl.add theta u t
+      | Some t' -> if not (rw_term_equal t t') then raise Fail
+    in
+    let set_cover x c =
+      match Hashtbl.find_opt cover x, c with
+      | None, _ -> Hashtbl.add cover x c
+      | Some By_dist, By_dist -> ()
+      | Some (By_exist w), By_exist w' when String.equal w w' -> ()
+      | Some _, _ -> raise Fail
+    in
+    let pair_exist w x =
+      match Hashtbl.find_opt q_of_w w with
+      | None -> Hashtbl.add q_of_w w x
+      | Some x' -> if not (String.equal x x') then raise Fail
+    in
+    let position (a : Tagged.term) (b : Tagged.term) =
+      match a, b with
+      | Tagged.Const c, Tagged.Const c' -> if not (Value.equal c c') then raise Fail
+      | Tagged.Const c, Tagged.Var (u, Tagged.Distinguished) -> assign_theta u (Cst c)
+      | Tagged.Const _, Tagged.Var (_, Tagged.Existential) -> raise Fail
+      | Tagged.Var (x, Tagged.Distinguished), Tagged.Var (u, Tagged.Distinguished) ->
+        assign_theta u (Dist x)
+      | Tagged.Var (_, Tagged.Distinguished), (Tagged.Const _ | Tagged.Var (_, Tagged.Existential))
+        ->
+        raise Fail
+      | Tagged.Var (_, Tagged.Existential), Tagged.Const _ -> raise Fail
+      | Tagged.Var (x, Tagged.Existential), Tagged.Var (u, Tagged.Distinguished) ->
+        assign_theta u (Exist x);
+        set_cover x By_dist
+      | Tagged.Var (x, Tagged.Existential), Tagged.Var (w, Tagged.Existential) ->
+        pair_exist w x;
+        set_cover x (By_exist w)
+    in
+    match List.iter2 position query.Tagged.args view.Tagged.args with
+    | () ->
+      let view_args =
+        List.map (fun u -> Hashtbl.find theta u) (Tagged.distinguished_vars view)
+      in
+      Some { view_args; head = Tagged.distinguished_vars query }
+    | exception Fail -> None
+
+let leq_atom v w = Option.is_some (check ~query:v ~view:w)
+
+let leq w1 w2 = List.for_all (fun v -> List.exists (leq_atom v) w2) w1
+
+let equiv w1 w2 = leq w1 w2 && leq w2 w1
+
+let find ~query ~views =
+  List.find_map
+    (fun sv ->
+      match check ~query ~view:sv.Sview.atom with
+      | Some rw -> Some (sv, rw)
+      | None -> None)
+    views
+
+let execute ~view_answer rw =
+  let arity = List.length rw.head in
+  let args = Array.of_list rw.view_args in
+  let process tup acc =
+    let env : (string, Value.t) Hashtbl.t = Hashtbl.create 8 in
+    let consistent = ref true in
+    let bind key v =
+      match Hashtbl.find_opt env key with
+      | None -> Hashtbl.add env key v
+      | Some v' -> if not (Value.equal v v') then consistent := false
+    in
+    Array.iteri
+      (fun i arg ->
+        if !consistent then
+          let v = Relational.Tuple.get tup i in
+          match arg with
+          | Cst c -> if not (Value.equal c v) then consistent := false
+          | Dist x -> bind ("d:" ^ x) v
+          | Exist x -> bind ("e:" ^ x) v)
+      args;
+    if !consistent then
+      let out = Array.of_list (List.map (fun x -> Hashtbl.find env ("d:" ^ x)) rw.head) in
+      Relational.Relation.add out acc
+    else acc
+  in
+  Relational.Relation.fold process view_answer (Relational.Relation.empty arity)
+
+let expand ~(view : Tagged.atom) rw =
+  let theta : (string, rw_term) Hashtbl.t = Hashtbl.create 16 in
+  List.iter2
+    (fun u t -> Hashtbl.replace theta u t)
+    (Tagged.distinguished_vars view)
+    rw.view_args;
+  let expand_term = function
+    | Tagged.Const _ as t -> t
+    | Tagged.Var (w, Tagged.Existential) -> Tagged.Var ("view_ex_" ^ w, Tagged.Existential)
+    | Tagged.Var (u, Tagged.Distinguished) -> (
+      match Hashtbl.find theta u with
+      | Dist x -> Tagged.Var (x, Tagged.Distinguished)
+      | Exist x -> Tagged.Var ("rw_ex_" ^ x, Tagged.Existential)
+      | Cst c -> Tagged.Const c)
+  in
+  { view with Tagged.args = List.map expand_term view.Tagged.args }
+
+let pp_rw_term ppf = function
+  | Dist x -> Format.pp_print_string ppf x
+  | Exist x -> Format.fprintf ppf "%s?" x
+  | Cst c -> Value.pp ppf c
+
+let pp ppf rw =
+  Format.fprintf ppf "Q(%a) :- View(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Format.pp_print_string)
+    rw.head
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       pp_rw_term)
+    rw.view_args

@@ -1,0 +1,59 @@
+(** Equivalent view rewriting for single-atom queries over single-atom views
+    (Section 5.1): decides whether [{V} ⪯ {W}] — i.e. whether the answer to
+    query [V] can be computed by an equivalent rewriting in terms of view [W]
+    alone — and produces the witness rewriting.
+
+    By the Levy–Mendelzon–Sagiv bound, a minimized single-atom query that has
+    an equivalent rewriting over single-atom views has a rewriting consisting
+    of a single view atom. The decision procedure is therefore a positionwise
+    matching between the query atom and the view atom; it runs in time linear
+    in the atom arity. The test suite validates it against a brute-force
+    candidate enumerator and semantically, by executing witnesses on random
+    databases. *)
+
+type rw_term =
+  | Dist of string
+      (** A distinguished variable of the query, bound from a view column. *)
+  | Exist of string
+      (** A fresh existential of the rewriting, named after the query
+          existential class it stands for. *)
+  | Cst of Relational.Value.t  (** A constant filter on a view column. *)
+
+type t = {
+  view_args : rw_term list;
+      (** One entry per view head variable, in {!Sview.head_vars} order: the
+          term the rewriting places in that argument of the view atom. *)
+  head : string list;
+      (** The query's distinguished variables, first-occurrence order. *)
+}
+(** A rewriting [Q(head) :- W(view_args)]. *)
+
+val check : query:Tagged.atom -> view:Tagged.atom -> t option
+(** [Some rw] iff [{query} ⪯ {view}] under the equivalent-rewriting order. *)
+
+val leq_atom : Tagged.atom -> Tagged.atom -> bool
+(** [leq_atom v w] is [{v} ⪯ {w}]. *)
+
+val leq : Tagged.atom list -> Tagged.atom list -> bool
+(** Set comparison [W1 ⪯ W2]. Uses the decomposability of the single-atom
+    universe (Section 5.1): [{V} ⪯ W] iff [{V} ⪯ {W_i}] for some
+    [W_i ∈ W]. *)
+
+val equiv : Tagged.atom list -> Tagged.atom list -> bool
+(** Mutual [⪯]: the [≡] relation of Section 3.1. *)
+
+val find : query:Tagged.atom -> views:Sview.t list -> (Sview.t * t) option
+(** First view that can answer the query, with the witness rewriting. *)
+
+val execute :
+  view_answer:Relational.Relation.t -> t -> Relational.Relation.t
+(** Evaluates the rewriting over a materialized view answer whose columns
+    follow {!Sview.head_vars} order. The result's columns follow [t.head]
+    order — the same convention as [Cq.Eval.eval (Tagged.atom_to_query q)]. *)
+
+val expand : view:Tagged.atom -> t -> Tagged.atom
+(** The expansion of the rewriting: the single-atom query over the base
+    relation obtained by inlining the view definition. By construction it is
+    {!Tagged.iso_equivalent} to the original query (checked in tests). *)
+
+val pp : Format.formatter -> t -> unit

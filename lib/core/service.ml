@@ -1,0 +1,67 @@
+let src = Logs.Src.create "disclosure.service" ~doc:"Disclosure-control reference monitor"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type t = {
+  pipeline : Pipeline.t;
+  monitors : (string, Monitor.t) Hashtbl.t;
+  mutable order : string list; (* reversed registration order *)
+}
+
+exception Unknown_principal of string
+exception Duplicate_principal of string
+
+let create pipeline = { pipeline; monitors = Hashtbl.create 16; order = [] }
+
+let pipeline t = t.pipeline
+
+let register t ~principal ~partitions =
+  if Hashtbl.mem t.monitors principal then raise (Duplicate_principal principal);
+  let policy = Policy.make (Pipeline.registry t.pipeline) partitions in
+  Hashtbl.add t.monitors principal (Monitor.create policy);
+  t.order <- principal :: t.order;
+  Log.info (fun m ->
+      m "registered principal %s with %d partition(s)" principal (List.length partitions))
+
+let register_stateless t ~principal ~views =
+  register t ~principal ~partitions:[ ("default", views) ]
+
+let principals t = List.rev t.order
+
+let monitor_of t principal =
+  match Hashtbl.find_opt t.monitors principal with
+  | Some m -> m
+  | None -> raise (Unknown_principal principal)
+
+let submit_label t ~principal label =
+  let m = monitor_of t principal in
+  let decision = Monitor.submit m label in
+  Log.debug (fun f ->
+      f "%s: %a (alive: %s)" principal Monitor.pp_decision decision
+        (String.concat "," (Monitor.alive m)));
+  decision
+
+let submit t ~principal q =
+  let label = Pipeline.label t.pipeline q in
+  let decision = submit_label t ~principal label in
+  Log.info (fun f -> f "%s: %a -> %a" principal Cq.Query.pp q Monitor.pp_decision decision);
+  decision
+
+let answer t ~principal ~db q =
+  match submit t ~principal q with
+  | Monitor.Refused -> None
+  | Monitor.Answered -> (
+    match Answer.via_views t.pipeline db q with
+    | Some rel -> Some rel
+    | None ->
+      (* An answered query always has a non-⊤ label (some partition covers
+         every atom), so reconstruction cannot fail. *)
+      assert false)
+
+let alive t ~principal = Monitor.alive (monitor_of t principal)
+
+let stats t ~principal =
+  let m = monitor_of t principal in
+  (Monitor.answered_count m, Monitor.refused_count m)
+
+let reset t ~principal = Monitor.reset (monitor_of t principal)

@@ -1,0 +1,57 @@
+(** A multi-principal disclosure-control service — the deployment of the
+    paper's Figure 2: a shared labeling pipeline plus one reference monitor
+    per principal (app), each enforcing its own policy.
+
+    Decisions are logged through the [Logs] library under the source
+    ["disclosure.service"]; attach a reporter to observe them. *)
+
+type t
+
+exception Unknown_principal of string
+exception Duplicate_principal of string
+
+val create : Pipeline.t -> t
+
+val pipeline : t -> Pipeline.t
+
+val register : t -> principal:string -> partitions:(string * Sview.t list) list -> unit
+(** Registers a principal with a (possibly multi-partition) policy.
+    @raise Duplicate_principal
+    @raise Invalid_argument on empty partitions or unregistered views. *)
+
+val register_stateless : t -> principal:string -> views:Sview.t list -> unit
+(** Single-partition convenience form. *)
+
+val principals : t -> string list
+(** Registration order. *)
+
+val submit : t -> principal:string -> Cq.Query.t -> Monitor.decision
+(** Labels the query and submits it to the principal's monitor.
+    @raise Unknown_principal *)
+
+val submit_label : t -> principal:string -> Label.t -> Monitor.decision
+(** For pre-labeled queries (e.g. replayed logs).
+    @raise Unknown_principal *)
+
+val answer :
+  t ->
+  principal:string ->
+  db:Relational.Database.t ->
+  Cq.Query.t ->
+  Relational.Relation.t option
+(** Reference monitor {e and} trusted evaluator: submits the query, and when
+    it is answered, computes the answer exclusively through the security
+    views ({!Answer.via_views}) — the monitor never touches base relations
+    beyond what the user's views disclose. [None] on refusal (state
+    unchanged, as always).
+    @raise Unknown_principal *)
+
+val alive : t -> principal:string -> string list
+(** @raise Unknown_principal *)
+
+val stats : t -> principal:string -> int * int
+(** [(answered, refused)] counters.
+    @raise Unknown_principal *)
+
+val reset : t -> principal:string -> unit
+(** @raise Unknown_principal *)

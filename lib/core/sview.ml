@@ -1,0 +1,48 @@
+type t = {
+  name : string;
+  atom : Tagged.atom;
+}
+
+exception Invalid_view of string
+
+let make ~name atom =
+  if not (Tagged.well_formed atom) then
+    raise
+      (Invalid_view
+         (Printf.sprintf "view %s: variable occurs with two different kinds in %s" name
+            (Tagged.atom_to_string atom)));
+  { name; atom }
+
+let of_query (q : Cq.Query.t) =
+  match Tagged.atom_of_query q with
+  | Ok atom -> make ~name:q.name atom
+  | Error msg -> raise (Invalid_view msg)
+
+let of_string s = of_query (Cq.Parser.query_exn s)
+
+let relation v = v.atom.Tagged.pred
+
+let head_vars v = Tagged.distinguished_vars v.atom
+
+let arity v = List.length (head_vars v)
+
+let to_query v = Tagged.atom_to_query ~name:v.name v.atom
+
+let eval db v = Cq.Eval.eval db (to_query v)
+
+let equivalent a b = Tagged.iso_equivalent a.atom b.atom
+
+let compare a b =
+  let c = String.compare a.name b.name in
+  if c <> 0 then c else Tagged.atom_compare a.atom b.atom
+
+let equal a b = compare a b = 0
+
+let pp ppf v =
+  Format.fprintf ppf "%s(%a) :- %a" v.name
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Format.pp_print_string)
+    (head_vars v) Tagged.pp_atom v.atom
+
+let to_string v = Format.asprintf "%a" pp v

@@ -1,0 +1,54 @@
+(** Security views: named single-atom conjunctive views (Section 5).
+
+    A security view reveals a known, semantically meaningful slice of one base
+    relation — e.g. [V2(x) :- Meetings(x, y)] reveals the time slots of
+    appointments. Multi-atom security views are out of scope, as in the
+    paper. *)
+
+type t = private {
+  name : string;
+  atom : Tagged.atom;
+}
+
+exception Invalid_view of string
+
+val make : name:string -> Tagged.atom -> t
+(** @raise Invalid_view if the atom is not {!Tagged.well_formed}. *)
+
+val of_query : Cq.Query.t -> t
+(** Uses the query's head name as the view name.
+    @raise Invalid_view if the body has more than one atom. *)
+
+val of_string : string -> t
+(** Parses e.g. ["V2(x) :- Meetings(x, y)"].
+    @raise Cq.Parser.Parse_error
+    @raise Invalid_view *)
+
+val relation : t -> string
+(** Name of the base relation the view projects/selects. *)
+
+val head_vars : t -> string list
+(** Distinguished variables in canonical (first-occurrence) order; this is the
+    column order of the materialized view. *)
+
+val arity : t -> int
+(** Number of head variables. *)
+
+val to_query : t -> Cq.Query.t
+
+val eval : Relational.Database.t -> t -> Relational.Relation.t
+(** Materializes the view's answer. *)
+
+val equivalent : t -> t -> bool
+(** Information equivalence: {!Tagged.iso_equivalent} on the underlying
+    atoms. *)
+
+val compare : t -> t -> int
+(** By name, then by atom. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** [V2(x) :- Meetings(x, y?)] style. *)
+
+val to_string : t -> string

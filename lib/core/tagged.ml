@@ -1,0 +1,159 @@
+type kind =
+  | Distinguished
+  | Existential
+
+type term =
+  | Const of Relational.Value.t
+  | Var of string * kind
+
+type atom = {
+  pred : string;
+  args : term list;
+}
+
+type t = atom list
+
+let kind_equal a b =
+  match a, b with
+  | Distinguished, Distinguished | Existential, Existential -> true
+  | Distinguished, Existential | Existential, Distinguished -> false
+
+let kind_to_int = function Distinguished -> 0 | Existential -> 1
+
+let term_compare a b =
+  match a, b with
+  | Const x, Const y -> Relational.Value.compare x y
+  | Var (x, kx), Var (y, ky) ->
+    let c = String.compare x y in
+    if c <> 0 then c else Int.compare (kind_to_int kx) (kind_to_int ky)
+  | Const _, Var _ -> -1
+  | Var _, Const _ -> 1
+
+let term_equal a b = term_compare a b = 0
+
+let atom_arity a = List.length a.args
+
+let dedup_preserving_order xs =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun x ->
+      if Hashtbl.mem seen x then false
+      else begin
+        Hashtbl.add seen x ();
+        true
+      end)
+    xs
+
+let atom_vars a =
+  let vs = List.filter_map (function Var (x, k) -> Some (x, k) | Const _ -> None) a.args in
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun (x, _) ->
+      if Hashtbl.mem seen x then false
+      else begin
+        Hashtbl.add seen x ();
+        true
+      end)
+    vs
+
+let distinguished_vars a =
+  List.filter_map (fun (x, k) -> if k = Distinguished then Some x else None) (atom_vars a)
+
+let existential_vars a =
+  List.filter_map (fun (x, k) -> if k = Existential then Some x else None) (atom_vars a)
+
+let well_formed a =
+  let kinds = Hashtbl.create 8 in
+  List.for_all
+    (function
+      | Const _ -> true
+      | Var (x, k) -> (
+        match Hashtbl.find_opt kinds x with
+        | None ->
+          Hashtbl.add kinds x k;
+          true
+        | Some k' -> kind_equal k k'))
+    a.args
+
+let atom_compare a b =
+  let c = String.compare a.pred b.pred in
+  if c <> 0 then c else List.compare term_compare a.args b.args
+
+let atom_equal a b = atom_compare a b = 0
+
+let rename_atom f a =
+  { a with args = List.map (function Var (x, k) -> Var (f x, k) | Const _ as t -> t) a.args }
+
+let canonicalize a =
+  let mapping = Hashtbl.create 8 in
+  let next = ref 0 in
+  let fresh_name x =
+    match Hashtbl.find_opt mapping x with
+    | Some n -> n
+    | None ->
+      let n = Printf.sprintf "v%d" !next in
+      incr next;
+      Hashtbl.add mapping x n;
+      n
+  in
+  rename_atom fresh_name a
+
+let iso_equivalent a b = atom_equal (canonicalize a) (canonicalize b)
+
+let of_query (q : Cq.Query.t) =
+  let hv = Cq.Query.head_vars q in
+  let tag = function
+    | Cq.Term.Const v -> Const v
+    | Cq.Term.Var x ->
+      if List.mem x hv then Var (x, Distinguished) else Var (x, Existential)
+  in
+  List.map (fun (a : Cq.Atom.t) -> { pred = a.pred; args = List.map tag a.args }) q.body
+
+let atom_of_query q =
+  match of_query q with
+  | [ a ] -> Ok a
+  | atoms -> Error (Printf.sprintf "expected a single-atom query, got %d atoms" (List.length atoms))
+
+let untag_atom (a : atom) : Cq.Atom.t =
+  Cq.Atom.make a.pred
+    (List.map (function Const v -> Cq.Term.Const v | Var (x, _) -> Cq.Term.Var x) a.args)
+
+let to_query ?(name = "Q") (atoms : t) =
+  let head =
+    dedup_preserving_order (List.concat_map distinguished_vars atoms)
+    |> List.map (fun x -> Cq.Term.Var x)
+  in
+  Cq.Query.make ~name ~head ~body:(List.map untag_atom atoms) ()
+
+let atom_to_query ?name a = to_query ?name [ a ]
+
+let vars (atoms : t) =
+  let seen = Hashtbl.create 8 in
+  List.concat_map atom_vars atoms
+  |> List.filter (fun (x, _) ->
+         if Hashtbl.mem seen x then false
+         else begin
+           Hashtbl.add seen x ();
+           true
+         end)
+
+let pp_term ppf = function
+  | Const v -> Relational.Value.pp ppf v
+  | Var (x, Distinguished) -> Format.pp_print_string ppf x
+  | Var (x, Existential) -> Format.fprintf ppf "%s?" x
+
+let pp_atom ppf a =
+  Format.fprintf ppf "%s(%a)" a.pred
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       pp_term)
+    a.args
+
+let pp ppf atoms =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       pp_atom)
+    atoms
+
+let atom_to_string a = Format.asprintf "%a" pp_atom a

@@ -1,0 +1,86 @@
+(** The paper's Section 5 query representation: a list of body atoms with the
+    head discarded and each variable tagged as distinguished or existential.
+
+    For example, query [Q2] of Figure 1 is represented as
+    [[M(x_d, y_e), C(y_e, w_e, 'Intern')]]. Discarding the head order
+    deliberately identifies queries that reveal the same information through
+    permuted heads (the [V1] / [V1'] example of Section 3.1). *)
+
+type kind =
+  | Distinguished
+  | Existential
+
+type term =
+  | Const of Relational.Value.t
+  | Var of string * kind
+
+type atom = {
+  pred : string;
+  args : term list;
+}
+
+type t = atom list
+(** A tagged multi-atom query. *)
+
+val kind_equal : kind -> kind -> bool
+
+val term_compare : term -> term -> int
+
+val term_equal : term -> term -> bool
+
+val atom_arity : atom -> int
+
+val atom_vars : atom -> (string * kind) list
+(** First-occurrence order, no duplicates. A variable has one kind per query;
+    mixed occurrences are rejected by {!well_formed}. *)
+
+val distinguished_vars : atom -> string list
+(** First-occurrence order — also the canonical column order used when a view
+    over this atom is materialized. *)
+
+val existential_vars : atom -> string list
+
+val well_formed : atom -> bool
+(** No variable occurs with two different kinds. *)
+
+val atom_compare : atom -> atom -> int
+
+val atom_equal : atom -> atom -> bool
+(** Structural (name-sensitive) equality. See {!iso_equivalent} for equality
+    up to variable renaming. *)
+
+val canonicalize : atom -> atom
+(** Renames variables to [v0, v1, ...] in first-occurrence order, preserving
+    kinds. Two atoms are {!iso_equivalent} iff their canonical forms are
+    structurally equal. *)
+
+val iso_equivalent : atom -> atom -> bool
+(** Equality up to a kind-preserving bijective renaming of variables. For
+    single-atom queries this coincides with mutual equivalent-rewritability
+    (the [≡] relation of Section 3.1). *)
+
+val rename_atom : (string -> string) -> atom -> atom
+
+val of_query : Cq.Query.t -> t
+(** Tags head variables as distinguished and the rest as existential. *)
+
+val atom_of_query : Cq.Query.t -> (atom, string) result
+(** Single-atom conversion; [Error] if the body has more than one atom. *)
+
+val to_query : ?name:string -> t -> Cq.Query.t
+(** Rebuilds a head/body query; the head lists the distinguished variables in
+    first-occurrence order (scanning atoms left to right). *)
+
+val atom_to_query : ?name:string -> atom -> Cq.Query.t
+
+val vars : t -> (string * kind) list
+
+val pp_term : Format.formatter -> term -> unit
+(** Distinguished variables print bare, existential ones with a [?] suffix:
+    [M(x, y?)]. *)
+
+val pp_atom : Format.formatter -> atom -> unit
+
+val pp : Format.formatter -> t -> unit
+
+val atom_to_string : atom -> string

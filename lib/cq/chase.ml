@@ -1,0 +1,88 @@
+exception Unsatisfiable
+
+(* Unify two terms under the current query: produce a substitution or fail on
+   distinct constants. Variables absorb constants; between two variables the
+   second is renamed to the first. *)
+let unifier (a : Term.t) (b : Term.t) =
+  match a, b with
+  | Term.Const u, Term.Const v ->
+    if Relational.Value.equal u v then None else raise Unsatisfiable
+  | Term.Var x, Term.Var y -> if String.equal x y then None else Some (y, Term.Var x)
+  | Term.Var x, (Term.Const _ as c) | (Term.Const _ as c), Term.Var x -> Some (x, c)
+
+let substitute (x, t) (q : Query.t) =
+  let s = Subst.of_list [ (x, t) ] in
+  Query.make ~name:q.name
+    ~head:(List.map (Subst.apply_term s) q.head)
+    ~body:(List.map (Subst.apply_atom s) q.body)
+    ()
+
+(* One chase step: find an FD violated by a pair of atoms and return the
+   query after applying one unification. *)
+let step ~fds (q : Query.t) =
+  let atoms = Array.of_list q.body in
+  let n = Array.length atoms in
+  let try_pair (fd : Fd.t) i j =
+    let a = atoms.(i) and b = atoms.(j) in
+    if a.Atom.pred <> fd.Fd.rel || b.Atom.pred <> fd.Fd.rel then None
+    else
+      let aa = Array.of_list a.Atom.args and ba = Array.of_list b.Atom.args in
+      let in_range p = p < Array.length aa && p < Array.length ba in
+      if not (List.for_all in_range (fd.Fd.lhs @ fd.Fd.rhs)) then None
+      else if
+        List.for_all (fun p -> Term.equal aa.(p) ba.(p)) fd.Fd.lhs
+      then
+        (* Determinants agree: unify the first disagreeing determined pos. *)
+        List.find_map
+          (fun p ->
+            match unifier aa.(p) ba.(p) with
+            | None -> None
+            | Some binding -> Some (substitute binding q))
+          fd.Fd.rhs
+      else None
+  in
+  let rec scan_fds = function
+    | [] -> None
+    | fd :: rest ->
+      let rec scan_pairs i j =
+        if i >= n then scan_fds rest
+        else if j >= n then scan_pairs (i + 1) (i + 2)
+        else
+          match try_pair fd i j with
+          | Some q' -> Some q'
+          | None -> scan_pairs i (j + 1)
+      in
+      scan_pairs 0 1
+  in
+  scan_fds fds
+
+let dedup_atoms (q : Query.t) =
+  let seen = Hashtbl.create 16 in
+  let body =
+    List.filter
+      (fun a ->
+        if Hashtbl.mem seen a then false
+        else begin
+          Hashtbl.add seen a ();
+          true
+        end)
+      q.body
+  in
+  Query.make ~name:q.name ~head:q.head ~body ()
+
+let chase ~fds q =
+  let rec loop q =
+    match step ~fds q with
+    | Some q' -> loop q'
+    | None -> dedup_atoms q
+  in
+  match loop q with
+  | q -> Some q
+  | exception Unsatisfiable -> None
+
+let contained_in ~fds q1 q2 =
+  match chase ~fds q1 with
+  | None -> true (* empty on every compliant database *)
+  | Some c1 -> Containment.contained_in c1 q2
+
+let equivalent ~fds q1 q2 = contained_in ~fds q1 q2 && contained_in ~fds q2 q1

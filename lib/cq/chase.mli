@@ -1,0 +1,24 @@
+(** The chase with functional dependencies (Aho–Sagiv–Ullman), and the
+    containment/equivalence tests it enables over constrained databases.
+
+    Chasing a query applies every violated FD as an equality-generating
+    rule: two body atoms over the FD's relation that agree on the determinant
+    positions force their determined positions to be unified, substituting
+    variables (or failing on two distinct constants — the query is then
+    unsatisfiable on every FD-compliant database). The chase with FDs always
+    terminates.
+
+    Containment over FD-compliant databases reduces to plain containment
+    against the chased containee: [Q1 ⊆_Σ Q2 ⟺ chase_Σ(Q1) ⊆ Q2] (when the
+    chase succeeds; a failed chase means [Q1] is empty on every compliant
+    database and contained in everything). *)
+
+val chase : fds:Fd.t list -> Query.t -> Query.t option
+(** [None] when the query is unsatisfiable under the dependencies. Identical
+    duplicate atoms created by the unifications are deduplicated. The head is
+    substituted along; its arity never changes. *)
+
+val contained_in : fds:Fd.t list -> Query.t -> Query.t -> bool
+(** [Q1 ⊆ Q2] over databases satisfying the FDs. *)
+
+val equivalent : fds:Fd.t list -> Query.t -> Query.t -> bool

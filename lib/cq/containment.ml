@@ -1,0 +1,4 @@
+(* q1 ⊆ q2 iff there is a homomorphism (containment mapping) from q2 into q1. *)
+let contained_in q1 q2 = Homomorphism.exists ~from:q2 ~into:q1
+
+let equivalent q1 q2 = contained_in q1 q2 && contained_in q2 q1

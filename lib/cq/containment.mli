@@ -1,0 +1,13 @@
+(** Conjunctive-query containment and equivalence (set semantics).
+
+    Two queries are {e equivalent} when they return the same answer on every
+    database (Section 2.3). Decided via the Chandra–Merlin homomorphism
+    criterion. *)
+
+val contained_in : Query.t -> Query.t -> bool
+(** [contained_in q1 q2] is [q1 ⊆ q2]: on every database, every answer of
+    [q1] is an answer of [q2]. Queries with different head arities are
+    incomparable (always [false]). *)
+
+val equivalent : Query.t -> Query.t -> bool
+(** Mutual containment. *)

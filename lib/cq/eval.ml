@@ -1,0 +1,59 @@
+module Db = Relational.Database
+module Rel = Relational.Relation
+
+exception Eval_error of string
+
+let match_cell subst (t : Term.t) (v : Relational.Value.t) =
+  match t with
+  | Term.Const c -> if Relational.Value.equal c v then Some subst else None
+  | Term.Var x -> Subst.bind x (Term.Const v) subst
+
+let match_tuple subst (args : Term.t list) (tup : Relational.Tuple.t) =
+  let n = Array.length tup in
+  if List.length args <> n then None
+  else
+    let rec loop subst i = function
+      | [] -> Some subst
+      | t :: rest -> (
+        match match_cell subst t tup.(i) with
+        | Some subst -> loop subst (i + 1) rest
+        | None -> None)
+    in
+    loop subst 0 args
+
+let atom_substs db subst (a : Atom.t) =
+  let rel =
+    try Db.relation db a.pred
+    with Db.Unknown_relation r -> raise (Eval_error ("unknown relation " ^ r))
+  in
+  if Rel.arity rel <> Atom.arity a then
+    raise
+      (Eval_error
+         (Printf.sprintf "atom %s has %d arguments but relation has arity %d"
+            (Atom.to_string a) (Atom.arity a) (Rel.arity rel)));
+  Rel.fold
+    (fun tup acc ->
+      match match_tuple subst a.args tup with Some s -> s :: acc | None -> acc)
+    rel []
+
+let substitutions db (q : Query.t) =
+  List.fold_left
+    (fun substs atom -> List.concat_map (fun s -> atom_substs db s atom) substs)
+    [ Subst.empty ] q.body
+
+let instantiate_head subst (head : Term.t list) =
+  let cell t =
+    match Subst.apply_term subst t with
+    | Term.Const v -> v
+    | Term.Var x -> raise (Eval_error ("head variable " ^ x ^ " left unbound"))
+  in
+  Array.of_list (List.map cell head)
+
+let eval db (q : Query.t) =
+  let substs = substitutions db q in
+  List.fold_left
+    (fun rel subst -> Rel.add (instantiate_head subst q.head) rel)
+    (Rel.empty (Query.head_arity q))
+    substs
+
+let holds db q = not (Rel.is_empty (eval db q))

@@ -1,0 +1,21 @@
+(** Conjunctive-query evaluation over in-memory databases.
+
+    Straightforward atom-at-a-time nested-loop evaluation with substitution
+    propagation, under set semantics. Used by the examples and by the test
+    suite's semantic validation of rewritings; the disclosure labeler itself
+    never evaluates queries. *)
+
+exception Eval_error of string
+(** Unknown relation, arity mismatch, or a head variable left unbound. *)
+
+val eval : Relational.Database.t -> Query.t -> Relational.Relation.t
+(** Answer relation with arity [Query.head_arity q]. A boolean query returns a
+    relation of arity 0 that is nonempty iff the query holds. *)
+
+val holds : Relational.Database.t -> Query.t -> bool
+(** For boolean queries: whether the answer is nonempty. For non-boolean
+    queries: whether there is at least one answer. *)
+
+val substitutions : Relational.Database.t -> Query.t -> Subst.t list
+(** All satisfying assignments of the body (before head projection). Exposed
+    for tests. *)

@@ -1,0 +1,50 @@
+type t = {
+  rel : string;
+  lhs : int list;
+  rhs : int list;
+}
+
+exception Invalid of string
+
+let make ~rel ~lhs ~rhs =
+  if List.exists (fun i -> i < 0) (lhs @ rhs) then
+    raise (Invalid "negative attribute position");
+  let lhs = List.sort_uniq Int.compare lhs in
+  let rhs = List.sort_uniq Int.compare rhs in
+  if rhs = [] then raise (Invalid "empty right-hand side");
+  { rel; lhs; rhs }
+
+let key schema ~rel ~key_positions =
+  let arity = Relational.Schema.arity_exn schema rel in
+  if List.exists (fun i -> i >= arity) key_positions then
+    raise (Invalid "key position out of range");
+  let rhs =
+    List.init arity Fun.id |> List.filter (fun i -> not (List.mem i key_positions))
+  in
+  make ~rel ~lhs:key_positions ~rhs
+
+let holds t relation =
+  let module Tbl = Hashtbl in
+  let seen : (Relational.Value.t list, Relational.Value.t list) Tbl.t = Tbl.create 64 in
+  let arity = Relational.Relation.arity relation in
+  if List.exists (fun i -> i >= arity) (t.lhs @ t.rhs) then false
+  else
+    let ok = ref true in
+    Relational.Relation.iter
+      (fun tup ->
+        if !ok then begin
+          let proj positions = List.map (fun i -> Relational.Tuple.get tup i) positions in
+          let key = proj t.lhs in
+          let det = proj t.rhs in
+          match Tbl.find_opt seen key with
+          | None -> Tbl.add seen key det
+          | Some det' ->
+            if not (List.equal Relational.Value.equal det det') then ok := false
+        end)
+      relation;
+    !ok
+
+let pp ppf t =
+  Format.fprintf ppf "%s: {%s} -> {%s}" t.rel
+    (String.concat "," (List.map string_of_int t.lhs))
+    (String.concat "," (List.map string_of_int t.rhs))

@@ -1,0 +1,34 @@
+(** Functional dependencies over schema relations.
+
+    An FD [rel : lhs → rhs] (attribute positions) states that two tuples of
+    [rel] agreeing on the [lhs] positions agree on the [rhs] positions. Key
+    constraints are FDs whose left side is the key.
+
+    The paper's conjunctive-query theory is constraint-free; FDs enter
+    through the {!Chase} module, which decides containment and equivalence
+    over databases satisfying the dependencies — making, for example, a query
+    for two attributes of the current user answerable from two single-column
+    views joined on the key. *)
+
+type t = private {
+  rel : string;
+  lhs : int list;  (** Determinant positions, 0-based, sorted, distinct. *)
+  rhs : int list;  (** Determined positions. *)
+}
+
+exception Invalid of string
+
+val make : rel:string -> lhs:int list -> rhs:int list -> t
+(** @raise Invalid on negative positions, an empty [rhs], or overlap being
+    fine but duplicates within a side are removed. *)
+
+val key : Relational.Schema.t -> rel:string -> key_positions:int list -> t
+(** The FD [key → all other attributes] for a schema relation.
+    @raise Relational.Schema.Unknown_relation
+    @raise Invalid *)
+
+val holds : t -> Relational.Relation.t -> bool
+(** Whether an instance satisfies the dependency (positions out of range
+    count as violations). *)
+
+val pp : Format.formatter -> t -> unit

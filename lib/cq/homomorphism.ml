@@ -1,0 +1,81 @@
+let match_term subst (t_from : Term.t) (t_into : Term.t) =
+  match t_from with
+  | Term.Const c -> (
+    match t_into with
+    | Term.Const c' when Relational.Value.equal c c' -> Some subst
+    | Term.Const _ | Term.Var _ -> None)
+  | Term.Var x -> Subst.bind x t_into subst
+
+let match_atom subst (a : Atom.t) (b : Atom.t) =
+  if not (String.equal a.pred b.pred && Atom.arity a = Atom.arity b) then None
+  else
+    let rec loop subst args_a args_b =
+      match args_a, args_b with
+      | [], [] -> Some subst
+      | ta :: ra, tb :: rb -> (
+        match match_term subst ta tb with
+        | Some subst -> loop subst ra rb
+        | None -> None)
+      | _, _ -> None
+    in
+    loop subst a.args b.args
+
+let find_body ~from ~into ~init =
+  let rec go subst = function
+    | [] -> Some subst
+    | atom :: rest ->
+      let rec try_candidates = function
+        | [] -> None
+        | b :: more -> (
+          match match_atom subst atom b with
+          | Some subst' -> (
+            match go subst' rest with
+            | Some _ as result -> result
+            | None -> try_candidates more)
+          | None -> try_candidates more)
+      in
+      try_candidates into
+  in
+  go init from
+
+let all_body ?(limit = 4096) ~from ~into ~init () =
+  let results = ref [] in
+  let count = ref 0 in
+  let rec go subst = function
+    | [] ->
+      if !count < limit then begin
+        results := subst :: !results;
+        incr count
+      end
+    | atom :: rest ->
+      List.iter
+        (fun b ->
+          if !count < limit then
+            match match_atom subst atom b with
+            | Some subst' -> go subst' rest
+            | None -> ())
+        into
+  in
+  go init from;
+  List.rev !results
+
+let match_heads (from : Query.t) (into : Query.t) =
+  if List.length from.head <> List.length into.head then None
+  else
+    let rec loop subst hf hi =
+      match hf, hi with
+      | [], [] -> Some subst
+      | tf :: rf, ti :: ri -> (
+        match match_term subst tf ti with
+        | Some subst -> loop subst rf ri
+        | None -> None)
+      | _, _ -> None
+    in
+    loop Subst.empty from.head into.head
+
+let find ~from ~into =
+  match match_heads from into with
+  | None -> None
+  | Some init -> find_body ~from:from.body ~into:into.body ~init
+
+let exists ~from ~into = Option.is_some (find ~from ~into)

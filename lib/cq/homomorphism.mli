@@ -1,0 +1,29 @@
+(** Homomorphisms between conjunctive queries (containment mappings).
+
+    A homomorphism from query [Q1] to query [Q2] is a substitution [h] on the
+    variables of [Q1] such that (i) every body atom of [Q1], after applying
+    [h], is a body atom of [Q2], and (ii) [h] maps the head of [Q1] to the
+    head of [Q2] positionwise. Constants map to themselves.
+
+    By the Chandra–Merlin theorem, [Q2 ⊆ Q1] iff a homomorphism from [Q1] to
+    [Q2] exists. The search is exponential in the number of body atoms in the
+    worst case (the problem is NP-complete); queries in this system are small. *)
+
+val find_body : from:Atom.t list -> into:Atom.t list -> init:Subst.t -> Subst.t option
+(** Body-only homomorphism extending [init]; heads are ignored. *)
+
+val find : from:Query.t -> into:Query.t -> Subst.t option
+(** Full homomorphism respecting heads. Returns [None] when head arities
+    differ. *)
+
+val exists : from:Query.t -> into:Query.t -> bool
+
+val all_body :
+  ?limit:int -> from:Atom.t list -> into:Atom.t list -> init:Subst.t -> unit -> Subst.t list
+(** All body homomorphisms extending [init], up to [limit] (default 4096).
+    Used by the multi-atom rewriting engine to enumerate candidate view
+    applications. *)
+
+val match_atom : Subst.t -> Atom.t -> Atom.t -> Subst.t option
+(** One-atom matching: extends the substitution so the first atom maps onto
+    the second, or fails. Exposed for use by the evaluator and tests. *)

@@ -1,0 +1,62 @@
+(* Removing an atom relaxes the query (Q ⊆ Q'); equivalence therefore only
+   needs the converse containment, i.e. a homomorphism from the full query
+   into the reduced one that fixes the head. The head stays safe automatically:
+   the homomorphism witnesses that every head variable still occurs in the
+   reduced body. *)
+
+let remove_nth n l = List.filteri (fun i _ -> i <> n) l
+
+(* Necessary condition for removability of atom [n]: the folding homomorphism
+   fixes head variables and must map atom [n] onto some remaining atom, so a
+   head-fixing single-atom match must exist. Checking it first prunes most
+   failing searches cheaply. *)
+let absorbable (q : Query.t) n =
+  let atom_n = List.nth q.body n in
+  let head_identity =
+    List.fold_left
+      (fun s x -> Subst.bind_exn x (Term.Var x) s)
+      Subst.empty (Query.head_vars q)
+  in
+  List.exists
+    (fun (i, b) -> i <> n && Option.is_some (Homomorphism.match_atom head_identity atom_n b))
+    (List.mapi (fun i a -> (i, a)) q.body)
+
+let try_remove (q : Query.t) n =
+  if not (absorbable q n) then None
+  else
+    match remove_nth n q.body with
+    | [] -> None
+    | body' -> (
+      (* If a head variable only occurred in the removed atom the reduced query
+         is unsafe — and certainly not equivalent. *)
+      match Query.make ~name:q.name ~head:q.head ~body:body' () with
+      | q' -> if Homomorphism.exists ~from:q ~into:q' then Some q' else None
+      | exception Query.Unsafe _ -> None)
+
+(* An atom is only removable if the homomorphism can map it onto another atom
+   with the same predicate, so atoms whose predicate occurs once in the body
+   can be skipped without searching. *)
+let removable_indices (q : Query.t) =
+  let counts = Hashtbl.create 8 in
+  List.iter
+    (fun (a : Atom.t) ->
+      Hashtbl.replace counts a.pred
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts a.pred)))
+    q.body;
+  List.mapi (fun i (a : Atom.t) -> (i, Hashtbl.find counts a.pred >= 2)) q.body
+  |> List.filter_map (fun (i, keep) -> if keep then Some i else None)
+
+let rec shrink q =
+  let rec loop = function
+    | [] -> q
+    | i :: rest -> (
+      match try_remove q i with
+      | Some q' -> shrink q'
+      | None -> loop rest)
+  in
+  loop (removable_indices q)
+
+let minimize q = shrink q
+
+let is_minimal (q : Query.t) =
+  List.for_all (fun i -> Option.is_none (try_remove q i)) (removable_indices q)

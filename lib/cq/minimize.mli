@@ -1,0 +1,13 @@
+(** Query minimization (folding, [9] in the paper): computes the {e core} of a
+    conjunctive query — an equivalent query with the fewest body atoms.
+
+    This is the "folding" subroutine used by the paper's [Dissect] algorithm
+    (Section 5.2): it removes redundant atoms so that only atoms contributing
+    information survive dissection. *)
+
+val minimize : Query.t -> Query.t
+(** Returns an equivalent query whose body is a minimal subset of the input's
+    body. The result is unique up to variable renaming. *)
+
+val is_minimal : Query.t -> bool
+(** True when no proper subset of the body yields an equivalent query. *)

@@ -1,0 +1,27 @@
+(** Parser for the datalog-style query syntax used throughout the paper:
+
+    {v Q2(x) :- Meetings(x, y), Contacts(y, w, 'Intern') v}
+
+    Lexical conventions:
+    - predicate (relation / head) names start with an uppercase letter;
+    - variables start with a lowercase letter or underscore;
+    - constants are single-quoted strings, integer literals, or the keywords
+      [true] / [false];
+    - the head-body separator is [:-] (or [<-]); body atoms are separated by
+      commas. A boolean query has an empty head argument list: [Q() :- ...]. *)
+
+exception Parse_error of string
+(** Carries a message with position information. *)
+
+val query : string -> (Query.t, string) result
+
+val query_exn : string -> Query.t
+(** @raise Parse_error *)
+
+val atom : string -> (Atom.t, string) result
+
+val atom_exn : string -> Atom.t
+(** @raise Parse_error *)
+
+val queries : string -> (Query.t list, string) result
+(** Parses a whole program: one query per non-empty, non-[#]-comment line. *)

@@ -1,0 +1,61 @@
+type t = {
+  name : string;
+  disjuncts : Query.t list;
+}
+
+exception Invalid of string
+
+let make ?(name = "U") disjuncts =
+  match disjuncts with
+  | [] -> raise (Invalid "a union needs at least one disjunct")
+  | first :: rest ->
+    let arity = Query.head_arity first in
+    List.iter
+      (fun q ->
+        if Query.head_arity q <> arity then
+          raise
+            (Invalid
+               (Printf.sprintf "mixed head arities in union: %d vs %d" arity
+                  (Query.head_arity q))))
+      rest;
+    { name; disjuncts }
+
+let of_query (q : Query.t) = { name = q.name; disjuncts = [ q ] }
+
+let head_arity t = Query.head_arity (List.hd t.disjuncts)
+
+let contained_in a b =
+  List.for_all
+    (fun qa -> List.exists (fun qb -> Containment.contained_in qa qb) b.disjuncts)
+    a.disjuncts
+
+let equivalent a b = contained_in a b && contained_in b a
+
+let minimize t =
+  let minimized = List.map Minimize.minimize t.disjuncts in
+  (* Drop any disjunct contained in another; among mutually contained
+     (equivalent) disjuncts the earliest survives. *)
+  let indexed = List.mapi (fun i q -> (i, q)) minimized in
+  let keep (i, q) =
+    not
+      (List.exists
+         (fun (j, q') ->
+           j <> i
+           && Containment.contained_in q q'
+           && ((not (Containment.contained_in q' q)) || j < i))
+         indexed)
+  in
+  { t with disjuncts = List.map snd (List.filter keep indexed) }
+
+let eval db t =
+  List.fold_left
+    (fun acc q -> Relational.Relation.union acc (Eval.eval db q))
+    (Relational.Relation.empty (head_arity t))
+    t.disjuncts
+
+let pp ppf t =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " | ")
+    Query.pp ppf t.disjuncts
+
+let to_string t = Format.asprintf "%a" pp t

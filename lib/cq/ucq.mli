@@ -1,0 +1,42 @@
+(** Unions of conjunctive queries (UCQs).
+
+    A UCQ is a finite union of same-arity conjunctive queries; its answer is
+    the union of the disjuncts' answers. UCQ containment follows
+    Sagiv–Yannakakis: [U1 ⊆ U2] iff every disjunct of [U1] is contained in
+    {e some} disjunct of [U2].
+
+    UCQs extend the disclosure model conservatively: answering a union
+    requires answering every (non-redundant) disjunct, so a UCQ's disclosure
+    label is the union of its minimized disjuncts' labels (Definition 3.1 (b)
+    makes this the least upper bound). See [Disclosure.Pipeline.label_ucq]. *)
+
+type t = private {
+  name : string;
+  disjuncts : Query.t list;  (** Nonempty; all of the same head arity. *)
+}
+
+exception Invalid of string
+
+val make : ?name:string -> Query.t list -> t
+(** @raise Invalid on an empty list or mixed head arities. *)
+
+val of_query : Query.t -> t
+
+val head_arity : t -> int
+
+val contained_in : t -> t -> bool
+(** Sagiv–Yannakakis containment. *)
+
+val equivalent : t -> t -> bool
+
+val minimize : t -> t
+(** Minimizes every disjunct and drops disjuncts contained in another
+    (earlier disjuncts win among equivalents). The result is equivalent to
+    the input. *)
+
+val eval : Relational.Database.t -> t -> Relational.Relation.t
+
+val pp : Format.formatter -> t -> unit
+(** Disjuncts joined with [" | "]. *)
+
+val to_string : t -> string

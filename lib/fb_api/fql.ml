@@ -1,0 +1,339 @@
+type cond =
+  | Eq of string * Relational.Value.t
+  | Eq_me of string
+  | In_subquery of string * select
+
+and select = {
+  fields : string list;
+  table : string;
+  where : cond list;
+}
+
+(* --- Lexer ----------------------------------------------------------- *)
+
+type token =
+  | Tword of string (* identifier or keyword; kept verbatim *)
+  | Tstring of string
+  | Tint of int
+  | Tcomma
+  | Tlparen
+  | Trparen
+  | Teq
+  | Teof
+
+exception Error of string
+
+let fail msg = raise (Error msg)
+
+let is_word_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+
+let tokenize s =
+  let n = String.length s in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = ',' then begin emit Tcomma; incr i end
+    else if c = '(' then begin emit Tlparen; incr i end
+    else if c = ')' then begin emit Trparen; incr i end
+    else if c = '=' then begin emit Teq; incr i end
+    else if c = '\'' || c = '"' then begin
+      let quote = c in
+      let j = ref (!i + 1) in
+      while !j < n && s.[!j] <> quote do incr j done;
+      if !j >= n then fail "unterminated string literal";
+      emit (Tstring (String.sub s (!i + 1) (!j - !i - 1)));
+      i := !j + 1
+    end
+    else if (c >= '0' && c <= '9') || (c = '-' && !i + 1 < n && s.[!i + 1] >= '0' && s.[!i + 1] <= '9')
+    then begin
+      let j = ref (!i + 1) in
+      while !j < n && s.[!j] >= '0' && s.[!j] <= '9' do incr j done;
+      emit (Tint (int_of_string (String.sub s !i (!j - !i))));
+      i := !j
+    end
+    else if is_word_char c then begin
+      let j = ref !i in
+      while !j < n && is_word_char s.[!j] do incr j done;
+      emit (Tword (String.sub s !i (!j - !i)));
+      i := !j
+    end
+    else fail (Printf.sprintf "unexpected character %c" c)
+  done;
+  emit Teof;
+  List.rev !tokens
+
+(* --- Parser ---------------------------------------------------------- *)
+
+type state = { mutable toks : token list }
+
+let peek st = match st.toks with [] -> Teof | t :: _ -> t
+
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let lower = String.lowercase_ascii
+
+let expect_keyword st kw =
+  match peek st with
+  | Tword w when lower w = kw -> advance st
+  | _ -> fail ("expected " ^ String.uppercase_ascii kw)
+
+let parse_word st what =
+  match peek st with
+  | Tword w ->
+    advance st;
+    w
+  | _ -> fail ("expected " ^ what)
+
+(* The WHERE clause in disjunctive normal form: OR binds looser than AND. *)
+let rec parse_select_dnf st =
+  expect_keyword st "select";
+  let rec fields acc =
+    let f = parse_word st "a field name" in
+    match peek st with
+    | Tcomma ->
+      advance st;
+      fields (f :: acc)
+    | _ -> List.rev (f :: acc)
+  in
+  let fields = fields [] in
+  expect_keyword st "from";
+  let table = parse_word st "a table name" in
+  let where_dnf =
+    match peek st with
+    | Tword w when lower w = "where" ->
+      advance st;
+      let rec conjunction acc =
+        let c = parse_cond st in
+        match peek st with
+        | Tword w when lower w = "and" ->
+          advance st;
+          conjunction (c :: acc)
+        | _ -> List.rev (c :: acc)
+      in
+      let rec disjunction acc =
+        let group = conjunction [] in
+        match peek st with
+        | Tword w when lower w = "or" ->
+          advance st;
+          disjunction (group :: acc)
+        | _ -> List.rev (group :: acc)
+      in
+      disjunction []
+    | _ -> [ [] ]
+  in
+  (fields, table, where_dnf)
+
+and parse_select st =
+  match parse_select_dnf st with
+  | fields, table, [ where ] -> { fields; table; where }
+  | _ -> fail "OR is only supported at the top level of a query (not in subqueries)"
+
+and parse_cond st =
+  let field = parse_word st "a field name" in
+  match peek st with
+  | Teq -> (
+    advance st;
+    match peek st with
+    | Tstring v ->
+      advance st;
+      Eq (field, Relational.Value.Str v)
+    | Tint v ->
+      advance st;
+      Eq (field, Relational.Value.Int v)
+    | Tword w when lower w = "true" ->
+      advance st;
+      Eq (field, Relational.Value.Bool true)
+    | Tword w when lower w = "false" ->
+      advance st;
+      Eq (field, Relational.Value.Bool false)
+    | Tword w when lower w = "me" ->
+      advance st;
+      (match peek st with
+      | Tlparen -> (
+        advance st;
+        match peek st with
+        | Trparen ->
+          advance st;
+          Eq_me field
+        | _ -> fail "expected me()")
+      | _ -> fail "expected me()")
+    | _ -> fail "expected a literal or me()")
+  | Tword w when lower w = "in" ->
+    advance st;
+    (match peek st with
+    | Tlparen ->
+      advance st;
+      let sub = parse_select st in
+      (match peek st with
+      | Trparen ->
+        advance st;
+        In_subquery (field, sub)
+      | _ -> fail "expected ) after subquery")
+    | _ -> fail "expected ( after IN")
+  | _ -> fail "expected = or IN"
+
+type disjunctive_select = {
+  dfields : string list;
+  dtable : string;
+  where_dnf : cond list list;
+}
+
+let run_parser p s =
+  match
+    let st = { toks = tokenize s } in
+    let result = p st in
+    match peek st with
+    | Teof -> result
+    | _ -> fail "trailing input"
+  with
+  | result -> Ok result
+  | exception Error msg -> Error msg
+
+let parse s = run_parser parse_select s
+
+let parse_exn s = match parse s with Ok sel -> sel | Error msg -> failwith msg
+
+let parse_dnf s =
+  Result.map
+    (fun (dfields, dtable, where_dnf) -> { dfields; dtable; where_dnf })
+    (run_parser parse_select_dnf s)
+
+(* --- Translation ----------------------------------------------------- *)
+
+let me = Relational.Value.Str "me"
+
+let resolve_table schema name =
+  let target = lower name in
+  List.find_opt
+    (fun (r : Relational.Schema.relation) -> lower r.name = target)
+    (Relational.Schema.relations schema)
+
+(* Each (sub)select becomes one atom. [out_var] forces the variable used for
+   a given field (the join column of an IN condition). *)
+let rec atoms_of_select schema ~index sel =
+  let r =
+    match resolve_table schema sel.table with
+    | Some r -> r
+    | None -> fail ("unknown table " ^ sel.table)
+  in
+  let attrs = r.Relational.Schema.attrs in
+  let resolve_field f =
+    let target = lower f in
+    match List.find_opt (fun a -> lower a = target) attrs with
+    | Some a -> a
+    | None -> fail (Printf.sprintf "table %s has no field %s" r.name f)
+  in
+  let next_index = ref (index + 1) in
+  (* Per-attribute term assignment, refined by the WHERE conditions. *)
+  let assignment : (string, Cq.Term.t) Hashtbl.t = Hashtbl.create 8 in
+  let extra_atoms = ref [] in
+  let var_of attr = Cq.Term.Var (Printf.sprintf "%s_%d" attr index) in
+  let assign attr term =
+    match Hashtbl.find_opt assignment attr with
+    | None -> Hashtbl.replace assignment attr term
+    | Some existing ->
+      if not (Cq.Term.equal existing term) then
+        fail (Printf.sprintf "conflicting constraints on field %s" attr)
+  in
+  List.iter
+    (fun c ->
+      match c with
+      | Eq (f, v) -> assign (resolve_field f) (Cq.Term.Const v)
+      | Eq_me f -> assign (resolve_field f) (Cq.Term.Const me)
+      | In_subquery (f, sub) ->
+        let attr = resolve_field f in
+        let join_var =
+          match Hashtbl.find_opt assignment attr with
+          | Some t -> t
+          | None ->
+            let v = var_of attr in
+            Hashtbl.replace assignment attr v;
+            v
+        in
+        (match sub.fields with
+        | [ _ ] -> ()
+        | _ -> fail "IN subquery must select exactly one field");
+        let sub_atoms, sub_head = atoms_of_select schema ~index:!next_index sub in
+        next_index := !next_index + 1 + List.length sub.where;
+        (match sub_head with
+        | [ sub_term ] ->
+          (* Join: rename the subquery's selected column to the outer term.
+             The subquery column is always a variable (constants would be a
+             conflicting constraint caught above). *)
+          let rename t = if Cq.Term.equal t sub_term then join_var else t in
+          extra_atoms :=
+            !extra_atoms @ List.map (Cq.Atom.map_terms rename) sub_atoms
+        | _ -> fail "IN subquery must select exactly one field"))
+    sel.where;
+  let term_of attr =
+    match Hashtbl.find_opt assignment attr with
+    | Some t -> t
+    | None -> var_of attr
+  in
+  let main_atom = Cq.Atom.make r.name (List.map term_of attrs) in
+  let head = List.map (fun f -> term_of (resolve_field f)) sel.fields in
+  (main_atom :: !extra_atoms, head)
+
+let to_query schema sel =
+  match
+    let atoms, head = atoms_of_select schema ~index:0 sel in
+    Cq.Query.make ~name:"Fql" ~head ~body:atoms ()
+  with
+  | q -> Ok q
+  | exception Error msg -> Error msg
+  | exception Cq.Query.Unsafe msg -> Error ("unsafe translation: " ^ msg)
+
+let query schema s = Result.bind (parse s) (to_query schema)
+
+let query_exn schema s =
+  match query schema s with Ok q -> q | Error msg -> failwith msg
+
+let to_ucq schema d =
+  match
+    let disjuncts =
+      List.map
+        (fun where ->
+          let atoms, head =
+            atoms_of_select schema ~index:0 { fields = d.dfields; table = d.dtable; where }
+          in
+          Cq.Query.make ~name:"Fql" ~head ~body:atoms ())
+        d.where_dnf
+    in
+    Cq.Ucq.make ~name:"Fql" disjuncts
+  with
+  | u -> Ok u
+  | exception Error msg -> Error msg
+  | exception Cq.Query.Unsafe msg -> Error ("unsafe translation: " ^ msg)
+  | exception Cq.Ucq.Invalid msg -> Error msg
+
+let ucq schema s = Result.bind (parse_dnf s) (to_ucq schema)
+
+let ucq_exn schema s = match ucq schema s with Ok u -> u | Error msg -> failwith msg
+
+(* --- Printer ---------------------------------------------------------- *)
+
+let literal_to_string = function
+  | Relational.Value.Str s -> Printf.sprintf "'%s'" s
+  | Relational.Value.Int i -> string_of_int i
+  | Relational.Value.Bool b -> string_of_bool b
+
+let rec select_to_string sel =
+  let conds =
+    match sel.where with
+    | [] -> ""
+    | cs -> " WHERE " ^ String.concat " AND " (List.map cond_to_string cs)
+  in
+  Printf.sprintf "SELECT %s FROM %s%s" (String.concat ", " sel.fields) sel.table conds
+
+and cond_to_string = function
+  | Eq (f, v) -> Printf.sprintf "%s = %s" f (literal_to_string v)
+  | Eq_me f -> Printf.sprintf "%s = me()" f
+  | In_subquery (f, sub) -> Printf.sprintf "%s IN (%s)" f (select_to_string sub)
+
+let to_string = select_to_string
+
+let pp ppf sel = Format.pp_print_string ppf (to_string sel)

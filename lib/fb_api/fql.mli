@@ -1,0 +1,73 @@
+(** A front end for the FQL dialect Facebook exposed in 2013 (Section 7.1):
+    SQL-style single-table selects with equality predicates and [IN]
+    subqueries, the idiom FQL used instead of joins:
+
+    {v
+      SELECT birthday, languages FROM user WHERE uid = me()
+      SELECT birthday FROM user
+        WHERE uid IN (SELECT friend_uid FROM friend WHERE uid = me())
+      SELECT name FROM user WHERE is_friend = true
+    v}
+
+    Keywords and table/field names are case-insensitive (tables resolve
+    against the schema ignoring case). [me()] denotes the current user and
+    translates to the ['me'] constant. Each query translates to a conjunctive
+    query over the schema, ready for disclosure labeling. *)
+
+type cond =
+  | Eq of string * Relational.Value.t  (** [field = literal] *)
+  | Eq_me of string  (** [field = me()] *)
+  | In_subquery of string * select  (** [field IN (SELECT ...)] *)
+
+and select = {
+  fields : string list;
+  table : string;
+  where : cond list;
+}
+
+val parse : string -> (select, string) result
+
+val parse_exn : string -> select
+(** @raise Failure *)
+
+val to_query : Relational.Schema.t -> select -> (Cq.Query.t, string) result
+(** Translation: one atom per [SELECT], subqueries joined through their
+    selected column; selected fields become the head. Fails on unknown
+    tables/fields, a subquery selecting more than one field, or conflicting
+    equality constraints. *)
+
+val query : Relational.Schema.t -> string -> (Cq.Query.t, string) result
+(** [parse] followed by [to_query]. *)
+
+val query_exn : Relational.Schema.t -> string -> Cq.Query.t
+(** @raise Failure *)
+
+val to_string : select -> string
+(** Prints back to parseable FQL; [parse (to_string sel)] returns [sel] (with
+    string literals single-quoted). *)
+
+val pp : Format.formatter -> select -> unit
+
+(** {2 Disjunctive selects}
+
+    FQL also allowed [OR] in [WHERE] clauses. [OR] binds looser than [AND],
+    so the clause is a disjunction of conjunctions; each disjunct becomes one
+    conjunctive query and the whole select a union ({!Cq.Ucq.t}). [OR] is
+    supported at the top level only — [IN] subqueries stay conjunctive. *)
+
+type disjunctive_select = {
+  dfields : string list;
+  dtable : string;
+  where_dnf : cond list list;  (** One conjunction per disjunct. *)
+}
+
+val parse_dnf : string -> (disjunctive_select, string) result
+(** Accepts everything {!parse} accepts, plus top-level [OR]. *)
+
+val to_ucq : Relational.Schema.t -> disjunctive_select -> (Cq.Ucq.t, string) result
+
+val ucq : Relational.Schema.t -> string -> (Cq.Ucq.t, string) result
+(** [parse_dnf] followed by {!to_ucq}. *)
+
+val ucq_exn : Relational.Schema.t -> string -> Cq.Ucq.t
+(** @raise Failure *)

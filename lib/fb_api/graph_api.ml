@@ -1,0 +1,123 @@
+module Fb = Fbschema.Fb_schema
+module Value = Relational.Value
+
+type node =
+  | Me
+  | User_id of string
+
+type t = {
+  node : node;
+  connection : string option;
+  fields : string list;
+}
+
+let connections =
+  [
+    ("friends", "User");
+    ("likes", "Like");
+    ("photos", "Photo");
+    ("albums", "Album");
+    ("events", "Event");
+    ("checkins", "Checkin");
+    ("pages", "Page");
+  ]
+
+let parse_params params =
+  match String.index_opt params '=' with
+  | Some j when String.sub params 0 j = "fields" ->
+    Ok
+      (String.sub params (j + 1) (String.length params - j - 1)
+      |> String.split_on_char ','
+      |> List.map String.trim
+      |> List.filter (fun f -> f <> ""))
+  | Some _ | None -> Error "expected ?fields=f1,f2"
+
+let parse s =
+  let s = String.trim s in
+  let path_and_fields =
+    match String.index_opt s '?' with
+    | None -> Ok (s, [])
+    | Some i ->
+      let path = String.sub s 0 i in
+      let params = String.sub s (i + 1) (String.length s - i - 1) in
+      Result.map (fun fields -> (path, fields)) (parse_params params)
+  in
+  match path_and_fields with
+  | Error _ as e -> e
+  | Ok (path, fields) -> (
+    match String.split_on_char '/' path with
+    | [ "" ] | [] -> Error "empty request path"
+    | [ node ] | [ node; "" ] ->
+      let node = if node = "me" then Me else User_id node in
+      Ok { node; connection = None; fields }
+    | [ node; conn ] ->
+      let node = if node = "me" then Me else User_id node in
+      if List.mem_assoc conn connections then Ok { node; connection = Some conn; fields }
+      else Error ("unknown connection " ^ conn)
+    | _ -> Error "paths have at most one connection segment")
+
+let parse_exn s = match parse s with Ok t -> t | Error msg -> failwith msg
+
+exception Err of string
+
+let attr_term assignments attr =
+  match List.assoc_opt attr assignments with
+  | Some t -> t
+  | None -> Cq.Term.Var attr
+
+let relation_query ~rel ~assignments ~head_fields =
+  let r = Relational.Schema.find_exn Fb.schema rel in
+  let attrs = r.Relational.Schema.attrs in
+  let check_field f =
+    if not (List.mem f attrs) then
+      raise (Err (Printf.sprintf "%s has no field %s" rel f))
+  in
+  List.iter check_field head_fields;
+  let atom = Cq.Atom.make rel (List.map (attr_term assignments) attrs) in
+  let head = List.map (attr_term assignments) head_fields in
+  Cq.Query.make ~name:"Graph" ~head ~body:[ atom ] ()
+
+let to_query t =
+  match
+    let me_const = Cq.Term.Const Fb.me in
+    match t.node, t.connection with
+    | Me, None ->
+      let fields = if t.fields = [] then [ "uid"; "name" ] else t.fields in
+      relation_query ~rel:"User" ~assignments:[ ("uid", me_const) ] ~head_fields:fields
+    | User_id id, None ->
+      let fields = if t.fields = [] then [ "uid"; "name" ] else t.fields in
+      relation_query ~rel:"User"
+        ~assignments:[ ("uid", Cq.Term.Const (Value.Str id)) ]
+        ~head_fields:fields
+    | Me, Some "friends" ->
+      (* Friend-scoped data through the is_friend denormalization. *)
+      let fields = if t.fields = [] then [ "uid"; "name" ] else t.fields in
+      let fields = if List.mem "uid" fields then fields else "uid" :: fields in
+      relation_query ~rel:"User"
+        ~assignments:[ ("is_friend", Cq.Term.Const (Value.Bool true)) ]
+        ~head_fields:fields
+    | Me, Some conn ->
+      let rel = List.assoc conn connections in
+      let r = Relational.Schema.find_exn Fb.schema rel in
+      let default = [ List.hd r.Relational.Schema.attrs ] in
+      let fields = if t.fields = [] then default else t.fields in
+      relation_query ~rel ~assignments:[ ("uid", me_const) ] ~head_fields:fields
+    | User_id _, Some conn ->
+      raise (Err ("connection " ^ conn ^ " is only supported on the current user"))
+  with
+  | q -> Ok q
+  | exception Err msg -> Error msg
+  | exception Relational.Schema.Unknown_relation rel -> Error ("unknown relation " ^ rel)
+
+let query s = Result.bind (parse s) to_query
+
+let query_exn s = match query s with Ok q -> q | Error msg -> failwith msg
+
+let to_string t =
+  let node = match t.node with Me -> "me" | User_id id -> id in
+  let path = match t.connection with None -> node | Some c -> node ^ "/" ^ c in
+  match t.fields with
+  | [] -> path
+  | fields -> path ^ "?fields=" ^ String.concat "," fields
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,49 @@
+(** A front end for Graph-API-style requests against the Facebook-like schema
+    (Section 7.1):
+
+    {v
+      me?fields=birthday,languages
+      me/friends?fields=uid,birthday
+      1234?fields=name,pic
+      me/likes?fields=page_id
+      me/photos
+    v}
+
+    A request names a node — [me] or a user id — optionally followed by a
+    connection ([friends], [likes], [photos], [albums], [events],
+    [checkins]), and a [fields] list. Requests translate to conjunctive
+    queries over {!Fbschema.Fb_schema.schema} using the paper's [is_friend]
+    denormalization for friend-scoped connections, so their labels line up
+    with the {!Fbschema.Fb_views} security views. *)
+
+type node =
+  | Me
+  | User_id of string
+
+type t = {
+  node : node;
+  connection : string option;
+  fields : string list;  (** Empty means the connection's default fields. *)
+}
+
+val parse : string -> (t, string) result
+
+val parse_exn : string -> t
+(** @raise Failure *)
+
+val to_query : t -> (Cq.Query.t, string) result
+(** Unknown connections or fields are errors. [me?fields=f] selects [f] for
+    the current user; [me/friends?fields=f] selects [uid] and [f] for friends
+    (via [is_friend = true]); [id?fields=f] selects [f] for an arbitrary
+    user; [me/<connection>] selects from the connection's relation with
+    [uid = 'me']. *)
+
+val query : string -> (Cq.Query.t, string) result
+
+val query_exn : string -> Cq.Query.t
+(** @raise Failure *)
+
+val to_string : t -> string
+(** Prints back to a parseable request path. *)
+
+val pp : Format.formatter -> t -> unit

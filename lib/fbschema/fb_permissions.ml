@@ -1,0 +1,105 @@
+module Audit = Disclosure.Audit
+
+type correct =
+  | Fql_was_right
+  | Graph_was_right
+
+let perm_pair family = Audit.One_of [ "user_" ^ family; "friends_" ^ family ]
+
+(* The 36 views on which both APIs' documentation agrees. *)
+let agreeing : (string * Audit.requirement) list =
+  [
+    ("uid", Audit.None_required);
+    ("name", Audit.None_required);
+    ("first_name", Audit.None_required);
+    ("middle_name", Audit.None_required);
+    ("last_name", Audit.None_required);
+    ("username", Audit.None_required);
+    ("sex", Audit.None_required);
+    ("locale", Audit.None_required);
+    ("pic_big", Audit.Any_nonempty);
+    ("pic_small", Audit.Any_nonempty);
+    ("pic_square", Audit.Any_nonempty);
+    ("pic_cover", Audit.Any_nonempty);
+    ("is_app_user", Audit.Any_nonempty);
+    ("online_presence", Audit.One_of [ "user_online_presence"; "friends_online_presence" ]);
+    ("birthday", perm_pair "birthday");
+    ("birthday_date", perm_pair "birthday");
+    ("email", Audit.One_of [ "email" ]);
+    ("hometown_location", perm_pair "hometown");
+    ("current_location", perm_pair "location");
+    ("languages", perm_pair "likes");
+    ("religion", perm_pair "religion_politics");
+    ("political", perm_pair "religion_politics");
+    ("significant_other_id", perm_pair "relationships");
+    ("about_me", perm_pair "about_me");
+    ("activities", perm_pair "activities");
+    ("interests", perm_pair "interests");
+    ("music", perm_pair "likes");
+    ("movies", perm_pair "likes");
+    ("books", perm_pair "likes");
+    ("tv", perm_pair "likes");
+    ("website", perm_pair "website");
+    ("work", perm_pair "work_history");
+    ("education", perm_pair "education_history");
+    ("status", perm_pair "status");
+    ("checkins", perm_pair "checkins");
+    ("events", perm_pair "events");
+  ]
+
+let () = assert (List.length agreeing = 36)
+
+(* Table 2: the six views where the two APIs' documentation disagrees. *)
+let fql_disagreeing : (string * Audit.requirement) list =
+  [
+    ("pic", Audit.None_required);
+    ("timezone", Audit.Any_nonempty);
+    ("devices", Audit.Any_nonempty);
+    ("relationship_status", Audit.Any_nonempty);
+    ("quotes", Audit.One_of [ "user_likes"; "friends_likes" ]);
+    ("profile_url", Audit.Any_nonempty);
+  ]
+
+let graph_disagreeing : (string * Audit.requirement) list =
+  [
+    ( "pic",
+      Audit.Restricted
+        "any for pages with whitelisting/targeting restrictions, otherwise none" );
+    ("timezone", Audit.Restricted "available only for the current user");
+    ("devices", Audit.Restricted "any; only available for friends of the current user");
+    ("relationship_status", Audit.One_of [ "user_relationships"; "friends_relationships" ]);
+    ("quotes", Audit.One_of [ "user_about_me"; "friends_about_me" ]);
+    ("profile_url", Audit.None_required);
+  ]
+
+let table2 =
+  [
+    ("pic", Fql_was_right);
+    ("timezone", Graph_was_right);
+    ("devices", Graph_was_right);
+    ("relationship_status", Graph_was_right);
+    ("quotes", Fql_was_right);
+    ("profile_url", Fql_was_right);
+  ]
+
+let fql = fql_disagreeing @ agreeing
+
+let graph = graph_disagreeing @ agreeing
+
+let subjects = List.map fst fql
+
+let () = assert (List.length subjects = 42)
+
+let graph_name = function
+  | "pic" -> "picture"
+  | "profile_url" -> "link"
+  | "hometown_location" -> "hometown"
+  | "current_location" -> "location"
+  | "birthday_date" -> "birthday"
+  | s -> s
+
+let correct_requirement subject =
+  match List.assoc_opt subject table2 with
+  | Some Fql_was_right -> List.assoc subject fql
+  | Some Graph_was_right -> List.assoc subject graph
+  | None -> List.assoc subject fql

@@ -1,0 +1,38 @@
+(** The documented permission labelings behind the Section 7.1 case study.
+
+    Facebook exposed the same 42 views over the [User] table through both FQL
+    and the Graph API; the developer documentation listed, for each, the
+    permissions required. These are the two hand-generated disclosure
+    labelings the paper audits. Table 2 reports the six views on which the
+    documented labelings disagree, together with the experimentally-determined
+    correct answer.
+
+    The data below encode both documented labelings over all 42 views (the
+    36 agreeing ones and the 6 of Table 2) so that the audit algorithm
+    rediscovers exactly the published table. *)
+
+type correct =
+  | Fql_was_right
+  | Graph_was_right
+
+val subjects : string list
+(** All 42 audited User views, FQL naming. *)
+
+val fql : Disclosure.Audit.labeling
+(** The documented FQL permission requirements. *)
+
+val graph : Disclosure.Audit.labeling
+(** The documented Graph API permission requirements (subjects use the FQL
+    name; {!graph_name} gives the Graph API alias where it differs). *)
+
+val graph_name : string -> string
+(** Graph API field name for an FQL subject (e.g. [pic ↦ picture],
+    [profile_url ↦ link]); identity for the rest. *)
+
+val table2 : (string * correct) list
+(** The six inconsistent subjects in Table 2 order, with the experimentally
+    verified winner. *)
+
+val correct_requirement : string -> Disclosure.Audit.requirement
+(** The ground-truth requirement for any of the 42 subjects: the documented
+    value where both APIs agree, otherwise the winning API's value. *)

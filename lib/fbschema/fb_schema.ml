@@ -1,0 +1,62 @@
+module Schema = Relational.Schema
+
+let user_attrs =
+  [
+    "uid"; "name"; "first_name"; "last_name"; "username"; "pic"; "pic_big"; "pic_small";
+    "profile_url"; "email"; "birthday"; "sex"; "hometown"; "location"; "timezone"; "locale";
+    "languages"; "religion"; "political"; "relationship_status"; "significant_other";
+    "devices"; "quotes"; "about_me"; "activities"; "interests"; "music"; "movies"; "books";
+    "website"; "work"; "education"; "online_presence"; "is_friend";
+  ]
+
+let () = assert (List.length user_attrs = 34)
+
+let relations : Schema.relation list =
+  [
+    { name = "User"; attrs = user_attrs };
+    { name = "Friend"; attrs = [ "uid"; "friend_uid"; "is_friend" ] };
+    {
+      name = "Page";
+      attrs = [ "page_id"; "uid"; "name"; "category"; "fan_count"; "website"; "is_friend" ];
+    };
+    { name = "Like"; attrs = [ "uid"; "page_id"; "created_time"; "is_friend" ] };
+    {
+      name = "Photo";
+      attrs = [ "photo_id"; "uid"; "album_id"; "caption"; "created_time"; "link"; "is_friend" ];
+    };
+    {
+      name = "Album";
+      attrs =
+        [ "album_id"; "uid"; "name"; "description"; "size"; "created_time"; "visible"; "is_friend" ];
+    };
+    {
+      name = "Event";
+      attrs =
+        [
+          "event_id"; "uid"; "name"; "description"; "start_time"; "end_time"; "location";
+          "privacy"; "rsvp_status"; "is_friend";
+        ];
+    };
+    {
+      name = "Checkin";
+      attrs = [ "checkin_id"; "uid"; "page_id"; "message"; "timestamp"; "is_friend" ];
+    };
+  ]
+
+let schema = Schema.of_list relations
+
+let relation_names = List.map (fun (r : Schema.relation) -> r.name) relations
+
+let me = Relational.Value.Str "me"
+
+let attr_index rel attr =
+  let r = Schema.find_exn schema rel in
+  match Schema.attr_index r attr with
+  | Some i -> i
+  | None -> raise Not_found
+
+let uid_index rel = attr_index rel "uid"
+
+let is_friend_index rel = attr_index rel "is_friend"
+
+let arity rel = Schema.arity_exn schema rel

@@ -1,0 +1,33 @@
+(** The Facebook-like test schema of Section 7.2: eight relations capturing
+    core Facebook-API functionality. The [User] relation has 34 attributes;
+    the others have between 3 and 10, matching the paper.
+
+    Following the paper, every relation carries a [uid] attribute (used by the
+    stress workload to join subqueries) and an [is_friend] attribute
+    indicating whether the owning user is a friend of the principal running
+    the query — the denormalization that lets friend-scoped permissions be
+    modeled without joins in security views. The current user is denoted by
+    the constant ['me'] in the [uid] column. *)
+
+val user_attrs : string list
+(** The 34 [User] attributes, [uid] first and [is_friend] last. *)
+
+val schema : Relational.Schema.t
+
+val relation_names : string list
+(** The eight relation names in schema order: User, Friend, Page, Like,
+    Photo, Album, Event, Checkin. *)
+
+val me : Relational.Value.t
+(** The ['me'] constant standing for the current user. *)
+
+val uid_index : string -> int
+(** Position of the [uid] attribute in the given relation.
+    @raise Not_found on an unknown relation. *)
+
+val is_friend_index : string -> int
+(** Position of the [is_friend] attribute.
+    @raise Not_found *)
+
+val arity : string -> int
+(** @raise Relational.Schema.Unknown_relation *)

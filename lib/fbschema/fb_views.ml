@@ -1,0 +1,101 @@
+module Sview = Disclosure.Sview
+module Tagged = Disclosure.Tagged
+module Value = Relational.Value
+
+let projection_view ~name ~rel ~dist ?(consts = []) () =
+  let r = Relational.Schema.find_exn Fb_schema.schema rel in
+  let term attr =
+    match List.assoc_opt attr consts with
+    | Some v -> Tagged.Const v
+    | None ->
+      if List.mem attr dist then Tagged.Var (attr, Tagged.Distinguished)
+      else Tagged.Var (attr, Tagged.Existential)
+  in
+  let check attr =
+    if not (List.mem attr r.Relational.Schema.attrs) then raise Not_found
+  in
+  List.iter check dist;
+  List.iter (fun (attr, _) -> check attr) consts;
+  Sview.make ~name { Tagged.pred = rel; args = List.map term r.Relational.Schema.attrs }
+
+let me = Fb_schema.me
+
+let vtrue = Value.Bool true
+
+(* A user_* / friends_* pair of views for one permission family over User. *)
+let family ~name ~attrs =
+  [
+    projection_view ~name:("user_" ^ name) ~rel:"User" ~dist:attrs
+      ~consts:[ ("uid", me) ] ();
+    projection_view ~name:("friends_" ^ name) ~rel:"User" ~dist:("uid" :: attrs)
+      ~consts:[ ("is_friend", vtrue) ] ();
+  ]
+
+let user_views =
+  projection_view ~name:"user_public" ~rel:"User"
+    ~dist:
+      [
+        "uid"; "name"; "first_name"; "last_name"; "username"; "pic"; "pic_big"; "pic_small";
+        "profile_url"; "sex"; "devices"; "website"; "online_presence";
+      ]
+    ()
+  :: projection_view ~name:"user_contact" ~rel:"User" ~dist:[ "email" ]
+       ~consts:[ ("uid", me) ] ()
+  :: List.concat
+       [
+         family ~name:"about_me" ~attrs:[ "about_me"; "quotes"; "activities"; "interests" ];
+         family ~name:"birthday" ~attrs:[ "birthday" ];
+         family ~name:"education" ~attrs:[ "education"; "work" ];
+         (* As in the paper's anecdote, the likes family also grants access to
+            the languages the user speaks. *)
+         family ~name:"likes" ~attrs:[ "music"; "movies"; "books"; "languages" ];
+         family ~name:"relationships" ~attrs:[ "relationship_status"; "significant_other" ];
+         family ~name:"religion_politics" ~attrs:[ "religion"; "political" ];
+         family ~name:"location" ~attrs:[ "hometown"; "location"; "timezone"; "locale" ];
+       ]
+
+let () = assert (List.length user_views = 16)
+
+let friend_views =
+  [
+    (* The list of a user's friends is available to any app running on behalf
+       of that user (Section 7.2). *)
+    projection_view ~name:"friend_public" ~rel:"Friend"
+      ~dist:[ "uid"; "friend_uid"; "is_friend" ] ();
+    projection_view ~name:"user_friends" ~rel:"Friend" ~dist:[ "friend_uid" ]
+      ~consts:[ ("uid", me) ] ();
+    projection_view ~name:"friends_friends" ~rel:"Friend" ~dist:[ "uid"; "friend_uid" ]
+      ~consts:[ ("is_friend", vtrue) ] ();
+  ]
+
+let other_relation_views rel =
+  let r = Relational.Schema.find_exn Fb_schema.schema rel in
+  let attrs = r.Relational.Schema.attrs in
+  let non_flag = List.filter (fun a -> a <> "is_friend") attrs in
+  let lower = String.lowercase_ascii rel in
+  (* "user_like_rows" rather than "user_likes": the latter is the Facebook
+     permission over the User relation's media-taste attributes. *)
+  [
+    projection_view
+      ~name:("user_" ^ lower ^ "_rows")
+      ~rel
+      ~dist:(List.filter (fun a -> a <> "uid") non_flag)
+      ~consts:[ ("uid", me) ] ();
+    projection_view
+      ~name:("friends_" ^ lower ^ "_rows")
+      ~rel ~dist:non_flag
+      ~consts:[ ("is_friend", vtrue) ] ();
+    projection_view ~name:(lower ^ "_meta") ~rel ~dist:[ List.hd attrs ] ();
+  ]
+
+let all =
+  user_views @ friend_views
+  @ List.concat_map other_relation_views [ "Page"; "Like"; "Photo"; "Album"; "Event"; "Checkin" ]
+
+let by_name name = List.find_opt (fun v -> String.equal v.Sview.name name) all
+
+let views_for rel = List.filter (fun v -> String.equal (Sview.relation v) rel) all
+
+let pipeline =
+  let p = lazy (Disclosure.Pipeline.create all) in
+  fun () -> Lazy.force p

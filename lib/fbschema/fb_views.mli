@@ -1,0 +1,39 @@
+(** The security views used for the Section 7.2 evaluation.
+
+    The [User] relation gets a generating set of 16 views modeling Facebook's
+    permission families — for each family a [user_*] view scoped to the
+    current user (the ['me'] constant in the [uid] column) and a [friends_*]
+    view scoped through the [is_friend] denormalization column — plus a public
+    view for the attributes requiring no permission. Every other relation gets
+    three views (current user / friends / public metadata), matching the
+    paper's "most of the other relations could be modeled using just three
+    views".
+
+    Faithfully to the paper's user_likes anecdote, the [user_likes] and
+    [friends_likes] views expose the [languages] attribute alongside the
+    media-taste attributes. *)
+
+val projection_view :
+  name:string ->
+  rel:string ->
+  dist:string list ->
+  ?consts:(string * Relational.Value.t) list ->
+  unit ->
+  Disclosure.Sview.t
+(** A single-atom view of [rel] exposing [dist] attributes, with the [consts]
+    attributes fixed to constants and everything else existential.
+    @raise Not_found on an unknown attribute. *)
+
+val user_views : Disclosure.Sview.t list
+(** The 16-view generating set for [User]. *)
+
+val all : Disclosure.Sview.t list
+(** All 37 security views (16 for [User] + 3 for each other relation). *)
+
+val by_name : string -> Disclosure.Sview.t option
+
+val views_for : string -> Disclosure.Sview.t list
+(** Views over the given relation. *)
+
+val pipeline : unit -> Disclosure.Pipeline.t
+(** A memoized labeling pipeline over {!all}. *)

@@ -1,0 +1,49 @@
+module Smap = Map.Make (String)
+
+type t = {
+  schema : Schema.t;
+  data : Relation.t Smap.t;
+}
+
+exception Unknown_relation of string
+
+let create schema =
+  let data =
+    List.fold_left
+      (fun m (r : Schema.relation) ->
+        Smap.add r.name (Relation.empty (List.length r.attrs)) m)
+      Smap.empty (Schema.relations schema)
+  in
+  { schema; data }
+
+let schema t = t.schema
+
+let relation t name =
+  match Smap.find_opt name t.data with
+  | Some r -> r
+  | None -> raise (Unknown_relation name)
+
+let set_relation t name rel =
+  let expected =
+    match Schema.arity t.schema name with
+    | Some a -> a
+    | None -> raise (Unknown_relation name)
+  in
+  if Relation.arity rel <> expected then
+    raise (Relation.Arity_mismatch { expected; got = Relation.arity rel });
+  { t with data = Smap.add name rel t.data }
+
+let insert t name tup = set_relation t name (Relation.add tup (relation t name))
+
+let insert_rows t name rows =
+  List.fold_left (fun t row -> insert t name (Tuple.of_strings row)) t rows
+
+let total_tuples t = Smap.fold (fun _ r acc -> acc + Relation.cardinal r) t.data 0
+
+let equal a b = Smap.equal Relation.equal a.data b.data
+
+let pp ppf t =
+  let pp_entry ppf (name, rel) = Format.fprintf ppf "%s = %a" name Relation.pp rel in
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_cut ppf ())
+    pp_entry ppf (Smap.bindings t.data)

@@ -1,0 +1,35 @@
+(** A database instance: one {!Relation.t} per schema relation.
+
+    Instances are always consistent with their schema — every relation listed
+    in the schema is present (possibly empty) and has the declared arity. *)
+
+type t
+
+exception Unknown_relation of string
+
+val create : Schema.t -> t
+(** All relations empty. *)
+
+val schema : t -> Schema.t
+
+val relation : t -> string -> Relation.t
+(** @raise Unknown_relation *)
+
+val set_relation : t -> string -> Relation.t -> t
+(** Functional update.
+    @raise Unknown_relation
+    @raise Relation.Arity_mismatch if the instance arity differs from the
+    schema arity. *)
+
+val insert : t -> string -> Tuple.t -> t
+(** @raise Unknown_relation
+    @raise Relation.Arity_mismatch *)
+
+val insert_rows : t -> string -> string list list -> t
+(** Insert rows given as string cells (see {!Relation.of_rows}). *)
+
+val total_tuples : t -> int
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

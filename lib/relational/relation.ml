@@ -1,0 +1,63 @@
+module Tset = Set.Make (Tuple)
+
+type t = {
+  arity : int;
+  tuples : Tset.t;
+}
+
+exception Arity_mismatch of { expected : int; got : int }
+
+let empty arity = { arity; tuples = Tset.empty }
+
+let arity t = t.arity
+
+let check_arity t tup =
+  let got = Tuple.arity tup in
+  if got <> t.arity then raise (Arity_mismatch { expected = t.arity; got })
+
+let add tup t =
+  check_arity t tup;
+  { t with tuples = Tset.add tup t.tuples }
+
+let of_tuples arity tups = List.fold_left (fun t tup -> add tup t) (empty arity) tups
+
+let of_rows arity rows = of_tuples arity (List.map Tuple.of_strings rows)
+
+let mem tup t = Tset.mem tup t.tuples
+
+let cardinal t = Tset.cardinal t.tuples
+
+let is_empty t = Tset.is_empty t.tuples
+
+let tuples t = Tset.elements t.tuples
+
+let fold f t init = Tset.fold f t.tuples init
+
+let iter f t = Tset.iter f t.tuples
+
+let filter p t = { t with tuples = Tset.filter p t.tuples }
+
+let project t positions =
+  let arity = List.length positions in
+  fold (fun tup acc -> add (Tuple.project tup positions) acc) t (empty arity)
+
+let union a b =
+  if a.arity <> b.arity then raise (Arity_mismatch { expected = a.arity; got = b.arity });
+  { a with tuples = Tset.union a.tuples b.tuples }
+
+let inter a b =
+  if a.arity <> b.arity then raise (Arity_mismatch { expected = a.arity; got = b.arity });
+  { a with tuples = Tset.inter a.tuples b.tuples }
+
+let equal a b = a.arity = b.arity && Tset.equal a.tuples b.tuples
+
+let compare a b =
+  let c = Int.compare a.arity b.arity in
+  if c <> 0 then c else Tset.compare a.tuples b.tuples
+
+let pp ppf t =
+  Format.fprintf ppf "{@[<hov>%a@]}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       Tuple.pp)
+    (tuples t)

@@ -1,0 +1,49 @@
+(** Relation instances: finite sets of same-arity tuples (set semantics, as in
+    the paper's conjunctive-query setting). *)
+
+type t
+
+exception Arity_mismatch of { expected : int; got : int }
+
+val empty : int -> t
+(** [empty arity] is the empty instance of the given arity. *)
+
+val arity : t -> int
+
+val add : Tuple.t -> t -> t
+(** Set insertion; duplicates are absorbed.
+    @raise Arity_mismatch if the tuple width differs. *)
+
+val of_tuples : int -> Tuple.t list -> t
+
+val of_rows : int -> string list list -> t
+(** Rows given as string cells, parsed with {!Value.of_string}. *)
+
+val mem : Tuple.t -> t -> bool
+
+val cardinal : t -> int
+
+val is_empty : t -> bool
+
+val tuples : t -> Tuple.t list
+(** In ascending {!Tuple.compare} order. *)
+
+val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
+
+val iter : (Tuple.t -> unit) -> t -> unit
+
+val filter : (Tuple.t -> bool) -> t -> t
+
+val project : t -> int list -> t
+(** Relational projection with duplicate elimination. *)
+
+val union : t -> t -> t
+(** @raise Arity_mismatch if arities differ. *)
+
+val inter : t -> t -> t
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit

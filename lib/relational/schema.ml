@@ -1,0 +1,70 @@
+type relation = {
+  name : string;
+  attrs : string list;
+}
+
+module Smap = Map.Make (String)
+
+type t = {
+  by_name : relation Smap.t;
+  order : string list; (* reversed insertion order *)
+}
+
+exception Duplicate_relation of string
+exception Unknown_relation of string
+exception Duplicate_attribute of string * string
+
+let empty = { by_name = Smap.empty; order = [] }
+
+let check_attrs r =
+  let seen = Hashtbl.create 8 in
+  let check a =
+    if Hashtbl.mem seen a then raise (Duplicate_attribute (r.name, a));
+    Hashtbl.add seen a ()
+  in
+  List.iter check r.attrs
+
+let add r t =
+  if Smap.mem r.name t.by_name then raise (Duplicate_relation r.name);
+  check_attrs r;
+  { by_name = Smap.add r.name r t.by_name; order = r.name :: t.order }
+
+let of_list rs = List.fold_left (fun t r -> add r t) empty rs
+
+let find t name = Smap.find_opt name t.by_name
+
+let find_exn t name =
+  match find t name with
+  | Some r -> r
+  | None -> raise (Unknown_relation name)
+
+let mem t name = Smap.mem name t.by_name
+
+let arity t name = Option.map (fun r -> List.length r.attrs) (find t name)
+
+let arity_exn t name = List.length (find_exn t name).attrs
+
+let attr_index r a =
+  let rec loop i = function
+    | [] -> None
+    | x :: rest -> if String.equal x a then Some i else loop (i + 1) rest
+  in
+  loop 0 r.attrs
+
+let relations t = List.rev_map (fun name -> Smap.find name t.by_name) t.order
+
+let relation_names t = List.rev t.order
+
+let size t = Smap.cardinal t.by_name
+
+let pp_relation ppf r =
+  Format.fprintf ppf "%s(%a)" r.name
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Format.pp_print_string)
+    r.attrs
+
+let pp ppf t =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_cut ppf ())
+    pp_relation ppf (relations t)

@@ -1,0 +1,53 @@
+(** Database schemas: a collection of relation signatures.
+
+    A relation signature gives the relation's name and the ordered list of its
+    attribute names; the arity is the number of attributes. Relation names are
+    case-sensitive and unique within a schema. *)
+
+type relation = {
+  name : string;
+  attrs : string list;
+}
+
+type t
+
+exception Duplicate_relation of string
+exception Unknown_relation of string
+exception Duplicate_attribute of string * string
+    (** [(relation, attribute)] — attribute names must be unique within a
+        relation. *)
+
+val empty : t
+
+val add : relation -> t -> t
+(** @raise Duplicate_relation if a relation with the same name exists.
+    @raise Duplicate_attribute if the signature repeats an attribute name. *)
+
+val of_list : relation list -> t
+
+val find : t -> string -> relation option
+
+val find_exn : t -> string -> relation
+(** @raise Unknown_relation *)
+
+val mem : t -> string -> bool
+
+val arity : t -> string -> int option
+
+val arity_exn : t -> string -> int
+(** @raise Unknown_relation *)
+
+val attr_index : relation -> string -> int option
+(** Position of an attribute within the signature. *)
+
+val relations : t -> relation list
+(** All signatures, in insertion order. *)
+
+val relation_names : t -> string list
+
+val size : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** One line per relation: [Name(attr1, attr2, ...)]. *)
+
+val pp_relation : Format.formatter -> relation -> unit

@@ -1,0 +1,39 @@
+type t = Value.t array
+
+let arity = Array.length
+
+let make vs = Array.of_list vs
+
+let of_strings ss = Array.of_list (List.map Value.of_string ss)
+
+let get t i =
+  if i < 0 || i >= Array.length t then
+    invalid_arg (Printf.sprintf "Tuple.get: index %d out of range" i);
+  t.(i)
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Int.compare la lb
+  else
+    let rec loop i =
+      if i = la then 0
+      else
+        let c = Value.compare a.(i) b.(i) in
+        if c <> 0 then c else loop (i + 1)
+    in
+    loop 0
+
+let equal a b = compare a b = 0
+
+let hash t = Hashtbl.hash (Array.map Value.hash t)
+
+let project t positions = Array.of_list (List.map (get t) positions)
+
+let pp ppf t =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Value.pp)
+    (Array.to_list t)
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,29 @@
+(** Database tuples: fixed-width rows of {!Value.t}. *)
+
+type t = Value.t array
+
+val arity : t -> int
+
+val make : Value.t list -> t
+
+val of_strings : string list -> t
+(** Convenience constructor parsing each cell with {!Value.of_string}. *)
+
+val get : t -> int -> Value.t
+(** @raise Invalid_argument on out-of-range index. *)
+
+val compare : t -> t -> int
+(** Lexicographic; shorter tuples sort first. *)
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+val project : t -> int list -> t
+(** [project t positions] keeps the given positions, in the given order.
+    @raise Invalid_argument on out-of-range position. *)
+
+val pp : Format.formatter -> t -> unit
+(** [(v1, v2, ...)]. *)
+
+val to_string : t -> string

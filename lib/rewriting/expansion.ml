@@ -1,0 +1,44 @@
+exception Invalid_view of string
+
+let check_view (v : Cq.Query.t) =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun t ->
+      match t with
+      | Cq.Term.Const _ ->
+        raise (Invalid_view (Printf.sprintf "view %s has a constant in its head" v.name))
+      | Cq.Term.Var x ->
+        if Hashtbl.mem seen x then
+          raise
+            (Invalid_view
+               (Printf.sprintf "view %s repeats variable %s in its head" v.name x));
+        Hashtbl.add seen x ())
+    v.head
+
+let expand ~views (rewriting : Cq.Query.t) =
+  List.iter check_view views;
+  let find_view name = List.find_opt (fun (v : Cq.Query.t) -> String.equal v.name name) views in
+  let counter = ref 0 in
+  let expand_atom (a : Cq.Atom.t) =
+    match find_view a.pred with
+    | None -> [ a ]
+    | Some v ->
+      incr counter;
+      let v = Cq.Query.freshen ~suffix:(Printf.sprintf "#%d" !counter) v in
+      if List.length v.head <> Cq.Atom.arity a then
+        raise
+          (Invalid_view
+             (Printf.sprintf "view %s used with arity %d but defines %d columns" a.pred
+                (Cq.Atom.arity a) (List.length v.head)));
+      let subst =
+        List.fold_left2
+          (fun s head_term arg ->
+            match head_term with
+            | Cq.Term.Var x -> Cq.Subst.bind_exn x arg s
+            | Cq.Term.Const _ -> assert false (* ruled out by check_view *))
+          Cq.Subst.empty v.head a.args
+      in
+      List.map (Cq.Subst.apply_atom subst) v.body
+  in
+  let body = List.concat_map expand_atom rewriting.body in
+  Cq.Query.make ~name:rewriting.name ~head:rewriting.head ~body ()

@@ -1,0 +1,24 @@
+(** View expansion: inlining view definitions into a rewriting.
+
+    A {e rewriting} is a conjunctive query whose body atoms refer to view
+    names instead of base relations. Its {e expansion} replaces each view atom
+    by the view's body, substituting the atom's arguments for the view's head
+    variables and freshly renaming the view's existential variables per
+    occurrence (so two uses of the same view do not share witnesses).
+
+    Views must have distinct-variable heads (no constants, no repeats) — the
+    standard assumption in the answering-queries-using-views literature; both
+    {!Disclosure.Sview} views and SQL-style view definitions satisfy it. *)
+
+exception Invalid_view of string
+(** A view head contains a constant or a repeated variable, or a body atom of
+    the rewriting refers to a name that is not a view. *)
+
+val check_view : Cq.Query.t -> unit
+(** @raise Invalid_view *)
+
+val expand : views:Cq.Query.t list -> Cq.Query.t -> Cq.Query.t
+(** [expand ~views rewriting] inlines every view atom. View lookup is by head
+    name; atoms whose predicate matches no view are treated as base-relation
+    atoms and kept as-is.
+    @raise Invalid_view on arity mismatch or an ill-formed view. *)

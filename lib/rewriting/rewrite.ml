@@ -1,0 +1,138 @@
+type candidate = {
+  view : Cq.Query.t;
+  atom : Cq.Atom.t;
+  covers : int list;
+}
+
+(* Atoms of the (minimized) query, indexed. *)
+let indexed_body (q : Cq.Query.t) = List.mapi (fun i a -> (i, a)) q.body
+
+(* Candidate view applications: a homomorphism h from the view body into the
+   query body yields the view atom V(h(head)). Coverage is the set of query
+   atoms in h's image. *)
+let candidates ~views (q : Cq.Query.t) =
+  let body_idx = indexed_body q in
+  let atom_index (a : Cq.Atom.t) =
+    List.filter_map (fun (i, b) -> if Cq.Atom.equal a b then Some i else None) body_idx
+  in
+  List.concat_map
+    (fun (v : Cq.Query.t) ->
+      Expansion.check_view v;
+      let homs =
+        Cq.Homomorphism.all_body ~from:v.body ~into:q.body ~init:Cq.Subst.empty ()
+      in
+      List.filter_map
+        (fun h ->
+          let image = List.map (Cq.Subst.apply_atom h) v.body in
+          let covers = List.sort_uniq Int.compare (List.concat_map atom_index image) in
+          let args = List.map (Cq.Subst.apply_term h) v.head in
+          Some { view = v; atom = Cq.Atom.make v.name args; covers })
+        homs)
+    views
+
+(* Deduplicate candidates that produce the same rewriting atom (identical
+   arguments): they expand identically. Keep the union of their coverage. *)
+let dedup_candidates cands =
+  let table = Hashtbl.create 64 in
+  List.iter
+    (fun c ->
+      let key = (c.view.Cq.Query.name, c.atom) in
+      match Hashtbl.find_opt table key with
+      | None -> Hashtbl.add table key c
+      | Some existing ->
+        Hashtbl.replace table key
+          {
+            existing with
+            covers = List.sort_uniq Int.compare (existing.covers @ c.covers);
+          })
+    cands;
+  Hashtbl.fold (fun _ c acc -> c :: acc) table []
+
+exception Found of Cq.Query.t
+
+let try_combination ~views ~fds (q : Cq.Query.t) combo =
+  let body = List.map (fun c -> c.atom) combo in
+  match Cq.Query.make ~name:q.name ~head:q.head ~body () with
+  | rewriting ->
+    let expanded = Expansion.expand ~views rewriting in
+    let equivalent =
+      match fds with
+      | [] -> Cq.Containment.equivalent q expanded
+      | fds -> Cq.Chase.equivalent ~fds q expanded
+    in
+    if equivalent then Some rewriting else None
+  | exception Cq.Query.Unsafe _ -> None
+
+(* Depth-first search over candidate combinations that jointly cover all
+   query atoms, smallest combinations first. *)
+(* Iterative deepening on combination size, so the smallest equivalent
+   rewriting is found first. Each round does a DFS over combinations of
+   exactly ≤ [cap] candidates; extra (coverage-redundant) view atoms are only
+   allowed once everything is covered — they can still be required, since
+   additional atoms constrain the expansion toward equivalence. *)
+let search ~views ~fds ~max_atoms (q : Cq.Query.t) cands =
+  let n_atoms = List.length q.body in
+  let full = List.init n_atoms Fun.id in
+  let cands = Array.of_list cands in
+  let n = Array.length cands in
+  let round cap =
+    let rec go start chosen covered size =
+      let covered_all = List.for_all (fun i -> List.mem i covered) full in
+      (if covered_all && size = cap then
+         match try_combination ~views ~fds q (List.rev chosen) with
+         | Some rw -> raise (Found rw)
+         | None -> ());
+      if size < cap then
+        for i = start to n - 1 do
+          let c = cands.(i) in
+          if covered_all || List.exists (fun j -> not (List.mem j covered)) c.covers
+          then
+            go (i + 1) (c :: chosen)
+              (List.sort_uniq Int.compare (covered @ c.covers))
+              (size + 1)
+        done
+    in
+    go 0 [] [] 0
+  in
+  let rec deepen cap =
+    if cap > max_atoms then None
+    else
+      match round cap with
+      | () -> deepen (cap + 1)
+      | exception Found rw -> Some rw
+  in
+  deepen 1
+
+let find ?max_atoms ?(fds = []) ~views q =
+  (* Chase first so FD-merged atoms drive candidate generation; a failed
+     chase means the query is unsatisfiable under the dependencies. *)
+  match (match fds with [] -> Some q | _ -> Cq.Chase.chase ~fds q) with
+  | None -> None
+  | Some q ->
+    let q = Cq.Minimize.minimize q in
+    let default_bound =
+      match fds with
+      | [] -> List.length q.body (* the LMS bound: complete *)
+      | _ ->
+        (* Under FDs a single atom may need several views joined on a key,
+           so the LMS bound no longer applies; allow up to one view per
+           (capped) view count as a practical bound. *)
+        max (List.length q.body) (min 6 (List.length views))
+    in
+    let max_atoms = Option.value ~default:default_bound max_atoms in
+    let cands = dedup_candidates (candidates ~views q) in
+    search ~views ~fds ~max_atoms q cands
+
+let rewritable ?max_atoms ?fds ~views q = Option.is_some (find ?max_atoms ?fds ~views q)
+
+let leq ?fds w1 w2 =
+  (* Views used as rewriting targets need distinct names; rename them apart
+     by position to avoid accidental collisions with base relations. *)
+  let named =
+    List.mapi
+      (fun i (v : Cq.Query.t) ->
+        Cq.Query.make ~name:(Printf.sprintf "View_%d_%s" i v.name) ~head:v.head
+          ~body:v.body ())
+      w2
+  in
+  List.for_all (fun v -> rewritable ?fds ~views:named v) w1

@@ -1,0 +1,63 @@
+(** Equivalent conjunctive rewritings over multi-atom views.
+
+    This generalizes the paper's single-atom procedure
+    ({!Disclosure.Rewrite_single}) to arbitrary conjunctive views — the
+    extension Section 5 leaves as ongoing work. The search follows the
+    bucket/MiniCon discipline from the answering-queries-using-views
+    literature ([21, 26] in the paper):
+
+    + minimize the query [Q] (so [Q] is a core);
+    + for every view [V] and every homomorphism [h] from [V]'s body into
+      [Q]'s body, emit the candidate view atom [V(h(head(V)))] together with
+      the set of [Q]-atoms it covers;
+    + search combinations of at most [max_atoms] candidates that jointly
+      cover every atom of [Q] (justified because [Q] is a core: the
+      equivalence homomorphism restricted to a minimal rewriting's expansion
+      is surjective on [Q]'s atoms);
+    + for each combination, build the rewriting with [Q]'s head, expand it,
+      and test classical equivalence with [Q].
+
+    By the Levy–Mendelzon–Sagiv bound, limiting combinations to
+    [max_atoms = |body(Q)|] (the default) preserves completeness. The
+    procedure decides the equivalent-view-rewriting disclosure order for
+    arbitrary conjunctive queries and views; the test suite cross-validates
+    it against the positionwise single-atom decision procedure. *)
+
+type candidate = {
+  view : Cq.Query.t;
+  atom : Cq.Atom.t;  (** The view atom to place in the rewriting body. *)
+  covers : int list;  (** Indices of the minimized query's atoms it covers. *)
+}
+
+val candidates : views:Cq.Query.t list -> Cq.Query.t -> candidate list
+(** All candidate view applications for a {e minimized} query. Exposed for
+    tests and for the example walkthroughs. *)
+
+val find :
+  ?max_atoms:int ->
+  ?fds:Cq.Fd.t list ->
+  views:Cq.Query.t list ->
+  Cq.Query.t ->
+  Cq.Query.t option
+(** An equivalent rewriting of the query in terms of the views, if one with at
+    most [max_atoms] view atoms exists (default: the minimized query's body
+    size). The result's body refers to view names; [Expansion.expand] of the
+    result is equivalent to the input.
+
+    With [fds], equivalence is taken over databases satisfying the
+    dependencies (the query and every candidate expansion are chased), which
+    admits rewritings that join views on a key — e.g. recovering two
+    attributes of the current user from two one-attribute views. Queries that
+    are unsatisfiable under the FDs yield [None]. The [max_atoms] bound makes
+    the FD-aware search complete only up to that size.
+    @raise Expansion.Invalid_view on an ill-formed view. *)
+
+val rewritable :
+  ?max_atoms:int -> ?fds:Cq.Fd.t list -> views:Cq.Query.t list -> Cq.Query.t -> bool
+
+val leq : ?fds:Cq.Fd.t list -> Cq.Query.t list -> Cq.Query.t list -> bool
+(** The general equivalent-view-rewriting disclosure order on sets of
+    conjunctive views: [leq w1 w2] holds when every view of [w1] has an
+    equivalent rewriting in terms of the views of [w2]. Unlike the single-atom
+    case, the multi-atom universe is not decomposable, so this is genuinely
+    stronger than a per-view membership test. *)

@@ -1,0 +1,32 @@
+(** Random security policies for the Figure 6 policy-checker experiment.
+
+    Each principal's policy has between 1 and [max_partitions] partitions
+    (the paper benchmarks 1 — stateless — and 5 — a fairly complex Chinese
+    Wall); each partition holds up to [max_elements] single-atom security
+    views sampled from the registered view pool (the paper sweeps 5–50). *)
+
+val partitions :
+  Rng.t ->
+  views:Disclosure.Sview.t array ->
+  max_partitions:int ->
+  max_elements:int ->
+  (string * Disclosure.Sview.t list) list
+(** Raw partition definitions; sampling is with replacement (repeats are
+    harmless: masks are OR-ed). *)
+
+val policy :
+  Rng.t ->
+  pipeline:Disclosure.Pipeline.t ->
+  max_partitions:int ->
+  max_elements:int ->
+  Disclosure.Policy.t
+
+val monitors :
+  seed:int ->
+  pipeline:Disclosure.Pipeline.t ->
+  principals:int ->
+  max_partitions:int ->
+  max_elements:int ->
+  Disclosure.Monitor.t array
+(** One reference monitor per principal, each with its own random policy —
+    the population the Figure 6 benchmark iterates over. *)

@@ -1,0 +1,135 @@
+module Term = Cq.Term
+module Atom = Cq.Atom
+module Value = Relational.Value
+
+type target =
+  | Self
+  | Friends
+  | Friends_of_friends
+  | Non_friend
+
+type t = {
+  rng : Rng.t;
+  relations : string array;
+  attrs_by_rel : (string * string array) array;
+}
+
+let create ?(seed = 42) () =
+  let relations = Array.of_list Fbschema.Fb_schema.relation_names in
+  let attrs_by_rel =
+    Array.map
+      (fun rel ->
+        let r = Relational.Schema.find_exn Fbschema.Fb_schema.schema rel in
+        let pool =
+          List.filter (fun a -> a <> "uid" && a <> "is_friend") r.Relational.Schema.attrs
+        in
+        (rel, Array.of_list pool))
+      relations
+  in
+  { rng = Rng.create seed; relations; attrs_by_rel }
+
+let targets = [| Self; Friends; Friends_of_friends; Non_friend |]
+
+let me = Fbschema.Fb_schema.me
+
+(* One subquery: the atoms, the term standing for the target user's uid, and
+   the requested head variables. *)
+let subquery t ~index ~target =
+  let rel_idx = Rng.int t.rng (Array.length t.relations) in
+  let rel = t.relations.(rel_idx) in
+  let _, pool = t.attrs_by_rel.(rel_idx) in
+  let n_attrs = Rng.int_in t.rng 1 (min 4 (Array.length pool)) in
+  let chosen =
+    (* Sample without replacement via a shuffled prefix. *)
+    let arr = Array.copy pool in
+    for i = Array.length arr - 1 downto 1 do
+      let j = Rng.int t.rng (i + 1) in
+      let tmp = arr.(i) in
+      arr.(i) <- arr.(j);
+      arr.(j) <- tmp
+    done;
+    Array.to_list (Array.sub arr 0 n_attrs)
+  in
+  let var name = Term.Var (Printf.sprintf "%s_%d" name index) in
+  let target_term = match target with Self -> Term.Const me | _ -> var "u" in
+  let fresh =
+    let counter = ref 0 in
+    fun () ->
+      incr counter;
+      var (Printf.sprintf "e%d" !counter)
+  in
+  let r = Relational.Schema.find_exn Fbschema.Fb_schema.schema rel in
+  let cell attr =
+    if attr = "uid" then target_term
+    else if attr = "is_friend" then
+      match target with Friends -> Term.Const (Value.Bool true) | _ -> fresh ()
+    else if List.mem attr chosen then var ("a_" ^ attr)
+    else fresh ()
+  in
+  let main_atom = Atom.make rel (List.map cell r.Relational.Schema.attrs) in
+  let friend_atom src dst = Atom.make "Friend" [ src; dst; fresh () ] in
+  let atoms =
+    match target with
+    | Self | Non_friend -> [ main_atom ]
+    | Friends -> [ friend_atom (Term.Const me) target_term; main_atom ]
+    | Friends_of_friends ->
+      [
+        friend_atom (Term.Const me) (var "f");
+        friend_atom (var "f") target_term;
+        main_atom;
+      ]
+  in
+  let head =
+    List.map (fun attr -> var ("a_" ^ attr)) chosen
+    @ (match target with Self | Non_friend -> [] | Friends | Friends_of_friends -> [ target_term ])
+  in
+  (atoms, target_term, head)
+
+let substitute_term ~from ~into term = if Term.equal term from then into else term
+
+let substitute_atom ~from ~into atom =
+  Atom.map_terms (substitute_term ~from ~into) atom
+
+let build_query parts =
+  (* Join all subqueries on the target uid: if any subquery targets the
+     current user the shared term is 'me', otherwise the first subquery's
+     target variable. *)
+  let shared =
+    match List.find_opt (fun (_, tgt, _) -> Term.is_const tgt) parts with
+    | Some (_, tgt, _) -> tgt
+    | None -> (match parts with (_, tgt, _) :: _ -> tgt | [] -> assert false)
+  in
+  let unify (atoms, tgt, head) =
+    if Term.equal tgt shared then (atoms, head)
+    else
+      ( List.map (substitute_atom ~from:tgt ~into:shared) atoms,
+        List.map (substitute_term ~from:tgt ~into:shared) head )
+  in
+  let unified = List.map unify parts in
+  let body = List.concat_map fst unified in
+  let head =
+    List.concat_map snd unified
+    |> List.filter Term.is_var
+    |> List.sort_uniq Term.compare
+  in
+  (* A query whose head vanished entirely (all-constant targets with no
+     requested attributes cannot happen: n_attrs >= 1) is still safe. *)
+  Cq.Query.make ~name:"Q" ~head ~body ()
+
+let generate_targeted t target =
+  let part = subquery t ~index:0 ~target in
+  build_query [ part ]
+
+let generate_simple t =
+  generate_targeted t (Rng.pick t.rng targets)
+
+let generate t ~max_subqueries =
+  if max_subqueries < 1 then invalid_arg "Querygen.generate: max_subqueries < 1";
+  let k = Rng.int_in t.rng 1 max_subqueries in
+  let parts =
+    List.init k (fun index -> subquery t ~index ~target:(Rng.pick t.rng targets))
+  in
+  build_query parts
+
+let generate_many t ~n ~max_subqueries =
+  List.init n (fun _ -> generate t ~max_subqueries)

@@ -1,0 +1,39 @@
+(** Deterministic SplitMix64 pseudo-random generator.
+
+    Used by the workload and policy generators so that every benchmark and
+    test run is reproducible from a seed; OCaml's [Random] is avoided so the
+    streams are stable across compiler versions. *)
+
+type t
+
+val create : int -> t
+(** Seeded generator. *)
+
+val next64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive.
+    @raise Invalid_argument if [hi < lo]. *)
+
+val bool : t -> bool
+
+val pick : t -> 'a array -> 'a
+(** @raise Invalid_argument on an empty array. *)
+
+val pick_list : t -> 'a list -> 'a
+
+val subset : t -> 'a list -> 'a list
+(** Each element kept independently with probability 1/2; order preserved. *)
+
+val nonempty_subset : t -> 'a list -> 'a list
+(** Like {!subset} but guaranteed nonempty (retries, then falls back to a
+    single random element).
+    @raise Invalid_argument on an empty list. *)
+
+val split : t -> t
+(** An independent generator derived from the current state. *)

@@ -1,0 +1,82 @@
+(* An independent, brute-force decision procedure for single-atom equivalent
+   view rewriting, used to cross-validate Disclosure.Rewrite_single.
+
+   By the Levy–Mendelzon–Sagiv bound a single-atom query with an equivalent
+   rewriting over a single-atom view has a single-view-atom rewriting, so it
+   suffices to enumerate all assignments of the view's head variables to
+   terms (query distinguished variables, constants occurring in either atom,
+   or one of k fresh existentials), expand, and test classical conjunctive-
+   query equivalence via the Chandra–Merlin homomorphism criterion. *)
+
+module Tagged = Disclosure.Tagged
+
+let rec assignments choices = function
+  | 0 -> [ [] ]
+  | n ->
+    let rest = assignments choices (n - 1) in
+    List.concat_map (fun c -> List.map (fun r -> c :: r) rest) choices
+
+type candidate_term =
+  | C_dist of string
+  | C_const of Relational.Value.t
+  | C_fresh of int
+
+let rewritable ~(query : Tagged.atom) ~(view : Tagged.atom) =
+  if not (String.equal query.Tagged.pred view.Tagged.pred) then false
+  else if Tagged.atom_arity query <> Tagged.atom_arity view then false
+  else begin
+    let qdist = Tagged.distinguished_vars query in
+    let vdist = Tagged.distinguished_vars view in
+    let consts =
+      (List.filter_map (function Tagged.Const v -> Some v | Tagged.Var _ -> None)
+         query.Tagged.args
+      @ List.filter_map
+          (function Tagged.Const v -> Some v | Tagged.Var _ -> None)
+          view.Tagged.args)
+      |> List.sort_uniq Relational.Value.compare
+    in
+    let choices =
+      List.map (fun x -> C_dist x) qdist
+      @ List.map (fun v -> C_const v) consts
+      @ List.init (List.length vdist) (fun i -> C_fresh i)
+    in
+    (* The reference query, with head in first-occurrence order. *)
+    let query_q = Tagged.atom_to_query query in
+    let expansion theta =
+      let table = List.combine vdist theta in
+      let term = function
+        | Tagged.Const _ as c -> c
+        | Tagged.Var (w, Tagged.Existential) -> Tagged.Var ("bfv_" ^ w, Tagged.Existential)
+        | Tagged.Var (u, Tagged.Distinguished) -> (
+          match List.assoc u table with
+          | C_dist x -> Tagged.Var (x, Tagged.Distinguished)
+          | C_const v -> Tagged.Const v
+          | C_fresh i -> Tagged.Var (Printf.sprintf "bff_%d" i, Tagged.Existential))
+      in
+      { view with Tagged.args = List.map term view.Tagged.args }
+    in
+    let valid theta =
+      let exp = expansion theta in
+      (* Safety: every query head variable must appear in the expansion. *)
+      let exp_dist = Tagged.distinguished_vars exp in
+      List.for_all (fun x -> List.mem x exp_dist) qdist
+      &&
+      (* Same head order as the query's canonical head. *)
+      let exp_q =
+        Cq.Query.make ~name:"E"
+          ~head:(List.map (fun x -> Cq.Term.Var x) qdist)
+          ~body:
+            [
+              Cq.Atom.make exp.Tagged.pred
+                (List.map
+                   (function
+                     | Tagged.Const v -> Cq.Term.Const v
+                     | Tagged.Var (x, _) -> Cq.Term.Var x)
+                   exp.Tagged.args);
+            ]
+          ()
+      in
+      Cq.Containment.equivalent query_q exp_q
+    in
+    List.exists valid (assignments choices (List.length vdist))
+  end

@@ -1,0 +1,161 @@
+(* QCheck generators for random tagged atoms, conjunctive queries, and
+   database instances, used by the property-based tests. *)
+
+module Tagged = Disclosure.Tagged
+module Value = Relational.Value
+module Gen = QCheck.Gen
+
+(* Two fixed predicates so that same-relation pairs are common. *)
+let preds = [ ("R", 3); ("S", 2) ]
+
+let var_names = [| "x"; "y"; "z"; "w" |]
+
+let gen_value = Gen.map (fun b -> Value.Int (if b then 1 else 2)) Gen.bool
+
+(* A well-formed tagged atom: kinds are chosen per variable name first, so a
+   variable never occurs with two kinds. *)
+let gen_tagged_atom : Tagged.atom Gen.t =
+  let open Gen in
+  let* pred, arity = oneofl preds in
+  let* kinds = array_repeat (Array.length var_names) bool in
+  let gen_term =
+    frequency
+      [
+        (2, map (fun v -> Tagged.Const v) gen_value);
+        ( 8,
+          map
+            (fun i ->
+              Tagged.Var
+                ( var_names.(i),
+                  if kinds.(i) then Tagged.Distinguished else Tagged.Existential ))
+            (int_bound (Array.length var_names - 1)) );
+      ]
+  in
+  let* args = list_repeat arity gen_term in
+  return { Tagged.pred; args }
+
+let arbitrary_tagged_atom =
+  QCheck.make ~print:Tagged.atom_to_string gen_tagged_atom
+
+(* A random conjunctive query over R/3 and S/2 with a random head. *)
+let gen_query : Cq.Query.t Gen.t =
+  let open Gen in
+  let* n_atoms = int_range 1 3 in
+  let gen_term =
+    frequency
+      [
+        (2, map (fun v -> Cq.Term.Const v) gen_value);
+        ( 8,
+          map (fun i -> Cq.Term.Var var_names.(i)) (int_bound (Array.length var_names - 1))
+        );
+      ]
+  in
+  let gen_atom =
+    let* pred, arity = oneofl preds in
+    let* args = list_repeat arity gen_term in
+    return (Cq.Atom.make pred args)
+  in
+  let* body = list_repeat n_atoms gen_atom in
+  let body_vars = List.concat_map Cq.Atom.vars body in
+  let distinct = List.sort_uniq String.compare body_vars in
+  let* head_selector = list_repeat (List.length distinct) bool in
+  let head =
+    List.filteri (fun i _ -> List.nth head_selector i) distinct
+    |> List.map (fun v -> Cq.Term.Var v)
+  in
+  return (Cq.Query.make ~name:"Q" ~head ~body ())
+
+let arbitrary_query = QCheck.make ~print:Cq.Query.to_string gen_query
+
+(* A small random database over R/3 and S/2 with values 0..2. *)
+let props_schema =
+  Relational.Schema.of_list
+    [ { name = "R"; attrs = [ "a"; "b"; "c" ] }; { name = "S"; attrs = [ "d"; "e" ] } ]
+
+let gen_database : Relational.Database.t Gen.t =
+  let open Gen in
+  let gen_cell = map (fun i -> Value.Int i) (int_bound 2) in
+  let gen_rel arity max_rows =
+    let* n = int_bound max_rows in
+    list_repeat n (map Array.of_list (list_repeat arity gen_cell))
+  in
+  let* r_rows = gen_rel 3 6 in
+  let* s_rows = gen_rel 2 6 in
+  let db = Relational.Database.create props_schema in
+  let db = List.fold_left (fun db t -> Relational.Database.insert db "R" t) db r_rows in
+  let db = List.fold_left (fun db t -> Relational.Database.insert db "S" t) db s_rows in
+  return db
+
+let arbitrary_database =
+  QCheck.make
+    ~print:(fun db -> Format.asprintf "%a" Relational.Database.pp db)
+    gen_database
+
+let arbitrary_atom_pair =
+  QCheck.make
+    ~print:(fun (a, b) ->
+      Printf.sprintf "(%s, %s)" (Tagged.atom_to_string a) (Tagged.atom_to_string b))
+    Gen.(pair gen_tagged_atom gen_tagged_atom)
+
+let arbitrary_atom_triple =
+  QCheck.make
+    ~print:(fun (a, b, c) ->
+      Printf.sprintf "(%s, %s, %s)" (Tagged.atom_to_string a) (Tagged.atom_to_string b)
+        (Tagged.atom_to_string c))
+    Gen.(triple gen_tagged_atom gen_tagged_atom gen_tagged_atom)
+
+let arbitrary_query_db =
+  QCheck.make
+    ~print:(fun (q, _) -> Cq.Query.to_string q)
+    Gen.(pair gen_query gen_database)
+
+let arbitrary_atom_pair_db =
+  QCheck.make
+    ~print:(fun ((a, b), _) ->
+      Printf.sprintf "(%s, %s)" (Tagged.atom_to_string a) (Tagged.atom_to_string b))
+    Gen.(pair (pair gen_tagged_atom gen_tagged_atom) gen_database)
+
+(* Key dependencies for the property schema: the first column of each
+   relation is its key. *)
+let props_fds =
+  [
+    Cq.Fd.key props_schema ~rel:"R" ~key_positions:[ 0 ];
+    Cq.Fd.key props_schema ~rel:"S" ~key_positions:[ 0 ];
+  ]
+
+(* A database satisfying [props_fds]: rows are deduplicated by key. *)
+let gen_compliant_database : Relational.Database.t Gen.t =
+  let open Gen in
+  let enforce_key rel =
+    let seen = Hashtbl.create 8 in
+    Relational.Relation.fold
+      (fun tup acc ->
+        let key = Relational.Tuple.get tup 0 in
+        if Hashtbl.mem seen key then acc
+        else begin
+          Hashtbl.add seen key ();
+          Relational.Relation.add tup acc
+        end)
+      rel
+      (Relational.Relation.empty (Relational.Relation.arity rel))
+  in
+  let* db = gen_database in
+  let db =
+    List.fold_left
+      (fun db rel ->
+        Relational.Database.set_relation db rel
+          (enforce_key (Relational.Database.relation db rel)))
+      db [ "R"; "S" ]
+  in
+  return db
+
+let arbitrary_query_compliant_db =
+  QCheck.make
+    ~print:(fun (q, _) -> Cq.Query.to_string q)
+    Gen.(pair gen_query gen_compliant_database)
+
+let arbitrary_query_pair_compliant_db =
+  QCheck.make
+    ~print:(fun ((a, b), _) ->
+      Printf.sprintf "(%s, %s)" (Cq.Query.to_string a) (Cq.Query.to_string b))
+    Gen.(pair (pair gen_query gen_query) gen_compliant_database)

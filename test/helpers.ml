@@ -1,0 +1,76 @@
+(* Shared helpers for the test suite. *)
+
+module Value = Relational.Value
+module Tagged = Disclosure.Tagged
+
+let pq s = Cq.Parser.query_exn s
+
+let tatom s =
+  match Tagged.atom_of_query (pq s) with
+  | Ok a -> a
+  | Error e -> failwith e
+
+let sview s = Disclosure.Sview.of_string s
+
+let check_bool = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let check_string = Alcotest.(check string)
+
+let query_testable = Alcotest.testable Cq.Query.pp Cq.Query.equal
+
+let query_equiv_testable =
+  Alcotest.testable Cq.Query.pp Cq.Containment.equivalent
+
+let tagged_atom_testable = Alcotest.testable Tagged.pp_atom Tagged.atom_equal
+
+let tagged_iso_testable = Alcotest.testable Tagged.pp_atom Tagged.iso_equivalent
+
+let value_testable = Alcotest.testable Value.pp Value.equal
+
+let relation_testable =
+  Alcotest.testable Relational.Relation.pp Relational.Relation.equal
+
+let tuple_testable = Alcotest.testable Relational.Tuple.pp Relational.Tuple.equal
+
+(* The Figure 1 dataset. *)
+let fig1_schema =
+  Relational.Schema.of_list
+    [
+      { name = "Meetings"; attrs = [ "time"; "person" ] };
+      { name = "Contacts"; attrs = [ "person"; "email"; "position" ] };
+    ]
+
+let fig1_db =
+  let db = Relational.Database.create fig1_schema in
+  let db =
+    Relational.Database.insert_rows db "Meetings"
+      [ [ "9"; "Jim" ]; [ "10"; "Cathy" ]; [ "12"; "Bob" ] ]
+  in
+  Relational.Database.insert_rows db "Contacts"
+    [
+      [ "Jim"; "jim@e.com"; "Manager" ];
+      [ "Cathy"; "cathy@e.com"; "Intern" ];
+      [ "Bob"; "bob@e.com"; "Consultant" ];
+    ]
+
+(* The Figure 3 universe over Meetings. *)
+let v1 = tatom "V1(x, y) :- Meetings(x, y)"
+let v2 = tatom "V2(x) :- Meetings(x, y)"
+let v4 = tatom "V4(y) :- Meetings(x, y)"
+let v5 = tatom "V5() :- Meetings(x, y)"
+
+let fig3_universe = [ v1; v2; v4; v5 ]
+
+(* Figure 4: all relational projections of the ternary Contacts relation. *)
+let v3 = tatom "V3(x, y, z) :- Contacts(x, y, z)"
+let v6 = tatom "V6(x, y) :- Contacts(x, y, z)"
+let v7 = tatom "V7(x, z) :- Contacts(x, y, z)"
+let v8 = tatom "V8(y, z) :- Contacts(x, y, z)"
+let v9 = tatom "V9(x) :- Contacts(x, y, z)"
+let v10 = tatom "V10(y) :- Contacts(x, y, z)"
+let v11 = tatom "V11(z) :- Contacts(x, y, z)"
+let v12 = tatom "V12() :- Contacts(x, y, z)"
+
+let fig4_universe = [ v3; v6; v7; v8; v9; v10; v11; v12 ]

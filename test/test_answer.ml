@@ -1,0 +1,98 @@
+(* Tests for constructive label sufficiency (Answer.via_views) and policy
+   analysis (subsumption / redundancy / overlap). *)
+
+module Answer = Disclosure.Answer
+module Pipeline = Disclosure.Pipeline
+module Policy = Disclosure.Policy
+module Sview = Disclosure.Sview
+module Rel = Relational.Relation
+
+let pq = Helpers.pq
+
+let v1 = Helpers.sview "V1(x, y) :- Meetings(x, y)"
+let v2 = Helpers.sview "V2(x) :- Meetings(x, y)"
+let v3 = Helpers.sview "V3(x, y, z) :- Contacts(x, y, z)"
+let v6 = Helpers.sview "V6(x, y) :- Contacts(x, y, z)"
+
+let pipeline = Pipeline.create [ v1; v2; v3; v6 ]
+
+let check_reconstruction s =
+  let q = pq s in
+  match Answer.via_views pipeline Helpers.fig1_db q with
+  | None -> Alcotest.failf "%s should be answerable" s
+  | Some via ->
+    Alcotest.check Helpers.relation_testable s (Cq.Eval.eval Helpers.fig1_db q) via
+
+let test_via_views_single_atom () =
+  check_reconstruction "Q(x) :- Meetings(x, y)";
+  check_reconstruction "Q(x, y) :- Meetings(x, y)";
+  check_reconstruction "Q(x) :- Meetings(x, 'Cathy')";
+  check_reconstruction "Q() :- Meetings(x, y)"
+
+let test_via_views_join () =
+  (* The Figure 1 join query, answered through V1 and V3 only. *)
+  check_reconstruction "Q2(x) :- Meetings(x, y), Contacts(y, w, 'Intern')";
+  check_reconstruction "Q(x, p, e) :- Meetings(x, p), Contacts(p, e, r)";
+  (* Self-join with repeated relation. *)
+  check_reconstruction "Q(x, y) :- Meetings(x, p), Meetings(y, p)"
+
+let test_via_views_top () =
+  let weak = Pipeline.create [ v2 ] in
+  Helpers.check_bool "unanswerable is None" true
+    (Answer.via_views weak Helpers.fig1_db (pq "Q(x, y) :- Meetings(x, y)") = None);
+  Helpers.check_bool "unknown relation is None" true
+    (Answer.via_views pipeline Helpers.fig1_db (pq "Q(x) :- Unknown(x)") = None)
+
+let test_via_views_constants_in_head () =
+  check_reconstruction "Q(x, 'tag') :- Meetings(x, 'Cathy')"
+
+(* --- Policy analysis -------------------------------------------------- *)
+
+let registry = Pipeline.registry pipeline
+
+let test_subsumption () =
+  let policy =
+    Policy.make registry
+      [
+        ("big", [ v1; v2; v3 ]);
+        ("small", [ v2 ]);
+        ("other", [ v6 ]);
+      ]
+  in
+  let parts = Policy.partitions policy in
+  Helpers.check_bool "big subsumes small" true (Policy.subsumes parts.(0) parts.(1));
+  Helpers.check_bool "small does not subsume big" false (Policy.subsumes parts.(1) parts.(0));
+  Helpers.check_bool "big does not subsume other" false (Policy.subsumes parts.(0) parts.(2));
+  Alcotest.check
+    Alcotest.(list string)
+    "small is redundant" [ "small" ] (Policy.redundant_partitions policy)
+
+let test_redundancy_equal_partitions () =
+  let policy = Policy.make registry [ ("a", [ v2 ]); ("b", [ v2 ]) ] in
+  Alcotest.check
+    Alcotest.(list string)
+    "later duplicate reported" [ "b" ] (Policy.redundant_partitions policy)
+
+let test_no_redundancy () =
+  let policy = Policy.make registry [ ("m", [ v1 ]); ("c", [ v3 ]) ] in
+  Alcotest.check Alcotest.(list string) "none" [] (Policy.redundant_partitions policy)
+
+let test_overlap () =
+  let policy = Policy.make registry [ ("a", [ v1; v2; v3 ]); ("b", [ v2; v6 ]) ] in
+  let parts = Policy.partitions policy in
+  Alcotest.check
+    Alcotest.(list string)
+    "common views" [ "V2" ]
+    (List.map (fun v -> v.Sview.name) (Policy.overlap registry parts.(0) parts.(1)))
+
+let suite =
+  [
+    Alcotest.test_case "via_views single atoms" `Quick test_via_views_single_atom;
+    Alcotest.test_case "via_views joins" `Quick test_via_views_join;
+    Alcotest.test_case "via_views top" `Quick test_via_views_top;
+    Alcotest.test_case "via_views constants in head" `Quick test_via_views_constants_in_head;
+    Alcotest.test_case "partition subsumption" `Quick test_subsumption;
+    Alcotest.test_case "equal partitions" `Quick test_redundancy_equal_partitions;
+    Alcotest.test_case "no redundancy" `Quick test_no_redundancy;
+    Alcotest.test_case "partition overlap" `Quick test_overlap;
+  ]

@@ -1,0 +1,113 @@
+(* Tests for the labeling auditor and the Facebook case study (Section 7.1,
+   Table 2). *)
+
+module Audit = Disclosure.Audit
+module Perms = Fbschema.Fb_permissions
+module Pipeline = Disclosure.Pipeline
+module Sview = Disclosure.Sview
+
+let pq = Helpers.pq
+
+let test_requirement_equal () =
+  Helpers.check_bool "one_of order-insensitive" true
+    (Audit.requirement_equal (Audit.One_of [ "a"; "b" ]) (Audit.One_of [ "b"; "a" ]));
+  Helpers.check_bool "none vs any" false
+    (Audit.requirement_equal Audit.None_required Audit.Any_nonempty);
+  Helpers.check_bool "empty one_of is none" true
+    (Audit.requirement_equal (Audit.One_of []) Audit.None_required);
+  Helpers.check_bool "restricted text" false
+    (Audit.requirement_equal (Audit.Restricted "a") (Audit.Restricted "b"))
+
+let test_table2_rediscovered () =
+  (* The audit must find exactly the six Table 2 inconsistencies, in order. *)
+  let discrepancies = Audit.compare_labelings ~left:Perms.fql ~right:Perms.graph in
+  Alcotest.check
+    Alcotest.(list string)
+    "Table 2 subjects"
+    [ "pic"; "timezone"; "devices"; "relationship_status"; "quotes"; "profile_url" ]
+    (List.map (fun d -> d.Audit.subject) discrepancies)
+
+let test_42_views_audited () =
+  Helpers.check_int "42 subjects" 42 (List.length Perms.subjects);
+  Helpers.check_int "42 shared" 42
+    (List.length (Audit.shared_subjects Perms.fql Perms.graph));
+  Helpers.check_int "36 consistent" 36
+    (42 - List.length (Audit.compare_labelings ~left:Perms.fql ~right:Perms.graph))
+
+let test_correct_labeling_column () =
+  (* The ground truth agrees with the winning API for each Table 2 row. *)
+  List.iter
+    (fun (subject, winner) ->
+      let expected =
+        match winner with
+        | Perms.Fql_was_right -> List.assoc subject Perms.fql
+        | Perms.Graph_was_right -> List.assoc subject Perms.graph
+      in
+      Helpers.check_bool subject true
+        (Audit.requirement_equal expected (Perms.correct_requirement subject)))
+    Perms.table2;
+  (* And with the documented value on a consistent subject. *)
+  Helpers.check_bool "birthday consistent" true
+    (Audit.requirement_equal
+       (Perms.correct_requirement "birthday")
+       (List.assoc "birthday" Perms.graph))
+
+let test_graph_names () =
+  Helpers.check_string "pic alias" "picture" (Perms.graph_name "pic");
+  Helpers.check_string "profile_url alias" "link" (Perms.graph_name "profile_url");
+  Helpers.check_string "identity otherwise" "birthday" (Perms.graph_name "birthday")
+
+let fig1_views =
+  [
+    Helpers.sview "V1(x, y) :- Meetings(x, y)";
+    Helpers.sview "V2(x) :- Meetings(x, y)";
+    Helpers.sview "V3(x, y, z) :- Contacts(x, y, z)";
+  ]
+
+let fig1_pipeline = Pipeline.create fig1_views
+
+let test_overprivileged () =
+  (* The app only ever asks for time slots; requesting V1 and V3 on top of V2
+     is overprivileged. *)
+  let queries = [ pq "Q(x) :- Meetings(x, y)"; pq "Q() :- Meetings(x, y)" ] in
+  let requested = fig1_views in
+  let extra = Audit.overprivileged fig1_pipeline ~requested ~queries in
+  (* Each view is individually removable: V1 and V2 are interchangeable for
+     these queries and V3 is never used at all. *)
+  Alcotest.check
+    Alcotest.(list string)
+    "all three individually unnecessary" [ "V1"; "V2"; "V3" ]
+    (List.map (fun v -> v.Sview.name) extra)
+
+let test_overprivileged_none () =
+  let queries = [ pq "Q(x, y) :- Meetings(x, y), Contacts(x, w, z)" ] in
+  let requested = fig1_views in
+  let extra = Audit.overprivileged fig1_pipeline ~requested ~queries in
+  (* V1 and V3 are both needed for the join; V2 adds nothing. *)
+  Alcotest.check
+    Alcotest.(list string)
+    "only V2 unnecessary" [ "V2" ]
+    (List.map (fun v -> v.Sview.name) extra)
+
+let test_required_views () =
+  let queries = [ pq "Q(x) :- Meetings(x, y)"; pq "Q(p) :- Contacts(p, e, r)" ] in
+  let required = Audit.required_views fig1_pipeline queries in
+  Helpers.check_int "two views suffice" 2 (List.length required);
+  let covered =
+    Disclosure.Policy.allowed
+      (Disclosure.Policy.stateless (Pipeline.registry fig1_pipeline) required)
+      (Pipeline.label fig1_pipeline (List.hd queries))
+  in
+  Helpers.check_bool "required views cover" true covered
+
+let suite =
+  [
+    Alcotest.test_case "requirement equality" `Quick test_requirement_equal;
+    Alcotest.test_case "Table 2 rediscovered" `Quick test_table2_rediscovered;
+    Alcotest.test_case "42 views audited" `Quick test_42_views_audited;
+    Alcotest.test_case "correct labeling column" `Quick test_correct_labeling_column;
+    Alcotest.test_case "Graph API aliases" `Quick test_graph_names;
+    Alcotest.test_case "overprivilege detection" `Quick test_overprivileged;
+    Alcotest.test_case "overprivilege on joins" `Quick test_overprivileged_none;
+    Alcotest.test_case "required views" `Quick test_required_views;
+  ]

@@ -1,0 +1,169 @@
+(* Tests for functional dependencies, the chase, and FD-aware rewriting. *)
+
+module Fd = Cq.Fd
+module Chase = Cq.Chase
+module Query = Cq.Query
+module Rewrite = Rewriting.Rewrite
+module General = Disclosure.General
+module Relation = Relational.Relation
+
+let pq = Helpers.pq
+
+(* P(uid, birthday, music) with key uid. *)
+let p_schema =
+  Relational.Schema.of_list [ { name = "P"; attrs = [ "uid"; "birthday"; "music" ] } ]
+
+let key_p = Fd.key p_schema ~rel:"P" ~key_positions:[ 0 ]
+
+let chase_ok fds q =
+  match Chase.chase ~fds q with
+  | Some c -> c
+  | None -> Alcotest.fail "unexpected unsatisfiable chase"
+
+let test_fd_make () =
+  Helpers.check_bool "key fd shape" true (key_p.Fd.lhs = [ 0 ] && key_p.Fd.rhs = [ 1; 2 ]);
+  Alcotest.check_raises "empty rhs" (Fd.Invalid "empty right-hand side") (fun () ->
+      ignore (Fd.make ~rel:"P" ~lhs:[ 0 ] ~rhs:[]));
+  Helpers.check_bool "negative positions rejected" true
+    (try
+       ignore (Fd.make ~rel:"P" ~lhs:[ -1 ] ~rhs:[ 1 ]);
+       false
+     with Fd.Invalid _ -> true)
+
+let test_fd_holds () =
+  let ok = Relation.of_rows 3 [ [ "u1"; "b1"; "m1" ]; [ "u2"; "b2"; "m2" ] ] in
+  let bad = Relation.of_rows 3 [ [ "u1"; "b1"; "m1" ]; [ "u1"; "b2"; "m1" ] ] in
+  Helpers.check_bool "satisfied" true (Fd.holds key_p ok);
+  Helpers.check_bool "violated" false (Fd.holds key_p bad)
+
+let test_chase_merges_atoms () =
+  let q = pq "Q(b, m) :- P('me', b, x), P('me', y, m)" in
+  let c = chase_ok [ key_p ] q in
+  Helpers.check_int "atoms merged" 1 (List.length c.Query.body);
+  Helpers.check_bool "equivalent to the single-atom form" true
+    (Cq.Containment.equivalent c (pq "Q(b, m) :- P('me', b, m)"))
+
+let test_chase_transitive () =
+  (* Merging can cascade through shared keys. *)
+  let q = pq "Q(m) :- P(u, b1, x), P(u, b2, m), P(u, b1, m2)" in
+  let c = chase_ok [ key_p ] q in
+  Helpers.check_int "all three merge" 1 (List.length c.Query.body)
+
+let test_chase_unsatisfiable () =
+  let q = pq "Q() :- P('me', 'a', x), P('me', 'b', y)" in
+  Helpers.check_bool "conflicting constants" true (Chase.chase ~fds:[ key_p ] q = None)
+
+let test_chase_no_fds_identity () =
+  let q = pq "Q(b, m) :- P('me', b, x), P('me', y, m)" in
+  let c = chase_ok [] q in
+  Helpers.check_int "untouched" 2 (List.length c.Query.body)
+
+let test_containment_under_fds () =
+  let two_atoms = pq "Q(b, m) :- P('me', b, x), P('me', y, m)" in
+  let one_atom = pq "Q(b, m) :- P('me', b, m)" in
+  (* Plainly, the two-atom query is weaker; under the key they coincide. *)
+  Helpers.check_bool "not equivalent without FD" false
+    (Cq.Containment.equivalent two_atoms one_atom);
+  Helpers.check_bool "equivalent under the key" true
+    (Chase.equivalent ~fds:[ key_p ] two_atoms one_atom);
+  (* Unsatisfiable queries are contained in everything. *)
+  Helpers.check_bool "unsat contained" true
+    (Chase.contained_in ~fds:[ key_p ]
+       (pq "Q() :- P('me', 'a', x), P('me', 'b', y)")
+       (pq "Q() :- Nowhere(z)"))
+
+let test_containment_fd_semantics () =
+  (* On an FD-compliant instance, queries equivalent under the FD have equal
+     answers. *)
+  let db =
+    Relational.Database.create p_schema
+    |> fun db ->
+    Relational.Database.insert_rows db "P"
+      [ [ "me"; "b0"; "m0" ]; [ "u1"; "b1"; "m1" ] ]
+  in
+  Helpers.check_bool "instance satisfies the key" true
+    (Fd.holds key_p (Relational.Database.relation db "P"));
+  let two_atoms = pq "Q(b, m) :- P('me', b, x), P('me', y, m)" in
+  let one_atom = pq "Q(b, m) :- P('me', b, m)" in
+  Alcotest.check Helpers.relation_testable "same answers"
+    (Cq.Eval.eval db one_atom) (Cq.Eval.eval db two_atoms)
+
+(* --- FD-aware rewriting ------------------------------------------------ *)
+
+let own_birthday = pq "OwnBirthday(b) :- P('me', b, m)"
+let own_music = pq "OwnMusic(m) :- P('me', b, m)"
+
+let test_rewriting_joins_on_key () =
+  let q = pq "Q(b, m) :- P('me', b, m)" in
+  (* Without the key FD, two one-attribute views cannot rebuild the pair. *)
+  Helpers.check_bool "not rewritable without FD" false
+    (Rewrite.rewritable ~views:[ own_birthday; own_music ] q);
+  (* With the key, the join on uid is lossless. *)
+  (match Rewrite.find ~fds:[ key_p ] ~views:[ own_birthday; own_music ] q with
+  | None -> Alcotest.fail "expected an FD-aware rewriting"
+  | Some rw ->
+    Helpers.check_int "two view atoms" 2 (List.length rw.Query.body));
+  (* But a single view still does not suffice. *)
+  Helpers.check_bool "one view insufficient" false
+    (Rewrite.rewritable ~fds:[ key_p ] ~views:[ own_birthday ] q)
+
+let test_general_with_fds () =
+  let sys =
+    General.create ~fds:[ key_p ]
+      [ ("OwnBirthday", own_birthday); ("OwnMusic", own_music) ]
+  in
+  let q = pq "Q(b, m) :- P('me', b, m)" in
+  Helpers.check_bool "cross-view projection answerable" true (General.answerable sys q);
+  (* Neither view alone answers it: the ℓ⁺ analogue is empty even though the
+     combination works — non-decomposability in action. *)
+  Alcotest.check Alcotest.(list string) "plus empty" [] (General.plus sys q);
+  (* Without FDs the same system refuses. *)
+  let sys_nofd =
+    General.create [ ("OwnBirthday", own_birthday); ("OwnMusic", own_music) ]
+  in
+  Helpers.check_bool "refused without FD" false (General.answerable sys_nofd q)
+
+let test_fd_rewriting_semantics () =
+  (* Execute the FD-aware rewriting over materialized views on a compliant
+     instance and compare with direct evaluation. *)
+  let db =
+    Relational.Database.create p_schema
+    |> fun db ->
+    Relational.Database.insert_rows db "P"
+      [ [ "me"; "b0"; "m0" ]; [ "u1"; "b1"; "m1" ]; [ "u2"; "b2"; "m2" ] ]
+  in
+  let q = pq "Q(b, m) :- P('me', b, m)" in
+  match Rewrite.find ~fds:[ key_p ] ~views:[ own_birthday; own_music ] q with
+  | None -> Alcotest.fail "expected a rewriting"
+  | Some rw ->
+    let schema' =
+      Relational.Schema.of_list
+        [
+          { name = "P"; attrs = [ "uid"; "birthday"; "music" ] };
+          { name = "OwnBirthday"; attrs = [ "b" ] };
+          { name = "OwnMusic"; attrs = [ "m" ] };
+        ]
+    in
+    let db' = Relational.Database.create schema' in
+    let db' = Relational.Database.set_relation db' "P" (Relational.Database.relation db "P") in
+    let db' =
+      Relational.Database.set_relation db' "OwnBirthday" (Cq.Eval.eval db own_birthday)
+    in
+    let db' = Relational.Database.set_relation db' "OwnMusic" (Cq.Eval.eval db own_music) in
+    Alcotest.check Helpers.relation_testable "rewriting faithful on compliant data"
+      (Cq.Eval.eval db q) (Cq.Eval.eval db' rw)
+
+let suite =
+  [
+    Alcotest.test_case "fd construction" `Quick test_fd_make;
+    Alcotest.test_case "fd holds" `Quick test_fd_holds;
+    Alcotest.test_case "chase merges atoms" `Quick test_chase_merges_atoms;
+    Alcotest.test_case "chase cascades" `Quick test_chase_transitive;
+    Alcotest.test_case "chase unsatisfiable" `Quick test_chase_unsatisfiable;
+    Alcotest.test_case "chase without fds" `Quick test_chase_no_fds_identity;
+    Alcotest.test_case "containment under fds" `Quick test_containment_under_fds;
+    Alcotest.test_case "fd containment semantics" `Quick test_containment_fd_semantics;
+    Alcotest.test_case "rewriting joins on key" `Quick test_rewriting_joins_on_key;
+    Alcotest.test_case "General with fds" `Quick test_general_with_fds;
+    Alcotest.test_case "fd rewriting semantics" `Quick test_fd_rewriting_semantics;
+  ]

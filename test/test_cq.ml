@@ -1,0 +1,128 @@
+(* Tests for the conjunctive-query substrate: terms, atoms, queries,
+   substitutions, parsing and printing. *)
+
+module Term = Cq.Term
+module Atom = Cq.Atom
+module Query = Cq.Query
+module Subst = Cq.Subst
+module Parser = Cq.Parser
+module Value = Relational.Value
+
+let pq = Helpers.pq
+
+let test_term () =
+  Helpers.check_bool "var is var" true (Term.is_var (Term.Var "x"));
+  Helpers.check_bool "const not var" false (Term.is_var (Term.Const (Value.Int 1)));
+  Helpers.check_bool "var name" true (Term.var_name (Term.Var "x") = Some "x");
+  Helpers.check_string "const prints quoted" "'Jim'"
+    (Term.to_string (Term.Const (Value.Str "Jim")));
+  Helpers.check_string "var prints bare" "x" (Term.to_string (Term.Var "x"))
+
+let test_atom () =
+  let a = Parser.atom_exn "R(x, y, 'c', x)" in
+  Helpers.check_int "arity" 4 (Atom.arity a);
+  Alcotest.check Alcotest.(list string) "vars deduped, ordered" [ "x"; "y" ] (Atom.vars a);
+  Helpers.check_int "constants" 1 (List.length (Atom.constants a));
+  let renamed = Atom.rename_vars (fun v -> v ^ "1") a in
+  Alcotest.check Alcotest.(list string) "renamed" [ "x1"; "y1" ] (Atom.vars renamed)
+
+let test_query_accessors () =
+  let q = pq "Q(x, z) :- R(x, y), S(y, z, 'k')" in
+  Alcotest.check Alcotest.(list string) "head vars" [ "x"; "z" ] (Query.head_vars q);
+  Alcotest.check Alcotest.(list string) "body vars" [ "x"; "y"; "z" ] (Query.body_vars q);
+  Alcotest.check Alcotest.(list string) "existential" [ "y" ] (Query.existential_vars q);
+  Alcotest.check Alcotest.(list string) "relations" [ "R"; "S" ] (Query.relations q);
+  Helpers.check_bool "not boolean" false (Query.is_boolean q);
+  Helpers.check_bool "boolean" true (Query.is_boolean (pq "B() :- R(x, y)"));
+  Helpers.check_bool "single atom" true (Query.is_single_atom (pq "B() :- R(x, y)"))
+
+let test_query_safety () =
+  Alcotest.check_raises "unsafe head var"
+    (Query.Unsafe "head variable z does not appear in the body") (fun () ->
+      ignore (Query.make ~head:[ Term.Var "z" ] ~body:[ Parser.atom_exn "R(x)" ] ()));
+  Alcotest.check_raises "empty body" (Query.Unsafe "query body is empty") (fun () ->
+      ignore (Query.make ~head:[] ~body:[] ()))
+
+let test_query_freshen () =
+  let q = pq "Q(x) :- R(x, y)" in
+  let q' = Query.freshen ~suffix:"_9" q in
+  Alcotest.check Alcotest.(list string) "head renamed" [ "x_9" ] (Query.head_vars q');
+  Alcotest.check Alcotest.(list string) "body renamed" [ "x_9"; "y_9" ] (Query.body_vars q');
+  Helpers.check_bool "still equivalent" true (Cq.Containment.equivalent q q')
+
+let test_query_schema_check () =
+  let q = pq "Q(x) :- Meetings(x, y)" in
+  Helpers.check_bool "ok" true (Query.check_schema Helpers.fig1_schema q = Ok ());
+  let bad_arity = pq "Q(x) :- Meetings(x, y, z)" in
+  Helpers.check_bool "arity error" true
+    (Result.is_error (Query.check_schema Helpers.fig1_schema bad_arity));
+  let unknown = pq "Q(x) :- Nope(x)" in
+  Helpers.check_bool "unknown relation" true
+    (Result.is_error (Query.check_schema Helpers.fig1_schema unknown))
+
+let test_subst () =
+  let s = Subst.of_list [ ("x", Term.Const (Value.Int 1)); ("y", Term.Var "z") ] in
+  Alcotest.check Alcotest.(option string) "apply to var" (Some "z")
+    (Term.var_name (Subst.apply_term s (Term.Var "y")));
+  Helpers.check_bool "unbound unchanged" true
+    (Term.equal (Subst.apply_term s (Term.Var "w")) (Term.Var "w"));
+  Helpers.check_bool "bind conflict" true (Subst.bind "x" (Term.Var "other") s = None);
+  Helpers.check_bool "bind same ok" true
+    (Subst.bind "x" (Term.Const (Value.Int 1)) s <> None);
+  let a = Parser.atom_exn "R(x, y, w)" in
+  Helpers.check_string "apply atom" "R(1, z, w)" (Atom.to_string (Subst.apply_atom s a))
+
+let test_parser_roundtrip () =
+  let cases =
+    [
+      "Q(x) :- Meetings(x, 'Cathy')";
+      "Q2(x) :- Meetings(x, y), Contacts(y, w, 'Intern')";
+      "B() :- R(x, y)";
+      "Q(x, 9) :- R(x, 9, true, -3)";
+    ]
+  in
+  List.iter
+    (fun s ->
+      let q = pq s in
+      Alcotest.check Helpers.query_testable "pp/parse roundtrip" q
+        (pq (Query.to_string q)))
+    cases
+
+let test_parser_errors () =
+  let fails s = Helpers.check_bool s true (Result.is_error (Parser.query s)) in
+  fails "q(x) :- R(x)";
+  (* lowercase head *)
+  fails "Q(x) :- r(x)";
+  (* lowercase relation *)
+  fails "Q(x) :- R(x";
+  (* unbalanced *)
+  fails "Q(x) :-";
+  (* no body *)
+  fails "Q(z) :- R(x)";
+  (* unsafe *)
+  fails "Q(x) :- R('unterminated)";
+  fails "Q(x) :- R(x) trailing"
+
+let test_parser_program () =
+  let program = "# the two queries of Figure 1\nQ1(x) :- Meetings(x, 'Cathy')\n\nQ2(x) :- Meetings(x, y), Contacts(y, w, 'Intern')\n" in
+  match Parser.queries program with
+  | Error e -> Alcotest.fail e
+  | Ok qs -> Helpers.check_int "two queries parsed" 2 (List.length qs)
+
+let test_parser_turnstile_variants () =
+  Alcotest.check Helpers.query_testable "<- accepted" (pq "Q(x) :- R(x)") (pq "Q(x) <- R(x)")
+
+let suite =
+  [
+    Alcotest.test_case "terms" `Quick test_term;
+    Alcotest.test_case "atoms" `Quick test_atom;
+    Alcotest.test_case "query accessors" `Quick test_query_accessors;
+    Alcotest.test_case "query safety" `Quick test_query_safety;
+    Alcotest.test_case "query freshen" `Quick test_query_freshen;
+    Alcotest.test_case "query schema check" `Quick test_query_schema_check;
+    Alcotest.test_case "substitutions" `Quick test_subst;
+    Alcotest.test_case "parser roundtrip" `Quick test_parser_roundtrip;
+    Alcotest.test_case "parser errors" `Quick test_parser_errors;
+    Alcotest.test_case "parser program" `Quick test_parser_program;
+    Alcotest.test_case "parser turnstile variants" `Quick test_parser_turnstile_variants;
+  ]

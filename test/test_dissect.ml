@@ -1,0 +1,82 @@
+(* Tests for the Dissect algorithm (Section 5.2, Example 5.4). *)
+
+module Dissect = Disclosure.Dissect
+module Tagged = Disclosure.Tagged
+
+let pq = Helpers.pq
+let tatom = Helpers.tatom
+
+let dissect s = Dissect.dissect (pq s)
+
+let contains_iso atoms a = List.exists (Tagged.iso_equivalent a) atoms
+
+let test_example_5_4 () =
+  (* Q2 from Figure 1: the join variable y is promoted to distinguished. *)
+  let atoms = dissect "Q2(x) :- M(x, y), C(y, w, 'Intern')" in
+  Helpers.check_int "two atoms" 2 (List.length atoms);
+  Helpers.check_bool "M(x, y) with y promoted" true
+    (contains_iso atoms (tatom "A(x, y) :- M(x, y)"));
+  Helpers.check_bool "C(y, w?, 'Intern') with y promoted" true
+    (contains_iso atoms (tatom "B(y) :- C(y, w, 'Intern')"))
+
+let test_single_atom_unchanged () =
+  let atoms = dissect "Q1(x) :- Meetings(x, 'Cathy')" in
+  Helpers.check_int "one atom" 1 (List.length atoms);
+  Helpers.check_bool "same view" true
+    (contains_iso atoms (tatom "A(x) :- Meetings(x, 'Cathy')"))
+
+let test_folding_removes_redundancy () =
+  (* The redundant second atom folds away before dissection. *)
+  let atoms = dissect "Q(x) :- R(x, y), R(x, z)" in
+  Helpers.check_int "folded to one atom" 1 (List.length atoms);
+  (* Without folding, dissection keeps both and promotes nothing extra (x is
+     already distinguished; y and z each occur once). *)
+  let unfolded = Dissect.dissect_no_fold (pq "Q(x) :- R(x, y), R(x, z)") in
+  Helpers.check_int "no-fold dedups iso copies" 1 (List.length unfolded)
+
+let test_folding_matters_for_labels () =
+  (* Here folding changes the result: the join is redundant, so y should NOT
+     be promoted. *)
+  let q = "Q(x) :- R(x, y), R(x, y)" in
+  let folded = dissect q in
+  Helpers.check_int "one atom after folding" 1 (List.length folded);
+  Helpers.check_bool "y stays existential" true
+    (contains_iso folded (tatom "A(x) :- R(x, y)"))
+
+let test_self_join_promotion () =
+  (* A genuine self-join: both occurrences of y get promoted, making the two
+     edge atoms iso-equivalent, so they dedup to one. *)
+  let atoms = dissect "Q(x, z) :- E(x, y), E(y, z)" in
+  Helpers.check_int "one atom shape" 1 (List.length atoms);
+  Helpers.check_bool "full edge shape" true (contains_iso atoms (tatom "A(x, y) :- E(x, y)"))
+
+let test_dedup_identical_atoms () =
+  (* The two edge atoms of a symmetric query are iso-equivalent after
+     promotion and collapse to one. *)
+  let atoms = dissect "Q(x, y, z) :- E(x, y), E(y, z)" in
+  Helpers.check_int "deduplicated" 1 (List.length atoms)
+
+let test_constants_survive () =
+  let atoms = dissect "Q(x) :- M(x, y), C(y, w, 'Intern'), C(y, w2, 'Manager')" in
+  Helpers.check_int "three atoms" 3 (List.length atoms);
+  Helpers.check_bool "intern constant" true
+    (contains_iso atoms (tatom "B(y) :- C(y, w, 'Intern')"))
+
+let test_triangle () =
+  let atoms = dissect "Q() :- E(x, y), E(y, z), E(z, x)" in
+  (* All three atoms share the promoted variables pairwise; each atom has two
+     distinguished variables and they are pairwise iso-equivalent. *)
+  Helpers.check_int "triangle collapses to one atom shape" 1 (List.length atoms);
+  Helpers.check_bool "edge shape" true (contains_iso atoms (tatom "A(x, y) :- E(x, y)"))
+
+let suite =
+  [
+    Alcotest.test_case "Example 5.4" `Quick test_example_5_4;
+    Alcotest.test_case "single atom" `Quick test_single_atom_unchanged;
+    Alcotest.test_case "folding removes redundancy" `Quick test_folding_removes_redundancy;
+    Alcotest.test_case "folding affects promotion" `Quick test_folding_matters_for_labels;
+    Alcotest.test_case "self-join promotion" `Quick test_self_join_promotion;
+    Alcotest.test_case "dedup identical atoms" `Quick test_dedup_identical_atoms;
+    Alcotest.test_case "constants survive" `Quick test_constants_survive;
+    Alcotest.test_case "triangle" `Quick test_triangle;
+  ]

@@ -1,0 +1,158 @@
+(* Edge-case coverage for corners not naturally reached by the main suites. *)
+
+module Tagged = Disclosure.Tagged
+module Genmgu = Disclosure.Genmgu
+module Registry = Disclosure.Registry
+module Pipeline = Disclosure.Pipeline
+module Label = Disclosure.Label
+module Policy = Disclosure.Policy
+module Monitor = Disclosure.Monitor
+module Rng = Workload.Rng
+module Querygen = Workload.Querygen
+
+let pq = Helpers.pq
+
+let test_genmgu_arity_mismatch () =
+  let a = { Tagged.pred = "R"; args = [ Tagged.Var ("x", Tagged.Distinguished) ] } in
+  let b =
+    {
+      Tagged.pred = "R";
+      args = [ Tagged.Var ("x", Tagged.Distinguished); Tagged.Var ("y", Tagged.Existential) ];
+    }
+  in
+  Helpers.check_bool "arity mismatch is bottom" true (Genmgu.unify a b = None)
+
+let test_genmgu_shared_names () =
+  (* The two atoms' variable scopes are independent even with equal names. *)
+  let a = Helpers.tatom "A(x) :- R(x, y)" in
+  let b = Helpers.tatom "B(y) :- R(x, y)" in
+  match Genmgu.unify a b with
+  | None -> Alcotest.fail "expected a GLB"
+  | Some g ->
+    (* GLB of first- and second-column projections of R is the boolean. *)
+    Helpers.check_bool "boolean result" true
+      (Tagged.iso_equivalent g (Helpers.tatom "G() :- R(x, y)"))
+
+let test_tagged_multiatom_to_query () =
+  let atoms = Tagged.of_query (pq "Q(x) :- R(x, y), S(y, z)") in
+  let q = Tagged.to_query atoms in
+  Helpers.check_bool "roundtrip equivalence" true
+    (Cq.Containment.equivalent q (pq "Q(x) :- R(x, y), S(y, z)"))
+
+let test_registry_mask_errors () =
+  let p = Pipeline.create [ Helpers.sview "V1(x) :- R(x, y)" ] in
+  let stranger = Helpers.sview "V9(x) :- R(x, y)" in
+  Helpers.check_bool "unregistered view" true
+    (try
+       ignore (Registry.mask_of_views (Pipeline.registry p) [ stranger ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_registry_bit_uniqueness () =
+  let r = Pipeline.registry (Fbschema.Fb_views.pipeline ()) in
+  List.iter
+    (fun rel ->
+      let entries = Registry.entries_for r rel in
+      let bits = Array.to_list (Array.map (fun (e : Registry.entry) -> e.bit) entries) in
+      Helpers.check_bool (rel ^ " bits distinct") true
+        (List.length bits = List.length (List.sort_uniq Int.compare bits)))
+    Fbschema.Fb_schema.relation_names
+
+let test_label_same_relation_tops () =
+  (* Two ⊤ atom labels compare equal. *)
+  Helpers.check_bool "top below top" true (Label.atom_leq Label.top_atom Label.top_atom)
+
+let test_policy_partition_views () =
+  let p = Pipeline.create [ Helpers.sview "V1(x) :- R(x, y)"; Helpers.sview "V2(y) :- S(y)" ] in
+  let policy =
+    Policy.make (Pipeline.registry p)
+      [ ("both", [ Helpers.sview "V1(x) :- R(x, y)"; Helpers.sview "V2(y) :- S(y)" ]) ]
+  in
+  let part = (Policy.partitions policy).(0) in
+  Helpers.check_int "two relations granted" 2 (List.length (Policy.partition_views policy part))
+
+let test_monitor_alive_mask () =
+  let p = Pipeline.create [ Helpers.sview "V1(x, y) :- Meetings(x, y)" ] in
+  let policy = Policy.stateless (Pipeline.registry p) (Pipeline.views p) in
+  let m = Monitor.create policy in
+  Helpers.check_int "single-bit mask" 1 (Monitor.alive_mask m)
+
+let test_rng_split_independent () =
+  let a = Rng.create 1 in
+  let b = Rng.split a in
+  let xs = List.init 10 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 10 (fun _ -> Rng.int b 1000) in
+  Helpers.check_bool "distinct streams" true (xs <> ys)
+
+let test_querygen_friends_constant () =
+  (* A Friends-targeted query constrains is_friend = true in its main atom. *)
+  let gen = Querygen.create ~seed:5 () in
+  let q = Querygen.generate_targeted gen Querygen.Friends in
+  let has_true_const =
+    List.exists
+      (fun (a : Cq.Atom.t) ->
+        a.pred <> "Friend"
+        && List.exists
+             (fun t -> Cq.Term.equal t (Cq.Term.Const (Relational.Value.Bool true)))
+             a.args)
+      q.Cq.Query.body
+  in
+  Helpers.check_bool "is_friend constant present" true has_true_const
+
+let test_eval_substitutions_exposed () =
+  let q = pq "Q(x) :- Meetings(x, y)" in
+  Helpers.check_int "three satisfying assignments" 3
+    (List.length (Cq.Eval.substitutions Helpers.fig1_db q))
+
+let test_eval_repeated_head_var () =
+  let q = pq "Q(x, x) :- Meetings(x, y)" in
+  let rel = Cq.Eval.eval Helpers.fig1_db q in
+  Helpers.check_int "pairs duplicated" 3 (Relational.Relation.cardinal rel);
+  Relational.Relation.iter
+    (fun tup ->
+      Helpers.check_bool "columns equal" true
+        (Relational.Value.equal (Relational.Tuple.get tup 0) (Relational.Tuple.get tup 1)))
+    rel
+
+let test_fb_projection_view_unknown_attr () =
+  Helpers.check_bool "unknown attribute" true
+    (try
+       ignore
+         (Fbschema.Fb_views.projection_view ~name:"bad" ~rel:"User" ~dist:[ "nope" ] ());
+       false
+     with Not_found -> true)
+
+let test_lattice_down_foreign_view () =
+  let l =
+    Disclosure.Lattice.build ~order:Disclosure.Order.rewriting
+      ~universe:Helpers.fig3_universe
+  in
+  Helpers.check_bool "foreign view rejected" true
+    (try
+       ignore (Disclosure.Lattice.down l [ Helpers.v9 ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_service_pipeline_accessor () =
+  let p = Pipeline.create [ Helpers.sview "V1(x, y) :- Meetings(x, y)" ] in
+  let s = Disclosure.Service.create p in
+  Helpers.check_bool "pipeline shared" true (Disclosure.Service.pipeline s == p)
+
+let suite =
+  [
+    Alcotest.test_case "genmgu arity mismatch" `Quick test_genmgu_arity_mismatch;
+    Alcotest.test_case "genmgu shared names" `Quick test_genmgu_shared_names;
+    Alcotest.test_case "tagged multi-atom roundtrip" `Quick test_tagged_multiatom_to_query;
+    Alcotest.test_case "registry mask errors" `Quick test_registry_mask_errors;
+    Alcotest.test_case "registry bit uniqueness" `Quick test_registry_bit_uniqueness;
+    Alcotest.test_case "top label comparison" `Quick test_label_same_relation_tops;
+    Alcotest.test_case "policy partition views" `Quick test_policy_partition_views;
+    Alcotest.test_case "monitor alive mask" `Quick test_monitor_alive_mask;
+    Alcotest.test_case "rng split" `Quick test_rng_split_independent;
+    Alcotest.test_case "querygen friends constant" `Quick test_querygen_friends_constant;
+    Alcotest.test_case "eval substitutions" `Quick test_eval_substitutions_exposed;
+    Alcotest.test_case "eval repeated head var" `Quick test_eval_repeated_head_var;
+    Alcotest.test_case "fb projection view errors" `Quick test_fb_projection_view_unknown_attr;
+    Alcotest.test_case "lattice foreign view" `Quick test_lattice_down_foreign_view;
+    Alcotest.test_case "service pipeline accessor" `Quick test_service_pipeline_accessor;
+  ]

@@ -1,0 +1,151 @@
+(* Exhaustive verification over the complete space of binary tagged atoms.
+
+   Random testing samples; here we enumerate *every* well-formed tagged atom
+   of arity 2 over one relation, with terms drawn from two variables (each
+   distinguished or existential) and one constant, and verify the core
+   decision procedures on all pairs and triples:
+
+   - the positionwise ⪯ procedure agrees with the brute-force rewriting
+     enumerator on every pair;
+   - ⪯ is reflexive and transitive everywhere;
+   - mutual ⪯ coincides with iso-equivalence everywhere;
+   - GLB is a lower bound and the *greatest* lower bound with respect to the
+     whole enumerated domain, commutative, and associative as a set GLB.
+
+   Because the enumeration is closed under GenMGU (unification of domain
+   atoms only produces terms expressible in the domain up to renaming), these
+   checks are genuinely exhaustive for this fragment. *)
+
+module Tagged = Disclosure.Tagged
+module RS = Disclosure.Rewrite_single
+module Glb = Disclosure.Glb
+
+let domain : Tagged.atom list =
+  let term_options =
+    [
+      Tagged.Const (Relational.Value.Int 1);
+      Tagged.Var ("a", Tagged.Distinguished);
+      Tagged.Var ("a", Tagged.Existential);
+      Tagged.Var ("b", Tagged.Distinguished);
+      Tagged.Var ("b", Tagged.Existential);
+    ]
+  in
+  let atoms =
+    List.concat_map
+      (fun t1 ->
+        List.map (fun t2 -> { Tagged.pred = "R"; args = [ t1; t2 ] }) term_options)
+      term_options
+  in
+  let well_formed = List.filter Tagged.well_formed atoms in
+  (* One representative per iso class. *)
+  Glb.dedup well_formed
+
+let test_domain_size () =
+  (* 25 raw combinations, minus the ill-formed (a_d,a_e)-style pairs, modulo
+     renaming: the exact count documents the enumeration. *)
+  Helpers.check_int "well-formed iso classes" 11 (List.length domain)
+
+let test_pairwise_brute_force () =
+  List.iter
+    (fun q ->
+      List.iter
+        (fun v ->
+          Helpers.check_bool
+            (Printf.sprintf "%s ⪯ %s" (Tagged.atom_to_string q) (Tagged.atom_to_string v))
+            (Brute_force.rewritable ~query:q ~view:v)
+            (RS.leq_atom q v))
+        domain)
+    domain
+
+let test_preorder_exhaustive () =
+  List.iter (fun a -> Helpers.check_bool "reflexive" true (RS.leq_atom a a)) domain;
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          List.iter
+            (fun c ->
+              if RS.leq_atom a b && RS.leq_atom b c then
+                Helpers.check_bool "transitive" true (RS.leq_atom a c))
+            domain)
+        domain)
+    domain
+
+let test_mutual_leq_is_iso_exhaustive () =
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          Helpers.check_bool "≡ coincides with iso" (Tagged.iso_equivalent a b)
+            (RS.leq_atom a b && RS.leq_atom b a))
+        domain)
+    domain
+
+let test_glb_exhaustive () =
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let g = Glb.singleton a b in
+          (match g with
+          | Some g ->
+            Helpers.check_bool "lower bound" true (RS.leq_atom g a && RS.leq_atom g b)
+          | None -> ());
+          (* Greatest with respect to the whole domain. *)
+          List.iter
+            (fun x ->
+              if RS.leq_atom x a && RS.leq_atom x b then
+                match g with
+                | None ->
+                  Alcotest.failf "GLB(%s, %s) = ⊥ but %s is a common lower bound"
+                    (Tagged.atom_to_string a) (Tagged.atom_to_string b)
+                    (Tagged.atom_to_string x)
+                | Some g -> Helpers.check_bool "greatest" true (RS.leq_atom x g))
+            domain;
+          (* Commutativity. *)
+          match g, Glb.singleton b a with
+          | Some g1, Some g2 ->
+            Helpers.check_bool "commutative" true (Tagged.iso_equivalent g1 g2)
+          | None, None -> ()
+          | _ -> Alcotest.fail "commutativity broken")
+        domain)
+    domain
+
+let test_glb_associative_exhaustive () =
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          List.iter
+            (fun c ->
+              let l = Glb.of_sets (Glb.of_sets [ a ] [ b ]) [ c ] in
+              let r = Glb.of_sets [ a ] (Glb.of_sets [ b ] [ c ]) in
+              Helpers.check_bool "associative" true ((l = [] && r = []) || RS.equiv l r))
+            domain)
+        domain)
+    domain
+
+let test_domain_closed_under_glb () =
+  (* Every non-⊥ GLB of domain atoms is iso-equivalent to a domain atom. *)
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          match Glb.singleton a b with
+          | None -> ()
+          | Some g ->
+            Helpers.check_bool "closed" true
+              (List.exists (Tagged.iso_equivalent g) domain))
+        domain)
+    domain
+
+let suite =
+  [
+    Alcotest.test_case "domain size" `Quick test_domain_size;
+    Alcotest.test_case "⪯ = brute force (all pairs)" `Quick test_pairwise_brute_force;
+    Alcotest.test_case "preorder laws (all triples)" `Quick test_preorder_exhaustive;
+    Alcotest.test_case "≡ = iso (all pairs)" `Quick test_mutual_leq_is_iso_exhaustive;
+    Alcotest.test_case "GLB laws (all pairs, greatest over domain)" `Quick test_glb_exhaustive;
+    Alcotest.test_case "GLB associativity (all triples)" `Quick test_glb_associative_exhaustive;
+    Alcotest.test_case "domain closed under GLB" `Quick test_domain_closed_under_glb;
+  ]

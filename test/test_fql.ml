@@ -1,0 +1,184 @@
+(* Tests for the FQL and Graph API front ends, and the machine-labeled
+   FQL-vs-Graph-API agreement that Facebook's hand-maintained documentation
+   failed to deliver (Section 7.1). *)
+
+module Pipeline = Disclosure.Pipeline
+module Label = Disclosure.Label
+module Sview = Disclosure.Sview
+module Fb = Fbschema.Fb_schema
+
+let schema = Fb.schema
+
+let pipeline = Fbschema.Fb_views.pipeline ()
+
+let registry = Pipeline.registry pipeline
+
+let label_names q =
+  Pipeline.label pipeline q
+  |> Label.atoms
+  |> List.concat_map (fun al ->
+         Label.views_of_atom registry al |> List.map (fun v -> v.Sview.name))
+
+let fql s = Fb_api.Fql.query_exn schema s
+
+let graph s = Fb_api.Graph_api.query_exn s
+
+let test_fql_parse_basic () =
+  let sel = Fb_api.Fql.parse_exn "SELECT birthday, languages FROM user WHERE uid = me()" in
+  Alcotest.check Alcotest.(list string) "fields" [ "birthday"; "languages" ] sel.Fb_api.Fql.fields;
+  Helpers.check_string "table" "user" sel.Fb_api.Fql.table;
+  Helpers.check_int "one condition" 1 (List.length sel.Fb_api.Fql.where)
+
+let test_fql_parse_case_insensitive () =
+  let sel = Fb_api.Fql.parse_exn "select Name from USER where Is_Friend = TRUE" in
+  Helpers.check_string "table" "USER" sel.Fb_api.Fql.table;
+  match sel.Fb_api.Fql.where with
+  | [ Fb_api.Fql.Eq ("Is_Friend", Relational.Value.Bool true) ] -> ()
+  | _ -> Alcotest.fail "expected is_friend = true"
+
+let test_fql_parse_subquery () =
+  let sel =
+    Fb_api.Fql.parse_exn
+      "SELECT birthday FROM user WHERE uid IN (SELECT friend_uid FROM friend WHERE uid = me())"
+  in
+  match sel.Fb_api.Fql.where with
+  | [ Fb_api.Fql.In_subquery ("uid", sub) ] ->
+    Helpers.check_string "inner table" "friend" sub.Fb_api.Fql.table;
+    Alcotest.check Alcotest.(list string) "inner field" [ "friend_uid" ] sub.Fb_api.Fql.fields
+  | _ -> Alcotest.fail "expected IN subquery"
+
+let test_fql_parse_errors () =
+  let fails s = Helpers.check_bool s true (Result.is_error (Fb_api.Fql.parse s)) in
+  fails "SELECT FROM user";
+  fails "SELECT name user";
+  fails "SELECT name FROM user WHERE";
+  fails "SELECT name FROM user WHERE uid = ";
+  fails "SELECT name FROM user WHERE uid IN SELECT x FROM y";
+  fails "SELECT name FROM user trailing garbage =";
+  fails "SELECT name FROM user WHERE uid = me"
+
+let test_fql_translation_labels () =
+  Alcotest.check Alcotest.(list string) "own birthday" [ "user_birthday" ]
+    (label_names (fql "SELECT birthday FROM user WHERE uid = me()"));
+  Alcotest.check Alcotest.(list string) "friends birthday (denormalized)"
+    [ "friends_birthday" ]
+    (label_names (fql "SELECT uid, birthday FROM user WHERE is_friend = true"));
+  Alcotest.check Alcotest.(list string) "public profile" [ "user_public" ]
+    (label_names (fql "SELECT name, pic FROM user"));
+  Alcotest.check Alcotest.(list string) "languages via likes" [ "user_likes" ]
+    (label_names (fql "SELECT languages FROM user WHERE uid = me()"))
+
+let test_fql_join_translation () =
+  let q =
+    fql "SELECT birthday FROM user WHERE uid IN (SELECT friend_uid FROM friend WHERE uid = me())"
+  in
+  Helpers.check_int "two atoms" 2 (List.length q.Cq.Query.body);
+  Helpers.check_bool "valid against schema" true (Cq.Query.check_schema schema q = Ok ());
+  (* The join form is answerable through multi-atom (join) security views. *)
+  let general =
+    Disclosure.General.create
+      [
+        ( "friends_birthday_join",
+          Cq.Parser.query_exn
+            "FBJ(u, b) :- Friend('me', u, i), User(u, n, fn, ln, un, p, pb, ps, pu, e, b, \
+             sx, ht, lc, tz, lo, la, re, po, rs, so, dv, qu, ab, ac, it, mu, mo, bo, we, \
+             wo, ed, op, fr)" );
+      ]
+  in
+  Helpers.check_bool "answerable via the join view" true
+    (Disclosure.General.answerable general q)
+
+let test_fql_translation_errors () =
+  let fails s = Helpers.check_bool s true (Result.is_error (Fb_api.Fql.query schema s)) in
+  fails "SELECT name FROM nosuchtable";
+  fails "SELECT nosuchfield FROM user";
+  fails "SELECT name FROM user WHERE nosuchfield = 1";
+  fails "SELECT name FROM user WHERE uid = me() AND uid = 'bob'";
+  fails "SELECT name FROM user WHERE uid IN (SELECT uid, name FROM user)"
+
+let test_fql_conflicting_ok_when_equal () =
+  (* The same constraint twice is not a conflict. *)
+  Helpers.check_bool "idempotent constraint" true
+    (Result.is_ok (Fb_api.Fql.query schema "SELECT name FROM user WHERE uid = me() AND uid = me()"))
+
+let test_graph_parse () =
+  let t = Fb_api.Graph_api.parse_exn "me?fields=birthday,languages" in
+  Helpers.check_bool "me node" true (t.Fb_api.Graph_api.node = Fb_api.Graph_api.Me);
+  Alcotest.check Alcotest.(list string) "fields" [ "birthday"; "languages" ]
+    t.Fb_api.Graph_api.fields;
+  let t = Fb_api.Graph_api.parse_exn "me/friends?fields=birthday" in
+  Helpers.check_bool "connection" true (t.Fb_api.Graph_api.connection = Some "friends");
+  let t = Fb_api.Graph_api.parse_exn "1234?fields=name" in
+  Helpers.check_bool "user node" true (t.Fb_api.Graph_api.node = Fb_api.Graph_api.User_id "1234")
+
+let test_graph_parse_errors () =
+  let fails s = Helpers.check_bool s true (Result.is_error (Fb_api.Graph_api.parse s)) in
+  fails "me/nosuchconnection";
+  fails "me/friends/friends";
+  fails "me?wrong=1";
+  (* Connections parse on any node but only translate for the current user. *)
+  Helpers.check_bool "1234/likes parses" true (Result.is_ok (Fb_api.Graph_api.parse "1234/likes"));
+  Helpers.check_bool "1234/likes does not translate" true
+    (Result.is_error (Fb_api.Graph_api.query "1234/likes"))
+
+let test_graph_labels () =
+  Alcotest.check Alcotest.(list string) "own birthday" [ "user_birthday" ]
+    (label_names (graph "me?fields=birthday"));
+  Alcotest.check Alcotest.(list string) "friends birthday" [ "friends_birthday" ]
+    (label_names (graph "me/friends?fields=birthday"));
+  Alcotest.check Alcotest.(list string) "stranger name" [ "user_public" ]
+    (label_names (graph "1234?fields=name"));
+  Alcotest.check Alcotest.(list string) "own likes connection" [ "user_like_rows" ]
+    (label_names (graph "me/likes?fields=page_id"));
+  Alcotest.check Alcotest.(list string) "default fields" [ "user_public" ]
+    (label_names (graph "me"))
+
+let test_graph_field_errors () =
+  Helpers.check_bool "unknown field" true
+    (Result.is_error (Fb_api.Graph_api.query "me?fields=nosuchfield"))
+
+(* The headline: for corresponding FQL and Graph API requests, the *machine*
+   labeling is identical — unlike the 2013 documentation, which disagreed on
+   six of 42 views (Table 2). *)
+let corresponding_requests =
+  [
+    ("SELECT birthday FROM user WHERE uid = me()", "me?fields=birthday");
+    ("SELECT languages FROM user WHERE uid = me()", "me?fields=languages");
+    ("SELECT quotes FROM user WHERE uid = me()", "me?fields=quotes");
+    ("SELECT relationship_status FROM user WHERE uid = me()", "me?fields=relationship_status");
+    ("SELECT timezone FROM user WHERE uid = me()", "me?fields=timezone");
+    ("SELECT email FROM user WHERE uid = me()", "me?fields=email");
+    ("SELECT name, pic FROM user WHERE uid = me()", "me?fields=name,pic");
+    ( "SELECT uid, birthday FROM user WHERE is_friend = true",
+      "me/friends?fields=uid,birthday" );
+    ( "SELECT uid, relationship_status FROM user WHERE is_friend = true",
+      "me/friends?fields=uid,relationship_status" );
+    ("SELECT page_id FROM like WHERE uid = me()", "me/likes?fields=page_id");
+  ]
+
+let test_fql_graph_agreement () =
+  List.iter
+    (fun (fql_s, graph_s) ->
+      let lf = Pipeline.label pipeline (fql fql_s) in
+      let lg = Pipeline.label pipeline (graph graph_s) in
+      Helpers.check_bool
+        (Printf.sprintf "labels agree: %s ~ %s" fql_s graph_s)
+        true (Label.equal lf lg))
+    corresponding_requests
+
+let suite =
+  [
+    Alcotest.test_case "FQL parse basics" `Quick test_fql_parse_basic;
+    Alcotest.test_case "FQL case insensitive" `Quick test_fql_parse_case_insensitive;
+    Alcotest.test_case "FQL IN subquery" `Quick test_fql_parse_subquery;
+    Alcotest.test_case "FQL parse errors" `Quick test_fql_parse_errors;
+    Alcotest.test_case "FQL translation labels" `Quick test_fql_translation_labels;
+    Alcotest.test_case "FQL join translation" `Quick test_fql_join_translation;
+    Alcotest.test_case "FQL translation errors" `Quick test_fql_translation_errors;
+    Alcotest.test_case "FQL repeated constraint" `Quick test_fql_conflicting_ok_when_equal;
+    Alcotest.test_case "Graph API parse" `Quick test_graph_parse;
+    Alcotest.test_case "Graph API parse errors" `Quick test_graph_parse_errors;
+    Alcotest.test_case "Graph API labels" `Quick test_graph_labels;
+    Alcotest.test_case "Graph API field errors" `Quick test_graph_field_errors;
+    Alcotest.test_case "FQL/Graph machine labels agree" `Quick test_fql_graph_agreement;
+  ]

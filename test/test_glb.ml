@@ -1,0 +1,148 @@
+(* Tests for GenMGU and GLB computation (Section 5.1, Examples 4.4, 5.1–5.3,
+   6.1), plus the lattice-theoretic GLB properties. *)
+
+module Genmgu = Disclosure.Genmgu
+module Glb = Disclosure.Glb
+module RS = Disclosure.Rewrite_single
+module Tagged = Disclosure.Tagged
+
+let tatom = Helpers.tatom
+
+let check_glb_is name expected a b =
+  match Glb.singleton a b with
+  | None -> Alcotest.failf "%s: expected a GLB, got bottom" name
+  | Some g -> Alcotest.check Helpers.tagged_iso_testable name expected g
+
+let check_glb_bottom name a b =
+  match Glb.singleton a b with
+  | None -> ()
+  | Some g -> Alcotest.failf "%s: expected bottom, got %s" name (Tagged.atom_to_string g)
+
+let test_example_4_4 () =
+  (* GLBs of the Figure 4 projections. *)
+  let open Helpers in
+  check_glb_is "GLB(V6,V7) = V9" v9 v6 v7;
+  check_glb_is "GLB(V6,V8) = V10" v10 v6 v8;
+  check_glb_is "GLB(V7,V8) = V11" v11 v7 v8;
+  (match Glb.of_many [ [ v6 ]; [ v7 ]; [ v8 ] ] with
+  | [ g ] -> Alcotest.check Helpers.tagged_iso_testable "GLB(V6,V7,V8) = V12" v12 g
+  | other -> Alcotest.failf "expected a single view, got %d" (List.length other));
+  check_glb_is "GLB(V2,V4) = V5" v5 v2 v4
+
+let test_example_5_1 () =
+  let v13 = tatom "V13() :- M(9, 'Jim')" in
+  let v14 = tatom "V14() :- M(x, y)" in
+  check_glb_bottom "GLB(V13,V14) = bottom" v13 v14
+
+let test_example_5_3 () =
+  let v14 = tatom "V14() :- M(x, y)" in
+  let v15 = tatom "V15() :- M(z, z)" in
+  check_glb_bottom "GLB(V14,V15) = bottom" v14 v15
+
+let test_constant_with_distinguished () =
+  (* Unifying a constant with a distinguished variable yields the constant. *)
+  let v13 = tatom "V13() :- Meetings(9, 'Jim')" in
+  let v1 = Helpers.v1 in
+  check_glb_is "GLB(V13,V1) = V13" v13 v13 v1
+
+let test_diagonal_distinguished () =
+  (* Two distinguished variables merge into a distinguished variable. *)
+  let full = tatom "V(x, y) :- M(x, y)" in
+  let diag = tatom "W(x) :- M(x, x)" in
+  check_glb_is "GLB(full,diag) = diag" diag full diag
+
+let test_different_relations_bottom () =
+  check_glb_bottom "different relations" Helpers.v2 Helpers.v9
+
+let test_idempotent () =
+  List.iter
+    (fun v -> check_glb_is "GLB(v,v) = v" v v v)
+    (Helpers.fig3_universe @ Helpers.fig4_universe)
+
+let test_commutative () =
+  let pairs = [ (Helpers.v6, Helpers.v7); (Helpers.v2, Helpers.v4); (Helpers.v3, Helpers.v8) ] in
+  List.iter
+    (fun (a, b) ->
+      match Glb.singleton a b, Glb.singleton b a with
+      | Some g1, Some g2 ->
+        Alcotest.check Helpers.tagged_iso_testable "commutative" g1 g2
+      | None, None -> ()
+      | _ -> Alcotest.fail "commutativity broken: one side bottom")
+    pairs
+
+let test_glb_is_lower_bound () =
+  let universe = Helpers.fig3_universe @ Helpers.fig4_universe in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          match Glb.singleton a b with
+          | None -> ()
+          | Some g ->
+            Helpers.check_bool "g <= a" true (RS.leq_atom g a);
+            Helpers.check_bool "g <= b" true (RS.leq_atom g b))
+        universe)
+    universe
+
+let test_glb_is_greatest () =
+  (* Any universe view below both operands is below the GLB. *)
+  let universe = Helpers.fig3_universe @ Helpers.fig4_universe in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let lower =
+            List.filter (fun x -> RS.leq_atom x a && RS.leq_atom x b) universe
+          in
+          let glb = match Glb.singleton a b with Some g -> [ g ] | None -> [] in
+          List.iter
+            (fun x ->
+              Helpers.check_bool
+                (Printf.sprintf "%s <= GLB(%s, %s)" (Tagged.atom_to_string x)
+                   (Tagged.atom_to_string a) (Tagged.atom_to_string b))
+                true (RS.leq [ x ] glb))
+            lower)
+        universe)
+    universe
+
+let test_of_sets () =
+  (* GLB of view sets: pairwise singleton GLBs, reduced. *)
+  let open Helpers in
+  let g = Glb.of_sets [ v6; v7 ] [ v8 ] in
+  (* GLB(V6,V8)=V10, GLB(V7,V8)=V11: both survive as incomparable. *)
+  Helpers.check_int "two incomparable views" 2 (List.length g);
+  Helpers.check_bool "contains v10" true (List.exists (Tagged.iso_equivalent v10) g);
+  Helpers.check_bool "contains v11" true (List.exists (Tagged.iso_equivalent v11) g)
+
+let test_reduce_drops_dominated () =
+  let open Helpers in
+  let reduced = Glb.reduce [ v5; v2; v1 ] in
+  Helpers.check_int "only the top survives" 1 (List.length reduced);
+  Helpers.check_bool "v1 kept" true (List.exists (Tagged.iso_equivalent v1) reduced)
+
+let test_dedup () =
+  let a = tatom "A(x) :- M(x, y)" in
+  let b = tatom "B(p) :- M(p, q)" in
+  Helpers.check_int "iso duplicates removed" 1 (List.length (Glb.dedup [ a; b ]))
+
+let test_of_many_invalid () =
+  Alcotest.check_raises "empty of_many" (Invalid_argument "Glb.of_many: empty list")
+    (fun () -> ignore (Glb.of_many []))
+
+let suite =
+  [
+    Alcotest.test_case "Example 4.4 projection GLBs" `Quick test_example_4_4;
+    Alcotest.test_case "Example 5.1 constant/existential" `Quick test_example_5_1;
+    Alcotest.test_case "Example 5.3 forced equality" `Quick test_example_5_3;
+    Alcotest.test_case "constant with distinguished" `Quick test_constant_with_distinguished;
+    Alcotest.test_case "diagonal distinguished" `Quick test_diagonal_distinguished;
+    Alcotest.test_case "different relations" `Quick test_different_relations_bottom;
+    Alcotest.test_case "idempotent" `Quick test_idempotent;
+    Alcotest.test_case "commutative" `Quick test_commutative;
+    Alcotest.test_case "GLB is a lower bound" `Quick test_glb_is_lower_bound;
+    Alcotest.test_case "GLB is greatest" `Quick test_glb_is_greatest;
+    Alcotest.test_case "set GLB" `Quick test_of_sets;
+    Alcotest.test_case "reduce drops dominated" `Quick test_reduce_drops_dominated;
+    Alcotest.test_case "dedup up to iso" `Quick test_dedup;
+    Alcotest.test_case "of_many on empty" `Quick test_of_many_invalid;
+  ]

@@ -1,0 +1,174 @@
+(* Tests for the order-generic labeling algorithms (NaïveLabel, GLBLabel,
+   LabelGen) and the generating-set machinery of Section 4. *)
+
+module Order = Disclosure.Order
+module Labeler = Disclosure.Labeler
+module Generating = Disclosure.Generating
+module Glb = Disclosure.Glb
+module RS = Disclosure.Rewrite_single
+
+let ord = Order.rewriting
+
+let glb = Glb.of_sets
+
+(* F = the GLB closure of the singleton Figure 4 projections: a label family
+   over Contacts that induces a labeler. *)
+let fig4_f =
+  [
+    [ Helpers.v3 ];
+    [ Helpers.v6 ];
+    [ Helpers.v7 ];
+    [ Helpers.v8 ];
+    [ Helpers.v9 ];
+    [ Helpers.v10 ];
+    [ Helpers.v11 ];
+    [ Helpers.v12 ];
+  ]
+
+let check_label name expected actual =
+  match actual with
+  | None -> Alcotest.failf "%s: expected a label, got top" name
+  | Some l -> Helpers.check_bool name true (Order.equiv ord expected l)
+
+let test_naive_label () =
+  check_label "naive: V9 labels with V9" [ Helpers.v9 ]
+    (Labeler.naive_label ~order:ord ~f:fig4_f [ Helpers.v9 ]);
+  check_label "naive: V6 labels with V6" [ Helpers.v6 ]
+    (Labeler.naive_label ~order:ord ~f:fig4_f [ Helpers.v6 ]);
+  (* A view over another relation is above everything in F: top. *)
+  Helpers.check_bool "naive: foreign view is top" true
+    (Labeler.naive_label ~order:ord ~f:fig4_f [ Helpers.v1 ] = None)
+
+let test_naive_label_minimality () =
+  (* The label must be the least element above the input: for V12 that is V12
+     itself, not any of the larger projections. *)
+  check_label "naive: V12 labels minimally" [ Helpers.v12 ]
+    (Labeler.naive_label ~order:ord ~f:fig4_f [ Helpers.v12 ])
+
+let test_glb_label_matches_naive () =
+  (* On a family closed under GLB, GLBLabel and NaïveLabel agree. *)
+  let inputs = List.map (fun v -> [ v ]) Helpers.fig4_universe in
+  List.iter
+    (fun w ->
+      let n = Labeler.naive_label ~order:ord ~f:fig4_f w in
+      let g = Labeler.glb_label ~order:ord ~glb ~fd:fig4_f w in
+      match n, g with
+      | None, None -> ()
+      | Some n, Some g -> Helpers.check_bool "naive = glb" true (Order.equiv ord n g)
+      | _ -> Alcotest.fail "naive and glb disagree about top")
+    inputs
+
+let test_glb_label_on_generating_set () =
+  (* Using only the four maximal projections as Fd still labels V9..V12
+     correctly: the GLB reconstructs them (Example 4.4). *)
+  let fd = [ [ Helpers.v3 ]; [ Helpers.v6 ]; [ Helpers.v7 ]; [ Helpers.v8 ] ] in
+  check_label "V9 from Fd" [ Helpers.v9 ]
+    (Labeler.glb_label ~order:ord ~glb ~fd [ Helpers.v9 ]);
+  check_label "V10 from Fd" [ Helpers.v10 ]
+    (Labeler.glb_label ~order:ord ~glb ~fd [ Helpers.v10 ]);
+  check_label "V11 from Fd" [ Helpers.v11 ]
+    (Labeler.glb_label ~order:ord ~glb ~fd [ Helpers.v11 ]);
+  check_label "V12 from Fd" [ Helpers.v12 ]
+    (Labeler.glb_label ~order:ord ~glb ~fd [ Helpers.v12 ])
+
+let test_label_gen () =
+  let fgen = [ [ Helpers.v3 ]; [ Helpers.v6 ]; [ Helpers.v7 ]; [ Helpers.v8 ] ] in
+  (* Labeling the pair {V9, V8} unions the per-view labels. *)
+  check_label "union of labels" [ Helpers.v9; Helpers.v8 ]
+    (Labeler.label_gen ~order:ord ~glb ~fgen [ Helpers.v9; Helpers.v8 ]);
+  Helpers.check_bool "top propagates" true
+    (Labeler.label_gen ~order:ord ~glb ~fgen [ Helpers.v9; Helpers.v1 ] = None)
+
+let test_labeler_axioms () =
+  (* Definition 3.4 over the Figure 4 universe with the projection family. *)
+  let label w = Labeler.glb_label ~order:ord ~glb ~fd:fig4_f w in
+  let leq_label a b =
+    match a, b with
+    | _, None -> true (* everything is below top *)
+    | None, Some _ -> false
+    | Some a, Some b -> Order.leq ord a b
+  in
+  let inputs = List.map (fun v -> [ v ]) Helpers.fig4_universe in
+  List.iter
+    (fun w ->
+      (* (b) fixpoints: elements of F label as themselves. *)
+      (match label w with
+      | Some l when List.exists (Order.equiv ord w) fig4_f ->
+        Helpers.check_bool "axiom (b) fixpoint" true (Order.equiv ord l w)
+      | Some _ -> ()
+      | None -> Alcotest.fail "projection family labels its own universe");
+      (* (c) never underestimates. *)
+      (match label w with
+      | Some l -> Helpers.check_bool "axiom (c)" true (Order.leq ord w l)
+      | None -> ());
+      (* (d) monotone. *)
+      List.iter
+        (fun w' ->
+          if Order.leq ord w w' then
+            Helpers.check_bool "axiom (d)" true (leq_label (label w) (label w')))
+        inputs)
+    inputs
+
+let test_plus_label () =
+  let fgen = [ [ Helpers.v3 ]; [ Helpers.v6 ]; [ Helpers.v7 ]; [ Helpers.v8 ] ] in
+  let plus v = Labeler.plus_label ~order:ord ~fgen v in
+  (* Example 6.1: ℓ⁺(V9) = {V3, V6, V7}; ℓ⁺(V12) = all four. *)
+  Helpers.check_int "ℓ⁺(V9) size" 3 (List.length (plus Helpers.v9));
+  Helpers.check_int "ℓ⁺(V12) size" 4 (List.length (plus Helpers.v12));
+  Helpers.check_int "ℓ⁺(V3) size" 1 (List.length (plus Helpers.v3));
+  (* ℓ(V12) ⪯ ℓ(V9) iff ℓ⁺(V12) ⊇ ℓ⁺(V9). *)
+  let subset a b = List.for_all (fun x -> List.memq x b) a in
+  Helpers.check_bool "superset comparison" true
+    (subset (plus Helpers.v9) (plus Helpers.v12))
+
+let test_glb_closure () =
+  (* Theorem 4.5: closing the four projections regenerates the full family. *)
+  let g = [ [ Helpers.v3 ]; [ Helpers.v6 ]; [ Helpers.v7 ]; [ Helpers.v8 ] ] in
+  let closed = Generating.glb_closure ~order:ord ~glb g in
+  Helpers.check_bool "closed" true (Generating.is_glb_closed ~order:ord ~glb closed);
+  List.iter
+    (fun v ->
+      Helpers.check_bool "closure contains all projections" true
+        (List.exists (Order.equiv ord [ v ]) closed))
+    Helpers.fig4_universe
+
+let test_induces_labeler () =
+  Helpers.check_bool "closed family with top induces" true
+    (Generating.induces_labeler ~order:ord ~glb ~top:[ Helpers.v3 ] fig4_f);
+  (* Example 3.5: the power set of {V2, V4} misses the GLB ⇓V5. *)
+  let f_bad = [ []; [ Helpers.v2 ]; [ Helpers.v4 ]; [ Helpers.v2; Helpers.v4 ]; [ Helpers.v1 ] ] in
+  Helpers.check_bool "Example 3.5 family does not induce" false
+    (Generating.induces_labeler ~order:ord ~glb ~top:[ Helpers.v1 ] f_bad)
+
+let test_minimal_downward_generating () =
+  (* Theorem 4.3 / Example 4.4: V9..V12 are redundant given V3, V6, V7, V8. *)
+  let fd = Generating.minimal_downward_generating ~order:ord ~glb fig4_f in
+  Helpers.check_int "four generators survive" 4 (List.length fd);
+  List.iter
+    (fun v ->
+      Helpers.check_bool "maximal projections kept" true
+        (List.exists (Order.equiv ord [ v ]) fd))
+    [ Helpers.v3; Helpers.v6; Helpers.v7; Helpers.v8 ];
+  Helpers.check_bool "still generates F" true
+    (Generating.is_downward_generating ~order:ord ~glb ~fd ~f:fig4_f)
+
+let test_is_downward_generating_negative () =
+  let fd = [ [ Helpers.v6 ]; [ Helpers.v7 ] ] in
+  Helpers.check_bool "cannot regenerate V3" false
+    (Generating.is_downward_generating ~order:ord ~glb ~fd ~f:[ [ Helpers.v3 ] ])
+
+let suite =
+  [
+    Alcotest.test_case "naive label" `Quick test_naive_label;
+    Alcotest.test_case "naive label minimality" `Quick test_naive_label_minimality;
+    Alcotest.test_case "GLBLabel matches naive" `Quick test_glb_label_matches_naive;
+    Alcotest.test_case "GLBLabel on generating set" `Quick test_glb_label_on_generating_set;
+    Alcotest.test_case "LabelGen" `Quick test_label_gen;
+    Alcotest.test_case "labeler axioms (Def 3.4)" `Quick test_labeler_axioms;
+    Alcotest.test_case "ℓ⁺ labels (Example 6.1)" `Quick test_plus_label;
+    Alcotest.test_case "GLB closure (Thm 4.5)" `Quick test_glb_closure;
+    Alcotest.test_case "labeler existence (Thm 3.7)" `Quick test_induces_labeler;
+    Alcotest.test_case "minimal downward generating set (Thm 4.3)" `Quick
+      test_minimal_downward_generating;
+    Alcotest.test_case "downward generation negative" `Quick test_is_downward_generating_negative;
+  ]

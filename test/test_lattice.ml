@@ -1,0 +1,183 @@
+(* Tests for disclosure orders (Definition 3.1) and the explicit disclosure
+   lattice (Theorems 3.3, 3.6, 3.7, 4.8; Figure 3). *)
+
+module Order = Disclosure.Order
+module Lattice = Disclosure.Lattice
+module Tagged = Disclosure.Tagged
+
+let rewriting = Order.rewriting
+
+let fig3 () = Lattice.build ~order:rewriting ~universe:Helpers.fig3_universe
+
+let test_order_properties () =
+  (* Definition 3.1 (a): W1 ⊆ W2 implies W1 ⪯ W2. *)
+  let u = Helpers.fig3_universe in
+  let subsets =
+    [ []; [ Helpers.v2 ]; [ Helpers.v2; Helpers.v4 ]; u ]
+  in
+  List.iter
+    (fun w1 ->
+      List.iter
+        (fun w2 ->
+          let subset = List.for_all (fun v -> List.memq v w2) w1 in
+          if subset then
+            Helpers.check_bool "monotone under subset" true (Order.leq rewriting w1 w2))
+        subsets)
+    subsets;
+  (* Definition 3.1 (b): unions of lower sets stay lower. *)
+  Helpers.check_bool "union property" true
+    (Order.leq rewriting [ Helpers.v2; Helpers.v4; Helpers.v5 ] [ Helpers.v1 ])
+
+let test_order_preorder () =
+  let u = Helpers.fig4_universe in
+  List.iter (fun v -> Helpers.check_bool "reflexive" true (Order.leq rewriting [ v ] [ v ])) u;
+  (* transitivity sample over the universe *)
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          List.iter
+            (fun c ->
+              if Order.leq rewriting [ a ] [ b ] && Order.leq rewriting [ b ] [ c ] then
+                Helpers.check_bool "transitive" true (Order.leq rewriting [ a ] [ c ]))
+            u)
+        u)
+    u
+
+let test_subset_order () =
+  let ord = Order.subset ~equal:String.equal ~pp:Format.pp_print_string in
+  Helpers.check_bool "subset leq" true (Order.leq ord [ "a" ] [ "a"; "b" ]);
+  Helpers.check_bool "subset not leq" false (Order.leq ord [ "c" ] [ "a"; "b" ]);
+  Helpers.check_bool "equiv as sets" true (Order.equiv ord [ "a"; "b" ] [ "b"; "a" ])
+
+let test_down () =
+  let d = Order.down rewriting ~universe:Helpers.fig3_universe [ Helpers.v2 ] in
+  Helpers.check_int "down {V2} = {V2, V5}" 2 (List.length d)
+
+let test_fig3_structure () =
+  let l = fig3 () in
+  Helpers.check_int "six elements" 6 (Lattice.size l);
+  let d2 = Lattice.down l [ Helpers.v2 ] in
+  let d4 = Lattice.down l [ Helpers.v4 ] in
+  let d5 = Lattice.down l [ Helpers.v5 ] in
+  let d24 = Lattice.down l [ Helpers.v2; Helpers.v4 ] in
+  Helpers.check_bool "GLB(⇓V2,⇓V4) = ⇓V5" true (Lattice.glb l d2 d4 = d5);
+  Helpers.check_bool "LUB(⇓V2,⇓V4) = ⇓{V2,V4}" true (Lattice.lub l d2 d4 = d24);
+  Helpers.check_bool "LUB below top" true
+    (Lattice.lub l d2 d4 <> Lattice.top l && Lattice.leq (Lattice.lub l d2 d4) (Lattice.top l));
+  Helpers.check_bool "bottom below all" true
+    (List.for_all (Lattice.leq (Lattice.bottom l)) (Lattice.elements l));
+  Helpers.check_bool "all below top" true
+    (List.for_all (fun e -> Lattice.leq e (Lattice.top l)) (Lattice.elements l))
+
+let test_fig3_hasse () =
+  let l = fig3 () in
+  (* ⊥ — ⇓V5 — (⇓V2, ⇓V4) — ⇓{V2,V4} — ⊤: 6 edges. *)
+  Helpers.check_int "hasse edge count" 6 (List.length (Lattice.covers l))
+
+let test_lattice_laws () =
+  let l = Lattice.build ~order:rewriting ~universe:Helpers.fig4_universe in
+  let elems = Lattice.elements l in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let g = Lattice.glb l a b and u = Lattice.lub l a b in
+          Helpers.check_bool "glb lower" true (Lattice.leq g a && Lattice.leq g b);
+          Helpers.check_bool "lub upper" true (Lattice.leq a u && Lattice.leq b u);
+          (* absorption *)
+          Helpers.check_bool "absorption glb" true (Lattice.lub l a g = a);
+          Helpers.check_bool "absorption lub" true (Lattice.glb l a u = a))
+        elems)
+    elems
+
+let test_distributive_and_decomposable () =
+  let l = fig3 () in
+  Helpers.check_bool "Fig 3 universe decomposable" true (Lattice.is_decomposable l);
+  Helpers.check_bool "hence distributive (Thm 4.8)" true (Lattice.is_distributive l)
+
+let test_labeler_existence_example_3_5 () =
+  (* Example 3.5: F = power set of {V2, V4} does not induce a labeler because
+     K misses ⇓V5's lower bound behaviour. *)
+  let l = fig3 () in
+  let k_bad =
+    [
+      Lattice.down l [];
+      Lattice.down l [ Helpers.v2 ];
+      Lattice.down l [ Helpers.v4 ];
+      Lattice.down l [ Helpers.v2; Helpers.v4 ];
+      Lattice.top l;
+    ]
+  in
+  Helpers.check_bool "Example 3.5: no labeler" false (Lattice.labeler_exists l k_bad);
+  (* Adding ⇓V5 (the GLB closure) fixes it. *)
+  let k_good = Lattice.down l [ Helpers.v5 ] :: k_bad in
+  Helpers.check_bool "GLB-closed family induces labeler" true (Lattice.labeler_exists l k_good)
+
+let test_lattice_label () =
+  let l = fig3 () in
+  let k =
+    [
+      Lattice.bottom l;
+      Lattice.down l [ Helpers.v5 ];
+      Lattice.down l [ Helpers.v2 ];
+      Lattice.down l [ Helpers.v4 ];
+      Lattice.down l [ Helpers.v2; Helpers.v4 ];
+      Lattice.top l;
+    ]
+  in
+  Helpers.check_bool "labeler exists" true (Lattice.labeler_exists l k);
+  (* ℓ(⇓V5) = ⇓V5 (fixpoint), ℓ(⇓V1) = ⊤. *)
+  Helpers.check_bool "fixpoint" true
+    (Lattice.label l k (Lattice.down l [ Helpers.v5 ]) = Some (Lattice.down l [ Helpers.v5 ]));
+  Helpers.check_bool "top maps to top" true
+    (Lattice.label l k (Lattice.top l) = Some (Lattice.top l));
+  (* Labeler axioms (Definition 3.4) on the whole lattice. *)
+  List.iter
+    (fun e ->
+      match Lattice.label l k e with
+      | None -> Alcotest.fail "label must exist"
+      | Some le ->
+        Helpers.check_bool "axiom (c): never underestimates" true (Lattice.leq e le);
+        List.iter
+          (fun e' ->
+            if Lattice.leq e e' then
+              match Lattice.label l k e' with
+              | None -> Alcotest.fail "label must exist"
+              | Some le' -> Helpers.check_bool "axiom (d): monotone" true (Lattice.leq le le'))
+          (Lattice.elements l))
+    (Lattice.elements l)
+
+let test_lattice_of_labels () =
+  let l = fig3 () in
+  let k = [ Lattice.bottom l; Lattice.down l [ Helpers.v2 ]; Lattice.top l ] in
+  let labels = Lattice.lattice_of_labels l k in
+  Helpers.check_int "three label classes" 3 (List.length labels)
+
+let test_universe_too_large () =
+  let views = List.init 17 (fun i -> Helpers.tatom (Printf.sprintf "V%d() :- R%d(x)" i i)) in
+  Alcotest.check_raises "cap at 16" (Lattice.Universe_too_large 17) (fun () ->
+      ignore (Lattice.build ~order:rewriting ~universe:views))
+
+let test_to_dot () =
+  let l = fig3 () in
+  let dot = Lattice.to_dot l in
+  Helpers.check_bool "mentions digraph" true
+    (String.length dot > 20 && String.sub dot 0 7 = "digraph")
+
+let suite =
+  [
+    Alcotest.test_case "Definition 3.1 properties" `Quick test_order_properties;
+    Alcotest.test_case "preorder laws" `Quick test_order_preorder;
+    Alcotest.test_case "subset order" `Quick test_subset_order;
+    Alcotest.test_case "down operator" `Quick test_down;
+    Alcotest.test_case "Figure 3 structure" `Quick test_fig3_structure;
+    Alcotest.test_case "Figure 3 Hasse diagram" `Quick test_fig3_hasse;
+    Alcotest.test_case "lattice laws" `Quick test_lattice_laws;
+    Alcotest.test_case "distributivity / decomposability" `Quick test_distributive_and_decomposable;
+    Alcotest.test_case "Example 3.5 labeler existence" `Quick test_labeler_existence_example_3_5;
+    Alcotest.test_case "lattice labeler + axioms" `Quick test_lattice_label;
+    Alcotest.test_case "lattice of labels" `Quick test_lattice_of_labels;
+    Alcotest.test_case "universe size cap" `Quick test_universe_too_large;
+    Alcotest.test_case "dot export" `Quick test_to_dot;
+  ]

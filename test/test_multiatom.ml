@@ -1,0 +1,305 @@
+(* Tests for the multi-atom equivalent-rewriting engine and the join-view
+   disclosure extension (the "ongoing work" of Section 5). *)
+
+module Rewrite = Rewriting.Rewrite
+module Expansion = Rewriting.Expansion
+module General = Disclosure.General
+module Query = Cq.Query
+
+let pq = Helpers.pq
+
+let view s = pq s
+
+let test_expansion_basic () =
+  let v = view "V(x, z) :- E(x, y), E(y, z)" in
+  let rw = pq "Q(a, c) :- V(a, b), V(b, c)" in
+  let expanded = Expansion.expand ~views:[ v ] rw in
+  Helpers.check_int "four atoms" 4 (List.length expanded.Query.body);
+  (* Two uses of the view get independent existential witnesses: a, b, c plus
+     one fresh witness per view occurrence. *)
+  Helpers.check_int "five variables" 5 (List.length (Query.vars expanded));
+  Helpers.check_bool "equivalent to path-4" true
+    (Cq.Containment.equivalent expanded (pq "P(a, c) :- E(a, p), E(p, b), E(b, q), E(q, c)"))
+
+let test_expansion_base_atoms_kept () =
+  let v = view "V(x) :- R(x, y)" in
+  let rw = pq "Q(a) :- V(a), S(a)" in
+  let expanded = Expansion.expand ~views:[ v ] rw in
+  Helpers.check_bool "base atom kept" true
+    (List.exists (fun (a : Cq.Atom.t) -> a.pred = "S") expanded.Query.body)
+
+let test_expansion_errors () =
+  Helpers.check_bool "constant head rejected" true
+    (try
+       Expansion.check_view (pq "V(x, 1) :- R(x)");
+       false
+     with Expansion.Invalid_view _ -> true);
+  Helpers.check_bool "repeated head var rejected" true
+    (try
+       Expansion.check_view (pq "V(x, x) :- R(x)");
+       false
+     with Expansion.Invalid_view _ -> true);
+  Helpers.check_bool "arity mismatch" true
+    (try
+       ignore (Expansion.expand ~views:[ view "V(x) :- R(x, y)" ] (pq "Q(a, b) :- V(a, b)"));
+       false
+     with Expansion.Invalid_view _ -> true)
+
+let test_path_queries () =
+  let path2 = view "V(x, z) :- E(x, y), E(y, z)" in
+  (* Path of length 4 = two path-2 views joined. *)
+  let q4 = pq "Q(x, z) :- E(x, a), E(a, b), E(b, c), E(c, z)" in
+  (match Rewrite.find ~views:[ path2 ] q4 with
+  | None -> Alcotest.fail "path-4 should rewrite over path-2"
+  | Some rw ->
+    Helpers.check_int "two view atoms" 2 (List.length rw.Query.body);
+    Helpers.check_bool "expansion equivalent" true
+      (Cq.Containment.equivalent q4 (Expansion.expand ~views:[ path2 ] rw)));
+  (* Path of length 3 cannot be built from path-2 views alone. *)
+  let q3 = pq "Q(x, z) :- E(x, a), E(a, b), E(b, z)" in
+  Helpers.check_bool "path-3 not rewritable" false (Rewrite.rewritable ~views:[ path2 ] q3)
+
+let test_join_across_views () =
+  (* The non-decomposability of the multi-atom universe: the join query needs
+     both views; neither suffices alone. *)
+  let w1 = view "W1(x, y) :- R(x, y)" in
+  let w2 = view "W2(y, z) :- S(y, z)" in
+  let q = pq "Q(x, z) :- R(x, y), S(y, z)" in
+  Helpers.check_bool "needs both" true (Rewrite.leq [ q ] [ w1; w2 ]);
+  Helpers.check_bool "not from W1 alone" false (Rewrite.leq [ q ] [ w1 ]);
+  Helpers.check_bool "not from W2 alone" false (Rewrite.leq [ q ] [ w2 ])
+
+let test_projection_loss () =
+  (* A view that projects away the join variable cannot support the join. *)
+  let w1 = view "W1(x) :- R(x, y)" in
+  let w2 = view "W2(z) :- S(y, z)" in
+  let q = pq "Q(x, z) :- R(x, y), S(y, z)" in
+  Helpers.check_bool "join column lost" false (Rewrite.leq [ q ] [ w1; w2 ])
+
+let test_constant_views () =
+  let v_me = view "V(y) :- F('me', y)" in
+  Helpers.check_bool "same constant rewrites" true
+    (Rewrite.rewritable ~views:[ v_me ] (pq "Q(y) :- F('me', y)"));
+  Helpers.check_bool "different constant fails" false
+    (Rewrite.rewritable ~views:[ v_me ] (pq "Q(y) :- F('you', y)"));
+  Helpers.check_bool "projection of constant view" true
+    (Rewrite.rewritable ~views:[ v_me ] (pq "Q() :- F('me', y)"))
+
+let test_minimization_first () =
+  (* A redundant atom must not block rewriting. *)
+  let v = view "V(x, y) :- R(x, y)" in
+  let q = pq "Q(x) :- R(x, y), R(x, z)" in
+  Helpers.check_bool "redundant atom folded away" true (Rewrite.rewritable ~views:[ v ] q)
+
+let test_single_atom_agreement () =
+  (* On single-atom queries and views the general engine agrees with the
+     positionwise procedure (deterministic samples; the qcheck version is in
+     the property suite). *)
+  let pairs =
+    [
+      ("Q(x) :- M(x, y)", "V(a, b) :- M(a, b)", true);
+      ("Q(x, y) :- M(x, y)", "V(a) :- M(a, b)", false);
+      ("Q() :- M(x, y)", "V(a) :- M(a, b)", true);
+      ("Q(x) :- M(x, 'c')", "V(a, b) :- M(a, b)", true);
+      ("Q(x) :- M(x, 'c')", "V(a) :- M(a, b)", false);
+      ("Q() :- M(x, x)", "V(a) :- M(a, a)", true);
+      ("Q() :- M(x, x)", "V(a, b) :- M(a, b)", true);
+      ("Q() :- M(x, y)", "V(a) :- M(a, a)", false);
+    ]
+  in
+  List.iter
+    (fun (qs, vs, expected) ->
+      let q = pq qs and v = view vs in
+      Helpers.check_bool
+        (Printf.sprintf "%s over %s" qs vs)
+        expected
+        (Rewrite.rewritable ~views:[ v ] q);
+      (* Cross-check with the single-atom procedure. *)
+      let qa = Helpers.tatom qs and va = Helpers.tatom vs in
+      Helpers.check_bool
+        (Printf.sprintf "agrees with Rewrite_single: %s over %s" qs vs)
+        expected
+        (Disclosure.Rewrite_single.leq_atom qa va))
+    pairs
+
+let test_conjunctive_order_lattice () =
+  (* A small lattice over a non-decomposable universe. *)
+  let w1 = view "W1(x, y) :- R(x, y)" in
+  let w2 = view "W2(y, z) :- S(y, z)" in
+  let j = view "J(x, z) :- R(x, y), S(y, z)" in
+  let l =
+    Disclosure.Lattice.build ~order:Disclosure.Order.conjunctive ~universe:[ w1; w2; j ]
+  in
+  let dj = Disclosure.Lattice.down l [ j ] in
+  let d12 = Disclosure.Lattice.down l [ w1; w2 ] in
+  (* The join view is below the pair (it can be rewritten from them)... *)
+  Helpers.check_bool "J below {W1, W2}" true (Disclosure.Lattice.leq dj d12);
+  (* ...but the pair is not below the join: the join loses the dangling
+     tuples. *)
+  Helpers.check_bool "{W1, W2} not below J" false (Disclosure.Lattice.leq d12 dj)
+
+(* --- The Facebook join-view model ------------------------------------- *)
+
+(* A compact friend/birthday schema: F(owner, friend), U(uid, birthday). *)
+let fb_general =
+  General.create
+    [
+      ("FriendList", pq "FriendList(y) :- F('me', y)");
+      ("FriendsBirthday", pq "FriendsBirthday(u, b) :- F('me', u), U(u, b)");
+      ("OwnBirthday", pq "OwnBirthday(b) :- U('me', b)");
+    ]
+
+let test_general_join_permission () =
+  (* Friend birthdays, asked with the natural join: answerable. *)
+  let q = pq "Q(u, b) :- F('me', u), U(u, b)" in
+  Helpers.check_bool "friends birthday join" true (General.answerable fb_general q);
+  Alcotest.check
+    Alcotest.(list string)
+    "individually sufficient views" [ "FriendsBirthday" ] (General.plus fb_general q);
+  (* A stranger's birthday is not answerable. *)
+  Helpers.check_bool "arbitrary birthday refused" false
+    (General.answerable fb_general (pq "Q(u, b) :- U(u, b)"));
+  (* Boolean: do I have any friend with a birthday record? *)
+  Helpers.check_bool "boolean over join" true
+    (General.answerable fb_general (pq "Q() :- F('me', u), U(u, b)"))
+
+let test_general_monitor_wall () =
+  let m =
+    General.monitor fb_general
+      ~partitions:
+        [ ("social", [ "FriendList"; "FriendsBirthday" ]); ("own", [ "OwnBirthday" ]) ]
+  in
+  Helpers.check_int "both alive" 2 (List.length (General.alive m));
+  Helpers.check_bool "own birthday answered" true
+    (General.submit m (pq "Q(b) :- U('me', b)") = General.Answered);
+  Alcotest.check Alcotest.(list string) "own chosen" [ "own" ] (General.alive m);
+  Helpers.check_bool "friend list now refused" true
+    (General.submit m (pq "Q(y) :- F('me', y)") = General.Refused)
+
+let test_general_duplicate_view () =
+  Alcotest.check_raises "duplicate name" (General.Duplicate_view "A") (fun () ->
+      ignore (General.create [ ("A", pq "A(x) :- R(x)"); ("A", pq "A(y) :- S(y)") ]))
+
+let test_denormalization_agreement () =
+  (* The paper's claim (Section 7.2): the is_friend denormalization does not
+     change decisions. Compare the join-view model against the denormalized
+     single-atom model on both query styles. *)
+  let denorm =
+    Disclosure.Pipeline.create
+      [
+        Helpers.sview "FriendList(y) :- Fd('me', y, i)";
+        Helpers.sview "FriendsBirthday(u, b) :- Ud(u, b, true)";
+        Helpers.sview "OwnBirthday(b) :- Ud('me', b, i)";
+      ]
+  in
+  let registry = Disclosure.Pipeline.registry denorm in
+  let policy =
+    Disclosure.Policy.stateless registry (Disclosure.Pipeline.views denorm)
+  in
+  let checks =
+    [
+      (* (join-style query for the general model,
+          denormalized query for the single-atom model, expected decision) *)
+      ("Q(u, b) :- F('me', u), U(u, b)", "Q(u, b) :- Ud(u, b, true)", true);
+      ("Q(b) :- U('me', b)", "Q(b) :- Ud('me', b, i)", true);
+      ("Q(u, b) :- U(u, b)", "Q(u, b) :- Ud(u, b, i)", false);
+    ]
+  in
+  List.iter
+    (fun (join_q, denorm_q, expected) ->
+      Helpers.check_bool ("join model: " ^ join_q) expected
+        (General.answerable fb_general (pq join_q));
+      Helpers.check_bool ("denormalized model: " ^ denorm_q) expected
+        (Disclosure.Policy.allowed policy
+           (Disclosure.Pipeline.label denorm (pq denorm_q))))
+    checks
+
+(* Randomized generalization of the denormalization claim: for every view
+   family S ⊆ {a1, a2, a3} and every query projecting T with target self /
+   friend / anyone, the join-view model and the denormalized single-atom
+   model make the same decision. *)
+let test_denormalization_random () =
+  let attrs = [ "a1"; "a2"; "a3" ] in
+  let rng = Workload.Rng.create 20130622 in
+  let term_of ~dist attr =
+    if List.mem attr dist then Printf.sprintf "%s" attr else Printf.sprintf "%s_e" attr
+  in
+  for _ = 1 to 60 do
+    let s = Workload.Rng.nonempty_subset rng attrs in
+    (* Join-model views over P(uid, a1, a2, a3) and F(owner, friend). *)
+    let p_args dist = String.concat ", " (List.map (term_of ~dist) attrs) in
+    let own =
+      pq
+        (Printf.sprintf "OwnS(%s) :- P('me', %s)" (String.concat ", " s) (p_args s))
+    in
+    let friends =
+      pq
+        (Printf.sprintf "FriendsS(u, %s) :- F('me', u), P(u, %s)"
+           (String.concat ", " s) (p_args s))
+    in
+    let join_model = General.create [ ("OwnS", own); ("FriendsS", friends) ] in
+    (* Denormalized views over Pd(uid, a1, a2, a3, is_friend). *)
+    let denorm =
+      Disclosure.Pipeline.create
+        [
+          Helpers.sview
+            (Printf.sprintf "OwnS(%s) :- Pd('me', %s, i)" (String.concat ", " s)
+               (p_args s));
+          Helpers.sview
+            (Printf.sprintf "FriendsS(u, %s) :- Pd(u, %s, true)" (String.concat ", " s)
+               (p_args s));
+        ]
+    in
+    let policy =
+      Disclosure.Policy.stateless
+        (Disclosure.Pipeline.registry denorm)
+        (Disclosure.Pipeline.views denorm)
+    in
+    let t = Workload.Rng.subset rng attrs in
+    let head = String.concat ", " t in
+    let target = Workload.Rng.int rng 3 in
+    let join_q, denorm_q =
+      match target with
+      | 0 ->
+        (* self *)
+        ( Printf.sprintf "Q(%s) :- P('me', %s)" head (p_args t),
+          Printf.sprintf "Q(%s) :- Pd('me', %s, i)" head (p_args t) )
+      | 1 ->
+        (* friends; the friend uid is part of the answer *)
+        let head = String.concat ", " ("u" :: t) in
+        ( Printf.sprintf "Q(%s) :- F('me', u), P(u, %s)" head (p_args t),
+          Printf.sprintf "Q(%s) :- Pd(u, %s, true)" head (p_args t) )
+      | _ ->
+        (* anyone *)
+        let head = String.concat ", " ("u" :: t) in
+        ( Printf.sprintf "Q(%s) :- P(u, %s)" head (p_args t),
+          Printf.sprintf "Q(%s) :- Pd(u, %s, i)" head (p_args t) )
+    in
+    let via_join = General.answerable join_model (pq join_q) in
+    let via_denorm =
+      Disclosure.Policy.allowed policy (Disclosure.Pipeline.label denorm (pq denorm_q))
+    in
+    Helpers.check_bool
+      (Printf.sprintf "S={%s}: %s vs %s" (String.concat "," s) join_q denorm_q)
+      via_join via_denorm
+  done
+
+let suite =
+  [
+    Alcotest.test_case "expansion basics" `Quick test_expansion_basic;
+    Alcotest.test_case "expansion keeps base atoms" `Quick test_expansion_base_atoms_kept;
+    Alcotest.test_case "expansion errors" `Quick test_expansion_errors;
+    Alcotest.test_case "path queries" `Quick test_path_queries;
+    Alcotest.test_case "join across views" `Quick test_join_across_views;
+    Alcotest.test_case "projection loses join" `Quick test_projection_loss;
+    Alcotest.test_case "constant views" `Quick test_constant_views;
+    Alcotest.test_case "minimization first" `Quick test_minimization_first;
+    Alcotest.test_case "single-atom agreement" `Quick test_single_atom_agreement;
+    Alcotest.test_case "conjunctive-order lattice" `Quick test_conjunctive_order_lattice;
+    Alcotest.test_case "join permissions (General)" `Quick test_general_join_permission;
+    Alcotest.test_case "General monitor wall" `Quick test_general_monitor_wall;
+    Alcotest.test_case "General duplicate view" `Quick test_general_duplicate_view;
+    Alcotest.test_case "denormalization agreement" `Quick test_denormalization_agreement;
+    Alcotest.test_case "denormalization agreement (randomized)" `Quick
+      test_denormalization_random;
+  ]

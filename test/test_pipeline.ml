@@ -1,0 +1,168 @@
+(* Tests for the registry, compressed labels, and the three labeler variants
+   of the production pipeline (Sections 5–6). *)
+
+module Pipeline = Disclosure.Pipeline
+module Registry = Disclosure.Registry
+module Label = Disclosure.Label
+module Order = Disclosure.Order
+module RS = Disclosure.Rewrite_single
+module Sview = Disclosure.Sview
+
+let pq = Helpers.pq
+let sview = Helpers.sview
+
+let fig1_views =
+  [
+    sview "V1(x, y) :- Meetings(x, y)";
+    sview "V2(x) :- Meetings(x, y)";
+    sview "V3(x, y, z) :- Contacts(x, y, z)";
+  ]
+
+let fig1_pipeline = Pipeline.create fig1_views
+
+let label_names p q =
+  Pipeline.label p q
+  |> Label.atoms
+  |> List.map (fun al ->
+         Label.views_of_atom (Pipeline.registry p) al
+         |> List.map (fun v -> v.Sview.name)
+         |> String.concat ",")
+
+let test_registry () =
+  let r = Pipeline.registry fig1_pipeline in
+  Helpers.check_int "three views" 3 (Registry.size r);
+  Helpers.check_int "two relations" 2 (Registry.relation_count r);
+  Helpers.check_int "meetings entries" 2 (Array.length (Registry.entries_for r "Meetings"));
+  Helpers.check_int "contacts entries" 1 (Array.length (Registry.entries_for r "Contacts"));
+  Helpers.check_bool "unknown relation empty" true
+    (Array.length (Registry.entries_for r "Nope") = 0);
+  Helpers.check_bool "find by name" true (Registry.find_view r "V2" <> None);
+  Helpers.check_string "rel name roundtrip" "Meetings"
+    (Registry.rel_name r (Option.get (Registry.rel_id r "Meetings")))
+
+let test_registry_errors () =
+  Alcotest.check_raises "duplicate names" (Registry.Duplicate_view "V1") (fun () ->
+      ignore (Pipeline.create [ List.nth fig1_views 0; List.nth fig1_views 0 ]));
+  let many =
+    List.init 32 (fun i -> sview (Printf.sprintf "W%d(x) :- R(x, y)" i))
+  in
+  Alcotest.check_raises "view overflow" (Registry.Too_many_views "R") (fun () ->
+      ignore (Pipeline.create many))
+
+let test_fig1_labels () =
+  (* Section 1.1: label(Q1) = {V1}, label(Q2) = {V1, V3}. *)
+  Alcotest.check
+    Alcotest.(list string)
+    "Q1 labels {V1}" [ "V1" ]
+    (label_names fig1_pipeline (pq "Q1(x) :- Meetings(x, 'Cathy')"));
+  Alcotest.check
+    Alcotest.(list string)
+    "Q2 labels {V1; V3}" [ "V1"; "V3" ]
+    (label_names fig1_pipeline (pq "Q2(x) :- Meetings(x, y), Contacts(y, w, 'Intern')"))
+
+let test_plus_set_semantics () =
+  (* The time-slot projection is answerable from V1 and V2. *)
+  let atoms = Disclosure.Dissect.dissect (pq "Q(x) :- Meetings(x, y)") in
+  match atoms with
+  | [ atom ] ->
+    let plus = Pipeline.plus_views fig1_pipeline atom in
+    Alcotest.check
+      Alcotest.(list string)
+      "ℓ⁺ = {V1, V2}" [ "V1"; "V2" ]
+      (List.map (fun v -> v.Sview.name) plus)
+  | _ -> Alcotest.fail "expected one atom"
+
+let test_top_label () =
+  let l = Pipeline.label fig1_pipeline (pq "Q(x) :- Unknown(x)") in
+  Helpers.check_bool "unknown relation is top" true (Label.is_top l);
+  (* A Meetings query revealing more than any view also tops out when views
+     are weaker. *)
+  let weak = Pipeline.create [ sview "V2(x) :- Meetings(x, y)" ] in
+  Helpers.check_bool "full table exceeds V2" true
+    (Label.is_top (Pipeline.label weak (pq "Q(x, y) :- Meetings(x, y)")))
+
+let test_label_comparison () =
+  let l1 = Pipeline.label fig1_pipeline (pq "Q(x) :- Meetings(x, y)") in
+  let l2 = Pipeline.label fig1_pipeline (pq "Q(x, y) :- Meetings(x, y)") in
+  (* ℓ(projection) ⪯ ℓ(full table): ℓ⁺ superset. *)
+  Helpers.check_bool "projection below full" true (Label.leq l1 l2);
+  Helpers.check_bool "full not below projection" false (Label.leq l2 l1);
+  Helpers.check_bool "reflexive" true (Label.leq l1 l1);
+  let top = Pipeline.label fig1_pipeline (pq "Q(x) :- Unknown(x)") in
+  Helpers.check_bool "everything below top" true (Label.leq l2 top);
+  Helpers.check_bool "top above all" false (Label.leq top l2)
+
+let test_label_encoding () =
+  let al = Label.make_atom ~rel_id:5 ~mask:0b1011 in
+  Helpers.check_int "rel" 5 (Label.rel al);
+  Helpers.check_int "mask" 0b1011 (Label.mask al);
+  Helpers.check_bool "not top" false (Label.is_top_atom al);
+  Helpers.check_bool "top atom" true (Label.is_top_atom Label.top_atom);
+  Helpers.check_bool "subset means leq" true
+    (Label.atom_leq (Label.make_atom ~rel_id:5 ~mask:0b1111) al);
+  Helpers.check_bool "different rel incomparable" false
+    (Label.atom_leq (Label.make_atom ~rel_id:4 ~mask:0b1111) al);
+  Alcotest.check_raises "mask overflow"
+    (Invalid_argument "Label.make_atom: argument out of range") (fun () ->
+      ignore (Label.make_atom ~rel_id:0 ~mask:(1 lsl 31)))
+
+(* The three variants agree: the explicit GLB label of each variant denotes
+   the same lattice point as the decoded bit-vector label. *)
+let variants_agree p q =
+  let bitvec = Pipeline.label p q in
+  let hashed = Pipeline.label_hashed p q in
+  let baseline = Pipeline.label_baseline p q in
+  (match hashed, baseline with
+  | Some h, Some b ->
+    Helpers.check_bool "hashed = baseline" true (Order.equiv Order.rewriting h b)
+  | None, None -> ()
+  | _ -> Alcotest.fail "hashed and baseline disagree about top");
+  match hashed with
+  | None -> Helpers.check_bool "bitvector also top" true (Label.is_top bitvec)
+  | Some h ->
+    Helpers.check_bool "bitvector not top" false (Label.is_top bitvec);
+    (* Each dissected atom's GLB (from ℓ⁺ views) must be ≡ to the explicit
+       label as a set. *)
+    let decoded =
+      Label.atoms bitvec
+      |> List.concat_map (fun al ->
+             let plus =
+               Label.views_of_atom (Pipeline.registry p) al
+               |> List.map (fun v -> v.Sview.atom)
+             in
+             Disclosure.Glb.of_many (List.map (fun v -> [ v ]) plus))
+    in
+    Helpers.check_bool "decoded bitvector ≡ explicit" true
+      (Order.equiv Order.rewriting decoded h)
+
+let test_variants_agree () =
+  let queries =
+    [
+      "Q1(x) :- Meetings(x, 'Cathy')";
+      "Q2(x) :- Meetings(x, y), Contacts(y, w, 'Intern')";
+      "Q3(x) :- Meetings(x, y)";
+      "Q4() :- Meetings(x, y)";
+      "Q5(p, e) :- Contacts(p, e, z)";
+      "Q6(x) :- Unknown(x)";
+    ]
+  in
+  List.iter (fun s -> variants_agree fig1_pipeline (pq s)) queries
+
+let test_variants_agree_fb () =
+  let p = Fbschema.Fb_views.pipeline () in
+  let gen = Workload.Querygen.create ~seed:7 () in
+  let queries = Workload.Querygen.generate_many gen ~n:50 ~max_subqueries:3 in
+  List.iter (variants_agree p) queries
+
+let suite =
+  [
+    Alcotest.test_case "registry structure" `Quick test_registry;
+    Alcotest.test_case "registry errors" `Quick test_registry_errors;
+    Alcotest.test_case "Figure 1 labels" `Quick test_fig1_labels;
+    Alcotest.test_case "ℓ⁺ sets" `Quick test_plus_set_semantics;
+    Alcotest.test_case "top labels" `Quick test_top_label;
+    Alcotest.test_case "label comparison" `Quick test_label_comparison;
+    Alcotest.test_case "label encoding" `Quick test_label_encoding;
+    Alcotest.test_case "variants agree (Figure 1)" `Quick test_variants_agree;
+    Alcotest.test_case "variants agree (Facebook workload)" `Quick test_variants_agree_fb;
+  ]

@@ -1,0 +1,170 @@
+(* Tests for security policies and the reference monitor (Sections 3.4 and
+   6.2, Examples 6.2 and 6.3). *)
+
+module Pipeline = Disclosure.Pipeline
+module Policy = Disclosure.Policy
+module Monitor = Disclosure.Monitor
+module Label = Disclosure.Label
+
+let pq = Helpers.pq
+let sview = Helpers.sview
+
+let v1 = sview "V1(x, y) :- Meetings(x, y)"
+let v2 = sview "V2(x) :- Meetings(x, y)"
+let v3 = sview "V3(x, y, z) :- Contacts(x, y, z)"
+let v6 = sview "V6(x, y) :- Contacts(x, y, z)"
+let v7 = sview "V7(x, z) :- Contacts(x, y, z)"
+
+let pipeline = Pipeline.create [ v1; v2; v3; v6; v7 ]
+
+let registry = Pipeline.registry pipeline
+
+let label s = Pipeline.label pipeline (pq s)
+
+let decision_testable = Alcotest.testable Monitor.pp_decision Monitor.decision_equal
+
+let test_stateless_allow () =
+  let policy = Policy.stateless registry [ v2 ] in
+  Helpers.check_bool "time slots allowed" true
+    (Policy.allowed policy (label "Q(x) :- Meetings(x, y)"));
+  Helpers.check_bool "full table refused" false
+    (Policy.allowed policy (label "Q(x, y) :- Meetings(x, y)"));
+  Helpers.check_bool "boolean allowed" true
+    (Policy.allowed policy (label "Q() :- Meetings(x, y)"))
+
+let test_policy_cross_relation () =
+  let policy = Policy.stateless registry [ v2; v3 ] in
+  Helpers.check_bool "contacts allowed" true
+    (Policy.allowed policy (label "Q(x, y, z) :- Contacts(x, y, z)"));
+  (* The Figure 1 join query needs V1, which the policy does not grant. *)
+  Helpers.check_bool "join refused" false
+    (Policy.allowed policy (label "Q(x) :- Meetings(x, y), Contacts(y, w, 'Intern')"))
+
+let test_policy_top_refused () =
+  let policy = Policy.stateless registry [ v1; v2; v3; v6; v7 ] in
+  Helpers.check_bool "unknown relation refused" false
+    (Policy.allowed policy (label "Q(x) :- Unknown(x)"))
+
+let test_policy_empty_error () =
+  Alcotest.check_raises "no partitions" (Invalid_argument "Policy.make: no partitions")
+    (fun () -> ignore (Policy.make registry []))
+
+let test_monitor_stateless () =
+  let m = Monitor.create (Policy.stateless registry [ v2 ]) in
+  Alcotest.check decision_testable "allowed" Monitor.Answered
+    (Monitor.submit m (label "Q(x) :- Meetings(x, y)"));
+  Alcotest.check decision_testable "refused" Monitor.Refused
+    (Monitor.submit m (label "Q(x, y) :- Meetings(x, y)"));
+  Alcotest.check decision_testable "still allowed after refusal" Monitor.Answered
+    (Monitor.submit m (label "Q() :- Meetings(x, y)"));
+  Helpers.check_int "answered count" 2 (Monitor.answered_count m);
+  Helpers.check_int "refused count" 1 (Monitor.refused_count m)
+
+let test_monitor_chinese_wall () =
+  (* Example 6.2: either Meetings or Contacts, but not both. *)
+  let policy = Policy.make registry [ ("meetings", [ v1; v2 ]); ("contacts", [ v3; v6; v7 ]) ] in
+  let m = Monitor.create policy in
+  Alcotest.check
+    Alcotest.(list string)
+    "both alive initially" [ "meetings"; "contacts" ] (Monitor.alive m);
+  (* V6 is covered by the contacts partition only. *)
+  Alcotest.check decision_testable "V6 answered" Monitor.Answered
+    (Monitor.submit m (label "Q(x, y) :- Contacts(x, y, z)"));
+  Alcotest.check Alcotest.(list string) "wall chosen" [ "contacts" ] (Monitor.alive m);
+  (* V7 still fine under the same partition (Example 6.3: bit vector stays
+     <1,0> in the paper's numbering). *)
+  Alcotest.check decision_testable "V7 answered" Monitor.Answered
+    (Monitor.submit m (label "Q(x, z) :- Contacts(x, y, z)"));
+  Alcotest.check Alcotest.(list string) "unchanged" [ "contacts" ] (Monitor.alive m);
+  (* Crossing the wall: a Meetings query is now refused even though the
+     meetings partition would have covered it initially. *)
+  Alcotest.check decision_testable "V2 refused" Monitor.Refused
+    (Monitor.submit m (label "Q(x) :- Meetings(x, y)"));
+  Alcotest.check
+    Alcotest.(list string)
+    "state unchanged by refusal" [ "contacts" ] (Monitor.alive m)
+
+let test_monitor_narrowing () =
+  (* A query covered by both partitions keeps both alive; a later query
+     narrows the choice. *)
+  let policy =
+    Policy.make registry [ ("a", [ v2; v3 ]); ("b", [ v1 ]) ]
+  in
+  let m = Monitor.create policy in
+  Alcotest.check decision_testable "covered by both" Monitor.Answered
+    (Monitor.submit m (label "Q(x) :- Meetings(x, y)"));
+  Helpers.check_int "both alive" 2 (List.length (Monitor.alive m));
+  Alcotest.check decision_testable "contacts narrows to a" Monitor.Answered
+    (Monitor.submit m (label "Q(x, y, z) :- Contacts(x, y, z)"));
+  Alcotest.check Alcotest.(list string) "only a" [ "a" ] (Monitor.alive m);
+  (* Now the full Meetings table (only under b) must be refused. *)
+  Alcotest.check decision_testable "b is dead" Monitor.Refused
+    (Monitor.submit m (label "Q(x, y) :- Meetings(x, y)"))
+
+let test_monitor_reset () =
+  let policy = Policy.make registry [ ("meetings", [ v1 ]); ("contacts", [ v3 ]) ] in
+  let m = Monitor.create policy in
+  ignore (Monitor.submit m (label "Q(x, y) :- Meetings(x, y)"));
+  Helpers.check_int "narrowed" 1 (List.length (Monitor.alive m));
+  Monitor.reset m;
+  Helpers.check_int "restored" 2 (List.length (Monitor.alive m));
+  Helpers.check_int "counters cleared" 0 (Monitor.answered_count m)
+
+let test_monitor_submit_query () =
+  let m = Monitor.create (Policy.stateless registry [ v2 ]) in
+  Alcotest.check decision_testable "submit_query" Monitor.Answered
+    (Monitor.submit_query m pipeline (pq "Q(x) :- Meetings(x, y)"))
+
+let test_monitor_cumulative_invariant () =
+  (* The invariant of Section 6.2: after any sequence of submissions, the set
+     of answered queries is below some partition. We track answered labels and
+     check the invariant against the alive partitions directly. *)
+  let policy = Policy.make registry [ ("meetings", [ v1; v2 ]); ("contacts", [ v3; v6; v7 ]) ] in
+  let m = Monitor.create policy in
+  let queries =
+    [
+      "Q(x) :- Meetings(x, y)";
+      "Q(x, y) :- Meetings(x, y)";
+      "Q(x, y) :- Contacts(x, y, z)";
+      "Q() :- Meetings(x, y)";
+      "Q(x, y, z) :- Contacts(x, y, z)";
+    ]
+  in
+  let answered = ref [] in
+  List.iter
+    (fun s ->
+      let l = label s in
+      match Monitor.submit m l with
+      | Monitor.Answered -> answered := l :: !answered
+      | Monitor.Refused -> ())
+    queries;
+  let alive = Monitor.alive m in
+  Helpers.check_bool "some partition alive" true (alive <> []);
+  (* Every answered label must be covered by every alive partition. *)
+  Array.iteri
+    (fun i p ->
+      if Monitor.alive_mask m land (1 lsl i) <> 0 then
+        List.iter
+          (fun l -> Helpers.check_bool "invariant" true (Policy.partition_covers p l))
+          !answered)
+    (Policy.partitions (Monitor.policy m))
+
+let test_too_many_partitions () =
+  let parts = List.init 63 (fun i -> (Printf.sprintf "p%d" i, [ v1 ])) in
+  Alcotest.check_raises "62 partition cap" (Monitor.Too_many_partitions 63) (fun () ->
+      ignore (Monitor.create (Policy.make registry parts)))
+
+let suite =
+  [
+    Alcotest.test_case "stateless allow/refuse" `Quick test_stateless_allow;
+    Alcotest.test_case "cross-relation policy" `Quick test_policy_cross_relation;
+    Alcotest.test_case "top refused" `Quick test_policy_top_refused;
+    Alcotest.test_case "empty policy error" `Quick test_policy_empty_error;
+    Alcotest.test_case "stateless monitor" `Quick test_monitor_stateless;
+    Alcotest.test_case "Chinese Wall (Examples 6.2, 6.3)" `Quick test_monitor_chinese_wall;
+    Alcotest.test_case "partition narrowing" `Quick test_monitor_narrowing;
+    Alcotest.test_case "monitor reset" `Quick test_monitor_reset;
+    Alcotest.test_case "submit_query" `Quick test_monitor_submit_query;
+    Alcotest.test_case "cumulative invariant" `Quick test_monitor_cumulative_invariant;
+    Alcotest.test_case "partition cap" `Quick test_too_many_partitions;
+  ]

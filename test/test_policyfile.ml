@@ -1,0 +1,106 @@
+(* Tests for the deployment configuration format (Policyfile). *)
+
+module Policyfile = Disclosure.Policyfile
+module Service = Disclosure.Service
+module Monitor = Disclosure.Monitor
+module Sview = Disclosure.Sview
+
+let pq = Helpers.pq
+
+let config_text =
+  "# Alice's deployment\n\
+   view V1(x, y) :- Meetings(x, y)\n\
+   view V2(x) :- Meetings(x, y)\n\
+   view V3(x, y, z) :- Contacts(x, y, z)\n\
+   \n\
+   principal calendar-app\n\
+   partition default: V2\n\
+   \n\
+   principal crm-app\n\
+   partition meetings: V1, V2\n\
+   partition contacts: V3\n"
+
+let parse_ok text =
+  match Policyfile.parse text with
+  | Ok t -> t
+  | Error e -> Alcotest.fail e
+
+let test_parse () =
+  let t = parse_ok config_text in
+  Helpers.check_int "three views" 3 (List.length t.Policyfile.views);
+  Helpers.check_int "two principals" 2 (List.length t.Policyfile.principals);
+  let _, crm = List.nth t.Policyfile.principals 1 in
+  Helpers.check_int "crm partitions" 2 (List.length crm);
+  Alcotest.check
+    Alcotest.(list string)
+    "meetings partition views" [ "V1"; "V2" ]
+    (snd (List.hd crm))
+
+let test_load_and_enforce () =
+  let t = parse_ok config_text in
+  match Policyfile.load t with
+  | Error e -> Alcotest.fail e
+  | Ok service ->
+    Alcotest.check
+      Alcotest.(list string)
+      "principals" [ "calendar-app"; "crm-app" ] (Service.principals service);
+    Helpers.check_bool "calendar slots ok" true
+      (Service.submit service ~principal:"calendar-app" (pq "Q(x) :- Meetings(x, y)")
+      = Monitor.Answered);
+    Helpers.check_bool "calendar full table refused" true
+      (Service.submit service ~principal:"calendar-app" (pq "Q(x, y) :- Meetings(x, y)")
+      = Monitor.Refused);
+    Helpers.check_bool "crm wall" true
+      (Service.submit service ~principal:"crm-app" (pq "Q(x, y, z) :- Contacts(x, y, z)")
+      = Monitor.Answered);
+    Alcotest.check
+      Alcotest.(list string)
+      "crm narrowed" [ "contacts" ]
+      (Service.alive service ~principal:"crm-app")
+
+let test_roundtrip () =
+  let t = parse_ok config_text in
+  let t' = parse_ok (Policyfile.to_string t) in
+  Helpers.check_bool "views preserved" true
+    (List.for_all2 Sview.equal t.Policyfile.views t'.Policyfile.views);
+  Helpers.check_bool "principals preserved" true
+    (t.Policyfile.principals = t'.Policyfile.principals)
+
+let test_parse_errors () =
+  let fails text = Helpers.check_bool text true (Result.is_error (Policyfile.parse text)) in
+  fails "partition default: V1\n";
+  (* partition before principal *)
+  fails "view broken syntax\n";
+  fails "view V(x) :- R(x), S(x)\n";
+  (* joins are not single-atom views *)
+  fails "nonsense directive\n";
+  fails "principal p\npartition : V1\n";
+  fails "principal p\npartition d:\n"
+
+let test_load_errors () =
+  let unknown = parse_ok "view V1(x) :- R(x, y)\nprincipal p\npartition d: V9\n" in
+  Helpers.check_bool "unknown view" true (Result.is_error (Policyfile.load unknown));
+  let no_parts = parse_ok "view V1(x) :- R(x, y)\nprincipal p\n" in
+  Helpers.check_bool "no partitions" true (Result.is_error (Policyfile.load no_parts));
+  let dup =
+    parse_ok
+      "view V1(x) :- R(x, y)\nprincipal p\npartition d: V1\nprincipal p\npartition d: V1\n"
+  in
+  Helpers.check_bool "duplicate principal" true (Result.is_error (Policyfile.load dup))
+
+let test_error_line_numbers () =
+  match Policyfile.parse "view V1(x) :- R(x, y)\n\nbroken\n" with
+  | Ok _ -> Alcotest.fail "expected error"
+  | Error msg ->
+    Helpers.check_bool "mentions line 3" true
+      (String.length msg >= 6 && String.sub msg 0 6 = "line 3")
+
+let suite =
+  [
+    Alcotest.test_case "parse" `Quick test_parse;
+    Alcotest.test_case "load and enforce" `Quick test_load_and_enforce;
+    Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "load errors" `Quick test_load_errors;
+    Alcotest.test_case "error line numbers" `Quick test_error_line_numbers;
+  ]

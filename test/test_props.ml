@@ -1,0 +1,456 @@
+(* Property-based tests (qcheck): the laws the disclosure machinery must
+   satisfy on randomly generated atoms, queries, and databases. *)
+
+module Tagged = Disclosure.Tagged
+module RS = Disclosure.Rewrite_single
+module Glb = Disclosure.Glb
+module Order = Disclosure.Order
+module Sview = Disclosure.Sview
+module Dissect = Disclosure.Dissect
+module Pipeline = Disclosure.Pipeline
+module Label = Disclosure.Label
+module Relation = Relational.Relation
+
+let count = 200
+
+let prop name arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb f)
+
+let prop_n n name arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count:n ~name arb f)
+
+(* --- The ⪯ decision procedure ------------------------------------------- *)
+
+let leq_reflexive =
+  prop "⪯ reflexive" Generators.arbitrary_tagged_atom (fun a -> RS.leq_atom a a)
+
+let leq_transitive =
+  prop "⪯ transitive" Generators.arbitrary_atom_triple (fun (a, b, c) ->
+      QCheck.assume (RS.leq_atom a b && RS.leq_atom b c);
+      RS.leq_atom a c)
+
+let leq_iso_invariant =
+  prop "⪯ invariant under canonicalization" Generators.arbitrary_atom_pair (fun (a, b) ->
+      RS.leq_atom a b = RS.leq_atom (Tagged.canonicalize a) (Tagged.canonicalize b))
+
+let leq_matches_brute_force =
+  prop_n 250 "⪯ agrees with brute-force rewriting search" Generators.arbitrary_atom_pair
+    (fun (query, view) ->
+      Bool.equal (RS.leq_atom query view) (Brute_force.rewritable ~query ~view))
+
+let mutual_leq_is_iso =
+  prop "mutual ⪯ coincides with iso-equivalence" Generators.arbitrary_atom_pair
+    (fun (a, b) ->
+      Bool.equal
+        (RS.leq_atom a b && RS.leq_atom b a)
+        (Tagged.iso_equivalent a b))
+
+(* Semantic soundness: a witness rewriting computes the query's answer from
+   the materialized view on every database. *)
+let witness_semantics =
+  prop_n 300 "witness rewritings are semantically faithful" Generators.arbitrary_atom_pair_db
+    (fun ((query, view), db) ->
+      match RS.check ~query ~view with
+      | None -> QCheck.assume_fail ()
+      | Some rw ->
+        let sv = Sview.make ~name:"W" view in
+        let via_view = RS.execute ~view_answer:(Sview.eval db sv) rw in
+        let direct = Cq.Eval.eval db (Tagged.atom_to_query query) in
+        Relation.equal via_view direct)
+
+let expansion_iso =
+  prop "expansions are iso-equivalent to the query" Generators.arbitrary_atom_pair
+    (fun (query, view) ->
+      match RS.check ~query ~view with
+      | None -> QCheck.assume_fail ()
+      | Some rw -> Tagged.iso_equivalent (RS.expand ~view rw) query)
+
+(* --- GLB ------------------------------------------------------------------ *)
+
+let glb_lower_bound =
+  prop "GLB is a lower bound" Generators.arbitrary_atom_pair (fun (a, b) ->
+      match Glb.singleton a b with
+      | None -> true
+      | Some g -> RS.leq_atom g a && RS.leq_atom g b)
+
+let glb_commutative =
+  prop "GLB commutative up to iso" Generators.arbitrary_atom_pair (fun (a, b) ->
+      match Glb.singleton a b, Glb.singleton b a with
+      | None, None -> true
+      | Some g1, Some g2 -> Tagged.iso_equivalent g1 g2
+      | _ -> false)
+
+let glb_idempotent =
+  prop "GLB idempotent" Generators.arbitrary_tagged_atom (fun a ->
+      match Glb.singleton a a with
+      | Some g -> Tagged.iso_equivalent g a
+      | None -> false)
+
+let glb_greatest =
+  prop "GLB is greatest among sampled lower bounds" Generators.arbitrary_atom_triple
+    (fun (a, b, x) ->
+      QCheck.assume (RS.leq_atom x a && RS.leq_atom x b);
+      match Glb.singleton a b with
+      | None -> false (* x is a common lower bound, so ⊥ cannot be the GLB *)
+      | Some g -> RS.leq_atom x g)
+
+let glb_sets_associative =
+  prop_n 100 "set GLB associative up to ≡" Generators.arbitrary_atom_triple
+    (fun (a, b, c) ->
+      let l = Glb.of_sets (Glb.of_sets [ a ] [ b ]) [ c ] in
+      let r = Glb.of_sets [ a ] (Glb.of_sets [ b ] [ c ]) in
+      (l = [] && r = []) || RS.equiv l r)
+
+let glb_semantic_lower =
+  (* Whatever the GLB reveals is computable from either operand: check that a
+     witness rewriting exists and is faithful on random data. *)
+  prop_n 200 "GLB semantically below operands" Generators.arbitrary_atom_pair_db
+    (fun ((a, b), db) ->
+      match Glb.singleton a b with
+      | None -> QCheck.assume_fail ()
+      | Some g -> (
+        match RS.check ~query:g ~view:a with
+        | None -> false
+        | Some rw ->
+          let sv = Sview.make ~name:"A" a in
+          Relation.equal
+            (RS.execute ~view_answer:(Sview.eval db sv) rw)
+            (Cq.Eval.eval db (Tagged.atom_to_query g))))
+
+(* --- Minimization and dissection ------------------------------------------ *)
+
+let minimize_equivalent =
+  prop "minimize preserves equivalence" Generators.arbitrary_query (fun q ->
+      Cq.Containment.equivalent q (Cq.Minimize.minimize q))
+
+let minimize_idempotent =
+  prop "minimize idempotent" Generators.arbitrary_query (fun q ->
+      let m = Cq.Minimize.minimize q in
+      Cq.Query.equal m (Cq.Minimize.minimize m))
+
+let minimize_minimal =
+  prop "minimize yields minimal queries" Generators.arbitrary_query (fun q ->
+      Cq.Minimize.is_minimal (Cq.Minimize.minimize q))
+
+(* Independent minimality check that bypasses Minimize's pruning heuristics:
+   no atom of the minimized query can be dropped, judged by a direct
+   homomorphism search. Guards against false negatives in the absorbable
+   fast path. *)
+let minimize_minimal_bruteforce =
+  prop "minimize minimal (unpruned check)" Generators.arbitrary_query (fun q ->
+      let m = Cq.Minimize.minimize q in
+      let body = m.Cq.Query.body in
+      let removable i =
+        let body' = List.filteri (fun j _ -> j <> i) body in
+        match Cq.Query.make ~name:m.Cq.Query.name ~head:m.Cq.Query.head ~body:body' () with
+        | q' -> Cq.Homomorphism.exists ~from:m ~into:q'
+        | exception Cq.Query.Unsafe _ -> false
+      in
+      body = [ List.hd body ]
+      || not (List.exists removable (List.init (List.length body) Fun.id)))
+
+let minimize_semantics =
+  prop_n 300 "minimize preserves answers" Generators.arbitrary_query_db (fun (q, db) ->
+      Relation.equal (Cq.Eval.eval db q) (Cq.Eval.eval db (Cq.Minimize.minimize q)))
+
+let containment_semantics =
+  prop_n 300 "decided containment holds semantically" Generators.arbitrary_query_db
+    (fun (q, db) ->
+      let q2 = Cq.Minimize.minimize q in
+      (* q ≡ q2, so answers must coincide — a degenerate but guaranteed case —
+         plus: strip the last atom to get a weaker query when possible. *)
+      let weaker =
+        match q.Cq.Query.body with
+        | _ :: (_ :: _ as rest) -> (
+          match Cq.Query.make ~name:"W" ~head:q.Cq.Query.head ~body:rest () with
+          | w -> Some w
+          | exception Cq.Query.Unsafe _ -> None)
+        | _ -> None
+      in
+      let sub_ok =
+        match weaker with
+        | None -> true
+        | Some w ->
+          (not (Cq.Containment.contained_in q w))
+          ||
+          let rq = Cq.Eval.eval db q and rw = Cq.Eval.eval db w in
+          Relation.equal (Relation.inter rq rw) rq
+      in
+      sub_ok && Relation.equal (Cq.Eval.eval db q) (Cq.Eval.eval db q2))
+
+let dissect_well_formed =
+  prop "dissect produces well-formed single atoms" Generators.arbitrary_query (fun q ->
+      let atoms = Dissect.dissect q in
+      atoms <> []
+      && List.for_all Tagged.well_formed atoms
+      && List.length atoms <= List.length q.Cq.Query.body)
+
+let dissect_renaming_invariant =
+  (* Dissection is stable under variable renaming: the output iso classes
+     coincide. (Names themselves may differ — dedup works up to iso.) *)
+  prop "dissect invariant under renaming" Generators.arbitrary_query (fun q ->
+      let q' = Cq.Query.freshen ~suffix:"_r" q in
+      let a = Dissect.dissect q and b = Dissect.dissect q' in
+      List.length a = List.length b
+      && List.for_all (fun x -> List.exists (Tagged.iso_equivalent x) b) a)
+
+let dissect_label_above_atom_labels =
+  (* Each dissected atom of a single-atom query is the query itself. *)
+  prop "single atoms dissect to themselves" Generators.arbitrary_tagged_atom (fun a ->
+      QCheck.assume (Tagged.distinguished_vars a <> [] || Tagged.existential_vars a <> []);
+      match Dissect.dissect (Tagged.atom_to_query a) with
+      | [ b ] -> Tagged.iso_equivalent a b
+      | _ -> false)
+
+(* --- The chase -------------------------------------------------------------- *)
+
+let fds = Generators.props_fds
+
+let chase_idempotent =
+  prop "chase idempotent (up to FD-equivalence)" Generators.arbitrary_query (fun q ->
+      match Cq.Chase.chase ~fds q with
+      | None -> true
+      | Some c -> (
+        match Cq.Chase.chase ~fds c with
+        | None -> false (* a successful chase cannot turn unsatisfiable *)
+        | Some c' -> Cq.Containment.equivalent c c'))
+
+let chase_preserves_answers =
+  prop_n 300 "chase preserves answers on compliant databases"
+    Generators.arbitrary_query_compliant_db (fun (q, db) ->
+      match Cq.Chase.chase ~fds q with
+      | None -> Relation.is_empty (Cq.Eval.eval db q)
+      | Some c -> Relation.equal (Cq.Eval.eval db q) (Cq.Eval.eval db c))
+
+let chase_containment_sound =
+  prop_n 300 "FD-containment holds semantically on compliant databases"
+    Generators.arbitrary_query_pair_compliant_db (fun ((q1, q2), db) ->
+      QCheck.assume (Cq.Query.head_arity q1 = Cq.Query.head_arity q2);
+      QCheck.assume (Cq.Chase.contained_in ~fds q1 q2);
+      let r1 = Cq.Eval.eval db q1 and r2 = Cq.Eval.eval db q2 in
+      Relation.equal (Relation.inter r1 r2) r1)
+
+let chase_extends_containment =
+  prop "plain containment implies FD-containment" (QCheck.pair Generators.arbitrary_query Generators.arbitrary_query)
+    (fun (q1, q2) ->
+      QCheck.assume (Cq.Containment.contained_in q1 q2);
+      Cq.Chase.contained_in ~fds q1 q2)
+
+(* --- The multi-atom rewriting engine ---------------------------------------- *)
+
+let view_of_atom v =
+  let q = Tagged.atom_to_query v in
+  Cq.Query.make ~name:"TheView" ~head:q.Cq.Query.head ~body:q.Cq.Query.body ()
+
+let general_agrees_with_single_atom =
+  prop_n 150 "multi-atom engine agrees with positionwise procedure"
+    Generators.arbitrary_atom_pair (fun (q, v) ->
+      let query = Tagged.atom_to_query q in
+      let view = view_of_atom v in
+      Bool.equal (RS.leq_atom q v) (Rewriting.Rewrite.rewritable ~views:[ view ] query))
+
+let general_expansion_equivalent =
+  prop_n 150 "found rewritings expand to equivalent queries"
+    Generators.arbitrary_atom_pair (fun (q, v) ->
+      let query = Tagged.atom_to_query q in
+      let view = view_of_atom v in
+      match Rewriting.Rewrite.find ~views:[ view ] query with
+      | None -> QCheck.assume_fail ()
+      | Some rw ->
+        Cq.Containment.equivalent query (Rewriting.Expansion.expand ~views:[ view ] rw))
+
+let general_semantic =
+  (* Execute a found rewriting over materialized view answers and compare
+     with direct evaluation. *)
+  prop_n 150 "multi-atom rewritings are semantically faithful"
+    Generators.arbitrary_atom_pair_db (fun ((q, v), db) ->
+      let query = Tagged.atom_to_query q in
+      let view = view_of_atom v in
+      match Rewriting.Rewrite.find ~views:[ view ] query with
+      | None -> QCheck.assume_fail ()
+      | Some rw ->
+        let view_answer = Cq.Eval.eval db view in
+        let schema' =
+          Relational.Schema.add
+            { name = "TheView"; attrs = List.init (Cq.Query.head_arity view) (Printf.sprintf "c%d") }
+            Generators.props_schema
+        in
+        let db' = Relational.Database.create schema' in
+        let db' = Relational.Database.set_relation db' "TheView" view_answer in
+        (* Copy the base relations so rewritings mixing base atoms work. *)
+        let db' =
+          List.fold_left
+            (fun acc rel ->
+              Relational.Database.set_relation acc rel (Relational.Database.relation db rel))
+            db' [ "R"; "S" ]
+        in
+        Relational.Relation.equal (Cq.Eval.eval db' rw) (Cq.Eval.eval db query))
+
+(* --- Labels and policies --------------------------------------------------- *)
+
+let props_views =
+  [
+    Helpers.sview "W1(a, b, c) :- R(a, b, c)";
+    Helpers.sview "W2(a, b) :- R(a, b, c)";
+    Helpers.sview "W3(a) :- R(a, b, c)";
+    Helpers.sview "W4(b, c) :- R(a, b, c)";
+    Helpers.sview "W5(a, b) :- S(a, b)";
+    Helpers.sview "W6(a) :- S(a, b)";
+    Helpers.sview "W7() :- S(a, b)";
+    Helpers.sview "W8(a, c) :- R(a, b, c)";
+  ]
+
+let props_pipeline = Pipeline.create props_views
+
+let label_monotone =
+  prop "labels are monotone in ⪯ (single atoms)" Generators.arbitrary_atom_pair
+    (fun (a, b) ->
+      QCheck.assume (RS.leq_atom a b);
+      let la = Pipeline.label_atom props_pipeline a in
+      let lb = Pipeline.label_atom props_pipeline b in
+      Label.atom_leq la lb)
+
+let label_sound =
+  prop "ℓ⁺ views each answer the atom" Generators.arbitrary_tagged_atom (fun a ->
+      let plus = Pipeline.plus_views props_pipeline a in
+      List.for_all (fun v -> RS.leq_atom a v.Sview.atom) plus)
+
+let label_complete =
+  prop "ℓ⁺ misses no registered view" Generators.arbitrary_tagged_atom (fun a ->
+      let plus = Pipeline.plus_views props_pipeline a in
+      List.for_all
+        (fun v -> List.exists (Sview.equal v) plus || not (RS.leq_atom a v.Sview.atom))
+        props_views)
+
+let policy_monotone =
+  prop "policy coverage is ⪯-monotone" Generators.arbitrary_atom_pair (fun (a, b) ->
+      QCheck.assume (RS.leq_atom a b);
+      let registry = Pipeline.registry props_pipeline in
+      let policy = Disclosure.Policy.stateless registry [ List.nth props_views 1 ] in
+      let la = Pipeline.label_atoms props_pipeline [ a ] in
+      let lb = Pipeline.label_atoms props_pipeline [ b ] in
+      (not (Disclosure.Policy.allowed policy lb)) || Disclosure.Policy.allowed policy la)
+
+let gen_ucq =
+  QCheck.make
+    ~print:(fun u -> Cq.Ucq.to_string u)
+    QCheck.Gen.(
+      let* arity_pick = Generators.gen_query in
+      let arity = Cq.Query.head_arity arity_pick in
+      let* extra =
+        list_size (int_range 0 2)
+          (Generators.gen_query
+          |> map (fun q -> if Cq.Query.head_arity q = arity then Some q else None))
+      in
+      return (Cq.Ucq.make (arity_pick :: List.filter_map Fun.id extra)))
+
+let ucq_minimize_equivalent =
+  prop "UCQ minimize preserves equivalence" gen_ucq (fun u ->
+      Cq.Ucq.equivalent u (Cq.Ucq.minimize u))
+
+let ucq_eval_is_union =
+  prop_n 200 "UCQ evaluation is the union of disjunct answers"
+    (QCheck.pair gen_ucq Generators.arbitrary_database) (fun (u, db) ->
+      let direct =
+        List.fold_left
+          (fun acc q -> Relation.union acc (Cq.Eval.eval db q))
+          (Relation.empty (Cq.Ucq.head_arity u))
+          u.Cq.Ucq.disjuncts
+      in
+      Relation.equal direct (Cq.Ucq.eval db u))
+
+(* Note: only *non-redundant* disjuncts are below the union's label — a
+   redundant disjunct is never answered individually and may well require
+   more than the union (e.g. Q():-S(x) ∨ Q():-R(y),S(x), where the second
+   disjunct folds away yet alone would need R-visibility). *)
+let ucq_label_above_disjuncts =
+  prop "UCQ label above every minimized disjunct label" gen_ucq (fun u ->
+      let lu = Pipeline.label_ucq props_pipeline u in
+      List.for_all
+        (fun q -> Label.leq (Pipeline.label props_pipeline q) lu)
+        (Cq.Ucq.minimize u).Cq.Ucq.disjuncts)
+
+let ucq_minimize_semantics =
+  prop_n 200 "UCQ minimize preserves answers"
+    (QCheck.pair gen_ucq Generators.arbitrary_database) (fun (u, db) ->
+      Relation.equal (Cq.Ucq.eval db u) (Cq.Ucq.eval db (Cq.Ucq.minimize u)))
+
+let via_views_faithful =
+  (* Definition 3.4 (c), constructively: when the label is not ⊤, the query's
+     answer is computable from the labeled views alone. *)
+  prop_n 300 "label sufficiency is constructive" Generators.arbitrary_query_db
+    (fun (q, db) ->
+      match Disclosure.Answer.via_views props_pipeline db q with
+      | None -> QCheck.assume_fail ()
+      | Some via -> Relation.equal via (Cq.Eval.eval db q))
+
+let monitor_never_violates =
+  (* Random submissions: every answered label stays covered by every partition
+     still alive. *)
+  prop_n 100 "monitor invariant" Generators.arbitrary_query (fun q ->
+      let registry = Pipeline.registry props_pipeline in
+      let policy =
+        Disclosure.Policy.make registry
+          [
+            ("r", [ List.nth props_views 1; List.nth props_views 2 ]);
+            ("s", [ List.nth props_views 4 ]);
+          ]
+      in
+      let m = Disclosure.Monitor.create policy in
+      let answered = ref [] in
+      let l = Pipeline.label props_pipeline q in
+      (match Disclosure.Monitor.submit m l with
+      | Disclosure.Monitor.Answered -> answered := l :: !answered
+      | Disclosure.Monitor.Refused -> ());
+      let parts = Disclosure.Policy.partitions policy in
+      let ok = ref true in
+      Array.iteri
+        (fun i p ->
+          if Disclosure.Monitor.alive_mask m land (1 lsl i) <> 0 then
+            List.iter
+              (fun l ->
+                if not (Disclosure.Policy.partition_covers p l) then ok := false)
+              !answered)
+        parts;
+      !ok)
+
+let suite =
+  [
+    leq_reflexive;
+    leq_transitive;
+    leq_iso_invariant;
+    leq_matches_brute_force;
+    mutual_leq_is_iso;
+    witness_semantics;
+    expansion_iso;
+    glb_lower_bound;
+    glb_commutative;
+    glb_idempotent;
+    glb_greatest;
+    glb_sets_associative;
+    glb_semantic_lower;
+    minimize_equivalent;
+    minimize_idempotent;
+    minimize_minimal;
+    minimize_minimal_bruteforce;
+    minimize_semantics;
+    containment_semantics;
+    dissect_well_formed;
+    dissect_renaming_invariant;
+    dissect_label_above_atom_labels;
+    chase_idempotent;
+    chase_preserves_answers;
+    chase_containment_sound;
+    chase_extends_containment;
+    general_agrees_with_single_atom;
+    general_expansion_equivalent;
+    general_semantic;
+    label_monotone;
+    label_sound;
+    label_complete;
+    policy_monotone;
+    ucq_minimize_equivalent;
+    ucq_eval_is_union;
+    ucq_label_above_disjuncts;
+    ucq_minimize_semantics;
+    via_views_faithful;
+    monitor_never_violates;
+  ]

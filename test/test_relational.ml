@@ -1,0 +1,119 @@
+(* Tests for the relational substrate: Value, Schema, Tuple, Relation,
+   Database. *)
+
+module Value = Relational.Value
+module Schema = Relational.Schema
+module Tuple = Relational.Tuple
+module Relation = Relational.Relation
+module Db = Relational.Database
+
+let test_value_order () =
+  Helpers.check_bool "int < str" true (Value.compare (Value.Int 5) (Value.Str "a") < 0);
+  Helpers.check_bool "str < bool" true
+    (Value.compare (Value.Str "z") (Value.Bool false) < 0);
+  Helpers.check_bool "int order" true (Value.compare (Value.Int 1) (Value.Int 2) < 0);
+  Helpers.check_bool "equal reflexive" true (Value.equal (Value.Str "x") (Value.Str "x"));
+  Helpers.check_bool "hash consistent" true
+    (Value.hash (Value.Int 7) = Value.hash (Value.Int 7))
+
+let test_value_roundtrip () =
+  let cases = [ Value.Int 42; Value.Int (-3); Value.Str "Jim"; Value.Bool true ] in
+  List.iter
+    (fun v ->
+      Alcotest.check Helpers.value_testable "to_string/of_string roundtrip"
+        v
+        (Value.of_string (Value.to_string v)))
+    cases;
+  Alcotest.check Helpers.value_testable "unquoted string" (Value.Str "hello")
+    (Value.of_string "hello");
+  Alcotest.check Helpers.value_testable "bare int" (Value.Int 9) (Value.of_string "9")
+
+let test_schema_basics () =
+  let s = Helpers.fig1_schema in
+  Helpers.check_int "two relations" 2 (Schema.size s);
+  Helpers.check_int "meetings arity" 2 (Option.get (Schema.arity s "Meetings"));
+  Helpers.check_int "contacts arity" 3 (Schema.arity_exn s "Contacts");
+  Helpers.check_bool "mem" true (Schema.mem s "Meetings");
+  Helpers.check_bool "not mem" false (Schema.mem s "Nope");
+  let r = Schema.find_exn s "Contacts" in
+  Helpers.check_int "attr index" 2 (Option.get (Schema.attr_index r "position"));
+  Helpers.check_bool "attr missing" true (Schema.attr_index r "nope" = None);
+  Alcotest.check Alcotest.(list string) "names in order" [ "Meetings"; "Contacts" ]
+    (Schema.relation_names s)
+
+let test_schema_errors () =
+  Alcotest.check_raises "duplicate relation" (Schema.Duplicate_relation "R") (fun () ->
+      ignore
+        (Schema.of_list
+           [ { name = "R"; attrs = [ "a" ] }; { name = "R"; attrs = [ "b" ] } ]));
+  Alcotest.check_raises "duplicate attribute" (Schema.Duplicate_attribute ("R", "a"))
+    (fun () -> ignore (Schema.of_list [ { name = "R"; attrs = [ "a"; "a" ] } ]));
+  Alcotest.check_raises "unknown relation" (Schema.Unknown_relation "X") (fun () ->
+      ignore (Schema.find_exn Helpers.fig1_schema "X"))
+
+let test_tuple () =
+  let t = Tuple.of_strings [ "9"; "Jim" ] in
+  Helpers.check_int "arity" 2 (Tuple.arity t);
+  Alcotest.check Helpers.value_testable "get" (Value.Int 9) (Tuple.get t 0);
+  Alcotest.check Helpers.tuple_testable "project" (Tuple.of_strings [ "Jim"; "9" ])
+    (Tuple.project t [ 1; 0 ]);
+  Helpers.check_bool "compare lexicographic" true
+    (Tuple.compare (Tuple.of_strings [ "1"; "a" ]) (Tuple.of_strings [ "1"; "b" ]) < 0);
+  Helpers.check_bool "shorter first" true
+    (Tuple.compare (Tuple.of_strings [ "9" ]) (Tuple.of_strings [ "1"; "1" ]) < 0);
+  Alcotest.check_raises "out of range" (Invalid_argument "Tuple.get: index 5 out of range")
+    (fun () -> ignore (Tuple.get t 5))
+
+let test_relation_set_semantics () =
+  let r = Relation.of_rows 2 [ [ "1"; "a" ]; [ "1"; "a" ]; [ "2"; "b" ] ] in
+  Helpers.check_int "duplicates absorbed" 2 (Relation.cardinal r);
+  Helpers.check_bool "mem" true (Relation.mem (Tuple.of_strings [ "1"; "a" ]) r);
+  Helpers.check_bool "not mem" false (Relation.mem (Tuple.of_strings [ "3"; "c" ]) r)
+
+let test_relation_ops () =
+  let r = Relation.of_rows 2 [ [ "1"; "a" ]; [ "2"; "a" ]; [ "3"; "b" ] ] in
+  let p = Relation.project r [ 1 ] in
+  Helpers.check_int "projection dedups" 2 (Relation.cardinal p);
+  let r2 = Relation.of_rows 2 [ [ "1"; "a" ]; [ "9"; "z" ] ] in
+  Helpers.check_int "union" 4 (Relation.cardinal (Relation.union r r2));
+  Helpers.check_int "inter" 1 (Relation.cardinal (Relation.inter r r2));
+  Helpers.check_bool "filter" true
+    (Relation.cardinal (Relation.filter (fun t -> Tuple.get t 1 = Value.Str "a") r) = 2)
+
+let test_relation_arity_mismatch () =
+  let r = Relation.empty 2 in
+  Alcotest.check_raises "add wrong arity"
+    (Relation.Arity_mismatch { expected = 2; got = 3 }) (fun () ->
+      ignore (Relation.add (Tuple.of_strings [ "a"; "b"; "c" ]) r))
+
+let test_database () =
+  let db = Helpers.fig1_db in
+  Helpers.check_int "meetings rows" 3 (Relation.cardinal (Db.relation db "Meetings"));
+  Helpers.check_int "total tuples" 6 (Db.total_tuples db);
+  Alcotest.check_raises "unknown relation" (Db.Unknown_relation "X") (fun () ->
+      ignore (Db.relation db "X"));
+  let db2 = Db.insert db "Meetings" (Tuple.of_strings [ "14"; "Eve" ]) in
+  Helpers.check_int "functional update" 3 (Relation.cardinal (Db.relation db "Meetings"));
+  Helpers.check_int "inserted" 4 (Relation.cardinal (Db.relation db2 "Meetings"))
+
+let test_database_set_relation () =
+  let db = Db.create Helpers.fig1_schema in
+  Alcotest.check_raises "schema arity enforced"
+    (Relation.Arity_mismatch { expected = 2; got = 1 }) (fun () ->
+      ignore (Db.set_relation db "Meetings" (Relation.empty 1)));
+  let db = Db.set_relation db "Meetings" (Relation.of_rows 2 [ [ "9"; "Jim" ] ]) in
+  Helpers.check_int "replaced" 1 (Relation.cardinal (Db.relation db "Meetings"))
+
+let suite =
+  [
+    Alcotest.test_case "value ordering" `Quick test_value_order;
+    Alcotest.test_case "value roundtrip" `Quick test_value_roundtrip;
+    Alcotest.test_case "schema basics" `Quick test_schema_basics;
+    Alcotest.test_case "schema errors" `Quick test_schema_errors;
+    Alcotest.test_case "tuple operations" `Quick test_tuple;
+    Alcotest.test_case "relation set semantics" `Quick test_relation_set_semantics;
+    Alcotest.test_case "relation operations" `Quick test_relation_ops;
+    Alcotest.test_case "relation arity mismatch" `Quick test_relation_arity_mismatch;
+    Alcotest.test_case "database basics" `Quick test_database;
+    Alcotest.test_case "database set_relation" `Quick test_database_set_relation;
+  ]

@@ -1,0 +1,168 @@
+(* Tests for the single-atom equivalent-rewriting decision procedure — the ⪯
+   check of Section 5.1 — including semantic validation: every witness
+   rewriting, executed over the materialized view, must return exactly the
+   direct answer of the query. *)
+
+module RS = Disclosure.Rewrite_single
+module Sview = Disclosure.Sview
+module Tagged = Disclosure.Tagged
+module Relation = Relational.Relation
+
+let tatom = Helpers.tatom
+
+let leq = RS.leq_atom
+
+let test_projection_chain () =
+  (* Figure 3: V5 ⪯ V2 ⪯ V1, V5 ⪯ V4 ⪯ V1, V2 and V4 incomparable. *)
+  let open Helpers in
+  Helpers.check_bool "v5<=v2" true (leq v5 v2);
+  Helpers.check_bool "v5<=v4" true (leq v5 v4);
+  Helpers.check_bool "v2<=v1" true (leq v2 v1);
+  Helpers.check_bool "v4<=v1" true (leq v4 v1);
+  Helpers.check_bool "v5<=v1" true (leq v5 v1);
+  Helpers.check_bool "v1!<=v2" false (leq v1 v2);
+  Helpers.check_bool "v2!<=v4" false (leq v2 v4);
+  Helpers.check_bool "v4!<=v2" false (leq v4 v2);
+  Helpers.check_bool "reflexive" true (leq v1 v1)
+
+let test_fig4_projections () =
+  (* Every smaller projection of Contacts is below every larger one that
+     contains its attributes. *)
+  let open Helpers in
+  Helpers.check_bool "v9<=v6" true (leq v9 v6);
+  Helpers.check_bool "v9<=v7" true (leq v9 v7);
+  Helpers.check_bool "v9!<=v8" false (leq v9 v8);
+  Helpers.check_bool "v10<=v6" true (leq v10 v6);
+  Helpers.check_bool "v10<=v8" true (leq v10 v8);
+  Helpers.check_bool "v11<=v7" true (leq v11 v7);
+  Helpers.check_bool "v11<=v8" true (leq v11 v8);
+  Helpers.check_bool "v12 below everything" true
+    (List.for_all (leq v12) [ v3; v6; v7; v8; v9; v10; v11 ]);
+  Helpers.check_bool "v6!<=v7" false (leq v6 v7);
+  Helpers.check_bool "everything below v3" true
+    (List.for_all (fun v -> leq v v3) fig4_universe)
+
+let test_different_relations_incomparable () =
+  Helpers.check_bool "cross relation" false (leq Helpers.v2 Helpers.v9)
+
+let test_constants () =
+  let self = tatom "V(b) :- U('me', b)" in
+  let anyone = tatom "W(u, b) :- U(u, b)" in
+  let friend_only = tatom "F(b) :- U('you', b)" in
+  Helpers.check_bool "constant query from general view" true (leq self anyone);
+  Helpers.check_bool "general not from constant view" false (leq anyone self);
+  Helpers.check_bool "different constants" false (leq self friend_only);
+  Helpers.check_bool "same constant" true (leq self (tatom "W(b) :- U('me', b)"))
+
+let test_constant_vs_existential () =
+  (* Example 5.1 intuition: a boolean membership test is not answerable from a
+     mere nonemptiness view, nor vice versa. *)
+  let membership = tatom "V13() :- Meetings(9, 'Jim')" in
+  let nonempty = tatom "V14() :- Meetings(x, y)" in
+  Helpers.check_bool "membership not from nonempty" false (leq membership nonempty);
+  Helpers.check_bool "nonempty not from membership" false (leq nonempty membership);
+  Helpers.check_bool "nonempty from projection" true (leq nonempty Helpers.v2)
+
+let test_equality_patterns () =
+  let diag_bool = tatom "V() :- M(x, x)" in
+  let diag_view = tatom "W(x) :- M(x, x)" in
+  let full = tatom "U(x, y) :- M(x, y)" in
+  let nonempty = tatom "N() :- M(x, y)" in
+  Helpers.check_bool "diagonal boolean from diagonal view" true (leq diag_bool diag_view);
+  Helpers.check_bool "diagonal boolean from full view" true (leq diag_bool full);
+  Helpers.check_bool "diagonal boolean not from nonempty" false (leq diag_bool nonempty);
+  Helpers.check_bool "nonempty not from diagonal view" false (leq nonempty diag_view);
+  Helpers.check_bool "diagonal view from full" true (leq diag_view full)
+
+let test_repeated_distinguished () =
+  let q = tatom "Q(x) :- R(x, x, y)" in
+  let w_exact = tatom "W(a) :- R(a, a, b)" in
+  let w_full = tatom "W(a, b) :- R(a, b, c)" in
+  Helpers.check_bool "matching diagonal view" true (leq q w_exact);
+  Helpers.check_bool "from full projection (filter equality)" true (leq q w_full)
+
+let test_mixed_existential_coverage () =
+  (* A query existential class covered partly by view distinguished and partly
+     by view existential variables cannot be rewritten. *)
+  let q = tatom "Q() :- R(x, x)" in
+  let w = tatom "W(a) :- R(a, b)" in
+  Helpers.check_bool "mixed coverage fails" false (leq q w)
+
+let test_set_leq_decomposability () =
+  let open Helpers in
+  Helpers.check_bool "{v5} <= {v2, v4}" true (RS.leq [ v5 ] [ v2; v4 ]);
+  Helpers.check_bool "{v2, v4} <= {v1}" true (RS.leq [ v2; v4 ] [ v1 ]);
+  Helpers.check_bool "{v1} !<= {v2, v4}" false (RS.leq [ v1 ] [ v2; v4 ]);
+  Helpers.check_bool "equiv reflexive" true (RS.equiv [ v1; v2 ] [ v2; v1 ])
+
+let test_find_picks_first () =
+  let views =
+    [ Helpers.sview "V2(x) :- Meetings(x, y)"; Helpers.sview "V1(x, y) :- Meetings(x, y)" ]
+  in
+  match RS.find ~query:Helpers.v5 ~views with
+  | Some (v, _) -> Helpers.check_string "first sufficient view" "V2" v.Sview.name
+  | None -> Alcotest.fail "expected a rewriting"
+
+(* Semantic validation: execute the witness over the materialized view. *)
+let check_witness_semantics ~query_str ~view_str =
+  let query = tatom query_str in
+  let view = Helpers.sview view_str in
+  match RS.check ~query ~view:view.Sview.atom with
+  | None -> Alcotest.failf "expected %s ⪯ %s" query_str view_str
+  | Some rw ->
+    let view_answer = Sview.eval Helpers.fig1_db view in
+    let via_view = RS.execute ~view_answer rw in
+    let direct = Cq.Eval.eval Helpers.fig1_db (Tagged.atom_to_query query) in
+    Alcotest.check Helpers.relation_testable
+      (Printf.sprintf "%s via %s" query_str view_str)
+      direct via_view
+
+let test_witness_execution () =
+  check_witness_semantics ~query_str:"Q(x) :- Meetings(x, y)"
+    ~view_str:"V1(x, y) :- Meetings(x, y)";
+  check_witness_semantics ~query_str:"Q() :- Meetings(x, y)"
+    ~view_str:"V2(x) :- Meetings(x, y)";
+  check_witness_semantics ~query_str:"Q(x) :- Meetings(x, 'Cathy')"
+    ~view_str:"V1(x, y) :- Meetings(x, y)";
+  check_witness_semantics ~query_str:"Q(p, e) :- Contacts(p, e, z)"
+    ~view_str:"V3(a, b, c) :- Contacts(a, b, c)";
+  check_witness_semantics ~query_str:"Q() :- Contacts(x, y, 'Intern')"
+    ~view_str:"V8(y, z) :- Contacts(x, y, z)"
+
+let test_expand_iso () =
+  (* The expansion of a witness is iso-equivalent to the query. *)
+  let cases =
+    [
+      ("Q(x) :- Meetings(x, y)", "V1(a, b) :- Meetings(a, b)");
+      ("Q() :- Meetings(x, y)", "V2(a) :- Meetings(a, b)");
+      ("Q(x) :- Meetings(x, 'Cathy')", "V1(a, b) :- Meetings(a, b)");
+      ("Q(x) :- R(x, x, y)", "W(a, b) :- R(a, b, c)");
+    ]
+  in
+  List.iter
+    (fun (q, v) ->
+      let query = tatom q and view = (Helpers.sview v).Sview.atom in
+      match RS.check ~query ~view with
+      | None -> Alcotest.failf "expected %s ⪯ %s" q v
+      | Some rw ->
+        Alcotest.check Helpers.tagged_iso_testable
+          (Printf.sprintf "expand(%s over %s)" q v)
+          query
+          (RS.expand ~view rw))
+    cases
+
+let suite =
+  [
+    Alcotest.test_case "Figure 3 projection chain" `Quick test_projection_chain;
+    Alcotest.test_case "Figure 4 projections" `Quick test_fig4_projections;
+    Alcotest.test_case "different relations" `Quick test_different_relations_incomparable;
+    Alcotest.test_case "constants" `Quick test_constants;
+    Alcotest.test_case "constant vs existential" `Quick test_constant_vs_existential;
+    Alcotest.test_case "equality patterns" `Quick test_equality_patterns;
+    Alcotest.test_case "repeated distinguished" `Quick test_repeated_distinguished;
+    Alcotest.test_case "mixed existential coverage" `Quick test_mixed_existential_coverage;
+    Alcotest.test_case "set comparison" `Quick test_set_leq_decomposability;
+    Alcotest.test_case "find first view" `Quick test_find_picks_first;
+    Alcotest.test_case "witness execution semantics" `Quick test_witness_execution;
+    Alcotest.test_case "expansion iso-equivalent" `Quick test_expand_iso;
+  ]

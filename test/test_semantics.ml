@@ -1,0 +1,171 @@
+(* Tests for homomorphisms, containment, equivalence, minimization, and
+   evaluation — the Chandra–Merlin machinery the labeler builds on. *)
+
+module Query = Cq.Query
+module Hom = Cq.Homomorphism
+module Cont = Cq.Containment
+module Minimize = Cq.Minimize
+module Eval = Cq.Eval
+module Relation = Relational.Relation
+module Tuple = Relational.Tuple
+
+let pq = Helpers.pq
+
+let test_hom_exists () =
+  (* R(x, y) maps into R(x, x) (collapse). *)
+  let general = pq "Q() :- R(x, y)" in
+  let diagonal = pq "Q() :- R(z, z)" in
+  Helpers.check_bool "general -> diagonal" true (Hom.exists ~from:general ~into:diagonal);
+  Helpers.check_bool "diagonal -> general" false (Hom.exists ~from:diagonal ~into:general)
+
+let test_hom_respects_head () =
+  let q1 = pq "Q(x) :- R(x, y)" in
+  let q2 = pq "Q(y) :- R(x, y)" in
+  Helpers.check_bool "head position blocks" false (Hom.exists ~from:q1 ~into:q2);
+  Helpers.check_bool "identity" true (Hom.exists ~from:q1 ~into:q1)
+
+let test_hom_constants () =
+  let const = pq "Q() :- R(1, y)" in
+  let free = pq "Q() :- R(x, y)" in
+  Helpers.check_bool "var maps to const" true (Hom.exists ~from:free ~into:const);
+  Helpers.check_bool "const cannot map to var" false (Hom.exists ~from:const ~into:free)
+
+let test_containment_classic () =
+  (* Q1 asks for meetings with Cathy; more specific than all meetings. *)
+  let specific = pq "Q(x) :- Meetings(x, 'Cathy')" in
+  let general = pq "Q(x) :- Meetings(x, y)" in
+  Helpers.check_bool "specific ⊆ general" true (Cont.contained_in specific general);
+  Helpers.check_bool "general ⊄ specific" false (Cont.contained_in general specific)
+
+let test_containment_join () =
+  let path2 = pq "Q(x, z) :- E(x, y), E(y, z)" in
+  let loop = pq "Q(x, x) :- E(x, x)" in
+  Helpers.check_bool "loop ⊆ path2" true (Cont.contained_in loop path2);
+  Helpers.check_bool "path2 ⊄ loop" false (Cont.contained_in path2 loop)
+
+let test_containment_arity () =
+  Helpers.check_bool "different head arity incomparable" false
+    (Cont.contained_in (pq "Q(x) :- R(x)") (pq "Q(x, y) :- R(x), R(y)"))
+
+let test_equivalent_renaming () =
+  let q1 = pq "Q(x) :- R(x, y), S(y)" in
+  let q2 = pq "P(a) :- S(b), R(a, b)" in
+  Helpers.check_bool "equivalent up to renaming and order" true (Cont.equivalent q1 q2)
+
+let test_minimize_redundant_atom () =
+  (* The second R atom folds onto the first. *)
+  let q = pq "Q(x) :- R(x, y), R(x, z)" in
+  let m = Minimize.minimize q in
+  Helpers.check_int "one atom survives" 1 (List.length m.Query.body);
+  Alcotest.check Helpers.query_equiv_testable "equivalent" q m;
+  Helpers.check_bool "minimal" true (Minimize.is_minimal m)
+
+let test_minimize_keeps_constants () =
+  (* R(x, 'a') does not fold onto R(x, y) or vice versa when both needed. *)
+  let q = pq "Q(x) :- R(x, y), R(x, 'a')" in
+  let m = Minimize.minimize q in
+  Helpers.check_int "folds to constant atom" 1 (List.length m.Query.body);
+  Alcotest.check Helpers.query_equiv_testable "equivalent" q m
+
+let test_minimize_irreducible () =
+  let q = pq "Q(x, z) :- E(x, y), E(y, z)" in
+  let m = Minimize.minimize q in
+  Helpers.check_int "path is minimal" 2 (List.length m.Query.body);
+  Helpers.check_bool "reported minimal" true (Minimize.is_minimal q)
+
+let test_minimize_head_protection () =
+  (* Removing the S atom would strand head variable z. *)
+  let q = pq "Q(x, z) :- R(x, y), S(z)" in
+  let m = Minimize.minimize q in
+  Helpers.check_int "both atoms needed" 2 (List.length m.Query.body)
+
+let test_minimize_triangle () =
+  (* Classic: a triangle with a pendant edge that folds in. *)
+  let q = pq "Q() :- E(x, y), E(y, z), E(z, x), E(x, w)" in
+  let m = Minimize.minimize q in
+  Helpers.check_int "pendant folds" 3 (List.length m.Query.body);
+  Alcotest.check Helpers.query_equiv_testable "equivalent" q m
+
+let eval_rows q =
+  Eval.eval Helpers.fig1_db (pq q) |> Relation.tuples |> List.map Tuple.to_string
+
+let test_eval_fig1 () =
+  Alcotest.check
+    Alcotest.(list string)
+    "Q1: meetings with Cathy" [ "(10)" ]
+    (eval_rows "Q1(x) :- Meetings(x, 'Cathy')");
+  Alcotest.check
+    Alcotest.(list string)
+    "Q2: meetings with interns" [ "(10)" ]
+    (eval_rows "Q2(x) :- Meetings(x, y), Contacts(y, w, 'Intern')");
+  Alcotest.check
+    Alcotest.(list string)
+    "projection" [ "(10)"; "(12)"; "(9)" ]
+    (eval_rows "V2(x) :- Meetings(x, y)" |> List.sort String.compare)
+
+let test_eval_boolean () =
+  Helpers.check_bool "nonempty" true (Eval.holds Helpers.fig1_db (pq "B() :- Meetings(x, y)"));
+  Helpers.check_bool "no match" false
+    (Eval.holds Helpers.fig1_db (pq "B() :- Meetings(x, 'Nobody')"))
+
+let test_eval_join_semantics () =
+  (* Self-join with shared variable. *)
+  let q = pq "Q(p) :- Meetings(t, p), Contacts(p, e, r)" in
+  let rows = Eval.eval Helpers.fig1_db q in
+  Helpers.check_int "all three people meet" 3 (Relation.cardinal rows)
+
+let test_eval_errors () =
+  Alcotest.check_raises "unknown relation" (Eval.Eval_error "unknown relation Nope")
+    (fun () -> ignore (Eval.eval Helpers.fig1_db (pq "Q(x) :- Nope(x)")));
+  Helpers.check_bool "arity mismatch raises" true
+    (try
+       ignore (Eval.eval Helpers.fig1_db (pq "Q(x) :- Meetings(x)"));
+       false
+     with Eval.Eval_error _ -> true)
+
+let test_eval_constants_in_head () =
+  let q = pq "Q(x, 'tag') :- Meetings(x, 'Cathy')" in
+  let rows = Eval.eval Helpers.fig1_db q in
+  Alcotest.check
+    Alcotest.(list string)
+    "constant column" [ "(10, 'tag')" ]
+    (Relation.tuples rows |> List.map Tuple.to_string)
+
+let test_containment_respects_semantics () =
+  (* If q1 ⊆ q2 then answers on the Figure 1 instance are a subset. *)
+  let pairs =
+    [
+      ("Q(x) :- Meetings(x, 'Cathy')", "Q(x) :- Meetings(x, y)");
+      ("Q(x) :- Meetings(x, y), Contacts(y, w, 'Intern')", "Q(x) :- Meetings(x, y)");
+    ]
+  in
+  List.iter
+    (fun (s1, s2) ->
+      let q1 = pq s1 and q2 = pq s2 in
+      Helpers.check_bool "containment holds" true (Cont.contained_in q1 q2);
+      let r1 = Eval.eval Helpers.fig1_db q1 and r2 = Eval.eval Helpers.fig1_db q2 in
+      Helpers.check_bool "answers subset" true
+        (Relation.equal (Relation.inter r1 r2) r1))
+    pairs
+
+let suite =
+  [
+    Alcotest.test_case "homomorphism existence" `Quick test_hom_exists;
+    Alcotest.test_case "homomorphism respects head" `Quick test_hom_respects_head;
+    Alcotest.test_case "homomorphism constants" `Quick test_hom_constants;
+    Alcotest.test_case "containment classic" `Quick test_containment_classic;
+    Alcotest.test_case "containment join" `Quick test_containment_join;
+    Alcotest.test_case "containment arity" `Quick test_containment_arity;
+    Alcotest.test_case "equivalence up to renaming" `Quick test_equivalent_renaming;
+    Alcotest.test_case "minimize redundant atom" `Quick test_minimize_redundant_atom;
+    Alcotest.test_case "minimize with constants" `Quick test_minimize_keeps_constants;
+    Alcotest.test_case "minimize irreducible" `Quick test_minimize_irreducible;
+    Alcotest.test_case "minimize protects head" `Quick test_minimize_head_protection;
+    Alcotest.test_case "minimize triangle" `Quick test_minimize_triangle;
+    Alcotest.test_case "eval Figure 1 queries" `Quick test_eval_fig1;
+    Alcotest.test_case "eval boolean" `Quick test_eval_boolean;
+    Alcotest.test_case "eval join" `Quick test_eval_join_semantics;
+    Alcotest.test_case "eval errors" `Quick test_eval_errors;
+    Alcotest.test_case "eval constants in head" `Quick test_eval_constants_in_head;
+    Alcotest.test_case "containment vs semantics" `Quick test_containment_respects_semantics;
+  ]

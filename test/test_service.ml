@@ -1,0 +1,119 @@
+(* Tests for the multi-principal service layer and label serialization. *)
+
+module Service = Disclosure.Service
+module Monitor = Disclosure.Monitor
+module Pipeline = Disclosure.Pipeline
+module Label = Disclosure.Label
+
+let pq = Helpers.pq
+
+let v1 = Helpers.sview "V1(x, y) :- Meetings(x, y)"
+let v2 = Helpers.sview "V2(x) :- Meetings(x, y)"
+let v3 = Helpers.sview "V3(x, y, z) :- Contacts(x, y, z)"
+
+let make_service () =
+  let service = Service.create (Pipeline.create [ v1; v2; v3 ]) in
+  Service.register_stateless service ~principal:"calendar-app" ~views:[ v2 ];
+  Service.register service ~principal:"crm-app"
+    ~partitions:[ ("meetings", [ v1; v2 ]); ("contacts", [ v3 ]) ];
+  service
+
+let test_registration () =
+  let service = make_service () in
+  Alcotest.check
+    Alcotest.(list string)
+    "principals in order" [ "calendar-app"; "crm-app" ] (Service.principals service);
+  Alcotest.check_raises "duplicate" (Service.Duplicate_principal "crm-app") (fun () ->
+      Service.register_stateless service ~principal:"crm-app" ~views:[ v1 ])
+
+let test_isolation () =
+  (* Each principal has its own cumulative state. *)
+  let service = make_service () in
+  let contacts = pq "Q(x, y, z) :- Contacts(x, y, z)" in
+  let meetings = pq "Q(x, y) :- Meetings(x, y)" in
+  Helpers.check_bool "crm reads contacts" true
+    (Service.submit service ~principal:"crm-app" contacts = Monitor.Answered);
+  (* crm-app chose the contacts side of its wall. *)
+  Helpers.check_bool "crm refused meetings" true
+    (Service.submit service ~principal:"crm-app" meetings = Monitor.Refused);
+  (* calendar-app is unaffected, but only sees V2-level data. *)
+  Helpers.check_bool "calendar refused full meetings" true
+    (Service.submit service ~principal:"calendar-app" meetings = Monitor.Refused);
+  Helpers.check_bool "calendar reads slots" true
+    (Service.submit service ~principal:"calendar-app" (pq "Q(x) :- Meetings(x, y)")
+    = Monitor.Answered);
+  Helpers.check_bool "stats" true (Service.stats service ~principal:"crm-app" = (1, 1))
+
+let test_unknown_principal () =
+  let service = make_service () in
+  Alcotest.check_raises "unknown" (Service.Unknown_principal "nobody") (fun () ->
+      ignore (Service.submit service ~principal:"nobody" (pq "Q(x) :- Meetings(x, y)")))
+
+let test_reset () =
+  let service = make_service () in
+  ignore (Service.submit service ~principal:"crm-app" (pq "Q(x,y,z) :- Contacts(x,y,z)"));
+  Helpers.check_int "narrowed" 1 (List.length (Service.alive service ~principal:"crm-app"));
+  Service.reset service ~principal:"crm-app";
+  Helpers.check_int "restored" 2 (List.length (Service.alive service ~principal:"crm-app"));
+  Helpers.check_bool "counters cleared" true
+    (Service.stats service ~principal:"crm-app" = (0, 0))
+
+let test_submit_label () =
+  let service = make_service () in
+  let p = Service.pipeline service in
+  let l = Pipeline.label p (pq "Q(x) :- Meetings(x, y)") in
+  Helpers.check_bool "pre-labeled submission" true
+    (Service.submit_label service ~principal:"calendar-app" l = Monitor.Answered)
+
+let test_answer_mode () =
+  let service = make_service () in
+  let db = Helpers.fig1_db in
+  (* Allowed: answer computed through the views matches direct evaluation. *)
+  (match Service.answer service ~principal:"calendar-app" ~db (pq "Q(x) :- Meetings(x, y)") with
+  | None -> Alcotest.fail "expected an answer"
+  | Some rel ->
+    Alcotest.check Helpers.relation_testable "via views"
+      (Cq.Eval.eval db (pq "Q(x) :- Meetings(x, y)"))
+      rel);
+  (* Refused: None, and the refusal is counted. *)
+  Helpers.check_bool "refused query yields None" true
+    (Service.answer service ~principal:"calendar-app" ~db (pq "Q(x, y) :- Meetings(x, y)")
+    = None);
+  Helpers.check_bool "stats reflect both" true
+    (Service.stats service ~principal:"calendar-app" = (1, 1))
+
+let test_label_roundtrip () =
+  let p = Pipeline.create [ v1; v2; v3 ] in
+  let queries =
+    [
+      "Q(x) :- Meetings(x, 'Cathy')";
+      "Q2(x) :- Meetings(x, y), Contacts(y, w, 'Intern')";
+      "Q(x) :- Unknown(x)";
+    ]
+  in
+  List.iter
+    (fun s ->
+      let l = Pipeline.label p (pq s) in
+      match Label.decode (Label.encode l) with
+      | Ok l' -> Helpers.check_bool ("roundtrip " ^ s) true (l = l')
+      | Error e -> Alcotest.fail e)
+    queries
+
+let test_label_decode_errors () =
+  Helpers.check_bool "garbage" true (Result.is_error (Label.decode "zz"));
+  Helpers.check_bool "missing colon" true (Result.is_error (Label.decode "12"));
+  Helpers.check_bool "negative" true (Result.is_error (Label.decode "-1:2"));
+  Helpers.check_bool "mask overflow" true (Result.is_error (Label.decode "0:80000000"));
+  Helpers.check_bool "empty ok" true (Label.decode "" = Ok [||])
+
+let suite =
+  [
+    Alcotest.test_case "registration" `Quick test_registration;
+    Alcotest.test_case "principal isolation" `Quick test_isolation;
+    Alcotest.test_case "unknown principal" `Quick test_unknown_principal;
+    Alcotest.test_case "reset" `Quick test_reset;
+    Alcotest.test_case "pre-labeled submission" `Quick test_submit_label;
+    Alcotest.test_case "trusted evaluator mode" `Quick test_answer_mode;
+    Alcotest.test_case "label encode/decode roundtrip" `Quick test_label_roundtrip;
+    Alcotest.test_case "label decode errors" `Quick test_label_decode_errors;
+  ]

@@ -1,0 +1,114 @@
+(* Tests for the tagged (Section 5) query representation and security views. *)
+
+module Tagged = Disclosure.Tagged
+module Sview = Disclosure.Sview
+module Query = Cq.Query
+
+let pq = Helpers.pq
+let tatom = Helpers.tatom
+
+let test_of_query_tags () =
+  let atoms = Tagged.of_query (pq "Q2(x) :- M(x, y), C(y, w, 'Intern')") in
+  Helpers.check_int "two atoms" 2 (List.length atoms);
+  match atoms with
+  | [ m; c ] ->
+    Alcotest.check
+      Alcotest.(list (pair string bool))
+      "M vars: x distinguished, y existential"
+      [ ("x", true); ("y", false) ]
+      (List.map (fun (v, k) -> (v, k = Tagged.Distinguished)) (Tagged.atom_vars m));
+    Alcotest.check
+      Alcotest.(list (pair string bool))
+      "C vars all existential"
+      [ ("y", false); ("w", false) ]
+      (List.map (fun (v, k) -> (v, k = Tagged.Distinguished)) (Tagged.atom_vars c))
+  | _ -> Alcotest.fail "expected two atoms"
+
+let test_roundtrip () =
+  let q = pq "Q(x, z) :- R(x, y), S(y, z)" in
+  let q' = Tagged.to_query (Tagged.of_query q) in
+  Helpers.check_bool "roundtrip equivalent" true (Cq.Containment.equivalent q q')
+
+let test_head_order_identified () =
+  (* V1 and V1' from Section 3.1 reveal the same information; the tagged form
+     makes them identical. *)
+  let a = tatom "V1(x, y) :- Meetings(x, y)" in
+  let b = tatom "V1(y, x) :- Meetings(x, y)" in
+  Alcotest.check Helpers.tagged_iso_testable "permuted heads identified" a b
+
+let test_canonicalize () =
+  let a = tatom "V(p, q) :- R(p, s, q)" in
+  let b = tatom "V(m, n) :- R(m, k, n)" in
+  Alcotest.check Helpers.tagged_atom_testable "same canonical form"
+    (Tagged.canonicalize a) (Tagged.canonicalize b);
+  Helpers.check_bool "iso equivalent" true (Tagged.iso_equivalent a b)
+
+let test_iso_distinguishes_kinds () =
+  let dist = tatom "V(x) :- R(x)" in
+  let exist = tatom "V() :- R(x)" in
+  Helpers.check_bool "kind matters" false (Tagged.iso_equivalent dist exist)
+
+let test_iso_distinguishes_equality_pattern () =
+  let diag = tatom "V() :- R(x, x)" in
+  let free = tatom "V() :- R(x, y)" in
+  Helpers.check_bool "equality pattern matters" false (Tagged.iso_equivalent diag free)
+
+let test_well_formed () =
+  let ok = tatom "V(x) :- R(x, y)" in
+  Helpers.check_bool "well formed" true (Tagged.well_formed ok);
+  let bad =
+    {
+      Tagged.pred = "R";
+      args = [ Tagged.Var ("x", Tagged.Distinguished); Tagged.Var ("x", Tagged.Existential) ];
+    }
+  in
+  Helpers.check_bool "mixed kinds rejected" false (Tagged.well_formed bad)
+
+let test_atom_of_query_multi () =
+  Helpers.check_bool "multi-atom rejected" true
+    (Result.is_error (Tagged.atom_of_query (pq "Q(x) :- R(x), S(x)")))
+
+let test_sview_basics () =
+  let v = Helpers.sview "V2(x) :- Meetings(x, y)" in
+  Helpers.check_string "name" "V2" v.Sview.name;
+  Helpers.check_string "relation" "Meetings" (Sview.relation v);
+  Alcotest.check Alcotest.(list string) "head vars" [ "x" ] (Sview.head_vars v);
+  Helpers.check_int "arity" 1 (Sview.arity v)
+
+let test_sview_eval () =
+  let v = Helpers.sview "V2(x) :- Meetings(x, y)" in
+  Helpers.check_int "time slots" 3 (Relational.Relation.cardinal (Sview.eval Helpers.fig1_db v))
+
+let test_sview_rejects_joins () =
+  Helpers.check_bool "join view rejected" true
+    (try
+       ignore (Helpers.sview "V(x) :- R(x, y), S(y)");
+       false
+     with Sview.Invalid_view _ -> true)
+
+let test_sview_equivalent () =
+  let a = Helpers.sview "A(x, y) :- M(x, y)" in
+  let b = Helpers.sview "B(y, x) :- M(x, y)" in
+  Helpers.check_bool "information equivalence" true (Sview.equivalent a b);
+  Helpers.check_bool "structural difference" false (Sview.equal a b)
+
+let test_pp_marks_existentials () =
+  Helpers.check_string "existential printed with ?" "Meetings(x, y?)"
+    (Tagged.atom_to_string (tatom "V2(x) :- Meetings(x, y)"))
+
+let suite =
+  [
+    Alcotest.test_case "of_query tags by head" `Quick test_of_query_tags;
+    Alcotest.test_case "roundtrip to query" `Quick test_roundtrip;
+    Alcotest.test_case "head order identified" `Quick test_head_order_identified;
+    Alcotest.test_case "canonicalization" `Quick test_canonicalize;
+    Alcotest.test_case "iso distinguishes kinds" `Quick test_iso_distinguishes_kinds;
+    Alcotest.test_case "iso distinguishes equality" `Quick test_iso_distinguishes_equality_pattern;
+    Alcotest.test_case "well-formedness" `Quick test_well_formed;
+    Alcotest.test_case "atom_of_query multi-atom" `Quick test_atom_of_query_multi;
+    Alcotest.test_case "security view basics" `Quick test_sview_basics;
+    Alcotest.test_case "security view eval" `Quick test_sview_eval;
+    Alcotest.test_case "security view rejects joins" `Quick test_sview_rejects_joins;
+    Alcotest.test_case "security view equivalence" `Quick test_sview_equivalent;
+    Alcotest.test_case "printer marks existentials" `Quick test_pp_marks_existentials;
+  ]

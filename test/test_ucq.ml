@@ -1,0 +1,137 @@
+(* Tests for unions of conjunctive queries and their disclosure labels,
+   including FQL's OR. *)
+
+module Ucq = Cq.Ucq
+module Pipeline = Disclosure.Pipeline
+module Label = Disclosure.Label
+module Rel = Relational.Relation
+
+let pq = Helpers.pq
+
+let ucq qs = Ucq.make (List.map pq qs)
+
+let test_make_validation () =
+  Helpers.check_bool "empty union rejected" true
+    (try
+       ignore (Ucq.make []);
+       false
+     with Ucq.Invalid _ -> true);
+  Helpers.check_bool "mixed arity rejected" true
+    (try
+       ignore (ucq [ "Q(x) :- R(x)"; "Q(x, y) :- R(x), R(y)" ]);
+       false
+     with Ucq.Invalid _ -> true)
+
+let test_containment () =
+  let u1 = ucq [ "Q(x) :- Meetings(x, 'Cathy')"; "Q(x) :- Meetings(x, 'Jim')" ] in
+  let u2 = ucq [ "Q(x) :- Meetings(x, y)" ] in
+  Helpers.check_bool "selections contained in projection" true (Ucq.contained_in u1 u2);
+  Helpers.check_bool "not conversely" false (Ucq.contained_in u2 u1);
+  Helpers.check_bool "reflexive" true (Ucq.contained_in u1 u1);
+  (* Permuted unions are equivalent. *)
+  let u1' = ucq [ "Q(x) :- Meetings(x, 'Jim')"; "Q(x) :- Meetings(x, 'Cathy')" ] in
+  Helpers.check_bool "order irrelevant" true (Ucq.equivalent u1 u1')
+
+let test_minimize () =
+  let u =
+    ucq
+      [
+        "Q(x) :- Meetings(x, 'Cathy')";
+        "Q(x) :- Meetings(x, y)";
+        "Q(x) :- Meetings(x, z), Meetings(x, w)";
+      ]
+  in
+  let m = Ucq.minimize u in
+  (* The selection is contained in the projection; the third disjunct is the
+     projection again after folding. Only the projection survives. *)
+  Helpers.check_int "one disjunct" 1 (List.length m.Ucq.disjuncts);
+  Helpers.check_bool "equivalent" true (Ucq.equivalent u m)
+
+let test_eval_union () =
+  let u = ucq [ "Q(x) :- Meetings(x, 'Cathy')"; "Q(x) :- Meetings(x, 'Jim')" ] in
+  let answer = Ucq.eval Helpers.fig1_db u in
+  Helpers.check_int "two meetings" 2 (Rel.cardinal answer);
+  (* Evaluation agrees with disjunct-wise union. *)
+  let direct =
+    Rel.union
+      (Cq.Eval.eval Helpers.fig1_db (pq "Q(x) :- Meetings(x, 'Cathy')"))
+      (Cq.Eval.eval Helpers.fig1_db (pq "Q(x) :- Meetings(x, 'Jim')"))
+  in
+  Alcotest.check Helpers.relation_testable "union" direct answer
+
+let fig1_pipeline =
+  Pipeline.create
+    [
+      Helpers.sview "V1(x, y) :- Meetings(x, y)";
+      Helpers.sview "V2(x) :- Meetings(x, y)";
+      Helpers.sview "V3(x, y, z) :- Contacts(x, y, z)";
+    ]
+
+let test_label_union () =
+  (* A union over both relations needs views from both. *)
+  let u = ucq [ "Q(x) :- Meetings(x, y)"; "Q(p) :- Contacts(p, e, r)" ] in
+  let l = Pipeline.label_ucq fig1_pipeline u in
+  Helpers.check_int "two atom labels" 2 (Array.length l);
+  Helpers.check_bool "not top" false (Label.is_top l);
+  (* The label is above each disjunct's label. *)
+  List.iter
+    (fun q ->
+      Helpers.check_bool "disjunct below union" true
+        (Label.leq (Pipeline.label fig1_pipeline (pq q)) l))
+    [ "Q(x) :- Meetings(x, y)"; "Q(p) :- Contacts(p, e, r)" ]
+
+let test_label_redundant_disjunct () =
+  (* A redundant disjunct must not inflate the label: the selection needs V1,
+     but it is absorbed by the projection disjunct which only needs V2. *)
+  let u = ucq [ "Q(x) :- Meetings(x, 'Cathy')"; "Q(x) :- Meetings(x, y)" ] in
+  let l = Pipeline.label_ucq fig1_pipeline u in
+  let projection_only = Pipeline.label fig1_pipeline (pq "Q(x) :- Meetings(x, y)") in
+  Helpers.check_bool "union label = projection label" true (Label.equal l projection_only)
+
+let test_fql_or () =
+  let schema = Fbschema.Fb_schema.schema in
+  let u =
+    Fb_api.Fql.ucq_exn schema
+      "SELECT birthday FROM user WHERE uid = me() OR is_friend = true"
+  in
+  Helpers.check_int "two disjuncts" 2 (List.length u.Ucq.disjuncts);
+  let p = Fbschema.Fb_views.pipeline () in
+  let l = Pipeline.label_ucq p u in
+  let names =
+    Label.atoms l
+    |> List.concat_map (fun al ->
+           Label.views_of_atom (Pipeline.registry p) al
+           |> List.map (fun v -> v.Disclosure.Sview.name))
+    |> List.sort_uniq String.compare
+  in
+  (* Note: without uid in the head the friends disjunct tops out under the
+     single-atom model only if uid is required; birthday alone for friends is
+     answerable by friends_birthday (uid distinguished in the view but not
+     requested — existential in the query, covered by a distinguished view
+     column). *)
+  Helpers.check_bool "user_birthday in label" true (List.mem "user_birthday" names);
+  Helpers.check_bool "friends_birthday in label" true (List.mem "friends_birthday" names)
+
+let test_fql_or_in_subquery_rejected () =
+  let schema = Fbschema.Fb_schema.schema in
+  Helpers.check_bool "OR inside IN rejected" true
+    (Result.is_error
+       (Fb_api.Fql.ucq schema
+          "SELECT name FROM user WHERE uid IN (SELECT friend_uid FROM friend WHERE uid = me() OR uid = 'bob')"))
+
+let test_fql_plain_parse_rejects_or () =
+  Helpers.check_bool "conjunctive parse rejects OR" true
+    (Result.is_error (Fb_api.Fql.parse "SELECT name FROM user WHERE uid = me() OR uid = 'b'"))
+
+let suite =
+  [
+    Alcotest.test_case "make validation" `Quick test_make_validation;
+    Alcotest.test_case "containment" `Quick test_containment;
+    Alcotest.test_case "minimize" `Quick test_minimize;
+    Alcotest.test_case "eval union" `Quick test_eval_union;
+    Alcotest.test_case "label union" `Quick test_label_union;
+    Alcotest.test_case "redundant disjunct" `Quick test_label_redundant_disjunct;
+    Alcotest.test_case "FQL OR" `Quick test_fql_or;
+    Alcotest.test_case "FQL OR in subquery" `Quick test_fql_or_in_subquery_rejected;
+    Alcotest.test_case "conjunctive parse rejects OR" `Quick test_fql_plain_parse_rejects_or;
+  ]

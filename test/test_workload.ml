@@ -1,0 +1,137 @@
+(* Tests for the deterministic RNG and the Section 7.2 workload and policy
+   generators. *)
+
+module Rng = Workload.Rng
+module Querygen = Workload.Querygen
+module Policygen = Workload.Policygen
+module Query = Cq.Query
+module Pipeline = Disclosure.Pipeline
+
+let test_rng_deterministic () =
+  let a = Rng.create 1 and b = Rng.create 1 in
+  let xs = List.init 20 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 20 (fun _ -> Rng.int b 1000) in
+  Alcotest.check Alcotest.(list int) "same seed, same stream" xs ys;
+  let c = Rng.create 2 in
+  let zs = List.init 20 (fun _ -> Rng.int c 1000) in
+  Helpers.check_bool "different seed, different stream" true (xs <> zs)
+
+let test_rng_bounds () =
+  let r = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let x = Rng.int r 7 in
+    Helpers.check_bool "in range" true (x >= 0 && x < 7);
+    let y = Rng.int_in r 5 9 in
+    Helpers.check_bool "int_in range" true (y >= 5 && y <= 9)
+  done;
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0))
+
+let test_rng_subset () =
+  let r = Rng.create 4 in
+  for _ = 1 to 100 do
+    let s = Rng.nonempty_subset r [ 1; 2; 3; 4 ] in
+    Helpers.check_bool "nonempty" true (s <> []);
+    Helpers.check_bool "subset" true (List.for_all (fun x -> List.mem x [ 1; 2; 3; 4 ]) s)
+  done
+
+let test_querygen_shape () =
+  let gen = Querygen.create ~seed:11 () in
+  let queries = Querygen.generate_many gen ~n:200 ~max_subqueries:1 in
+  List.iter
+    (fun q ->
+      let n = List.length q.Query.body in
+      Helpers.check_bool "1-3 atoms" true (n >= 1 && n <= 3);
+      Helpers.check_bool "valid against schema" true
+        (Query.check_schema Fbschema.Fb_schema.schema q = Ok ()))
+    queries
+
+let test_querygen_stress_shape () =
+  let gen = Querygen.create ~seed:12 () in
+  let queries = Querygen.generate_many gen ~n:100 ~max_subqueries:5 in
+  List.iter
+    (fun q ->
+      let n = List.length q.Query.body in
+      Helpers.check_bool "1-15 atoms" true (n >= 1 && n <= 15))
+    queries;
+  let max_seen =
+    List.fold_left (fun acc q -> max acc (List.length q.Query.body)) 0 queries
+  in
+  Helpers.check_bool "stress mode reaches > 3 atoms" true (max_seen > 3)
+
+let test_querygen_targets () =
+  let gen = Querygen.create ~seed:13 () in
+  let self = Querygen.generate_targeted gen Querygen.Self in
+  Helpers.check_int "self: one atom" 1 (List.length self.Query.body);
+  let friends = Querygen.generate_targeted gen Querygen.Friends in
+  Helpers.check_int "friends: two atoms" 2 (List.length friends.Query.body);
+  let fof = Querygen.generate_targeted gen Querygen.Friends_of_friends in
+  Helpers.check_int "fof: three atoms" 3 (List.length fof.Query.body);
+  let non = Querygen.generate_targeted gen Querygen.Non_friend in
+  Helpers.check_int "non-friend: one atom" 1 (List.length non.Query.body)
+
+let test_querygen_deterministic () =
+  let a = Querygen.create ~seed:21 () and b = Querygen.create ~seed:21 () in
+  let qa = Querygen.generate_many a ~n:50 ~max_subqueries:3 in
+  let qb = Querygen.generate_many b ~n:50 ~max_subqueries:3 in
+  Helpers.check_bool "same stream" true (List.equal Query.equal qa qb)
+
+let test_querygen_labelable () =
+  (* A healthy fraction of simple queries must be answerable (non-top): the
+     Figure 6 experiment depends on meaningful labels. *)
+  let gen = Querygen.create ~seed:31 () in
+  let p = Fbschema.Fb_views.pipeline () in
+  let queries = Querygen.generate_many gen ~n:300 ~max_subqueries:1 in
+  let non_top =
+    List.length
+      (List.filter (fun q -> not (Disclosure.Label.is_top (Pipeline.label p q))) queries)
+  in
+  Helpers.check_bool
+    (Printf.sprintf "non-top fraction reasonable (%d/300)" non_top)
+    true (non_top > 60)
+
+let test_policygen () =
+  let p = Fbschema.Fb_views.pipeline () in
+  let rng = Rng.create 5 in
+  for _ = 1 to 50 do
+    let parts =
+      Policygen.partitions rng
+        ~views:(Array.of_list (Pipeline.views p))
+        ~max_partitions:5 ~max_elements:50
+    in
+    let n = List.length parts in
+    Helpers.check_bool "1-5 partitions" true (n >= 1 && n <= 5);
+    List.iter
+      (fun (_, views) ->
+        let m = List.length views in
+        Helpers.check_bool "1-50 elements" true (m >= 1 && m <= 50))
+      parts
+  done
+
+let test_policygen_monitors () =
+  let p = Fbschema.Fb_views.pipeline () in
+  let monitors =
+    Policygen.monitors ~seed:6 ~pipeline:p ~principals:100 ~max_partitions:5 ~max_elements:10
+  in
+  Helpers.check_int "one monitor per principal" 100 (Array.length monitors);
+  (* Monitors are live: feed them a label each. *)
+  let gen = Querygen.create ~seed:7 () in
+  Array.iter
+    (fun m ->
+      let q = Querygen.generate_simple gen in
+      ignore (Disclosure.Monitor.submit m (Pipeline.label p q)))
+    monitors
+
+let suite =
+  [
+    Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "rng subsets" `Quick test_rng_subset;
+    Alcotest.test_case "querygen simple shape" `Quick test_querygen_shape;
+    Alcotest.test_case "querygen stress shape" `Quick test_querygen_stress_shape;
+    Alcotest.test_case "querygen targets" `Quick test_querygen_targets;
+    Alcotest.test_case "querygen deterministic" `Quick test_querygen_deterministic;
+    Alcotest.test_case "querygen labelable fraction" `Quick test_querygen_labelable;
+    Alcotest.test_case "policygen shape" `Quick test_policygen;
+    Alcotest.test_case "policygen monitors" `Quick test_policygen_monitors;
+  ]
