@@ -6,6 +6,7 @@
      dune exec bench/main.exe -- fig3       -- Figure 3 (lattice structure)
      dune exec bench/main.exe -- fig5       -- Figure 5 (labeler throughput)
      dune exec bench/main.exe -- fig6       -- Figure 6 (policy checker)
+     dune exec bench/main.exe -- guard      -- guarded vs unguarded labeling
      dune exec bench/main.exe -- micro      -- Bechamel micro-benchmarks
 
    Options: --n INT (queries per Figure 5 point), --checks INT (label checks
@@ -488,6 +489,74 @@ let run_ablation () =
     (t_join /. (if t_denorm > 0.0 then t_denorm else 1e-9))
 
 (* ------------------------------------------------------------------ *)
+(* Guarded labeling overhead                                           *)
+
+(* The guard threads a budget through the homomorphism search: one branch
+   plus a counter decrement per candidate step, a gettimeofday every 128
+   steps when a deadline is set, and a fresh budget record per query. The
+   acceptance bar is that the guarded fast path (budget generous enough to
+   never trip) stays within ~10% of unguarded throughput. *)
+let run_guard () =
+  let pipeline = Fbschema.Fb_views.pipeline () in
+  let n = options.n in
+  Format.printf "@.== Guarded vs unguarded labeling (resource governance overhead) ==@.";
+  Format.printf "   (%d queries measured per point, normalized to 1M; process time)@.@." n;
+  Format.printf "%-22s %14s %14s %14s %10s@." "max atoms per query" "unguarded"
+    "fuel only" "fuel+deadline" "overhead";
+  let limits_fuel = Disclosure.Guard.limits ~fuel:50_000_000 () in
+  let limits_full = Disclosure.Guard.limits ~fuel:50_000_000 ~deadline:60.0 () in
+  let csv_rows = ref [] in
+  List.iter
+    (fun max_subqueries ->
+      let seed = 9_000 + max_subqueries in
+      let g = Querygen.create ~seed () in
+      let queries = Array.init n (fun _ -> Querygen.generate g ~max_subqueries) in
+      let run limits =
+        Array.iter
+          (fun q ->
+            match
+              Disclosure.Guard.run limits (fun budget ->
+                  Pipeline.label ~budget pipeline q)
+            with
+            | Ok _ -> ()
+            | Error reason ->
+              failwith
+                (Format.asprintf "guard bench: unexpected refusal: %a"
+                   Disclosure.Guard.pp_refusal reason))
+          queries
+      in
+      let _, unguarded =
+        time_process (fun () ->
+            Array.iter (fun q -> ignore (Pipeline.label pipeline q)) queries)
+      in
+      let _, fuel_only = time_process (fun () -> run limits_fuel) in
+      let _, full = time_process (fun () -> run limits_full) in
+      let overhead =
+        if unguarded > 0.0 then (full -. unguarded) /. unguarded *. 100.0 else 0.0
+      in
+      csv_rows :=
+        !csv_rows
+        @ [
+            [
+              string_of_int (3 * max_subqueries);
+              Printf.sprintf "%.4f" (per_million ~count:n unguarded);
+              Printf.sprintf "%.4f" (per_million ~count:n fuel_only);
+              Printf.sprintf "%.4f" (per_million ~count:n full);
+              Printf.sprintf "%.1f" overhead;
+            ];
+          ];
+      Format.printf "%-22d %14.2f %14.2f %14.2f %9.1f%%@." (3 * max_subqueries)
+        (per_million ~count:n unguarded)
+        (per_million ~count:n fuel_only)
+        (per_million ~count:n full) overhead)
+    [ 1; 2; 3; 4; 5 ];
+  write_csv "guard.csv"
+    [ "max_atoms"; "unguarded_s_per_1m"; "fuel_only_s_per_1m"; "fuel_deadline_s_per_1m";
+      "overhead_pct" ]
+    !csv_rows;
+  Format.printf "@.acceptance: fuel+deadline within ~10%% of unguarded.@."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 
 let run_micro () =
@@ -562,7 +631,8 @@ let run_micro () =
 let () =
   parse_args ();
   let commands =
-    if options.commands = [] then [ "table2"; "fig3"; "fig5"; "fig6"; "ablation"; "micro" ]
+    if options.commands = [] then
+      [ "table2"; "fig3"; "fig5"; "fig6"; "ablation"; "guard"; "micro" ]
     else options.commands
   in
   Format.printf
@@ -575,6 +645,7 @@ let () =
       | "fig5" -> run_fig5 ()
       | "fig6" -> run_fig6 ()
       | "ablation" -> run_ablation ()
+      | "guard" -> run_guard ()
       | "micro" -> run_micro ()
       | "all" ->
         run_table2 ();
@@ -582,7 +653,8 @@ let () =
         run_fig5 ();
         run_fig6 ();
         run_ablation ();
+        run_guard ();
         run_micro ()
       | other ->
-        Format.printf "unknown command %s (try table2|fig3|fig5|fig6|ablation|micro)@." other)
+        Format.printf "unknown command %s (try table2|fig3|fig5|fig6|ablation|guard|micro)@." other)
     commands

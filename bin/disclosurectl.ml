@@ -89,6 +89,51 @@ let load_views = function
   | Some path -> parse_views path
   | None -> Fbschema.Fb_views.all
 
+(* --- resource governance flags --------------------------------------- *)
+
+(* Labeling sits on NP-complete containment search; on adversarial input it
+   can run for a very long time. These flags bound the per-query work: when a
+   bound is hit the query is refused (fail-closed), never answered late or
+   crashed on. *)
+(* Validated at parse time so `--fuel 0` is a usage error, not a crash. *)
+let positive_int =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n > 0 -> Ok n
+    | Some _ -> Error (`Msg "must be a positive integer")
+    | None -> Error (`Msg "expected an integer")
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let nonneg_float =
+  let parse s =
+    match float_of_string_opt s with
+    | Some d when d >= 0.0 -> Ok d
+    | Some _ -> Error (`Msg "must be non-negative")
+    | None -> Error (`Msg "expected a number of seconds")
+  in
+  Arg.conv (parse, Format.pp_print_float)
+
+let fuel_arg =
+  Arg.(
+    value
+    & opt (some positive_int) None
+    & info [ "fuel" ] ~docv:"STEPS"
+        ~doc:
+          "Per-query step budget for the labeling search. Queries that exhaust \
+           it are refused (resource: fuel) instead of running unboundedly.")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some nonneg_float) None
+    & info [ "deadline" ] ~docv:"SECONDS"
+        ~doc:
+          "Per-query wall-clock deadline in seconds. Queries that exceed it \
+           are refused (resource: deadline).")
+
+let limits_of fuel deadline = Disclosure.Guard.limits ?fuel ?deadline ()
+
 (* --- label ---------------------------------------------------------- *)
 
 let label_cmd =
@@ -147,16 +192,26 @@ let check_cmd =
   let queries_arg =
     Arg.(value & pos_all string [] & info [] ~docv:"QUERY" ~doc:"Queries to submit in order.")
   in
-  let run views_file syntax policy_spec queries =
+  let run views_file syntax policy_spec fuel deadline queries =
     let views = load_views views_file in
     let pipeline = Pipeline.create views in
     let registry = Pipeline.registry pipeline in
     let policy = parse_policy registry views policy_spec in
     let monitor = Monitor.create policy in
+    let limits = limits_of fuel deadline in
     List.iter
       (fun s ->
         let u = parse_query syntax s in
-        let d = Monitor.submit monitor (Pipeline.label_ucq pipeline u) in
+        (* Label under the budget; a guard refusal never reaches the monitor,
+           so its alive mask and counters are untouched (fail-closed). *)
+        let d =
+          match
+            Disclosure.Guard.run limits (fun budget ->
+                Pipeline.label_ucq ~budget pipeline u)
+          with
+          | Ok label -> Monitor.submit monitor label
+          | Error reason -> Monitor.Refused reason
+        in
         Format.printf "%-60s %a   (alive: %s)@." s Monitor.pp_decision d
           (String.concat ", " (Monitor.alive monitor)))
       (read_queries queries);
@@ -166,7 +221,9 @@ let check_cmd =
   in
   let doc = "Enforce a (possibly Chinese-Wall) policy over a sequence of queries." in
   Cmd.v (Cmd.info "check" ~doc)
-    Term.(const run $ optional_views_arg $ syntax_arg $ policy_arg $ queries_arg)
+    Term.(
+      const run $ optional_views_arg $ syntax_arg $ policy_arg $ fuel_arg $ deadline_arg
+      $ queries_arg)
 
 (* --- lattice -------------------------------------------------------- *)
 
@@ -220,14 +277,25 @@ let replay_cmd =
           ~doc:
             "Workload file with one 'principal<TAB>query' per line; defaults to stdin.")
   in
-  let run config_file syntax workload_file =
+  let journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "j"; "journal" ] ~docv:"FILE"
+          ~doc:
+            "Append every decision to this journal file \
+             (principal<TAB>label<TAB>decision, one line per decision). The \
+             journal can later rebuild monitor state via Service.recover.")
+  in
+  let run config_file syntax workload_file fuel deadline journal =
     let config =
       match Disclosure.Policyfile.parse_file config_file with
       | Ok c -> c
       | Error e -> failwith e
     in
+    let limits = limits_of fuel deadline in
     let service =
-      match Disclosure.Policyfile.load config with
+      match Disclosure.Policyfile.load ~limits ?journal config with
       | Ok s -> s
       | Error e -> failwith e
     in
@@ -253,8 +321,14 @@ let replay_cmd =
             let principal = String.trim (String.sub line 0 i) in
             let query_s = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
             let u = parse_query syntax query_s in
-            let label = Pipeline.label_ucq (Service.pipeline service) u in
-            let d = Service.submit_label service ~principal label in
+            let d =
+              match
+                Disclosure.Guard.run limits (fun budget ->
+                    Pipeline.label_ucq ~budget (Service.pipeline service) u)
+              with
+              | Ok label -> Service.submit_label service ~principal label
+              | Error reason -> Monitor.Refused reason
+            in
             Format.printf "%-20s %-55s %a@." principal query_s Monitor.pp_decision d)
       lines;
     Format.printf "@.";
@@ -265,10 +339,14 @@ let replay_cmd =
           refused
           (String.concat ", " (Service.alive service ~principal)))
       (Service.principals service);
+    Service.close service;
     0
   in
   let doc = "Replay a workload of (principal, query) pairs against a deployment config." in
-  Cmd.v (Cmd.info "replay" ~doc) Term.(const run $ config_arg $ syntax_arg $ workload_arg)
+  Cmd.v (Cmd.info "replay" ~doc)
+    Term.(
+      const run $ config_arg $ syntax_arg $ workload_arg $ fuel_arg $ deadline_arg
+      $ journal_arg)
 
 (* --- analyze -------------------------------------------------------- *)
 
@@ -365,4 +443,15 @@ let main_cmd =
   let info = Cmd.info "disclosurectl" ~version:"1.0.0" ~doc in
   Cmd.group info [ label_cmd; check_cmd; lattice_cmd; audit_cmd; replay_cmd; analyze_cmd ]
 
-let () = exit (Cmd.eval' main_cmd)
+(* Evaluate with [~catch:false] so user-facing errors (bad files, malformed
+   workloads, unknown principals) print as one clean line instead of
+   cmdliner's "internal error, uncaught exception" + backtrace. Anything not
+   listed here is a genuine bug and still crashes loudly. *)
+let () =
+  try exit (Cmd.eval' ~catch:false main_cmd) with
+  | Failure msg | Sys_error msg | Invalid_argument msg ->
+    Printf.eprintf "disclosurectl: %s\n" msg;
+    exit Cmd.Exit.some_error
+  | Service.Unknown_principal p ->
+    Printf.eprintf "disclosurectl: unknown principal %S\n" p;
+    exit Cmd.Exit.some_error

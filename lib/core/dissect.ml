@@ -24,6 +24,10 @@ let split (q : Cq.Query.t) =
   in
   Glb.dedup atoms
 
-let dissect q = split (Cq.Minimize.minimize q)
+let dissect ?budget q =
+  Faults.trip Faults.Minimize;
+  let folded = Cq.Minimize.minimize ?budget q in
+  Faults.trip Faults.Dissect;
+  split folded
 
 let dissect_no_fold q = split q

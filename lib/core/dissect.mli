@@ -10,9 +10,12 @@
     multi-atom to single-atom queries; composed with single-atom labeling it
     labels arbitrary conjunctive queries. *)
 
-val dissect : Cq.Query.t -> Tagged.atom list
+val dissect : ?budget:Cq.Budget.t -> Cq.Query.t -> Tagged.atom list
 (** Results are deduplicated up to {!Tagged.iso_equivalent} and returned in
-    the folded body's atom order. *)
+    the folded body's atom order. The optional [budget] bounds the folding
+    step's homomorphism searches; the {!Faults} stages [Minimize] and
+    [Dissect] trip at the respective boundaries.
+    @raise Cq.Budget.Exhausted *)
 
 val dissect_no_fold : Cq.Query.t -> Tagged.atom list
 (** Dissection without the initial minimization step. Labels computed from it

@@ -1,0 +1,77 @@
+type stage =
+  | Admission
+  | Minimize
+  | Dissect
+  | Label
+  | Decide
+  | Journal
+
+type fault =
+  | Exhaust_fuel
+  | Expire_deadline
+  | Raise of string
+
+exception Injected of string
+
+let all_stages = [ Admission; Minimize; Dissect; Label; Decide; Journal ]
+
+let stage_index = function
+  | Admission -> 0
+  | Minimize -> 1
+  | Dissect -> 2
+  | Label -> 3
+  | Decide -> 4
+  | Journal -> 5
+
+let stage_name = function
+  | Admission -> "admission"
+  | Minimize -> "minimize"
+  | Dissect -> "dissect"
+  | Label -> "label"
+  | Decide -> "decide"
+  | Journal -> "journal"
+
+(* One slot per stage. [n_armed] lets the hot path skip the array scan with a
+   single integer load when no fault is armed — the common (production)
+   case. *)
+let slots : fault option array = Array.make (List.length all_stages) None
+
+let n_armed = ref 0
+
+let inject stage fault =
+  let i = stage_index stage in
+  if slots.(i) = None then incr n_armed;
+  slots.(i) <- Some fault
+
+let clear_stage stage =
+  let i = stage_index stage in
+  if slots.(i) <> None then decr n_armed;
+  slots.(i) <- None
+
+let clear () =
+  Array.fill slots 0 (Array.length slots) None;
+  n_armed := 0
+
+let armed stage = slots.(stage_index stage)
+
+let fire = function
+  | Exhaust_fuel -> raise (Cq.Budget.Exhausted Cq.Budget.Fuel)
+  | Expire_deadline -> raise (Cq.Budget.Exhausted Cq.Budget.Deadline)
+  | Raise msg -> raise (Injected msg)
+
+let trip stage =
+  if !n_armed > 0 then
+    match slots.(stage_index stage) with
+    | None -> ()
+    | Some fault -> fire fault
+
+let with_fault stage fault f =
+  inject stage fault;
+  Fun.protect ~finally:(fun () -> clear_stage stage) f
+
+let pp_stage ppf s = Format.pp_print_string ppf (stage_name s)
+
+let pp_fault ppf = function
+  | Exhaust_fuel -> Format.pp_print_string ppf "exhaust-fuel"
+  | Expire_deadline -> Format.pp_print_string ppf "expire-deadline"
+  | Raise msg -> Format.fprintf ppf "raise(%s)" msg

@@ -1,0 +1,53 @@
+(** Fault injection for the labeling/monitor path.
+
+    Each pipeline stage calls {!trip} at its boundary; a test arms a fault at
+    a stage and the next trip raises there, exactly as a real fuel
+    exhaustion, deadline expiry, or programming error would. The
+    fault-injection suite uses this to assert the monitor's fail-closed
+    invariants: any fault yields a refusal, and the refusal leaves monitor
+    state bit-identical.
+
+    The hooks are global and not synchronized: intended for single-domain
+    test harnesses, not production configuration. When nothing is armed a
+    {!trip} costs one integer load. *)
+
+type stage =
+  | Admission  (** Entry of [Service.submit] / [submit_label]. *)
+  | Minimize  (** Before query minimization (folding). *)
+  | Dissect  (** Before dissection into single-atom views. *)
+  | Label  (** Before per-atom labeling. *)
+  | Decide  (** Before the monitor's coverage evaluation. *)
+  | Journal  (** Before the decision-journal append. *)
+
+type fault =
+  | Exhaust_fuel  (** Raise {!Cq.Budget.Exhausted}[ Fuel]. *)
+  | Expire_deadline  (** Raise {!Cq.Budget.Exhausted}[ Deadline]. *)
+  | Raise of string  (** Raise {!Injected} — an arbitrary crash. *)
+
+exception Injected of string
+
+val all_stages : stage list
+
+val stage_name : stage -> string
+
+val inject : stage -> fault -> unit
+(** Arm [fault] at [stage]; it fires on {e every} subsequent {!trip} until
+    cleared. *)
+
+val clear_stage : stage -> unit
+
+val clear : unit -> unit
+(** Disarm everything. *)
+
+val armed : stage -> fault option
+
+val trip : stage -> unit
+(** Called by the pipeline at each stage boundary: raises the armed fault, if
+    any. *)
+
+val with_fault : stage -> fault -> (unit -> 'a) -> 'a
+(** Scoped injection: arms, runs, and disarms (also on exception). *)
+
+val pp_stage : Format.formatter -> stage -> unit
+
+val pp_fault : Format.formatter -> fault -> unit

@@ -1,0 +1,131 @@
+let src = Logs.Src.create "disclosure.guard" ~doc:"Fail-closed resource governance"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type resource =
+  | Fuel
+  | Deadline
+  | Query_too_large of { atoms : int; max_atoms : int }
+  | Label_too_wide of { width : int; max_width : int }
+
+type refusal_reason =
+  | Policy
+  | Resource of resource
+  | Malformed of string
+  | Fault of string
+
+exception Refuse of refusal_reason
+
+type limits = {
+  fuel : int option;
+  deadline : float option;
+  max_atoms : int option;
+  max_label_width : int option;
+}
+
+let no_limits = { fuel = None; deadline = None; max_atoms = None; max_label_width = None }
+
+let limits ?fuel ?deadline ?max_atoms ?max_label_width () =
+  let positive what = function
+    | Some n when n <= 0 ->
+      invalid_arg (Printf.sprintf "Guard.limits: %s must be positive" what)
+    | v -> v
+  in
+  (match deadline with
+  | Some d when d < 0.0 -> invalid_arg "Guard.limits: deadline must be non-negative"
+  | _ -> ());
+  {
+    fuel = positive "fuel" fuel;
+    deadline;
+    max_atoms = positive "max_atoms" max_atoms;
+    max_label_width = positive "max_label_width" max_label_width;
+  }
+
+let budget t = Cq.Budget.create ?fuel:t.fuel ?deadline:t.deadline ()
+
+let admit_query t (q : Cq.Query.t) =
+  match t.max_atoms with
+  | Some max_atoms when List.length q.body > max_atoms ->
+    Error (Resource (Query_too_large { atoms = List.length q.body; max_atoms }))
+  | _ -> Ok ()
+
+let admit_ucq t (u : Cq.Ucq.t) =
+  List.fold_left
+    (fun acc q -> match acc with Error _ -> acc | Ok () -> admit_query t q)
+    (Ok ()) u.Cq.Ucq.disjuncts
+
+let admit_label t label =
+  match t.max_label_width with
+  | Some max_width when Array.length label > max_width ->
+    Error (Resource (Label_too_wide { width = Array.length label; max_width }))
+  | _ -> Ok ()
+
+(* The fail-closed boundary: anything the computation throws becomes a typed
+   refusal. [Out_of_memory] is deliberately re-raised — after a heap
+   exhaustion the runtime's own state is suspect and refusing would claim a
+   soundness we cannot deliver. *)
+let run t f =
+  let b = budget t in
+  match f b with
+  | v -> Ok v
+  | exception Cq.Budget.Exhausted Cq.Budget.Fuel -> Error (Resource Fuel)
+  | exception Cq.Budget.Exhausted Cq.Budget.Deadline -> Error (Resource Deadline)
+  | exception Refuse reason -> Error reason
+  | exception Out_of_memory -> raise Out_of_memory
+  | exception Stack_overflow -> Error (Resource Fuel)
+  | exception e ->
+    Log.warn (fun m -> m "fail-closed boundary caught: %s" (Printexc.to_string e));
+    Error (Fault (Printexc.to_string e))
+
+let resource_equal a b =
+  match a, b with
+  | Fuel, Fuel | Deadline, Deadline -> true
+  | Query_too_large x, Query_too_large y ->
+    x.atoms = y.atoms && x.max_atoms = y.max_atoms
+  | Label_too_wide x, Label_too_wide y ->
+    x.width = y.width && x.max_width = y.max_width
+  | (Fuel | Deadline | Query_too_large _ | Label_too_wide _), _ -> false
+
+let refusal_equal a b =
+  match a, b with
+  | Policy, Policy -> true
+  | Resource x, Resource y -> resource_equal x y
+  | Malformed x, Malformed y | Fault x, Fault y -> String.equal x y
+  | (Policy | Resource _ | Malformed _ | Fault _), _ -> false
+
+let pp_resource ppf = function
+  | Fuel -> Format.pp_print_string ppf "fuel exhausted"
+  | Deadline -> Format.pp_print_string ppf "deadline expired"
+  | Query_too_large { atoms; max_atoms } ->
+    Format.fprintf ppf "query too large (%d atoms, max %d)" atoms max_atoms
+  | Label_too_wide { width; max_width } ->
+    Format.fprintf ppf "label too wide (%d atoms, max %d)" width max_width
+
+let pp_refusal ppf = function
+  | Policy -> Format.pp_print_string ppf "policy"
+  | Resource r -> Format.fprintf ppf "resource: %a" pp_resource r
+  | Malformed msg -> Format.fprintf ppf "malformed input: %s" msg
+  | Fault msg -> Format.fprintf ppf "internal fault: %s" msg
+
+(* Compact tags for the decision journal. Free-form messages are dropped:
+   journal lines must stay one-line and machine-parsable. *)
+let refusal_to_tag = function
+  | Policy -> "policy"
+  | Resource Fuel -> "resource:fuel"
+  | Resource Deadline -> "resource:deadline"
+  | Resource (Query_too_large _) -> "resource:query-too-large"
+  | Resource (Label_too_wide _) -> "resource:label-too-wide"
+  | Malformed _ -> "malformed"
+  | Fault _ -> "fault"
+
+let refusal_of_tag = function
+  | "policy" -> Some Policy
+  | "resource:fuel" -> Some (Resource Fuel)
+  | "resource:deadline" -> Some (Resource Deadline)
+  | "resource:query-too-large" ->
+    Some (Resource (Query_too_large { atoms = 0; max_atoms = 0 }))
+  | "resource:label-too-wide" ->
+    Some (Resource (Label_too_wide { width = 0; max_width = 0 }))
+  | "malformed" -> Some (Malformed "")
+  | "fault" -> Some (Fault "")
+  | _ -> None

@@ -1,0 +1,76 @@
+(** Fail-closed resource governance for the labeling/monitor path.
+
+    The labeling pipeline sits on NP-complete homomorphism search, so a
+    production reference monitor must bound the work it will do for one query
+    and refuse — rather than hang, crash, or leak an exception — when the
+    bound is hit. A {!limits} value declares the per-query budget (fuel,
+    wall-clock deadline, admission caps on query size and label width);
+    {!run} executes a computation under a fresh {!Cq.Budget.t} and converts
+    {e any} escape — budget exhaustion, injected faults, programming errors —
+    into a typed {!refusal_reason}. The monitor invariant this protects:
+    a refusal, whatever its reason, leaves monitor state untouched. *)
+
+type resource =
+  | Fuel  (** The step budget ran out mid-computation. *)
+  | Deadline  (** The wall-clock deadline passed mid-computation. *)
+  | Query_too_large of { atoms : int; max_atoms : int }
+      (** Refused at admission: body atom count over the cap. *)
+  | Label_too_wide of { width : int; max_width : int }
+      (** Refused post-labeling: label atom count over the cap. *)
+
+type refusal_reason =
+  | Policy  (** No still-alive partition covers the label (the paper's refusal). *)
+  | Resource of resource  (** Fail-closed refusal under resource exhaustion. *)
+  | Malformed of string  (** The input could not be understood. *)
+  | Fault of string  (** An unexpected exception, captured fail-closed. *)
+
+exception Refuse of refusal_reason
+(** Internal control flow for guarded computations: raising [Refuse r] inside
+    {!run} yields [Error r]. *)
+
+type limits = {
+  fuel : int option;  (** Max elementary search steps per query. *)
+  deadline : float option;  (** Max wall-clock seconds per query. *)
+  max_atoms : int option;  (** Max body atoms admitted per query. *)
+  max_label_width : int option;  (** Max atoms in a computed label. *)
+}
+
+val no_limits : limits
+(** Everything unbounded — the guarded path then costs one branch per step. *)
+
+val limits :
+  ?fuel:int -> ?deadline:float -> ?max_atoms:int -> ?max_label_width:int -> unit -> limits
+(** @raise Invalid_argument on non-positive fuel/caps or a negative deadline. *)
+
+val budget : limits -> Cq.Budget.t
+(** A fresh budget honoring [fuel] and [deadline]; the deadline clock starts
+    now. *)
+
+val admit_query : limits -> Cq.Query.t -> (unit, refusal_reason) result
+(** Admission control: body atom count against [max_atoms]. *)
+
+val admit_ucq : limits -> Cq.Ucq.t -> (unit, refusal_reason) result
+(** Every disjunct is checked with {!admit_query}. *)
+
+val admit_label : limits -> Label.t -> (unit, refusal_reason) result
+(** Label width against [max_label_width]. *)
+
+val run : limits -> (Cq.Budget.t -> 'a) -> ('a, refusal_reason) result
+(** [run limits f] calls [f] with a fresh budget. Fail-closed: budget
+    exhaustion maps to [Resource Fuel]/[Resource Deadline], [Refuse r] to
+    [Error r], stack overflow to [Resource Fuel], and any other exception to
+    [Fault] (logged under ["disclosure.guard"]). [Out_of_memory] is
+    re-raised: after heap exhaustion no invariant can be promised. *)
+
+val refusal_equal : refusal_reason -> refusal_reason -> bool
+
+val pp_resource : Format.formatter -> resource -> unit
+
+val pp_refusal : Format.formatter -> refusal_reason -> unit
+
+val refusal_to_tag : refusal_reason -> string
+(** Stable one-token encoding for the decision journal ("policy",
+    "resource:fuel", ...). Free-form detail (messages, counts) is dropped. *)
+
+val refusal_of_tag : string -> refusal_reason option
+(** Inverse of {!refusal_to_tag} up to the dropped detail. *)

@@ -4,19 +4,29 @@ type 'v glb = 'v list -> 'v list -> 'v list
    input; picking any minimal element of the up-set is equivalent (when F
    induces a labeler all minimal candidates are ≡) and stays correct for
    preorders with equivalent elements. *)
-let naive_label ~order ~f w =
-  let candidates = List.filter (fun c -> Order.leq order w c) f in
-  let strictly_below a b = Order.leq order a b && not (Order.leq order b a) in
+let naive_label ?(budget = Cq.Budget.unlimited) ~order ~f w =
+  let leq a b =
+    Cq.Budget.tick budget;
+    Order.leq order a b
+  in
+  let candidates = List.filter (fun c -> leq w c) f in
+  let strictly_below a b = leq a b && not (leq b a) in
   let minimal c = not (List.exists (fun c' -> strictly_below c' c) candidates) in
   List.find_opt minimal candidates
 
-let glb_label ~order ~glb ~fd w =
-  match List.filter (fun w' -> Order.leq order w w') fd with
+let glb_label ?(budget = Cq.Budget.unlimited) ~order ~glb ~fd w =
+  match
+    List.filter
+      (fun w' ->
+        Cq.Budget.tick budget;
+        Order.leq order w w')
+      fd
+  with
   | [] -> None
   | above -> Some (List.fold_left glb (List.hd above) (List.tl above))
 
-let label_gen ~order ~glb ~fgen w =
-  let label_one v = glb_label ~order ~glb ~fd:fgen [ v ] in
+let label_gen ?budget ~order ~glb ~fgen w =
+  let label_one v = glb_label ?budget ~order ~glb ~fd:fgen [ v ] in
   List.fold_left
     (fun acc v ->
       match acc, label_one v with
@@ -24,7 +34,9 @@ let label_gen ~order ~glb ~fgen w =
       | None, _ | _, None -> None)
     (Some []) w
 
-let plus_label ~order ~fgen v =
+let plus_label ?(budget = Cq.Budget.unlimited) ~order ~fgen v =
   List.concat_map
-    (fun w -> if Order.leq order [ v ] w then w else [])
+    (fun w ->
+      Cq.Budget.tick budget;
+      if Order.leq order [ v ] w then w else [])
     fgen

@@ -3,30 +3,44 @@
     A label is a set of views; [None] stands for ⊤ — "more than anything the
     label family accounts for". All three algorithms come straight from the
     paper: [NaïveLabel] (Section 3.3), [GLBLabel] (Section 4.1) and
-    [LabelGen] (Section 4.2). *)
+    [LabelGen] (Section 4.2). The optional [budget] spends one unit of fuel
+    per order comparison and raises {!Cq.Budget.Exhausted} when it runs
+    out. *)
 
 type 'v glb = 'v list -> 'v list -> 'v list
 (** A GLB oracle for the order in use: given [W1, W2] returns [W3] with
     [(⇓ W1) ⊓ (⇓ W2) = (⇓ W3)]. {!Glb.of_sets} is the instance for the
     rewriting order on single-atom views. *)
 
-val naive_label : order:'v Order.t -> f:'v list list -> 'v list -> 'v list option
+val naive_label :
+  ?budget:Cq.Budget.t -> order:'v Order.t -> f:'v list list -> 'v list -> 'v list option
 (** [NaïveLabel]: sorts [f] into ascending disclosure order and returns the
     first element that reveals at least as much as the input; [None] is ⊤.
     Linear in [|f|], which is generally exponential — kept as the reference
     implementation. *)
 
-val glb_label : order:'v Order.t -> glb:'v glb -> fd:'v list list -> 'v list -> 'v list option
+val glb_label :
+  ?budget:Cq.Budget.t ->
+  order:'v Order.t ->
+  glb:'v glb ->
+  fd:'v list list ->
+  'v list ->
+  'v list option
 (** [GLBLabel] over a downward generating set [fd]: the running GLB of all
     elements of [fd] that reveal at least as much as the input. *)
 
 val label_gen :
-  order:'v Order.t -> glb:'v glb -> fgen:'v list list -> 'v list -> 'v list option
+  ?budget:Cq.Budget.t ->
+  order:'v Order.t ->
+  glb:'v glb ->
+  fgen:'v list list ->
+  'v list ->
+  'v list option
 (** [LabelGen] over a (full) generating set [fgen]: labels the input one view
     at a time with {!glb_label} and unions the results. Exact for
     decomposable universes and precise label families (Section 4.2). *)
 
-val plus_label : order:'v Order.t -> fgen:'v list list -> 'v -> 'v list
+val plus_label : ?budget:Cq.Budget.t -> order:'v Order.t -> fgen:'v list list -> 'v -> 'v list
 (** The [ℓ⁺] representation of Section 6.1 for a single view: all generating
     views that reveal at least as much as the input. Comparing labels then
     reduces to superset tests; the GLB itself need never be computed. *)

@@ -1,6 +1,6 @@
 type decision =
   | Answered
-  | Refused
+  | Refused of Guard.refusal_reason
 
 type t = {
   policy : Policy.t;
@@ -10,10 +10,18 @@ type t = {
   mutable refused : int;
 }
 
+type state = {
+  alive_mask : int;
+  answered_count : int;
+  refused_count : int;
+}
+
 exception Too_many_partitions of int
 
+let max_partitions = 62
+
 let full_mask n =
-  if n > 62 then raise (Too_many_partitions n);
+  if n > max_partitions then raise (Too_many_partitions n);
   (1 lsl n) - 1
 
 let create policy =
@@ -22,7 +30,10 @@ let create policy =
 
 let policy t = t.policy
 
-let submit t label =
+(* Decision and commit are split so the service layer can order a durable
+   journal append between them: evaluate never mutates, and a failed append
+   refuses without having touched the monitor (fail-closed). *)
+let evaluate t label =
   let parts = Policy.partitions t.policy in
   let surviving = ref 0 in
   Array.iteri
@@ -30,15 +41,24 @@ let submit t label =
       if t.alive land (1 lsl i) <> 0 && Policy.partition_covers p label then
         surviving := !surviving lor (1 lsl i))
     parts;
-  if !surviving <> 0 then begin
-    t.alive <- !surviving;
-    t.answered <- t.answered + 1;
+  if !surviving <> 0 then Some !surviving else None
+
+let commit_answer t ~surviving =
+  if surviving land lnot t.alive <> 0 then
+    invalid_arg "Monitor.commit_answer: surviving mask not a subset of alive";
+  t.alive <- surviving;
+  t.answered <- t.answered + 1
+
+let commit_refusal t = t.refused <- t.refused + 1
+
+let submit t label =
+  match evaluate t label with
+  | Some surviving ->
+    commit_answer t ~surviving;
     Answered
-  end
-  else begin
-    t.refused <- t.refused + 1;
-    Refused
-  end
+  | None ->
+    commit_refusal t;
+    Refused Guard.Policy
 
 let submit_query t pipeline q = submit t (Pipeline.label pipeline q)
 
@@ -54,16 +74,26 @@ let answered_count t = t.answered
 
 let refused_count t = t.refused
 
+let state t = { alive_mask = t.alive; answered_count = t.answered; refused_count = t.refused }
+
 let reset t =
   t.alive <- t.initial;
   t.answered <- 0;
   t.refused <- 0
 
+let is_answered = function
+  | Answered -> true
+  | Refused _ -> false
+
+let is_refused d = not (is_answered d)
+
 let decision_equal a b =
   match a, b with
-  | Answered, Answered | Refused, Refused -> true
-  | Answered, Refused | Refused, Answered -> false
+  | Answered, Answered -> true
+  | Refused r, Refused r' -> Guard.refusal_equal r r'
+  | (Answered | Refused _), _ -> false
 
 let pp_decision ppf = function
   | Answered -> Format.pp_print_string ppf "answered"
-  | Refused -> Format.pp_print_string ppf "refused"
+  | Refused Guard.Policy -> Format.pp_print_string ppf "refused"
+  | Refused reason -> Format.fprintf ppf "refused (%a)" Guard.pp_refusal reason

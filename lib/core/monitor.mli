@@ -4,17 +4,36 @@
     so that cumulative disclosure never violates the policy. Per the paper's
     equivalence argument, the monitor never consults query history: it only
     keeps one bit per policy partition recording whether that partition is
-    still consistent with everything answered so far (Example 6.3). *)
+    still consistent with everything answered so far (Example 6.3).
+
+    Decisions are structured: a refusal carries a {!Guard.refusal_reason}
+    distinguishing the paper's policy refusal from fail-closed refusals
+    (resource exhaustion, malformed input, captured faults) added by the
+    service layer. Whatever the reason, a refusal leaves the alive mask
+    unchanged; only policy refusals bump the refused counter — a guard
+    refusal never touches monitor state at all. *)
 
 type decision =
   | Answered
-  | Refused
+  | Refused of Guard.refusal_reason
 
 type t
 
+type state = {
+  alive_mask : int;
+  answered_count : int;
+  refused_count : int;
+}
+(** An immutable copy of the monitor's full mutable state, for snapshots and
+    bit-identical before/after comparisons. *)
+
 exception Too_many_partitions of int
 (** The alive set is one machine word; policies are limited to 62
-    partitions (the paper uses at most 5). *)
+    partitions (the paper uses at most 5). {!Policy.make} validates this
+    earlier with a descriptive [Invalid_argument]; this exception remains as
+    the monitor-level backstop. *)
+
+val max_partitions : int
 
 val create : Policy.t -> t
 
@@ -22,8 +41,23 @@ val policy : t -> Policy.t
 
 val submit : t -> Label.t -> decision
 (** Answers iff some still-alive partition covers the label; on answer, kills
-    every alive partition that does not cover it. Refusals leave the state
-    unchanged. *)
+    every alive partition that does not cover it. Refusals ([Refused Policy])
+    leave the alive mask unchanged. *)
+
+val evaluate : t -> Label.t -> int option
+(** Pure decision: [Some surviving] (the alive partitions covering the label)
+    when the query would be answered, [None] when it would be refused. Never
+    mutates — the service layer journals between {!evaluate} and the commit,
+    so a crash or journal fault cannot leave the monitor ahead of the log. *)
+
+val commit_answer : t -> surviving:int -> unit
+(** Apply an answer decided by {!evaluate}: narrow the alive mask to
+    [surviving] and bump the answered counter.
+    @raise Invalid_argument if [surviving] is not a subset of the alive
+    mask. *)
+
+val commit_refusal : t -> unit
+(** Count a policy refusal. The alive mask is untouched. *)
 
 val submit_query : t -> Pipeline.t -> Cq.Query.t -> decision
 (** Labels the query with the pipeline, then {!submit}s it. *)
@@ -37,8 +71,14 @@ val answered_count : t -> int
 
 val refused_count : t -> int
 
+val state : t -> state
+
 val reset : t -> unit
 (** Forget the history: all partitions alive again, counters cleared. *)
+
+val is_answered : decision -> bool
+
+val is_refused : decision -> bool
 
 val decision_equal : decision -> decision -> bool
 

@@ -8,7 +8,8 @@ let registry t = t.registry
 
 let views t = Registry.views t.registry
 
-let label_atom t (atom : Tagged.atom) =
+let label_atom ?(budget = Cq.Budget.unlimited) t (atom : Tagged.atom) =
+  Faults.trip Faults.Label;
   match Registry.rel_id t.registry atom.Tagged.pred with
   | None -> Label.top_atom
   | Some rel_id ->
@@ -16,22 +17,24 @@ let label_atom t (atom : Tagged.atom) =
     let mask = ref 0 in
     Array.iter
       (fun (e : Registry.entry) ->
+        Cq.Budget.tick budget;
         if Rewrite_single.leq_atom atom e.view.Sview.atom then
           mask := !mask lor (1 lsl e.bit))
       entries;
     if !mask = 0 then Label.top_atom else Label.make_atom ~rel_id ~mask:!mask
 
-let label_atoms t atoms = Array.of_list (List.map (label_atom t) atoms)
+let label_atoms ?budget t atoms = Array.of_list (List.map (label_atom ?budget t) atoms)
 
-let label t q = label_atoms t (Dissect.dissect q)
+let label ?budget t q = label_atoms ?budget t (Dissect.dissect ?budget q)
 
 (* The explicit variants materialize each atom's label as a set of views by
    running the GLB over all sufficiently-revealing security views, exactly as
    GLBLabel does. [None] is ⊤. *)
-let explicit_label candidates (atom : Tagged.atom) =
+let explicit_label ?(budget = Cq.Budget.unlimited) candidates (atom : Tagged.atom) =
   let above =
     List.filter_map
       (fun (v : Sview.t) ->
+        Cq.Budget.tick budget;
         if Rewrite_single.leq_atom atom v.Sview.atom then Some v.Sview.atom else None)
       candidates
   in
@@ -39,31 +42,32 @@ let explicit_label candidates (atom : Tagged.atom) =
   | [] -> None
   | first :: rest -> Some (List.fold_left (fun acc w -> Glb.of_sets acc [ w ]) [ first ] rest)
 
-let label_explicit ~candidates_for t q =
-  let atoms = Dissect.dissect q in
+let label_explicit ?budget ~candidates_for t q =
+  let atoms = Dissect.dissect ?budget q in
+  Faults.trip Faults.Label;
   List.fold_left
     (fun acc atom ->
       match acc with
       | None -> None
       | Some so_far -> (
-        match explicit_label (candidates_for t atom) atom with
+        match explicit_label ?budget (candidates_for t atom) atom with
         | None -> None
         | Some l -> Some (so_far @ l)))
     (Some []) atoms
 
-let label_hashed t q =
+let label_hashed ?budget t q =
   let candidates_for t (atom : Tagged.atom) =
     Array.to_list (Registry.entries_for t.registry atom.Tagged.pred)
     |> List.map (fun (e : Registry.entry) -> e.view)
   in
-  label_explicit ~candidates_for t q
+  label_explicit ?budget ~candidates_for t q
 
-let label_baseline t q =
+let label_baseline ?budget t q =
   let candidates_for t (_ : Tagged.atom) = views t in
-  label_explicit ~candidates_for t q
+  label_explicit ?budget ~candidates_for t q
 
 let plus_views t atom = Label.views_of_atom t.registry (label_atom t atom)
 
-let label_ucq t u =
-  let u = Cq.Ucq.minimize u in
-  Array.concat (List.map (label t) u.Cq.Ucq.disjuncts)
+let label_ucq ?budget t u =
+  let u = Cq.Ucq.minimize ?budget u in
+  Array.concat (List.map (label ?budget t) u.Cq.Ucq.disjuncts)

@@ -14,7 +14,14 @@
       the [ℓ⁺] mask is assembled directly and no GLB is ever computed.
 
     All three agree: the explicit view set computed by the baseline denotes
-    the same lattice point as the decoded bit-vector label (tested). *)
+    the same lattice point as the decoded bit-vector label (tested).
+
+    Every labeling entry point takes an optional [budget]
+    ({!Cq.Budget.t}) bounding the folding/labeling work; exhaustion raises
+    {!Cq.Budget.Exhausted}, which the fail-closed boundary in {!Guard} turns
+    into a typed refusal. Passing no budget (the default shared unlimited
+    budget) costs one branch per step. The {!Faults} stages [Minimize],
+    [Dissect] and [Label] trip at the respective boundaries. *)
 
 type t
 
@@ -26,24 +33,24 @@ val registry : t -> Registry.t
 
 val views : t -> Sview.t list
 
-val label : t -> Cq.Query.t -> Label.t
-(** Bit vectors + hashing (the fast path). *)
+val label : ?budget:Cq.Budget.t -> t -> Cq.Query.t -> Label.t
+(** Bit vectors + hashing (the fast path). @raise Cq.Budget.Exhausted *)
 
-val label_atoms : t -> Tagged.atom list -> Label.t
-(** Fast path for already-dissected atoms. *)
+val label_atoms : ?budget:Cq.Budget.t -> t -> Tagged.atom list -> Label.t
+(** Fast path for already-dissected atoms. @raise Cq.Budget.Exhausted *)
 
-val label_atom : t -> Tagged.atom -> Label.atom_label
+val label_atom : ?budget:Cq.Budget.t -> t -> Tagged.atom -> Label.atom_label
 
-val label_hashed : t -> Cq.Query.t -> Tagged.atom list option
-(** Hashing only: explicit GLB label; [None] is ⊤. *)
+val label_hashed : ?budget:Cq.Budget.t -> t -> Cq.Query.t -> Tagged.atom list option
+(** Hashing only: explicit GLB label; [None] is ⊤. @raise Cq.Budget.Exhausted *)
 
-val label_baseline : t -> Cq.Query.t -> Tagged.atom list option
-(** No hashing, no bit vectors; [None] is ⊤. *)
+val label_baseline : ?budget:Cq.Budget.t -> t -> Cq.Query.t -> Tagged.atom list option
+(** No hashing, no bit vectors; [None] is ⊤. @raise Cq.Budget.Exhausted *)
 
 val plus_views : t -> Tagged.atom -> Sview.t list
 (** The [ℓ⁺] set of a single atom, as views. *)
 
-val label_ucq : t -> Cq.Ucq.t -> Label.t
+val label_ucq : ?budget:Cq.Budget.t -> t -> Cq.Ucq.t -> Label.t
 (** Label of a union of conjunctive queries: the union (lattice LUB, by
     Definition 3.1 (b)) of the minimized disjuncts' labels — answering the
     union requires answering every non-redundant disjunct. *)

@@ -14,8 +14,19 @@ let compile registry (name, views) =
   List.iter (fun (rel, mask) -> masks.(rel) <- mask) (Registry.mask_of_views registry views);
   { name; masks }
 
+(* Must agree with [Monitor.max_partitions]; stated here (rather than read
+   from Monitor) because Policy sits below Monitor in the module order. *)
+let max_partitions = 62
+
 let make registry partitions =
   if partitions = [] then invalid_arg "Policy.make: no partitions";
+  let n = List.length partitions in
+  if n > max_partitions then
+    invalid_arg
+      (Printf.sprintf
+         "Policy.make: %d partitions, but the monitor's alive set is one machine word \
+          (max %d)"
+         n max_partitions);
   { parts = Array.of_list (List.map (compile registry) partitions) }
 
 let stateless registry views = make registry [ ("default", views) ]

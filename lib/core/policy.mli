@@ -11,10 +11,15 @@ type partition
 
 type t
 
+val max_partitions : int
+(** 62 — the monitor's alive set is one machine word. *)
+
 val make : Registry.t -> (string * Sview.t list) list -> t
 (** One [(name, views)] pair per partition. All views must be registered.
-    @raise Invalid_argument on an unregistered view or an empty partition
-    list. *)
+    @raise Invalid_argument on an unregistered view, an empty partition
+    list, or more than {!max_partitions} partitions (validated here so the
+    error surfaces at policy construction with a descriptive message, not
+    later at monitor creation). *)
 
 val stateless : Registry.t -> Sview.t list -> t
 (** A single-partition policy: a plain threshold cut. *)

@@ -13,9 +13,16 @@ let strip_prefix ~prefix s =
     Some (String.trim (String.sub s pl (String.length s - pl)))
   else None
 
-let parse text =
+let parse ?path text =
   let views = ref [] in
   let principals = ref [] in (* reversed; partitions reversed within *)
+  (* Errors name the file when we know it: "policy.conf:3: ..." rather than a
+     bare "line 3: ..." the caller cannot attribute. *)
+  let failf lineno fmt =
+    match path with
+    | Some p -> failf ("%s:%d: " ^^ fmt) p lineno
+    | None -> failf ("line %d: " ^^ fmt) lineno
+  in
   let parse_line lineno line =
     let line = String.trim line in
     if line = "" || line.[0] = '#' then ()
@@ -26,18 +33,18 @@ let parse text =
         | Ok q -> (
           match Sview.of_query q with
           | v -> views := v :: !views
-          | exception Sview.Invalid_view msg -> failf "line %d: %s" lineno msg)
-        | Error e -> failf "line %d: %s" lineno e)
+          | exception Sview.Invalid_view msg -> failf lineno "%s" msg)
+        | Error e -> failf lineno "%s" e)
       | None -> (
         match strip_prefix ~prefix:"principal " line with
         | Some name ->
-          if name = "" then failf "line %d: empty principal name" lineno;
+          if name = "" then failf lineno "empty principal name";
           principals := (name, []) :: !principals
         | None -> (
           match strip_prefix ~prefix:"partition " line with
           | Some rest -> (
             match String.index_opt rest ':' with
-            | None -> failf "line %d: expected 'partition name: V1, V2'" lineno
+            | None -> failf lineno "expected 'partition name: V1, V2'"
             | Some i -> (
               let pname = String.trim (String.sub rest 0 i) in
               let view_names =
@@ -46,13 +53,13 @@ let parse text =
                 |> List.map String.trim
                 |> List.filter (fun v -> v <> "")
               in
-              if pname = "" then failf "line %d: empty partition name" lineno;
-              if view_names = [] then failf "line %d: empty partition" lineno;
+              if pname = "" then failf lineno "empty partition name";
+              if view_names = [] then failf lineno "empty partition";
               match !principals with
-              | [] -> failf "line %d: partition before any principal" lineno
+              | [] -> failf lineno "partition before any principal"
               | (prin, parts) :: rest_prins ->
                 principals := (prin, (pname, view_names) :: parts) :: rest_prins))
-          | None -> failf "line %d: unrecognized directive: %s" lineno line))
+          | None -> failf lineno "unrecognized directive: %s" line))
   in
   match
     List.iteri (fun i line -> parse_line (i + 1) line) (String.split_on_char '\n' text)
@@ -72,13 +79,13 @@ let parse_file path =
       ~finally:(fun () -> close_in ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   with
-  | text -> parse text
+  | text -> parse ~path text
   | exception Sys_error msg -> Error msg
 
-let load t =
+let load ?limits ?journal t =
   match
     let pipeline = Pipeline.create t.views in
-    let service = Service.create pipeline in
+    let service = Service.create ?limits ?journal pipeline in
     let resolve principal name =
       match List.find_opt (fun v -> String.equal v.Sview.name name) t.views with
       | Some v -> v

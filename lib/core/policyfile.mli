@@ -25,14 +25,17 @@ type t = {
       (** [(principal, [(partition, view names)])] in file order. *)
 }
 
-val parse : string -> (t, string) result
-(** Errors carry the offending line number. *)
+val parse : ?path:string -> string -> (t, string) result
+(** Errors carry the offending location: ["path:3: ..."] when [path] is
+    given, ["line 3: ..."] otherwise. *)
 
 val parse_file : string -> (t, string) result
+(** Reads and {!parse}s the file; every error names the file. *)
 
-val load : t -> (Service.t, string) result
-(** Builds the pipeline and registers every principal. Fails on unknown view
-    names, duplicate views/principals, or principals without partitions. *)
+val load : ?limits:Guard.limits -> ?journal:string -> t -> (Service.t, string) result
+(** Builds the pipeline and registers every principal; [limits] and [journal]
+    are passed to {!Service.create}. Fails on unknown view names, duplicate
+    views/principals, or principals without partitions. *)
 
 val to_string : t -> string
 (** Prints back to the file format; [parse (to_string t)] recovers [t]. *)

@@ -4,6 +4,8 @@ module Log = (val Logs.src_log src : Logs.LOG)
 
 type t = {
   pipeline : Pipeline.t;
+  limits : Guard.limits;
+  journal : out_channel option;
   monitors : (string, Monitor.t) Hashtbl.t;
   mutable order : string list; (* reversed registration order *)
 }
@@ -11,12 +13,29 @@ type t = {
 exception Unknown_principal of string
 exception Duplicate_principal of string
 
-let create pipeline = { pipeline; monitors = Hashtbl.create 16; order = [] }
+let create ?(limits = Guard.no_limits) ?journal pipeline =
+  let journal =
+    Option.map
+      (fun path -> open_out_gen [ Open_append; Open_creat ] 0o644 path)
+      journal
+  in
+  { pipeline; limits; journal; monitors = Hashtbl.create 16; order = [] }
+
+let close t =
+  match t.journal with
+  | None -> ()
+  | Some oc -> close_out oc
 
 let pipeline t = t.pipeline
 
+let limits t = t.limits
+
 let register t ~principal ~partitions =
   if Hashtbl.mem t.monitors principal then raise (Duplicate_principal principal);
+  (* Journal lines are TAB-separated, one decision per line. *)
+  if String.exists (fun c -> c = '\t' || c = '\n' || c = '\r') principal then
+    invalid_arg "Service.register: principal names may not contain tabs or newlines";
+  if principal = "" then invalid_arg "Service.register: empty principal name";
   let policy = Policy.make (Pipeline.registry t.pipeline) partitions in
   Hashtbl.add t.monitors principal (Monitor.create policy);
   t.order <- principal :: t.order;
@@ -33,23 +52,106 @@ let monitor_of t principal =
   | Some m -> m
   | None -> raise (Unknown_principal principal)
 
+(* --- decision journal ------------------------------------------------ *)
+
+(* One line per decision: principal TAB label TAB decision. The label is
+   [Label.encode]'s hex form, or "-" when the decision was reached before a
+   label existed (admission/labeling refusals). Appends are flushed so the
+   journal never trails a committed decision; the [Journal] fault stage trips
+   before the write so tests can force the append to fail. *)
+let journal_append t ~principal ~label ~decision =
+  match
+    Faults.trip Faults.Journal;
+    match t.journal with
+    | None -> ()
+    | Some oc ->
+      output_string oc principal;
+      output_char oc '\t';
+      output_string oc label;
+      output_char oc '\t';
+      output_string oc decision;
+      output_char oc '\n';
+      flush oc
+  with
+  | () -> Ok ()
+  | exception e -> Error (Guard.Fault ("journal append: " ^ Printexc.to_string e))
+
+let refused_line reason = "refused:" ^ Guard.refusal_to_tag reason
+
+(* --- guarded submission ---------------------------------------------- *)
+
+let guarded_label t q =
+  Guard.run t.limits (fun budget ->
+      Faults.trip Faults.Admission;
+      (match Guard.admit_query t.limits q with
+      | Ok () -> ()
+      | Error r -> raise (Guard.Refuse r));
+      let label = Pipeline.label ~budget t.pipeline q in
+      (match Guard.admit_label t.limits label with
+      | Ok () -> ()
+      | Error r -> raise (Guard.Refuse r));
+      label)
+
+(* Decide, journal, then commit — in that order. A refusal for any non-policy
+   reason leaves the monitor bit-identical (not even a counter moves); a
+   journal failure downgrades the decision to a fault refusal before anything
+   was committed, so recovery from the journal can never be ahead of or
+   behind the live state. *)
+let decide_and_commit t ~principal m label =
+  let encoded = Label.encode label in
+  match Guard.run t.limits (fun _budget -> Faults.trip Faults.Decide; Monitor.evaluate m label) with
+  | Error reason ->
+    ignore (journal_append t ~principal ~label:encoded ~decision:(refused_line reason));
+    Monitor.Refused reason
+  | Ok None -> (
+    match journal_append t ~principal ~label:encoded ~decision:(refused_line Guard.Policy) with
+    | Ok () ->
+      Monitor.commit_refusal m;
+      Monitor.Refused Guard.Policy
+    | Error reason -> Monitor.Refused reason)
+  | Ok (Some surviving) -> (
+    match journal_append t ~principal ~label:encoded ~decision:"answered" with
+    | Ok () ->
+      Monitor.commit_answer m ~surviving;
+      Monitor.Answered
+    | Error reason -> Monitor.Refused reason)
+
 let submit_label t ~principal label =
   let m = monitor_of t principal in
-  let decision = Monitor.submit m label in
+  let decision =
+    match Guard.run t.limits (fun _budget ->
+              Faults.trip Faults.Admission;
+              match Guard.admit_label t.limits label with
+              | Ok () -> ()
+              | Error r -> raise (Guard.Refuse r))
+    with
+    | Error reason ->
+      ignore
+        (journal_append t ~principal ~label:(Label.encode label)
+           ~decision:(refused_line reason));
+      Monitor.Refused reason
+    | Ok () -> decide_and_commit t ~principal m label
+  in
   Log.debug (fun f ->
       f "%s: %a (alive: %s)" principal Monitor.pp_decision decision
         (String.concat "," (Monitor.alive m)));
   decision
 
 let submit t ~principal q =
-  let label = Pipeline.label t.pipeline q in
-  let decision = submit_label t ~principal label in
+  let m = monitor_of t principal in
+  let decision =
+    match guarded_label t q with
+    | Error reason ->
+      ignore (journal_append t ~principal ~label:"-" ~decision:(refused_line reason));
+      Monitor.Refused reason
+    | Ok label -> decide_and_commit t ~principal m label
+  in
   Log.info (fun f -> f "%s: %a -> %a" principal Cq.Query.pp q Monitor.pp_decision decision);
   decision
 
 let answer t ~principal ~db q =
   match submit t ~principal q with
-  | Monitor.Refused -> None
+  | Monitor.Refused _ -> None
   | Monitor.Answered -> (
     match Answer.via_views t.pipeline db q with
     | Some rel -> Some rel
@@ -64,4 +166,69 @@ let stats t ~principal =
   let m = monitor_of t principal in
   (Monitor.answered_count m, Monitor.refused_count m)
 
-let reset t ~principal = Monitor.reset (monitor_of t principal)
+let reset t ~principal =
+  Monitor.reset (monitor_of t principal);
+  ignore (journal_append t ~principal ~label:"-" ~decision:"reset")
+
+(* --- snapshot & recovery --------------------------------------------- *)
+
+let snapshot t =
+  List.map (fun principal -> (principal, Monitor.state (monitor_of t principal))) (principals t)
+
+let recover t ~journal =
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  match
+    let ic = open_in journal in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        Hashtbl.iter (fun _ m -> Monitor.reset m) t.monitors;
+        let rec loop lineno applied =
+          match In_channel.input_line ic with
+          | None -> Ok applied
+          | Some line when String.trim line = "" -> loop (lineno + 1) applied
+          | Some line -> (
+            match String.split_on_char '\t' line with
+            | [ principal; label_s; decision ] -> (
+              match Hashtbl.find_opt t.monitors principal with
+              | None -> fail "%s:%d: unknown principal %s" journal lineno principal
+              | Some m -> (
+                match decision with
+                | "reset" ->
+                  Monitor.reset m;
+                  loop (lineno + 1) (applied + 1)
+                | "answered" -> (
+                  match Label.decode (if label_s = "-" then "" else label_s) with
+                  | Error e -> fail "%s:%d: %s" journal lineno e
+                  | Ok label -> (
+                    match Monitor.evaluate m label with
+                    | Some surviving ->
+                      Monitor.commit_answer m ~surviving;
+                      loop (lineno + 1) (applied + 1)
+                    | None ->
+                      fail
+                        "%s:%d: journaled answer is refused on replay — journal and \
+                         policy configuration disagree"
+                        journal lineno))
+                | _ -> (
+                  match
+                    String.length decision >= 8 && String.sub decision 0 8 = "refused:"
+                  with
+                  | false -> fail "%s:%d: unknown decision %S" journal lineno decision
+                  | true -> (
+                    let tag =
+                      String.sub decision 8 (String.length decision - 8)
+                    in
+                    match Guard.refusal_of_tag tag with
+                    | None -> fail "%s:%d: unknown refusal tag %S" journal lineno tag
+                    | Some Guard.Policy ->
+                      (* Only policy refusals touched the live monitor. *)
+                      Monitor.commit_refusal m;
+                      loop (lineno + 1) (applied + 1)
+                    | Some _ -> loop (lineno + 1) (applied + 1)))))
+            | _ -> fail "%s:%d: malformed journal line %S" journal lineno line)
+        in
+        loop 1 0)
+  with
+  | result -> result
+  | exception Sys_error msg -> Error msg

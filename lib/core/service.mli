@@ -2,6 +2,13 @@
     paper's Figure 2: a shared labeling pipeline plus one reference monitor
     per principal (app), each enforcing its own policy.
 
+    The service is the fail-closed boundary. Every submission runs under the
+    service's {!Guard.limits}; admission caps, fuel or deadline exhaustion,
+    and unexpected exceptions all surface as [Monitor.Refused reason] with
+    the principal's monitor left bit-identical. When a journal is configured,
+    each decision is appended (write-ahead: decide, journal, then commit) so
+    {!recover} can rebuild the exact monitor state from the log.
+
     Decisions are logged through the [Logs] library under the source
     ["disclosure.service"]; attach a reporter to observe them. *)
 
@@ -10,14 +17,26 @@ type t
 exception Unknown_principal of string
 exception Duplicate_principal of string
 
-val create : Pipeline.t -> t
+val create : ?limits:Guard.limits -> ?journal:string -> Pipeline.t -> t
+(** [limits] defaults to {!Guard.no_limits}. [journal], when given, is a file
+    path opened in append mode; every decision is written to it (see the
+    journal format below). *)
+
+val close : t -> unit
+(** Close the journal channel, if any. The service remains usable but further
+    decisions are no longer durably journaled. *)
 
 val pipeline : t -> Pipeline.t
+
+val limits : t -> Guard.limits
 
 val register : t -> principal:string -> partitions:(string * Sview.t list) list -> unit
 (** Registers a principal with a (possibly multi-partition) policy.
     @raise Duplicate_principal
-    @raise Invalid_argument on empty partitions or unregistered views. *)
+    @raise Invalid_argument on empty partitions, more than
+    {!Policy.max_partitions} partitions, unregistered views, or a principal
+    name that is empty or contains tab/newline (journal lines are
+    tab-separated). *)
 
 val register_stateless : t -> principal:string -> views:Sview.t list -> unit
 (** Single-partition convenience form. *)
@@ -26,11 +45,16 @@ val principals : t -> string list
 (** Registration order. *)
 
 val submit : t -> principal:string -> Cq.Query.t -> Monitor.decision
-(** Labels the query and submits it to the principal's monitor.
+(** Labels the query under the service limits and submits it to the
+    principal's monitor. Fail-closed: any refusal — policy, resource,
+    malformed, fault — leaves the monitor's alive mask unchanged, and
+    non-policy refusals leave the monitor bit-identical (not even a counter
+    moves). A journal-append failure refuses the query {e before} commit.
     @raise Unknown_principal *)
 
 val submit_label : t -> principal:string -> Label.t -> Monitor.decision
-(** For pre-labeled queries (e.g. replayed logs).
+(** For pre-labeled queries (e.g. replayed logs). Runs the same admission,
+    decision, journal, and commit path as {!submit}, minus labeling.
     @raise Unknown_principal *)
 
 val answer :
@@ -54,4 +78,28 @@ val stats : t -> principal:string -> int * int
     @raise Unknown_principal *)
 
 val reset : t -> principal:string -> unit
-(** @raise Unknown_principal *)
+(** Forget the principal's history. Journaled as a [reset] control line so
+    replay stays equivalent to the live history.
+    @raise Unknown_principal *)
+
+(** {1 Snapshot and recovery}
+
+    Journal format: one decision per line,
+    [principal TAB label TAB decision], where [label] is {!Label.encode}'s
+    hex form ("-" when the decision was reached before a label existed) and
+    [decision] is ["answered"], ["refused:<tag>"] (tags from
+    {!Guard.refusal_to_tag}), or ["reset"]. *)
+
+val snapshot : t -> (string * Monitor.state) list
+(** Immutable copy of every principal's monitor state, in registration
+    order. *)
+
+val recover : t -> journal:string -> (int, string) result
+(** Reset all monitors and replay the journal at [journal], re-applying every
+    committed decision: answered lines re-evaluate and narrow the alive mask,
+    policy refusals bump the refused counter, other refusal tags are
+    no-ops (they never touched monitor state), resets reset. Returns the
+    number of lines applied. [Error] (with [file:line] context) on an
+    unreadable file, a malformed line, an unknown principal, or a journaled
+    answer the current policy refuses — in which case replay stops with the
+    monitors reflecting the journal prefix before the bad line. *)

@@ -1,0 +1,70 @@
+type exhaustion =
+  | Fuel
+  | Deadline
+
+exception Exhausted of exhaustion
+
+(* Deadline checks hit the clock, so they are amortized over this many fuel
+   ticks. 128 ticks of homomorphism search take well under a microsecond;
+   deadlines are meant at millisecond granularity. *)
+let deadline_stride = 128
+
+type t = {
+  limited : bool; (* false only for [unlimited]; fast-path discriminator *)
+  mutable fuel : int;
+  deadline : float; (* absolute [Unix.gettimeofday]; [infinity] = none *)
+  mutable stride : int; (* ticks left until the next clock check *)
+}
+
+let unlimited = { limited = false; fuel = max_int; deadline = infinity; stride = max_int }
+
+let create ?fuel ?deadline () =
+  match fuel, deadline with
+  | None, None -> unlimited
+  | _ ->
+    let fuel =
+      match fuel with
+      | None -> max_int
+      | Some f ->
+        if f < 0 then invalid_arg "Budget.create: negative fuel";
+        f
+    in
+    let deadline =
+      match deadline with
+      | None -> infinity
+      | Some s ->
+        if s < 0.0 then invalid_arg "Budget.create: negative deadline";
+        Unix.gettimeofday () +. s
+    in
+    { limited = true; fuel; deadline; stride = deadline_stride }
+
+let is_unlimited t = not t.limited
+
+let check_deadline t =
+  if t.limited && Unix.gettimeofday () > t.deadline then raise (Exhausted Deadline)
+
+let burn t n =
+  if t.limited then begin
+    t.fuel <- t.fuel - n;
+    if t.fuel < 0 then begin
+      t.fuel <- 0;
+      raise (Exhausted Fuel)
+    end;
+    t.stride <- t.stride - n;
+    if t.stride <= 0 then begin
+      t.stride <- deadline_stride;
+      if Unix.gettimeofday () > t.deadline then raise (Exhausted Deadline)
+    end
+  end
+
+let tick t = burn t 1
+
+let remaining_fuel t = if t.limited then Some t.fuel else None
+
+let exhaust t =
+  if not t.limited then invalid_arg "Budget.exhaust: unlimited budget";
+  t.fuel <- 0
+
+let pp_exhaustion ppf = function
+  | Fuel -> Format.pp_print_string ppf "fuel"
+  | Deadline -> Format.pp_print_string ppf "deadline"

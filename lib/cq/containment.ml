@@ -1,4 +1,5 @@
 (* q1 ⊆ q2 iff there is a homomorphism (containment mapping) from q2 into q1. *)
-let contained_in q1 q2 = Homomorphism.exists ~from:q2 ~into:q1
+let contained_in ?budget q1 q2 = Homomorphism.exists ?budget ~from:q2 ~into:q1 ()
 
-let equivalent q1 q2 = contained_in q1 q2 && contained_in q2 q1
+let equivalent ?budget q1 q2 =
+  contained_in ?budget q1 q2 && contained_in ?budget q2 q1

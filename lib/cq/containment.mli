@@ -2,12 +2,12 @@
 
     Two queries are {e equivalent} when they return the same answer on every
     database (Section 2.3). Decided via the Chandra–Merlin homomorphism
-    criterion. *)
+    criterion; the optional [budget] bounds the underlying search. *)
 
-val contained_in : Query.t -> Query.t -> bool
+val contained_in : ?budget:Budget.t -> Query.t -> Query.t -> bool
 (** [contained_in q1 q2] is [q1 ⊆ q2]: on every database, every answer of
     [q1] is an answer of [q2]. Queries with different head arities are
-    incomparable (always [false]). *)
+    incomparable (always [false]). @raise Budget.Exhausted *)
 
-val equivalent : Query.t -> Query.t -> bool
-(** Mutual containment. *)
+val equivalent : ?budget:Budget.t -> Query.t -> Query.t -> bool
+(** Mutual containment. @raise Budget.Exhausted *)

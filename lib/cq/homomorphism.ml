@@ -1,3 +1,7 @@
+let src = Logs.Src.create "disclosure.cq.homomorphism" ~doc:"CQ homomorphism search"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
 let match_term subst (t_from : Term.t) (t_into : Term.t) =
   match t_from with
   | Term.Const c -> (
@@ -20,13 +24,14 @@ let match_atom subst (a : Atom.t) (b : Atom.t) =
     in
     loop subst a.args b.args
 
-let find_body ~from ~into ~init =
+let find_body ?(budget = Budget.unlimited) ~from ~into ~init () =
   let rec go subst = function
     | [] -> Some subst
     | atom :: rest ->
       let rec try_candidates = function
         | [] -> None
         | b :: more -> (
+          Budget.tick budget;
           match match_atom subst atom b with
           | Some subst' -> (
             match go subst' rest with
@@ -38,26 +43,34 @@ let find_body ~from ~into ~init =
   in
   go init from
 
-let all_body ?(limit = 4096) ~from ~into ~init () =
+let all_body ?(limit = 4096) ?(budget = Budget.unlimited) ~from ~into ~init () =
   let results = ref [] in
   let count = ref 0 in
+  let truncated = ref false in
   let rec go subst = function
     | [] ->
       if !count < limit then begin
         results := subst :: !results;
         incr count
       end
+      else truncated := true
     | atom :: rest ->
       List.iter
         (fun b ->
-          if !count < limit then
+          if !count < limit then begin
+            Budget.tick budget;
             match match_atom subst atom b with
             | Some subst' -> go subst' rest
-            | None -> ())
+            | None -> ()
+          end)
         into
   in
   go init from;
-  List.rev !results
+  if !truncated then
+    Log.warn (fun m ->
+        m "all_body: enumeration truncated at %d homomorphisms; results are incomplete"
+          limit);
+  (List.rev !results, !truncated)
 
 let match_heads (from : Query.t) (into : Query.t) =
   if List.length from.head <> List.length into.head then None
@@ -73,9 +86,9 @@ let match_heads (from : Query.t) (into : Query.t) =
     in
     loop Subst.empty from.head into.head
 
-let find ~from ~into =
+let find ?budget ~from ~into () =
   match match_heads from into with
   | None -> None
-  | Some init -> find_body ~from:from.body ~into:into.body ~init
+  | Some init -> find_body ?budget ~from:from.body ~into:into.body ~init ()
 
-let exists ~from ~into = Option.is_some (find ~from ~into)
+let exists ?budget ~from ~into () = Option.is_some (find ?budget ~from ~into ())

@@ -7,22 +7,41 @@
 
     By the Chandra–Merlin theorem, [Q2 ⊆ Q1] iff a homomorphism from [Q1] to
     [Q2] exists. The search is exponential in the number of body atoms in the
-    worst case (the problem is NP-complete); queries in this system are small. *)
+    worst case (the problem is NP-complete); the optional [budget] bounds it,
+    raising {!Budget.Exhausted} when the allotment runs out — every entry
+    point below spends one unit of fuel per candidate atom match. *)
 
-val find_body : from:Atom.t list -> into:Atom.t list -> init:Subst.t -> Subst.t option
-(** Body-only homomorphism extending [init]; heads are ignored. *)
+val find_body :
+  ?budget:Budget.t ->
+  from:Atom.t list ->
+  into:Atom.t list ->
+  init:Subst.t ->
+  unit ->
+  Subst.t option
+(** Body-only homomorphism extending [init]; heads are ignored.
+    @raise Budget.Exhausted *)
 
-val find : from:Query.t -> into:Query.t -> Subst.t option
+val find : ?budget:Budget.t -> from:Query.t -> into:Query.t -> unit -> Subst.t option
 (** Full homomorphism respecting heads. Returns [None] when head arities
-    differ. *)
+    differ. @raise Budget.Exhausted *)
 
-val exists : from:Query.t -> into:Query.t -> bool
+val exists : ?budget:Budget.t -> from:Query.t -> into:Query.t -> unit -> bool
+(** @raise Budget.Exhausted *)
 
 val all_body :
-  ?limit:int -> from:Atom.t list -> into:Atom.t list -> init:Subst.t -> unit -> Subst.t list
+  ?limit:int ->
+  ?budget:Budget.t ->
+  from:Atom.t list ->
+  into:Atom.t list ->
+  init:Subst.t ->
+  unit ->
+  Subst.t list * bool
 (** All body homomorphisms extending [init], up to [limit] (default 4096).
-    Used by the multi-atom rewriting engine to enumerate candidate view
-    applications. *)
+    The boolean is [true] when the enumeration was truncated at [limit] —
+    i.e. more homomorphisms exist than were returned — so callers (the
+    multi-atom rewriting engine) can distinguish "no more rewritings" from
+    "gave up". Truncation also logs a warning on the
+    ["disclosure.cq.homomorphism"] source. @raise Budget.Exhausted *)
 
 val match_atom : Subst.t -> Atom.t -> Atom.t -> Subst.t option
 (** One-atom matching: extends the substitution so the first atom maps onto

@@ -10,7 +10,7 @@ let remove_nth n l = List.filteri (fun i _ -> i <> n) l
    fixes head variables and must map atom [n] onto some remaining atom, so a
    head-fixing single-atom match must exist. Checking it first prunes most
    failing searches cheaply. *)
-let absorbable (q : Query.t) n =
+let absorbable ?(budget = Budget.unlimited) (q : Query.t) n =
   let atom_n = List.nth q.body n in
   let head_identity =
     List.fold_left
@@ -18,11 +18,13 @@ let absorbable (q : Query.t) n =
       Subst.empty (Query.head_vars q)
   in
   List.exists
-    (fun (i, b) -> i <> n && Option.is_some (Homomorphism.match_atom head_identity atom_n b))
+    (fun (i, b) ->
+      Budget.tick budget;
+      i <> n && Option.is_some (Homomorphism.match_atom head_identity atom_n b))
     (List.mapi (fun i a -> (i, a)) q.body)
 
-let try_remove (q : Query.t) n =
-  if not (absorbable q n) then None
+let try_remove ?budget (q : Query.t) n =
+  if not (absorbable ?budget q n) then None
   else
     match remove_nth n q.body with
     | [] -> None
@@ -30,7 +32,7 @@ let try_remove (q : Query.t) n =
       (* If a head variable only occurred in the removed atom the reduced query
          is unsafe — and certainly not equivalent. *)
       match Query.make ~name:q.name ~head:q.head ~body:body' () with
-      | q' -> if Homomorphism.exists ~from:q ~into:q' then Some q' else None
+      | q' -> if Homomorphism.exists ?budget ~from:q ~into:q' () then Some q' else None
       | exception Query.Unsafe _ -> None)
 
 (* An atom is only removable if the homomorphism can map it onto another atom
@@ -46,17 +48,17 @@ let removable_indices (q : Query.t) =
   List.mapi (fun i (a : Atom.t) -> (i, Hashtbl.find counts a.pred >= 2)) q.body
   |> List.filter_map (fun (i, keep) -> if keep then Some i else None)
 
-let rec shrink q =
+let rec shrink ?budget q =
   let rec loop = function
     | [] -> q
     | i :: rest -> (
-      match try_remove q i with
-      | Some q' -> shrink q'
+      match try_remove ?budget q i with
+      | Some q' -> shrink ?budget q'
       | None -> loop rest)
   in
   loop (removable_indices q)
 
-let minimize q = shrink q
+let minimize ?budget q = shrink ?budget q
 
-let is_minimal (q : Query.t) =
-  List.for_all (fun i -> Option.is_none (try_remove q i)) (removable_indices q)
+let is_minimal ?budget (q : Query.t) =
+  List.for_all (fun i -> Option.is_none (try_remove ?budget q i)) (removable_indices q)

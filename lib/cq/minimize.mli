@@ -3,11 +3,14 @@
 
     This is the "folding" subroutine used by the paper's [Dissect] algorithm
     (Section 5.2): it removes redundant atoms so that only atoms contributing
-    information survive dissection. *)
+    information survive dissection. The optional [budget] bounds the
+    underlying homomorphism searches. *)
 
-val minimize : Query.t -> Query.t
+val minimize : ?budget:Budget.t -> Query.t -> Query.t
 (** Returns an equivalent query whose body is a minimal subset of the input's
-    body. The result is unique up to variable renaming. *)
+    body. The result is unique up to variable renaming.
+    @raise Budget.Exhausted *)
 
-val is_minimal : Query.t -> bool
-(** True when no proper subset of the body yields an equivalent query. *)
+val is_minimal : ?budget:Budget.t -> Query.t -> bool
+(** True when no proper subset of the body yields an equivalent query.
+    @raise Budget.Exhausted *)

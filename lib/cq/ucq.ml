@@ -24,15 +24,15 @@ let of_query (q : Query.t) = { name = q.name; disjuncts = [ q ] }
 
 let head_arity t = Query.head_arity (List.hd t.disjuncts)
 
-let contained_in a b =
+let contained_in ?budget a b =
   List.for_all
-    (fun qa -> List.exists (fun qb -> Containment.contained_in qa qb) b.disjuncts)
+    (fun qa -> List.exists (fun qb -> Containment.contained_in ?budget qa qb) b.disjuncts)
     a.disjuncts
 
-let equivalent a b = contained_in a b && contained_in b a
+let equivalent ?budget a b = contained_in ?budget a b && contained_in ?budget b a
 
-let minimize t =
-  let minimized = List.map Minimize.minimize t.disjuncts in
+let minimize ?budget t =
+  let minimized = List.map (Minimize.minimize ?budget) t.disjuncts in
   (* Drop any disjunct contained in another; among mutually contained
      (equivalent) disjuncts the earliest survives. *)
   let indexed = List.mapi (fun i q -> (i, q)) minimized in
@@ -41,8 +41,8 @@ let minimize t =
       (List.exists
          (fun (j, q') ->
            j <> i
-           && Containment.contained_in q q'
-           && ((not (Containment.contained_in q' q)) || j < i))
+           && Containment.contained_in ?budget q q'
+           && ((not (Containment.contained_in ?budget q' q)) || j < i))
          indexed)
   in
   { t with disjuncts = List.map snd (List.filter keep indexed) }

@@ -24,12 +24,12 @@ val of_query : Query.t -> t
 
 val head_arity : t -> int
 
-val contained_in : t -> t -> bool
-(** Sagiv–Yannakakis containment. *)
+val contained_in : ?budget:Budget.t -> t -> t -> bool
+(** Sagiv–Yannakakis containment. @raise Budget.Exhausted *)
 
-val equivalent : t -> t -> bool
+val equivalent : ?budget:Budget.t -> t -> t -> bool
 
-val minimize : t -> t
+val minimize : ?budget:Budget.t -> t -> t
 (** Minimizes every disjunct and drops disjuncts contained in another
     (earlier disjuncts win among equivalents). The result is equivalent to
     the input. *)

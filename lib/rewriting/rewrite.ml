@@ -10,25 +10,32 @@ let indexed_body (q : Cq.Query.t) = List.mapi (fun i a -> (i, a)) q.body
 (* Candidate view applications: a homomorphism h from the view body into the
    query body yields the view atom V(h(head)). Coverage is the set of query
    atoms in h's image. *)
-let candidates ~views (q : Cq.Query.t) =
+let candidates_status ?budget ~views (q : Cq.Query.t) =
   let body_idx = indexed_body q in
   let atom_index (a : Cq.Atom.t) =
     List.filter_map (fun (i, b) -> if Cq.Atom.equal a b then Some i else None) body_idx
   in
-  List.concat_map
-    (fun (v : Cq.Query.t) ->
-      Expansion.check_view v;
-      let homs =
-        Cq.Homomorphism.all_body ~from:v.body ~into:q.body ~init:Cq.Subst.empty ()
-      in
-      List.filter_map
-        (fun h ->
-          let image = List.map (Cq.Subst.apply_atom h) v.body in
-          let covers = List.sort_uniq Int.compare (List.concat_map atom_index image) in
-          let args = List.map (Cq.Subst.apply_term h) v.head in
-          Some { view = v; atom = Cq.Atom.make v.name args; covers })
-        homs)
-    views
+  let truncated = ref false in
+  let cands =
+    List.concat_map
+      (fun (v : Cq.Query.t) ->
+        Expansion.check_view v;
+        let homs, trunc =
+          Cq.Homomorphism.all_body ?budget ~from:v.body ~into:q.body ~init:Cq.Subst.empty ()
+        in
+        if trunc then truncated := true;
+        List.filter_map
+          (fun h ->
+            let image = List.map (Cq.Subst.apply_atom h) v.body in
+            let covers = List.sort_uniq Int.compare (List.concat_map atom_index image) in
+            let args = List.map (Cq.Subst.apply_term h) v.head in
+            Some { view = v; atom = Cq.Atom.make v.name args; covers })
+          homs)
+      views
+  in
+  (cands, !truncated)
+
+let candidates ~views q = fst (candidates_status ~views q)
 
 (* Deduplicate candidates that produce the same rewriting atom (identical
    arguments): they expand identically. Keep the union of their coverage. *)
@@ -50,14 +57,14 @@ let dedup_candidates cands =
 
 exception Found of Cq.Query.t
 
-let try_combination ~views ~fds (q : Cq.Query.t) combo =
+let try_combination ?budget ~views ~fds (q : Cq.Query.t) combo =
   let body = List.map (fun c -> c.atom) combo in
   match Cq.Query.make ~name:q.name ~head:q.head ~body () with
   | rewriting ->
     let expanded = Expansion.expand ~views rewriting in
     let equivalent =
       match fds with
-      | [] -> Cq.Containment.equivalent q expanded
+      | [] -> Cq.Containment.equivalent ?budget q expanded
       | fds -> Cq.Chase.equivalent ~fds q expanded
     in
     if equivalent then Some rewriting else None
@@ -70,7 +77,7 @@ let try_combination ~views ~fds (q : Cq.Query.t) combo =
    exactly ≤ [cap] candidates; extra (coverage-redundant) view atoms are only
    allowed once everything is covered — they can still be required, since
    additional atoms constrain the expansion toward equivalence. *)
-let search ~views ~fds ~max_atoms (q : Cq.Query.t) cands =
+let search ?budget ~views ~fds ~max_atoms (q : Cq.Query.t) cands =
   let n_atoms = List.length q.body in
   let full = List.init n_atoms Fun.id in
   let cands = Array.of_list cands in
@@ -79,7 +86,7 @@ let search ~views ~fds ~max_atoms (q : Cq.Query.t) cands =
     let rec go start chosen covered size =
       let covered_all = List.for_all (fun i -> List.mem i covered) full in
       (if covered_all && size = cap then
-         match try_combination ~views ~fds q (List.rev chosen) with
+         match try_combination ?budget ~views ~fds q (List.rev chosen) with
          | Some rw -> raise (Found rw)
          | None -> ());
       if size < cap then
@@ -103,13 +110,13 @@ let search ~views ~fds ~max_atoms (q : Cq.Query.t) cands =
   in
   deepen 1
 
-let find ?max_atoms ?(fds = []) ~views q =
+let find_status ?budget ?max_atoms ?(fds = []) ~views q =
   (* Chase first so FD-merged atoms drive candidate generation; a failed
      chase means the query is unsatisfiable under the dependencies. *)
   match (match fds with [] -> Some q | _ -> Cq.Chase.chase ~fds q) with
-  | None -> None
+  | None -> (None, `Complete)
   | Some q ->
-    let q = Cq.Minimize.minimize q in
+    let q = Cq.Minimize.minimize ?budget q in
     let default_bound =
       match fds with
       | [] -> List.length q.body (* the LMS bound: complete *)
@@ -120,10 +127,16 @@ let find ?max_atoms ?(fds = []) ~views q =
         max (List.length q.body) (min 6 (List.length views))
     in
     let max_atoms = Option.value ~default:default_bound max_atoms in
-    let cands = dedup_candidates (candidates ~views q) in
-    search ~views ~fds ~max_atoms q cands
+    let raw, truncated = candidates_status ?budget ~views q in
+    let cands = dedup_candidates raw in
+    let status = if truncated then `Truncated else `Complete in
+    (search ?budget ~views ~fds ~max_atoms q cands, status)
 
-let rewritable ?max_atoms ?fds ~views q = Option.is_some (find ?max_atoms ?fds ~views q)
+let find ?budget ?max_atoms ?fds ~views q =
+  fst (find_status ?budget ?max_atoms ?fds ~views q)
+
+let rewritable ?budget ?max_atoms ?fds ~views q =
+  Option.is_some (find ?budget ?max_atoms ?fds ~views q)
 
 let leq ?fds w1 w2 =
   (* Views used as rewriting targets need distinct names; rename them apart

@@ -33,7 +33,17 @@ val candidates : views:Cq.Query.t list -> Cq.Query.t -> candidate list
 (** All candidate view applications for a {e minimized} query. Exposed for
     tests and for the example walkthroughs. *)
 
+val candidates_status :
+  ?budget:Cq.Budget.t ->
+  views:Cq.Query.t list ->
+  Cq.Query.t ->
+  candidate list * bool
+(** Like {!candidates}, plus a flag that is [true] when the homomorphism
+    enumeration behind any view was truncated ({!Cq.Homomorphism.all_body}'s
+    limit) — the candidate set may then be incomplete. *)
+
 val find :
+  ?budget:Cq.Budget.t ->
   ?max_atoms:int ->
   ?fds:Cq.Fd.t list ->
   views:Cq.Query.t list ->
@@ -50,10 +60,27 @@ val find :
     attributes of the current user from two one-attribute views. Queries that
     are unsatisfiable under the FDs yield [None]. The [max_atoms] bound makes
     the FD-aware search complete only up to that size.
-    @raise Expansion.Invalid_view on an ill-formed view. *)
+    @raise Expansion.Invalid_view on an ill-formed view.
+    @raise Cq.Budget.Exhausted when [budget] runs out mid-search. *)
+
+val find_status :
+  ?budget:Cq.Budget.t ->
+  ?max_atoms:int ->
+  ?fds:Cq.Fd.t list ->
+  views:Cq.Query.t list ->
+  Cq.Query.t ->
+  Cq.Query.t option * [ `Complete | `Truncated ]
+(** Like {!find}, but distinguishes "no rewriting exists" ([None, `Complete])
+    from "gave up" ([None, `Truncated]): the candidate enumeration hit the
+    homomorphism limit, so a rewriting may exist that the search never saw. *)
 
 val rewritable :
-  ?max_atoms:int -> ?fds:Cq.Fd.t list -> views:Cq.Query.t list -> Cq.Query.t -> bool
+  ?budget:Cq.Budget.t ->
+  ?max_atoms:int ->
+  ?fds:Cq.Fd.t list ->
+  views:Cq.Query.t list ->
+  Cq.Query.t ->
+  bool
 
 val leq : ?fds:Cq.Fd.t list -> Cq.Query.t list -> Cq.Query.t list -> bool
 (** The general equivalent-view-rewriting disclosure order on sets of

@@ -159,3 +159,48 @@ let arbitrary_query_pair_compliant_db =
     ~print:(fun ((a, b), _) ->
       Printf.sprintf "(%s, %s)" (Cq.Query.to_string a) (Cq.Query.to_string b))
     Gen.(pair (pair gen_query gen_query) gen_compliant_database)
+
+(* --- adversarial queries for the resource-governance tests ------------ *)
+
+(* Worst cases for the homomorphism search underlying minimization and
+   labeling: many atoms over the {e same} relation with heavily shared
+   variables, so the candidate space explodes combinatorially. *)
+
+let avar i = Cq.Term.Var (Printf.sprintf "a%d" i)
+
+(* S(x0,x1), S(x1,x2), ..., S(x_{n-1},x_n): a long chain join. *)
+let gen_chain_query : Cq.Query.t Gen.t =
+  let open Gen in
+  let* n = int_range 4 10 in
+  let body = List.init n (fun i -> Cq.Atom.make "S" [ avar i; avar (i + 1) ]) in
+  return (Cq.Query.make ~name:"Q" ~head:[ avar 0; avar n ] ~body ())
+
+(* The same relation atom repeated with arguments drawn from a tiny variable
+   pool, so most atom pairs unify and absorption checks abound. *)
+let gen_repeated_atoms_query : Cq.Query.t Gen.t =
+  let open Gen in
+  let* n = int_range 4 9 in
+  let* pool = int_range 2 3 in
+  let gen_arg = map (fun i -> avar i) (int_bound (pool - 1)) in
+  let gen_atom = map (fun args -> Cq.Atom.make "R" args) (list_repeat 3 gen_arg) in
+  let* body = list_repeat n gen_atom in
+  return (Cq.Query.make ~name:"Q" ~head:[] ~body ())
+
+(* A self-join tower: R(x_i, x_{i+1}, x_{i+1}) stacked into a cycle, the
+   classic hard instance for CQ minimization (every atom maps into every
+   other under some collapse). *)
+let gen_self_join_tower : Cq.Query.t Gen.t =
+  let open Gen in
+  let* n = int_range 3 7 in
+  let body =
+    List.init n (fun i ->
+        let j = (i + 1) mod n in
+        Cq.Atom.make "R" [ avar i; avar j; avar j ])
+  in
+  return (Cq.Query.make ~name:"Q" ~head:[] ~body ())
+
+let gen_adversarial_query : Cq.Query.t Gen.t =
+  Gen.oneof [ gen_chain_query; gen_repeated_atoms_query; gen_self_join_tower ]
+
+let arbitrary_adversarial_query =
+  QCheck.make ~print:Cq.Query.to_string gen_adversarial_query

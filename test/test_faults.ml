@@ -1,0 +1,268 @@
+(* Fault-injection suite for the fail-closed reference monitor.
+
+   Self-contained (its own executable, no shared test helpers): arms every
+   fault at every pipeline stage and asserts the service's three robustness
+   invariants:
+
+   1. fail-closed — a fault anywhere in the submission path yields a
+      [Refused] decision, never an escaping exception;
+   2. state-unchanged-on-refusal — a refusal for any non-policy reason
+      leaves the principal's monitor bit-identical;
+   3. alive-mask monotonicity — across any interleaving of submissions,
+      faults, and refusals, the alive mask only ever loses bits (except at
+      an explicit reset). *)
+
+module Guard = Disclosure.Guard
+module Faults = Disclosure.Faults
+module Service = Disclosure.Service
+module Monitor = Disclosure.Monitor
+module Pipeline = Disclosure.Pipeline
+module Sview = Disclosure.Sview
+
+let pq = Cq.Parser.query_exn
+
+let sview s = Sview.of_string s
+
+let v1 = sview "V1(x, y) :- Meetings(x, y)"
+let v2 = sview "V2(x) :- Meetings(x, y)"
+let v3 = sview "V3(x, y, z) :- Contacts(x, y, z)"
+
+let make_service ?limits ?journal () =
+  let service = Service.create ?limits ?journal (Pipeline.create [ v1; v2; v3 ]) in
+  Service.register service ~principal:"app"
+    ~partitions:[ ("meetings", [ v1; v2 ]); ("contacts", [ v3 ]) ];
+  service
+
+let q_slots = pq "Q(x) :- Meetings(x, y)"
+let q_meetings = pq "Q(x, y) :- Meetings(x, y)"
+
+let all_faults = [ Faults.Exhaust_fuel; Faults.Expire_deadline; Faults.Raise "injected" ]
+
+let fault_label stage fault =
+  Format.asprintf "%a/%a" Faults.pp_stage stage Faults.pp_fault fault
+
+(* Invariants 1 and 2, exhaustively: every fault at every stage refuses and
+   leaves the monitor bit-identical; clearing the fault restores service. *)
+let test_fault_matrix () =
+  List.iter
+    (fun stage ->
+      List.iter
+        (fun fault ->
+          let name = fault_label stage fault in
+          let service = make_service () in
+          (* Establish non-trivial state: one answered query narrowed the
+             wall to the meetings side. *)
+          (match Service.submit service ~principal:"app" q_slots with
+          | Monitor.Answered -> ()
+          | d -> Alcotest.failf "%s: setup not answered: %a" name Monitor.pp_decision d);
+          let before = Service.snapshot service in
+          let decision =
+            Faults.with_fault stage fault (fun () ->
+                Service.submit service ~principal:"app" q_meetings)
+          in
+          (match decision with
+          | Monitor.Refused reason ->
+            if Guard.refusal_equal reason Guard.Policy then
+              Alcotest.failf "%s: fault surfaced as a policy refusal" name
+          | Monitor.Answered -> Alcotest.failf "%s: fault was answered" name);
+          if Service.snapshot service <> before then
+            Alcotest.failf "%s: refusal mutated monitor state" name;
+          (* Recovery: once disarmed, the same query goes through. *)
+          match Service.submit service ~principal:"app" q_meetings with
+          | Monitor.Answered -> ()
+          | d ->
+            Alcotest.failf "%s: not answered after clearing: %a" name
+              Monitor.pp_decision d)
+        all_faults)
+    Faults.all_stages
+
+(* The same matrix through the pre-labeled entry point (no labeling stages,
+   but admission, decision, and journaling still trip). *)
+let test_fault_matrix_submit_label () =
+  let label_of service = Pipeline.label (Service.pipeline service) q_meetings in
+  List.iter
+    (fun stage ->
+      List.iter
+        (fun fault ->
+          let name = "submit_label " ^ fault_label stage fault in
+          let service = make_service () in
+          let label = label_of service in
+          let before = Service.snapshot service in
+          let decision =
+            Faults.with_fault stage fault (fun () ->
+                Service.submit_label service ~principal:"app" label)
+          in
+          (match stage with
+          | Faults.Admission | Faults.Decide | Faults.Journal -> (
+            match decision with
+            | Monitor.Refused _ ->
+              if Service.snapshot service <> before then
+                Alcotest.failf "%s: refusal mutated monitor state" name
+            | Monitor.Answered -> Alcotest.failf "%s: fault was answered" name)
+          | Faults.Minimize | Faults.Dissect | Faults.Label -> (
+            (* Labeling stages never run for a pre-computed label. *)
+            match decision with
+            | Monitor.Answered -> ()
+            | Monitor.Refused _ -> Alcotest.failf "%s: unreached stage refused" name)))
+        all_faults)
+    Faults.all_stages
+
+(* Injected exhaustion surfaces with the same reason a real one would. *)
+let test_fault_reasons () =
+  let service = make_service () in
+  (match
+     Faults.with_fault Faults.Label Faults.Exhaust_fuel (fun () ->
+         Service.submit service ~principal:"app" q_slots)
+   with
+  | Monitor.Refused (Guard.Resource Guard.Fuel) -> ()
+  | d -> Alcotest.failf "expected fuel refusal, got %a" Monitor.pp_decision d);
+  (match
+     Faults.with_fault Faults.Minimize Faults.Expire_deadline (fun () ->
+         Service.submit service ~principal:"app" q_slots)
+   with
+  | Monitor.Refused (Guard.Resource Guard.Deadline) -> ()
+  | d -> Alcotest.failf "expected deadline refusal, got %a" Monitor.pp_decision d);
+  match
+    Faults.with_fault Faults.Dissect (Faults.Raise "bug #42") (fun () ->
+        Service.submit service ~principal:"app" q_slots)
+  with
+  | Monitor.Refused (Guard.Fault msg) ->
+    let has_needle =
+      let needle = "bug #42" and n = 7 in
+      let rec scan i =
+        i + n <= String.length msg && (String.sub msg i n = needle || scan (i + 1))
+      in
+      scan 0
+    in
+    if not has_needle then Alcotest.failf "fault message lost the cause: %s" msg
+  | d -> Alcotest.failf "expected fault refusal, got %a" Monitor.pp_decision d
+
+(* Real (non-injected) exhaustion: a hard self-join under a tiny budget. *)
+let hard_query =
+  let v i = Cq.Term.Var (Printf.sprintf "a%d" i) in
+  let body =
+    List.init 10 (fun i ->
+        Cq.Atom.make "Meetings" [ v (i mod 4); v ((i + 1) mod 4) ])
+  in
+  Cq.Query.make ~name:"Q" ~head:[] ~body ()
+
+let test_real_fuel_exhaustion () =
+  let service = make_service ~limits:(Guard.limits ~fuel:5 ()) () in
+  let before = Service.snapshot service in
+  (match Service.submit service ~principal:"app" hard_query with
+  | Monitor.Refused (Guard.Resource Guard.Fuel) -> ()
+  | d -> Alcotest.failf "expected fuel exhaustion, got %a" Monitor.pp_decision d);
+  Alcotest.(check bool) "state untouched" true (Service.snapshot service = before)
+
+let test_real_deadline_expiry () =
+  let service = make_service ~limits:(Guard.limits ~deadline:1e-9 ()) () in
+  let before = Service.snapshot service in
+  (match Service.submit service ~principal:"app" hard_query with
+  | Monitor.Refused (Guard.Resource Guard.Deadline) -> ()
+  | d -> Alcotest.failf "expected deadline expiry, got %a" Monitor.pp_decision d);
+  Alcotest.(check bool) "state untouched" true (Service.snapshot service = before)
+
+(* Journal faults refuse before commit: the journal never trails the
+   monitor, so a post-fault recovery reproduces the exact live state. *)
+let test_journal_fault_keeps_replay_equivalent () =
+  let path = Filename.temp_file "disclosure-faults" ".log" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let service = make_service ~journal:path () in
+      ignore (Service.submit service ~principal:"app" q_slots);
+      let decision =
+        Faults.with_fault Faults.Journal (Faults.Raise "disk full") (fun () ->
+            Service.submit service ~principal:"app" q_meetings)
+      in
+      (match decision with
+      | Monitor.Refused (Guard.Fault _) -> ()
+      | d -> Alcotest.failf "expected journal fault, got %a" Monitor.pp_decision d);
+      ignore (Service.submit service ~principal:"app" q_meetings);
+      let live = Service.snapshot service in
+      Service.close service;
+      let fresh = make_service () in
+      (match Service.recover fresh ~journal:path with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail e);
+      Alcotest.(check bool) "replay = live despite journal fault" true
+        (Service.snapshot fresh = live))
+
+(* Invariant 3: the alive mask is monotonically non-increasing across any
+   interleaving of queries, injected faults, and refusals. *)
+let test_alive_mask_monotone () =
+  let queries =
+    [|
+      q_slots;
+      q_meetings;
+      pq "Q(y) :- Meetings(x, y)";
+      pq "Q(x, y, z) :- Contacts(x, y, z)";
+      pq "Q() :- Unknown(u)";
+      hard_query;
+    |]
+  in
+  let stages = Array.of_list Faults.all_stages in
+  let faults = Array.of_list all_faults in
+  let rng = Random.State.make [| 0xFA017 |] in
+  for _run = 1 to 50 do
+    let service =
+      make_service ~limits:(Guard.limits ~fuel:100_000 ()) ()
+    in
+    let monitor_mask () =
+      (List.assoc "app" (Service.snapshot service)).Monitor.alive_mask
+    in
+    let mask = ref (monitor_mask ()) in
+    for _step = 1 to 30 do
+      let q = queries.(Random.State.int rng (Array.length queries)) in
+      let submit () = ignore (Service.submit service ~principal:"app" q) in
+      (if Random.State.int rng 3 = 0 then
+         let stage = stages.(Random.State.int rng (Array.length stages)) in
+         let fault = faults.(Random.State.int rng (Array.length faults)) in
+         Faults.with_fault stage fault submit
+       else submit ());
+      let mask' = monitor_mask () in
+      if mask' land lnot !mask <> 0 then
+        Alcotest.failf "alive mask gained bits: %#x -> %#x" !mask mask';
+      mask := mask'
+    done
+  done
+
+(* The injection bookkeeping itself. *)
+let test_harness_bookkeeping () =
+  Faults.clear ();
+  Alcotest.(check bool) "nothing armed" true (Faults.armed Faults.Label = None);
+  Faults.inject Faults.Label Faults.Exhaust_fuel;
+  Alcotest.(check bool) "armed" true (Faults.armed Faults.Label = Some Faults.Exhaust_fuel);
+  (try Faults.trip Faults.Label with Cq.Budget.Exhausted Cq.Budget.Fuel -> ());
+  Alcotest.(check bool) "still armed after trip" true
+    (Faults.armed Faults.Label = Some Faults.Exhaust_fuel);
+  Faults.trip Faults.Decide;
+  (* other stages unaffected *)
+  Faults.clear_stage Faults.Label;
+  Alcotest.(check bool) "cleared" true (Faults.armed Faults.Label = None);
+  (* with_fault disarms even when the body raises. *)
+  (try
+     Faults.with_fault Faults.Decide (Faults.Raise "x") (fun () ->
+         Faults.trip Faults.Decide)
+   with Faults.Injected _ -> ());
+  Alcotest.(check bool) "with_fault disarms on raise" true
+    (Faults.armed Faults.Decide = None)
+
+let () =
+  Alcotest.run "disclosure-faults"
+    [
+      ( "faults",
+        [
+          Alcotest.test_case "harness bookkeeping" `Quick test_harness_bookkeeping;
+          Alcotest.test_case "every fault at every stage" `Quick test_fault_matrix;
+          Alcotest.test_case "matrix via submit_label" `Quick
+            test_fault_matrix_submit_label;
+          Alcotest.test_case "injected reasons match real ones" `Quick test_fault_reasons;
+          Alcotest.test_case "real fuel exhaustion" `Quick test_real_fuel_exhaustion;
+          Alcotest.test_case "real deadline expiry" `Quick test_real_deadline_expiry;
+          Alcotest.test_case "journal fault keeps replay equivalent" `Quick
+            test_journal_fault_keeps_replay_equivalent;
+          Alcotest.test_case "alive mask monotone under faults" `Quick
+            test_alive_mask_monotone;
+        ] );
+    ]

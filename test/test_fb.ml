@@ -157,7 +157,7 @@ let test_fb_policy_scenario () =
   Helpers.check_bool "friend query answered" true
     (Monitor.submit m (Pipeline.label pipeline friend_q) = Monitor.Answered);
   Helpers.check_bool "self query refused (no user_birthday)" true
-    (Monitor.submit m (Pipeline.label pipeline self_q) = Monitor.Refused)
+    (Monitor.submit m (Pipeline.label pipeline self_q) |> Monitor.is_refused)
 
 let test_sample_database () =
   let db = Fbschema.Fb_sample.database in

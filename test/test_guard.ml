@@ -1,0 +1,200 @@
+(* Resource governance: budgets, admission caps, and the fail-closed
+   boundary, including property tests over adversarial queries (long chain
+   joins, repeated relation atoms, self-join towers) — the worst cases for
+   the NP-complete homomorphism search under the labeler. *)
+
+module Guard = Disclosure.Guard
+module Pipeline = Disclosure.Pipeline
+module Label = Disclosure.Label
+module Order = Disclosure.Order
+module Monitor = Disclosure.Monitor
+module Service = Disclosure.Service
+
+let sview = Helpers.sview
+
+(* Views over the property-test schema (R/3, S/2), full and projected, so
+   adversarial queries label non-trivially. *)
+let views =
+  [
+    sview "VR3(x, y, z) :- R(x, y, z)";
+    sview "VR1(x) :- R(x, y, z)";
+    sview "VS2(x, y) :- S(x, y)";
+    sview "VS1(x) :- S(x, y)";
+  ]
+
+let pipeline = Pipeline.create views
+
+let test_limits_validation () =
+  Alcotest.check_raises "zero fuel" (Invalid_argument "Guard.limits: fuel must be positive")
+    (fun () -> ignore (Guard.limits ~fuel:0 ()));
+  Alcotest.check_raises "negative deadline"
+    (Invalid_argument "Guard.limits: deadline must be non-negative") (fun () ->
+      ignore (Guard.limits ~deadline:(-1.0) ()));
+  Alcotest.check_raises "zero max_atoms"
+    (Invalid_argument "Guard.limits: max_atoms must be positive") (fun () ->
+      ignore (Guard.limits ~max_atoms:0 ()))
+
+let test_budget_deadline () =
+  let b = Cq.Budget.create ~deadline:0.0 () in
+  Alcotest.check_raises "deadline expired"
+    (Cq.Budget.Exhausted Cq.Budget.Deadline) (fun () -> Cq.Budget.check_deadline b)
+
+let test_budget_fuel () =
+  let b = Cq.Budget.create ~fuel:3 () in
+  Cq.Budget.tick b;
+  Cq.Budget.tick b;
+  Cq.Budget.tick b;
+  Alcotest.check_raises "fuel exhausted" (Cq.Budget.Exhausted Cq.Budget.Fuel) (fun () ->
+      Cq.Budget.tick b)
+
+let test_run_fail_closed () =
+  (* An arbitrary exception inside the guarded region becomes a typed fault
+     refusal, never an escape. *)
+  (match Guard.run Guard.no_limits (fun _ -> failwith "boom") with
+  | Error (Guard.Fault msg) ->
+    Helpers.check_bool "fault message" true
+      (String.length msg > 0 && String.sub msg 0 7 = "Failure")
+  | Ok () | Error _ -> Alcotest.fail "expected a fault refusal");
+  match Guard.run Guard.no_limits (fun _ -> raise (Guard.Refuse (Guard.Malformed "x"))) with
+  | Error (Guard.Malformed "x") -> ()
+  | Ok () | Error _ -> Alcotest.fail "expected the raised refusal"
+
+let tower n =
+  let v i = Cq.Term.Var (Printf.sprintf "a%d" i) in
+  let body =
+    List.init n (fun i -> Cq.Atom.make "R" [ v i; v ((i + 1) mod n); v ((i + 1) mod n) ])
+  in
+  Cq.Query.make ~name:"Q" ~head:[] ~body ()
+
+let test_fuel_refusal () =
+  (* A 7-atom self-join tower under 10 steps of fuel cannot finish folding. *)
+  match
+    Guard.run (Guard.limits ~fuel:10 ()) (fun budget ->
+        Pipeline.label ~budget pipeline (tower 7))
+  with
+  | Error (Guard.Resource Guard.Fuel) -> ()
+  | Ok _ -> Alcotest.fail "10 fuel sufficed for a 7-atom tower"
+  | Error r -> Alcotest.failf "unexpected refusal: %a" Guard.pp_refusal r
+
+let test_service_admission () =
+  let service =
+    Service.create ~limits:(Guard.limits ~max_atoms:2 ()) pipeline
+  in
+  Service.register_stateless service ~principal:"app" ~views;
+  let before = Service.snapshot service in
+  (match Service.submit service ~principal:"app" (tower 3) with
+  | Monitor.Refused (Guard.Resource (Guard.Query_too_large { atoms = 3; max_atoms = 2 })) ->
+    ()
+  | d -> Alcotest.failf "expected admission refusal, got %a" Monitor.pp_decision d);
+  (* Admission refusals leave the monitor bit-identical: not even a counter. *)
+  Helpers.check_bool "state untouched" true (before = Service.snapshot service);
+  Helpers.check_bool "small query still answered" true
+    (Monitor.is_answered
+       (Service.submit service ~principal:"app" (Helpers.pq "Q(x) :- R(x, y, z)")))
+
+let test_service_label_width () =
+  let service =
+    Service.create ~limits:(Guard.limits ~max_label_width:1 ()) pipeline
+  in
+  Service.register_stateless service ~principal:"app" ~views;
+  (* R ⨯ S needs one label atom per relation: width 2 > 1. *)
+  match
+    Service.submit service ~principal:"app"
+      (Helpers.pq "Q(x, u) :- R(x, y, z), S(u, v)")
+  with
+  | Monitor.Refused (Guard.Resource (Guard.Label_too_wide { width = 2; max_width = 1 }))
+    -> ()
+  | d -> Alcotest.failf "expected width refusal, got %a" Monitor.pp_decision d
+
+let test_refusal_tags_roundtrip () =
+  List.iter
+    (fun r ->
+      match Guard.refusal_of_tag (Guard.refusal_to_tag r) with
+      | Some r' ->
+        Helpers.check_bool (Guard.refusal_to_tag r) true
+          (Guard.refusal_to_tag r = Guard.refusal_to_tag r')
+      | None -> Alcotest.failf "tag %s does not round-trip" (Guard.refusal_to_tag r))
+    [
+      Guard.Policy;
+      Guard.Resource Guard.Fuel;
+      Guard.Resource Guard.Deadline;
+      Guard.Resource (Guard.Query_too_large { atoms = 5; max_atoms = 2 });
+      Guard.Resource (Guard.Label_too_wide { width = 9; max_width = 4 });
+      Guard.Malformed "bad";
+      Guard.Fault "oops";
+    ]
+
+(* --- properties over adversarial queries ----------------------------- *)
+
+let prop_n count name arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb f)
+
+(* Fail-closed: under a tight budget the guarded labeler either completes or
+   refuses with a resource reason — it never faults and never escapes. *)
+let guarded_completes_or_refuses =
+  prop_n 300 "guarded labeling completes or refuses cleanly"
+    Generators.arbitrary_adversarial_query (fun q ->
+      match
+        Guard.run (Guard.limits ~fuel:2_000 ~deadline:5.0 ()) (fun budget ->
+            Pipeline.label ~budget pipeline q)
+      with
+      | Ok _ | Error (Guard.Resource (Guard.Fuel | Guard.Deadline)) -> true
+      | Error _ -> false)
+
+(* A generous budget changes nothing: the guarded fast path computes exactly
+   the unguarded label. *)
+let guarded_label_matches_unguarded =
+  prop_n 200 "guarded label = unguarded label" Generators.arbitrary_adversarial_query
+    (fun q ->
+      match
+        Guard.run (Guard.limits ~fuel:50_000_000 ()) (fun budget ->
+            Pipeline.label ~budget pipeline q)
+      with
+      | Ok l -> l = Pipeline.label pipeline q
+      | Error _ -> false)
+
+(* The three labeler variants agree whenever all complete (adversarial
+   edition of the Figure 5 agreement invariant). *)
+let variants_agree_on_adversarial =
+  prop_n 150 "label/label_hashed/label_baseline agree"
+    Generators.arbitrary_adversarial_query (fun q ->
+      let budget () = Guard.budget (Guard.limits ~fuel:50_000_000 ()) in
+      let bitvec = Pipeline.label ~budget:(budget ()) pipeline q in
+      let hashed = Pipeline.label_hashed ~budget:(budget ()) pipeline q in
+      let baseline = Pipeline.label_baseline ~budget:(budget ()) pipeline q in
+      match hashed, baseline with
+      | Some h, Some b ->
+        Order.equiv Order.rewriting h b && not (Label.is_top bitvec)
+      | None, None -> Label.is_top bitvec
+      | _ -> false)
+
+(* Fuel monotonicity: anything that completes on f steps completes with the
+   same result on any larger budget. *)
+let fuel_monotone =
+  prop_n 150 "more fuel never changes a completed result"
+    Generators.arbitrary_adversarial_query (fun q ->
+      let run fuel =
+        Guard.run (Guard.limits ~fuel ()) (fun budget ->
+            Pipeline.label ~budget pipeline q)
+      in
+      match run 3_000 with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok l -> (
+        match run 30_000 with
+        | Ok l' -> l = l'
+        | Error _ -> false))
+
+let suite =
+  [
+    Alcotest.test_case "limits validation" `Quick test_limits_validation;
+    Alcotest.test_case "budget deadline" `Quick test_budget_deadline;
+    Alcotest.test_case "budget fuel" `Quick test_budget_fuel;
+    Alcotest.test_case "run is fail-closed" `Quick test_run_fail_closed;
+    Alcotest.test_case "fuel refusal on tower" `Quick test_fuel_refusal;
+    Alcotest.test_case "admission cap (max_atoms)" `Quick test_service_admission;
+    Alcotest.test_case "admission cap (label width)" `Quick test_service_label_width;
+    Alcotest.test_case "refusal tags round-trip" `Quick test_refusal_tags_roundtrip;
+    guarded_completes_or_refuses;
+    guarded_label_matches_unguarded;
+    variants_agree_on_adversarial;
+    fuel_monotone;
+  ]

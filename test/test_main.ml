@@ -18,6 +18,7 @@ let () =
       ("multiatom", Test_multiatom.suite);
       ("fql", Test_fql.suite);
       ("service", Test_service.suite);
+      ("guard", Test_guard.suite);
       ("roundtrip", Test_roundtrip.suite);
       ("answer", Test_answer.suite);
       ("policyfile", Test_policyfile.suite);

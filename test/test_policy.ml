@@ -53,7 +53,7 @@ let test_monitor_stateless () =
   let m = Monitor.create (Policy.stateless registry [ v2 ]) in
   Alcotest.check decision_testable "allowed" Monitor.Answered
     (Monitor.submit m (label "Q(x) :- Meetings(x, y)"));
-  Alcotest.check decision_testable "refused" Monitor.Refused
+  Alcotest.check decision_testable "refused" (Monitor.Refused Disclosure.Guard.Policy)
     (Monitor.submit m (label "Q(x, y) :- Meetings(x, y)"));
   Alcotest.check decision_testable "still allowed after refusal" Monitor.Answered
     (Monitor.submit m (label "Q() :- Meetings(x, y)"));
@@ -78,7 +78,7 @@ let test_monitor_chinese_wall () =
   Alcotest.check Alcotest.(list string) "unchanged" [ "contacts" ] (Monitor.alive m);
   (* Crossing the wall: a Meetings query is now refused even though the
      meetings partition would have covered it initially. *)
-  Alcotest.check decision_testable "V2 refused" Monitor.Refused
+  Alcotest.check decision_testable "V2 refused" (Monitor.Refused Disclosure.Guard.Policy)
     (Monitor.submit m (label "Q(x) :- Meetings(x, y)"));
   Alcotest.check
     Alcotest.(list string)
@@ -98,7 +98,7 @@ let test_monitor_narrowing () =
     (Monitor.submit m (label "Q(x, y, z) :- Contacts(x, y, z)"));
   Alcotest.check Alcotest.(list string) "only a" [ "a" ] (Monitor.alive m);
   (* Now the full Meetings table (only under b) must be refused. *)
-  Alcotest.check decision_testable "b is dead" Monitor.Refused
+  Alcotest.check decision_testable "b is dead" (Monitor.Refused Disclosure.Guard.Policy)
     (Monitor.submit m (label "Q(x, y) :- Meetings(x, y)"))
 
 let test_monitor_reset () =
@@ -136,7 +136,7 @@ let test_monitor_cumulative_invariant () =
       let l = label s in
       match Monitor.submit m l with
       | Monitor.Answered -> answered := l :: !answered
-      | Monitor.Refused -> ())
+      | Monitor.Refused _ -> ())
     queries;
   let alive = Monitor.alive m in
   Helpers.check_bool "some partition alive" true (alive <> []);
@@ -151,8 +151,12 @@ let test_monitor_cumulative_invariant () =
 
 let test_too_many_partitions () =
   let parts = List.init 63 (fun i -> (Printf.sprintf "p%d" i, [ v1 ])) in
-  Alcotest.check_raises "62 partition cap" (Monitor.Too_many_partitions 63) (fun () ->
-      ignore (Monitor.create (Policy.make registry parts)))
+  (* Validated at policy construction, with a message naming the count. *)
+  Alcotest.check_raises "62 partition cap"
+    (Invalid_argument
+       "Policy.make: 63 partitions, but the monitor's alive set is one machine word \
+        (max 62)") (fun () -> ignore (Policy.make registry parts));
+  Helpers.check_bool "cap constant exposed" true (Policy.max_partitions = 62)
 
 let suite =
   [

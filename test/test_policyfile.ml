@@ -49,7 +49,7 @@ let test_load_and_enforce () =
       = Monitor.Answered);
     Helpers.check_bool "calendar full table refused" true
       (Service.submit service ~principal:"calendar-app" (pq "Q(x, y) :- Meetings(x, y)")
-      = Monitor.Refused);
+      |> Monitor.is_refused);
     Helpers.check_bool "crm wall" true
       (Service.submit service ~principal:"crm-app" (pq "Q(x, y, z) :- Contacts(x, y, z)")
       = Monitor.Answered);
@@ -89,11 +89,45 @@ let test_load_errors () =
   Helpers.check_bool "duplicate principal" true (Result.is_error (Policyfile.load dup))
 
 let test_error_line_numbers () =
-  match Policyfile.parse "view V1(x) :- R(x, y)\n\nbroken\n" with
+  (match Policyfile.parse "view V1(x) :- R(x, y)\n\nbroken\n" with
   | Ok _ -> Alcotest.fail "expected error"
   | Error msg ->
     Helpers.check_bool "mentions line 3" true
-      (String.length msg >= 6 && String.sub msg 0 6 = "line 3")
+      (String.length msg >= 6 && String.sub msg 0 6 = "line 3"));
+  match Policyfile.parse ~path:"deploy.conf" "view V1(x) :- R(x, y)\n\nbroken\n" with
+  | Ok _ -> Alcotest.fail "expected error"
+  | Error msg ->
+    Helpers.check_bool "mentions file and line" true
+      (String.length msg >= 13 && String.sub msg 0 13 = "deploy.conf:3")
+
+(* Error-path round trip: a file on disk fails with its path in front, at
+   every kind of parse error the format can produce. *)
+let test_error_paths_from_file () =
+  let bad_texts =
+    [
+      "partition default: V1\n";
+      "view broken syntax\n";
+      "principal p\npartition : V1\n";
+      "nonsense directive\n";
+    ]
+  in
+  List.iter
+    (fun text ->
+      let path = Filename.temp_file "disclosure-policy" ".conf" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+        (fun () ->
+          Out_channel.with_open_text path (fun oc -> output_string oc text);
+          match Policyfile.parse_file path with
+          | Ok _ -> Alcotest.failf "expected error for %S" text
+          | Error msg ->
+            Helpers.check_bool ("error names the file for " ^ String.escaped text) true
+              (String.length msg > String.length path
+              && String.sub msg 0 (String.length path) = path)))
+    bad_texts;
+  match Policyfile.parse_file "/nonexistent/policy.conf" with
+  | Ok _ -> Alcotest.fail "missing file must fail"
+  | Error _ -> ()
 
 let suite =
   [
@@ -103,4 +137,5 @@ let suite =
     Alcotest.test_case "parse errors" `Quick test_parse_errors;
     Alcotest.test_case "load errors" `Quick test_load_errors;
     Alcotest.test_case "error line numbers" `Quick test_error_line_numbers;
+    Alcotest.test_case "error paths from files" `Quick test_error_paths_from_file;
   ]

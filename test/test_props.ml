@@ -141,7 +141,7 @@ let minimize_minimal_bruteforce =
       let removable i =
         let body' = List.filteri (fun j _ -> j <> i) body in
         match Cq.Query.make ~name:m.Cq.Query.name ~head:m.Cq.Query.head ~body:body' () with
-        | q' -> Cq.Homomorphism.exists ~from:m ~into:q'
+        | q' -> Cq.Homomorphism.exists ~from:m ~into:q' ()
         | exception Cq.Query.Unsafe _ -> false
       in
       body = [ List.hd body ]
@@ -399,7 +399,7 @@ let monitor_never_violates =
       let l = Pipeline.label props_pipeline q in
       (match Disclosure.Monitor.submit m l with
       | Disclosure.Monitor.Answered -> answered := l :: !answered
-      | Disclosure.Monitor.Refused -> ());
+      | Disclosure.Monitor.Refused _ -> ());
       let parts = Disclosure.Policy.partitions policy in
       let ok = ref true in
       Array.iteri
