@@ -33,6 +33,7 @@ type options = {
   mutable principals : int list;
   mutable commands : string list;
   mutable csv_dir : string option; (* also write figN.csv for plotting *)
+  mutable server_json : string option; (* output path for the server benchmark *)
 }
 
 let options =
@@ -43,6 +44,7 @@ let options =
     principals = [ 1_000; 50_000; 1_000_000 ];
     commands = [];
     csv_dir = None;
+    server_json = None;
   }
 
 let write_csv name header rows =
@@ -75,6 +77,9 @@ let parse_args () =
       go rest
     | "--csv" :: v :: rest ->
       options.csv_dir <- Some v;
+      go rest
+    | "--json" :: v :: rest ->
+      options.server_json <- Some v;
       go rest
     | cmd :: rest ->
       options.commands <- options.commands @ [ cmd ];
@@ -557,6 +562,129 @@ let run_guard () =
   Format.printf "@.acceptance: fuel+deadline within ~10%% of unguarded.@."
 
 (* ------------------------------------------------------------------ *)
+(* Sharded serving layer: parallel throughput and label-cache speedup  *)
+
+(* These are wall-clock measurements (the point is parallelism, so process
+   time would be misleading); everything else in this harness follows the
+   paper and uses process time. *)
+let time_wall f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  let t1 = Unix.gettimeofday () in
+  (result, t1 -. t0)
+
+let run_server () =
+  let pipeline = Fbschema.Fb_views.pipeline () in
+  let views = Array.of_list Fbschema.Fb_views.all in
+  let n = min options.n 20_000 in
+  let n_principals = 32 in
+  let principals = Array.init n_principals (Printf.sprintf "app-%d") in
+  let rng = Workload.Rng.create 2024 in
+  let policies =
+    Array.map
+      (fun _ ->
+        Policygen.partitions rng ~views ~max_partitions:2 ~max_elements:10)
+      principals
+  in
+  let g = Querygen.create ~seed:31337 () in
+  let queries = Array.init n (fun _ -> Querygen.generate g ~max_subqueries:3) in
+  let make_server ~domains ~cache_capacity =
+    let server =
+      Server.create
+        ~config:{ Server.domains; mailbox_capacity = n; cache_capacity }
+        pipeline
+    in
+    Array.iteri
+      (fun i principal ->
+        Server.register server ~principal ~partitions:policies.(i))
+      principals;
+    server
+  in
+  (* One pass: submit everything, then drain; wall time covers both. *)
+  let pass server =
+    time_wall (fun () ->
+        Array.iteri
+          (fun i q ->
+            ignore
+              (Server.submit server
+                 ~principal:principals.(i mod n_principals)
+                 q))
+          queries;
+        Server.drain server)
+    |> snd
+  in
+  Format.printf "@.== Serving layer: parallel throughput (wall time) ==@.";
+  Format.printf "   (%d queries over %d principals, cache disabled; %d core(s) available)@.@."
+    n n_principals
+    (Domain.recommended_domain_count ());
+  Format.printf "%-10s %12s %14s %10s@." "domains" "wall (s)" "queries/s" "speedup";
+  let parallel_rows =
+    List.map
+      (fun domains ->
+        let server = make_server ~domains ~cache_capacity:0 in
+        Server.start server;
+        let wall = pass server in
+        Server.stop server;
+        (domains, wall, float_of_int n /. wall))
+      [ 1; 2; 4 ]
+  in
+  let base_wall =
+    match parallel_rows with (_, w, _) :: _ -> w | [] -> assert false
+  in
+  List.iter
+    (fun (domains, wall, qps) ->
+      Format.printf "%-10d %12.3f %14.0f %9.2fx@." domains wall qps (base_wall /. wall))
+    parallel_rows;
+  (* Warm-cache speedup: identical workload twice through one shard — the
+     second pass is all cache hits, skipping the labeling pipeline. *)
+  let server = make_server ~domains:1 ~cache_capacity:65_536 in
+  Server.start server;
+  let cold = pass server in
+  let warm = pass server in
+  let cache = Server.cache_stats server in
+  let metrics_json = Server.Metrics.to_json (Server.metrics server) in
+  Server.stop server;
+  let speedup = cold /. warm in
+  Format.printf "@.== Serving layer: label-cache warm speedup (1 domain) ==@.@.";
+  Format.printf "cold pass: %.3fs (%.0f q/s)   warm pass: %.3fs (%.0f q/s)   speedup: %.1fx@."
+    cold
+    (float_of_int n /. cold)
+    warm
+    (float_of_int n /. warm)
+    speedup;
+  Format.printf "cache: %d entries, %d hits, %d misses, %d evictions@." cache.Server.Shard.entries
+    cache.Server.Shard.hits cache.Server.Shard.misses cache.Server.Shard.evictions;
+  Format.printf "acceptance: warm pass at least 5x the cold pass: %b@." (speedup >= 5.0);
+  let json_path = Option.value options.server_json ~default:"BENCH_server.json" in
+  let oc = open_out json_path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let parallel =
+        parallel_rows
+        |> List.map (fun (domains, wall, qps) ->
+               Printf.sprintf
+                 "{\"domains\": %d, \"wall_s\": %.4f, \"qps\": %.0f, \"speedup\": %.3f}"
+                 domains wall qps (base_wall /. wall))
+        |> String.concat ", "
+      in
+      Printf.fprintf oc
+        "{\n\
+        \  \"benchmark\": \"server\",\n\
+        \  \"queries\": %d,\n\
+        \  \"principals\": %d,\n\
+        \  \"cores_available\": %d,\n\
+        \  \"parallel\": [%s],\n\
+        \  \"cache\": {\"cold_s\": %.4f, \"warm_s\": %.4f, \"speedup\": %.2f, \"hits\": %d, \"misses\": %d, \"evictions\": %d},\n\
+        \  \"metrics\": %s\n\
+         }\n"
+        n n_principals
+        (Domain.recommended_domain_count ())
+        parallel cold warm speedup cache.Server.Shard.hits cache.Server.Shard.misses
+        cache.Server.Shard.evictions metrics_json);
+  Format.printf "(wrote %s)@." json_path
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 
 let run_micro () =
@@ -632,7 +760,7 @@ let () =
   parse_args ();
   let commands =
     if options.commands = [] then
-      [ "table2"; "fig3"; "fig5"; "fig6"; "ablation"; "guard"; "micro" ]
+      [ "table2"; "fig3"; "fig5"; "fig6"; "ablation"; "guard"; "server"; "micro" ]
     else options.commands
   in
   Format.printf
@@ -646,6 +774,7 @@ let () =
       | "fig6" -> run_fig6 ()
       | "ablation" -> run_ablation ()
       | "guard" -> run_guard ()
+      | "server" -> run_server ()
       | "micro" -> run_micro ()
       | "all" ->
         run_table2 ();
@@ -654,7 +783,10 @@ let () =
         run_fig6 ();
         run_ablation ();
         run_guard ();
+        run_server ();
         run_micro ()
       | other ->
-        Format.printf "unknown command %s (try table2|fig3|fig5|fig6|ablation|guard|micro)@." other)
+        Format.printf
+          "unknown command %s (try table2|fig3|fig5|fig6|ablation|guard|server|micro)@."
+          other)
     commands

@@ -5,6 +5,9 @@
      check    run a sequence of queries through a reference monitor
      lattice  print the disclosure lattice over a view file as Graphviz
      audit    run the Facebook Table 2 documentation audit
+     replay   replay a (principal, query) workload single-threaded
+     serve    run a workload on the sharded multicore serving layer
+     analyze  static policy diagnostics for a deployment config
 
    View files contain one security view definition per line, e.g.
 
@@ -348,6 +351,160 @@ let replay_cmd =
       const run $ config_arg $ syntax_arg $ workload_arg $ fuel_arg $ deadline_arg
       $ journal_arg)
 
+(* --- serve ----------------------------------------------------------- *)
+
+(* The multicore serving layer: the same deployment configs and workload
+   format as `replay`, but queries are dispatched to Server's sharded worker
+   domains (per-principal decision sequences are identical to `replay` by
+   construction; see lib/server/server.mli). *)
+let serve_cmd =
+  let config_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "c"; "config" ] ~docv:"FILE"
+          ~doc:"Deployment configuration (same format as $(b,replay)).")
+  in
+  let workload_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "w"; "workload" ] ~docv:"FILE"
+          ~doc:"Workload with one 'principal<TAB>query' per line; defaults to stdin.")
+  in
+  let journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "j"; "journal" ] ~docv:"BASE"
+          ~doc:
+            "Journal base path: shard $(i,i) appends its decisions to \
+             $(docv).shard$(i,i).")
+  in
+  let domains_arg =
+    Arg.(
+      value
+      & opt positive_int Server.default_config.Server.domains
+      & info [ "domains" ] ~docv:"N" ~doc:"Worker domains (shards).")
+  in
+  let mailbox_arg =
+    Arg.(
+      value
+      & opt positive_int Server.default_config.Server.mailbox_capacity
+      & info [ "mailbox" ] ~docv:"N"
+          ~doc:
+            "Per-shard mailbox bound; submissions beyond it are shed as \
+             'refused (server overloaded)' instead of blocking.")
+  in
+  let cache_arg =
+    Arg.(
+      value
+      & opt int Server.default_config.Server.cache_capacity
+      & info [ "cache" ] ~docv:"N"
+          ~doc:"Per-shard label-cache entries; 0 disables the cache.")
+  in
+  let stats_arg =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Print serving metrics (counters, per-stage latency, cache) at exit.")
+  in
+  let run config_file syntax workload_file fuel deadline journal domains mailbox cache
+      stats =
+    let config =
+      match Disclosure.Policyfile.parse_file config_file with
+      | Ok c -> c
+      | Error e -> failwith e
+    in
+    let limits = limits_of fuel deadline in
+    let server =
+      Server.create ~limits ?journal
+        ~config:
+          { Server.domains; mailbox_capacity = mailbox; cache_capacity = cache }
+        (Pipeline.create config.Disclosure.Policyfile.views)
+    in
+    let resolve name =
+      match
+        List.find_opt
+          (fun v -> String.equal v.Sview.name name)
+          config.Disclosure.Policyfile.views
+      with
+      | Some v -> v
+      | None -> failwith ("policy references unknown view " ^ name)
+    in
+    List.iter
+      (fun (principal, partitions) ->
+        Server.register server ~principal
+          ~partitions:(List.map (fun (n, names) -> (n, List.map resolve names)) partitions))
+      config.Disclosure.Policyfile.principals;
+    Server.start server;
+    let lines =
+      match workload_file with
+      | Some path -> String.split_on_char '\n' (read_file path)
+      | None ->
+        let rec loop acc =
+          match In_channel.input_line stdin with
+          | None -> List.rev acc
+          | Some l -> loop (l :: acc)
+        in
+        loop []
+    in
+    let cq_of u =
+      match u.Cq.Ucq.disjuncts with
+      | [ q ] -> q
+      | _ -> failwith "serve supports single-disjunct queries only"
+    in
+    let tickets =
+      List.filter_map
+        (fun line ->
+          let line = String.trim line in
+          if line = "" || line.[0] = '#' then None
+          else
+            match String.index_opt line '\t' with
+            | None ->
+              failwith ("malformed workload line (expected principal<TAB>query): " ^ line)
+            | Some i ->
+              let principal = String.trim (String.sub line 0 i) in
+              let query_s =
+                String.trim (String.sub line (i + 1) (String.length line - i - 1))
+              in
+              let q = cq_of (parse_query syntax query_s) in
+              Some (principal, query_s, Server.submit server ~principal q))
+        lines
+    in
+    List.iter
+      (fun (principal, query_s, ticket) ->
+        Format.printf "%-20s %-55s %a@." principal query_s Monitor.pp_decision
+          (Server.await ticket))
+      tickets;
+    Server.drain server;
+    Format.printf "@.";
+    List.iter
+      (fun principal ->
+        let answered, refused = Server.stats server ~principal in
+        Format.printf "%-20s answered %d, refused %d (alive: %s)@." principal answered
+          refused
+          (String.concat ", " (Server.alive server ~principal)))
+      (Server.principals server);
+    Server.stop server;
+    if stats then begin
+      Format.printf "@.%a@." Server.Metrics.pp (Server.metrics server);
+      let c = Server.cache_stats server in
+      Format.printf "label cache: %d/%d entries, %d hits, %d misses, %d evictions@."
+        c.Server.Shard.entries c.Server.Shard.capacity c.Server.Shard.hits
+        c.Server.Shard.misses c.Server.Shard.evictions
+    end;
+    0
+  in
+  let doc =
+    "Serve a workload on the sharded multicore layer (bounded mailboxes, label \
+     cache, per-shard journal segments)."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ config_arg $ syntax_arg $ workload_arg $ fuel_arg $ deadline_arg
+      $ journal_arg $ domains_arg $ mailbox_arg $ cache_arg $ stats_arg)
+
 (* --- analyze -------------------------------------------------------- *)
 
 let analyze_cmd =
@@ -441,7 +598,8 @@ let audit_cmd =
 let main_cmd =
   let doc = "fine-grained disclosure control for app ecosystems" in
   let info = Cmd.info "disclosurectl" ~version:"1.0.0" ~doc in
-  Cmd.group info [ label_cmd; check_cmd; lattice_cmd; audit_cmd; replay_cmd; analyze_cmd ]
+  Cmd.group info
+    [ label_cmd; check_cmd; lattice_cmd; audit_cmd; replay_cmd; serve_cmd; analyze_cmd ]
 
 (* Evaluate with [~catch:false] so user-facing errors (bad files, malformed
    workloads, unknown principals) print as one clean line instead of

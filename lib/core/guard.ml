@@ -11,6 +11,7 @@ type resource =
 type refusal_reason =
   | Policy
   | Resource of resource
+  | Overload
   | Malformed of string
   | Fault of string
 
@@ -88,10 +89,10 @@ let resource_equal a b =
 
 let refusal_equal a b =
   match a, b with
-  | Policy, Policy -> true
+  | Policy, Policy | Overload, Overload -> true
   | Resource x, Resource y -> resource_equal x y
   | Malformed x, Malformed y | Fault x, Fault y -> String.equal x y
-  | (Policy | Resource _ | Malformed _ | Fault _), _ -> false
+  | (Policy | Resource _ | Overload | Malformed _ | Fault _), _ -> false
 
 let pp_resource ppf = function
   | Fuel -> Format.pp_print_string ppf "fuel exhausted"
@@ -104,6 +105,7 @@ let pp_resource ppf = function
 let pp_refusal ppf = function
   | Policy -> Format.pp_print_string ppf "policy"
   | Resource r -> Format.fprintf ppf "resource: %a" pp_resource r
+  | Overload -> Format.pp_print_string ppf "server overloaded"
   | Malformed msg -> Format.fprintf ppf "malformed input: %s" msg
   | Fault msg -> Format.fprintf ppf "internal fault: %s" msg
 
@@ -115,6 +117,7 @@ let refusal_to_tag = function
   | Resource Deadline -> "resource:deadline"
   | Resource (Query_too_large _) -> "resource:query-too-large"
   | Resource (Label_too_wide _) -> "resource:label-too-wide"
+  | Overload -> "overload"
   | Malformed _ -> "malformed"
   | Fault _ -> "fault"
 
@@ -126,6 +129,7 @@ let refusal_of_tag = function
     Some (Resource (Query_too_large { atoms = 0; max_atoms = 0 }))
   | "resource:label-too-wide" ->
     Some (Resource (Label_too_wide { width = 0; max_width = 0 }))
+  | "overload" -> Some Overload
   | "malformed" -> Some (Malformed "")
   | "fault" -> Some (Fault "")
   | _ -> None

@@ -21,6 +21,11 @@ type resource =
 type refusal_reason =
   | Policy  (** No still-alive partition covers the label (the paper's refusal). *)
   | Resource of resource  (** Fail-closed refusal under resource exhaustion. *)
+  | Overload
+      (** The serving layer's bounded mailbox was full: the query was shed
+          before reaching any monitor, whose state is untouched. Fail-closed
+          admission control under load — the caller is never blocked
+          unboundedly. *)
   | Malformed of string  (** The input could not be understood. *)
   | Fault of string  (** An unexpected exception, captured fail-closed. *)
 

@@ -2,10 +2,22 @@ let src = Logs.Src.create "disclosure.service" ~doc:"Disclosure-control referenc
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
+type journal_state =
+  | No_journal
+  | Open_journal of out_channel
+  | Closed_journal
+
+type observation = {
+  stage : [ `Label | `Decide | `Journal ];
+  seconds : float;
+}
+
 type t = {
   pipeline : Pipeline.t;
   limits : Guard.limits;
-  journal : out_channel option;
+  mutable journal : journal_state;
+  mutable warned_closed : bool;
+  observe : (observation -> unit) option;
   monitors : (string, Monitor.t) Hashtbl.t;
   mutable order : string list; (* reversed registration order *)
 }
@@ -13,18 +25,38 @@ type t = {
 exception Unknown_principal of string
 exception Duplicate_principal of string
 
-let create ?(limits = Guard.no_limits) ?journal pipeline =
+let create ?(limits = Guard.no_limits) ?journal ?observe pipeline =
   let journal =
-    Option.map
-      (fun path -> open_out_gen [ Open_append; Open_creat ] 0o644 path)
-      journal
+    match journal with
+    | None -> No_journal
+    | Some path -> Open_journal (open_out_gen [ Open_append; Open_creat ] 0o644 path)
   in
-  { pipeline; limits; journal; monitors = Hashtbl.create 16; order = [] }
+  {
+    pipeline;
+    limits;
+    journal;
+    warned_closed = false;
+    observe;
+    monitors = Hashtbl.create 16;
+    order = [];
+  }
 
 let close t =
   match t.journal with
-  | None -> ()
-  | Some oc -> close_out oc
+  | No_journal | Closed_journal -> ()
+  | Open_journal oc ->
+    close_out oc;
+    t.journal <- Closed_journal
+
+(* Instrumented sections for the serving layer's metrics: only pay for a
+   clock read when an observer is attached. *)
+let observed t stage f =
+  match t.observe with
+  | None -> f ()
+  | Some observe ->
+    let t0 = Unix.gettimeofday () in
+    let finish () = observe { stage; seconds = Unix.gettimeofday () -. t0 } in
+    Fun.protect ~finally:finish f
 
 let pipeline t = t.pipeline
 
@@ -61,17 +93,27 @@ let monitor_of t principal =
    before the write so tests can force the append to fail. *)
 let journal_append t ~principal ~label ~decision =
   match
-    Faults.trip Faults.Journal;
-    match t.journal with
-    | None -> ()
-    | Some oc ->
-      output_string oc principal;
-      output_char oc '\t';
-      output_string oc label;
-      output_char oc '\t';
-      output_string oc decision;
-      output_char oc '\n';
-      flush oc
+    observed t `Journal (fun () ->
+        Faults.trip Faults.Journal;
+        match t.journal with
+        | No_journal -> ()
+        | Closed_journal ->
+          if not t.warned_closed then begin
+            t.warned_closed <- true;
+            Log.warn (fun m ->
+                m
+                  "journal closed but decisions are still being submitted — durability \
+                   is lost from here on (decision for %s not journaled)"
+                  principal)
+          end
+        | Open_journal oc ->
+          output_string oc principal;
+          output_char oc '\t';
+          output_string oc label;
+          output_char oc '\t';
+          output_string oc decision;
+          output_char oc '\n';
+          flush oc)
   with
   | () -> Ok ()
   | exception e -> Error (Guard.Fault ("journal append: " ^ Printexc.to_string e))
@@ -81,16 +123,19 @@ let refused_line reason = "refused:" ^ Guard.refusal_to_tag reason
 (* --- guarded submission ---------------------------------------------- *)
 
 let guarded_label t q =
-  Guard.run t.limits (fun budget ->
-      Faults.trip Faults.Admission;
-      (match Guard.admit_query t.limits q with
-      | Ok () -> ()
-      | Error r -> raise (Guard.Refuse r));
-      let label = Pipeline.label ~budget t.pipeline q in
-      (match Guard.admit_label t.limits label with
-      | Ok () -> ()
-      | Error r -> raise (Guard.Refuse r));
-      label)
+  observed t `Label (fun () ->
+      Guard.run t.limits (fun budget ->
+          Faults.trip Faults.Admission;
+          (match Guard.admit_query t.limits q with
+          | Ok () -> ()
+          | Error r -> raise (Guard.Refuse r));
+          let label = Pipeline.label ~budget t.pipeline q in
+          (match Guard.admit_label t.limits label with
+          | Ok () -> ()
+          | Error r -> raise (Guard.Refuse r));
+          label))
+
+let label_query t q = guarded_label t q
 
 (* Decide, journal, then commit — in that order. A refusal for any non-policy
    reason leaves the monitor bit-identical (not even a counter moves); a
@@ -99,7 +144,12 @@ let guarded_label t q =
    behind the live state. *)
 let decide_and_commit t ~principal m label =
   let encoded = Label.encode label in
-  match Guard.run t.limits (fun _budget -> Faults.trip Faults.Decide; Monitor.evaluate m label) with
+  match
+    observed t `Decide (fun () ->
+        Guard.run t.limits (fun _budget ->
+            Faults.trip Faults.Decide;
+            Monitor.evaluate m label))
+  with
   | Error reason ->
     ignore (journal_append t ~principal ~label:encoded ~decision:(refused_line reason));
     Monitor.Refused reason
@@ -136,6 +186,18 @@ let submit_label t ~principal label =
       f "%s: %a (alive: %s)" principal Monitor.pp_decision decision
         (String.concat "," (Monitor.alive m)));
   decision
+
+(* Journal a refusal decided outside the service (overload shedding, a failed
+   cached-labeling path). Policy refusals are excluded: they commit monitor
+   state and must go through {!submit}/{!submit_label}. *)
+let refuse t ~principal ?label reason =
+  (match reason with
+  | Guard.Policy -> invalid_arg "Service.refuse: policy refusals must go through submit"
+  | _ -> ());
+  ignore (monitor_of t principal : Monitor.t);
+  let label = match label with Some l -> Label.encode l | None -> "-" in
+  ignore (journal_append t ~principal ~label ~decision:(refused_line reason));
+  Monitor.Refused reason
 
 let submit t ~principal q =
   let m = monitor_of t principal in
@@ -176,37 +238,44 @@ let snapshot t =
   List.map (fun principal -> (principal, Monitor.state (monitor_of t principal))) (principals t)
 
 let recover t ~journal =
-  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
   match
     let ic = open_in journal in
     Fun.protect
       ~finally:(fun () -> close_in ic)
       (fun () ->
         Hashtbl.iter (fun _ m -> Monitor.reset m) t.monitors;
-        let rec loop lineno applied =
-          match In_channel.input_line ic with
-          | None -> Ok applied
-          | Some line when String.trim line = "" -> loop (lineno + 1) applied
-          | Some line -> (
+        (* Classify and apply one line. [`Torn msg] is an error a partial
+           append at crash time could have produced — truncation eats the
+           line from the right, leaving a missing field or a strict prefix of
+           a valid decision or refusal tag. Such a line is tolerated when it
+           is the file's last (the journal simply ends one record early) and
+           fatal anywhere else. Errors truncation cannot explain — an unknown
+           principal or undecodable label in an otherwise complete record, a
+           replay disagreement, too many fields — are always fatal. *)
+        let apply lineno line =
+          let torn fmt = Printf.ksprintf (fun s -> `Torn s) fmt in
+          let fatal fmt = Printf.ksprintf (fun s -> `Fatal s) fmt in
+          if String.trim line = "" then `Noop
+          else
             match String.split_on_char '\t' line with
             | [ principal; label_s; decision ] -> (
               match Hashtbl.find_opt t.monitors principal with
-              | None -> fail "%s:%d: unknown principal %s" journal lineno principal
+              | None -> fatal "%s:%d: unknown principal %s" journal lineno principal
               | Some m -> (
                 match decision with
                 | "reset" ->
                   Monitor.reset m;
-                  loop (lineno + 1) (applied + 1)
+                  `Applied
                 | "answered" -> (
                   match Label.decode (if label_s = "-" then "" else label_s) with
-                  | Error e -> fail "%s:%d: %s" journal lineno e
+                  | Error e -> fatal "%s:%d: %s" journal lineno e
                   | Ok label -> (
                     match Monitor.evaluate m label with
                     | Some surviving ->
                       Monitor.commit_answer m ~surviving;
-                      loop (lineno + 1) (applied + 1)
+                      `Applied
                     | None ->
-                      fail
+                      fatal
                         "%s:%d: journaled answer is refused on replay — journal and \
                          policy configuration disagree"
                         journal lineno))
@@ -214,21 +283,41 @@ let recover t ~journal =
                   match
                     String.length decision >= 8 && String.sub decision 0 8 = "refused:"
                   with
-                  | false -> fail "%s:%d: unknown decision %S" journal lineno decision
+                  | false -> torn "%s:%d: unknown decision %S" journal lineno decision
                   | true -> (
                     let tag =
                       String.sub decision 8 (String.length decision - 8)
                     in
                     match Guard.refusal_of_tag tag with
-                    | None -> fail "%s:%d: unknown refusal tag %S" journal lineno tag
+                    | None -> torn "%s:%d: unknown refusal tag %S" journal lineno tag
                     | Some Guard.Policy ->
                       (* Only policy refusals touched the live monitor. *)
                       Monitor.commit_refusal m;
-                      loop (lineno + 1) (applied + 1)
-                    | Some _ -> loop (lineno + 1) (applied + 1)))))
-            | _ -> fail "%s:%d: malformed journal line %S" journal lineno line)
+                      `Applied
+                    | Some _ -> `Applied))))
+            | _ :: _ :: _ :: _ :: _ ->
+              fatal "%s:%d: malformed journal line %S" journal lineno line
+            | _ -> torn "%s:%d: malformed journal line %S" journal lineno line
         in
-        loop 1 0)
+        let rec loop lineno pending applied =
+          match pending with
+          | None -> Ok applied
+          | Some line -> (
+            let next = In_channel.input_line ic in
+            match apply lineno line with
+            | `Noop -> loop (lineno + 1) next applied
+            | `Applied -> loop (lineno + 1) next (applied + 1)
+            | `Fatal msg -> Error msg
+            | `Torn msg ->
+              if next = None then begin
+                Log.warn (fun m ->
+                    m "stopping at torn final journal line (partial write at crash): %s"
+                      msg);
+                Ok applied
+              end
+              else Error msg)
+        in
+        loop 1 (In_channel.input_line ic) 0)
   with
   | result -> result
   | exception Sys_error msg -> Error msg

@@ -14,17 +14,34 @@
 
 type t
 
+type observation = {
+  stage : [ `Label | `Decide | `Journal ];
+  seconds : float;
+}
+(** One timed pipeline-stage execution, reported to the [observe] callback of
+    {!create}: the guarded labeling run, the policy decision, or the journal
+    append. Used by the serving layer to feed per-stage latency histograms
+    without the service depending on any metrics machinery. *)
+
 exception Unknown_principal of string
 exception Duplicate_principal of string
 
-val create : ?limits:Guard.limits -> ?journal:string -> Pipeline.t -> t
+val create :
+  ?limits:Guard.limits -> ?journal:string -> ?observe:(observation -> unit) -> Pipeline.t -> t
 (** [limits] defaults to {!Guard.no_limits}. [journal], when given, is a file
     path opened in append mode; every decision is written to it (see the
-    journal format below). *)
+    journal format below). [observe], when given, is called synchronously
+    with the wall-clock duration of each labeling, decision, and journal
+    stage; when absent no clock is ever read. *)
 
 val close : t -> unit
-(** Close the journal channel, if any. The service remains usable but further
-    decisions are no longer durably journaled. *)
+(** Close the journal channel, if any. The service remains usable, but
+    decisions submitted after [close] are {e not} durably journaled: a later
+    {!recover} from the journal reproduces only the pre-[close] prefix of the
+    history. The first post-[close] submission logs a [Logs] warning (source
+    ["disclosure.service"], level [warn]) naming the principal whose decision
+    was dropped; subsequent ones are silent. Callers that need durability to
+    the end of the history must [close] only after the last submission. *)
 
 val pipeline : t -> Pipeline.t
 
@@ -53,9 +70,27 @@ val submit : t -> principal:string -> Cq.Query.t -> Monitor.decision
     @raise Unknown_principal *)
 
 val submit_label : t -> principal:string -> Label.t -> Monitor.decision
-(** For pre-labeled queries (e.g. replayed logs). Runs the same admission,
-    decision, journal, and commit path as {!submit}, minus labeling.
+(** For pre-labeled queries (e.g. replayed logs, or the serving layer's label
+    cache). Runs the same admission, decision, journal, and commit path as
+    {!submit}, minus labeling.
     @raise Unknown_principal *)
+
+val label_query : t -> Cq.Query.t -> (Label.t, Guard.refusal_reason) result
+(** The labeling half of {!submit}: query admission, guarded labeling, and
+    label-width admission under the service limits, with no monitor involved.
+    [submit t ~principal q] is equivalent to [label_query] followed by
+    {!submit_label} on success or {!refuse} on error; the serving layer uses
+    this split to insert a label cache between the two halves. *)
+
+val refuse : t -> principal:string -> ?label:Label.t -> Guard.refusal_reason -> Monitor.decision
+(** Journal a non-policy refusal decided outside the service — overload
+    shedding, or a labeling failure from {!label_query} — and return
+    [Refused reason]. The principal's monitor is untouched (non-policy
+    refusals never commit). [label] defaults to the journal's ["-"]
+    placeholder.
+    @raise Unknown_principal
+    @raise Invalid_argument on {!Guard.Policy}, which commits monitor state
+    and must go through {!submit}/{!submit_label}. *)
 
 val answer :
   t ->
@@ -102,4 +137,11 @@ val recover : t -> journal:string -> (int, string) result
     number of lines applied. [Error] (with [file:line] context) on an
     unreadable file, a malformed line, an unknown principal, or a journaled
     answer the current policy refuses — in which case replay stops with the
-    monitors reflecting the journal prefix before the bad line. *)
+    monitors reflecting the journal prefix before the bad line.
+
+    A {e torn final line} — one a crash mid-append could have produced, i.e.
+    a record truncated from the right (missing fields, or a strict prefix of
+    a valid decision or refusal tag) — is tolerated: replay stops cleanly at
+    the last complete record, logs a warning, and returns [Ok] with the
+    applied-line count. The same damage anywhere before the final line cannot
+    be a torn append and remains an error. *)

@@ -62,3 +62,123 @@ let minimize ?budget q = shrink ?budget q
 
 let is_minimal ?budget (q : Query.t) =
   List.for_all (fun i -> Option.is_none (try_remove ?budget q i)) (removable_indices q)
+
+(* --- canonical form ---------------------------------------------------- *)
+
+(* The canonical form orders body atoms and renames variables so that any two
+   queries equal up to atom reordering and alpha-renaming produce the same
+   result. Head variables are pinned first (h0, h1, ... by first occurrence in
+   the head — head order is semantically significant and never changes);
+   existentials are named e0, e1, ... in order of first appearance in the
+   chosen atom order. The atom order itself is the one whose serialized body
+   is lexicographically smallest; the search proceeds greedily atom by atom
+   and branches only when two candidate atoms serialize identically under the
+   names committed so far (locally symmetric atoms), so it is linear on
+   asymmetric queries and bounded by [max_nodes] on pathological ones. Atom
+   serializations are prefix-free (the closing parenthesis compares below the
+   separator), so the greedy-with-tie-branching search is exact. *)
+
+exception Canon_nodes_exhausted
+
+let serialize_atom ~head_name naming next_e (atom : Atom.t) =
+  let buf = Buffer.create 32 in
+  let adds = ref [] in
+  let next = ref next_e in
+  Buffer.add_string buf atom.Atom.pred;
+  Buffer.add_char buf '(';
+  List.iteri
+    (fun i t ->
+      if i > 0 then Buffer.add_char buf ',';
+      match t with
+      | Term.Const _ -> Buffer.add_string buf (Term.to_string t)
+      | Term.Var v -> (
+        match head_name v with
+        | Some hn -> Buffer.add_string buf hn
+        | None -> (
+          match List.assoc_opt v !adds with
+          | Some name -> Buffer.add_string buf name
+          | None -> (
+            match List.assoc_opt v naming with
+            | Some name -> Buffer.add_string buf name
+            | None ->
+              let name = Printf.sprintf "e%d" !next in
+              incr next;
+              adds := (v, name) :: !adds;
+              Buffer.add_string buf name))))
+    atom.Atom.args;
+  Buffer.add_char buf ')';
+  (Buffer.contents buf, List.rev !adds)
+
+let normal_form ?budget ?(max_nodes = 20_000) (q : Query.t) =
+  let head_names = Hashtbl.create 8 in
+  List.iter
+    (fun t ->
+      match t with
+      | Term.Var v when not (Hashtbl.mem head_names v) ->
+        Hashtbl.add head_names v (Printf.sprintf "h%d" (Hashtbl.length head_names))
+      | Term.Var _ | Term.Const _ -> ())
+    q.head;
+  let head_name v = Hashtbl.find_opt head_names v in
+  let atoms = Array.of_list q.body in
+  let nodes = ref 0 in
+  (* Best complete candidate: serialized body, atom order, naming. *)
+  let best = ref None in
+  (* [exact = false] disables tie branching (greedy fallback once the node
+     cap is hit): still deterministic, but no longer guaranteed invariant
+     under input atom order on highly symmetric queries. *)
+  let rec explore ~exact remaining naming next_e acc_rev =
+    (match budget with Some b -> Budget.tick b | None -> ());
+    incr nodes;
+    if exact && !nodes > max_nodes then raise Canon_nodes_exhausted;
+    match remaining with
+    | [] ->
+      let s = String.concat "," (List.rev_map fst acc_rev) in
+      (match !best with
+      | Some (bs, _, _) when bs <= s -> ()
+      | Some _ | None -> best := Some (s, List.rev_map snd acc_rev, naming))
+    | _ ->
+      let cands =
+        List.map
+          (fun i ->
+            let s, adds = serialize_atom ~head_name naming next_e atoms.(i) in
+            (i, s, adds))
+          remaining
+      in
+      let min_s =
+        List.fold_left
+          (fun m (_, s, _) -> match m with Some m when m <= s -> Some m | _ -> Some s)
+          None cands
+        |> Option.get
+      in
+      let tied = List.filter (fun (_, s, _) -> s = min_s) cands in
+      let step (i, s, adds) =
+        explore ~exact
+          (List.filter (fun j -> j <> i) remaining)
+          (naming @ adds)
+          (next_e + List.length adds)
+          ((s, i) :: acc_rev)
+      in
+      if exact then List.iter step tied else step (List.hd tied)
+  in
+  let all = List.init (Array.length atoms) Fun.id in
+  (match explore ~exact:true all [] 0 [] with
+  | () -> ()
+  | exception Canon_nodes_exhausted ->
+    best := None;
+    explore ~exact:false all [] 0 []);
+  match !best with
+  | None -> assert false (* the body is non-empty and the search total *)
+  | Some (_, order, naming) ->
+    let rename v =
+      match head_name v with
+      | Some hn -> hn
+      | None -> (
+        match List.assoc_opt v naming with
+        | Some n -> n
+        | None -> v (* unreachable: every body var is named; head vars are h-named *))
+    in
+    let body = List.map (fun i -> Atom.rename_vars rename atoms.(i)) order in
+    let head = List.map (function Term.Var v -> Term.Var (rename v) | c -> c) q.head in
+    Query.make ~name:"Q" ~head ~body ()
+
+let canonicalize ?budget ?max_nodes q = normal_form ?budget ?max_nodes (minimize ?budget q)

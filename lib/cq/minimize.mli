@@ -14,3 +14,33 @@ val minimize : ?budget:Budget.t -> Query.t -> Query.t
 val is_minimal : ?budget:Budget.t -> Query.t -> bool
 (** True when no proper subset of the body yields an equivalent query.
     @raise Budget.Exhausted *)
+
+(** {1 Canonical forms}
+
+    Used by the serving layer's label cache: two queries with the same
+    canonical form are guaranteed label-equivalent, so a label computed once
+    can be replayed for every syntactic variant. *)
+
+val normal_form : ?budget:Budget.t -> ?max_nodes:int -> Query.t -> Query.t
+(** A syntactic normal form: body atoms reordered canonically and variables
+    alpha-renamed to [h0, h1, ...] (head variables, by first occurrence in
+    the head) and [e0, e1, ...] (existentials, by first occurrence in the
+    canonical atom order); the head name is normalized to ["Q"]. Invariant
+    under atom reordering and injective variable renaming: [normal_form q =
+    normal_form q'] whenever [q'] is [q] with body atoms permuted and
+    variables renamed. The result is equivalent to the input.
+
+    The canonical atom order is found by a greedy lexicographic search that
+    branches only on locally symmetric atoms; [max_nodes] (default 20000)
+    caps the search, after which a deterministic greedy fallback is used
+    (still a function of the input, but no longer order-invariant on
+    pathologically symmetric queries — callers treating the result as a cache
+    key lose only hit rate, never soundness).
+    @raise Budget.Exhausted *)
+
+val canonicalize : ?budget:Budget.t -> ?max_nodes:int -> Query.t -> Query.t
+(** [normal_form] of the {!minimize}d query: the canonical representative of
+    the query's equivalence class up to minimization, atom order, and variable
+    names. Two queries equal up to redundant atoms, reordering, and renaming
+    canonicalize identically.
+    @raise Budget.Exhausted *)

@@ -1,0 +1,14 @@
+(* Cache keys for the label cache, from cheapest to most canonical. Soundness
+   rests on two facts: (1) exact_key equality implies syntactic equality, and
+   normal_form/canonicalize return a query *equivalent* to the input, with
+   equivalent queries labeling at the same lattice point; (2) monitor
+   decisions depend on the label only through Policy.partition_covers, which
+   is monotone under Label.atom_leq — so mutually-leq labels decide
+   identically. Hence replaying a cached label for any query with the same
+   key reproduces the exact decision sequence of labeling from scratch. *)
+
+let exact_key q = Cq.Query.to_string q
+
+let normal_key ?budget q = Cq.Query.to_string (Cq.Minimize.normal_form ?budget q)
+
+let minimized_key ?budget q = Cq.Query.to_string (Cq.Minimize.canonicalize ?budget q)

@@ -1,0 +1,28 @@
+(** Cache keys for the serving layer's label cache, from cheapest to most
+    canonical. Each level catches strictly more repeats and costs strictly
+    more to compute, so the shard tries them in order:
+
+    - {!exact_key} — the query serialized verbatim. One string build; a hit
+      skips the entire labeling pipeline, which is what makes the warm-cache
+      path fast (resubmitting an identical query is the common case).
+    - {!normal_key} — {!Cq.Minimize.normal_form} serialized: invariant under
+      body-atom permutation and injective variable renaming. Costs a
+      syntactic search (no homomorphism checks).
+    - {!minimized_key} — {!Cq.Minimize.canonicalize} serialized: additionally
+      invariant under redundant atoms. Costs the homomorphism searches of
+      minimization; only worth computing on a {!normal_key} miss.
+
+    All three are sound: queries sharing a key are equivalent, equivalent
+    queries label at the same lattice point, and monitor decisions are a
+    function of the lattice point (see the note in [canon.ml]). *)
+
+val exact_key : Cq.Query.t -> string
+(** Syntactic identity (modulo the printer, which is deterministic). *)
+
+val normal_key : ?budget:Cq.Budget.t -> Cq.Query.t -> string
+(** Invariant under body-atom permutation and injective variable renaming.
+    @raise Cq.Budget.Exhausted *)
+
+val minimized_key : ?budget:Cq.Budget.t -> Cq.Query.t -> string
+(** Additionally invariant under adding/removing redundant atoms.
+    @raise Cq.Budget.Exhausted *)

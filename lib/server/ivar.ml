@@ -1,0 +1,44 @@
+type 'a t = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable value : 'a option;
+}
+
+let create () = { mutex = Mutex.create (); cond = Condition.create (); value = None }
+
+let create_filled v =
+  { mutex = Mutex.create (); cond = Condition.create (); value = Some v }
+
+let try_fill t v =
+  Mutex.lock t.mutex;
+  match t.value with
+  | None ->
+    t.value <- Some v;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.mutex;
+    true
+  | Some _ ->
+    Mutex.unlock t.mutex;
+    false
+
+let fill t v =
+  if not (try_fill t v) then invalid_arg "Ivar.fill: already filled"
+
+let read t =
+  Mutex.lock t.mutex;
+  let rec wait () =
+    match t.value with
+    | Some v ->
+      Mutex.unlock t.mutex;
+      v
+    | None ->
+      Condition.wait t.cond t.mutex;
+      wait ()
+  in
+  wait ()
+
+let peek t =
+  Mutex.lock t.mutex;
+  let v = t.value in
+  Mutex.unlock t.mutex;
+  v

@@ -1,0 +1,23 @@
+(** A write-once synchronization cell (mutex + condition variable): the
+    server's completion ticket. Any domain may fill it exactly once; any
+    number of domains may block reading it. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val create_filled : 'a -> 'a t
+(** Already-resolved ticket — used for decisions made without crossing a
+    domain boundary (overload shedding). *)
+
+val fill : 'a t -> 'a -> unit
+(** @raise Invalid_argument when already filled. *)
+
+val try_fill : 'a t -> 'a -> bool
+(** [false] when already filled (cell unchanged). *)
+
+val read : 'a t -> 'a
+(** Blocks until filled. *)
+
+val peek : 'a t -> 'a option
+(** Non-blocking. *)

@@ -1,0 +1,96 @@
+(* String-keyed LRU cache: hash table into an intrusive doubly-linked recency
+   list (head = most recent, tail = eviction candidate). Not thread-safe by
+   design — each shard owns one cache and is the only domain touching it. *)
+
+type 'a node = {
+  key : string;
+  mutable value : 'a;
+  mutable prev : 'a node option;
+  mutable next : 'a node option;
+}
+
+type 'a t = {
+  capacity : int;
+  table : (string, 'a node) Hashtbl.t;
+  mutable head : 'a node option;
+  mutable tail : 'a node option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Label_cache.create: capacity must be >= 1";
+  {
+    capacity;
+    table = Hashtbl.create (min capacity 1024);
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.prev <- None;
+  node.next <- t.head;
+  (match t.head with
+  | Some h -> h.prev <- Some node
+  | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | Some node ->
+    t.hits <- t.hits + 1;
+    if t.head != Some node then begin
+      unlink t node;
+      push_front t node
+    end;
+    Some node.value
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+let mem t key = Hashtbl.mem t.table key
+
+let add t key value =
+  match Hashtbl.find_opt t.table key with
+  | Some node ->
+    node.value <- value;
+    if t.head != Some node then begin
+      unlink t node;
+      push_front t node
+    end
+  | None ->
+    if Hashtbl.length t.table >= t.capacity then begin
+      match t.tail with
+      | Some lru ->
+        unlink t lru;
+        Hashtbl.remove t.table lru.key;
+        t.evictions <- t.evictions + 1
+      | None -> ()
+    end;
+    let node = { key; value; prev = None; next = None } in
+    Hashtbl.replace t.table key node;
+    push_front t node
+
+let length t = Hashtbl.length t.table
+
+let capacity t = t.capacity
+
+let hits t = t.hits
+
+let misses t = t.misses
+
+let evictions t = t.evictions

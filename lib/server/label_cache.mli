@@ -1,0 +1,27 @@
+(** A string-keyed LRU cache with hit/miss/eviction counters. O(1) find and
+    add (hash table + intrusive recency list).
+
+    {b Not thread-safe.} The serving layer gives each shard its own cache;
+    only the shard's worker domain ever touches it, so no lock is needed. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument when [capacity < 1]. *)
+
+val find : 'a t -> string -> 'a option
+(** Bumps the entry to most-recently-used on hit. Counts a hit or a miss. *)
+
+val mem : 'a t -> string -> bool
+(** Does not affect recency or counters. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Insert or replace, making the entry most-recently-used. At capacity, the
+    least-recently-used entry is evicted first. *)
+
+val length : 'a t -> int
+val capacity : 'a t -> int
+
+val hits : 'a t -> int
+val misses : 'a t -> int
+val evictions : 'a t -> int

@@ -1,0 +1,67 @@
+type 'a t = {
+  capacity : int;
+  queue : 'a Queue.t;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  not_full : Condition.t;
+  mutable closed : bool;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Mailbox.create: capacity must be >= 1";
+  {
+    capacity;
+    queue = Queue.create ();
+    mutex = Mutex.create ();
+    nonempty = Condition.create ();
+    not_full = Condition.create ();
+    closed = false;
+  }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let try_push t x =
+  with_lock t (fun () ->
+      if t.closed || Queue.length t.queue >= t.capacity then false
+      else begin
+        Queue.push x t.queue;
+        Condition.signal t.nonempty;
+        true
+      end)
+
+let push t x =
+  with_lock t (fun () ->
+      while (not t.closed) && Queue.length t.queue >= t.capacity do
+        Condition.wait t.not_full t.mutex
+      done;
+      if t.closed then false
+      else begin
+        Queue.push x t.queue;
+        Condition.signal t.nonempty;
+        true
+      end)
+
+let pop t =
+  with_lock t (fun () ->
+      while Queue.is_empty t.queue && not t.closed do
+        Condition.wait t.nonempty t.mutex
+      done;
+      match Queue.take_opt t.queue with
+      | Some x ->
+        Condition.signal t.not_full;
+        Some x
+      | None -> None (* closed and drained *))
+
+let close t =
+  with_lock t (fun () ->
+      if not t.closed then begin
+        t.closed <- true;
+        Condition.broadcast t.nonempty;
+        Condition.broadcast t.not_full
+      end)
+
+let length t = with_lock t (fun () -> Queue.length t.queue)
+
+let is_closed t = with_lock t (fun () -> t.closed)

@@ -1,0 +1,32 @@
+(** A bounded multi-producer single-consumer mailbox (mutex + condition
+    variables). Producers on any domain feed one consumer domain; the bound
+    is the serving layer's overload valve: {!try_push} refuses instead of
+    blocking when the consumer has fallen [capacity] messages behind. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument when [capacity < 1]. *)
+
+val try_push : 'a t -> 'a -> bool
+(** Non-blocking enqueue. [false] when the mailbox is full or closed — the
+    caller must treat the message as shed (fail closed); the mailbox is
+    untouched. *)
+
+val push : 'a t -> 'a -> bool
+(** Blocking enqueue: waits for space. [false] only when the mailbox is (or
+    becomes) closed. Used for control messages (drain barriers) that must not
+    be shed under load. *)
+
+val pop : 'a t -> 'a option
+(** Consumer side: blocks until a message is available. [None] once the
+    mailbox is closed {e and} drained — messages enqueued before {!close}
+    are always delivered. *)
+
+val close : 'a t -> unit
+(** Idempotent. Wakes all waiters; subsequent pushes fail, pops drain the
+    remaining messages then return [None]. *)
+
+val length : 'a t -> int
+
+val is_closed : 'a t -> bool

@@ -1,0 +1,178 @@
+type stage =
+  | Canonicalize
+  | Label
+  | Cache
+  | Decide
+  | Journal
+
+let stage_index = function
+  | Canonicalize -> 0
+  | Label -> 1
+  | Cache -> 2
+  | Decide -> 3
+  | Journal -> 4
+
+let stage_name = function
+  | Canonicalize -> "canonicalize"
+  | Label -> "label"
+  | Cache -> "cache"
+  | Decide -> "decide"
+  | Journal -> "journal"
+
+let stages = [ Canonicalize; Label; Cache; Decide; Journal ]
+
+let n_stages = 5
+
+type counter =
+  | Submitted
+  | Answered
+  | Refused
+  | Overloaded
+  | Cache_hit
+  | Cache_miss
+  | Cache_eviction
+
+let counter_index = function
+  | Submitted -> 0
+  | Answered -> 1
+  | Refused -> 2
+  | Overloaded -> 3
+  | Cache_hit -> 4
+  | Cache_miss -> 5
+  | Cache_eviction -> 6
+
+let counter_name = function
+  | Submitted -> "submitted"
+  | Answered -> "answered"
+  | Refused -> "refused"
+  | Overloaded -> "overloaded"
+  | Cache_hit -> "cache_hits"
+  | Cache_miss -> "cache_misses"
+  | Cache_eviction -> "cache_evictions"
+
+let counters = [ Submitted; Answered; Refused; Overloaded; Cache_hit; Cache_miss; Cache_eviction ]
+
+let n_counters = 7
+
+(* Power-of-two latency buckets: bucket [i] counts observations in
+   [2^i, 2^(i+1)) nanoseconds. 40 buckets reach ~18 minutes. *)
+let n_buckets = 40
+
+type t = {
+  counter_cells : int Atomic.t array;
+  bucket_cells : int Atomic.t array array; (* per stage *)
+  stage_count : int Atomic.t array;
+  stage_total_ns : int Atomic.t array;
+}
+
+let create () =
+  {
+    counter_cells = Array.init n_counters (fun _ -> Atomic.make 0);
+    bucket_cells = Array.init n_stages (fun _ -> Array.init n_buckets (fun _ -> Atomic.make 0));
+    stage_count = Array.init n_stages (fun _ -> Atomic.make 0);
+    stage_total_ns = Array.init n_stages (fun _ -> Atomic.make 0);
+  }
+
+let incr t c = ignore (Atomic.fetch_and_add t.counter_cells.(counter_index c) 1)
+
+let add t c n = ignore (Atomic.fetch_and_add t.counter_cells.(counter_index c) n)
+
+let count t c = Atomic.get t.counter_cells.(counter_index c)
+
+let bucket_of_ns ns =
+  if ns <= 0 then 0
+  else begin
+    let b = ref 0 in
+    let n = ref ns in
+    while !n > 1 do
+      n := !n lsr 1;
+      b := !b + 1
+    done;
+    min !b (n_buckets - 1)
+  end
+
+let record t stage seconds =
+  let i = stage_index stage in
+  let ns = int_of_float (seconds *. 1e9) in
+  let ns = if ns < 0 then 0 else ns in
+  ignore (Atomic.fetch_and_add t.stage_count.(i) 1);
+  ignore (Atomic.fetch_and_add t.stage_total_ns.(i) ns);
+  ignore (Atomic.fetch_and_add t.bucket_cells.(i).(bucket_of_ns ns) 1)
+
+let time t stage f =
+  let t0 = Unix.gettimeofday () in
+  let finish () = record t stage (Unix.gettimeofday () -. t0) in
+  Fun.protect ~finally:finish f
+
+type histogram = {
+  count : int;
+  total_ns : int;
+  buckets : int array;
+}
+
+let histogram t stage =
+  let i = stage_index stage in
+  {
+    count = Atomic.get t.stage_count.(i);
+    total_ns = Atomic.get t.stage_total_ns.(i);
+    buckets = Array.map Atomic.get t.bucket_cells.(i);
+  }
+
+let mean_ns h = if h.count = 0 then 0.0 else float_of_int h.total_ns /. float_of_int h.count
+
+(* Upper bound of the bucket holding the q-th fraction of observations. *)
+let percentile_ns h q =
+  if h.count = 0 then 0
+  else begin
+    let target = int_of_float (ceil (q *. float_of_int h.count)) in
+    let target = max 1 target in
+    let seen = ref 0 and result = ref 0 in
+    (try
+       Array.iteri
+         (fun i n ->
+           seen := !seen + n;
+           if !seen >= target then begin
+             result := 1 lsl (i + 1);
+             raise Exit
+           end)
+         h.buckets
+     with Exit -> ());
+    !result
+  end
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>counters:@,";
+  List.iter
+    (fun c -> Format.fprintf ppf "  %-16s %d@," (counter_name c) (count t c))
+    counters;
+  Format.fprintf ppf "stage latency (count, mean, p50, p99 upper bounds):@,";
+  List.iter
+    (fun s ->
+      let h = histogram t s in
+      Format.fprintf ppf "  %-12s %9d  mean %8.1fus  p50 <= %8.1fus  p99 <= %8.1fus@,"
+        (stage_name s) h.count (mean_ns h /. 1e3)
+        (float_of_int (percentile_ns h 0.5) /. 1e3)
+        (float_of_int (percentile_ns h 0.99) /. 1e3))
+    stages;
+  Format.fprintf ppf "@]"
+
+let to_json t =
+  let b = Buffer.create 512 in
+  Buffer.add_string b "{";
+  List.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b (Printf.sprintf "%S: %d" (counter_name c) (count t c)))
+    counters;
+  Buffer.add_string b ", \"stages\": {";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_string b ", ";
+      let h = histogram t s in
+      Buffer.add_string b
+        (Printf.sprintf "%S: {\"count\": %d, \"total_ns\": %d, \"mean_ns\": %.1f, \"p50_ns\": %d, \"p99_ns\": %d}"
+           (stage_name s) h.count h.total_ns (mean_ns h)
+           (percentile_ns h 0.5) (percentile_ns h 0.99)))
+    stages;
+  Buffer.add_string b "}}";
+  Buffer.contents b

@@ -1,0 +1,65 @@
+(** Lock-free serving-layer metrics: atomic event counters plus per-stage
+    latency histograms with power-of-two nanosecond buckets. All operations
+    are safe to call concurrently from any domain; reads ([count],
+    [histogram], [pp], [to_json]) are racy-but-coherent snapshots (each cell
+    is read atomically, the set of cells is not). *)
+
+(** Pipeline stages timed by the serving layer. *)
+type stage =
+  | Canonicalize  (** Computing a cache key (normal form / canonical form). *)
+  | Label  (** The guarded labeling run inside {!Disclosure.Service}. *)
+  | Cache  (** Label-cache lookup and maintenance. *)
+  | Decide  (** The monitor's policy decision. *)
+  | Journal  (** The decision-journal append. *)
+
+(** Monotone event counters. *)
+type counter =
+  | Submitted
+  | Answered
+  | Refused  (** All refusals, including overloads. *)
+  | Overloaded  (** Queries shed because a shard mailbox was full. *)
+  | Cache_hit
+  | Cache_miss
+  | Cache_eviction
+
+type t
+
+val create : unit -> t
+
+val stages : stage list
+val counters : counter list
+
+val stage_name : stage -> string
+val counter_name : counter -> string
+
+val incr : t -> counter -> unit
+val add : t -> counter -> int -> unit
+val count : t -> counter -> int
+
+val record : t -> stage -> float -> unit
+(** [record t stage seconds] adds one observation of [seconds] (wall clock)
+    to the stage's histogram. *)
+
+val time : t -> stage -> (unit -> 'a) -> 'a
+(** Runs the thunk and {!record}s its duration, whether it returns or
+    raises. *)
+
+type histogram = {
+  count : int;
+  total_ns : int;
+  buckets : int array;  (** [buckets.(i)] counts observations in [[2{^i}, 2{^i+1}) ns]. *)
+}
+
+val histogram : t -> stage -> histogram
+
+val mean_ns : histogram -> float
+
+val percentile_ns : histogram -> float -> int
+(** [percentile_ns h 0.99] is an upper bound (the enclosing bucket's upper
+    edge) on the 99th-percentile latency in nanoseconds; [0] when empty. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_json : t -> string
+(** One JSON object: each counter by name, plus a ["stages"] object mapping
+    stage names to [{count, total_ns, mean_ns, p50_ns, p99_ns}]. *)

@@ -1,0 +1,235 @@
+(* The concurrent serving layer: principals partitioned across N shards by a
+   stable hash, each shard a worker domain exclusively owning a sequential
+   Disclosure.Service, a label cache, and a journal segment. Clients talk to
+   shards only through bounded mailboxes; a full mailbox sheds the query as
+   Refused Overload without blocking or touching any monitor. *)
+
+module Metrics = Metrics
+module Mailbox = Mailbox
+module Label_cache = Label_cache
+module Canon = Canon
+module Ivar = Ivar
+module Shard = Shard
+
+module Service = Disclosure.Service
+module Guard = Disclosure.Guard
+module Monitor = Disclosure.Monitor
+
+let src = Logs.Src.create "disclosure.server" ~doc:"Sharded disclosure-control server"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type config = {
+  domains : int;
+  mailbox_capacity : int;
+  cache_capacity : int;
+}
+
+let default_config = { domains = 4; mailbox_capacity = 1024; cache_capacity = 4096 }
+
+type state =
+  | Created
+  | Running
+  | Stopped
+
+type t = {
+  config : config;
+  shards : Shard.t array;
+  metrics : Metrics.t;
+  assignment : (string, int) Hashtbl.t; (* principal -> shard index *)
+  mutable order : string list; (* reversed global registration order *)
+  mutable state : state;
+}
+
+type ticket = Monitor.decision Ivar.t
+
+(* FNV-1a, 32-bit: principal-to-shard assignment must be stable across runs
+   and OCaml versions (journal segments are replayed by shard index), so we
+   avoid Hashtbl.hash, whose algorithm is unspecified. *)
+let fnv1a s =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c -> h := ((!h lxor Char.code c) * 0x01000193) land 0xFFFFFFFF)
+    s;
+  !h
+
+let shard_count t = Array.length t.shards
+
+let segment_path base i = Printf.sprintf "%s.shard%d" base i
+
+let create ?limits ?journal ?(config = default_config) pipeline =
+  if config.domains < 1 then invalid_arg "Server.create: domains must be >= 1";
+  if config.mailbox_capacity < 1 then
+    invalid_arg "Server.create: mailbox_capacity must be >= 1";
+  if config.cache_capacity < 0 then
+    invalid_arg "Server.create: cache_capacity must be >= 0";
+  let metrics = Metrics.create () in
+  let shards =
+    Array.init config.domains (fun i ->
+        Shard.create ~index:i ?limits
+          ?journal:(Option.map (fun base -> segment_path base i) journal)
+          ~mailbox_capacity:config.mailbox_capacity
+          ~cache_capacity:config.cache_capacity ~metrics pipeline)
+  in
+  { config; shards; metrics; assignment = Hashtbl.create 64; order = []; state = Created }
+
+let config t = t.config
+
+let metrics t = t.metrics
+
+let shard_of t principal = t.shards.(fnv1a principal mod shard_count t)
+
+let require_created t what =
+  match t.state with
+  | Created -> ()
+  | Running | Stopped ->
+    invalid_arg (Printf.sprintf "Server.%s: server already started" what)
+
+let register t ~principal ~partitions =
+  require_created t "register";
+  let shard = shard_of t principal in
+  Service.register (Shard.service shard) ~principal ~partitions;
+  Hashtbl.replace t.assignment principal (Shard.index shard);
+  t.order <- principal :: t.order;
+  Log.debug (fun m -> m "principal %s -> shard %d" principal (Shard.index shard))
+
+let register_stateless t ~principal ~views =
+  register t ~principal ~partitions:[ ("default", views) ]
+
+let principals t = List.rev t.order
+
+let start t =
+  require_created t "start";
+  Array.iter Shard.start t.shards;
+  t.state <- Running;
+  Log.info (fun m ->
+      m "serving on %d domain(s), mailbox capacity %d, cache capacity %d"
+        t.config.domains t.config.mailbox_capacity t.config.cache_capacity)
+
+(* Submission is allowed in Created too: messages queue in the mailboxes and
+   are processed once [start] spawns the workers. Tests use this to fill a
+   mailbox deterministically. *)
+let submit t ~principal query : ticket =
+  (match t.state with
+  | Stopped -> invalid_arg "Server.submit: server is stopped"
+  | Created | Running -> ());
+  if not (Hashtbl.mem t.assignment principal) then
+    raise (Service.Unknown_principal principal);
+  Metrics.incr t.metrics Metrics.Submitted;
+  let shard = shard_of t principal in
+  let ticket = Ivar.create () in
+  if Mailbox.try_push (Shard.mailbox shard) (Shard.Query { principal; query; ticket })
+  then ticket
+  else begin
+    (* Fail-closed load shedding: the decision is made here, on the client's
+       domain, without touching the shard — the monitor stays bit-identical
+       and nothing is journaled (the journal belongs to the worker domain;
+       Overload never commits state, so recovery is unaffected). *)
+    Metrics.incr t.metrics Metrics.Overloaded;
+    Metrics.incr t.metrics Metrics.Refused;
+    Ivar.create_filled (Monitor.Refused Guard.Overload)
+  end
+
+let await (ticket : ticket) = Ivar.read ticket
+
+let submit_sync t ~principal query = await (submit t ~principal query)
+
+let drain t =
+  match t.state with
+  | Created | Stopped -> ()
+  | Running ->
+    let barriers =
+      Array.map
+        (fun shard ->
+          let iv = Ivar.create () in
+          if Mailbox.push (Shard.mailbox shard) (Shard.Barrier iv) then Some iv
+          else None)
+        t.shards
+    in
+    Array.iter (Option.iter Ivar.read) barriers
+
+let stop t =
+  match t.state with
+  | Stopped -> ()
+  | Created ->
+    (* Never started: no workers to join, but queued messages would leave
+       their tickets forever unfilled — resolve them fail-closed. *)
+    Array.iter (fun shard -> Mailbox.close (Shard.mailbox shard)) t.shards;
+    Array.iter
+      (fun shard ->
+        let rec flush () =
+          match Mailbox.pop (Shard.mailbox shard) with
+          | None -> ()
+          | Some (Shard.Barrier iv) ->
+            Ivar.fill iv ();
+            flush ()
+          | Some (Shard.Query { ticket; _ }) ->
+            Metrics.incr t.metrics Metrics.Refused;
+            ignore
+              (Ivar.try_fill ticket
+                 (Monitor.Refused (Guard.Fault "server stopped before start")));
+            flush ()
+        in
+        flush ();
+        Service.close (Shard.service shard))
+      t.shards;
+    t.state <- Stopped
+  | Running ->
+    Array.iter (fun shard -> Mailbox.close (Shard.mailbox shard)) t.shards;
+    Array.iter Shard.join t.shards;
+    Array.iter (fun shard -> Service.close (Shard.service shard)) t.shards;
+    t.state <- Stopped;
+    Log.info (fun m -> m "stopped")
+
+(* --- introspection (exact only while shards are quiescent) ------------- *)
+
+let owning_service t principal =
+  if not (Hashtbl.mem t.assignment principal) then
+    raise (Service.Unknown_principal principal);
+  Shard.service (shard_of t principal)
+
+let alive t ~principal = Service.alive (owning_service t principal) ~principal
+
+let stats t ~principal = Service.stats (owning_service t principal) ~principal
+
+let snapshot t =
+  List.map
+    (fun principal ->
+      (principal, List.assoc principal (Service.snapshot (owning_service t principal))))
+    (principals t)
+
+let cache_stats t =
+  Array.fold_left
+    (fun (acc : Shard.cache_stats) shard ->
+      let s = Shard.cache_stats shard in
+      {
+        Shard.hits = acc.hits + s.hits;
+        misses = acc.misses + s.misses;
+        evictions = acc.evictions + s.evictions;
+        entries = acc.entries + s.entries;
+        capacity = acc.capacity + s.capacity;
+      })
+    { Shard.hits = 0; misses = 0; evictions = 0; entries = 0; capacity = 0 }
+    t.shards
+
+(* --- recovery ---------------------------------------------------------- *)
+
+(* Principals are disjoint across shards, so replaying the segments in index
+   order is a deterministic merge of the global history: within a principal,
+   order is the shard's append order; across principals, interleaving is
+   irrelevant because monitors are independent. Requires the same shard
+   count (and hash) as the run that wrote the segments. *)
+let recover t ~journal =
+  (match t.state with
+  | Running -> invalid_arg "Server.recover: stop the server first"
+  | Created | Stopped -> ());
+  let rec loop i applied =
+    if i >= shard_count t then Ok applied
+    else
+      match
+        Service.recover (Shard.service t.shards.(i)) ~journal:(segment_path journal i)
+      with
+      | Ok n -> loop (i + 1) (applied + n)
+      | Error msg -> Error msg
+  in
+  loop 0 0

@@ -1,0 +1,126 @@
+(** The concurrent serving layer over {!Disclosure.Service}: principals are
+    partitioned across [N] worker domains (shards) by a stable hash of their
+    name. Each shard {e exclusively owns} a sequential service, an optional
+    label cache keyed by canonical query form, and its own append-only
+    journal segment ([<base>.shard<i>]); clients reach a shard only through
+    a bounded mailbox.
+
+    Because every principal's queries land on one shard and each shard is
+    single-threaded, the per-principal decision sequence is identical to
+    replaying the same queries through a single-threaded
+    [Disclosure.Service.submit] — concurrency never reorders one principal's
+    history, and the label cache is sound by canonicalization (see
+    {!Canon}).
+
+    Overload is fail-closed and non-blocking: when a shard's mailbox is
+    full, {!submit} immediately returns a ticket already resolved to
+    [Refused Disclosure.Guard.Overload]. The shed query never reaches the
+    shard, so the monitor stays bit-identical; it is {e not} journaled (the
+    journal belongs to the worker domain, and [Overload] never commits
+    state, so recovery is unaffected).
+
+    Lifecycle: {!create} → {!register}… → {!start} → {!submit}/{!await}… →
+    {!stop}. Registration is only allowed before {!start}; submission is
+    also allowed before {!start} (messages queue and are processed once the
+    workers spawn — tests use this for deterministic overload). *)
+
+module Metrics = Metrics
+module Mailbox = Mailbox
+module Label_cache = Label_cache
+module Canon = Canon
+module Ivar = Ivar
+module Shard = Shard
+
+type config = {
+  domains : int;  (** Number of shards = worker domains (≥ 1). *)
+  mailbox_capacity : int;  (** Per-shard mailbox bound (≥ 1). *)
+  cache_capacity : int;  (** Per-shard label-cache entries; [0] disables. *)
+}
+
+val default_config : config
+(** [{ domains = 4; mailbox_capacity = 1024; cache_capacity = 4096 }] *)
+
+type t
+
+type ticket = Disclosure.Monitor.decision Ivar.t
+(** A pending decision; resolve with {!await}. *)
+
+val create :
+  ?limits:Disclosure.Guard.limits ->
+  ?journal:string ->
+  ?config:config ->
+  Disclosure.Pipeline.t ->
+  t
+(** [journal], when given, is a {e base} path: shard [i] journals to
+    [<journal>.shard<i>]. All shards share [limits] and the pipeline.
+    @raise Invalid_argument on a non-positive [domains] or
+    [mailbox_capacity], or a negative [cache_capacity]. *)
+
+val config : t -> config
+
+val register :
+  t -> principal:string -> partitions:(string * Disclosure.Sview.t list) list -> unit
+(** Registers the principal on its owning shard. Only before {!start}.
+    @raise Invalid_argument after {!start}, or per
+    {!Disclosure.Service.register}.
+    @raise Disclosure.Service.Duplicate_principal *)
+
+val register_stateless : t -> principal:string -> views:Disclosure.Sview.t list -> unit
+
+val principals : t -> string list
+(** Global registration order. *)
+
+val start : t -> unit
+(** Spawn the worker domains.
+    @raise Invalid_argument when already started or stopped. *)
+
+val submit : t -> principal:string -> Cq.Query.t -> ticket
+(** Enqueue a query on the principal's shard. Never blocks: a full mailbox
+    sheds the query with a ticket already resolved to
+    [Refused Overload] (see the overview above).
+    @raise Disclosure.Service.Unknown_principal
+    @raise Invalid_argument after {!stop}. *)
+
+val await : ticket -> Disclosure.Monitor.decision
+(** Blocks until the shard has decided (immediately for shed queries). *)
+
+val submit_sync : t -> principal:string -> Cq.Query.t -> Disclosure.Monitor.decision
+(** [await (submit t ~principal q)]. *)
+
+val drain : t -> unit
+(** Blocks until every shard has processed all messages enqueued before the
+    call (a barrier message per shard). No-op unless running. *)
+
+val stop : t -> unit
+(** Close the mailboxes, let the workers drain queued messages, join them,
+    and close the journals. Queries enqueued before [stop] are still
+    decided. Idempotent. On a never-started server, queued tickets resolve
+    fail-closed to [Refused (Fault _)]. *)
+
+(** {1 Introspection}
+
+    Delegates to the owning shard's service. Exact only while the shards
+    are quiescent — before {!start}, after {!stop}, or right after
+    {!drain} with no concurrent submissions. All raise
+    [Disclosure.Service.Unknown_principal] for unknown principals. *)
+
+val alive : t -> principal:string -> string list
+
+val stats : t -> principal:string -> int * int
+
+val snapshot : t -> (string * Disclosure.Monitor.state) list
+
+val metrics : t -> Metrics.t
+
+val cache_stats : t -> Shard.cache_stats
+(** Summed over shards. *)
+
+(** {1 Recovery} *)
+
+val recover : t -> journal:string -> (int, string) result
+(** Replay the journal segments [<journal>.shard<i>] in shard-index order
+    through each shard's {!Disclosure.Service.recover}, returning the total
+    number of applied lines. Deterministic because principals are disjoint
+    across shards. Requires the same [domains] count (and registration set)
+    as the run that wrote the segments, and a non-running server.
+    @raise Invalid_argument while running. *)

@@ -1,0 +1,200 @@
+(* One shard: a single-threaded Disclosure.Service plus its label cache,
+   owned exclusively by one worker domain that drains a bounded mailbox.
+   Exclusive ownership is the whole concurrency story — the service, its
+   journal channel, and the cache are only ever touched from the worker
+   domain (or from the caller's domain before [start] / after [join]), so
+   none of them need locks and the sequential service semantics carry over
+   shard-locally unchanged. *)
+
+module Service = Disclosure.Service
+module Guard = Disclosure.Guard
+module Monitor = Disclosure.Monitor
+module Label = Disclosure.Label
+
+type msg =
+  | Query of {
+      principal : string;
+      query : Cq.Query.t;
+      ticket : Monitor.decision Ivar.t;
+    }
+  | Barrier of unit Ivar.t
+
+type t = {
+  index : int;
+  service : Service.t;
+  cache : Label.t Label_cache.t option;
+  mailbox : msg Mailbox.t;
+  metrics : Metrics.t;
+  mutable domain : unit Domain.t option;
+}
+
+let create ~index ?limits ?journal ~mailbox_capacity ~cache_capacity ~metrics pipeline =
+  let observe (o : Service.observation) =
+    let stage =
+      match o.stage with
+      | `Label -> Metrics.Label
+      | `Decide -> Metrics.Decide
+      | `Journal -> Metrics.Journal
+    in
+    Metrics.record metrics stage o.seconds
+  in
+  let service = Service.create ?limits ?journal ~observe pipeline in
+  let cache =
+    if cache_capacity > 0 then Some (Label_cache.create ~capacity:cache_capacity)
+    else None
+  in
+  {
+    index;
+    service;
+    cache;
+    mailbox = Mailbox.create ~capacity:mailbox_capacity;
+    metrics;
+    domain = None;
+  }
+
+let index t = t.index
+
+let service t = t.service
+
+let mailbox t = t.mailbox
+
+(* --- query handling --------------------------------------------------- *)
+
+(* The uncached path is Service.submit split in two ([label_query] then
+   [submit_label] / [refuse]) so the cached path below can splice a lookup
+   between the halves while journaling and deciding identically. *)
+let uncached t ~principal q =
+  match Service.label_query t.service q with
+  | Error reason -> Service.refuse t.service ~principal reason
+  | Ok label -> Service.submit_label t.service ~principal label
+
+(* Cache lookup tries the three key levels of {!Canon} in cost order: the
+   exact serialization, the reorder/rename-invariant normal form, then the
+   minimized canonical form. The canonical keys are computed under their own
+   guarded run (fresh budget), so canonicalization can never eat the budget
+   of the labeling run and a key failure degrades to skipping that level —
+   never to a refusal the sequential service would not have issued. On a
+   full miss the ORIGINAL query is labeled, making the miss path
+   byte-for-byte the sequential Service.submit. *)
+let cached t cache ~principal q =
+  let svc = t.service in
+  let limits = Service.limits svc in
+  match Guard.admit_query limits q with
+  | Error reason ->
+    (* Sequential submit refuses at admission before labeling; refusing here
+       keeps a cache hit from ever answering a query it would have shed. *)
+    Service.refuse svc ~principal reason
+  | Ok () ->
+    let find k = Metrics.time t.metrics Metrics.Cache (fun () -> Label_cache.find cache k) in
+    let k0 = Metrics.time t.metrics Metrics.Canonicalize (fun () -> Canon.exact_key q) in
+    let hit label =
+      Metrics.incr t.metrics Metrics.Cache_hit;
+      Metrics.time t.metrics Metrics.Cache (fun () -> Label_cache.add cache k0 label);
+      Service.submit_label svc ~principal label
+    in
+    (match find k0 with
+    | Some label ->
+      Metrics.incr t.metrics Metrics.Cache_hit;
+      Service.submit_label svc ~principal label
+    | None -> (
+      let key (f : budget:Cq.Budget.t -> Cq.Query.t -> string) =
+        match
+          Metrics.time t.metrics Metrics.Canonicalize (fun () ->
+              Guard.run limits (fun budget -> f ~budget q))
+        with
+        | Ok k when k <> k0 -> Some k
+        | _ -> None
+      in
+      let k1 = key (fun ~budget q -> Canon.normal_key ~budget q) in
+      match Option.map find k1 |> Option.join with
+      | Some label -> hit label
+      | None -> (
+        (* The minimized canonical form catches repeats that differ by
+           redundant atoms; worth the homomorphism work only this deep. *)
+        let k2 =
+          match key (fun ~budget q -> Canon.minimized_key ~budget q) with
+          | Some k when Some k <> k1 -> Some k
+          | _ -> None
+        in
+        match Option.map find k2 |> Option.join with
+        | Some label -> hit label
+        | None -> (
+          Metrics.incr t.metrics Metrics.Cache_miss;
+          match Service.label_query svc q with
+          | Error reason -> Service.refuse svc ~principal reason
+          | Ok label ->
+            let before = Label_cache.evictions cache in
+            Metrics.time t.metrics Metrics.Cache (fun () ->
+                Label_cache.add cache k0 label;
+                Option.iter (fun k -> Label_cache.add cache k label) k1;
+                Option.iter (fun k -> Label_cache.add cache k label) k2);
+            Metrics.add t.metrics Metrics.Cache_eviction
+              (Label_cache.evictions cache - before);
+            Service.submit_label svc ~principal label))))
+
+let handle t ~principal q =
+  match t.cache with
+  | None -> uncached t ~principal q
+  | Some cache -> cached t cache ~principal q
+
+let process t msg =
+  match msg with
+  | Barrier iv -> Ivar.fill iv ()
+  | Query { principal; query; ticket } ->
+    let decision =
+      try handle t ~principal query
+      with e ->
+        (* Fail closed even on bugs in the shard itself; the service's own
+           guard has already kept monitor state untouched. *)
+        let reason = Guard.Fault (Printexc.to_string e) in
+        (try Service.refuse t.service ~principal reason
+         with _ -> Monitor.Refused reason)
+    in
+    (match decision with
+    | Monitor.Answered -> Metrics.incr t.metrics Metrics.Answered
+    | Monitor.Refused _ -> Metrics.incr t.metrics Metrics.Refused);
+    ignore (Ivar.try_fill ticket decision)
+
+let run t =
+  let rec loop () =
+    match Mailbox.pop t.mailbox with
+    | None -> ()
+    | Some msg ->
+      process t msg;
+      loop ()
+  in
+  loop ()
+
+let start t =
+  match t.domain with
+  | Some _ -> invalid_arg "Shard.start: already started"
+  | None -> t.domain <- Some (Domain.spawn (fun () -> run t))
+
+let join t =
+  match t.domain with
+  | None -> ()
+  | Some d ->
+    Domain.join d;
+    t.domain <- None
+
+(* --- cache statistics -------------------------------------------------- *)
+
+type cache_stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  capacity : int;
+}
+
+let cache_stats t =
+  match t.cache with
+  | None -> { hits = 0; misses = 0; evictions = 0; entries = 0; capacity = 0 }
+  | Some c ->
+    {
+      hits = Label_cache.hits c;
+      misses = Label_cache.misses c;
+      evictions = Label_cache.evictions c;
+      entries = Label_cache.length c;
+      capacity = Label_cache.capacity c;
+    }

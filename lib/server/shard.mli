@@ -1,0 +1,69 @@
+(** One shard of the serving layer: a single-threaded
+    {!Disclosure.Service} plus an optional label cache, owned exclusively by
+    one worker domain draining a bounded mailbox. Because only the worker
+    (or the caller's domain strictly before {!start} / after {!join}) ever
+    touches the service, its journal channel, or the cache, none of them
+    need locks and the sequential service semantics carry over unchanged. *)
+
+type msg =
+  | Query of {
+      principal : string;
+      query : Cq.Query.t;
+      ticket : Disclosure.Monitor.decision Ivar.t;
+    }
+  | Barrier of unit Ivar.t
+      (** Control message: the worker fills the ivar when it reaches the
+          barrier, i.e. after every earlier message has been processed. *)
+
+type t
+
+val create :
+  index:int ->
+  ?limits:Disclosure.Guard.limits ->
+  ?journal:string ->
+  mailbox_capacity:int ->
+  cache_capacity:int ->
+  metrics:Metrics.t ->
+  Disclosure.Pipeline.t ->
+  t
+(** [cache_capacity = 0] disables the label cache. [journal], when given, is
+    this shard's own segment path (the server derives one per shard). The
+    shard's service reports stage timings into [metrics]. *)
+
+val index : t -> int
+
+val service : t -> Disclosure.Service.t
+(** The shard's underlying service. Must only be used before {!start} or
+    after {!join} (registration, recovery, snapshots) — while the worker
+    runs, the worker owns it. *)
+
+val mailbox : t -> msg Mailbox.t
+
+val handle : t -> principal:string -> Cq.Query.t -> Disclosure.Monitor.decision
+(** Process one query inline (cache lookup, labeling, decision, journal,
+    commit) on the calling domain. Called by the worker; exposed for
+    deterministic single-threaded tests. Decision-for-decision equivalent to
+    [Disclosure.Service.submit] on the shard's service. *)
+
+val process : t -> msg -> unit
+(** Handle one message and fill its ticket. Exposed for tests. *)
+
+val start : t -> unit
+(** Spawn the worker domain.
+    @raise Invalid_argument when already started. *)
+
+val join : t -> unit
+(** Wait for the worker to exit (it exits when the mailbox is closed and
+    drained). No-op when never started. *)
+
+type cache_stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  capacity : int;
+}
+
+val cache_stats : t -> cache_stats
+(** All zero when the cache is disabled. Exact only while the worker is
+    quiescent (before {!start}, after {!join}, or after a barrier). *)

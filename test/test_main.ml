@@ -27,4 +27,5 @@ let () =
       ("edge", Test_edge.suite);
       ("exhaustive", Test_exhaustive.suite);
       ("properties", Test_props.suite);
+      ("canon", Test_canon.suite);
     ]

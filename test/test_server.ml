@@ -1,0 +1,411 @@
+(* Tests for the sharded multicore serving layer (lib/server). A separate
+   executable from the main suite: these tests spawn domains, and the domain
+   count is driven by the SERVER_DOMAINS environment variable so the CI
+   alias can sweep 1, 2, and 4 (default 2).
+
+   The headline property is sequential equivalence: for any history, every
+   principal's decision sequence through the server is identical to replaying
+   the same queries through a single-threaded Disclosure.Service — sharding,
+   mailboxes, and the label cache must be invisible in the decisions. *)
+
+module Service = Disclosure.Service
+module Monitor = Disclosure.Monitor
+module Pipeline = Disclosure.Pipeline
+module Guard = Disclosure.Guard
+module Sview = Disclosure.Sview
+
+let domains =
+  match Sys.getenv_opt "SERVER_DOMAINS" with
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> n
+    | _ -> failwith ("bad SERVER_DOMAINS: " ^ s))
+  | None -> 2
+
+let pq = Cq.Parser.query_exn
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let v1 = Sview.of_string "V1(x, y) :- Meetings(x, y)"
+let v2 = Sview.of_string "V2(x) :- Meetings(x, y)"
+let v3 = Sview.of_string "V3(x, y, z) :- Contacts(x, y, z)"
+
+let pipeline () = Pipeline.create [ v1; v2; v3 ]
+
+let principals = [| "calendar-app"; "crm-app"; "hr-app"; "mail-app"; "todo-app" |]
+
+let register_all register =
+  register ~principal:"calendar-app" ~partitions:[ ("default", [ v2 ]) ];
+  register ~principal:"crm-app"
+    ~partitions:[ ("meetings", [ v1; v2 ]); ("contacts", [ v3 ]) ];
+  register ~principal:"hr-app" ~partitions:[ ("default", [ v3 ]) ];
+  register ~principal:"mail-app" ~partitions:[ ("default", [ v1; v3 ]) ];
+  register ~principal:"todo-app" ~partitions:[ ("default", [ v2; v3 ]) ]
+
+let make_server ?journal ?(cache_capacity = 256) ?(mailbox_capacity = 1024) () =
+  let server =
+    Server.create ?journal
+      ~config:{ Server.domains; mailbox_capacity; cache_capacity }
+      (pipeline ())
+  in
+  register_all (fun ~principal ~partitions -> Server.register server ~principal ~partitions);
+  server
+
+let make_service ?journal () =
+  let service = Service.create ?journal (pipeline ()) in
+  register_all (fun ~principal ~partitions ->
+      Service.register service ~principal ~partitions);
+  service
+
+let queries =
+  [|
+    pq "Q(x) :- Meetings(x, y)";
+    pq "Q(a) :- Meetings(a, b)";
+    pq "Q(x, y) :- Meetings(x, y)";
+    pq "Q(y) :- Meetings(x, y)";
+    pq "Q(x, y, z) :- Contacts(x, y, z)";
+    pq "Q(x) :- Contacts(x, y, z)";
+    pq "Q(x) :- Meetings(x, y), Contacts(y, e, p)";
+    pq "Q(x) :- Meetings(x, y), Meetings(x, z)";
+    pq "Q() :- Unknown(u)";
+  |]
+
+let random_history rng ~steps =
+  List.init steps (fun _ ->
+      ( principals.(Random.State.int rng (Array.length principals)),
+        queries.(Random.State.int rng (Array.length queries)) ))
+
+(* Per-principal decision sequences, in submission order. *)
+let group_by_principal pairs =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (principal, decision) ->
+      let prev = Option.value (Hashtbl.find_opt tbl principal) ~default:[] in
+      Hashtbl.replace tbl principal (decision :: prev))
+    pairs;
+  Array.to_list principals
+  |> List.map (fun p ->
+         (p, List.rev (Option.value (Hashtbl.find_opt tbl p) ~default:[])))
+
+let sequences_equal a b =
+  List.for_all2
+    (fun (p, ds) (p', ds') ->
+      String.equal p p'
+      && List.length ds = List.length ds'
+      && List.for_all2 Monitor.decision_equal ds ds')
+    a b
+
+(* --- sequential equivalence ------------------------------------------- *)
+
+let run_history_on_server server history =
+  let tickets =
+    List.map
+      (fun (principal, q) -> (principal, Server.submit server ~principal q))
+      history
+  in
+  List.map (fun (principal, ticket) -> (principal, Server.await ticket)) tickets
+
+let run_history_on_service service history =
+  List.map
+    (fun (principal, q) -> (principal, Service.submit service ~principal q))
+    history
+
+let test_sequential_equivalence () =
+  let rng = Random.State.make [| 0xACE |] in
+  for _history = 1 to 120 do
+    let history = random_history rng ~steps:(1 + Random.State.int rng 20) in
+    let server = make_server () in
+    Server.start server;
+    let server_decisions = run_history_on_server server history in
+    Server.drain server;
+    let server_snapshot = Server.snapshot server in
+    Server.stop server;
+    let service = make_service () in
+    let service_decisions = run_history_on_service service history in
+    check_bool "per-principal decision sequences match single-threaded replay" true
+      (sequences_equal
+         (group_by_principal server_decisions)
+         (group_by_principal service_decisions));
+    check_bool "final monitor states match single-threaded replay" true
+      (Service.snapshot service = server_snapshot)
+  done
+
+(* The same equivalence with the cache disabled: isolates sharding/mailbox
+   effects from cache effects. *)
+let test_sequential_equivalence_uncached () =
+  let rng = Random.State.make [| 0xBEE |] in
+  for _history = 1 to 40 do
+    let history = random_history rng ~steps:(1 + Random.State.int rng 20) in
+    let server = make_server ~cache_capacity:0 () in
+    Server.start server;
+    let decisions = run_history_on_server server history in
+    Server.drain server;
+    Server.stop server;
+    let service = make_service () in
+    let expected = run_history_on_service service history in
+    check_bool "uncached decision sequences match" true
+      (sequences_equal (group_by_principal decisions) (group_by_principal expected))
+  done
+
+(* A tiny LRU cache forces constant eviction; decisions must not change. *)
+let test_equivalence_under_eviction () =
+  let rng = Random.State.make [| 0xE51C7 |] in
+  let history = random_history rng ~steps:200 in
+  let server = make_server ~cache_capacity:2 () in
+  Server.start server;
+  let decisions = run_history_on_server server history in
+  Server.drain server;
+  let evictions = (Server.cache_stats server).Server.Shard.evictions in
+  Server.stop server;
+  let service = make_service () in
+  let expected = run_history_on_service service history in
+  check_bool "evicting cache still matches" true
+    (sequences_equal (group_by_principal decisions) (group_by_principal expected));
+  check_bool "evictions actually happened" true (evictions > 0)
+
+let test_cache_hits_across_variants () =
+  let server = make_server () in
+  Server.start server;
+  (* Same query three ways: verbatim, alpha-renamed, reordered+redundant. *)
+  List.iter
+    (fun q ->
+      check_bool "variant answered" true
+        (Server.submit_sync server ~principal:"calendar-app" q = Monitor.Answered))
+    [
+      pq "Q(x) :- Meetings(x, y)";
+      pq "Q(x) :- Meetings(x, y)";
+      pq "Q(a) :- Meetings(a, b)";
+      pq "Q(a) :- Meetings(a, b), Meetings(a, c)";
+    ];
+  Server.drain server;
+  let stats = Server.cache_stats server in
+  let metrics = Server.metrics server in
+  Server.stop server;
+  check_bool "repeats hit the cache" true (stats.Server.Shard.hits >= 3);
+  check_int "only the first labeling missed" 1
+    (Server.Metrics.count metrics Server.Metrics.Cache_miss)
+
+(* --- overload ---------------------------------------------------------- *)
+
+(* Submitting before [start] queues deterministically: with capacity 1, the
+   second query for the same shard must be shed as Refused Overload, with
+   the shed principal's monitor left bit-identical. *)
+let test_overload_sheds_fail_closed () =
+  let server = make_server ~mailbox_capacity:1 ~cache_capacity:0 () in
+  let before = Server.snapshot server in
+  let q = pq "Q(x) :- Meetings(x, y)" in
+  let t1 = Server.submit server ~principal:"calendar-app" q in
+  let t2 = Server.submit server ~principal:"calendar-app" q in
+  (match Server.Ivar.peek t2 with
+  | Some (Monitor.Refused Guard.Overload) -> ()
+  | Some d -> Alcotest.failf "expected Refused Overload, got %a" Monitor.pp_decision d
+  | None -> Alcotest.fail "shed ticket must resolve immediately");
+  check_bool "shed decision leaves every monitor bit-identical" true
+    (Server.snapshot server = before);
+  let metrics = Server.metrics server in
+  check_int "overload counted" 1 (Server.Metrics.count metrics Server.Metrics.Overloaded);
+  Server.start server;
+  check_bool "queued query still decided" true
+    (Server.await t1 = Monitor.Answered);
+  Server.drain server;
+  check_bool "only the accepted query reached the monitor" true
+    (Server.stats server ~principal:"calendar-app" = (1, 0));
+  Server.stop server
+
+let test_overload_refusal_tag () =
+  check_bool "overload tag roundtrips" true
+    (Guard.refusal_of_tag (Guard.refusal_to_tag Guard.Overload) = Some Guard.Overload);
+  check_bool "overload is not policy" true (not (Guard.refusal_equal Guard.Overload Guard.Policy))
+
+(* --- journal segments and recovery ------------------------------------- *)
+
+let with_tmp_base f =
+  let base = Filename.temp_file "disclosure-server" ".journal" in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun suffix -> try Sys.remove suffix with Sys_error _ -> ())
+        (Array.append [| base |]
+           (Array.init 8 (fun i -> Printf.sprintf "%s.shard%d" base i))))
+    (fun () -> f base)
+
+let test_segmented_recovery () =
+  with_tmp_base (fun base ->
+      let rng = Random.State.make [| 0x10C |] in
+      let history = random_history rng ~steps:60 in
+      let server = make_server ~journal:base () in
+      Server.start server;
+      ignore (run_history_on_server server history);
+      Server.drain server;
+      let live = Server.snapshot server in
+      Server.stop server;
+      (* Each shard wrote its own segment. *)
+      let segments =
+        List.init domains (fun i -> Printf.sprintf "%s.shard%d" base i)
+      in
+      List.iter
+        (fun s -> check_bool ("segment exists: " ^ s) true (Sys.file_exists s))
+        segments;
+      (* A fresh server over the same deployment recovers bit-identically. *)
+      let fresh = make_server () in
+      (match Server.recover fresh ~journal:base with
+      | Ok n -> check_int "all decisions replayed" (List.length history) n
+      | Error e -> Alcotest.fail e);
+      check_bool "recovered state = live state" true (Server.snapshot fresh = live);
+      Server.stop fresh)
+
+let test_recovery_tolerates_torn_segment () =
+  with_tmp_base (fun base ->
+      let server = make_server ~journal:base () in
+      Server.start server;
+      check_bool "setup answered" true
+        (Server.submit_sync server ~principal:"calendar-app" (pq "Q(x) :- Meetings(x, y)")
+        = Monitor.Answered);
+      Server.drain server;
+      let live = Server.snapshot server in
+      Server.stop server;
+      (* Simulate a crash mid-append on shard 0's segment: the record is cut
+         off inside the principal name, before the first tab. *)
+      let victim = base ^ ".shard0" in
+      let oc = open_out_gen [ Open_append ] 0o644 victim in
+      output_string oc "calendar-ap";
+      close_out oc;
+      let fresh = make_server () in
+      (match Server.recover fresh ~journal:base with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "torn final segment line must be tolerated: %s" e);
+      check_bool "recovered state ignores the torn line" true
+        (Server.snapshot fresh = live);
+      Server.stop fresh)
+
+(* --- lifecycle and misc ------------------------------------------------ *)
+
+let test_unknown_principal () =
+  let server = make_server () in
+  Alcotest.check_raises "unknown" (Service.Unknown_principal "nobody") (fun () ->
+      ignore (Server.submit server ~principal:"nobody" (pq "Q(x) :- Meetings(x, y)")));
+  Server.stop server
+
+let test_register_after_start_rejected () =
+  let server = make_server () in
+  Server.start server;
+  (try
+     Server.register server ~principal:"late-app" ~partitions:[ ("default", [ v2 ]) ];
+     Alcotest.fail "registration after start must be rejected"
+   with Invalid_argument _ -> ());
+  Server.stop server
+
+let test_stop_before_start_resolves_tickets () =
+  let server = make_server () in
+  let t = Server.submit server ~principal:"calendar-app" (pq "Q(x) :- Meetings(x, y)") in
+  Server.stop server;
+  match Server.await t with
+  | Monitor.Refused (Guard.Fault _) -> ()
+  | d -> Alcotest.failf "expected a fault refusal, got %a" Monitor.pp_decision d
+
+let test_metrics_accounting () =
+  let server = make_server () in
+  Server.start server;
+  let history =
+    List.concat_map
+      (fun _ -> [ ("calendar-app", queries.(0)); ("crm-app", queries.(4)) ])
+      [ 1; 2; 3 ]
+  in
+  ignore (run_history_on_server server history);
+  Server.drain server;
+  let m = Server.metrics server in
+  Server.stop server;
+  let module M = Server.Metrics in
+  check_int "submitted" 6 (M.count m M.Submitted);
+  check_int "all decided" 6 (M.count m M.Answered + M.count m M.Refused);
+  check_bool "decide stage observed" true ((M.histogram m M.Decide).M.count > 0);
+  check_bool "json shape" true
+    (let json = M.to_json m in
+     String.length json > 0 && json.[0] = '{' && String.length json > 50)
+
+(* --- mailbox, cache, ivar unit tests ----------------------------------- *)
+
+let test_mailbox () =
+  let mb = Server.Mailbox.create ~capacity:2 in
+  check_bool "push 1" true (Server.Mailbox.try_push mb 1);
+  check_bool "push 2" true (Server.Mailbox.try_push mb 2);
+  check_bool "push 3 refused at capacity" false (Server.Mailbox.try_push mb 3);
+  check_bool "pop 1" true (Server.Mailbox.pop mb = Some 1);
+  check_bool "push after pop" true (Server.Mailbox.try_push mb 4);
+  Server.Mailbox.close mb;
+  check_bool "push after close refused" false (Server.Mailbox.try_push mb 5);
+  check_bool "drains after close" true (Server.Mailbox.pop mb = Some 2);
+  check_bool "drains after close (2)" true (Server.Mailbox.pop mb = Some 4);
+  check_bool "empty after drain" true (Server.Mailbox.pop mb = None);
+  Alcotest.check_raises "capacity validated" (Invalid_argument
+      "Mailbox.create: capacity must be >= 1") (fun () ->
+      ignore (Server.Mailbox.create ~capacity:0))
+
+let test_label_cache_lru () =
+  let c = Server.Label_cache.create ~capacity:2 in
+  Server.Label_cache.add c "a" 1;
+  Server.Label_cache.add c "b" 2;
+  check_bool "hit a" true (Server.Label_cache.find c "a" = Some 1);
+  (* "b" is now least-recently-used; adding "c" evicts it. *)
+  Server.Label_cache.add c "c" 3;
+  check_bool "b evicted" true (Server.Label_cache.find c "b" = None);
+  check_bool "a survives" true (Server.Label_cache.find c "a" = Some 1);
+  check_bool "c present" true (Server.Label_cache.find c "c" = Some 3);
+  check_int "hits" 3 (Server.Label_cache.hits c);
+  check_int "misses" 1 (Server.Label_cache.misses c);
+  check_int "evictions" 1 (Server.Label_cache.evictions c);
+  check_int "length" 2 (Server.Label_cache.length c)
+
+let test_ivar () =
+  let iv = Server.Ivar.create () in
+  check_bool "empty" true (Server.Ivar.peek iv = None);
+  Server.Ivar.fill iv 42;
+  check_bool "filled" true (Server.Ivar.read iv = 42);
+  check_bool "second fill refused" false (Server.Ivar.try_fill iv 43);
+  check_bool "prefilled" true (Server.Ivar.read (Server.Ivar.create_filled 7) = 7)
+
+let () =
+  Printf.printf "SERVER_DOMAINS=%d\n%!" domains;
+  Alcotest.run "disclosure-server"
+    [
+      ( "equivalence",
+        [
+          Alcotest.test_case "server ≡ single-threaded service over 120 random histories"
+            `Quick test_sequential_equivalence;
+          Alcotest.test_case "uncached server ≡ service" `Quick
+            test_sequential_equivalence_uncached;
+          Alcotest.test_case "equivalence survives constant eviction" `Quick
+            test_equivalence_under_eviction;
+          Alcotest.test_case "cache hits across query variants" `Quick
+            test_cache_hits_across_variants;
+        ] );
+      ( "overload",
+        [
+          Alcotest.test_case "full mailbox sheds fail-closed" `Quick
+            test_overload_sheds_fail_closed;
+          Alcotest.test_case "overload refusal tag" `Quick test_overload_refusal_tag;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "segmented journals recover bit-identically" `Quick
+            test_segmented_recovery;
+          Alcotest.test_case "torn final segment line tolerated" `Quick
+            test_recovery_tolerates_torn_segment;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "unknown principal" `Quick test_unknown_principal;
+          Alcotest.test_case "no registration after start" `Quick
+            test_register_after_start_rejected;
+          Alcotest.test_case "stop before start resolves tickets" `Quick
+            test_stop_before_start_resolves_tickets;
+          Alcotest.test_case "metrics accounting" `Quick test_metrics_accounting;
+        ] );
+      ( "components",
+        [
+          Alcotest.test_case "bounded mailbox" `Quick test_mailbox;
+          Alcotest.test_case "label cache LRU" `Quick test_label_cache_lru;
+          Alcotest.test_case "ivar" `Quick test_ivar;
+        ] );
+    ]

@@ -202,6 +202,109 @@ let test_recover_equivalence_random () =
           (Service.snapshot fresh = live))
   done
 
+(* Run [f] with a reporter counting warnings from the service's log source,
+   restoring the previous reporter and level afterwards. *)
+let with_warn_counter f =
+  let count = ref 0 in
+  let reporter =
+    {
+      Logs.report =
+        (fun _src level ~over k _msgf ->
+          if level = Logs.Warning then incr count;
+          over ();
+          k ());
+    }
+  in
+  let old_reporter = Logs.reporter () in
+  let old_level = Logs.level () in
+  Logs.set_reporter reporter;
+  Logs.set_level (Some Logs.Warning);
+  Fun.protect
+    ~finally:(fun () ->
+      Logs.set_reporter old_reporter;
+      Logs.set_level old_level)
+    (fun () -> f count)
+
+(* Submissions after [close] still decide correctly but are no longer
+   durable; the first one warns (once), and recovery reproduces only the
+   pre-close prefix. *)
+let test_close_then_submit_warns () =
+  with_tmp_journal (fun path ->
+      with_warn_counter (fun warns ->
+          let service = make_journaled_service path in
+          ignore
+            (Service.submit service ~principal:"calendar-app" (pq "Q(x) :- Meetings(x, y)"));
+          Service.close service;
+          Helpers.check_int "no warning before the first post-close submit" 0 !warns;
+          Helpers.check_bool "post-close submission still decided" true
+            (Service.submit service ~principal:"calendar-app" (pq "Q(x) :- Meetings(x, y)")
+            = Monitor.Answered);
+          Helpers.check_int "first post-close submission warns" 1 !warns;
+          ignore
+            (Service.submit service ~principal:"crm-app" (pq "Q(x,y,z) :- Contacts(x,y,z)"));
+          Helpers.check_int "subsequent submissions stay silent" 1 !warns;
+          Helpers.check_bool "post-close decisions still commit" true
+            (Service.stats service ~principal:"calendar-app" = (2, 0));
+          (* The journal holds only the pre-close prefix. *)
+          let fresh = make_service () in
+          (match Service.recover fresh ~journal:path with
+          | Ok n -> Helpers.check_int "only the pre-close decision is durable" 1 n
+          | Error e -> Alcotest.fail e);
+          Helpers.check_bool "recovered stats reflect the prefix" true
+            (Service.stats fresh ~principal:"calendar-app" = (1, 0))))
+
+(* A crash mid-append can only truncate the final line from the right; such
+   damage is tolerated (replay stops at the last complete record). The same
+   damage anywhere else, or damage truncation cannot explain, stays fatal. *)
+let test_recover_torn_final_line () =
+  let append path s =
+    let oc = open_out_gen [ Open_append ] 0o644 path in
+    output_string oc s;
+    close_out oc
+  in
+  let run_history path =
+    let service = make_journaled_service path in
+    ignore (Service.submit service ~principal:"calendar-app" (pq "Q(x) :- Meetings(x, y)"));
+    ignore (Service.submit service ~principal:"crm-app" (pq "Q(x,y,z) :- Contacts(x,y,z)"));
+    let live = Service.snapshot service in
+    Service.close service;
+    live
+  in
+  (* Torn variants a partial write could leave: a cut inside the principal,
+     inside the label, inside "answered", inside a refusal tag. *)
+  List.iter
+    (fun torn ->
+      with_tmp_journal (fun path ->
+          with_warn_counter (fun warns ->
+              let live = run_history path in
+              append path torn;
+              let fresh = make_service () in
+              (match Service.recover fresh ~journal:path with
+              | Ok n -> Helpers.check_int ("applied up to torn " ^ String.escaped torn) 2 n
+              | Error e -> Alcotest.fail e);
+              Helpers.check_bool "state stops at the last complete record" true
+                (Service.snapshot fresh = live);
+              Helpers.check_int "torn line warns" 1 !warns)))
+    [ "calendar-ap"; "crm-app\t0:"; "calendar-app\t-\tansw"; "crm-app\t-\trefused:pol" ];
+  (* The same torn record followed by a complete line is corruption, not a
+     crash artifact. *)
+  with_tmp_journal (fun path ->
+      ignore (run_history path);
+      append path "calendar-app\t-\tansw\ncalendar-app\t-\treset\n";
+      let fresh = make_service () in
+      match Service.recover fresh ~journal:path with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "torn line before EOF must fail replay");
+  (* Damage truncation cannot produce — extra fields — is fatal even at the
+     end of the file. *)
+  with_tmp_journal (fun path ->
+      ignore (run_history path);
+      append path "calendar-app\t-\tanswered\textra";
+      let fresh = make_service () in
+      match Service.recover fresh ~journal:path with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "four-field line must fail replay")
+
 let test_label_decode_errors () =
   Helpers.check_bool "garbage" true (Result.is_error (Label.decode "zz"));
   Helpers.check_bool "missing colon" true (Result.is_error (Label.decode "12"));
@@ -224,4 +327,8 @@ let suite =
     Alcotest.test_case "recover error paths" `Quick test_recover_errors;
     Alcotest.test_case "recover ≡ live over 100 random histories" `Quick
       test_recover_equivalence_random;
+    Alcotest.test_case "close-then-submit warns and loses durability" `Quick
+      test_close_then_submit_warns;
+    Alcotest.test_case "recover tolerates a torn final line only" `Quick
+      test_recover_torn_final_line;
   ]
