@@ -591,7 +591,14 @@ let run_server () =
   let make_server ~domains ~cache_capacity =
     let server =
       Server.create
-        ~config:{ Server.domains; mailbox_capacity = n; cache_capacity }
+        ~config:
+          {
+            Server.domains;
+            mailbox_capacity = n;
+            cache_capacity;
+            checkpoint_every = 0;
+            segment_bytes = 0;
+          }
         pipeline
     in
     Array.iteri
@@ -685,6 +692,134 @@ let run_server () =
   Format.printf "(wrote %s)@." json_path
 
 (* ------------------------------------------------------------------ *)
+(* Journal recovery: full replay vs checkpoint + tail                  *)
+
+(* Recovery wall time as a function of history length, with and without
+   checkpoints (DESIGN.md §8). Replay is cheap per record (decode + mask
+   ops; no labeling), so recovery cost is linear in the journal — a
+   checkpoint replaces the covered prefix with an O(principals) snapshot
+   restore, making recovery cost proportional to the tail alone. *)
+let run_recover () =
+  let module Service = Disclosure.Service in
+  let pipeline = Fbschema.Fb_views.pipeline () in
+  let views = Array.of_list Fbschema.Fb_views.all in
+  let n_principals = 8 in
+  let principals = Array.init n_principals (Printf.sprintf "app-%d") in
+  let rng = Workload.Rng.create 7 in
+  let policies =
+    Array.map
+      (fun _ -> Policygen.partitions rng ~views ~max_partitions:2 ~max_elements:10)
+      principals
+  in
+  let make_service base =
+    let service = Service.create ?journal:base pipeline in
+    Array.iteri
+      (fun i principal ->
+        Service.register service ~principal ~partitions:policies.(i))
+      principals;
+    service
+  in
+  let rm f = try Sys.remove f with Sys_error _ -> () in
+  let cleanup base =
+    rm base;
+    rm (base ^ ".ckpt");
+    rm (base ^ ".ckpt.tmp");
+    for i = 1 to 64 do
+      rm (Printf.sprintf "%s.%d" base i)
+    done
+  in
+  let recover_time base =
+    (* Best of five: recovery is milliseconds, so take the min to cut noise. *)
+    let best = ref infinity and applied = ref 0 in
+    for _ = 1 to 5 do
+      let fresh = make_service None in
+      let _, t =
+        time_wall (fun () ->
+            match Service.recover fresh ~journal:base with
+            | Ok r -> applied := r.Service.applied
+            | Error e -> failwith (Service.recovery_error_to_string e))
+      in
+      if t < !best then best := t
+    done;
+    (!best, !applied)
+  in
+  Format.printf "@.== Journal recovery: full replay vs checkpoint + tail ==@.@.";
+  Format.printf "%-10s %14s %14s %16s %14s %10s@." "history" "journal (B)" "full replay"
+    "ckpt+tail" "tail records" "speedup";
+  let rows =
+    List.map
+      (fun history ->
+        let g = Querygen.create ~seed:(31337 + history) () in
+        let queries =
+          Array.init history (fun _ -> Querygen.generate g ~max_subqueries:1)
+        in
+        let submit_all service ~checkpoint_every =
+          Array.iteri
+            (fun i q ->
+              ignore
+                (Service.submit service ~principal:principals.(i mod n_principals) q);
+              if checkpoint_every > 0 && (i + 1) mod checkpoint_every = 0 then
+                match Service.checkpoint service with
+                | Ok () -> ()
+                | Error msg -> failwith msg)
+            queries
+        in
+        (* Full-replay run: one journal, no checkpoints. *)
+        let base_full = Filename.temp_file "bench_recover_full" ".journal" in
+        let live = make_service (Some base_full) in
+        submit_all live ~checkpoint_every:0;
+        Service.close live;
+        let live_snap = Service.snapshot live in
+        let journal_bytes = (Unix.stat base_full).Unix.st_size in
+        let full_s, applied_full = recover_time base_full in
+        (* Checkpointed run: same decisions, checkpoint every history/10. *)
+        let cadence = max 1 (history / 10) in
+        let base_ckpt = Filename.temp_file "bench_recover_ckpt" ".journal" in
+        let live_c = make_service (Some base_ckpt) in
+        submit_all live_c ~checkpoint_every:cadence;
+        Service.close live_c;
+        let ckpt_s, applied_ckpt = recover_time base_ckpt in
+        (* The recovered states must match the live run bit for bit. *)
+        let check = make_service None in
+        (match Service.recover check ~journal:base_ckpt with
+        | Ok _ ->
+          if Service.snapshot check <> live_snap then
+            failwith "checkpoint+tail recovery diverged from live state"
+        | Error e -> failwith (Service.recovery_error_to_string e));
+        cleanup base_full;
+        cleanup base_ckpt;
+        Format.printf "%-10d %14d %13.4fs %15.4fs %14d %9.1fx@." history journal_bytes
+          full_s ckpt_s applied_ckpt (full_s /. ckpt_s);
+        (history, journal_bytes, full_s, ckpt_s, cadence, applied_full, applied_ckpt))
+      [ 500; 2_000; 8_000 ]
+  in
+  Format.printf
+    "@.acceptance: checkpoint+tail recovery cost tracks the tail, not the history@.";
+  let json_path = Option.value options.server_json ~default:"BENCH_recover.json" in
+  let oc = open_out json_path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let row_json =
+        rows
+        |> List.map
+             (fun (history, bytes, full_s, ckpt_s, cadence, applied_full, applied_ckpt) ->
+               Printf.sprintf
+                 "{\"history\": %d, \"journal_bytes\": %d, \"full_replay_s\": %.6f, \"ckpt_tail_s\": %.6f, \"checkpoint_every\": %d, \"applied_full\": %d, \"applied_tail\": %d, \"speedup\": %.2f}"
+                 history bytes full_s ckpt_s cadence applied_full applied_ckpt
+                 (full_s /. ckpt_s))
+        |> String.concat ",\n    "
+      in
+      Printf.fprintf oc
+        "{\n\
+        \  \"benchmark\": \"recover\",\n\
+        \  \"principals\": %d,\n\
+        \  \"rows\": [\n    %s\n  ]\n\
+         }\n"
+        n_principals row_json);
+  Format.printf "(wrote %s)@." json_path
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 
 let run_micro () =
@@ -760,7 +895,7 @@ let () =
   parse_args ();
   let commands =
     if options.commands = [] then
-      [ "table2"; "fig3"; "fig5"; "fig6"; "ablation"; "guard"; "server"; "micro" ]
+      [ "table2"; "fig3"; "fig5"; "fig6"; "ablation"; "guard"; "server"; "recover"; "micro" ]
     else options.commands
   in
   Format.printf
@@ -775,6 +910,7 @@ let () =
       | "ablation" -> run_ablation ()
       | "guard" -> run_guard ()
       | "server" -> run_server ()
+      | "recover" -> run_recover ()
       | "micro" -> run_micro ()
       | "all" ->
         run_table2 ();
@@ -784,9 +920,10 @@ let () =
         run_ablation ();
         run_guard ();
         run_server ();
+        run_recover ();
         run_micro ()
       | other ->
         Format.printf
-          "unknown command %s (try table2|fig3|fig5|fig6|ablation|guard|server|micro)@."
+          "unknown command %s (try table2|fig3|fig5|fig6|ablation|guard|server|recover|micro)@."
           other)
     commands

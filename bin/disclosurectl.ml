@@ -403,6 +403,25 @@ let serve_cmd =
       & info [ "cache" ] ~docv:"N"
           ~doc:"Per-shard label-cache entries; 0 disables the cache.")
   in
+  let checkpoint_every_arg =
+    Arg.(
+      value
+      & opt int Server.default_config.Server.checkpoint_every
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:
+            "Checkpoint each shard's journal every $(docv) decisions (seal the \
+             active segment, snapshot monitor state to $(i,BASE).shard$(i,i).ckpt, \
+             compact covered segments); 0 disables. Requires $(b,--journal).")
+  in
+  let segment_bytes_arg =
+    Arg.(
+      value
+      & opt int Server.default_config.Server.segment_bytes
+      & info [ "segment-bytes" ] ~docv:"BYTES"
+          ~doc:
+            "Rotate a shard's active journal segment once it reaches $(docv) \
+             bytes; 0 never rotates. Requires $(b,--journal).")
+  in
   let stats_arg =
     Arg.(
       value & flag
@@ -410,7 +429,7 @@ let serve_cmd =
           ~doc:"Print serving metrics (counters, per-stage latency, cache) at exit.")
   in
   let run config_file syntax workload_file fuel deadline journal domains mailbox cache
-      stats =
+      checkpoint_every segment_bytes stats =
     let config =
       match Disclosure.Policyfile.parse_file config_file with
       | Ok c -> c
@@ -420,7 +439,13 @@ let serve_cmd =
     let server =
       Server.create ~limits ?journal
         ~config:
-          { Server.domains; mailbox_capacity = mailbox; cache_capacity = cache }
+          {
+            Server.domains;
+            mailbox_capacity = mailbox;
+            cache_capacity = cache;
+            checkpoint_every;
+            segment_bytes;
+          }
         (Pipeline.create config.Disclosure.Policyfile.views)
     in
     let resolve name =
@@ -503,7 +528,8 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ config_arg $ syntax_arg $ workload_arg $ fuel_arg $ deadline_arg
-      $ journal_arg $ domains_arg $ mailbox_arg $ cache_arg $ stats_arg)
+      $ journal_arg $ domains_arg $ mailbox_arg $ cache_arg $ checkpoint_every_arg
+      $ segment_bytes_arg $ stats_arg)
 
 (* --- analyze -------------------------------------------------------- *)
 

@@ -5,6 +5,9 @@ type stage =
   | Label
   | Decide
   | Journal
+  | Checkpoint
+  | Ckpt_rename
+  | Rotate
 
 type fault =
   | Exhaust_fuel
@@ -13,7 +16,9 @@ type fault =
 
 exception Injected of string
 
-let all_stages = [ Admission; Minimize; Dissect; Label; Decide; Journal ]
+let submission_stages = [ Admission; Minimize; Dissect; Label; Decide; Journal ]
+
+let all_stages = submission_stages @ [ Checkpoint; Ckpt_rename; Rotate ]
 
 let stage_index = function
   | Admission -> 0
@@ -22,6 +27,9 @@ let stage_index = function
   | Label -> 3
   | Decide -> 4
   | Journal -> 5
+  | Checkpoint -> 6
+  | Ckpt_rename -> 7
+  | Rotate -> 8
 
 let stage_name = function
   | Admission -> "admission"
@@ -30,6 +38,9 @@ let stage_name = function
   | Label -> "label"
   | Decide -> "decide"
   | Journal -> "journal"
+  | Checkpoint -> "checkpoint"
+  | Ckpt_rename -> "ckpt-rename"
+  | Rotate -> "rotate"
 
 (* One slot per stage. [n_armed] lets the hot path skip the array scan with a
    single integer load when no fault is armed — the common (production)

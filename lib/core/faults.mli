@@ -18,6 +18,9 @@ type stage =
   | Label  (** Before per-atom labeling. *)
   | Decide  (** Before the monitor's coverage evaluation. *)
   | Journal  (** Before the decision-journal append. *)
+  | Checkpoint  (** Before writing a checkpoint's temporary file. *)
+  | Ckpt_rename  (** Before the atomic tmp → [.ckpt] rename. *)
+  | Rotate  (** Before rotating the active journal segment. *)
 
 type fault =
   | Exhaust_fuel  (** Raise {!Cq.Budget.Exhausted}[ Fuel]. *)
@@ -27,6 +30,13 @@ type fault =
 exception Injected of string
 
 val all_stages : stage list
+
+val submission_stages : stage list
+(** The stages on the per-query submission path ([Admission] … [Journal]):
+    the fault-matrix suite asserts that a fault at any of these refuses the
+    query. The maintenance stages ([Checkpoint], [Ckpt_rename], [Rotate])
+    are not on that path — a fault there must {e not} refuse anything, only
+    fail the maintenance operation — so they are excluded here. *)
 
 val stage_name : stage -> string
 

@@ -1,0 +1,181 @@
+(* The v2 record codec: framing, escaping, CRC. Pure string-in/string-out so
+   the torture tests can exercise every byte offset without a file system in
+   the loop; Service owns the channels and the torn-vs-corrupt policy. *)
+
+let magic = "J2 "
+
+(* --- escaping --------------------------------------------------------- *)
+
+let must_escape c = c = '\\' || c = '\t' || c = '\n' || c = '\r'
+
+let escape s =
+  if not (String.exists must_escape s) then s
+  else begin
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\t' -> Buffer.add_string b "\\t"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\r' -> Buffer.add_string b "\\r"
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  end
+
+let unescape s =
+  if not (String.contains s '\\') then Ok s
+  else begin
+    let b = Buffer.create (String.length s) in
+    let n = String.length s in
+    let rec go i =
+      if i >= n then Ok (Buffer.contents b)
+      else
+        match s.[i] with
+        | '\\' ->
+          if i + 1 >= n then Error "dangling backslash"
+          else (
+            match s.[i + 1] with
+            | '\\' -> Buffer.add_char b '\\'; go (i + 2)
+            | 't' -> Buffer.add_char b '\t'; go (i + 2)
+            | 'n' -> Buffer.add_char b '\n'; go (i + 2)
+            | 'r' -> Buffer.add_char b '\r'; go (i + 2)
+            | c -> Error (Printf.sprintf "unknown escape \\%c" c))
+        | c ->
+          Buffer.add_char b c;
+          go (i + 1)
+    in
+    go 0
+  end
+
+(* --- CRC-32 (reflected, zlib polynomial) ------------------------------- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 <> 0 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  String.iter (fun ch -> c := table.((!c lxor Char.code ch) land 0xFF) lxor (!c lsr 8)) s;
+  !c lxor 0xFFFFFFFF
+
+(* --- framing ----------------------------------------------------------- *)
+
+let encode fields =
+  let payload = String.concat "\t" (List.map escape fields) in
+  Printf.sprintf "%s%08x %d %s\n" magic (crc32 payload) (String.length payload) payload
+
+type record = {
+  offset : int;
+  fields : string list;
+}
+
+type torn = {
+  torn_offset : int;
+  torn_reason : string;
+}
+
+type corrupt = {
+  corrupt_offset : int;
+  corrupt_reason : string;
+}
+
+let is_hex = function '0' .. '9' | 'a' .. 'f' -> true | _ -> false
+let is_digit = function '0' .. '9' -> true | _ -> false
+
+(* One complete line (no newline included), or Error why it is not a valid
+   record. The same check serves both the committed-record path (where a
+   failure is corruption) and the tail path (where it is torn damage). *)
+let parse_line line =
+  let n = String.length line in
+  if n < 3 || String.sub line 0 3 <> magic then Error "bad record magic"
+  else if n < 12 then Error "record header truncated"
+  else begin
+    let crc_ok = ref true in
+    for i = 3 to 10 do
+      if not (is_hex line.[i]) then crc_ok := false
+    done;
+    if (not !crc_ok) || line.[11] <> ' ' then Error "malformed CRC field"
+    else begin
+      let j = ref 12 in
+      while !j < n && is_digit line.[!j] do incr j done;
+      if !j = 12 || !j >= n || line.[!j] <> ' ' then Error "malformed length field"
+      else begin
+        let crc = int_of_string ("0x" ^ String.sub line 3 8) in
+        let len = int_of_string (String.sub line 12 (!j - 12)) in
+        let payload = String.sub line (!j + 1) (n - !j - 1) in
+        if String.length payload <> len then
+          Error
+            (Printf.sprintf "length mismatch: header says %d bytes, record has %d" len
+               (String.length payload))
+        else if crc32 payload <> crc then
+          Error (Printf.sprintf "CRC mismatch (expected %08x, computed %08x)" crc (crc32 payload))
+        else begin
+          let rec unescape_all = function
+            | [] -> Ok []
+            | f :: rest -> (
+              match unescape f with
+              | Error e -> Error e
+              | Ok f -> (
+                match unescape_all rest with
+                | Error e -> Error e
+                | Ok rest -> Ok (f :: rest)))
+          in
+          match unescape_all (String.split_on_char '\t' payload) with
+          | Error e -> Error ("invalid field escape: " ^ e)
+          | Ok fields -> Ok fields
+        end
+      end
+    end
+  end
+
+let parse content =
+  let n = String.length content in
+  let rec go offset acc =
+    if offset >= n then Ok (List.rev acc, None)
+    else
+      match String.index_from_opt content offset '\n' with
+      | None ->
+        (* File ends without a newline: the commit point of the final record
+           never made it to disk. Whatever the bytes say — even a payload
+           that happens to check out — the record is uncommitted, which is
+           precisely the state a torn append leaves behind. *)
+        let tail = String.sub content offset (n - offset) in
+        let reason =
+          match parse_line tail with
+          | Ok _ -> "record missing its trailing newline"
+          | Error e -> e
+        in
+        Ok (List.rev acc, Some { torn_offset = offset; torn_reason = reason })
+      | Some nl -> (
+        let line = String.sub content offset (nl - offset) in
+        match parse_line line with
+        | Ok fields -> go (nl + 1) ({ offset; fields } :: acc)
+        | Error reason -> Error { corrupt_offset = offset; corrupt_reason = reason })
+  in
+  go 0 []
+
+let read_file path =
+  let ic = open_in_bin path in
+  let content =
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> In_channel.input_all ic)
+  in
+  parse content
+
+let is_v2_file path =
+  match open_in_bin path with
+  | exception Sys_error _ -> false
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        match really_input_string ic 3 with
+        | s -> s = magic
+        | exception End_of_file -> false)

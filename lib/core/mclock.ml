@@ -1,0 +1,5 @@
+let now_ns () = Monotonic_clock.now ()
+
+let elapsed_s ~since =
+  let dt = Int64.to_float (Int64.sub (now_ns ()) since) /. 1e9 in
+  if dt < 0.0 then 0.0 else dt

@@ -1,0 +1,20 @@
+(** Monotonic time for latency measurement.
+
+    [Unix.gettimeofday] is wall-clock time: an NTP step (or a manual clock
+    change) mid-measurement yields negative or wildly inflated intervals.
+    Every latency observation in the service and serving layer goes through
+    this module instead, which reads [CLOCK_MONOTONIC] (via the
+    [bechamel.monotonic_clock] stub, the only monotonic source available to
+    OCaml 5.1's stdlib-less [Unix]).
+
+    Wall-clock time remains the right tool for deadlines against the outside
+    world and for timestamps; this module is only for {e intervals}. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds on the monotonic clock. The origin is arbitrary (boot time on
+    Linux); only differences are meaningful. *)
+
+val elapsed_s : since:int64 -> float
+(** Seconds elapsed since a previous {!now_ns} reading, clamped at [0.0] as a
+    floor — a defensive guarantee kept even on a monotonic source, so no
+    downstream histogram can ever see a negative sample. *)

@@ -81,6 +81,15 @@ let reset t =
   t.answered <- 0;
   t.refused <- 0
 
+let restore t (s : state) =
+  if s.alive_mask land lnot t.initial <> 0 then
+    invalid_arg "Monitor.restore: alive mask has bits outside the policy's partitions";
+  if s.answered_count < 0 || s.refused_count < 0 then
+    invalid_arg "Monitor.restore: negative counter";
+  t.alive <- s.alive_mask;
+  t.answered <- s.answered_count;
+  t.refused <- s.refused_count
+
 let is_answered = function
   | Answered -> true
   | Refused _ -> false

@@ -76,6 +76,14 @@ val state : t -> state
 val reset : t -> unit
 (** Forget the history: all partitions alive again, counters cleared. *)
 
+val restore : t -> state -> unit
+(** Overwrite the monitor's mutable state from a snapshot — checkpoint
+    recovery in {!Service.recover} uses this to resume from a serialized
+    state instead of replaying the whole history.
+    @raise Invalid_argument when the snapshot's alive mask has bits outside
+    the policy's partitions or a counter is negative (a checkpoint for a
+    different policy shape must not restore silently). *)
+
 val is_answered : decision -> bool
 
 val is_refused : decision -> bool

@@ -2,20 +2,37 @@ let src = Logs.Src.create "disclosure.service" ~doc:"Disclosure-control referenc
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
+type journal_format = [ `V2 | `Legacy ]
+
+type journal_cfg = {
+  base : string;
+  format : journal_format;
+  segment_bytes : int; (* rotation threshold; 0 = never rotate *)
+}
+
+type open_journal = {
+  mutable oc : out_channel;
+  mutable bytes : int; (* size of the active segment *)
+}
+
 type journal_state =
   | No_journal
-  | Open_journal of out_channel
+  | Open_journal of open_journal
   | Closed_journal
 
 type observation = {
-  stage : [ `Label | `Decide | `Journal ];
+  stage : [ `Label | `Decide | `Journal | `Checkpoint | `Rotate ];
   seconds : float;
 }
 
 type t = {
   pipeline : Pipeline.t;
   limits : Guard.limits;
+  jcfg : journal_cfg option;
   mutable journal : journal_state;
+  mutable seq : int; (* index the next rotated segment will get *)
+  mutable rotations : int;
+  mutable checkpoints : int;
   mutable warned_closed : bool;
   observe : (observation -> unit) option;
   monitors : (string, Monitor.t) Hashtbl.t;
@@ -25,16 +42,67 @@ type t = {
 exception Unknown_principal of string
 exception Duplicate_principal of string
 
-let create ?(limits = Guard.no_limits) ?journal ?observe pipeline =
-  let journal =
-    match journal with
-    | None -> No_journal
-    | Some path -> Open_journal (open_out_gen [ Open_append; Open_creat ] 0o644 path)
+(* --- journal file layout ---------------------------------------------- *)
+
+let ckpt_path base = base ^ ".ckpt"
+
+let ckpt_tmp_path base = base ^ ".ckpt.tmp"
+
+let segment_file base i = Printf.sprintf "%s.%d" base i
+
+(* Rotated segments of [base], sorted by index. Non-numeric suffixes
+   (".ckpt", a server's ".shard0") never parse as segment indices. *)
+let rotated_segments base =
+  let dir = Filename.dirname base in
+  let prefix = Filename.basename base ^ "." in
+  let plen = String.length prefix in
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | entries ->
+    Array.to_list entries
+    |> List.filter_map (fun entry ->
+           if String.length entry > plen && String.sub entry 0 plen = prefix then
+             match int_of_string_opt (String.sub entry plen (String.length entry - plen)) with
+             | Some i when i >= 1 -> Some (i, Filename.concat dir entry)
+             | _ -> None
+           else None)
+    |> List.sort compare
+
+(* The checkpoint's coverage bound, used only to seed the rotation sequence
+   at [create]; recovery re-validates the checkpoint properly. *)
+let ckpt_covers base =
+  let path = ckpt_path base in
+  if not (Sys.file_exists path) then 0
+  else
+    match Journal.read_file path with
+    | Ok ({ Journal.fields = "ckpt" :: "2" :: covers :: _; _ } :: _, None) ->
+      Option.value (int_of_string_opt covers) ~default:0
+    | Ok _ | Error _ | (exception Sys_error _) -> 0
+
+let file_size path = match Unix.stat path with { Unix.st_size; _ } -> st_size | exception Unix.Unix_error _ -> 0
+
+let create ?(limits = Guard.no_limits) ?journal ?(journal_format = `V2) ?(segment_bytes = 0)
+    ?observe pipeline =
+  if segment_bytes < 0 then invalid_arg "Service.create: segment_bytes must be >= 0";
+  let jcfg =
+    Option.map (fun base -> { base; format = journal_format; segment_bytes }) journal
+  in
+  let journal, seq =
+    match jcfg with
+    | None -> (No_journal, 1)
+    | Some { base; _ } ->
+      let oc = open_out_gen [ Open_append; Open_creat ] 0o644 base in
+      let max_seg = List.fold_left (fun acc (i, _) -> max acc i) 0 (rotated_segments base) in
+      (Open_journal { oc; bytes = file_size base }, max max_seg (ckpt_covers base) + 1)
   in
   {
     pipeline;
     limits;
+    jcfg;
     journal;
+    seq;
+    rotations = 0;
+    checkpoints = 0;
     warned_closed = false;
     observe;
     monitors = Hashtbl.create 16;
@@ -44,29 +112,31 @@ let create ?(limits = Guard.no_limits) ?journal ?observe pipeline =
 let close t =
   match t.journal with
   | No_journal | Closed_journal -> ()
-  | Open_journal oc ->
-    close_out oc;
+  | Open_journal j ->
+    close_out j.oc;
     t.journal <- Closed_journal
 
 (* Instrumented sections for the serving layer's metrics: only pay for a
-   clock read when an observer is attached. *)
+   clock read when an observer is attached. Monotonic time — a wall-clock
+   step (NTP) must not poison the latency histograms. *)
 let observed t stage f =
   match t.observe with
   | None -> f ()
   | Some observe ->
-    let t0 = Unix.gettimeofday () in
-    let finish () = observe { stage; seconds = Unix.gettimeofday () -. t0 } in
+    let t0 = Mclock.now_ns () in
+    let finish () = observe { stage; seconds = Mclock.elapsed_s ~since:t0 } in
     Fun.protect ~finally:finish f
 
 let pipeline t = t.pipeline
 
 let limits t = t.limits
 
+let rotation_count t = t.rotations
+
+let checkpoint_count t = t.checkpoints
+
 let register t ~principal ~partitions =
   if Hashtbl.mem t.monitors principal then raise (Duplicate_principal principal);
-  (* Journal lines are TAB-separated, one decision per line. *)
-  if String.exists (fun c -> c = '\t' || c = '\n' || c = '\r') principal then
-    invalid_arg "Service.register: principal names may not contain tabs or newlines";
   if principal = "" then invalid_arg "Service.register: empty principal name";
   let policy = Policy.make (Pipeline.registry t.pipeline) partitions in
   Hashtbl.add t.monitors principal (Monitor.create policy);
@@ -84,13 +154,51 @@ let monitor_of t principal =
   | Some m -> m
   | None -> raise (Unknown_principal principal)
 
-(* --- decision journal ------------------------------------------------ *)
+(* --- decision journal ------------------------------------------------- *)
 
-(* One line per decision: principal TAB label TAB decision. The label is
-   [Label.encode]'s hex form, or "-" when the decision was reached before a
-   label existed (admission/labeling refusals). Appends are flushed so the
-   journal never trails a committed decision; the [Journal] fault stage trips
-   before the write so tests can force the append to fail. *)
+(* One record per decision: (principal, label, decision), where the label is
+   [Label.encode]'s hex form ("-" when the decision was reached before a
+   label existed) and the decision is "answered", "refused:<tag>", or
+   "reset". The v2 format (Journal) frames, escapes, and checksums each
+   record; the legacy format is the raw TAB-separated line, kept only for
+   replaying pre-v2 journals — writing it refuses fields that contain the
+   separators it cannot escape. Appends are flushed so the journal never
+   trails a committed decision; the [Journal] fault stage trips before the
+   write so tests can force the append to fail. *)
+
+let field_has_separator s = String.exists (fun c -> c = '\t' || c = '\n' || c = '\r') s
+
+(* Rotate the active segment: close, rename to the next numbered segment,
+   reopen a fresh active file. Raises on failure, but always leaves [j.oc]
+   an open channel on [base] so the journal survives a failed rotation. *)
+let rotate_exn t cfg j =
+  observed t `Rotate (fun () ->
+      Faults.trip Faults.Rotate;
+      close_out j.oc;
+      let reopen () =
+        j.oc <- open_out_gen [ Open_append; Open_creat ] 0o644 cfg.base;
+        j.bytes <- file_size cfg.base
+      in
+      match Sys.rename cfg.base (segment_file cfg.base t.seq) with
+      | () ->
+        t.seq <- t.seq + 1;
+        t.rotations <- t.rotations + 1;
+        reopen ()
+      | exception e ->
+        reopen ();
+        raise e)
+
+let maybe_rotate t cfg j =
+  if cfg.segment_bytes > 0 && j.bytes >= cfg.segment_bytes then
+    try rotate_exn t cfg j
+    with e ->
+      (* The decision's record is already durable in the active segment;
+         a failed rotation only delays compaction, so it must not surface
+         as a refusal. *)
+      Log.warn (fun m ->
+          m "journal rotation failed (continuing on the active segment): %s"
+            (Printexc.to_string e))
+
 let journal_append t ~principal ~label ~decision =
   match
     observed t `Journal (fun () ->
@@ -106,21 +214,116 @@ let journal_append t ~principal ~label ~decision =
                    is lost from here on (decision for %s not journaled)"
                   principal)
           end
-        | Open_journal oc ->
-          output_string oc principal;
-          output_char oc '\t';
-          output_string oc label;
-          output_char oc '\t';
-          output_string oc decision;
-          output_char oc '\n';
-          flush oc)
+        | Open_journal j -> (
+          let cfg = Option.get t.jcfg in
+          match cfg.format with
+          | `V2 ->
+            let record = Journal.encode [ principal; label; decision ] in
+            output_string j.oc record;
+            flush j.oc;
+            j.bytes <- j.bytes + String.length record;
+            maybe_rotate t cfg j
+          | `Legacy ->
+            (* The legacy line format cannot escape its separators: a hostile
+               principal name would forge record boundaries. Refuse at submit
+               time, before anything reaches the file. *)
+            if
+              field_has_separator principal || field_has_separator label
+              || field_has_separator decision
+            then
+              raise
+                (Guard.Refuse
+                   (Guard.Malformed
+                      "journal field contains a tab or newline the legacy format cannot escape"));
+            output_string j.oc principal;
+            output_char j.oc '\t';
+            output_string j.oc label;
+            output_char j.oc '\t';
+            output_string j.oc decision;
+            output_char j.oc '\n';
+            flush j.oc))
   with
   | () -> Ok ()
+  | exception Guard.Refuse reason -> Error reason
   | exception e -> Error (Guard.Fault ("journal append: " ^ Printexc.to_string e))
 
 let refused_line reason = "refused:" ^ Guard.refusal_to_tag reason
 
-(* --- guarded submission ---------------------------------------------- *)
+(* --- checkpoints ------------------------------------------------------- *)
+
+(* Serialize every monitor's state with the same record codec as the
+   journal: a header record carrying the covered-segment bound, then one
+   record per principal. Written to <base>.ckpt.tmp, fsynced, and renamed
+   into place, so a crash anywhere leaves either the old checkpoint or the
+   new one — never a partial file under the .ckpt name. *)
+let checkpoint t =
+  match (t.journal, t.jcfg) with
+  | (No_journal, _ | _, None) -> Error "Service.checkpoint: no journal configured"
+  | Closed_journal, _ -> Error "Service.checkpoint: journal is closed"
+  | Open_journal j, Some cfg -> (
+    match cfg.format with
+    | `Legacy -> Error "Service.checkpoint: requires the v2 journal format"
+    | `V2 -> (
+      match
+        observed t `Checkpoint (fun () ->
+            (* Rotate first: the snapshot below covers everything appended so
+               far, so the active segment must be sealed under a numbered
+               name or recovery would replay its records on top of the
+               checkpoint. A failed rotation aborts the checkpoint. *)
+            if j.bytes > 0 then rotate_exn t cfg j;
+            let covers = t.seq - 1 in
+            let buf = Buffer.create 256 in
+            let ps = principals t in
+            Buffer.add_string buf
+              (Journal.encode
+                 [ "ckpt"; "2"; string_of_int covers; string_of_int (List.length ps) ]);
+            List.iter
+              (fun principal ->
+                let st = Monitor.state (monitor_of t principal) in
+                Buffer.add_string buf
+                  (Journal.encode
+                     [
+                       "p";
+                       principal;
+                       Printf.sprintf "%x" st.Monitor.alive_mask;
+                       string_of_int st.Monitor.answered_count;
+                       string_of_int st.Monitor.refused_count;
+                     ]))
+              ps;
+            let tmp = ckpt_tmp_path cfg.base in
+            Faults.trip Faults.Checkpoint;
+            let oc = open_out_bin tmp in
+            (try
+               Buffer.output_buffer oc buf;
+               flush oc;
+               Unix.fsync (Unix.descr_of_out_channel oc);
+               close_out oc
+             with e ->
+               close_out_noerr oc;
+               (try Sys.remove tmp with Sys_error _ -> ());
+               raise e);
+            (try
+               Faults.trip Faults.Ckpt_rename;
+               Sys.rename tmp (ckpt_path cfg.base)
+             with e ->
+               (try Sys.remove tmp with Sys_error _ -> ());
+               raise e);
+            t.checkpoints <- t.checkpoints + 1;
+            (* Compaction: segments at or below the bound are superseded by
+               the checkpoint. A failed delete only leaves garbage recovery
+               will skip. *)
+            List.iter
+              (fun (i, path) ->
+                if i <= covers then
+                  try Sys.remove path
+                  with Sys_error msg ->
+                    Log.warn (fun m -> m "compaction could not remove %s: %s" path msg))
+              (rotated_segments cfg.base))
+      with
+      | () -> Ok ()
+      | exception e -> Error ("checkpoint failed: " ^ Printexc.to_string e)))
+
+(* --- guarded submission ----------------------------------------------- *)
 
 let guarded_label t q =
   observed t `Label (fun () ->
@@ -232,92 +435,283 @@ let reset t ~principal =
   Monitor.reset (monitor_of t principal);
   ignore (journal_append t ~principal ~label:"-" ~decision:"reset")
 
-(* --- snapshot & recovery --------------------------------------------- *)
+(* --- snapshot & recovery ----------------------------------------------- *)
 
 let snapshot t =
   List.map (fun principal -> (principal, Monitor.state (monitor_of t principal))) (principals t)
 
-let recover t ~journal =
-  match
-    let ic = open_in journal in
+type recovery_error = {
+  file : string;
+  offset : int;
+  kind : [ `Io | `Corrupt_record | `Corrupt_checkpoint | `Replay ];
+  detail : string;
+}
+
+let recovery_error_to_string e = Printf.sprintf "%s:%d: %s" e.file e.offset e.detail
+
+type recovery = {
+  applied : int;
+  from_checkpoint : bool;
+  torn_tail : bool;
+}
+
+(* Re-apply one journaled decision. [Error (kind, msg)] is always fatal for
+   a complete record: a CRC-valid v2 record (or a complete legacy line) with
+   an unknown principal, an undecodable label, or a replay disagreement is
+   damage truncation cannot explain. *)
+let apply_decision t ~principal ~label_s ~decision =
+  match Hashtbl.find_opt t.monitors principal with
+  | None -> Error (`Replay, Printf.sprintf "unknown principal %S" principal)
+  | Some m -> (
+    match decision with
+    | "reset" ->
+      Monitor.reset m;
+      Ok ()
+    | "answered" -> (
+      match Label.decode (if label_s = "-" then "" else label_s) with
+      | Error e -> Error (`Replay, e)
+      | Ok label -> (
+        match Monitor.evaluate m label with
+        | Some surviving ->
+          Monitor.commit_answer m ~surviving;
+          Ok ()
+        | None ->
+          Error
+            ( `Replay,
+              "journaled answer is refused on replay — journal and policy configuration \
+               disagree" )))
+    | _ -> (
+      match String.length decision >= 8 && String.sub decision 0 8 = "refused:" with
+      | false -> Error (`Replay, Printf.sprintf "unknown decision %S" decision)
+      | true -> (
+        let tag = String.sub decision 8 (String.length decision - 8) in
+        match Guard.refusal_of_tag tag with
+        | None -> Error (`Replay, Printf.sprintf "unknown refusal tag %S" tag)
+        | Some Guard.Policy ->
+          (* Only policy refusals touched the live monitor. *)
+          Monitor.commit_refusal m;
+          Ok ()
+        | Some _ -> Ok ())))
+
+(* Replay one v2 segment. The framing layer (Journal) has already separated
+   torn-tail damage from corruption; a torn tail is tolerated only in the
+   final file of the replay sequence — an interior segment was sealed by
+   rotation and cannot legitimately end mid-record. *)
+let replay_v2 t ~file ~tolerate_torn =
+  match Journal.read_file file with
+  | exception Sys_error msg -> Error { file; offset = 0; kind = `Io; detail = msg }
+  | Error c ->
+    Error
+      { file; offset = c.Journal.corrupt_offset; kind = `Corrupt_record;
+        detail = c.Journal.corrupt_reason }
+  | Ok (records, torn) -> (
+    match torn with
+    | Some torn when not tolerate_torn ->
+      Error
+        {
+          file;
+          offset = torn.Journal.torn_offset;
+          kind = `Corrupt_record;
+          detail =
+            "torn record in a sealed (non-final) segment — rotation closes segments \
+             cleanly, so this is corruption: " ^ torn.Journal.torn_reason;
+        }
+    | _ ->
+      Option.iter
+        (fun (tr : Journal.torn) ->
+          Log.warn (fun m ->
+              m "%s: dropping torn final record at byte %d (partial write at crash): %s"
+                file tr.Journal.torn_offset tr.Journal.torn_reason))
+        torn;
+      let rec loop applied = function
+        | [] -> Ok (applied, torn <> None)
+        | ({ Journal.offset; fields } : Journal.record) :: rest -> (
+          match fields with
+          | [ principal; label_s; decision ] -> (
+            match apply_decision t ~principal ~label_s ~decision with
+            | Ok () -> loop (applied + 1) rest
+            | Error (kind, detail) -> Error { file; offset; kind; detail })
+          | _ ->
+            Error
+              {
+                file;
+                offset;
+                kind = `Corrupt_record;
+                detail =
+                  Printf.sprintf "record has %d field(s), decision records have 3"
+                    (List.length fields);
+              })
+      in
+      loop 0 records)
+
+(* Replay one legacy TSV segment (pre-v2 journals). Without framing, torn
+   damage is recognized structurally: an error that truncation from the
+   right could explain (missing fields, a strict prefix of a valid decision
+   or refusal tag), on the file's final line only. *)
+let replay_legacy t ~file ~tolerate_torn =
+  match open_in file with
+  | exception Sys_error msg -> Error { file; offset = 0; kind = `Io; detail = msg }
+  | ic ->
     Fun.protect
-      ~finally:(fun () -> close_in ic)
+      ~finally:(fun () -> close_in_noerr ic)
       (fun () ->
-        Hashtbl.iter (fun _ m -> Monitor.reset m) t.monitors;
-        (* Classify and apply one line. [`Torn msg] is an error a partial
-           append at crash time could have produced — truncation eats the
-           line from the right, leaving a missing field or a strict prefix of
-           a valid decision or refusal tag. Such a line is tolerated when it
-           is the file's last (the journal simply ends one record early) and
-           fatal anywhere else. Errors truncation cannot explain — an unknown
-           principal or undecodable label in an otherwise complete record, a
-           replay disagreement, too many fields — are always fatal. *)
         let apply lineno line =
           let torn fmt = Printf.ksprintf (fun s -> `Torn s) fmt in
-          let fatal fmt = Printf.ksprintf (fun s -> `Fatal s) fmt in
+          let fatal kind fmt = Printf.ksprintf (fun s -> `Fatal (kind, s)) fmt in
           if String.trim line = "" then `Noop
           else
             match String.split_on_char '\t' line with
             | [ principal; label_s; decision ] -> (
-              match Hashtbl.find_opt t.monitors principal with
-              | None -> fatal "%s:%d: unknown principal %s" journal lineno principal
-              | Some m -> (
-                match decision with
-                | "reset" ->
-                  Monitor.reset m;
-                  `Applied
-                | "answered" -> (
-                  match Label.decode (if label_s = "-" then "" else label_s) with
-                  | Error e -> fatal "%s:%d: %s" journal lineno e
-                  | Ok label -> (
-                    match Monitor.evaluate m label with
-                    | Some surviving ->
-                      Monitor.commit_answer m ~surviving;
-                      `Applied
-                    | None ->
-                      fatal
-                        "%s:%d: journaled answer is refused on replay — journal and \
-                         policy configuration disagree"
-                        journal lineno))
-                | _ -> (
-                  match
-                    String.length decision >= 8 && String.sub decision 0 8 = "refused:"
-                  with
-                  | false -> torn "%s:%d: unknown decision %S" journal lineno decision
-                  | true -> (
-                    let tag =
-                      String.sub decision 8 (String.length decision - 8)
-                    in
-                    match Guard.refusal_of_tag tag with
-                    | None -> torn "%s:%d: unknown refusal tag %S" journal lineno tag
-                    | Some Guard.Policy ->
-                      (* Only policy refusals touched the live monitor. *)
-                      Monitor.commit_refusal m;
-                      `Applied
-                    | Some _ -> `Applied))))
-            | _ :: _ :: _ :: _ :: _ ->
-              fatal "%s:%d: malformed journal line %S" journal lineno line
-            | _ -> torn "%s:%d: malformed journal line %S" journal lineno line
+              match apply_decision t ~principal ~label_s ~decision with
+              | Ok () -> `Applied
+              | Error (kind, msg) -> (
+                (* Only damage truncation could have produced is torn: an
+                   unknown decision word or refusal tag that is a strict
+                   prefix of a valid one. Unknown principals, undecodable
+                   labels, and replay disagreements are complete-record
+                   errors and stay fatal. *)
+                let is_prefix_of whole part =
+                  String.length part < String.length whole
+                  && String.sub whole 0 (String.length part) = part
+                in
+                let truncation_damage =
+                  is_prefix_of "answered" decision || is_prefix_of "reset" decision
+                  || is_prefix_of "refused:" decision
+                  || (String.length decision >= 8
+                     && String.sub decision 0 8 = "refused:"
+                     && Guard.refusal_of_tag
+                          (String.sub decision 8 (String.length decision - 8))
+                        = None)
+                in
+                match (kind, truncation_damage) with
+                | `Replay, true -> torn "%s:%d: truncated decision %S" file lineno decision
+                | kind, _ -> fatal kind "%s:%d: %s" file lineno msg))
+            | _ :: _ :: _ :: _ :: _ -> fatal `Corrupt_record "%s:%d: malformed journal line %S" file lineno line
+            | _ -> torn "%s:%d: malformed journal line %S" file lineno line
         in
         let rec loop lineno pending applied =
           match pending with
-          | None -> Ok applied
+          | None -> Ok (applied, false)
           | Some line -> (
             let next = In_channel.input_line ic in
             match apply lineno line with
             | `Noop -> loop (lineno + 1) next applied
             | `Applied -> loop (lineno + 1) next (applied + 1)
-            | `Fatal msg -> Error msg
+            | `Fatal (kind, msg) -> Error { file; offset = lineno; kind; detail = msg }
             | `Torn msg ->
-              if next = None then begin
+              if next = None && tolerate_torn then begin
                 Log.warn (fun m ->
-                    m "stopping at torn final journal line (partial write at crash): %s"
-                      msg);
-                Ok applied
+                    m "stopping at torn final journal line (partial write at crash): %s" msg);
+                Ok (applied, true)
               end
-              else Error msg)
+              else
+                Error
+                  { file; offset = lineno; kind = `Corrupt_record; detail = msg })
         in
         loop 1 (In_channel.input_line ic) 0)
-  with
-  | result -> result
-  | exception Sys_error msg -> Error msg
+
+(* Load and apply <base>.ckpt. A checkpoint is written atomically (tmp +
+   fsync + rename), so unlike the active segment it has no torn-tail excuse:
+   any damage is corruption, and because compaction may already have deleted
+   the segments it covers, recovery must fail closed rather than fall back
+   to a partial replay. *)
+let load_checkpoint t base =
+  let file = ckpt_path base in
+  if not (Sys.file_exists file) then Ok (0, false)
+  else
+    let corrupt offset detail = Error { file; offset; kind = `Corrupt_checkpoint; detail } in
+    match Journal.read_file file with
+    | exception Sys_error msg -> Error { file; offset = 0; kind = `Io; detail = msg }
+    | Error c -> corrupt c.Journal.corrupt_offset c.Journal.corrupt_reason
+    | Ok (_, Some torn) ->
+      corrupt torn.Journal.torn_offset
+        ("torn checkpoint — checkpoints are written atomically, so this is corruption: "
+        ^ torn.Journal.torn_reason)
+    | Ok ([], None) -> corrupt 0 "empty checkpoint"
+    | Ok (header :: entries, None) -> (
+      match header.Journal.fields with
+      | [ "ckpt"; "2"; covers_s; count_s ] -> (
+        match (int_of_string_opt covers_s, int_of_string_opt count_s) with
+        | Some covers, Some count when covers >= 0 && count = List.length entries ->
+          let rec apply = function
+            | [] -> Ok (covers, true)
+            | ({ Journal.offset; fields } : Journal.record) :: rest -> (
+              match fields with
+              | [ "p"; principal; mask_hex; answered_s; refused_s ] -> (
+                match
+                  ( Hashtbl.find_opt t.monitors principal,
+                    int_of_string_opt ("0x" ^ mask_hex),
+                    int_of_string_opt answered_s,
+                    int_of_string_opt refused_s )
+                with
+                | None, _, _, _ ->
+                  Error
+                    { file; offset; kind = `Replay;
+                      detail = Printf.sprintf "unknown principal %S in checkpoint" principal }
+                | Some m, Some alive_mask, Some answered_count, Some refused_count -> (
+                  match
+                    Monitor.restore m
+                      { Monitor.alive_mask; answered_count; refused_count }
+                  with
+                  | () -> apply rest
+                  | exception Invalid_argument msg ->
+                    Error { file; offset; kind = `Replay; detail = msg })
+                | _ -> corrupt offset "malformed checkpoint entry")
+              | _ -> corrupt offset "malformed checkpoint entry")
+          in
+          apply entries
+        | _ -> corrupt header.Journal.offset "malformed checkpoint header")
+      | _ -> corrupt header.Journal.offset "not a checkpoint file")
+
+let recover t ~journal:base =
+  Hashtbl.iter (fun _ m -> Monitor.reset m) t.monitors;
+  let ( let* ) = Result.bind in
+  let* covers, from_checkpoint = load_checkpoint t base in
+  let rotated = List.filter (fun (i, _) -> i > covers) (rotated_segments base) in
+  (* Rotation hands out consecutive indices and compaction removes a prefix
+     (everything at or below the checkpoint bound), so the surviving indices
+     must be exactly covers+1, covers+2, …: a hole means a segment's records
+     are gone, and replay must fail closed rather than silently skip them. *)
+  let* () =
+    let rec check expected = function
+      | [] -> Ok ()
+      | (i, _) :: rest ->
+        if i = expected then check (i + 1) rest
+        else
+          Error
+            {
+              file = segment_file base expected;
+              offset = 0;
+              kind = `Io;
+              detail =
+                Printf.sprintf "missing journal segment %d (next surviving segment is %d)"
+                  expected i;
+            }
+    in
+    check (covers + 1) rotated
+  in
+  let files =
+    List.map snd rotated @ (if Sys.file_exists base then [ base ] else [])
+  in
+  if files = [] && not from_checkpoint then
+    Error
+      {
+        file = base;
+        offset = 0;
+        kind = `Io;
+        detail = base ^ ": no journal, segments, or checkpoint found";
+      }
+  else begin
+    let last = List.length files - 1 in
+    let rec replay i applied torn_any = function
+      | [] -> Ok { applied; from_checkpoint; torn_tail = torn_any }
+      | file :: rest ->
+        let tolerate_torn = i = last in
+        let* n, torn =
+          if Journal.is_v2_file file then replay_v2 t ~file ~tolerate_torn
+          else replay_legacy t ~file ~tolerate_torn
+        in
+        replay (i + 1) (applied + n) (torn_any || torn) rest
+    in
+    replay 0 0 false files
+  end

@@ -14,25 +14,46 @@
 
 type t
 
+type journal_format = [ `V2 | `Legacy ]
+(** [`V2] (the default) frames every decision with the checksummed record
+    format of {!Journal} — length-prefixed, field-escaped, CRC32-protected —
+    and supports rotation and checkpoints. [`Legacy] writes the historical
+    raw [principal TAB label TAB decision] line; it exists to keep old
+    journals replayable and for format-compatibility tests, cannot escape
+    separators (hostile fields are refused at submit), and supports neither
+    rotation nor checkpoints. *)
+
 type observation = {
-  stage : [ `Label | `Decide | `Journal ];
+  stage : [ `Label | `Decide | `Journal | `Checkpoint | `Rotate ];
   seconds : float;
 }
-(** One timed pipeline-stage execution, reported to the [observe] callback of
-    {!create}: the guarded labeling run, the policy decision, or the journal
-    append. Used by the serving layer to feed per-stage latency histograms
-    without the service depending on any metrics machinery. *)
+(** One timed stage execution, reported to the [observe] callback of
+    {!create}: the guarded labeling run, the policy decision, the journal
+    append, a checkpoint write, or a segment rotation. Durations come from
+    the monotonic clock ({!Mclock}) and are never negative. Used by the
+    serving layer to feed per-stage latency histograms without the service
+    depending on any metrics machinery. *)
 
 exception Unknown_principal of string
 exception Duplicate_principal of string
 
 val create :
-  ?limits:Guard.limits -> ?journal:string -> ?observe:(observation -> unit) -> Pipeline.t -> t
-(** [limits] defaults to {!Guard.no_limits}. [journal], when given, is a file
-    path opened in append mode; every decision is written to it (see the
-    journal format below). [observe], when given, is called synchronously
-    with the wall-clock duration of each labeling, decision, and journal
-    stage; when absent no clock is ever read. *)
+  ?limits:Guard.limits ->
+  ?journal:string ->
+  ?journal_format:journal_format ->
+  ?segment_bytes:int ->
+  ?observe:(observation -> unit) ->
+  Pipeline.t ->
+  t
+(** [limits] defaults to {!Guard.no_limits}. [journal], when given, is the
+    journal's {e base} path: the active segment lives there (opened in
+    append mode), rotated segments at [<base>.<n>], the checkpoint at
+    [<base>.ckpt]. [journal_format] defaults to [`V2]. [segment_bytes]
+    (default [0] = never) rotates the active segment once it reaches that
+    many bytes. [observe], when given, is called synchronously with the
+    monotonic duration of each instrumented stage; when absent no clock is
+    ever read.
+    @raise Invalid_argument on a negative [segment_bytes]. *)
 
 val close : t -> unit
 (** Close the journal channel, if any. The service remains usable, but
@@ -48,12 +69,15 @@ val pipeline : t -> Pipeline.t
 val limits : t -> Guard.limits
 
 val register : t -> principal:string -> partitions:(string * Sview.t list) list -> unit
-(** Registers a principal with a (possibly multi-partition) policy.
+(** Registers a principal with a (possibly multi-partition) policy. Any
+    non-empty name is accepted — the v2 journal escapes its fields, so even
+    separator bytes in a principal name cannot forge records (a service
+    writing the legacy format refuses such a principal's decisions at submit
+    instead).
     @raise Duplicate_principal
     @raise Invalid_argument on empty partitions, more than
-    {!Policy.max_partitions} partitions, unregistered views, or a principal
-    name that is empty or contains tab/newline (journal lines are
-    tab-separated). *)
+    {!Policy.max_partitions} partitions, unregistered views, or an empty
+    principal name. *)
 
 val register_stateless : t -> principal:string -> views:Sview.t list -> unit
 (** Single-partition convenience form. *)
@@ -113,35 +137,105 @@ val stats : t -> principal:string -> int * int
     @raise Unknown_principal *)
 
 val reset : t -> principal:string -> unit
-(** Forget the principal's history. Journaled as a [reset] control line so
+(** Forget the principal's history. Journaled as a [reset] control record so
     replay stays equivalent to the live history.
     @raise Unknown_principal *)
 
+(** {1 Checkpoints, rotation, compaction}
+
+    The journal alone makes recovery cost proportional to the whole history.
+    A checkpoint bounds it: {!checkpoint} seals the active segment (rotating
+    it to [<base>.<n>]), serializes every monitor's state to
+    [<base>.ckpt.tmp] with the same record codec as the journal, [fsync]s,
+    atomically renames it to [<base>.ckpt], and deletes the segments the
+    snapshot covers (compaction). A crash at any point leaves either the old
+    checkpoint or the new one — never a partial one — and at worst some
+    already-covered segments that the next recovery skips and the next
+    checkpoint removes. {!recover} then restores the newest checkpoint and
+    replays only the segments after its coverage bound plus the active
+    segment ("the tail"). *)
+
+val checkpoint : t -> (unit, string) result
+(** Write a durable checkpoint as described above. [Error] when no journal
+    is configured, the journal is closed or in the legacy format, or any
+    step fails — in which case the previous checkpoint (if any) and all
+    segments are left intact, so durability is never reduced by a failed
+    checkpoint. The {!Faults.Checkpoint}, {!Faults.Ckpt_rename} and
+    {!Faults.Rotate} stages inject here. *)
+
+val rotation_count : t -> int
+(** Segments rotated by this service instance (size-triggered and
+    checkpoint-triggered). *)
+
+val checkpoint_count : t -> int
+(** Checkpoints successfully written by this service instance. *)
+
 (** {1 Snapshot and recovery}
 
-    Journal format: one decision per line,
-    [principal TAB label TAB decision], where [label] is {!Label.encode}'s
-    hex form ("-" when the decision was reached before a label existed) and
-    [decision] is ["answered"], ["refused:<tag>"] (tags from
-    {!Guard.refusal_to_tag}), or ["reset"]. *)
+    On-disk layout under a journal base path [<base>]:
+
+    - [<base>] — the active segment, v2 records (see {!Journal} for the
+      framing: [J2 <crc32> <len> <escaped fields>] per line);
+    - [<base>.<n>] — rotated (sealed) segments, in increasing age order of
+      [n];
+    - [<base>.ckpt] — the newest checkpoint, if any. *)
 
 val snapshot : t -> (string * Monitor.state) list
 (** Immutable copy of every principal's monitor state, in registration
     order. *)
 
-val recover : t -> journal:string -> (int, string) result
-(** Reset all monitors and replay the journal at [journal], re-applying every
-    committed decision: answered lines re-evaluate and narrow the alive mask,
-    policy refusals bump the refused counter, other refusal tags are
-    no-ops (they never touched monitor state), resets reset. Returns the
-    number of lines applied. [Error] (with [file:line] context) on an
-    unreadable file, a malformed line, an unknown principal, or a journaled
-    answer the current policy refuses — in which case replay stops with the
-    monitors reflecting the journal prefix before the bad line.
+type recovery_error = {
+  file : string;  (** The damaged file. *)
+  offset : int;
+      (** Byte offset of the offending record (v2 files and checkpoints) or
+          1-based line number (legacy files). *)
+  kind : [ `Io | `Corrupt_record | `Corrupt_checkpoint | `Replay ];
+      (** [`Io]: unreadable file or missing segment. [`Corrupt_record]: a
+          record that fails framing, length, CRC, or escaping checks — or a
+          torn record anywhere but the final file's tail. [`Corrupt_checkpoint]:
+          the same for [<base>.ckpt], which is written atomically and so has
+          no torn-tail excuse. [`Replay]: a well-formed record the current
+          configuration cannot re-apply (unknown principal, undecodable
+          label, a journaled answer the policy now refuses). *)
+  detail : string;
+}
+(** A typed, fail-closed recovery refusal: which file, where, and why. *)
 
-    A {e torn final line} — one a crash mid-append could have produced, i.e.
-    a record truncated from the right (missing fields, or a strict prefix of
-    a valid decision or refusal tag) — is tolerated: replay stops cleanly at
-    the last complete record, logs a warning, and returns [Ok] with the
-    applied-line count. The same damage anywhere before the final line cannot
-    be a torn append and remains an error. *)
+val recovery_error_to_string : recovery_error -> string
+(** ["file:offset: detail"]. *)
+
+type recovery = {
+  applied : int;  (** Decision records replayed (not counting the checkpoint). *)
+  from_checkpoint : bool;  (** A checkpoint was restored before the replay. *)
+  torn_tail : bool;  (** A torn final record was dropped (and logged). *)
+}
+
+val recover : t -> journal:string -> (recovery, recovery_error) result
+(** Reset all monitors, restore the newest checkpoint (if [<base>.ckpt]
+    exists), and replay the tail: rotated segments above the checkpoint's
+    coverage bound in index order, then the active segment. Re-applies every
+    committed decision — answered records re-evaluate and narrow the alive
+    mask, policy refusals bump the refused counter, other refusal tags are
+    no-ops (they never touched monitor state), resets reset. Legacy TSV
+    journals (no v2 magic) are replayed with the pre-v2 parser.
+
+    The decision table, per damage class:
+
+    - {e torn tail} — the final file ends mid-record (no trailing newline; a
+      record commits only when its newline is on disk): tolerated. The
+      partial record is dropped with a logged warning and recovery returns
+      [Ok] with [torn_tail = true]; the monitors hold the exact live state
+      of the longest committed prefix.
+    - {e corrupt record} — framing/length/CRC/escape damage on a complete
+      record, or a torn record in a sealed segment: fail closed with
+      [`Corrupt_record] naming file and offset. CRC-32 catches every error
+      burst up to 32 bits, so in particular every single-byte corruption.
+    - {e damaged checkpoint} — any damage to [<base>.ckpt]: fail closed with
+      [`Corrupt_checkpoint] (compaction may already have deleted the covered
+      segments, so there is no safe fallback). A {e missing} checkpoint is
+      not an error: recovery simply replays the full journal.
+    - {e missing segment} — a hole in the rotated-segment indices above the
+      checkpoint bound, or no journal files at all: fail closed with [`Io].
+
+    On [Error], the monitors reflect the replayed prefix before the damage —
+    callers must treat the service as unrecovered. *)

@@ -17,6 +17,7 @@ type 'a t = {
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  mutable promotions : int;
 }
 
 let create ~capacity =
@@ -29,7 +30,17 @@ let create ~capacity =
     hits = 0;
     misses = 0;
     evictions = 0;
+    promotions = 0;
   }
+
+(* Is this node already the recency head? [t.head != Some node] does not
+   work: [Some node] allocates a fresh block, so physical inequality is
+   always true and the fast path is dead — compare against the head's
+   contents instead. *)
+let at_head t node =
+  match t.head with
+  | Some h -> h == node
+  | None -> false
 
 let unlink t node =
   (match node.prev with
@@ -53,7 +64,8 @@ let find t key =
   match Hashtbl.find_opt t.table key with
   | Some node ->
     t.hits <- t.hits + 1;
-    if t.head != Some node then begin
+    if not (at_head t node) then begin
+      t.promotions <- t.promotions + 1;
       unlink t node;
       push_front t node
     end;
@@ -68,7 +80,8 @@ let add t key value =
   match Hashtbl.find_opt t.table key with
   | Some node ->
     node.value <- value;
-    if t.head != Some node then begin
+    if not (at_head t node) then begin
+      t.promotions <- t.promotions + 1;
       unlink t node;
       push_front t node
     end
@@ -94,3 +107,5 @@ let hits t = t.hits
 let misses t = t.misses
 
 let evictions t = t.evictions
+
+let promotions t = t.promotions

@@ -25,3 +25,8 @@ val capacity : 'a t -> int
 val hits : 'a t -> int
 val misses : 'a t -> int
 val evictions : 'a t -> int
+
+val promotions : 'a t -> int
+(** Recency-list moves: how many times {!find} or {!add} relocated an
+    existing entry to the front. A repeated hit on the entry already at the
+    head does {e not} count — that fast path must not churn the list. *)

@@ -4,6 +4,8 @@ type stage =
   | Cache
   | Decide
   | Journal
+  | Checkpoint
+  | Rotate
 
 let stage_index = function
   | Canonicalize -> 0
@@ -11,6 +13,8 @@ let stage_index = function
   | Cache -> 2
   | Decide -> 3
   | Journal -> 4
+  | Checkpoint -> 5
+  | Rotate -> 6
 
 let stage_name = function
   | Canonicalize -> "canonicalize"
@@ -18,10 +22,12 @@ let stage_name = function
   | Cache -> "cache"
   | Decide -> "decide"
   | Journal -> "journal"
+  | Checkpoint -> "checkpoint"
+  | Rotate -> "rotate"
 
-let stages = [ Canonicalize; Label; Cache; Decide; Journal ]
+let stages = [ Canonicalize; Label; Cache; Decide; Journal; Checkpoint; Rotate ]
 
-let n_stages = 5
+let n_stages = 7
 
 type counter =
   | Submitted
@@ -31,6 +37,10 @@ type counter =
   | Cache_hit
   | Cache_miss
   | Cache_eviction
+  | Checkpoints
+  | Rotations
+  | Recoveries
+  | Recovered_records
 
 let counter_index = function
   | Submitted -> 0
@@ -40,6 +50,10 @@ let counter_index = function
   | Cache_hit -> 4
   | Cache_miss -> 5
   | Cache_eviction -> 6
+  | Checkpoints -> 7
+  | Rotations -> 8
+  | Recoveries -> 9
+  | Recovered_records -> 10
 
 let counter_name = function
   | Submitted -> "submitted"
@@ -49,10 +63,27 @@ let counter_name = function
   | Cache_hit -> "cache_hits"
   | Cache_miss -> "cache_misses"
   | Cache_eviction -> "cache_evictions"
+  | Checkpoints -> "checkpoints"
+  | Rotations -> "rotations"
+  | Recoveries -> "recoveries"
+  | Recovered_records -> "recovered_records"
 
-let counters = [ Submitted; Answered; Refused; Overloaded; Cache_hit; Cache_miss; Cache_eviction ]
+let counters =
+  [
+    Submitted;
+    Answered;
+    Refused;
+    Overloaded;
+    Cache_hit;
+    Cache_miss;
+    Cache_eviction;
+    Checkpoints;
+    Rotations;
+    Recoveries;
+    Recovered_records;
+  ]
 
-let n_counters = 7
+let n_counters = 11
 
 (* Power-of-two latency buckets: bucket [i] counts observations in
    [2^i, 2^(i+1)) nanoseconds. 40 buckets reach ~18 minutes. *)
@@ -99,9 +130,12 @@ let record t stage seconds =
   ignore (Atomic.fetch_and_add t.stage_total_ns.(i) ns);
   ignore (Atomic.fetch_and_add t.bucket_cells.(i).(bucket_of_ns ns) 1)
 
+(* Monotonic, not wall-clock: an NTP step must not poison the histograms.
+   [Mclock.elapsed_s] additionally floors at 0, and [record] clamps again —
+   a negative sample can never underflow the bucket index. *)
 let time t stage f =
-  let t0 = Unix.gettimeofday () in
-  let finish () = record t stage (Unix.gettimeofday () -. t0) in
+  let t0 = Disclosure.Mclock.now_ns () in
+  let finish () = record t stage (Disclosure.Mclock.elapsed_s ~since:t0) in
   Fun.protect ~finally:finish f
 
 type histogram = {

@@ -11,6 +11,8 @@ type stage =
   | Cache  (** Label-cache lookup and maintenance. *)
   | Decide  (** The monitor's policy decision. *)
   | Journal  (** The decision-journal append. *)
+  | Checkpoint  (** Writing a durable per-shard checkpoint. *)
+  | Rotate  (** Rotating a shard's active journal segment. *)
 
 (** Monotone event counters. *)
 type counter =
@@ -21,6 +23,10 @@ type counter =
   | Cache_hit
   | Cache_miss
   | Cache_eviction
+  | Checkpoints  (** Checkpoint attempts driven by the shards. *)
+  | Rotations  (** Journal-segment rotation attempts. *)
+  | Recoveries  (** Per-shard [Service.recover] replays completed. *)
+  | Recovered_records  (** Decision records re-applied across recoveries. *)
 
 type t
 
@@ -37,12 +43,13 @@ val add : t -> counter -> int -> unit
 val count : t -> counter -> int
 
 val record : t -> stage -> float -> unit
-(** [record t stage seconds] adds one observation of [seconds] (wall clock)
-    to the stage's histogram. *)
+(** [record t stage seconds] adds one observation of [seconds] to the
+    stage's histogram. Negative samples are clamped to [0] — they cannot
+    underflow the bucket index. *)
 
 val time : t -> stage -> (unit -> 'a) -> 'a
-(** Runs the thunk and {!record}s its duration, whether it returns or
-    raises. *)
+(** Runs the thunk and {!record}s its duration (monotonic clock, never
+    negative), whether it returns or raises. *)
 
 type histogram = {
   count : int;

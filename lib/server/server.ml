@@ -23,9 +23,18 @@ type config = {
   domains : int;
   mailbox_capacity : int;
   cache_capacity : int;
+  checkpoint_every : int;
+  segment_bytes : int;
 }
 
-let default_config = { domains = 4; mailbox_capacity = 1024; cache_capacity = 4096 }
+let default_config =
+  {
+    domains = 4;
+    mailbox_capacity = 1024;
+    cache_capacity = 4096;
+    checkpoint_every = 0;
+    segment_bytes = 0;
+  }
 
 type state =
   | Created
@@ -63,11 +72,17 @@ let create ?limits ?journal ?(config = default_config) pipeline =
     invalid_arg "Server.create: mailbox_capacity must be >= 1";
   if config.cache_capacity < 0 then
     invalid_arg "Server.create: cache_capacity must be >= 0";
+  if config.checkpoint_every < 0 then
+    invalid_arg "Server.create: checkpoint_every must be >= 0";
+  if config.segment_bytes < 0 then
+    invalid_arg "Server.create: segment_bytes must be >= 0";
   let metrics = Metrics.create () in
   let shards =
     Array.init config.domains (fun i ->
         Shard.create ~index:i ?limits
           ?journal:(Option.map (fun base -> segment_path base i) journal)
+          ~segment_bytes:config.segment_bytes
+          ~checkpoint_every:config.checkpoint_every
           ~mailbox_capacity:config.mailbox_capacity
           ~cache_capacity:config.cache_capacity ~metrics pipeline)
   in
@@ -163,6 +178,9 @@ let stop t =
           | Some (Shard.Barrier iv) ->
             Ivar.fill iv ();
             flush ()
+          | Some (Shard.Checkpoint iv) ->
+            Ivar.fill iv (Error "server stopped before start");
+            flush ()
           | Some (Shard.Query { ticket; _ }) ->
             Metrics.incr t.metrics Metrics.Refused;
             ignore
@@ -212,13 +230,54 @@ let cache_stats t =
     { Shard.hits = 0; misses = 0; evictions = 0; entries = 0; capacity = 0 }
     t.shards
 
+(* --- checkpointing ------------------------------------------------------ *)
+
+(* Each shard checkpoints its own journal independently; this drives one
+   checkpoint on every shard. Quiescent servers checkpoint inline on the
+   calling domain; a running server sends each worker a Checkpoint control
+   message, so the snapshot happens on the owning domain with no locks. *)
+let checkpoint t =
+  match t.state with
+  | Created | Stopped ->
+    Array.fold_left
+      (fun acc shard ->
+        match (acc, Shard.checkpoint shard) with
+        | Error _, _ -> acc
+        | Ok (), Ok () -> Ok ()
+        | Ok (), Error msg ->
+          Error (Printf.sprintf "shard %d: %s" (Shard.index shard) msg))
+      (Ok ()) t.shards
+  | Running ->
+    let tickets =
+      Array.map
+        (fun shard ->
+          let iv = Ivar.create () in
+          if Mailbox.push (Shard.mailbox shard) (Shard.Checkpoint iv) then (shard, Some iv)
+          else (shard, None))
+        t.shards
+    in
+    Array.fold_left
+      (fun acc (shard, iv) ->
+        let result =
+          match iv with
+          | Some iv -> Ivar.read iv
+          | None -> Error "mailbox closed"
+        in
+        match (acc, result) with
+        | Error _, _ -> acc
+        | Ok (), Ok () -> Ok ()
+        | Ok (), Error msg ->
+          Error (Printf.sprintf "shard %d: %s" (Shard.index shard) msg))
+      (Ok ()) tickets
+
 (* --- recovery ---------------------------------------------------------- *)
 
 (* Principals are disjoint across shards, so replaying the segments in index
    order is a deterministic merge of the global history: within a principal,
    order is the shard's append order; across principals, interleaving is
    irrelevant because monitors are independent. Requires the same shard
-   count (and hash) as the run that wrote the segments. *)
+   count (and hash) as the run that wrote the segments. Each shard recovers
+   its own checkpoint + tail under its base path <journal>.shard<i>. *)
 let recover t ~journal =
   (match t.state with
   | Running -> invalid_arg "Server.recover: stop the server first"
@@ -229,7 +288,10 @@ let recover t ~journal =
       match
         Service.recover (Shard.service t.shards.(i)) ~journal:(segment_path journal i)
       with
-      | Ok n -> loop (i + 1) (applied + n)
-      | Error msg -> Error msg
+      | Ok (r : Service.recovery) ->
+        Metrics.incr t.metrics Metrics.Recoveries;
+        Metrics.add t.metrics Metrics.Recovered_records r.Service.applied;
+        loop (i + 1) (applied + r.Service.applied)
+      | Error e -> Error e
   in
   loop 0 0

@@ -35,10 +35,18 @@ type config = {
   domains : int;  (** Number of shards = worker domains (≥ 1). *)
   mailbox_capacity : int;  (** Per-shard mailbox bound (≥ 1). *)
   cache_capacity : int;  (** Per-shard label-cache entries; [0] disables. *)
+  checkpoint_every : int;
+      (** Automatic per-shard checkpoint cadence, in decisions processed by
+          that shard; [0] disables. Each shard checkpoints its own journal
+          independently — no cross-domain locks. *)
+  segment_bytes : int;
+      (** Per-shard journal-segment rotation threshold in bytes; [0] never
+          rotates. *)
 }
 
 val default_config : config
-(** [{ domains = 4; mailbox_capacity = 1024; cache_capacity = 4096 }] *)
+(** [{ domains = 4; mailbox_capacity = 1024; cache_capacity = 4096;
+      checkpoint_every = 0; segment_bytes = 0 }] *)
 
 type t
 
@@ -52,9 +60,12 @@ val create :
   Disclosure.Pipeline.t ->
   t
 (** [journal], when given, is a {e base} path: shard [i] journals to
-    [<journal>.shard<i>]. All shards share [limits] and the pipeline.
+    [<journal>.shard<i>] (which is in turn that shard's base for rotated
+    segments [<journal>.shard<i>.<n>] and its checkpoint
+    [<journal>.shard<i>.ckpt]). All shards share [limits] and the pipeline.
     @raise Invalid_argument on a non-positive [domains] or
-    [mailbox_capacity], or a negative [cache_capacity]. *)
+    [mailbox_capacity], or a negative [cache_capacity], [checkpoint_every],
+    or [segment_bytes]. *)
 
 val config : t -> config
 
@@ -115,12 +126,24 @@ val metrics : t -> Metrics.t
 val cache_stats : t -> Shard.cache_stats
 (** Summed over shards. *)
 
-(** {1 Recovery} *)
+(** {1 Checkpointing and recovery} *)
 
-val recover : t -> journal:string -> (int, string) result
+val checkpoint : t -> (unit, string) result
+(** Checkpoint every shard's journal now (sealing its active segment,
+    snapshotting its monitors to [<journal>.shard<i>.ckpt], compacting
+    covered segments — see {!Disclosure.Service.checkpoint}). On a running
+    server this is a control message processed by each worker on its own
+    domain; on a quiescent server it runs inline. Independent of the
+    automatic [checkpoint_every] cadence. Returns the first failing shard's
+    error; a failure on one shard does not stop the others. *)
+
+val recover : t -> journal:string -> (int, Disclosure.Service.recovery_error) result
 (** Replay the journal segments [<journal>.shard<i>] in shard-index order
-    through each shard's {!Disclosure.Service.recover}, returning the total
-    number of applied lines. Deterministic because principals are disjoint
-    across shards. Requires the same [domains] count (and registration set)
-    as the run that wrote the segments, and a non-running server.
+    through each shard's {!Disclosure.Service.recover} (checkpoint + tail
+    replay per shard), returning the total number of applied records and
+    bumping the [Recoveries] / [Recovered_records] metrics. Deterministic
+    because principals are disjoint across shards. Requires the same
+    [domains] count (and registration set) as the run that wrote the
+    segments, and a non-running server. A damaged shard journal fails the
+    whole recovery with that shard's typed error.
     @raise Invalid_argument while running. *)

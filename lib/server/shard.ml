@@ -11,6 +11,10 @@ module Guard = Disclosure.Guard
 module Monitor = Disclosure.Monitor
 module Label = Disclosure.Label
 
+let src = Logs.Src.create "disclosure.shard" ~doc:"Serving-layer shard"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
 type msg =
   | Query of {
       principal : string;
@@ -18,6 +22,7 @@ type msg =
       ticket : Monitor.decision Ivar.t;
     }
   | Barrier of unit Ivar.t
+  | Checkpoint of (unit, string) result Ivar.t
 
 type t = {
   index : int;
@@ -25,20 +30,30 @@ type t = {
   cache : Label.t Label_cache.t option;
   mailbox : msg Mailbox.t;
   metrics : Metrics.t;
+  checkpoint_every : int; (* decisions between automatic checkpoints; 0 = never *)
+  mutable decided : int; (* decisions since the last automatic checkpoint *)
   mutable domain : unit Domain.t option;
 }
 
-let create ~index ?limits ?journal ~mailbox_capacity ~cache_capacity ~metrics pipeline =
+let create ~index ?limits ?journal ?(segment_bytes = 0) ?(checkpoint_every = 0)
+    ~mailbox_capacity ~cache_capacity ~metrics pipeline =
+  if checkpoint_every < 0 then invalid_arg "Shard.create: checkpoint_every must be >= 0";
   let observe (o : Service.observation) =
     let stage =
       match o.stage with
       | `Label -> Metrics.Label
       | `Decide -> Metrics.Decide
       | `Journal -> Metrics.Journal
+      | `Checkpoint ->
+        Metrics.incr metrics Metrics.Checkpoints;
+        Metrics.Checkpoint
+      | `Rotate ->
+        Metrics.incr metrics Metrics.Rotations;
+        Metrics.Rotate
     in
     Metrics.record metrics stage o.seconds
   in
-  let service = Service.create ?limits ?journal ~observe pipeline in
+  let service = Service.create ?limits ?journal ~segment_bytes ~observe pipeline in
   let cache =
     if cache_capacity > 0 then Some (Label_cache.create ~capacity:cache_capacity)
     else None
@@ -49,6 +64,8 @@ let create ~index ?limits ?journal ~mailbox_capacity ~cache_capacity ~metrics pi
     cache;
     mailbox = Mailbox.create ~capacity:mailbox_capacity;
     metrics;
+    checkpoint_every;
+    decided = 0;
     domain = None;
   }
 
@@ -137,9 +154,29 @@ let handle t ~principal q =
   | None -> uncached t ~principal q
   | Some cache -> cached t cache ~principal q
 
+let checkpoint t = Service.checkpoint t.service
+
+(* The automatic cadence: every [checkpoint_every] decisions, checkpoint the
+   shard's own journal — each shard seals, snapshots, and compacts its own
+   segment family independently, with no cross-domain coordination. A failed
+   checkpoint never affects the decision path: it is logged, durability
+   stays on the full journal, and the next cadence point retries. *)
+let maybe_auto_checkpoint t =
+  if t.checkpoint_every > 0 then begin
+    t.decided <- t.decided + 1;
+    if t.decided >= t.checkpoint_every then begin
+      t.decided <- 0;
+      match checkpoint t with
+      | Ok () -> ()
+      | Error msg ->
+        Log.warn (fun m -> m "shard %d: automatic checkpoint failed: %s" t.index msg)
+    end
+  end
+
 let process t msg =
   match msg with
   | Barrier iv -> Ivar.fill iv ()
+  | Checkpoint iv -> Ivar.fill iv (checkpoint t)
   | Query { principal; query; ticket } ->
     let decision =
       try handle t ~principal query
@@ -153,7 +190,8 @@ let process t msg =
     (match decision with
     | Monitor.Answered -> Metrics.incr t.metrics Metrics.Answered
     | Monitor.Refused _ -> Metrics.incr t.metrics Metrics.Refused);
-    ignore (Ivar.try_fill ticket decision)
+    ignore (Ivar.try_fill ticket decision);
+    maybe_auto_checkpoint t
 
 let run t =
   let rec loop () =

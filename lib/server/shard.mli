@@ -14,6 +14,10 @@ type msg =
   | Barrier of unit Ivar.t
       (** Control message: the worker fills the ivar when it reaches the
           barrier, i.e. after every earlier message has been processed. *)
+  | Checkpoint of (unit, string) result Ivar.t
+      (** Control message: the worker checkpoints its service's journal
+          ({!Disclosure.Service.checkpoint}) and fills the ivar with the
+          result. *)
 
 type t
 
@@ -21,14 +25,23 @@ val create :
   index:int ->
   ?limits:Disclosure.Guard.limits ->
   ?journal:string ->
+  ?segment_bytes:int ->
+  ?checkpoint_every:int ->
   mailbox_capacity:int ->
   cache_capacity:int ->
   metrics:Metrics.t ->
   Disclosure.Pipeline.t ->
   t
 (** [cache_capacity = 0] disables the label cache. [journal], when given, is
-    this shard's own segment path (the server derives one per shard). The
-    shard's service reports stage timings into [metrics]. *)
+    this shard's own journal base path (the server derives one per shard);
+    [segment_bytes] (default [0] = never) rotates the shard's active segment
+    at that size, and [checkpoint_every] (default [0] = never) checkpoints
+    the shard's journal every that many processed decisions — each shard
+    seals, snapshots, and compacts its own segment family independently, no
+    cross-domain locks. The shard's service reports stage timings into
+    [metrics] (including [Checkpoint] and [Rotate]), and a failed automatic
+    checkpoint is logged, never surfaced as a refusal.
+    @raise Invalid_argument on a negative [checkpoint_every]. *)
 
 val index : t -> int
 
@@ -47,6 +60,11 @@ val handle : t -> principal:string -> Cq.Query.t -> Disclosure.Monitor.decision
 
 val process : t -> msg -> unit
 (** Handle one message and fill its ticket. Exposed for tests. *)
+
+val checkpoint : t -> (unit, string) result
+(** Checkpoint the shard's journal now, on the calling domain. Must only be
+    used while the worker is quiescent (before {!start} or after {!join});
+    while running, send a {!msg.Checkpoint} message instead. *)
 
 val start : t -> unit
 (** Spawn the worker domain.

@@ -1,0 +1,278 @@
+(* Crash-torture suite for the v2 decision journal (its own executable: it
+   performs a few thousand recoveries, which would bloat the main suite).
+
+   The property, byte-exhaustively: for a journal holding a known history,
+
+   - truncating the file at EVERY byte offset (what a crash mid-append can
+     leave behind) must recover to the exact state after the last fully
+     committed record — the torn tail is dropped and reported, never
+     misapplied;
+   - flipping EVERY byte of a record (bit rot, not a crash) must either
+     leave recovery exact-prefix-equivalent or produce a typed fail-closed
+     refusal naming the file — never a wrong monitor state;
+   - the checkpoint file is written atomically, so ANY damage to it (every
+     truncation, every byte flip) is a typed [`Corrupt_checkpoint] refusal. *)
+
+module Service = Disclosure.Service
+module Monitor = Disclosure.Monitor
+module Pipeline = Disclosure.Pipeline
+module Sview = Disclosure.Sview
+
+let pq = Cq.Parser.query_exn
+
+let v1 = Sview.of_string "V1(x, y) :- Meetings(x, y)"
+let v2 = Sview.of_string "V2(x) :- Meetings(x, y)"
+let v3 = Sview.of_string "V3(x, y, z) :- Contacts(x, y, z)"
+
+(* One principal name exercises the escape path, so flips land inside
+   backslash escapes too. *)
+let hostile = "tab\tapp"
+
+let make_service ?journal () =
+  let service = Service.create ?journal (Pipeline.create [ v1; v2; v3 ]) in
+  Service.register service ~principal:"crm-app"
+    ~partitions:[ ("meetings", [ v1; v2 ]); ("contacts", [ v3 ]) ];
+  Service.register_stateless service ~principal:"calendar-app" ~views:[ v2 ];
+  Service.register_stateless service ~principal:hostile ~views:[ v2 ];
+  service
+
+let q_contacts = pq "Q(x, y, z) :- Contacts(x, y, z)"
+let q_meetings = pq "Q(x, y) :- Meetings(x, y)"
+let q_slots = pq "Q(x) :- Meetings(x, y)"
+
+(* The deterministic history: one journal record per step. [run ~after]
+   calls [after i service] after step [i] (1-based), e.g. to checkpoint. *)
+let history : (string * Cq.Query.t option) list =
+  [
+    ("crm-app", Some q_contacts);
+    (hostile, Some q_slots);
+    ("calendar-app", Some q_meetings);
+    ("crm-app", None) (* reset *);
+    ("crm-app", Some q_slots);
+    ("calendar-app", Some q_slots);
+    ("crm-app", Some q_contacts);
+    (hostile, Some q_meetings);
+  ]
+
+let n_records = List.length history
+
+(* Run the history against [service], returning states.(i) = snapshot after
+   the first [i] records (states.(0) = initial). *)
+let run_history ?(after = fun _ _ -> ()) service =
+  let states = Array.make (n_records + 1) (Service.snapshot service) in
+  List.iteri
+    (fun i (principal, q) ->
+      (match q with
+      | Some q -> ignore (Service.submit service ~principal q)
+      | None -> Service.reset service ~principal);
+      states.(i + 1) <- Service.snapshot service;
+      after (i + 1) service)
+    history;
+  states
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let write_file path s =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+
+let count_newlines s = String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 0 s
+
+let rm f = try Sys.remove f with Sys_error _ -> ()
+
+let cleanup base =
+  rm base;
+  rm (base ^ ".ckpt");
+  rm (base ^ ".ckpt.tmp");
+  for i = 1 to 16 do
+    rm (Printf.sprintf "%s.%d" base i)
+  done
+
+let with_base f =
+  let base = Filename.temp_file "disclosure-crash" ".journal" in
+  Fun.protect ~finally:(fun () -> cleanup base) (fun () -> f base)
+
+let recover_fresh base =
+  let fresh = make_service () in
+  Service.recover fresh ~journal:base |> Result.map (fun r -> (r, Service.snapshot fresh))
+
+(* --- truncation: every byte offset ------------------------------------ *)
+
+let test_truncate_every_offset () =
+  with_base (fun base ->
+      let service = make_service ~journal:base () in
+      let states = run_history service in
+      Service.close service;
+      let whole = read_file base in
+      Alcotest.(check int) "every record committed" n_records (count_newlines whole);
+      for cut = 0 to String.length whole do
+        write_file base (String.sub whole 0 cut);
+        let committed = count_newlines (String.sub whole 0 cut) in
+        match recover_fresh base with
+        | Error e ->
+          Alcotest.failf "cut at %d: truncation must always recover, got %s" cut
+            (Service.recovery_error_to_string e)
+        | Ok (r, snap) ->
+          if r.Service.applied <> committed then
+            Alcotest.failf "cut at %d: applied %d, expected %d committed records" cut
+              r.Service.applied committed;
+          if snap <> states.(committed) then
+            Alcotest.failf "cut at %d: recovered state is not the exact prefix state" cut;
+          let expect_torn = cut > 0 && whole.[cut - 1] <> '\n' in
+          if r.Service.torn_tail <> expect_torn then
+            Alcotest.failf "cut at %d: torn_tail reported %b, expected %b" cut
+              r.Service.torn_tail expect_torn
+      done)
+
+(* --- byte flips: every byte, several patterns -------------------------- *)
+
+let flip_patterns = [ 0x01; 0x80; 0xff ]
+
+(* Flip every byte of the record on line [line] (0-based). Mid-file damage
+   must refuse with a typed [`Corrupt_record]; damage to the final record
+   may instead surface as a tolerated torn tail (e.g. flipping its
+   newline), in which case the state must still be the exact prefix. *)
+let torture_record ~line =
+  with_base (fun base ->
+      let service = make_service ~journal:base () in
+      let states = run_history service in
+      Service.close service;
+      let whole = read_file base in
+      let line_start =
+        let rec nth_line i from =
+          if i = 0 then from else nth_line (i - 1) (String.index_from whole from '\n' + 1)
+        in
+        nth_line line 0
+      in
+      let line_end = String.index_from whole line_start '\n' in
+      for pos = line_start to line_end do
+        List.iter
+          (fun pattern ->
+            let damaged = Bytes.of_string whole in
+            Bytes.set damaged pos
+              (Char.chr (Char.code whole.[pos] lxor pattern land 0xff));
+            write_file base (Bytes.to_string damaged);
+            match recover_fresh base with
+            | Error e ->
+              if e.Service.kind <> `Corrupt_record && e.Service.kind <> `Replay then
+                Alcotest.failf "flip %#x at %d: unexpected error kind in %s" pattern pos
+                  (Service.recovery_error_to_string e)
+            | Ok (r, snap) ->
+              (* Tolerated only as an exact prefix — never a wrong state. *)
+              if r.Service.applied > n_records || snap <> states.(r.Service.applied)
+              then
+                Alcotest.failf
+                  "flip %#x at %d: recovery accepted damage with a non-prefix state"
+                  pattern pos;
+              if line < n_records - 1 && r.Service.applied > line then
+                Alcotest.failf
+                  "flip %#x at %d: mid-file damage replayed past the damaged record"
+                  pattern pos)
+          flip_patterns
+      done)
+
+let test_flip_middle_record () = torture_record ~line:(n_records / 2)
+
+let test_flip_final_record () = torture_record ~line:(n_records - 1)
+
+let test_flip_first_record () = torture_record ~line:0
+
+(* --- checkpoint damage: no torn-tail excuse ---------------------------- *)
+
+let with_checkpointed_base f =
+  with_base (fun base ->
+      let service = make_service ~journal:base () in
+      let states =
+        run_history service
+          ~after:(fun i service ->
+            if i = 4 then
+              match Service.checkpoint service with
+              | Ok () -> ()
+              | Error e -> Alcotest.fail e)
+      in
+      Service.close service;
+      f base states)
+
+let test_checkpoint_recovers_exactly () =
+  with_checkpointed_base (fun base states ->
+      match recover_fresh base with
+      | Ok (r, snap) ->
+        Alcotest.(check int) "only the tail replays" (n_records - 4) r.Service.applied;
+        Alcotest.(check bool) "restored from the checkpoint" true
+          r.Service.from_checkpoint;
+        Alcotest.(check bool) "checkpoint + tail = live" true (snap = states.(n_records))
+      | Error e -> Alcotest.fail (Service.recovery_error_to_string e))
+
+let test_checkpoint_damage_fails_closed () =
+  with_checkpointed_base (fun base _states ->
+      let ckpt = base ^ ".ckpt" in
+      let whole = read_file ckpt in
+      let check_refused what =
+        match recover_fresh base with
+        | Error e when e.Service.kind = `Corrupt_checkpoint ->
+          if e.Service.file <> ckpt then
+            Alcotest.failf "%s: error does not name the checkpoint file" what
+        | Error e ->
+          Alcotest.failf "%s: expected `Corrupt_checkpoint, got %s" what
+            (Service.recovery_error_to_string e)
+        | Ok _ -> Alcotest.failf "%s: damaged checkpoint must fail closed" what
+      in
+      (* Every truncation: the rename was atomic, so a short file can only
+         be corruption, never a crash artifact. *)
+      for cut = 0 to String.length whole - 1 do
+        write_file ckpt (String.sub whole 0 cut);
+        check_refused (Printf.sprintf "truncate at %d" cut)
+      done;
+      (* Every byte flip. *)
+      for pos = 0 to String.length whole - 1 do
+        List.iter
+          (fun pattern ->
+            let damaged = Bytes.of_string whole in
+            Bytes.set damaged pos
+              (Char.chr (Char.code whole.[pos] lxor pattern land 0xff));
+            write_file ckpt (Bytes.to_string damaged);
+            check_refused (Printf.sprintf "flip %#x at %d" pattern pos))
+          flip_patterns
+      done;
+      (* Restored, recovery works again. *)
+      write_file ckpt whole;
+      match recover_fresh base with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail (Service.recovery_error_to_string e))
+
+(* Truncating the post-checkpoint tail behaves exactly like truncating an
+   un-checkpointed journal, offset by the checkpoint's coverage. *)
+let test_truncate_tail_after_checkpoint () =
+  with_checkpointed_base (fun base states ->
+      let whole = read_file base in
+      for cut = 0 to String.length whole do
+        write_file base (String.sub whole 0 cut);
+        let committed = count_newlines (String.sub whole 0 cut) in
+        match recover_fresh base with
+        | Error e ->
+          Alcotest.failf "tail cut at %d: %s" cut (Service.recovery_error_to_string e)
+        | Ok (r, snap) ->
+          if r.Service.applied <> committed || snap <> states.(4 + committed) then
+            Alcotest.failf "tail cut at %d: not the exact prefix state" cut
+      done)
+
+let () =
+  Alcotest.run "disclosure-crash"
+    [
+      ( "torture",
+        [
+          Alcotest.test_case "truncate the journal at every byte offset" `Quick
+            test_truncate_every_offset;
+          Alcotest.test_case "flip every byte of the first record" `Quick
+            test_flip_first_record;
+          Alcotest.test_case "flip every byte of a middle record" `Quick
+            test_flip_middle_record;
+          Alcotest.test_case "flip every byte of the final record" `Quick
+            test_flip_final_record;
+          Alcotest.test_case "checkpoint + tail recovers exactly" `Quick
+            test_checkpoint_recovers_exactly;
+          Alcotest.test_case "any checkpoint damage fails closed" `Quick
+            test_checkpoint_damage_fails_closed;
+          Alcotest.test_case "truncate the tail after a checkpoint" `Quick
+            test_truncate_tail_after_checkpoint;
+        ] );
+    ]

@@ -74,7 +74,7 @@ let test_fault_matrix () =
             Alcotest.failf "%s: not answered after clearing: %a" name
               Monitor.pp_decision d)
         all_faults)
-    Faults.all_stages
+    Faults.submission_stages
 
 (* The same matrix through the pre-labeled entry point (no labeling stages,
    but admission, decision, and journaling still trip). *)
@@ -99,13 +99,14 @@ let test_fault_matrix_submit_label () =
               if Service.snapshot service <> before then
                 Alcotest.failf "%s: refusal mutated monitor state" name
             | Monitor.Answered -> Alcotest.failf "%s: fault was answered" name)
-          | Faults.Minimize | Faults.Dissect | Faults.Label -> (
-            (* Labeling stages never run for a pre-computed label. *)
+          | _ -> (
+            (* Labeling stages never run for a pre-computed label (and the
+               maintenance stages are outside this matrix). *)
             match decision with
             | Monitor.Answered -> ()
             | Monitor.Refused _ -> Alcotest.failf "%s: unreached stage refused" name)))
         all_faults)
-    Faults.all_stages
+    Faults.submission_stages
 
 (* Injected exhaustion surfaces with the same reason a real one would. *)
 let test_fault_reasons () =
@@ -184,8 +185,98 @@ let test_journal_fault_keeps_replay_equivalent () =
       let fresh = make_service () in
       (match Service.recover fresh ~journal:path with
       | Ok _ -> ()
-      | Error e -> Alcotest.fail e);
+      | Error e -> Alcotest.fail (Service.recovery_error_to_string e));
       Alcotest.(check bool) "replay = live despite journal fault" true
+        (Service.snapshot fresh = live))
+
+(* Maintenance-path faults: a failed checkpoint (at the tmp-write or the
+   rename) returns [Error], leaves the previous checkpoint and every segment
+   intact, and never touches the monitor; once disarmed, checkpointing
+   works again and recovery still matches the live state. *)
+let test_checkpoint_faults_fail_safe () =
+  let path = Filename.temp_file "disclosure-ckptfault" ".log" in
+  let rm f = try Sys.remove f with Sys_error _ -> () in
+  Fun.protect
+    ~finally:(fun () ->
+      rm path;
+      rm (path ^ ".ckpt");
+      rm (path ^ ".ckpt.tmp");
+      for i = 1 to 16 do
+        rm (Printf.sprintf "%s.%d" path i)
+      done)
+    (fun () ->
+      let service = make_service ~journal:path () in
+      ignore (Service.submit service ~principal:"app" q_slots);
+      (match Service.checkpoint service with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e);
+      let good_ckpt = In_channel.with_open_bin (path ^ ".ckpt") In_channel.input_all in
+      ignore (Service.submit service ~principal:"app" q_meetings);
+      let before = Service.snapshot service in
+      List.iter
+        (fun stage ->
+          (match
+             Faults.with_fault stage (Faults.Raise "disk full") (fun () ->
+                 Service.checkpoint service)
+           with
+          | Error _ -> ()
+          | Ok () ->
+            Alcotest.failf "checkpoint with a %a fault must fail" Faults.pp_stage stage);
+          Alcotest.(check bool) "monitor untouched by failed checkpoint" true
+            (Service.snapshot service = before);
+          Alcotest.(check string) "previous checkpoint left intact" good_ckpt
+            (In_channel.with_open_bin (path ^ ".ckpt") In_channel.input_all))
+        [ Faults.Rotate; Faults.Checkpoint; Faults.Ckpt_rename ];
+      (* Disarmed, the same checkpoint goes through, and recovery agrees. *)
+      (match Service.checkpoint service with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e);
+      Service.close service;
+      let fresh = make_service () in
+      (match Service.recover fresh ~journal:path with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail (Service.recovery_error_to_string e));
+      Alcotest.(check bool) "recovery matches despite faulted checkpoints" true
+        (Service.snapshot fresh = before))
+
+(* A size-triggered rotation failure must not surface as a refusal: the
+   record is already durable in the active segment, so the decision stands
+   and the journal keeps appending where it was. *)
+let test_rotation_fault_never_refuses () =
+  let path = Filename.temp_file "disclosure-rotfault" ".log" in
+  let rm f = try Sys.remove f with Sys_error _ -> () in
+  Fun.protect
+    ~finally:(fun () ->
+      rm path;
+      for i = 1 to 16 do
+        rm (Printf.sprintf "%s.%d" path i)
+      done)
+    (fun () ->
+      let service =
+        let s =
+          Service.create ~journal:path ~segment_bytes:16
+            (Pipeline.create [ v1; v2; v3 ])
+        in
+        Service.register s ~principal:"app"
+          ~partitions:[ ("meetings", [ v1; v2 ]); ("contacts", [ v3 ]) ];
+        s
+      in
+      (match
+         Faults.with_fault Faults.Rotate (Faults.Raise "rename failed") (fun () ->
+             Service.submit service ~principal:"app" q_slots)
+       with
+      | Monitor.Answered -> ()
+      | d ->
+        Alcotest.failf "rotation failure must not refuse the decision, got %a"
+          Monitor.pp_decision d);
+      ignore (Service.submit service ~principal:"app" q_meetings);
+      let live = Service.snapshot service in
+      Service.close service;
+      let fresh = make_service () in
+      (match Service.recover fresh ~journal:path with
+      | Ok r -> Alcotest.(check int) "both decisions durable" 2 r.Service.applied
+      | Error e -> Alcotest.fail (Service.recovery_error_to_string e));
+      Alcotest.(check bool) "replay = live despite rotation fault" true
         (Service.snapshot fresh = live))
 
 (* Invariant 3: the alive mask is monotonically non-increasing across any
@@ -201,7 +292,7 @@ let test_alive_mask_monotone () =
       hard_query;
     |]
   in
-  let stages = Array.of_list Faults.all_stages in
+  let stages = Array.of_list Faults.submission_stages in
   let faults = Array.of_list all_faults in
   let rng = Random.State.make [| 0xFA017 |] in
   for _run = 1 to 50 do
@@ -262,6 +353,10 @@ let () =
           Alcotest.test_case "real deadline expiry" `Quick test_real_deadline_expiry;
           Alcotest.test_case "journal fault keeps replay equivalent" `Quick
             test_journal_fault_keeps_replay_equivalent;
+          Alcotest.test_case "checkpoint faults fail safe" `Quick
+            test_checkpoint_faults_fail_safe;
+          Alcotest.test_case "rotation fault never refuses" `Quick
+            test_rotation_fault_never_refuses;
           Alcotest.test_case "alive mask monotone under faults" `Quick
             test_alive_mask_monotone;
         ] );

@@ -43,10 +43,13 @@ let register_all register =
   register ~principal:"mail-app" ~partitions:[ ("default", [ v1; v3 ]) ];
   register ~principal:"todo-app" ~partitions:[ ("default", [ v2; v3 ]) ]
 
-let make_server ?journal ?(cache_capacity = 256) ?(mailbox_capacity = 1024) () =
+let make_server ?journal ?(cache_capacity = 256) ?(mailbox_capacity = 1024)
+    ?(checkpoint_every = 0) ?(segment_bytes = 0) () =
   let server =
     Server.create ?journal
-      ~config:{ Server.domains; mailbox_capacity; cache_capacity }
+      ~config:
+        { Server.domains; mailbox_capacity; cache_capacity; checkpoint_every;
+          segment_bytes }
       (pipeline ())
   in
   register_all (fun ~principal ~partitions -> Server.register server ~principal ~partitions);
@@ -224,10 +227,18 @@ let with_tmp_base f =
   let base = Filename.temp_file "disclosure-server" ".journal" in
   Fun.protect
     ~finally:(fun () ->
-      Array.iter
-        (fun suffix -> try Sys.remove suffix with Sys_error _ -> ())
-        (Array.append [| base |]
-           (Array.init 8 (fun i -> Printf.sprintf "%s.shard%d" base i))))
+      let rm f = try Sys.remove f with Sys_error _ -> () in
+      rm base;
+      (* Each shard base can grow rotated segments and a checkpoint. *)
+      for i = 0 to 7 do
+        let shard = Printf.sprintf "%s.shard%d" base i in
+        rm shard;
+        rm (shard ^ ".ckpt");
+        rm (shard ^ ".ckpt.tmp");
+        for n = 1 to 64 do
+          rm (Printf.sprintf "%s.%d" shard n)
+        done
+      done)
     (fun () -> f base)
 
 let test_segmented_recovery () =
@@ -251,8 +262,13 @@ let test_segmented_recovery () =
       let fresh = make_server () in
       (match Server.recover fresh ~journal:base with
       | Ok n -> check_int "all decisions replayed" (List.length history) n
-      | Error e -> Alcotest.fail e);
+      | Error e -> Alcotest.fail (Service.recovery_error_to_string e));
       check_bool "recovered state = live state" true (Server.snapshot fresh = live);
+      let m = Server.metrics fresh in
+      check_int "one recovery per shard counted" domains
+        (Server.Metrics.count m Server.Metrics.Recoveries);
+      check_int "replayed records counted" (List.length history)
+        (Server.Metrics.count m Server.Metrics.Recovered_records);
       Server.stop fresh)
 
 let test_recovery_tolerates_torn_segment () =
@@ -274,8 +290,69 @@ let test_recovery_tolerates_torn_segment () =
       let fresh = make_server () in
       (match Server.recover fresh ~journal:base with
       | Ok _ -> ()
-      | Error e -> Alcotest.failf "torn final segment line must be tolerated: %s" e);
+      | Error e ->
+        Alcotest.failf "torn final segment line must be tolerated: %s"
+          (Service.recovery_error_to_string e));
       check_bool "recovered state ignores the torn line" true
+        (Server.snapshot fresh = live);
+      Server.stop fresh)
+
+(* A running server checkpoints every shard via control messages; recovery
+   then restores per-shard checkpoints and replays only the tails. *)
+let test_checkpointed_server_recovery () =
+  with_tmp_base (fun base ->
+      let rng = Random.State.make [| 0xCA47 |] in
+      let history = random_history rng ~steps:40 in
+      let tail = random_history rng ~steps:11 in
+      let server = make_server ~journal:base ~segment_bytes:512 () in
+      Server.start server;
+      ignore (run_history_on_server server history);
+      Server.drain server;
+      (match Server.checkpoint server with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e);
+      ignore (run_history_on_server server tail);
+      Server.drain server;
+      let live = Server.snapshot server in
+      let m = Server.metrics server in
+      check_bool "checkpoints counted" true
+        (Server.Metrics.count m Server.Metrics.Checkpoints >= domains);
+      check_bool "rotations counted" true
+        (Server.Metrics.count m Server.Metrics.Rotations >= 1);
+      Server.stop server;
+      let fresh = make_server () in
+      (match Server.recover fresh ~journal:base with
+      | Ok n ->
+        check_bool "only the tails replay" true (n <= List.length tail)
+      | Error e -> Alcotest.fail (Service.recovery_error_to_string e));
+      check_bool "checkpoint + tail = live" true (Server.snapshot fresh = live);
+      Server.stop fresh)
+
+(* The automatic cadence: every shard checkpoints itself as it processes
+   decisions, with no cross-shard coordination, and decisions are
+   unaffected. *)
+let test_auto_checkpoint_equivalence () =
+  with_tmp_base (fun base ->
+      let rng = Random.State.make [| 0xAD0C |] in
+      let history = random_history rng ~steps:60 in
+      let server = make_server ~journal:base ~checkpoint_every:5 () in
+      Server.start server;
+      let decisions = run_history_on_server server history in
+      Server.drain server;
+      let live = Server.snapshot server in
+      let m = Server.metrics server in
+      check_bool "automatic checkpoints happened" true
+        (Server.Metrics.count m Server.Metrics.Checkpoints > 0);
+      Server.stop server;
+      let service = make_service () in
+      let expected = run_history_on_service service history in
+      check_bool "auto-checkpointing never changes decisions" true
+        (sequences_equal (group_by_principal decisions) (group_by_principal expected));
+      let fresh = make_server () in
+      (match Server.recover fresh ~journal:base with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail (Service.recovery_error_to_string e));
+      check_bool "recovered = live under auto checkpoints" true
         (Server.snapshot fresh = live);
       Server.stop fresh)
 
@@ -357,6 +434,46 @@ let test_label_cache_lru () =
   check_int "evictions" 1 (Server.Label_cache.evictions c);
   check_int "length" 2 (Server.Label_cache.length c)
 
+(* Regression: repeated hits on the hottest key must take the fast path and
+   leave the recency list alone. The original check compared [t.head] against
+   a freshly allocated [Some node], which is always physically unequal, so
+   every hit churned the list. *)
+let test_label_cache_hot_key_no_churn () =
+  let c = Server.Label_cache.create ~capacity:4 in
+  Server.Label_cache.add c "hot" 1;
+  Server.Label_cache.add c "cold" 2;
+  (* "cold" is at the head; the first "hot" hit is a genuine promotion. *)
+  check_bool "warm up" true (Server.Label_cache.find c "hot" = Some 1);
+  check_int "one promotion to the front" 1 (Server.Label_cache.promotions c);
+  for _ = 1 to 100 do
+    ignore (Server.Label_cache.find c "hot")
+  done;
+  check_int "hot hits do not churn the recency list" 1
+    (Server.Label_cache.promotions c);
+  (* Re-adding the head entry is the same fast path. *)
+  Server.Label_cache.add c "hot" 3;
+  check_int "head re-add does not churn either" 1 (Server.Label_cache.promotions c);
+  check_bool "value still replaced" true (Server.Label_cache.find c "hot" = Some 3);
+  (* LRU order stayed intact: "cold" is the eviction candidate. *)
+  Server.Label_cache.add c "x" 4;
+  Server.Label_cache.add c "y" 5;
+  Server.Label_cache.add c "z" 6;
+  check_bool "cold evicted first" true (Server.Label_cache.find c "cold" = None);
+  check_bool "hot survives" true (Server.Label_cache.find c "hot" = Some 3)
+
+(* Regression: stage timings come from a monotonic clock and [record] clamps
+   at zero, so a negative sample (e.g. a stepped wall clock under the old
+   gettimeofday source) cannot underflow the bucket index. *)
+let test_metrics_negative_sample () =
+  let m = Server.Metrics.create () in
+  Server.Metrics.record m Server.Metrics.Decide (-1.0);
+  Server.Metrics.record m Server.Metrics.Decide (-1e-9);
+  Server.Metrics.record m Server.Metrics.Decide 0.0;
+  let h = Server.Metrics.histogram m Server.Metrics.Decide in
+  check_int "all three samples land" 3 h.Server.Metrics.count;
+  check_int "clamped into the zero bucket" 3 h.Server.Metrics.buckets.(0);
+  check_int "no negative totals" 0 h.Server.Metrics.total_ns
+
 let test_ivar () =
   let iv = Server.Ivar.create () in
   check_bool "empty" true (Server.Ivar.peek iv = None);
@@ -392,6 +509,10 @@ let () =
             test_segmented_recovery;
           Alcotest.test_case "torn final segment line tolerated" `Quick
             test_recovery_tolerates_torn_segment;
+          Alcotest.test_case "explicit checkpoint on a running server" `Quick
+            test_checkpointed_server_recovery;
+          Alcotest.test_case "automatic per-shard checkpoint cadence" `Quick
+            test_auto_checkpoint_equivalence;
         ] );
       ( "lifecycle",
         [
@@ -406,6 +527,10 @@ let () =
         [
           Alcotest.test_case "bounded mailbox" `Quick test_mailbox;
           Alcotest.test_case "label cache LRU" `Quick test_label_cache_lru;
+          Alcotest.test_case "hot key does not churn the LRU list" `Quick
+            test_label_cache_hot_key_no_churn;
+          Alcotest.test_case "negative latency sample cannot underflow" `Quick
+            test_metrics_negative_sample;
           Alcotest.test_case "ivar" `Quick test_ivar;
         ] );
     ]

@@ -4,6 +4,9 @@ module Service = Disclosure.Service
 module Monitor = Disclosure.Monitor
 module Pipeline = Disclosure.Pipeline
 module Label = Disclosure.Label
+module Journal = Disclosure.Journal
+module Guard = Disclosure.Guard
+module Mclock = Disclosure.Mclock
 
 let pq = Helpers.pq
 
@@ -101,12 +104,26 @@ let test_label_roundtrip () =
 
 (* --- decision journal, snapshot, recovery ---------------------------- *)
 
+(* Remove the whole segment family a journal base can grow: the active
+   segment, rotated segments, and the checkpoint. *)
+let cleanup_journal base =
+  let rm f = try Sys.remove f with Sys_error _ -> () in
+  rm base;
+  rm (base ^ ".ckpt");
+  rm (base ^ ".ckpt.tmp");
+  for i = 1 to 64 do
+    rm (Printf.sprintf "%s.%d" base i)
+  done
+
 let with_tmp_journal f =
   let path = Filename.temp_file "disclosure-journal" ".log" in
-  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+  Fun.protect ~finally:(fun () -> cleanup_journal path) (fun () -> f path)
 
-let make_journaled_service path =
-  let service = Service.create ~journal:path (Pipeline.create [ v1; v2; v3 ]) in
+let make_journaled_service ?(format = `V2) ?(segment_bytes = 0) path =
+  let service =
+    Service.create ~journal:path ~journal_format:format ~segment_bytes
+      (Pipeline.create [ v1; v2; v3 ])
+  in
   Service.register_stateless service ~principal:"calendar-app" ~views:[ v2 ];
   Service.register service ~principal:"crm-app"
     ~partitions:[ ("meetings", [ v1; v2 ]); ("contacts", [ v3 ]) ];
@@ -119,18 +136,27 @@ let test_journal_lines () =
       ignore (Service.submit service ~principal:"calendar-app" (pq "Q(x, y) :- Meetings(x, y)"));
       Service.reset service ~principal:"calendar-app";
       Service.close service;
+      (* Raw framing: one self-delimiting v2 record per line. *)
       let lines =
         In_channel.with_open_text path In_channel.input_all
         |> String.split_on_char '\n'
         |> List.filter (fun l -> l <> "")
       in
       Helpers.check_int "three lines" 3 (List.length lines);
-      let decisions =
-        List.map (fun l -> List.nth (String.split_on_char '\t' l) 2) lines
-      in
-      Alcotest.check
-        Alcotest.(list string)
-        "decision column" [ "answered"; "refused:policy"; "reset" ] decisions)
+      List.iter
+        (fun l ->
+          Helpers.check_bool "v2 magic" true
+            (String.length l > 3 && String.sub l 0 3 = "J2 "))
+        lines;
+      (* Decoded: checksummed [principal; label; decision] triples in order. *)
+      match Journal.read_file path with
+      | Error c -> Alcotest.failf "journal does not decode: %s" c.Journal.corrupt_reason
+      | Ok (records, torn) ->
+        Helpers.check_bool "no torn tail" true (torn = None);
+        let decisions = List.map (fun r -> List.nth r.Journal.fields 2) records in
+        Alcotest.check
+          Alcotest.(list string)
+          "decision column" [ "answered"; "refused:policy"; "reset" ] decisions)
 
 let test_recover_replays () =
   with_tmp_journal (fun path ->
@@ -141,27 +167,38 @@ let test_recover_replays () =
       let live = Service.snapshot service in
       Service.close service;
       (* A fresh service over the same deployment, rebuilt from the log. *)
-      let recovered = make_journaled_service (Filename.temp_file "disclosure-j2" ".log") in
-      (match Service.recover recovered ~journal:path with
-      | Ok n -> Helpers.check_int "lines applied" 3 n
-      | Error e -> Alcotest.fail e);
-      Helpers.check_bool "replayed state = live state" true
-        (Service.snapshot recovered = live);
-      Service.close recovered)
+      with_tmp_journal (fun path2 ->
+          let recovered = make_journaled_service path2 in
+          (match Service.recover recovered ~journal:path with
+          | Ok r ->
+            Helpers.check_int "records applied" 3 r.Service.applied;
+            Helpers.check_bool "no checkpoint involved" true
+              (not r.Service.from_checkpoint);
+            Helpers.check_bool "no torn tail" true (not r.Service.torn_tail)
+          | Error e -> Alcotest.fail (Service.recovery_error_to_string e));
+          Helpers.check_bool "replayed state = live state" true
+            (Service.snapshot recovered = live);
+          Service.close recovered))
 
 let test_recover_errors () =
   with_tmp_journal (fun path ->
+      (* A legacy line for an unregistered principal: well-formed, but the
+         current deployment cannot re-apply it. *)
       Out_channel.with_open_text path (fun oc ->
           output_string oc "nobody\t-\tanswered\n");
       let service = make_service () in
       (match Service.recover service ~journal:path with
-      | Error msg ->
-        Helpers.check_bool "names file and line" true
-          (String.length msg > String.length path
-          && String.sub msg 0 (String.length path) = path)
+      | Error e ->
+        Helpers.check_bool "names the file" true (String.equal e.Service.file path);
+        Helpers.check_bool "replay error" true (e.Service.kind = `Replay);
+        Helpers.check_int "1-based line number" 1 e.Service.offset;
+        let s = Service.recovery_error_to_string e in
+        Helpers.check_bool "to_string leads with file:offset" true
+          (String.length s > String.length path
+          && String.sub s 0 (String.length path) = path)
       | Ok _ -> Alcotest.fail "unknown principal must fail replay");
       match Service.recover service ~journal:"/nonexistent/journal.log" with
-      | Error _ -> ()
+      | Error e -> Helpers.check_bool "io error" true (e.Service.kind = `Io)
       | Ok _ -> Alcotest.fail "missing file must fail replay")
 
 (* Replay-vs-live equivalence over random histories: whatever interleaving of
@@ -197,7 +234,7 @@ let test_recover_equivalence_random () =
         let fresh = make_service () in
         (match Service.recover fresh ~journal:path with
         | Ok _ -> ()
-        | Error e -> Alcotest.fail e);
+        | Error e -> Alcotest.fail (Service.recovery_error_to_string e));
         Helpers.check_bool "random history replays bit-identically" true
           (Service.snapshot fresh = live))
   done
@@ -248,14 +285,19 @@ let test_close_then_submit_warns () =
           (* The journal holds only the pre-close prefix. *)
           let fresh = make_service () in
           (match Service.recover fresh ~journal:path with
-          | Ok n -> Helpers.check_int "only the pre-close decision is durable" 1 n
-          | Error e -> Alcotest.fail e);
+          | Ok r ->
+            Helpers.check_int "only the pre-close decision is durable" 1
+              r.Service.applied
+          | Error e -> Alcotest.fail (Service.recovery_error_to_string e));
           Helpers.check_bool "recovered stats reflect the prefix" true
             (Service.stats fresh ~principal:"calendar-app" = (1, 0))))
 
 (* A crash mid-append can only truncate the final line from the right; such
    damage is tolerated (replay stops at the last complete record). The same
-   damage anywhere else, or damage truncation cannot explain, stays fatal. *)
+   damage anywhere else, or damage truncation cannot explain, stays fatal.
+   This exercises the {e legacy} heuristics, which survive for replaying
+   pre-v2 journals; the v2 torn/corrupt classification is tortured
+   exhaustively in test_crash.ml. *)
 let test_recover_torn_final_line () =
   let append path s =
     let oc = open_out_gen [ Open_append ] 0o644 path in
@@ -263,7 +305,7 @@ let test_recover_torn_final_line () =
     close_out oc
   in
   let run_history path =
-    let service = make_journaled_service path in
+    let service = make_journaled_service ~format:`Legacy path in
     ignore (Service.submit service ~principal:"calendar-app" (pq "Q(x) :- Meetings(x, y)"));
     ignore (Service.submit service ~principal:"crm-app" (pq "Q(x,y,z) :- Contacts(x,y,z)"));
     let live = Service.snapshot service in
@@ -280,8 +322,11 @@ let test_recover_torn_final_line () =
               append path torn;
               let fresh = make_service () in
               (match Service.recover fresh ~journal:path with
-              | Ok n -> Helpers.check_int ("applied up to torn " ^ String.escaped torn) 2 n
-              | Error e -> Alcotest.fail e);
+              | Ok r ->
+                Helpers.check_int ("applied up to torn " ^ String.escaped torn) 2
+                  r.Service.applied;
+                Helpers.check_bool "torn tail reported" true r.Service.torn_tail
+              | Error e -> Alcotest.fail (Service.recovery_error_to_string e));
               Helpers.check_bool "state stops at the last complete record" true
                 (Service.snapshot fresh = live);
               Helpers.check_int "torn line warns" 1 !warns)))
@@ -304,6 +349,200 @@ let test_recover_torn_final_line () =
       match Service.recover fresh ~journal:path with
       | Error _ -> ()
       | Ok _ -> Alcotest.fail "four-field line must fail replay")
+
+(* --- v2 escaping, checkpoints, rotation ------------------------------- *)
+
+(* A principal name carrying every separator the record format uses. *)
+let hostile = "evil\tapp\ninjected\t-\tanswered\r"
+
+let make_hostile_service ?journal ?journal_format () =
+  let service =
+    Service.create ?journal ?journal_format (Pipeline.create [ v1; v2; v3 ])
+  in
+  Service.register_stateless service ~principal:hostile ~views:[ v2 ];
+  Service.register service ~principal:"crm-app"
+    ~partitions:[ ("meetings", [ v1; v2 ]); ("contacts", [ v3 ]) ];
+  service
+
+(* Regression: a principal name containing tabs and newlines must not forge
+   record boundaries. The v2 format escapes it and round-trips through
+   recovery; the legacy format cannot escape, so submission refuses before
+   anything reaches the file or the monitor. *)
+let test_journal_field_injection_v2 () =
+  with_tmp_journal (fun path ->
+      let service = make_hostile_service ~journal:path () in
+      Helpers.check_bool "hostile principal answered" true
+        (Service.submit service ~principal:hostile (pq "Q(x) :- Meetings(x, y)")
+        = Monitor.Answered);
+      ignore (Service.submit service ~principal:"crm-app" (pq "Q(x,y,z) :- Contacts(x,y,z)"));
+      let live = Service.snapshot service in
+      Service.close service;
+      (match Journal.read_file path with
+      | Ok (records, None) ->
+        Helpers.check_int "exactly two records — no forged boundaries" 2
+          (List.length records);
+        Helpers.check_bool "hostile name round-trips" true
+          (List.hd (List.hd records).Journal.fields = hostile)
+      | Ok (_, Some _) -> Alcotest.fail "no torn tail expected"
+      | Error c -> Alcotest.failf "journal does not decode: %s" c.Journal.corrupt_reason);
+      let fresh = make_hostile_service () in
+      (match Service.recover fresh ~journal:path with
+      | Ok r -> Helpers.check_int "both records replay" 2 r.Service.applied
+      | Error e -> Alcotest.fail (Service.recovery_error_to_string e));
+      Helpers.check_bool "recovered = live" true (Service.snapshot fresh = live))
+
+let test_journal_field_injection_legacy_refused () =
+  with_tmp_journal (fun path ->
+      let service = make_hostile_service ~journal:path ~journal_format:`Legacy () in
+      (match Service.submit service ~principal:hostile (pq "Q(x) :- Meetings(x, y)") with
+      | Monitor.Refused (Guard.Malformed _) -> ()
+      | d ->
+        Alcotest.failf "legacy journal must refuse unescapable fields, got %a"
+          Monitor.pp_decision d);
+      Helpers.check_bool "nothing committed to the monitor" true
+        (Service.stats service ~principal:hostile = (0, 0));
+      Service.close service;
+      Helpers.check_bool "nothing reached the file" true
+        (In_channel.with_open_bin path In_channel.input_all = ""))
+
+let test_checkpoint_and_compaction () =
+  with_tmp_journal (fun path ->
+      let service = make_journaled_service path in
+      ignore (Service.submit service ~principal:"crm-app" (pq "Q(x,y,z) :- Contacts(x,y,z)"));
+      ignore (Service.submit service ~principal:"calendar-app" (pq "Q(x) :- Meetings(x, y)"));
+      (match Service.checkpoint service with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e);
+      Helpers.check_bool "checkpoint file exists" true (Sys.file_exists (path ^ ".ckpt"));
+      Helpers.check_int "one checkpoint written" 1 (Service.checkpoint_count service);
+      Helpers.check_int "active segment sealed by one rotation" 1
+        (Service.rotation_count service);
+      Helpers.check_bool "covered segment compacted away" true
+        (not (Sys.file_exists (path ^ ".1")));
+      (* The tail: decisions after the checkpoint. *)
+      ignore (Service.submit service ~principal:"calendar-app" (pq "Q(x, y) :- Meetings(x, y)"));
+      Service.reset service ~principal:"crm-app";
+      let live = Service.snapshot service in
+      Service.close service;
+      let fresh = make_service () in
+      (match Service.recover fresh ~journal:path with
+      | Ok r ->
+        Helpers.check_int "only the tail replays" 2 r.Service.applied;
+        Helpers.check_bool "restored from the checkpoint" true r.Service.from_checkpoint
+      | Error e -> Alcotest.fail (Service.recovery_error_to_string e));
+      Helpers.check_bool "checkpoint + tail = live" true (Service.snapshot fresh = live))
+
+(* The checkpoint is written atomically, so it has no torn-tail excuse: any
+   damage is a typed fail-closed refusal naming the file. *)
+let test_corrupt_checkpoint_fails_closed () =
+  with_tmp_journal (fun path ->
+      let service = make_journaled_service path in
+      ignore (Service.submit service ~principal:"calendar-app" (pq "Q(x) :- Meetings(x, y)"));
+      (match Service.checkpoint service with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e);
+      Service.close service;
+      let ckpt = path ^ ".ckpt" in
+      let s = In_channel.with_open_bin ckpt In_channel.input_all in
+      let b = Bytes.of_string s in
+      let i = Bytes.length b / 2 in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x01));
+      Out_channel.with_open_bin ckpt (fun oc -> Out_channel.output_bytes oc b);
+      let fresh = make_service () in
+      match Service.recover fresh ~journal:path with
+      | Error e ->
+        Helpers.check_bool "typed checkpoint corruption" true
+          (e.Service.kind = `Corrupt_checkpoint);
+        Helpers.check_bool "names the checkpoint file" true
+          (String.equal e.Service.file ckpt)
+      | Ok _ -> Alcotest.fail "damaged checkpoint must fail closed")
+
+let test_segment_rotation_and_missing_segment () =
+  with_tmp_journal (fun path ->
+      (* A threshold smaller than one record: every append seals a segment. *)
+      let service = make_journaled_service ~segment_bytes:16 path in
+      for _ = 1 to 3 do
+        ignore
+          (Service.submit service ~principal:"calendar-app" (pq "Q(x) :- Meetings(x, y)"))
+      done;
+      ignore (Service.submit service ~principal:"crm-app" (pq "Q(x,y,z) :- Contacts(x,y,z)"));
+      let live = Service.snapshot service in
+      Service.close service;
+      Helpers.check_bool "rotation happened" true (Service.rotation_count service >= 2);
+      Helpers.check_bool "first rotated segment exists" true
+        (Sys.file_exists (path ^ ".1"));
+      let fresh = make_service () in
+      (match Service.recover fresh ~journal:path with
+      | Ok r -> Helpers.check_int "all segments replay" 4 r.Service.applied
+      | Error e -> Alcotest.fail (Service.recovery_error_to_string e));
+      Helpers.check_bool "multi-segment recovery = live" true
+        (Service.snapshot fresh = live);
+      (* A missing middle segment is a hole in the history: fail closed, do
+         not silently skip it. *)
+      Sys.remove (path ^ ".1");
+      let fresh2 = make_service () in
+      match Service.recover fresh2 ~journal:path with
+      | Error e ->
+        Helpers.check_bool "missing segment is an io error" true (e.Service.kind = `Io)
+      | Ok _ -> Alcotest.fail "a gap in the segment sequence must fail recovery")
+
+(* Property (qcheck): live ≡ full-replay ≡ checkpoint-plus-tail-replay over
+   random histories, at every checkpoint cadence — including "after every
+   decision" (cadence 1) and "never" (cadence 0 = pure replay). *)
+let random_queries =
+  [|
+    pq "Q(x) :- Meetings(x, y)";
+    pq "Q(x, y) :- Meetings(x, y)";
+    pq "Q(y) :- Meetings(x, y)";
+    pq "Q(x, y, z) :- Contacts(x, y, z)";
+    pq "Q(x) :- Contacts(x, y, z)";
+    pq "Q(x) :- Meetings(x, y), Contacts(y, e, p)";
+    pq "Q() :- Unknown(u)";
+  |]
+
+let prop_recovery_equivalence =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:50
+       ~name:"live ≡ replay ≡ checkpoint+tail, at every cadence"
+       QCheck.(list_of_size Gen.(1 -- 12) (pair (int_bound 1) (int_bound 7)))
+       (fun history ->
+         List.for_all
+           (fun cadence ->
+             with_tmp_journal (fun path ->
+                 let service = make_journaled_service path in
+                 let n = ref 0 in
+                 List.iter
+                   (fun (pi, ai) ->
+                     let principal = [| "calendar-app"; "crm-app" |].(pi) in
+                     (if ai >= Array.length random_queries then
+                        Service.reset service ~principal
+                      else ignore (Service.submit service ~principal random_queries.(ai)));
+                     incr n;
+                     if cadence > 0 && !n mod cadence = 0 then
+                       match Service.checkpoint service with
+                       | Ok () -> ()
+                       | Error e -> failwith e)
+                   history;
+                 let live = Service.snapshot service in
+                 Service.close service;
+                 let fresh = make_service () in
+                 (match Service.recover fresh ~journal:path with
+                 | Ok _ -> ()
+                 | Error e -> failwith (Service.recovery_error_to_string e));
+                 Service.snapshot fresh = live))
+           [ 0; 1; 3 ]))
+
+(* The time source behind stage observations must be monotonic: never
+   decreasing, and elapsed_s can never go negative even against a
+   later-than-now origin. *)
+let test_mclock_monotonic () =
+  let t0 = Mclock.now_ns () in
+  let t1 = Mclock.now_ns () in
+  Helpers.check_bool "non-decreasing" true (Int64.compare t1 t0 >= 0);
+  Helpers.check_bool "elapsed is clamped at zero" true
+    (Mclock.elapsed_s ~since:(Int64.add (Mclock.now_ns ()) 1_000_000_000L) >= 0.);
+  Helpers.check_bool "elapsed of a past origin is positive or zero" true
+    (Mclock.elapsed_s ~since:t0 >= 0.)
 
 let test_label_decode_errors () =
   Helpers.check_bool "garbage" true (Result.is_error (Label.decode "zz"));
@@ -331,4 +570,16 @@ let suite =
       test_close_then_submit_warns;
     Alcotest.test_case "recover tolerates a torn final line only" `Quick
       test_recover_torn_final_line;
+    Alcotest.test_case "v2 escapes hostile journal fields" `Quick
+      test_journal_field_injection_v2;
+    Alcotest.test_case "legacy refuses unescapable journal fields" `Quick
+      test_journal_field_injection_legacy_refused;
+    Alcotest.test_case "checkpoint, compaction, tail replay" `Quick
+      test_checkpoint_and_compaction;
+    Alcotest.test_case "corrupt checkpoint fails closed" `Quick
+      test_corrupt_checkpoint_fails_closed;
+    Alcotest.test_case "segment rotation and missing-segment detection" `Quick
+      test_segment_rotation_and_missing_segment;
+    prop_recovery_equivalence;
+    Alcotest.test_case "monotonic clock" `Quick test_mclock_monotonic;
   ]
