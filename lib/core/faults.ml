@@ -5,6 +5,7 @@ type stage =
   | Label
   | Decide
   | Journal
+  | Journal_flush
   | Checkpoint
   | Ckpt_rename
   | Rotate
@@ -18,7 +19,7 @@ exception Injected of string
 
 let submission_stages = [ Admission; Minimize; Dissect; Label; Decide; Journal ]
 
-let all_stages = submission_stages @ [ Checkpoint; Ckpt_rename; Rotate ]
+let all_stages = submission_stages @ [ Journal_flush; Checkpoint; Ckpt_rename; Rotate ]
 
 let stage_index = function
   | Admission -> 0
@@ -27,9 +28,10 @@ let stage_index = function
   | Label -> 3
   | Decide -> 4
   | Journal -> 5
-  | Checkpoint -> 6
-  | Ckpt_rename -> 7
-  | Rotate -> 8
+  | Journal_flush -> 6
+  | Checkpoint -> 7
+  | Ckpt_rename -> 8
+  | Rotate -> 9
 
 let stage_name = function
   | Admission -> "admission"
@@ -38,6 +40,7 @@ let stage_name = function
   | Label -> "label"
   | Decide -> "decide"
   | Journal -> "journal"
+  | Journal_flush -> "journal-flush"
   | Checkpoint -> "checkpoint"
   | Ckpt_rename -> "ckpt-rename"
   | Rotate -> "rotate"

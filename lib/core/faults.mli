@@ -18,6 +18,12 @@ type stage =
   | Label  (** Before per-atom labeling. *)
   | Decide  (** Before the monitor's coverage evaluation. *)
   | Journal  (** Before the decision-journal append. *)
+  | Journal_flush
+      (** Between buffering a journal record and flushing it — some of the
+          record's bytes may already be on disk, none of them durably. Trips
+          only when a journal is actually open (unlike [Journal], which trips
+          on every submission), so it is excluded from
+          {!submission_stages}. *)
   | Checkpoint  (** Before writing a checkpoint's temporary file. *)
   | Ckpt_rename  (** Before the atomic tmp → [.ckpt] rename. *)
   | Rotate  (** Before rotating the active journal segment. *)
@@ -36,7 +42,8 @@ val submission_stages : stage list
     the fault-matrix suite asserts that a fault at any of these refuses the
     query. The maintenance stages ([Checkpoint], [Ckpt_rename], [Rotate])
     are not on that path — a fault there must {e not} refuse anything, only
-    fail the maintenance operation — so they are excluded here. *)
+    fail the maintenance operation — so they are excluded here, as is
+    [Journal_flush], which never trips on a journal-less service. *)
 
 val stage_name : stage -> string
 

@@ -169,6 +169,26 @@ let read_file path =
   in
   parse content
 
+(* The full header shape: magic, 8 hex CRC digits, a space, at least one
+   length digit, a space. The magic alone is not enough — a legacy line's
+   principal may legally begin with "J2 " (legacy only refuses separator
+   bytes), and misrouting it to the v2 parser would fail a replayable
+   journal closed as corrupt. *)
+let has_v2_header s =
+  let n = String.length s in
+  n >= 12
+  && String.sub s 0 3 = magic
+  && (let hex_ok = ref true in
+      for i = 3 to 10 do
+        if not (is_hex s.[i]) then hex_ok := false
+      done;
+      !hex_ok)
+  && s.[11] = ' '
+  &&
+  let j = ref 12 in
+  while !j < n && is_digit s.[!j] do incr j done;
+  !j > 12 && !j < n && s.[!j] = ' '
+
 let is_v2_file path =
   match open_in_bin path with
   | exception Sys_error _ -> false
@@ -176,6 +196,12 @@ let is_v2_file path =
     Fun.protect
       ~finally:(fun () -> close_in_noerr ic)
       (fun () ->
-        match really_input_string ic 3 with
-        | s -> s = magic
-        | exception End_of_file -> false)
+        (* A whole header fits well inside 64 bytes: 3 magic + 8 CRC + 1 +
+           at most 19 length digits + 1. A first record torn inside the
+           header is routed to the legacy parser, which reaches the same
+           verdict (torn final line, or fail closed mid-file). *)
+        let chunk = really_input_string ic (min 64 (in_channel_length ic)) in
+        has_v2_header
+          (match String.index_opt chunk '\n' with
+          | Some nl -> String.sub chunk 0 nl
+          | None -> chunk))

@@ -67,6 +67,10 @@ val read_file : string -> (record list * torn option, corrupt) result
 (** {!parse} of the file's contents. @raise Sys_error as [open_in] does. *)
 
 val is_v2_file : string -> bool
-(** Does the file start with the v2 magic? ([false] also on an empty or
-    unreadable file — used to route legacy TSV journals to the old
-    parser.) *)
+(** Does the file's first line carry a complete, well-formed v2 header
+    (magic, 8 hex CRC digits, space, decimal length, space)? The magic
+    alone would misroute a legacy journal whose first principal begins with
+    ["J2 "]. [false] also on an empty or unreadable file, or a first record
+    torn inside its header — the legacy parser reaches the same verdict for
+    those (torn final line, or fail closed mid-file). Used to route legacy
+    TSV journals to the old parser. *)

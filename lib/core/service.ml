@@ -163,10 +163,52 @@ let monitor_of t principal =
    record; the legacy format is the raw TAB-separated line, kept only for
    replaying pre-v2 journals — writing it refuses fields that contain the
    separators it cannot escape. Appends are flushed so the journal never
-   trails a committed decision; the [Journal] fault stage trips before the
-   write so tests can force the append to fail. *)
+   trails a committed decision, and a failed append rolls the segment back
+   to the last committed record so it never gains unparseable bytes either.
+   The [Journal] fault stage trips before anything is written, the
+   [Journal_flush] stage after the record is buffered but before it is
+   durable. *)
 
 let field_has_separator s = String.exists (fun c -> c = '\t' || c = '\n' || c = '\r') s
+
+(* A failed append may leave a prefix of the record on disk (partial write)
+   and the rest in the channel buffer; either way the next successful append
+   would be concatenated onto the garbage, forming a line no parser can
+   explain, and the *next* recovery would fail closed on a journal whose
+   every committed record was well-formed when written. Discard the channel
+   (dropping whatever is still buffered), truncate the file back to the last
+   committed record, and reopen. If even that fails, seal the journal:
+   refusing later decisions is fail-closed; appending them after garbage is
+   not. *)
+let discard_partial_append t cfg j =
+  try
+    close_out_noerr j.oc;
+    let fd = Unix.openfile cfg.base [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () -> Unix.ftruncate fd j.bytes);
+    j.oc <- open_out_gen [ Open_append; Open_creat ] 0o644 cfg.base
+  with e ->
+    t.journal <- Closed_journal;
+    Log.err (fun m ->
+        m "journal unrecoverable after a failed append — sealing it (decisions from \
+           here on are refused rather than journaled after garbage): %s"
+          (Printexc.to_string e))
+
+(* Write [s] (one framed record or legacy line) and flush it, committing
+   [j.bytes] only on success; on failure, roll the segment back to the
+   commit point before re-raising. The [Journal_flush] fault stage injects
+   at the most dangerous instant: bytes handed to the channel, none of them
+   durable. *)
+let append_bytes t cfg j s =
+  (try
+     output_string j.oc s;
+     Faults.trip Faults.Journal_flush;
+     flush j.oc
+   with e ->
+     discard_partial_append t cfg j;
+     raise e);
+  j.bytes <- j.bytes + String.length s
 
 (* Rotate the active segment: close, rename to the next numbered segment,
    reopen a fresh active file. Raises on failure, but always leaves [j.oc]
@@ -218,10 +260,7 @@ let journal_append t ~principal ~label ~decision =
           let cfg = Option.get t.jcfg in
           match cfg.format with
           | `V2 ->
-            let record = Journal.encode [ principal; label; decision ] in
-            output_string j.oc record;
-            flush j.oc;
-            j.bytes <- j.bytes + String.length record;
+            append_bytes t cfg j (Journal.encode [ principal; label; decision ]);
             maybe_rotate t cfg j
           | `Legacy ->
             (* The legacy line format cannot escape its separators: a hostile
@@ -235,13 +274,8 @@ let journal_append t ~principal ~label ~decision =
                 (Guard.Refuse
                    (Guard.Malformed
                       "journal field contains a tab or newline the legacy format cannot escape"));
-            output_string j.oc principal;
-            output_char j.oc '\t';
-            output_string j.oc label;
-            output_char j.oc '\t';
-            output_string j.oc decision;
-            output_char j.oc '\n';
-            flush j.oc))
+            append_bytes t cfg j
+              (String.concat "\t" [ principal; label; decision ] ^ "\n")))
   with
   | () -> Ok ()
   | exception Guard.Refuse reason -> Error reason
@@ -524,7 +558,8 @@ let replay_v2 t ~file ~tolerate_torn =
                 file tr.Journal.torn_offset tr.Journal.torn_reason))
         torn;
       let rec loop applied = function
-        | [] -> Ok (applied, torn <> None)
+        | [] ->
+          Ok (applied, Option.map (fun (tr : Journal.torn) -> tr.Journal.torn_offset) torn)
         | ({ Journal.offset; fields } : Journal.record) :: rest -> (
           match fields with
           | [ principal; label_s; decision ] -> (
@@ -549,7 +584,7 @@ let replay_v2 t ~file ~tolerate_torn =
    right could explain (missing fields, a strict prefix of a valid decision
    or refusal tag), on the file's final line only. *)
 let replay_legacy t ~file ~tolerate_torn =
-  match open_in file with
+  match open_in_bin file with
   | exception Sys_error msg -> Error { file; offset = 0; kind = `Io; detail = msg }
   | ic ->
     Fun.protect
@@ -589,11 +624,17 @@ let replay_legacy t ~file ~tolerate_torn =
             | _ :: _ :: _ :: _ :: _ -> fatal `Corrupt_record "%s:%d: malformed journal line %S" file lineno line
             | _ -> torn "%s:%d: malformed journal line %S" file lineno line
         in
+        (* Each line is paired with its starting byte offset so a tolerated
+           torn final line can be truncated away. *)
+        let input () =
+          let off = pos_in ic in
+          Option.map (fun line -> (off, line)) (In_channel.input_line ic)
+        in
         let rec loop lineno pending applied =
           match pending with
-          | None -> Ok (applied, false)
-          | Some line -> (
-            let next = In_channel.input_line ic in
+          | None -> Ok (applied, None)
+          | Some (off, line) -> (
+            let next = input () in
             match apply lineno line with
             | `Noop -> loop (lineno + 1) next applied
             | `Applied -> loop (lineno + 1) next (applied + 1)
@@ -602,13 +643,13 @@ let replay_legacy t ~file ~tolerate_torn =
               if next = None && tolerate_torn then begin
                 Log.warn (fun m ->
                     m "stopping at torn final journal line (partial write at crash): %s" msg);
-                Ok (applied, true)
+                Ok (applied, Some off)
               end
               else
                 Error
                   { file; offset = lineno; kind = `Corrupt_record; detail = msg })
         in
-        loop 1 (In_channel.input_line ic) 0)
+        loop 1 (input ()) 0)
 
 (* Load and apply <base>.ckpt. A checkpoint is written atomically (tmp +
    fsync + rename), so unlike the active segment it has no torn-tail excuse:
@@ -663,6 +704,38 @@ let load_checkpoint t base =
         | _ -> corrupt header.Journal.offset "malformed checkpoint header")
       | _ -> corrupt header.Journal.offset "not a checkpoint file")
 
+(* A tolerated torn tail must also come off the disk: the active segment is
+   held open in append mode ({!create}), so leaving the partial record in
+   place would concatenate the first post-recovery decision onto it — and
+   the *next* recovery would fail closed on the merged line, defeating
+   durability exactly on the ordinary crash / restart / crash sequence.
+   When this service holds the file open (the Server.create-then-recover
+   path), truncate through its own descriptor and resync the byte count so
+   appends resume at the commit point; otherwise truncate by path, healing
+   the file for whoever opens it next. A truncation failure is a typed
+   refusal: recovery must not hand back a service whose journal is not
+   append-safe. *)
+let truncate_torn_tail t ~file ~offset =
+  match
+    match (t.journal, t.jcfg) with
+    | Open_journal j, Some cfg when cfg.base = file ->
+      flush j.oc;
+      Unix.ftruncate (Unix.descr_of_out_channel j.oc) offset;
+      j.bytes <- offset
+    | _ ->
+      let fd = Unix.openfile file [ Unix.O_WRONLY ] 0o644 in
+      Fun.protect ~finally:(fun () -> Unix.close fd) (fun () -> Unix.ftruncate fd offset)
+  with
+  | () -> Ok ()
+  | exception e ->
+    Error
+      {
+        file;
+        offset;
+        kind = `Io;
+        detail = "failed to truncate the torn tail: " ^ Printexc.to_string e;
+      }
+
 let recover t ~journal:base =
   Hashtbl.iter (fun _ m -> Monitor.reset m) t.monitors;
   let ( let* ) = Result.bind in
@@ -711,7 +784,12 @@ let recover t ~journal:base =
           if Journal.is_v2_file file then replay_v2 t ~file ~tolerate_torn
           else replay_legacy t ~file ~tolerate_torn
         in
-        replay (i + 1) (applied + n) (torn_any || torn) rest
+        let* () =
+          match torn with
+          | None -> Ok ()
+          | Some offset -> truncate_torn_tail t ~file ~offset
+        in
+        replay (i + 1) (applied + n) (torn_any || torn <> None) rest
     in
     replay 0 0 false files
   end

@@ -190,7 +190,8 @@ type recovery_error = {
       (** Byte offset of the offending record (v2 files and checkpoints) or
           1-based line number (legacy files). *)
   kind : [ `Io | `Corrupt_record | `Corrupt_checkpoint | `Replay ];
-      (** [`Io]: unreadable file or missing segment. [`Corrupt_record]: a
+      (** [`Io]: unreadable file, missing segment, or a tolerated torn tail
+          that could not be truncated away. [`Corrupt_record]: a
           record that fails framing, length, CRC, or escaping checks — or a
           torn record anywhere but the final file's tail. [`Corrupt_checkpoint]:
           the same for [<base>.ckpt], which is written atomically and so has
@@ -223,9 +224,14 @@ val recover : t -> journal:string -> (recovery, recovery_error) result
 
     - {e torn tail} — the final file ends mid-record (no trailing newline; a
       record commits only when its newline is on disk): tolerated. The
-      partial record is dropped with a logged warning and recovery returns
-      [Ok] with [torn_tail = true]; the monitors hold the exact live state
-      of the longest committed prefix.
+      partial record is dropped with a logged warning, {e truncated from the
+      file} (through this service's own journal channel when it holds the
+      segment open — the [create]-then-[recover] restart path — so appends
+      resume exactly at the commit point rather than merging with the
+      partial bytes), and recovery returns [Ok] with [torn_tail = true]; the
+      monitors hold the exact live state of the longest committed prefix. A
+      torn tail that cannot be truncated fails closed with [`Io]: recovery
+      never hands back a journal that is not append-safe.
     - {e corrupt record} — framing/length/CRC/escape damage on a complete
       record, or a torn record in a sealed segment: fail closed with
       [`Corrupt_record] naming file and offset. CRC-32 catches every error

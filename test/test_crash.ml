@@ -123,6 +123,55 @@ let test_truncate_every_offset () =
               r.Service.torn_tail expect_torn
       done)
 
+(* --- crash / restart / crash: append after a torn-tail recovery -------- *)
+
+(* The production restart sequence (Server.create then Server.recover on the
+   same base): recover over a torn tail, keep serving on the same active
+   segment, crash, recover again. Recovery must truncate the tolerated torn
+   record — otherwise the first post-recovery append merges with the partial
+   bytes into a line no parser accepts, and the second recovery fails
+   closed, losing every post-restart committed decision. *)
+let test_append_after_torn_recovery () =
+  with_base (fun base ->
+      let service = make_service ~journal:base () in
+      ignore (run_history service);
+      Service.close service;
+      let whole = read_file base in
+      for cut = 1 to String.length whole - 1 do
+        if whole.[cut - 1] <> '\n' then begin
+          write_file base (String.sub whole 0 cut);
+          let committed = count_newlines (String.sub whole 0 cut) in
+          (* Restart in production order: open the journal for appending
+             first, then recover over it. *)
+          let restarted = make_service ~journal:base () in
+          (match Service.recover restarted ~journal:base with
+          | Error e ->
+            Alcotest.failf "cut at %d: first recovery failed: %s" cut
+              (Service.recovery_error_to_string e)
+          | Ok r ->
+            if not r.Service.torn_tail then
+              Alcotest.failf "cut at %d: torn tail not reported" cut);
+          ignore (Service.submit restarted ~principal:"crm-app" q_slots);
+          ignore (Service.submit restarted ~principal:"calendar-app" q_meetings);
+          let live = Service.snapshot restarted in
+          Service.close restarted;
+          match recover_fresh base with
+          | Error e ->
+            Alcotest.failf "cut at %d: recovery after post-torn appends failed: %s"
+              cut
+              (Service.recovery_error_to_string e)
+          | Ok (r, snap) ->
+            if r.Service.applied <> committed + 2 then
+              Alcotest.failf "cut at %d: applied %d, expected %d" cut
+                r.Service.applied (committed + 2);
+            if r.Service.torn_tail then
+              Alcotest.failf "cut at %d: tail must be clean after truncation" cut;
+            if snap <> live then
+              Alcotest.failf "cut at %d: second recovery diverges from the live state"
+                cut
+        end
+      done)
+
 (* --- byte flips: every byte, several patterns -------------------------- *)
 
 let flip_patterns = [ 0x01; 0x80; 0xff ]
@@ -262,6 +311,8 @@ let () =
         [
           Alcotest.test_case "truncate the journal at every byte offset" `Quick
             test_truncate_every_offset;
+          Alcotest.test_case "append after a torn-tail recovery, then recover again"
+            `Quick test_append_after_torn_recovery;
           Alcotest.test_case "flip every byte of the first record" `Quick
             test_flip_first_record;
           Alcotest.test_case "flip every byte of a middle record" `Quick

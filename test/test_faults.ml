@@ -189,6 +189,41 @@ let test_journal_fault_keeps_replay_equivalent () =
       Alcotest.(check bool) "replay = live despite journal fault" true
         (Service.snapshot fresh = live))
 
+(* A fault between buffering a record and flushing it (what ENOSPC mid-append
+   looks like): the decision is refused and the monitor untouched, and — the
+   regression — the partially-appended bytes are rolled back, so the next
+   successful append starts a clean record and recovery replays the journal
+   instead of failing closed on a merged line. *)
+let test_journal_flush_fault_rolls_back () =
+  let path = Filename.temp_file "disclosure-flushfault" ".log" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let service = make_service ~journal:path () in
+      ignore (Service.submit service ~principal:"app" q_slots);
+      let before = Service.snapshot service in
+      (match
+         Faults.with_fault Faults.Journal_flush (Faults.Raise "disk full") (fun () ->
+             Service.submit service ~principal:"app" q_meetings)
+       with
+      | Monitor.Refused (Guard.Fault _) -> ()
+      | d -> Alcotest.failf "expected a fault refusal, got %a" Monitor.pp_decision d);
+      Alcotest.(check bool) "monitor untouched by the failed append" true
+        (Service.snapshot service = before);
+      ignore (Service.submit service ~principal:"app" q_meetings);
+      let live = Service.snapshot service in
+      Service.close service;
+      let fresh = make_service () in
+      (match Service.recover fresh ~journal:path with
+      | Ok r ->
+        Alcotest.(check int) "exactly the committed decisions replay" 2
+          r.Service.applied;
+        Alcotest.(check bool) "no torn tail left behind" true
+          (not r.Service.torn_tail)
+      | Error e -> Alcotest.fail (Service.recovery_error_to_string e));
+      Alcotest.(check bool) "replay = live despite the flush fault" true
+        (Service.snapshot fresh = live))
+
 (* Maintenance-path faults: a failed checkpoint (at the tmp-write or the
    rename) returns [Error], leaves the previous checkpoint and every segment
    intact, and never touches the monitor; once disarmed, checkpointing
@@ -353,6 +388,8 @@ let () =
           Alcotest.test_case "real deadline expiry" `Quick test_real_deadline_expiry;
           Alcotest.test_case "journal fault keeps replay equivalent" `Quick
             test_journal_fault_keeps_replay_equivalent;
+          Alcotest.test_case "journal flush fault rolls the segment back" `Quick
+            test_journal_flush_fault_rolls_back;
           Alcotest.test_case "checkpoint faults fail safe" `Quick
             test_checkpoint_faults_fail_safe;
           Alcotest.test_case "rotation fault never refuses" `Quick

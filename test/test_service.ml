@@ -350,6 +350,58 @@ let test_recover_torn_final_line () =
       | Error _ -> ()
       | Ok _ -> Alcotest.fail "four-field line must fail replay")
 
+(* Regression: a tolerated torn final line is truncated away at recovery, so
+   a service that keeps appending to the same journal afterwards starts its
+   first new record on a clean boundary instead of merging it with the
+   partial bytes (the legacy-format counterpart of test_crash.ml's
+   crash/restart/crash sequence). *)
+let test_legacy_append_after_torn_recovery () =
+  with_tmp_journal (fun path ->
+      let service = make_journaled_service ~format:`Legacy path in
+      ignore (Service.submit service ~principal:"calendar-app" (pq "Q(x) :- Meetings(x, y)"));
+      Service.close service;
+      (let oc = open_out_gen [ Open_append ] 0o644 path in
+       output_string oc "crm-app\t-\tansw";
+       close_out oc);
+      (* Restart in production order: open the journal for appending first,
+         then recover over it. *)
+      let restarted = make_journaled_service ~format:`Legacy path in
+      (match Service.recover restarted ~journal:path with
+      | Ok r -> Helpers.check_bool "torn tail reported" true r.Service.torn_tail
+      | Error e -> Alcotest.fail (Service.recovery_error_to_string e));
+      ignore (Service.submit restarted ~principal:"crm-app" (pq "Q(x,y,z) :- Contacts(x,y,z)"));
+      let live = Service.snapshot restarted in
+      Service.close restarted;
+      let fresh = make_service () in
+      (match Service.recover fresh ~journal:path with
+      | Ok r ->
+        Helpers.check_int "torn line gone, both commits replay" 2 r.Service.applied;
+        Helpers.check_bool "clean tail after truncation" true (not r.Service.torn_tail)
+      | Error e -> Alcotest.fail (Service.recovery_error_to_string e));
+      Helpers.check_bool "recovered = live" true (Service.snapshot fresh = live))
+
+(* Regression: a legacy journal whose first principal begins with the v2
+   magic bytes ("J2 " — legal, legacy only refuses separators) must still be
+   routed to the legacy parser: format detection reads the whole v2 header
+   shape, not just the magic. *)
+let test_legacy_principal_with_v2_magic () =
+  with_tmp_journal (fun path ->
+      let principal = "J2 app" in
+      let make ?journal () =
+        let s = Service.create ?journal ~journal_format:`Legacy (Pipeline.create [ v1; v2; v3 ]) in
+        Service.register_stateless s ~principal ~views:[ v2 ];
+        s
+      in
+      let service = make ~journal:path () in
+      ignore (Service.submit service ~principal (pq "Q(x) :- Meetings(x, y)"));
+      let live = Service.snapshot service in
+      Service.close service;
+      let fresh = make () in
+      (match Service.recover fresh ~journal:path with
+      | Ok r -> Helpers.check_int "legacy record replays" 1 r.Service.applied
+      | Error e -> Alcotest.fail (Service.recovery_error_to_string e));
+      Helpers.check_bool "recovered = live" true (Service.snapshot fresh = live))
+
 (* --- v2 escaping, checkpoints, rotation ------------------------------- *)
 
 (* A principal name carrying every separator the record format uses. *)
@@ -568,6 +620,10 @@ let suite =
       test_recover_equivalence_random;
     Alcotest.test_case "close-then-submit warns and loses durability" `Quick
       test_close_then_submit_warns;
+    Alcotest.test_case "legacy append after a torn-tail recovery" `Quick
+      test_legacy_append_after_torn_recovery;
+    Alcotest.test_case "legacy principal starting with the v2 magic" `Quick
+      test_legacy_principal_with_v2_magic;
     Alcotest.test_case "recover tolerates a torn final line only" `Quick
       test_recover_torn_final_line;
     Alcotest.test_case "v2 escapes hostile journal fields" `Quick
