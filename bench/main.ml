@@ -692,6 +692,134 @@ let run_server () =
   Format.printf "(wrote %s)@." json_path
 
 (* ------------------------------------------------------------------ *)
+(* Observability: tracing overhead (disabled / sampled / full)         *)
+
+(* Same 1-domain cache-off workload as the server benchmark's first row
+   (so the numbers are comparable to BENCH_server.json), run three ways:
+   recorder absent (the pre-observability serving path — the baseline),
+   1-in-16 head sampling, and every-query tracing. Wall time, best of
+   three passes per mode; identical query sequence and seeds across modes
+   so monitor-state evolution is the same everywhere. *)
+let run_obs () =
+  let pipeline = Fbschema.Fb_views.pipeline () in
+  let views = Array.of_list Fbschema.Fb_views.all in
+  let n = min options.n 20_000 in
+  let n_principals = 32 in
+  let principals = Array.init n_principals (Printf.sprintf "app-%d") in
+  let rng = Workload.Rng.create 2024 in
+  let policies =
+    Array.map
+      (fun _ ->
+        Policygen.partitions rng ~views ~max_partitions:2 ~max_elements:10)
+      principals
+  in
+  let g = Querygen.create ~seed:31337 () in
+  let queries = Array.init n (fun _ -> Querygen.generate g ~max_subqueries:3) in
+  let passes = 3 in
+  let run_mode trace =
+    let server =
+      Server.create ?trace
+        ~config:
+          {
+            Server.domains = 1;
+            mailbox_capacity = n;
+            cache_capacity = 0;
+            checkpoint_every = 0;
+            segment_bytes = 0;
+          }
+        pipeline
+    in
+    Array.iteri
+      (fun i principal -> Server.register server ~principal ~partitions:policies.(i))
+      principals;
+    Server.start server;
+    let best = ref infinity in
+    for _ = 1 to passes do
+      let wall =
+        time_wall (fun () ->
+            Array.iteri
+              (fun i q ->
+                ignore
+                  (Server.submit server ~principal:principals.(i mod n_principals) q))
+              queries;
+            Server.drain server)
+        |> snd
+      in
+      if wall < !best then best := wall
+    done;
+    Server.stop server;
+    !best
+  in
+  Format.printf "@.== Observability: tracing overhead (wall time, 1 domain) ==@.";
+  Format.printf
+    "   (%d queries over %d principals, cache off, best of %d passes; %d core(s) \
+     available)@.@."
+    n n_principals passes
+    (Domain.recommended_domain_count ());
+  let base = run_mode None in
+  let modes =
+    List.map
+      (fun (mode, sample) ->
+        let trace = Obs.Trace.create ~tracks:1 ~sample () in
+        let wall = run_mode (Some trace) in
+        (mode, wall, Obs.Trace.retained trace, Obs.Trace.dropped trace))
+      [ ("sampled16", 16); ("full", 1) ]
+  in
+  let overhead wall = (wall -. base) /. base *. 100.0 in
+  Format.printf "%-12s %12s %14s %10s %10s %10s@." "mode" "wall (s)" "queries/s"
+    "overhead" "retained" "dropped";
+  Format.printf "%-12s %12.3f %14.0f %9.1f%% %10s %10s@." "disabled" base
+    (float_of_int n /. base)
+    0.0 "-" "-";
+  List.iter
+    (fun (mode, wall, retained, dropped) ->
+      Format.printf "%-12s %12.3f %14.0f %9.1f%% %10d %10d@." mode wall
+        (float_of_int n /. wall)
+        (overhead wall) retained dropped)
+    modes;
+  let sampled_overhead =
+    match modes with (_, w, _, _) :: _ -> overhead w | [] -> 0.0
+  in
+  Format.printf
+    "@.acceptance: 1-in-16 sampling within 10%% of tracing disabled: %b@."
+    (sampled_overhead <= 10.0);
+  let json_path = Option.value options.server_json ~default:"BENCH_obs.json" in
+  let oc = open_out json_path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let mode_json =
+        Printf.sprintf
+          "{\"mode\": \"disabled\", \"wall_s\": %.4f, \"qps\": %.0f, \"overhead_pct\": \
+           0.0}"
+          base
+          (float_of_int n /. base)
+        :: List.map
+             (fun (mode, wall, retained, dropped) ->
+               Printf.sprintf
+                 "{\"mode\": \"%s\", \"wall_s\": %.4f, \"qps\": %.0f, \"overhead_pct\": \
+                  %.1f, \"scopes_retained\": %d, \"scopes_dropped\": %d}"
+                 mode wall
+                 (float_of_int n /. wall)
+                 (overhead wall) retained dropped)
+             modes
+        |> String.concat ",\n    "
+      in
+      Printf.fprintf oc
+        "{\n\
+        \  \"benchmark\": \"obs\",\n\
+        \  \"queries\": %d,\n\
+        \  \"principals\": %d,\n\
+        \  \"cores_available\": %d,\n\
+        \  \"passes\": %d,\n\
+        \  \"modes\": [\n    %s\n  ]\n\
+         }\n"
+        n n_principals
+        (Domain.recommended_domain_count ())
+        passes mode_json);
+  Format.printf "(wrote %s)@." json_path
+
+(* ------------------------------------------------------------------ *)
 (* Journal recovery: full replay vs checkpoint + tail                  *)
 
 (* Recovery wall time as a function of history length, with and without
@@ -895,7 +1023,7 @@ let () =
   parse_args ();
   let commands =
     if options.commands = [] then
-      [ "table2"; "fig3"; "fig5"; "fig6"; "ablation"; "guard"; "server"; "recover"; "micro" ]
+      [ "table2"; "fig3"; "fig5"; "fig6"; "ablation"; "guard"; "server"; "obs"; "recover"; "micro" ]
     else options.commands
   in
   Format.printf
@@ -910,6 +1038,7 @@ let () =
       | "ablation" -> run_ablation ()
       | "guard" -> run_guard ()
       | "server" -> run_server ()
+      | "obs" -> run_obs ()
       | "recover" -> run_recover ()
       | "micro" -> run_micro ()
       | "all" ->
@@ -920,10 +1049,11 @@ let () =
         run_ablation ();
         run_guard ();
         run_server ();
+        run_obs ();
         run_recover ();
         run_micro ()
       | other ->
         Format.printf
-          "unknown command %s (try table2|fig3|fig5|fig6|ablation|guard|server|recover|micro)@."
+          "unknown command %s (try table2|fig3|fig5|fig6|ablation|guard|server|obs|recover|micro)@."
           other)
     commands

@@ -8,6 +8,7 @@
      replay   replay a (principal, query) workload single-threaded
      serve    run a workload on the sharded multicore serving layer
      analyze  static policy diagnostics for a deployment config
+     stats    pretty-print a stats JSON document from `serve --stats`
 
    View files contain one security view definition per line, e.g.
 
@@ -27,11 +28,46 @@ module Label = Disclosure.Label
 module Policy = Disclosure.Policy
 module Monitor = Disclosure.Monitor
 
+(* Every command installs a Logs reporter first: the library logs real
+   operational warnings — journal-closed decisions, torn-tail drops, failed
+   automatic checkpoints — that would otherwise be silently discarded
+   because no reporter is set. Default level is warning; --verbose raises
+   it (repeatable: info, then debug), -q / --quiet silences everything.
+   Hand-rolled rather than Logs_cli.level because that term claims -v,
+   which several subcommands already use for --views. *)
+let setup_logs =
+  let init quiet verbose =
+    let level =
+      if quiet then None
+      else
+        match List.length verbose with
+        | 0 -> Some Logs.Warning
+        | 1 -> Some Logs.Info
+        | _ -> Some Logs.Debug
+    in
+    Logs.set_level level;
+    Logs.set_reporter (Logs_fmt.reporter ())
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Silence all log output.")
+  in
+  let verbose_arg =
+    Arg.(
+      value & flag_all
+      & info [ "verbose" ]
+          ~doc:"Log at info level; repeat for debug. Default logs warnings only.")
+  in
+  Term.(const init $ quiet_arg $ verbose_arg)
+
 let read_file path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
 
 let parse_views path =
   let text = read_file path in
@@ -143,7 +179,7 @@ let label_cmd =
   let queries_arg =
     Arg.(value & pos_all string [] & info [] ~docv:"QUERY" ~doc:"Queries to label.")
   in
-  let run views_file syntax queries =
+  let run () views_file syntax queries =
     let pipeline = Pipeline.create (load_views views_file) in
     let registry = Pipeline.registry pipeline in
     List.iter
@@ -155,7 +191,8 @@ let label_cmd =
     0
   in
   let doc = "Label queries with the security views needed to answer them." in
-  Cmd.v (Cmd.info "label" ~doc) Term.(const run $ optional_views_arg $ syntax_arg $ queries_arg)
+  Cmd.v (Cmd.info "label" ~doc)
+    Term.(const run $ setup_logs $ optional_views_arg $ syntax_arg $ queries_arg)
 
 (* --- check ---------------------------------------------------------- *)
 
@@ -195,7 +232,7 @@ let check_cmd =
   let queries_arg =
     Arg.(value & pos_all string [] & info [] ~docv:"QUERY" ~doc:"Queries to submit in order.")
   in
-  let run views_file syntax policy_spec fuel deadline queries =
+  let run () views_file syntax policy_spec fuel deadline queries =
     let views = load_views views_file in
     let pipeline = Pipeline.create views in
     let registry = Pipeline.registry pipeline in
@@ -225,8 +262,8 @@ let check_cmd =
   let doc = "Enforce a (possibly Chinese-Wall) policy over a sequence of queries." in
   Cmd.v (Cmd.info "check" ~doc)
     Term.(
-      const run $ optional_views_arg $ syntax_arg $ policy_arg $ fuel_arg $ deadline_arg
-      $ queries_arg)
+      const run $ setup_logs $ optional_views_arg $ syntax_arg $ policy_arg $ fuel_arg
+      $ deadline_arg $ queries_arg)
 
 (* --- lattice -------------------------------------------------------- *)
 
@@ -238,7 +275,7 @@ let lattice_cmd =
       & info [ "v"; "views" ] ~docv:"FILE"
           ~doc:"Security view definitions (at most 16 views).")
   in
-  let run views_file =
+  let run () views_file =
     let views = parse_views views_file in
     let universe = List.map (fun v -> v.Sview.atom) views in
     let lattice =
@@ -258,7 +295,7 @@ let lattice_cmd =
     0
   in
   let doc = "Print the disclosure lattice over the views as a Graphviz digraph." in
-  Cmd.v (Cmd.info "lattice" ~doc) Term.(const run $ views_arg)
+  Cmd.v (Cmd.info "lattice" ~doc) Term.(const run $ setup_logs $ views_arg)
 
 (* --- replay --------------------------------------------------------- *)
 
@@ -290,7 +327,7 @@ let replay_cmd =
              (principal<TAB>label<TAB>decision, one line per decision). The \
              journal can later rebuild monitor state via Service.recover.")
   in
-  let run config_file syntax workload_file fuel deadline journal =
+  let run () config_file syntax workload_file fuel deadline journal =
     let config =
       match Disclosure.Policyfile.parse_file config_file with
       | Ok c -> c
@@ -348,8 +385,8 @@ let replay_cmd =
   let doc = "Replay a workload of (principal, query) pairs against a deployment config." in
   Cmd.v (Cmd.info "replay" ~doc)
     Term.(
-      const run $ config_arg $ syntax_arg $ workload_arg $ fuel_arg $ deadline_arg
-      $ journal_arg)
+      const run $ setup_logs $ config_arg $ syntax_arg $ workload_arg $ fuel_arg
+      $ deadline_arg $ journal_arg)
 
 (* --- serve ----------------------------------------------------------- *)
 
@@ -426,18 +463,73 @@ let serve_cmd =
     Arg.(
       value & flag
       & info [ "stats" ]
-          ~doc:"Print serving metrics (counters, per-stage latency, cache) at exit.")
+          ~doc:
+            "Print the serving stats JSON document (uptime, start timestamp, shard \
+             count, counters, per-stage latency, cache, trace retention) on stdout at \
+             exit. Pipe it to $(b,disclosurectl stats) for a human-readable view.")
   in
-  let run config_file syntax workload_file fuel deadline journal domains mailbox cache
-      checkpoint_every segment_bytes stats =
+  let trace_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace-event JSON file of the sampled queries at exit (and \
+             on SIGUSR1). Load it in chrome://tracing or ui.perfetto.dev; each shard \
+             renders as its own track. Enables tracing.")
+  in
+  let trace_sample_arg =
+    let nonneg_int =
+      let parse s =
+        match int_of_string_opt s with
+        | Some n when n >= 0 -> Ok n
+        | Some _ -> Error (`Msg "must be >= 0")
+        | None -> Error (`Msg "expected an integer")
+      in
+      Arg.conv (parse, Format.pp_print_int)
+    in
+    Arg.(
+      value & opt nonneg_int 1
+      & info [ "trace-sample" ] ~docv:"N"
+          ~doc:
+            "Head-sample one query in $(docv) per shard (1 = every query, 0 = none). \
+             Refused and slower-than $(b,--slow-ms) queries are always traced \
+             regardless.")
+  in
+  let slow_ms_arg =
+    Arg.(
+      value
+      & opt (some nonneg_float) None
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:
+            "Slow-query threshold in milliseconds: queries at or over it are always \
+             traced and listed in the slow-query log printed on stderr at exit. \
+             Enables tracing.")
+  in
+  let metrics_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a Prometheus text-exposition dump of the serving metrics at exit \
+             (and on SIGUSR1).")
+  in
+  let run () config_file syntax workload_file fuel deadline journal domains mailbox cache
+      checkpoint_every segment_bytes stats trace_out trace_sample slow_ms metrics_out =
     let config =
       match Disclosure.Policyfile.parse_file config_file with
       | Ok c -> c
       | Error e -> failwith e
     in
     let limits = limits_of fuel deadline in
+    let trace =
+      if trace_out <> None || slow_ms <> None then
+        Some (Obs.Trace.create ~tracks:domains ~sample:trace_sample ?slow_ms ())
+      else None
+    in
     let server =
-      Server.create ~limits ?journal
+      Server.create ~limits ?journal ?trace
         ~config:
           {
             Server.domains;
@@ -448,6 +540,17 @@ let serve_cmd =
           }
         (Pipeline.create config.Disclosure.Policyfile.views)
     in
+    let dump () =
+      (match (trace, trace_out) with
+      | Some tr, Some path -> write_file path (Obs.Chrome.export tr)
+      | _ -> ());
+      match metrics_out with
+      | Some path -> write_file path (Server.Metrics.to_prometheus (Server.metrics server))
+      | None -> ()
+    in
+    (match Sys.os_type with
+    | "Unix" -> Sys.set_signal Sys.sigusr1 (Sys.Signal_handle (fun _ -> dump ()))
+    | _ -> ());
     let resolve name =
       match
         List.find_opt
@@ -512,13 +615,12 @@ let serve_cmd =
           (String.concat ", " (Server.alive server ~principal)))
       (Server.principals server);
     Server.stop server;
-    if stats then begin
-      Format.printf "@.%a@." Server.Metrics.pp (Server.metrics server);
-      let c = Server.cache_stats server in
-      Format.printf "label cache: %d/%d entries, %d hits, %d misses, %d evictions@."
-        c.Server.Shard.entries c.Server.Shard.capacity c.Server.Shard.hits
-        c.Server.Shard.misses c.Server.Shard.evictions
-    end;
+    dump ();
+    (match trace with
+    | Some tr when Obs.Trace.slow_log tr <> [] ->
+      Format.eprintf "@.slow-query log:@.%a@." Obs.Trace.pp_slow_log tr
+    | _ -> ());
+    if stats then Format.printf "@.%s@." (Server.stats_json server);
     0
   in
   let doc =
@@ -527,9 +629,10 @@ let serve_cmd =
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
-      const run $ config_arg $ syntax_arg $ workload_arg $ fuel_arg $ deadline_arg
-      $ journal_arg $ domains_arg $ mailbox_arg $ cache_arg $ checkpoint_every_arg
-      $ segment_bytes_arg $ stats_arg)
+      const run $ setup_logs $ config_arg $ syntax_arg $ workload_arg $ fuel_arg
+      $ deadline_arg $ journal_arg $ domains_arg $ mailbox_arg $ cache_arg
+      $ checkpoint_every_arg $ segment_bytes_arg $ stats_arg $ trace_out_arg
+      $ trace_sample_arg $ slow_ms_arg $ metrics_out_arg)
 
 (* --- analyze -------------------------------------------------------- *)
 
@@ -540,7 +643,7 @@ let analyze_cmd =
       & opt (some file) None
       & info [ "c"; "config" ] ~docv:"FILE" ~doc:"Deployment configuration to analyze.")
   in
-  let run config_file =
+  let run () config_file =
     let config =
       match Disclosure.Policyfile.parse_file config_file with
       | Ok c -> c
@@ -604,12 +707,103 @@ let analyze_cmd =
     "Analyze a deployment for redundant views, redundant partitions, and partition \
      overlap (Section 2.2)."
   in
-  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ config_arg)
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ setup_logs $ config_arg)
+
+(* --- stats ---------------------------------------------------------- *)
+
+(* Pretty-print the JSON document emitted by [serve --stats] (or a bare
+   [Metrics.to_json] document) as a human-readable report: uptime,
+   throughput, counters, the per-stage latency table, cache, and trace
+   retention. *)
+let stats_cmd =
+  let file_arg =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:"Stats JSON document from $(b,serve --stats); reads stdin when absent.")
+  in
+  let run () file =
+    let module J = Obs.Json in
+    let text =
+      match file with
+      | Some path -> read_file path
+      | None -> In_channel.input_all stdin
+    in
+    let doc =
+      match J.parse text with
+      | Ok d -> d
+      | Error e -> failwith ("stats: " ^ e)
+    in
+    (* [serve --stats] wraps the metrics document; tolerate a bare
+       [Metrics.to_json] document too (no "metrics" member → the root is
+       the metrics object itself). *)
+    let metrics = match J.member "metrics" doc with Some m -> m | None -> doc in
+    let num path obj = Option.bind (J.member path obj) J.to_float in
+    let int_of path obj =
+      match num path obj with Some f -> Some (int_of_float f) | None -> None
+    in
+    (match (num "started_at" doc, num "uptime_s" doc) with
+    | Some t0, Some up ->
+      Format.printf "started %.3f (epoch s), up %.3fs" t0 up;
+      (match int_of "shards" doc with
+      | Some n -> Format.printf ", %d shard(s)" n
+      | None -> ());
+      (match int_of "principals" doc with
+      | Some n -> Format.printf ", %d principal(s)" n
+      | None -> ());
+      Format.printf "@.";
+      (match (num "submitted" metrics, up > 0.) with
+      | Some n, true -> Format.printf "throughput: %.1f queries/s@." (n /. up)
+      | _ -> ())
+    | _ -> ());
+    Format.printf "@.counters:@.";
+    List.iter
+      (fun c ->
+        let name = Server.Metrics.counter_name c in
+        match int_of name metrics with
+        | Some v -> Format.printf "  %-18s %d@." name v
+        | None -> ())
+      Server.Metrics.counters;
+    (match J.member "stages" metrics with
+    | None -> ()
+    | Some stages ->
+      Format.printf "@.%-14s %10s %12s %12s %12s@." "stage" "count" "mean" "p50" "p99";
+      List.iter
+        (fun s ->
+          let name = Server.Metrics.stage_name s in
+          match J.member name stages with
+          | None -> ()
+          | Some h ->
+            let ns path = Option.value ~default:0. (num path h) in
+            let count = match int_of "count" h with Some c -> c | None -> 0 in
+            if count > 0 then
+              Format.printf "  %-12s %10d %11.1fus %11.1fus %11.1fus@." name count
+                (ns "mean_ns" /. 1e3) (ns "p50_ns" /. 1e3) (ns "p99_ns" /. 1e3))
+        Server.Metrics.stages);
+    (match J.member "cache" doc with
+    | None -> ()
+    | Some c ->
+      let g path = match int_of path c with Some v -> v | None -> 0 in
+      Format.printf "@.label cache: %d/%d entries, %d hits, %d misses, %d evictions@."
+        (g "entries") (g "capacity") (g "hits") (g "misses") (g "evictions"));
+    (match J.member "trace" doc with
+    | None -> ()
+    | Some tr ->
+      let g path = match int_of path tr with Some v -> v | None -> 0 in
+      Format.printf "@.trace: 1-in-%d sampling, %d scope(s) retained, %d dropped@."
+        (g "sample") (g "retained") (g "dropped"));
+    0
+  in
+  let doc =
+    "Pretty-print a stats JSON document produced by $(b,disclosurectl serve --stats)."
+  in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ setup_logs $ file_arg)
 
 (* --- audit ---------------------------------------------------------- *)
 
 let audit_cmd =
-  let run () =
+  let run () () =
     let module Audit = Disclosure.Audit in
     let module Perms = Fbschema.Fb_permissions in
     let discrepancies = Audit.compare_labelings ~left:Perms.fql ~right:Perms.graph in
@@ -619,13 +813,22 @@ let audit_cmd =
     0
   in
   let doc = "Audit the Facebook FQL vs Graph API permission documentation (Table 2)." in
-  Cmd.v (Cmd.info "audit" ~doc) Term.(const run $ const ())
+  Cmd.v (Cmd.info "audit" ~doc) Term.(const run $ setup_logs $ const ())
 
 let main_cmd =
   let doc = "fine-grained disclosure control for app ecosystems" in
   let info = Cmd.info "disclosurectl" ~version:"1.0.0" ~doc in
   Cmd.group info
-    [ label_cmd; check_cmd; lattice_cmd; audit_cmd; replay_cmd; serve_cmd; analyze_cmd ]
+    [
+      label_cmd;
+      check_cmd;
+      lattice_cmd;
+      audit_cmd;
+      replay_cmd;
+      serve_cmd;
+      stats_cmd;
+      analyze_cmd;
+    ]
 
 (* Evaluate with [~catch:false] so user-facing errors (bad files, malformed
    workloads, unknown principals) print as one clean line instead of

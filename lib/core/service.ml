@@ -21,8 +21,9 @@ type journal_state =
   | Closed_journal
 
 type observation = {
-  stage : [ `Label | `Decide | `Journal | `Checkpoint | `Rotate ];
+  stage : [ `Admit | `Label | `Decide | `Journal | `Checkpoint | `Rotate ];
   seconds : float;
+  detail : (string * string) list;
 }
 
 type t = {
@@ -118,13 +119,19 @@ let close t =
 
 (* Instrumented sections for the serving layer's metrics: only pay for a
    clock read when an observer is attached. Monotonic time — a wall-clock
-   step (NTP) must not poison the latency histograms. *)
-let observed t stage f =
+   step (NTP) must not poison the latency histograms. [detail] is forced
+   only at observation time, so stages can report attributes (journal
+   bytes, label width) computed inside the run without paying for them
+   when nobody is watching. *)
+let observed ?detail t stage f =
   match t.observe with
   | None -> f ()
   | Some observe ->
     let t0 = Mclock.now_ns () in
-    let finish () = observe { stage; seconds = Mclock.elapsed_s ~since:t0 } in
+    let finish () =
+      let detail = match detail with None -> [] | Some d -> d () in
+      observe { stage; seconds = Mclock.elapsed_s ~since:t0; detail }
+    in
     Fun.protect ~finally:finish f
 
 let pipeline t = t.pipeline
@@ -242,8 +249,12 @@ let maybe_rotate t cfg j =
             (Printexc.to_string e))
 
 let journal_append t ~principal ~label ~decision =
+  let appended = ref 0 in
   match
-    observed t `Journal (fun () ->
+    observed t `Journal
+      ~detail:(fun () ->
+        if !appended > 0 then [ ("journal_bytes", string_of_int !appended) ] else [])
+      (fun () ->
         Faults.trip Faults.Journal;
         match t.journal with
         | No_journal -> ()
@@ -260,7 +271,9 @@ let journal_append t ~principal ~label ~decision =
           let cfg = Option.get t.jcfg in
           match cfg.format with
           | `V2 ->
-            append_bytes t cfg j (Journal.encode [ principal; label; decision ]);
+            let s = Journal.encode [ principal; label; decision ] in
+            append_bytes t cfg j s;
+            appended := String.length s;
             maybe_rotate t cfg j
           | `Legacy ->
             (* The legacy line format cannot escape its separators: a hostile
@@ -274,8 +287,9 @@ let journal_append t ~principal ~label ~decision =
                 (Guard.Refuse
                    (Guard.Malformed
                       "journal field contains a tab or newline the legacy format cannot escape"));
-            append_bytes t cfg j
-              (String.concat "\t" [ principal; label; decision ] ^ "\n")))
+            let line = String.concat "\t" [ principal; label; decision ] ^ "\n" in
+            append_bytes t cfg j line;
+            appended := String.length line))
   with
   | () -> Ok ()
   | exception Guard.Refuse reason -> Error reason
@@ -360,7 +374,11 @@ let checkpoint t =
 (* --- guarded submission ----------------------------------------------- *)
 
 let guarded_label t q =
-  observed t `Label (fun () ->
+  let width = ref (-1) in
+  observed t `Label
+    ~detail:(fun () ->
+      if !width >= 0 then [ ("label_width", string_of_int !width) ] else [])
+    (fun () ->
       Guard.run t.limits (fun budget ->
           Faults.trip Faults.Admission;
           (match Guard.admit_query t.limits q with
@@ -370,6 +388,7 @@ let guarded_label t q =
           (match Guard.admit_label t.limits label with
           | Ok () -> ()
           | Error r -> raise (Guard.Refuse r));
+          width := List.length (Label.atoms label);
           label))
 
 let label_query t q = guarded_label t q
@@ -406,11 +425,17 @@ let decide_and_commit t ~principal m label =
 let submit_label t ~principal label =
   let m = monitor_of t principal in
   let decision =
-    match Guard.run t.limits (fun _budget ->
+    match
+      (* The admission check is its own observed stage: the cached serving
+         path skips labeling entirely, and without this the first timed
+         stage a cache hit reaches would be the decision — leaving the
+         admission cost invisible in traces. *)
+      observed t `Admit (fun () ->
+          Guard.run t.limits (fun _budget ->
               Faults.trip Faults.Admission;
               match Guard.admit_label t.limits label with
               | Ok () -> ()
-              | Error r -> raise (Guard.Refuse r))
+              | Error r -> raise (Guard.Refuse r)))
     with
     | Error reason ->
       ignore

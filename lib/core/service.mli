@@ -24,15 +24,22 @@ type journal_format = [ `V2 | `Legacy ]
     rotation nor checkpoints. *)
 
 type observation = {
-  stage : [ `Label | `Decide | `Journal | `Checkpoint | `Rotate ];
+  stage : [ `Admit | `Label | `Decide | `Journal | `Checkpoint | `Rotate ];
   seconds : float;
+  detail : (string * string) list;
+      (** Stage-specific attributes, for span emitters: [`Label] reports
+          ["label_width"] (atom count) on success, [`Journal] reports
+          ["journal_bytes"] (bytes appended) when a record was written.
+          Empty otherwise — and computed lazily, only when an observer is
+          attached. *)
 }
 (** One timed stage execution, reported to the [observe] callback of
-    {!create}: the guarded labeling run, the policy decision, the journal
-    append, a checkpoint write, or a segment rotation. Durations come from
-    the monotonic clock ({!Mclock}) and are never negative. Used by the
-    serving layer to feed per-stage latency histograms without the service
-    depending on any metrics machinery. *)
+    {!create}: the pre-decision label admission of {!submit_label}, the
+    guarded labeling run, the policy decision, the journal append, a
+    checkpoint write, or a segment rotation. Durations come from the
+    monotonic clock ({!Mclock}) and are never negative. Used by the serving
+    layer to feed per-stage latency histograms and trace spans without the
+    service depending on any metrics machinery. *)
 
 exception Unknown_principal of string
 exception Duplicate_principal of string

@@ -1,0 +1,47 @@
+(* Chrome trace-event format, the subset we emit: one "X" (complete) event
+   per span with ts/dur in fractional microseconds, pid fixed at 1, tid =
+   track, plus one "M" (metadata) thread_name event per track. Reference:
+   the "Trace Event Format" document that chrome://tracing and Perfetto
+   both implement. *)
+
+let us_of_ns ns = Int64.to_float ns /. 1e3
+
+let event ~epoch (s : Trace.span) =
+  Json.Obj
+    [
+      ("name", Json.Str s.Trace.name);
+      ("cat", Json.Str (if s.Trace.parent = None then "query" else "stage"));
+      ("ph", Json.Str "X");
+      ("ts", Json.Num (us_of_ns (Int64.sub s.Trace.start_ns epoch)));
+      ("dur", Json.Num (float_of_int s.Trace.dur_ns /. 1e3));
+      ("pid", Json.Num 1.0);
+      ("tid", Json.Num (float_of_int s.Trace.track));
+      ("id", Json.Num (float_of_int s.Trace.trace_id));
+      ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) s.Trace.attrs));
+    ]
+
+let thread_meta ~name tid =
+  Json.Obj
+    [
+      ("name", Json.Str "thread_name");
+      ("ph", Json.Str "M");
+      ("pid", Json.Num 1.0);
+      ("tid", Json.Num (float_of_int tid));
+      ("args", Json.Obj [ ("name", Json.Str name) ]);
+    ]
+
+let default_track_name i = "shard " ^ string_of_int i
+
+let export_json ?(track_name = default_track_name) t =
+  let epoch = Trace.epoch_ns t in
+  let metas =
+    List.init (Trace.tracks t) (fun i -> thread_meta ~name:(track_name i) i)
+  in
+  let events = List.map (event ~epoch) (Trace.spans t) in
+  Json.Obj
+    [
+      ("displayTimeUnit", Json.Str "ms");
+      ("traceEvents", Json.List (metas @ events));
+    ]
+
+let export ?track_name t = Json.to_string (export_json ?track_name t)

@@ -1,0 +1,19 @@
+(** Chrome trace-event exporter: renders a {!Trace.t}'s retained spans as a
+    JSON document loadable by [chrome://tracing] / Perfetto.
+
+    Every span becomes a complete event ([ph = "X"]) with microsecond
+    timestamps relative to the recorder's epoch; the shard index becomes
+    the [tid] so each worker domain renders as its own track, with a
+    [thread_name] metadata event labeling it. Span attributes land in
+    [args], so clicking a query shows its principal, outcome, cache level,
+    and so on. Nesting is by time containment, which {!Trace.query_end}
+    guarantees matches the parent links. *)
+
+val export_json : ?track_name:(int -> string) -> Trace.t -> Json.t
+(** The document as a JSON tree:
+    [{"displayTimeUnit": "ms", "traceEvents": [...]}]. [track_name]
+    (default [fun i -> "shard " ^ string_of_int i]) labels the per-track
+    metadata events. *)
+
+val export : ?track_name:(int -> string) -> Trace.t -> string
+(** [Json.to_string] of {!export_json} — well-formed by construction. *)

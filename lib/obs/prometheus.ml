@@ -1,0 +1,57 @@
+let escape_label s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* HELP text may not contain raw newlines; backslash must be escaped too. *)
+let escape_help s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let header buf ~name ~help ~typ =
+  Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name (escape_help help));
+  Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name typ)
+
+let value_to_string v =
+  if Float.is_nan v then "NaN"
+  else if v = Float.infinity then "+Inf"
+  else if v = Float.neg_infinity then "-Inf"
+  else if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let labels_to_string = function
+  | [] -> ""
+  | labels ->
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label v)) labels)
+    ^ "}"
+
+let sample buf ~name ?(labels = []) v =
+  Buffer.add_string buf
+    (Printf.sprintf "%s%s %s\n" name (labels_to_string labels) (value_to_string v))
+
+let histogram ?(labels = []) buf ~name ~buckets ~sum ~count =
+  List.iter
+    (fun (le, cumulative) ->
+      sample buf ~name:(name ^ "_bucket")
+        ~labels:(labels @ [ ("le", value_to_string le) ])
+        (float_of_int cumulative))
+    buckets;
+  sample buf ~name:(name ^ "_bucket") ~labels:(labels @ [ ("le", "+Inf") ]) (float_of_int count);
+  sample buf ~name:(name ^ "_sum") ~labels sum;
+  sample buf ~name:(name ^ "_count") ~labels (float_of_int count)

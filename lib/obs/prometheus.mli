@@ -1,0 +1,35 @@
+(** Prometheus text-exposition building blocks (format version 0.0.4, the
+    [text/plain] scrape format).
+
+    This module owns the formatting rules — label escaping, [# HELP] /
+    [# TYPE] headers, cumulative histogram series with a [+Inf] bucket and
+    [_sum] / [_count] — so that {!Metrics.to_prometheus} in the serving
+    layer only has to enumerate its counters and histograms. Emitters write
+    into a caller-supplied [Buffer.t]; one buffer per scrape. *)
+
+val escape_label : string -> string
+(** Escape a label {e value}: backslash, double quote, and newline, per the
+    exposition format. *)
+
+val header : Buffer.t -> name:string -> help:string -> typ:string -> unit
+(** [# HELP name help] and [# TYPE name typ] lines. Emit once per metric
+    family, before its samples. *)
+
+val sample : Buffer.t -> name:string -> ?labels:(string * string) list -> float -> unit
+(** One sample line: [name{k="v",...} value]. Values render integrally when
+    they are integral ([17], not [1.7e+01]); non-finite values render as
+    [+Inf] / [-Inf] / [NaN] as the format requires. *)
+
+val histogram :
+  ?labels:(string * string) list ->
+  Buffer.t ->
+  name:string ->
+  buckets:(float * int) list ->
+  sum:float ->
+  count:int ->
+  unit
+(** A full histogram family member: one [name_bucket{le="..."}] line per
+    entry of [buckets] — which must already be {e cumulative} counts with
+    increasing upper bounds — then the implicit [name_bucket{le="+Inf"}]
+    (= [count]), [name_sum], and [name_count]. [labels] are merged into
+    every line before the [le] label. *)

@@ -1,0 +1,278 @@
+module Mclock = Disclosure.Mclock
+
+type span = {
+  trace_id : int;
+  span_id : int;
+  parent : int option;
+  track : int;
+  name : string;
+  start_ns : int64;
+  dur_ns : int;
+  attrs : (string * string) list;
+}
+
+(* One bounded ring of retained spans per track. The track's worker domain
+   is the only writer, so a push is two plain atomic stores (slot, then
+   head) with no CAS; [head] counts pushes forever and the slot index is
+   [head land mask], so readers can reconstruct the window without any
+   writer cooperation. Slots hold immutable records — a racing reader sees
+   either the old span or the new one, never a torn mix. *)
+type ring = {
+  slots : span option Atomic.t array;
+  mask : int;
+  head : int Atomic.t;
+  mutable seen : int; (* queries begun on this track; owner-domain only *)
+}
+
+type t = {
+  sample : int; (* head-sample 1 in N; 0 = head sampling off *)
+  slow_ns : int; (* tail-retention threshold; 0 = none *)
+  epoch_ns : int64;
+  rings : ring array;
+  next_id : int Atomic.t; (* trace and span ids; unique, not dense *)
+  retained_count : int Atomic.t;
+  dropped_count : int Atomic.t;
+}
+
+(* A child span waiting for its scope to close: ids are only assigned (and
+   ring slots only touched) if the query is retained, so an unsampled,
+   unremarkable query costs a few cons cells and nothing shared. *)
+type pending = {
+  p_name : string;
+  p_start : int64;
+  p_end : int64;
+  p_attrs : (string * string) list;
+}
+
+type scope = {
+  recorder : t;
+  s_track : int;
+  s_name : string;
+  s_start : int64;
+  s_sampled : bool;
+  mutable principal : string;
+  mutable children : pending list; (* newest first *)
+  mutable notes : (string * string) list; (* newest first *)
+  mutable closed : bool;
+}
+
+let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (k * 2)
+
+let create ?(buffer = 4096) ?(sample = 1) ?slow_ms ~tracks () =
+  if tracks < 1 then invalid_arg "Trace.create: tracks must be >= 1";
+  if sample < 0 then invalid_arg "Trace.create: sample must be >= 0";
+  if buffer < 0 then invalid_arg "Trace.create: buffer must be >= 0";
+  let slow_ns =
+    match slow_ms with
+    | None -> 0
+    | Some ms when ms < 0.0 -> invalid_arg "Trace.create: slow_ms must be >= 0"
+    (* [max 1]: an explicit 0 threshold means "everything is slow", not the
+       internal "no threshold" sentinel. *)
+    | Some ms -> max 1 (int_of_float (ms *. 1e6))
+  in
+  let cap = pow2_at_least (max buffer 1) 1 in
+  {
+    sample;
+    slow_ns;
+    epoch_ns = Mclock.now_ns ();
+    rings =
+      Array.init tracks (fun _ ->
+          {
+            slots = Array.init cap (fun _ -> Atomic.make None);
+            mask = cap - 1;
+            head = Atomic.make 0;
+            seen = 0;
+          });
+    next_id = Atomic.make 1;
+    retained_count = Atomic.make 0;
+    dropped_count = Atomic.make 0;
+  }
+
+let sample_rate t = t.sample
+
+let slow_ns t = t.slow_ns
+
+let tracks t = Array.length t.rings
+
+let epoch_ns t = t.epoch_ns
+
+let fresh_id t = Atomic.fetch_and_add t.next_id 1
+
+(* --- recording ---------------------------------------------------------- *)
+
+let query_begin t ~track ?(name = "query") ?start_ns ?(force = false) ~principal () =
+  let track =
+    let n = Array.length t.rings in
+    if track >= 0 && track < n then track else (track land max_int) mod n
+  in
+  let ring = t.rings.(track) in
+  let sampled = force || (t.sample > 0 && ring.seen mod t.sample = 0) in
+  ring.seen <- ring.seen + 1;
+  let now = Mclock.now_ns () in
+  let s_start =
+    match start_ns with
+    | Some s when Int64.compare s now <= 0 && Int64.compare s 0L > 0 -> s
+    | _ -> now
+  in
+  {
+    recorder = t;
+    s_track = track;
+    s_name = name;
+    s_start;
+    s_sampled = sampled;
+    principal;
+    children = [];
+    notes = [];
+    closed = false;
+  }
+
+let sampled sc = sc.s_sampled
+
+let annotate sc k v = sc.notes <- (k, v) :: sc.notes
+
+let record ?(attrs = []) sc ~name ~seconds =
+  let p_end = Mclock.now_ns () in
+  let dur_ns = if seconds > 0.0 then Int64.of_float (seconds *. 1e9) else 0L in
+  sc.children <-
+    { p_name = name; p_start = Int64.sub p_end dur_ns; p_end; p_attrs = attrs }
+    :: sc.children
+
+let record_interval ?(attrs = []) sc ~name ~start_ns ~end_ns =
+  let end_ns = if Int64.compare end_ns start_ns < 0 then start_ns else end_ns in
+  sc.children <- { p_name = name; p_start = start_ns; p_end = end_ns; p_attrs = attrs } :: sc.children
+
+(* Keep only each key's most recent value, preserving first-written order
+   otherwise ([annotate] documents later-wins). *)
+let dedup_notes newest_first =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (k, v) -> if not (Hashtbl.mem seen k) then Hashtbl.add seen k v)
+    newest_first;
+  List.rev newest_first
+  |> List.filter_map (fun (k, _) ->
+         match Hashtbl.find_opt seen k with
+         | Some v ->
+           Hashtbl.remove seen k;
+           Some (k, v)
+         | None -> None)
+
+let push ring s =
+  let h = Atomic.get ring.head in
+  Atomic.set ring.slots.(h land ring.mask) (Some s);
+  Atomic.set ring.head (h + 1)
+
+let clamp_i64 lo hi v = if Int64.compare v lo < 0 then lo else if Int64.compare v hi > 0 then hi else v
+
+let query_end sc ~outcome =
+  if not sc.closed then begin
+    sc.closed <- true;
+    let t = sc.recorder in
+    let now = Mclock.now_ns () in
+    let end_ns = if Int64.compare now sc.s_start < 0 then sc.s_start else now in
+    let dur_ns = Int64.to_int (Int64.sub end_ns sc.s_start) in
+    let slow = t.slow_ns > 0 && dur_ns >= t.slow_ns in
+    let refused =
+      String.length outcome >= 7 && String.sub outcome 0 7 = "refused"
+    in
+    if not (sc.s_sampled || slow || refused) then
+      ignore (Atomic.fetch_and_add t.dropped_count 1)
+    else begin
+      ignore (Atomic.fetch_and_add t.retained_count 1);
+      let ring = t.rings.(sc.s_track) in
+      let trace_id = fresh_id t in
+      let root_id = fresh_id t in
+      let root =
+        {
+          trace_id;
+          span_id = root_id;
+          parent = None;
+          track = sc.s_track;
+          name = sc.s_name;
+          start_ns = sc.s_start;
+          dur_ns;
+          attrs =
+            (("principal", sc.principal) :: ("outcome", outcome)
+            :: (if slow then [ ("slow", "true") ] else []))
+            @ dedup_notes sc.notes;
+        }
+      in
+      push ring root;
+      (* Children are clamped into the root's window so time-based nesting
+         (Chrome) agrees with the parent links: an observation whose clock
+         reads straddle the root's endpoints by a few nanoseconds must not
+         render as a sibling. *)
+      List.iter
+        (fun p ->
+          let c_start = clamp_i64 sc.s_start end_ns p.p_start in
+          let c_end = clamp_i64 c_start end_ns p.p_end in
+          push ring
+            {
+              trace_id;
+              span_id = fresh_id t;
+              parent = Some root_id;
+              track = sc.s_track;
+              name = p.p_name;
+              start_ns = c_start;
+              dur_ns = Int64.to_int (Int64.sub c_end c_start);
+              attrs = p.p_attrs;
+            })
+        (List.rev sc.children)
+    end
+  end
+
+(* --- reading ------------------------------------------------------------ *)
+
+let ring_spans r =
+  let h = Atomic.get r.head in
+  let cap = Array.length r.slots in
+  let lo = if h > cap then h - cap else 0 in
+  let rec go i acc =
+    if i < lo then acc
+    else
+      match Atomic.get r.slots.(i land r.mask) with
+      | Some s -> go (i - 1) (s :: acc)
+      | None -> go (i - 1) acc
+  in
+  go (h - 1) []
+
+let by_start a b =
+  match Int64.compare a.start_ns b.start_ns with
+  | 0 -> (
+    match (a.parent, b.parent) with
+    | None, Some _ -> -1
+    | Some _, None -> 1
+    | _ -> compare a.span_id b.span_id)
+  | c -> c
+
+let spans t =
+  Array.to_list t.rings |> List.concat_map ring_spans |> List.sort by_start
+
+let roots t = List.filter (fun s -> s.parent = None) (spans t)
+
+let retained t = Atomic.get t.retained_count
+
+let dropped t = Atomic.get t.dropped_count
+
+let is_slow s = List.assoc_opt "slow" s.attrs = Some "true"
+
+let is_refused s =
+  match List.assoc_opt "outcome" s.attrs with
+  | Some o -> String.length o >= 7 && String.sub o 0 7 = "refused"
+  | None -> false
+
+let slow_log t = List.filter (fun s -> is_slow s || is_refused s) (roots t)
+
+let pp_slow_log ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun s ->
+      let rel_s = Int64.to_float (Int64.sub s.start_ns t.epoch_ns) /. 1e9 in
+      let outcome = Option.value (List.assoc_opt "outcome" s.attrs) ~default:"?" in
+      let principal = Option.value (List.assoc_opt "principal" s.attrs) ~default:"?" in
+      Format.fprintf ppf "[%+10.6fs] track %d  %-24s %8.3fms  %s%s@,"
+        rel_s s.track principal
+        (float_of_int s.dur_ns /. 1e6)
+        outcome
+        (if is_slow s then "  [slow]" else ""))
+    (slow_log t);
+  Format.fprintf ppf "@]"

@@ -1,4 +1,6 @@
 type stage =
+  | Wait
+  | Admit
   | Canonicalize
   | Label
   | Cache
@@ -8,15 +10,19 @@ type stage =
   | Rotate
 
 let stage_index = function
-  | Canonicalize -> 0
-  | Label -> 1
-  | Cache -> 2
-  | Decide -> 3
-  | Journal -> 4
-  | Checkpoint -> 5
-  | Rotate -> 6
+  | Wait -> 0
+  | Admit -> 1
+  | Canonicalize -> 2
+  | Label -> 3
+  | Cache -> 4
+  | Decide -> 5
+  | Journal -> 6
+  | Checkpoint -> 7
+  | Rotate -> 8
 
 let stage_name = function
+  | Wait -> "wait"
+  | Admit -> "admit"
   | Canonicalize -> "canonicalize"
   | Label -> "label"
   | Cache -> "cache"
@@ -25,9 +31,9 @@ let stage_name = function
   | Checkpoint -> "checkpoint"
   | Rotate -> "rotate"
 
-let stages = [ Canonicalize; Label; Cache; Decide; Journal; Checkpoint; Rotate ]
+let stages = [ Wait; Admit; Canonicalize; Label; Cache; Decide; Journal; Checkpoint; Rotate ]
 
-let n_stages = 7
+let n_stages = 9
 
 type counter =
   | Submitted
@@ -85,6 +91,28 @@ let counters =
 
 let n_counters = 11
 
+(* Per-shard runtime gauges, sampled by each worker domain from its own
+   [Gc.quick_stat]. Gauges are set, not accumulated: the newest sample
+   wins, and a racy read sees some recent value per cell. *)
+type gauge =
+  | Gc_minor_collections
+  | Gc_major_collections
+  | Gc_promoted_words
+
+let gauge_index = function
+  | Gc_minor_collections -> 0
+  | Gc_major_collections -> 1
+  | Gc_promoted_words -> 2
+
+let gauge_name = function
+  | Gc_minor_collections -> "gc_minor_collections"
+  | Gc_major_collections -> "gc_major_collections"
+  | Gc_promoted_words -> "gc_promoted_words"
+
+let gauges = [ Gc_minor_collections; Gc_major_collections; Gc_promoted_words ]
+
+let n_gauges = 3
+
 (* Power-of-two latency buckets: bucket [i] counts observations in
    [2^i, 2^(i+1)) nanoseconds. 40 buckets reach ~18 minutes. *)
 let n_buckets = 40
@@ -94,15 +122,31 @@ type t = {
   bucket_cells : int Atomic.t array array; (* per stage *)
   stage_count : int Atomic.t array;
   stage_total_ns : int Atomic.t array;
+  gauge_cells : int Atomic.t array array; (* per shard *)
 }
 
-let create () =
+let create ?(shards = 1) () =
+  if shards < 1 then invalid_arg "Metrics.create: shards must be >= 1";
   {
     counter_cells = Array.init n_counters (fun _ -> Atomic.make 0);
     bucket_cells = Array.init n_stages (fun _ -> Array.init n_buckets (fun _ -> Atomic.make 0));
     stage_count = Array.init n_stages (fun _ -> Atomic.make 0);
     stage_total_ns = Array.init n_stages (fun _ -> Atomic.make 0);
+    gauge_cells = Array.init shards (fun _ -> Array.init n_gauges (fun _ -> Atomic.make 0));
   }
+
+let shard_count t = Array.length t.gauge_cells
+
+(* Out-of-range shards are dropped, not raised on: a gauge sample must
+   never be able to crash a worker. *)
+let set_gauge t ~shard g v =
+  if shard >= 0 && shard < Array.length t.gauge_cells then
+    Atomic.set t.gauge_cells.(shard).(gauge_index g) v
+
+let gauge_value t ~shard g =
+  if shard >= 0 && shard < Array.length t.gauge_cells then
+    Atomic.get t.gauge_cells.(shard).(gauge_index g)
+  else 0
 
 let incr t c = ignore (Atomic.fetch_and_add t.counter_cells.(counter_index c) 1)
 
@@ -188,6 +232,14 @@ let pp ppf t =
         (float_of_int (percentile_ns h 0.5) /. 1e3)
         (float_of_int (percentile_ns h 0.99) /. 1e3))
     stages;
+  Format.fprintf ppf "per-shard gc gauges:@,";
+  for shard = 0 to shard_count t - 1 do
+    Format.fprintf ppf "  shard %d:" shard;
+    List.iter
+      (fun g -> Format.fprintf ppf " %s=%d" (gauge_name g) (gauge_value t ~shard g))
+      gauges;
+    Format.fprintf ppf "@,"
+  done;
   Format.fprintf ppf "@]"
 
 let to_json t =
@@ -208,5 +260,71 @@ let to_json t =
            (stage_name s) h.count h.total_ns (mean_ns h)
            (percentile_ns h 0.5) (percentile_ns h 0.99)))
     stages;
-  Buffer.add_string b "}}";
+  Buffer.add_string b "}, \"shards\": [";
+  for shard = 0 to shard_count t - 1 do
+    if shard > 0 then Buffer.add_string b ", ";
+    Buffer.add_string b "{";
+    List.iteri
+      (fun i g ->
+        if i > 0 then Buffer.add_string b ", ";
+        Buffer.add_string b
+          (Printf.sprintf "%S: %d" (gauge_name g) (gauge_value t ~shard g)))
+      gauges;
+    Buffer.add_string b "}"
+  done;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+(* --- Prometheus text exposition ----------------------------------------- *)
+
+(* Every counter becomes [disclosure_<name>_total]; every stage histogram a
+   member of the [disclosure_stage_duration_seconds] family labeled by
+   stage, with cumulative counts and [le] bounds in seconds (the bucket
+   edges are the power-of-two nanosecond edges, converted); every gauge a
+   [disclosure_shard_<name>] member labeled by shard index. *)
+let to_prometheus t =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun c ->
+      let name = Printf.sprintf "disclosure_%s_total" (counter_name c) in
+      Obs.Prometheus.header b ~name
+        ~help:(Printf.sprintf "Serving-layer %s counter." (counter_name c))
+        ~typ:"counter";
+      Obs.Prometheus.sample b ~name (float_of_int (count t c)))
+    counters;
+  let name = "disclosure_stage_duration_seconds" in
+  Obs.Prometheus.header b ~name
+    ~help:"Pipeline stage latency, power-of-two buckets." ~typ:"histogram";
+  List.iter
+    (fun s ->
+      let h = histogram t s in
+      let running = ref 0 in
+      let buckets =
+        Array.to_list
+          (Array.mapi
+             (fun i n ->
+               running := !running + n;
+               (* Bucket [i] covers [2^i, 2^(i+1)) ns; its Prometheus upper
+                  bound is the exclusive edge in seconds. *)
+               (Float.ldexp 1.0 (i + 1) /. 1e9, !running))
+             h.buckets)
+      in
+      Obs.Prometheus.histogram b ~name
+        ~labels:[ ("stage", stage_name s) ]
+        ~buckets
+        ~sum:(float_of_int h.total_ns /. 1e9)
+        ~count:h.count)
+    stages;
+  List.iter
+    (fun g ->
+      let name = Printf.sprintf "disclosure_shard_%s" (gauge_name g) in
+      Obs.Prometheus.header b ~name
+        ~help:(Printf.sprintf "Per-shard %s, sampled by the worker domain." (gauge_name g))
+        ~typ:"gauge";
+      for shard = 0 to shard_count t - 1 do
+        Obs.Prometheus.sample b ~name
+          ~labels:[ ("shard", string_of_int shard) ]
+          (float_of_int (gauge_value t ~shard g))
+      done)
+    gauges;
   Buffer.contents b

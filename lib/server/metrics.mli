@@ -6,6 +6,8 @@
 
 (** Pipeline stages timed by the serving layer. *)
 type stage =
+  | Wait  (** Mailbox residency: enqueue on the client domain to dequeue by the worker. *)
+  | Admit  (** Pre-decision label admission on the cached submit path. *)
   | Canonicalize  (** Computing a cache key (normal form / canonical form). *)
   | Label  (** The guarded labeling run inside {!Disclosure.Service}. *)
   | Cache  (** Label-cache lookup and maintenance. *)
@@ -28,19 +30,39 @@ type counter =
   | Recoveries  (** Per-shard [Service.recover] replays completed. *)
   | Recovered_records  (** Decision records re-applied across recoveries. *)
 
+(** Per-shard runtime gauges (newest sample wins, no accumulation), fed by
+    each worker domain from its own [Gc.quick_stat]. *)
+type gauge =
+  | Gc_minor_collections
+  | Gc_major_collections
+  | Gc_promoted_words  (** Words promoted minor → major (truncated to int). *)
+
 type t
 
-val create : unit -> t
+val create : ?shards:int -> unit -> t
+(** [shards] (default [1]) sizes the per-shard gauge table.
+    @raise Invalid_argument on [shards < 1]. *)
+
+val shard_count : t -> int
 
 val stages : stage list
 val counters : counter list
+val gauges : gauge list
 
 val stage_name : stage -> string
 val counter_name : counter -> string
+val gauge_name : gauge -> string
 
 val incr : t -> counter -> unit
 val add : t -> counter -> int -> unit
 val count : t -> counter -> int
+
+val set_gauge : t -> shard:int -> gauge -> int -> unit
+(** Overwrite the shard's gauge with a fresh sample. Out-of-range shards
+    are ignored — a gauge sample must never crash a worker. *)
+
+val gauge_value : t -> shard:int -> gauge -> int
+(** [0] for out-of-range shards. *)
 
 val record : t -> stage -> float -> unit
 (** [record t stage seconds] adds one observation of [seconds] to the
@@ -68,5 +90,13 @@ val percentile_ns : histogram -> float -> int
 val pp : Format.formatter -> t -> unit
 
 val to_json : t -> string
-(** One JSON object: each counter by name, plus a ["stages"] object mapping
-    stage names to [{count, total_ns, mean_ns, p50_ns, p99_ns}]. *)
+(** One JSON object: each counter by name, a ["stages"] object mapping
+    stage names to [{count, total_ns, mean_ns, p50_ns, p99_ns}], and a
+    ["shards"] array of per-shard gauge objects. *)
+
+val to_prometheus : t -> string
+(** Prometheus text exposition (format 0.0.4): every counter as
+    [disclosure_<name>_total], every stage histogram as a
+    [disclosure_stage_duration_seconds{stage="..."}] family member with
+    cumulative power-of-two buckets ([le] in seconds), [_sum], and
+    [_count], and every gauge as [disclosure_shard_<name>{shard="i"}]. *)

@@ -45,6 +45,8 @@ type t = {
   config : config;
   shards : Shard.t array;
   metrics : Metrics.t;
+  trace : Obs.Trace.t option;
+  started_at : float; (* Unix.gettimeofday at create, for uptime/rates *)
   assignment : (string, int) Hashtbl.t; (* principal -> shard index *)
   mutable order : string list; (* reversed global registration order *)
   mutable state : state;
@@ -66,7 +68,7 @@ let shard_count t = Array.length t.shards
 
 let segment_path base i = Printf.sprintf "%s.shard%d" base i
 
-let create ?limits ?journal ?(config = default_config) pipeline =
+let create ?limits ?journal ?trace ?(config = default_config) pipeline =
   if config.domains < 1 then invalid_arg "Server.create: domains must be >= 1";
   if config.mailbox_capacity < 1 then
     invalid_arg "Server.create: mailbox_capacity must be >= 1";
@@ -76,21 +78,36 @@ let create ?limits ?journal ?(config = default_config) pipeline =
     invalid_arg "Server.create: checkpoint_every must be >= 0";
   if config.segment_bytes < 0 then
     invalid_arg "Server.create: segment_bytes must be >= 0";
-  let metrics = Metrics.create () in
+  let metrics = Metrics.create ~shards:config.domains () in
   let shards =
     Array.init config.domains (fun i ->
         Shard.create ~index:i ?limits
           ?journal:(Option.map (fun base -> segment_path base i) journal)
           ~segment_bytes:config.segment_bytes
-          ~checkpoint_every:config.checkpoint_every
+          ~checkpoint_every:config.checkpoint_every ?trace
           ~mailbox_capacity:config.mailbox_capacity
           ~cache_capacity:config.cache_capacity ~metrics pipeline)
   in
-  { config; shards; metrics; assignment = Hashtbl.create 64; order = []; state = Created }
+  {
+    config;
+    shards;
+    metrics;
+    trace;
+    started_at = Unix.gettimeofday ();
+    assignment = Hashtbl.create 64;
+    order = [];
+    state = Created;
+  }
 
 let config t = t.config
 
 let metrics t = t.metrics
+
+let trace t = t.trace
+
+let started_at t = t.started_at
+
+let uptime_s t = Float.max 0.0 (Unix.gettimeofday () -. t.started_at)
 
 let shard_of t principal = t.shards.(fnv1a principal mod shard_count t)
 
@@ -133,7 +150,10 @@ let submit t ~principal query : ticket =
   Metrics.incr t.metrics Metrics.Submitted;
   let shard = shard_of t principal in
   let ticket = Ivar.create () in
-  if Mailbox.try_push (Shard.mailbox shard) (Shard.Query { principal; query; ticket })
+  if
+    Mailbox.try_push (Shard.mailbox shard)
+      (Shard.Query
+         { principal; query; ticket; enqueued_ns = Disclosure.Mclock.now_ns () })
   then ticket
   else begin
     (* Fail-closed load shedding: the decision is made here, on the client's
@@ -229,6 +249,37 @@ let cache_stats t =
       })
     { Shard.hits = 0; misses = 0; evictions = 0; entries = 0; capacity = 0 }
     t.shards
+
+(* One self-describing stats document: uptime and start timestamp ride
+   along with the counters so a single scrape is rate-computable
+   (queries/s = submitted / uptime_s) without scraping twice. Embeds
+   Metrics.to_json verbatim — both sides are the same hand-rolled compact
+   JSON, and the obs test suite parses the whole document to keep it
+   honest. *)
+let stats_json t =
+  let cache = cache_stats t in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"started_at\": %.3f, \"uptime_s\": %.3f, \"shards\": %d, \"principals\": %d, "
+       t.started_at (uptime_s t) (shard_count t)
+       (Hashtbl.length t.assignment));
+  (match t.trace with
+  | None -> ()
+  | Some tr ->
+    Buffer.add_string b
+      (Printf.sprintf
+         "\"trace\": {\"sample\": %d, \"slow_ns\": %d, \"retained\": %d, \"dropped\": %d}, "
+         (Obs.Trace.sample_rate tr) (Obs.Trace.slow_ns tr) (Obs.Trace.retained tr)
+         (Obs.Trace.dropped tr)));
+  Buffer.add_string b
+    (Printf.sprintf
+       "\"cache\": {\"hits\": %d, \"misses\": %d, \"evictions\": %d, \"entries\": %d, \
+        \"capacity\": %d}, "
+       cache.Shard.hits cache.Shard.misses cache.Shard.evictions cache.Shard.entries
+       cache.Shard.capacity);
+  Buffer.add_string b (Printf.sprintf "\"metrics\": %s}" (Metrics.to_json t.metrics));
+  Buffer.contents b
 
 (* --- checkpointing ------------------------------------------------------ *)
 

@@ -56,6 +56,7 @@ type ticket = Disclosure.Monitor.decision Ivar.t
 val create :
   ?limits:Disclosure.Guard.limits ->
   ?journal:string ->
+  ?trace:Obs.Trace.t ->
   ?config:config ->
   Disclosure.Pipeline.t ->
   t
@@ -63,6 +64,12 @@ val create :
     [<journal>.shard<i>] (which is in turn that shard's base for rotated
     segments [<journal>.shard<i>.<n>] and its checkpoint
     [<journal>.shard<i>.ckpt]). All shards share [limits] and the pipeline.
+
+    [trace], when given, must have at least [config.domains] tracks; each
+    shard then emits spans for its queries (see {!Shard.create}) under the
+    recorder's sampling policy. Tracing off ([trace] absent) costs one
+    monotonic-clock read per query (the enqueue stamp for the [Wait]
+    histogram) and nothing else.
     @raise Invalid_argument on a non-positive [domains] or
     [mailbox_capacity], or a negative [cache_capacity], [checkpoint_every],
     or [segment_bytes]. *)
@@ -123,8 +130,27 @@ val snapshot : t -> (string * Disclosure.Monitor.state) list
 
 val metrics : t -> Metrics.t
 
+val trace : t -> Obs.Trace.t option
+(** The recorder passed to {!create}, if any. *)
+
+val started_at : t -> float
+(** Wall-clock creation time ([Unix.gettimeofday]). Wall, not monotonic:
+    this is a timestamp for humans and rate math, not an interval source. *)
+
+val uptime_s : t -> float
+(** Seconds since {!started_at}, floored at [0] (a wall-clock step backwards
+    must not produce a negative uptime). *)
+
 val cache_stats : t -> Shard.cache_stats
 (** Summed over shards. *)
+
+val stats_json : t -> string
+(** One JSON object with everything a dashboard needs from a single scrape:
+    [started_at] (epoch seconds), [uptime_s], [shards], [principals],
+    [cache] totals, the full {!Metrics.to_json} document under [metrics],
+    and — when tracing — a [trace] object with the sampling configuration
+    and retained/dropped scope counts. Rates are single-scrape computable:
+    [submitted / uptime_s]. *)
 
 (** {1 Checkpointing and recovery} *)
 

@@ -20,9 +20,16 @@ type msg =
       principal : string;
       query : Cq.Query.t;
       ticket : Monitor.decision Ivar.t;
+      enqueued_ns : int64; (* Mclock stamp at submit; 0 = unknown *)
     }
   | Barrier of unit Ivar.t
   | Checkpoint of (unit, string) result Ivar.t
+
+(* How many decisions between Gc.quick_stat samples. quick_stat is cheap
+   but not free; once per 64 queries keeps the gauges seconds-fresh under
+   load for well under 1% overhead, and every barrier resamples so
+   quiescent reads are exact. *)
+let gc_sample_period = 64
 
 type t = {
   index : int;
@@ -30,17 +37,25 @@ type t = {
   cache : Label.t Label_cache.t option;
   mailbox : msg Mailbox.t;
   metrics : Metrics.t;
+  trace : Obs.Trace.t option;
+  scope : Obs.Trace.scope option ref;
+      (* The in-flight query's trace scope. A ref (not a mutable field)
+         because the service's observe callback is built before this record
+         exists and must share the cell. Worker-domain only. *)
   checkpoint_every : int; (* decisions between automatic checkpoints; 0 = never *)
   mutable decided : int; (* decisions since the last automatic checkpoint *)
+  mutable processed : int; (* total queries processed, for the gc cadence *)
   mutable domain : unit Domain.t option;
 }
 
-let create ~index ?limits ?journal ?(segment_bytes = 0) ?(checkpoint_every = 0)
+let create ~index ?limits ?journal ?(segment_bytes = 0) ?(checkpoint_every = 0) ?trace
     ~mailbox_capacity ~cache_capacity ~metrics pipeline =
   if checkpoint_every < 0 then invalid_arg "Shard.create: checkpoint_every must be >= 0";
+  let scope = ref None in
   let observe (o : Service.observation) =
     let stage =
       match o.stage with
+      | `Admit -> Metrics.Admit
       | `Label -> Metrics.Label
       | `Decide -> Metrics.Decide
       | `Journal -> Metrics.Journal
@@ -51,7 +66,12 @@ let create ~index ?limits ?journal ?(segment_bytes = 0) ?(checkpoint_every = 0)
         Metrics.incr metrics Metrics.Rotations;
         Metrics.Rotate
     in
-    Metrics.record metrics stage o.seconds
+    Metrics.record metrics stage o.seconds;
+    match !scope with
+    | Some sc ->
+      Obs.Trace.record sc ~name:(Metrics.stage_name stage) ~attrs:o.detail
+        ~seconds:o.seconds
+    | None -> ()
   in
   let service = Service.create ?limits ?journal ~segment_bytes ~observe pipeline in
   let cache =
@@ -64,8 +84,11 @@ let create ~index ?limits ?journal ?(segment_bytes = 0) ?(checkpoint_every = 0)
     cache;
     mailbox = Mailbox.create ~capacity:mailbox_capacity;
     metrics;
+    trace;
+    scope;
     checkpoint_every;
     decided = 0;
+    processed = 0;
     domain = None;
   }
 
@@ -75,12 +98,42 @@ let service t = t.service
 
 let mailbox t = t.mailbox
 
+(* --- observability helpers --------------------------------------------- *)
+
+(* Like Metrics.time, but also emits a span into the in-flight scope.
+   Stages inside the service report through the observe callback above;
+   this covers the stages the shard runs itself (canonicalize, cache). *)
+let timed t stage f =
+  let t0 = Disclosure.Mclock.now_ns () in
+  let finish () =
+    let seconds = Disclosure.Mclock.elapsed_s ~since:t0 in
+    Metrics.record t.metrics stage seconds;
+    match !(t.scope) with
+    | Some sc -> Obs.Trace.record sc ~name:(Metrics.stage_name stage) ~seconds
+    | None -> ()
+  in
+  Fun.protect ~finally:finish f
+
+(* Root-span attribute; free when the query is untraced. *)
+let note t k v =
+  match !(t.scope) with Some sc -> Obs.Trace.annotate sc k v | None -> ()
+
+let sample_gc t =
+  let s = Gc.quick_stat () in
+  Metrics.set_gauge t.metrics ~shard:t.index Metrics.Gc_minor_collections
+    s.Gc.minor_collections;
+  Metrics.set_gauge t.metrics ~shard:t.index Metrics.Gc_major_collections
+    s.Gc.major_collections;
+  Metrics.set_gauge t.metrics ~shard:t.index Metrics.Gc_promoted_words
+    (int_of_float s.Gc.promoted_words)
+
 (* --- query handling --------------------------------------------------- *)
 
 (* The uncached path is Service.submit split in two ([label_query] then
    [submit_label] / [refuse]) so the cached path below can splice a lookup
    between the halves while journaling and deciding identically. *)
 let uncached t ~principal q =
+  note t "cache" "off";
   match Service.label_query t.service q with
   | Error reason -> Service.refuse t.service ~principal reason
   | Ok label -> Service.submit_label t.service ~principal label
@@ -102,21 +155,29 @@ let cached t cache ~principal q =
        keeps a cache hit from ever answering a query it would have shed. *)
     Service.refuse svc ~principal reason
   | Ok () ->
-    let find k = Metrics.time t.metrics Metrics.Cache (fun () -> Label_cache.find cache k) in
-    let k0 = Metrics.time t.metrics Metrics.Canonicalize (fun () -> Canon.exact_key q) in
+    let find k = timed t Metrics.Cache (fun () -> Label_cache.find cache k) in
+    let k0 = timed t Metrics.Canonicalize (fun () -> Canon.exact_key q) in
+    (* The cache level that served (or "miss"), and the width of the label
+       the cache handed back — the miss path's width is reported by the
+       service's own `Label observation instead. *)
+    let level_hit level label =
+      note t "cache" level;
+      note t "label_width" (string_of_int (List.length (Label.atoms label)))
+    in
     let hit label =
       Metrics.incr t.metrics Metrics.Cache_hit;
-      Metrics.time t.metrics Metrics.Cache (fun () -> Label_cache.add cache k0 label);
+      timed t Metrics.Cache (fun () -> Label_cache.add cache k0 label);
       Service.submit_label svc ~principal label
     in
     (match find k0 with
     | Some label ->
       Metrics.incr t.metrics Metrics.Cache_hit;
+      level_hit "exact" label;
       Service.submit_label svc ~principal label
     | None -> (
       let key (f : budget:Cq.Budget.t -> Cq.Query.t -> string) =
         match
-          Metrics.time t.metrics Metrics.Canonicalize (fun () ->
+          timed t Metrics.Canonicalize (fun () ->
               Guard.run limits (fun budget -> f ~budget q))
         with
         | Ok k when k <> k0 -> Some k
@@ -124,7 +185,9 @@ let cached t cache ~principal q =
       in
       let k1 = key (fun ~budget q -> Canon.normal_key ~budget q) in
       match Option.map find k1 |> Option.join with
-      | Some label -> hit label
+      | Some label ->
+        level_hit "normal" label;
+        hit label
       | None -> (
         (* The minimized canonical form catches repeats that differ by
            redundant atoms; worth the homomorphism work only this deep. *)
@@ -134,14 +197,17 @@ let cached t cache ~principal q =
           | _ -> None
         in
         match Option.map find k2 |> Option.join with
-        | Some label -> hit label
+        | Some label ->
+          level_hit "minimized" label;
+          hit label
         | None -> (
           Metrics.incr t.metrics Metrics.Cache_miss;
+          note t "cache" "miss";
           match Service.label_query svc q with
           | Error reason -> Service.refuse svc ~principal reason
           | Ok label ->
             let before = Label_cache.evictions cache in
-            Metrics.time t.metrics Metrics.Cache (fun () ->
+            timed t Metrics.Cache (fun () ->
                 Label_cache.add cache k0 label;
                 Option.iter (fun k -> Label_cache.add cache k label) k1;
                 Option.iter (fun k -> Label_cache.add cache k label) k2);
@@ -154,7 +220,31 @@ let handle t ~principal q =
   | None -> uncached t ~principal q
   | Some cache -> cached t cache ~principal q
 
-let checkpoint t = Service.checkpoint t.service
+(* Checkpoints get a forced (never sampled away) maintenance scope: the
+   `Checkpoint / `Rotate observations from the service land as its
+   children, so a checkpoint stall is visible in the trace next to the
+   queries it delayed. *)
+let checkpoint t =
+  match t.trace with
+  | None -> Service.checkpoint t.service
+  | Some tr ->
+    let sc =
+      Obs.Trace.query_begin tr ~track:t.index ~name:"maintenance" ~force:true
+        ~principal:"-" ()
+    in
+    t.scope := Some sc;
+    let finish outcome =
+      t.scope := None;
+      Obs.Trace.query_end sc ~outcome
+    in
+    (match Service.checkpoint t.service with
+    | result ->
+      finish
+        (match result with Ok () -> "checkpoint:ok" | Error _ -> "checkpoint:error");
+      result
+    | exception e ->
+      finish "checkpoint:error";
+      raise e)
 
 (* The automatic cadence: every [checkpoint_every] decisions, checkpoint the
    shard's own journal — each shard seals, snapshots, and compacts its own
@@ -173,11 +263,37 @@ let maybe_auto_checkpoint t =
     end
   end
 
+let outcome_of = function
+  | Monitor.Answered -> "answered"
+  | Monitor.Refused reason -> "refused:" ^ Guard.refusal_to_tag reason
+
 let process t msg =
   match msg with
-  | Barrier iv -> Ivar.fill iv ()
+  | Barrier iv ->
+    (* Barriers are the quiescence points: resample so gauge reads right
+       after a drain are exact, not up to a period stale. *)
+    sample_gc t;
+    Ivar.fill iv ()
   | Checkpoint iv -> Ivar.fill iv (checkpoint t)
-  | Query { principal; query; ticket } ->
+  | Query { principal; query; ticket; enqueued_ns } ->
+    let now = Disclosure.Mclock.now_ns () in
+    let waited = enqueued_ns <> 0L && Int64.compare enqueued_ns now <= 0 in
+    if waited then
+      Metrics.record t.metrics Metrics.Wait
+        (Int64.to_float (Int64.sub now enqueued_ns) /. 1e9);
+    (match t.trace with
+    | None -> ()
+    | Some tr ->
+      (* The root span starts at enqueue time so the mailbox wait is inside
+         the query, not unaccounted dead time before it. *)
+      let sc =
+        Obs.Trace.query_begin tr ~track:t.index
+          ?start_ns:(if waited then Some enqueued_ns else None)
+          ~principal ()
+      in
+      if waited then
+        Obs.Trace.record_interval sc ~name:"wait" ~start_ns:enqueued_ns ~end_ns:now;
+      t.scope := Some sc);
     let decision =
       try handle t ~principal query
       with e ->
@@ -190,7 +306,14 @@ let process t msg =
     (match decision with
     | Monitor.Answered -> Metrics.incr t.metrics Metrics.Answered
     | Monitor.Refused _ -> Metrics.incr t.metrics Metrics.Refused);
+    (match !(t.scope) with
+    | Some sc ->
+      t.scope := None;
+      Obs.Trace.query_end sc ~outcome:(outcome_of decision)
+    | None -> ());
     ignore (Ivar.try_fill ticket decision);
+    t.processed <- t.processed + 1;
+    if t.processed mod gc_sample_period = 0 then sample_gc t;
     maybe_auto_checkpoint t
 
 let run t =

@@ -10,6 +10,10 @@ type msg =
       principal : string;
       query : Cq.Query.t;
       ticket : Disclosure.Monitor.decision Ivar.t;
+      enqueued_ns : int64;
+          (** {!Disclosure.Mclock.now_ns} at submit time, for the [Wait]
+              histogram and the wait span; [0L] when unknown (the worker
+              then skips wait accounting). *)
     }
   | Barrier of unit Ivar.t
       (** Control message: the worker fills the ivar when it reaches the
@@ -27,6 +31,7 @@ val create :
   ?journal:string ->
   ?segment_bytes:int ->
   ?checkpoint_every:int ->
+  ?trace:Obs.Trace.t ->
   mailbox_capacity:int ->
   cache_capacity:int ->
   metrics:Metrics.t ->
@@ -41,6 +46,15 @@ val create :
     cross-domain locks. The shard's service reports stage timings into
     [metrics] (including [Checkpoint] and [Rotate]), and a failed automatic
     checkpoint is logged, never surfaced as a refusal.
+
+    [trace], when given, additionally turns every observation into a span
+    on the recorder's track [index]: each processed query opens a scope
+    (rooted at its enqueue time, with the mailbox wait as its first child
+    span), every timed stage lands inside it, and the scope closes with the
+    decision as its [outcome] attribute — subject to the recorder's
+    head/tail sampling. Checkpoints trace as forced ["maintenance"] scopes.
+    The shard also feeds [metrics]' per-shard Gc gauges, resampled every
+    few dozen queries and at every barrier.
     @raise Invalid_argument on a negative [checkpoint_every]. *)
 
 val index : t -> int
