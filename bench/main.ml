@@ -7,6 +7,7 @@
      dune exec bench/main.exe -- fig5       -- Figure 5 (labeler throughput)
      dune exec bench/main.exe -- fig6       -- Figure 6 (policy checker)
      dune exec bench/main.exe -- guard      -- guarded vs unguarded labeling
+     dune exec bench/main.exe -- net        -- loopback socket vs in-process
      dune exec bench/main.exe -- micro      -- Bechamel micro-benchmarks
 
    Options: --n INT (queries per Figure 5 point), --checks INT (label checks
@@ -948,6 +949,155 @@ let run_recover () =
   Format.printf "(wrote %s)@." json_path
 
 (* ------------------------------------------------------------------ *)
+(* Networked front-end: loopback round trips vs the in-process path    *)
+
+(* The same workload twice: direct [Server.submit_sync] calls (the
+   in-process baseline) and blocking [Net.Client] round trips over a
+   loopback Unix-domain socket — so the delta is exactly the wire
+   (framing, CRC, JSON codec, two socket hops, a connection domain).
+   Per-query latency on the monotonic clock, p50/p99 + sustained qps for
+   both paths, plus a 4-connection concurrent row. Identical seeds and a
+   single submission stream, so answered/refused totals must match the
+   in-process run exactly. *)
+let run_net () =
+  let pipeline = Fbschema.Fb_views.pipeline () in
+  let views = Array.of_list Fbschema.Fb_views.all in
+  let n = min options.n 5_000 in
+  let n_principals = 32 in
+  let principals = Array.init n_principals (Printf.sprintf "app-%d") in
+  let rng = Workload.Rng.create 2024 in
+  let policies =
+    Array.map
+      (fun _ ->
+        Policygen.partitions rng ~views ~max_partitions:2 ~max_elements:10)
+      principals
+  in
+  let g = Querygen.create ~seed:31337 () in
+  let queries = Array.init n (fun _ -> Querygen.generate g ~max_subqueries:3) in
+  let make_server () =
+    let server =
+      Server.create
+        ~config:
+          {
+            Server.domains = 1;
+            mailbox_capacity = n;
+            cache_capacity = 0;
+            checkpoint_every = 0;
+            segment_bytes = 0;
+          }
+        pipeline
+    in
+    Array.iteri
+      (fun i principal ->
+        Server.register server ~principal ~partitions:policies.(i))
+      principals;
+    Server.start server;
+    server
+  in
+  let percentile sorted p =
+    let len = Array.length sorted in
+    sorted.(max 0 (min (len - 1) (p * len / 100)))
+  in
+  let summarize lat_us wall =
+    Array.sort compare lat_us;
+    (percentile lat_us 50, percentile lat_us 99, float_of_int (Array.length lat_us) /. wall)
+  in
+  let count_decisions submit =
+    let answered = ref 0 and refused = ref 0 in
+    let lat_us = Array.make n 0.0 in
+    let (), wall =
+      time_wall (fun () ->
+          Array.iteri
+            (fun i q ->
+              let t0 = Disclosure.Mclock.now_ns () in
+              (match submit ~principal:principals.(i mod n_principals) q with
+              | Monitor.Answered -> incr answered
+              | Monitor.Refused _ -> incr refused);
+              lat_us.(i) <-
+                Int64.to_float (Int64.sub (Disclosure.Mclock.now_ns ()) t0) /. 1e3)
+            queries)
+    in
+    (lat_us, wall, !answered, !refused)
+  in
+  Format.printf "@.== Networked front-end: loopback vs in-process (wall time) ==@.";
+  Format.printf "   (%d queries over %d principals, 1 shard, cache disabled)@.@." n
+    n_principals;
+  (* In-process baseline. *)
+  let server = make_server () in
+  let lat, wall, base_answered, base_refused =
+    count_decisions (fun ~principal q -> Server.submit_sync server ~principal q)
+  in
+  Server.stop server;
+  let in_p50, in_p99, in_qps = summarize lat wall in
+  (* Loopback, one blocking connection. *)
+  let server = make_server () in
+  let sock = Filename.temp_file "disclosure-bench" ".sock" in
+  let addr = Net.Addr.Unix_socket sock in
+  let listener = Net.Listener.create ~server addr in
+  let submit_wire client ~principal q =
+    match Net.Client.query client ~principal q with
+    | Ok d -> d
+    | Error e -> failwith ("bench: unexpected wire error: " ^ Net.Errors.to_string e)
+  in
+  let client = Net.Client.connect addr in
+  let lat, wall, net_answered, net_refused = count_decisions (submit_wire client) in
+  let net_p50, net_p99, net_qps = summarize lat wall in
+  Net.Client.close client;
+  (* Concurrent connections: 4 clients splitting the same stream. *)
+  let n_conns = 4 in
+  let (), conc_wall =
+    time_wall (fun () ->
+        Array.init n_conns (fun c ->
+            Domain.spawn (fun () ->
+                let client = Net.Client.connect addr in
+                Fun.protect
+                  ~finally:(fun () -> Net.Client.close client)
+                  (fun () ->
+                    Array.iteri
+                      (fun i q ->
+                        if i mod n_conns = c then
+                          ignore
+                            (submit_wire client
+                               ~principal:principals.(i mod n_principals) q))
+                      queries)))
+        |> Array.iter Domain.join)
+  in
+  let conc_qps = float_of_int n /. conc_wall in
+  Net.Listener.stop listener;
+  Server.drain server;
+  Server.stop server;
+  let identical = base_answered = net_answered && base_refused = net_refused in
+  Format.printf "%-22s %10s %10s %12s@." "path" "p50 (us)" "p99 (us)" "queries/s";
+  Format.printf "%-22s %10.1f %10.1f %12.0f@." "in-process" in_p50 in_p99 in_qps;
+  Format.printf "%-22s %10.1f %10.1f %12.0f@." "loopback (1 conn)" net_p50 net_p99
+    net_qps;
+  Format.printf "%-22s %10s %10s %12.0f@."
+    (Printf.sprintf "loopback (%d conns)" n_conns)
+    "-" "-" conc_qps;
+  Format.printf "@.answered %d, refused %d over the wire; identical to in-process: %b@."
+    net_answered net_refused identical;
+  let json_path = Option.value options.server_json ~default:"BENCH_net.json" in
+  let oc = open_out json_path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc
+        "{\n\
+        \  \"benchmark\": \"net\",\n\
+        \  \"queries\": %d,\n\
+        \  \"principals\": %d,\n\
+        \  \"in_process\": {\"p50_us\": %.1f, \"p99_us\": %.1f, \"qps\": %.0f},\n\
+        \  \"loopback\": {\"p50_us\": %.1f, \"p99_us\": %.1f, \"qps\": %.0f},\n\
+        \  \"concurrent\": {\"connections\": %d, \"qps\": %.0f},\n\
+        \  \"answered\": %d,\n\
+        \  \"refused\": %d,\n\
+        \  \"decisions_identical_to_in_process\": %b\n\
+         }\n"
+        n n_principals in_p50 in_p99 in_qps net_p50 net_p99 net_qps n_conns conc_qps
+        net_answered net_refused identical);
+  Format.printf "(wrote %s)@." json_path
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 
 let run_micro () =
@@ -1023,7 +1173,7 @@ let () =
   parse_args ();
   let commands =
     if options.commands = [] then
-      [ "table2"; "fig3"; "fig5"; "fig6"; "ablation"; "guard"; "server"; "obs"; "recover"; "micro" ]
+      [ "table2"; "fig3"; "fig5"; "fig6"; "ablation"; "guard"; "server"; "obs"; "recover"; "net"; "micro" ]
     else options.commands
   in
   Format.printf
@@ -1040,6 +1190,7 @@ let () =
       | "server" -> run_server ()
       | "obs" -> run_obs ()
       | "recover" -> run_recover ()
+      | "net" -> run_net ()
       | "micro" -> run_micro ()
       | "all" ->
         run_table2 ();
@@ -1051,9 +1202,10 @@ let () =
         run_server ();
         run_obs ();
         run_recover ();
+        run_net ();
         run_micro ()
       | other ->
         Format.printf
-          "unknown command %s (try table2|fig3|fig5|fig6|ablation|guard|server|obs|recover|micro)@."
+          "unknown command %s (try table2|fig3|fig5|fig6|ablation|guard|server|obs|recover|net|micro)@."
           other)
     commands

@@ -6,7 +6,10 @@
      lattice  print the disclosure lattice over a view file as Graphviz
      audit    run the Facebook Table 2 documentation audit
      replay   replay a (principal, query) workload single-threaded
-     serve    run a workload on the sharded multicore serving layer
+     serve    run a workload on the sharded multicore serving layer, or
+              serve the framed wire protocol with --listen
+     query    submit queries to a serve --listen server over a socket
+     client   replay a workload against (or ping/fetch stats from) a server
      analyze  static policy diagnostics for a deployment config
      stats    pretty-print a stats JSON document from `serve --stats`
 
@@ -114,6 +117,13 @@ let parse_query syntax s =
     | Ok q -> Cq.Ucq.of_query q
     | Error e -> failwith ("cannot parse Graph API request " ^ s ^ ": " ^ e))
 
+(* The sharded server (and therefore the wire protocol) carries single
+   conjunctive queries; FQL's OR would need one submission per disjunct. *)
+let cq_of u =
+  match u.Cq.Ucq.disjuncts with
+  | [ q ] -> q
+  | _ -> failwith "only single-disjunct queries are supported here"
+
 (* With no --views file, the built-in Facebook security views are used. *)
 let optional_views_arg =
   Arg.(
@@ -172,6 +182,23 @@ let deadline_arg =
            are refused (resource: deadline).")
 
 let limits_of fuel deadline = Disclosure.Guard.limits ?fuel ?deadline ()
+
+(* --- networked front-end flags ---------------------------------------- *)
+
+let addr_conv =
+  let parse s =
+    match Net.Addr.of_string s with Ok a -> Ok a | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, Net.Addr.pp)
+
+let connect_arg =
+  Arg.(
+    required
+    & opt (some addr_conv) None
+    & info [ "connect" ] ~docv:"ADDR"
+        ~doc:
+          "Server address: $(b,unix:)$(i,PATH) for a Unix-domain socket or \
+           $(b,tcp:)$(i,HOST):$(i,PORT).")
 
 (* --- label ---------------------------------------------------------- *)
 
@@ -515,8 +542,50 @@ let serve_cmd =
             "Write a Prometheus text-exposition dump of the serving metrics at exit \
              (and on SIGUSR1).")
   in
+  let listen_arg =
+    Arg.(
+      value
+      & opt (some addr_conv) None
+      & info [ "listen" ] ~docv:"ADDR"
+          ~doc:
+            "Serve the wire protocol on $(b,unix:)$(i,PATH) or \
+             $(b,tcp:)$(i,HOST):$(i,PORT) instead of running a workload file: \
+             accept client connections until SIGINT/SIGTERM, then drain \
+             gracefully (in-flight queries are answered, sockets half-closed). \
+             Clients are $(b,disclosurectl query --connect) and \
+             $(b,disclosurectl client).")
+  in
+  let max_connections_arg =
+    Arg.(
+      value
+      & opt positive_int Net.Listener.default_config.Net.Listener.max_connections
+      & info [ "max-connections" ] ~docv:"N"
+          ~doc:
+            "Concurrent-connection cap with $(b,--listen); excess connects are \
+             answered with a $(i,busy) error frame and closed.")
+  in
+  let conn_deadline_arg =
+    Arg.(
+      value
+      & opt nonneg_float Net.Conn.default_config.Net.Conn.read_deadline
+      & info [ "conn-deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-connection read deadline with $(b,--listen): a connection that \
+             sends no bytes for $(docv) seconds is closed with a $(i,timeout) \
+             error frame. 0 disables.")
+  in
+  let max_frame_arg =
+    Arg.(
+      value
+      & opt positive_int Net.Frame.default_max_payload
+      & info [ "max-frame" ] ~docv:"BYTES"
+          ~doc:
+            "Per-frame payload cap with $(b,--listen); a frame declaring more is \
+             rejected before its payload is buffered.")
+  in
   let run () config_file syntax workload_file fuel deadline journal domains mailbox cache
-      checkpoint_every segment_bytes stats trace_out trace_sample slow_ms metrics_out =
+      checkpoint_every segment_bytes stats trace_out trace_sample slow_ms metrics_out
+      listen max_connections conn_deadline max_frame =
     let config =
       match Disclosure.Policyfile.parse_file config_file with
       | Ok c -> c
@@ -525,7 +594,10 @@ let serve_cmd =
     let limits = limits_of fuel deadline in
     let trace =
       if trace_out <> None || slow_ms <> None then
-        Some (Obs.Trace.create ~tracks:domains ~sample:trace_sample ?slow_ms ())
+        (* With --listen the listener gets a dedicated extra track for its
+           "net" spans; shards use tracks 0..domains-1. *)
+        let tracks = domains + if listen <> None then 1 else 0 in
+        Some (Obs.Trace.create ~tracks ~sample:trace_sample ?slow_ms ())
       else None
     in
     let server =
@@ -566,46 +638,69 @@ let serve_cmd =
           ~partitions:(List.map (fun (n, names) -> (n, List.map resolve names)) partitions))
       config.Disclosure.Policyfile.principals;
     Server.start server;
-    let lines =
-      match workload_file with
-      | Some path -> String.split_on_char '\n' (read_file path)
-      | None ->
-        let rec loop acc =
-          match In_channel.input_line stdin with
-          | None -> List.rev acc
-          | Some l -> loop (l :: acc)
-        in
-        loop []
-    in
-    let cq_of u =
-      match u.Cq.Ucq.disjuncts with
-      | [ q ] -> q
-      | _ -> failwith "serve supports single-disjunct queries only"
-    in
-    let tickets =
-      List.filter_map
-        (fun line ->
-          let line = String.trim line in
-          if line = "" || line.[0] = '#' then None
-          else
-            match String.index_opt line '\t' with
-            | None ->
-              failwith ("malformed workload line (expected principal<TAB>query): " ^ line)
-            | Some i ->
-              let principal = String.trim (String.sub line 0 i) in
-              let query_s =
-                String.trim (String.sub line (i + 1) (String.length line - i - 1))
-              in
-              let q = cq_of (parse_query syntax query_s) in
-              Some (principal, query_s, Server.submit server ~principal q))
-        lines
-    in
-    List.iter
-      (fun (principal, query_s, ticket) ->
-        Format.printf "%-20s %-55s %a@." principal query_s Monitor.pp_decision
-          (Server.await ticket))
-      tickets;
-    Server.drain server;
+    (match listen with
+    | Some addr ->
+      (* Network mode: put the server behind a socket and run until a
+         signal asks for a graceful drain. Workload input is not read. *)
+      let lconfig =
+        {
+          Net.Listener.default_config with
+          Net.Listener.max_connections;
+          conn = { Net.Conn.read_deadline = conn_deadline; max_payload = max_frame };
+        }
+      in
+      let ltrace = Option.map (fun tr -> (tr, domains)) trace in
+      let listener = Net.Listener.create ~config:lconfig ?trace:ltrace ~server addr in
+      let stop_requested = Atomic.make false in
+      let on_signal = Sys.Signal_handle (fun _ -> Atomic.set stop_requested true) in
+      Sys.set_signal Sys.sigint on_signal;
+      Sys.set_signal Sys.sigterm on_signal;
+      Format.printf "listening on %s (%d shard(s)); SIGINT/SIGTERM drains and exits@."
+        (Net.Addr.to_string (Net.Listener.address listener))
+        domains;
+      Format.print_flush ();
+      while not (Atomic.get stop_requested) do
+        Unix.sleepf 0.2
+      done;
+      Net.Listener.stop listener;
+      Server.drain server
+    | None ->
+      let lines =
+        match workload_file with
+        | Some path -> String.split_on_char '\n' (read_file path)
+        | None ->
+          let rec loop acc =
+            match In_channel.input_line stdin with
+            | None -> List.rev acc
+            | Some l -> loop (l :: acc)
+          in
+          loop []
+      in
+      let tickets =
+        List.filter_map
+          (fun line ->
+            let line = String.trim line in
+            if line = "" || line.[0] = '#' then None
+            else
+              match String.index_opt line '\t' with
+              | None ->
+                failwith
+                  ("malformed workload line (expected principal<TAB>query): " ^ line)
+              | Some i ->
+                let principal = String.trim (String.sub line 0 i) in
+                let query_s =
+                  String.trim (String.sub line (i + 1) (String.length line - i - 1))
+                in
+                let q = cq_of (parse_query syntax query_s) in
+                Some (principal, query_s, Server.submit server ~principal q))
+          lines
+      in
+      List.iter
+        (fun (principal, query_s, ticket) ->
+          Format.printf "%-20s %-55s %a@." principal query_s Monitor.pp_decision
+            (Server.await ticket))
+        tickets;
+      Server.drain server);
     Format.printf "@.";
     List.iter
       (fun principal ->
@@ -625,14 +720,147 @@ let serve_cmd =
   in
   let doc =
     "Serve a workload on the sharded multicore layer (bounded mailboxes, label \
-     cache, per-shard journal segments)."
+     cache, per-shard journal segments), or — with $(b,--listen) — serve the \
+     framed wire protocol to networked clients."
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ setup_logs $ config_arg $ syntax_arg $ workload_arg $ fuel_arg
       $ deadline_arg $ journal_arg $ domains_arg $ mailbox_arg $ cache_arg
       $ checkpoint_every_arg $ segment_bytes_arg $ stats_arg $ trace_out_arg
-      $ trace_sample_arg $ slow_ms_arg $ metrics_out_arg)
+      $ trace_sample_arg $ slow_ms_arg $ metrics_out_arg $ listen_arg
+      $ max_connections_arg $ conn_deadline_arg $ max_frame_arg)
+
+(* --- query / client (networked) -------------------------------------- *)
+
+(* Networked counterparts of `check`/`replay`: submit work to a running
+   `serve --listen` instance over the framed wire protocol. Queries are
+   parsed locally first (a syntax error never costs a round trip), travel
+   as Cq concrete syntax, and are re-parsed and validated by the server —
+   the decision is the server's, bit-identical to an in-process run.
+   Server-side refusals (including overload shedding) print as decisions;
+   typed wire errors (unknown principal, shutdown, …) print as errors and
+   make the command exit non-zero. *)
+
+let query_cmd =
+  let principal_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "p"; "principal" ] ~docv:"NAME"
+          ~doc:"Principal the queries are submitted as.")
+  in
+  let queries_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"QUERY"
+          ~doc:"Queries to submit in order; reads one per line on stdin when absent.")
+  in
+  let run () connect syntax principal queries =
+    Net.Client.with_connection connect (fun c ->
+        let wire_errors = ref 0 in
+        List.iter
+          (fun s ->
+            let q = cq_of (parse_query syntax s) in
+            match Net.Client.query c ~principal q with
+            | Ok d -> Format.printf "%-60s %a@." s Monitor.pp_decision d
+            | Error e ->
+              incr wire_errors;
+              Format.printf "%-60s wire error: %a@." s Net.Errors.pp e)
+          (read_queries queries);
+        if !wire_errors > 0 then 1 else 0)
+  in
+  let doc =
+    "Submit queries to a running $(b,disclosurectl serve --listen) server over \
+     the wire protocol."
+  in
+  Cmd.v (Cmd.info "query" ~doc)
+    Term.(const run $ setup_logs $ connect_arg $ syntax_arg $ principal_arg $ queries_arg)
+
+let client_cmd =
+  let workload_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "w"; "workload" ] ~docv:"FILE"
+          ~doc:"Workload with one 'principal<TAB>query' per line; defaults to stdin.")
+  in
+  let ping_arg =
+    Arg.(
+      value & flag
+      & info [ "ping" ]
+          ~doc:"Liveness probe: one ping round trip (prints $(i,pong)), then exit.")
+  in
+  let stats_flag_arg =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Fetch the server's stats JSON document and print it. Pipe it to \
+             $(b,disclosurectl stats) for a human-readable view.")
+  in
+  let run () connect syntax workload ping stats =
+    Net.Client.with_connection connect (fun c ->
+        if ping then (
+          Net.Client.ping c;
+          Format.printf "pong@.";
+          0)
+        else if stats then (
+          Format.printf "%s@." (Obs.Json.to_string (Net.Client.stats c));
+          0)
+        else begin
+          let lines =
+            match workload with
+            | Some path -> String.split_on_char '\n' (read_file path)
+            | None ->
+              let rec loop acc =
+                match In_channel.input_line stdin with
+                | None -> List.rev acc
+                | Some l -> loop (l :: acc)
+              in
+              loop []
+          in
+          let answered = ref 0 and refused = ref 0 and wire_errors = ref 0 in
+          List.iter
+            (fun line ->
+              let line = String.trim line in
+              if line <> "" && line.[0] <> '#' then
+                match String.index_opt line '\t' with
+                | None ->
+                  failwith
+                    ("malformed workload line (expected principal<TAB>query): " ^ line)
+                | Some i ->
+                  let principal = String.trim (String.sub line 0 i) in
+                  let query_s =
+                    String.trim (String.sub line (i + 1) (String.length line - i - 1))
+                  in
+                  let q = cq_of (parse_query syntax query_s) in
+                  (match Net.Client.query c ~principal q with
+                  | Ok d ->
+                    (match d with
+                    | Monitor.Answered -> incr answered
+                    | Monitor.Refused _ -> incr refused);
+                    Format.printf "%-20s %-55s %a@." principal query_s
+                      Monitor.pp_decision d
+                  | Error e ->
+                    incr wire_errors;
+                    Format.printf "%-20s %-55s wire error: %a@." principal query_s
+                      Net.Errors.pp e))
+            lines;
+          Format.printf "@.answered %d, refused %d, wire errors %d@." !answered !refused
+            !wire_errors;
+          if !wire_errors > 0 then 1 else 0
+        end)
+  in
+  let doc =
+    "Replay a 'principal<TAB>query' workload against a running \
+     $(b,disclosurectl serve --listen) server (or probe it with $(b,--ping) / \
+     $(b,--stats))."
+  in
+  Cmd.v (Cmd.info "client" ~doc)
+    Term.(
+      const run $ setup_logs $ connect_arg $ syntax_arg $ workload_arg $ ping_arg
+      $ stats_flag_arg)
 
 (* --- analyze -------------------------------------------------------- *)
 
@@ -826,6 +1054,8 @@ let main_cmd =
       audit_cmd;
       replay_cmd;
       serve_cmd;
+      query_cmd;
+      client_cmd;
       stats_cmd;
       analyze_cmd;
     ]
@@ -841,4 +1071,11 @@ let () =
     exit Cmd.Exit.some_error
   | Service.Unknown_principal p ->
     Printf.eprintf "disclosurectl: unknown principal %S\n" p;
+    exit Cmd.Exit.some_error
+  | Net.Client.Protocol_error msg ->
+    Printf.eprintf "disclosurectl: protocol error: %s\n" msg;
+    exit Cmd.Exit.some_error
+  | Unix.Unix_error (err, fn, arg) ->
+    Printf.eprintf "disclosurectl: %s: %s%s\n" fn (Unix.error_message err)
+      (if arg = "" then "" else " (" ^ arg ^ ")");
     exit Cmd.Exit.some_error

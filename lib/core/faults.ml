@@ -9,6 +9,9 @@ type stage =
   | Checkpoint
   | Ckpt_rename
   | Rotate
+  | Net_accept
+  | Net_decode
+  | Net_write
 
 type fault =
   | Exhaust_fuel
@@ -19,7 +22,10 @@ exception Injected of string
 
 let submission_stages = [ Admission; Minimize; Dissect; Label; Decide; Journal ]
 
-let all_stages = submission_stages @ [ Journal_flush; Checkpoint; Ckpt_rename; Rotate ]
+let net_stages = [ Net_accept; Net_decode; Net_write ]
+
+let all_stages =
+  submission_stages @ [ Journal_flush; Checkpoint; Ckpt_rename; Rotate ] @ net_stages
 
 let stage_index = function
   | Admission -> 0
@@ -32,6 +38,9 @@ let stage_index = function
   | Checkpoint -> 7
   | Ckpt_rename -> 8
   | Rotate -> 9
+  | Net_accept -> 10
+  | Net_decode -> 11
+  | Net_write -> 12
 
 let stage_name = function
   | Admission -> "admission"
@@ -44,6 +53,9 @@ let stage_name = function
   | Checkpoint -> "checkpoint"
   | Ckpt_rename -> "ckpt-rename"
   | Rotate -> "rotate"
+  | Net_accept -> "net-accept"
+  | Net_decode -> "net-decode"
+  | Net_write -> "net-write"
 
 (* One slot per stage. [n_armed] lets the hot path skip the array scan with a
    single integer load when no fault is armed — the common (production)

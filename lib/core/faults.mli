@@ -27,6 +27,9 @@ type stage =
   | Checkpoint  (** Before writing a checkpoint's temporary file. *)
   | Ckpt_rename  (** Before the atomic tmp → [.ckpt] rename. *)
   | Rotate  (** Before rotating the active journal segment. *)
+  | Net_accept  (** After a connection is accepted, before it is handed off. *)
+  | Net_decode  (** Before a received frame is decoded. *)
+  | Net_write  (** Before a response frame is written back. *)
 
 type fault =
   | Exhaust_fuel  (** Raise {!Cq.Budget.Exhausted}[ Fuel]. *)
@@ -44,6 +47,13 @@ val submission_stages : stage list
     are not on that path — a fault there must {e not} refuse anything, only
     fail the maintenance operation — so they are excluded here, as is
     [Journal_flush], which never trips on a journal-less service. *)
+
+val net_stages : stage list
+(** The networked front-end's stages ([Net_accept], [Net_decode],
+    [Net_write]): a fault at any of these must close (or refuse) {e only}
+    the affected connection — never crash the listener, and never journal a
+    decision. They are off the submission path, so they too are excluded
+    from {!submission_stages}; [lib/net]'s fault matrix exercises them. *)
 
 val stage_name : stage -> string
 

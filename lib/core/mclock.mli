@@ -7,8 +7,10 @@
     [bechamel.monotonic_clock] stub, the only monotonic source available to
     OCaml 5.1's stdlib-less [Unix]).
 
-    Wall-clock time remains the right tool for deadlines against the outside
-    world and for timestamps; this module is only for {e intervals}. *)
+    Wall-clock time remains the right tool for timestamps shown to humans;
+    this module is for {e intervals} — including deadlines, which
+    [Cq.Budget] arms on the same monotonic source so a clock step cannot
+    expire (or immortalize) a query budget. *)
 
 val now_ns : unit -> int64
 (** Nanoseconds on the monotonic clock. The origin is arbitrary (boot time on

@@ -9,14 +9,22 @@ exception Exhausted of exhaustion
    deadlines are meant at millisecond granularity. *)
 let deadline_stride = 128
 
+(* Deadlines are armed and checked on the monotonic clock: a wall-clock step
+   (NTP, manual change) mid-query must neither spuriously expire a budget nor
+   keep it alive past its real allowance. [Monotonic_clock] is the same
+   bechamel stub behind [Disclosure.Mclock]; cq sits below disclosure in the
+   dependency order, so it reads the stub directly. *)
+let now_ns () = Monotonic_clock.now ()
+
 type t = {
   limited : bool; (* false only for [unlimited]; fast-path discriminator *)
   mutable fuel : int;
-  deadline : float; (* absolute [Unix.gettimeofday]; [infinity] = none *)
+  deadline_ns : int64; (* absolute monotonic ns; [Int64.max_int] = none *)
   mutable stride : int; (* ticks left until the next clock check *)
 }
 
-let unlimited = { limited = false; fuel = max_int; deadline = infinity; stride = max_int }
+let unlimited =
+  { limited = false; fuel = max_int; deadline_ns = Int64.max_int; stride = max_int }
 
 let create ?fuel ?deadline () =
   match fuel, deadline with
@@ -29,19 +37,22 @@ let create ?fuel ?deadline () =
         if f < 0 then invalid_arg "Budget.create: negative fuel";
         f
     in
-    let deadline =
+    let deadline_ns =
       match deadline with
-      | None -> infinity
+      | None -> Int64.max_int
       | Some s ->
         if s < 0.0 then invalid_arg "Budget.create: negative deadline";
-        Unix.gettimeofday () +. s
+        let ns = s *. 1e9 in
+        (* A deadline beyond the representable range is no deadline. *)
+        if ns >= 9.0e18 then Int64.max_int else Int64.add (now_ns ()) (Int64.of_float ns)
     in
-    { limited = true; fuel; deadline; stride = deadline_stride }
+    { limited = true; fuel; deadline_ns; stride = deadline_stride }
 
 let is_unlimited t = not t.limited
 
-let check_deadline t =
-  if t.limited && Unix.gettimeofday () > t.deadline then raise (Exhausted Deadline)
+let expired t = t.limited && Int64.compare (now_ns ()) t.deadline_ns > 0
+
+let check_deadline t = if expired t then raise (Exhausted Deadline)
 
 let burn t n =
   if t.limited then begin
@@ -53,7 +64,7 @@ let burn t n =
     t.stride <- t.stride - n;
     if t.stride <= 0 then begin
       t.stride <- deadline_stride;
-      if Unix.gettimeofday () > t.deadline then raise (Exhausted Deadline)
+      if Int64.compare (now_ns ()) t.deadline_ns > 0 then raise (Exhausted Deadline)
     end
   end
 

@@ -25,8 +25,11 @@ val unlimited : t
 
 val create : ?fuel:int -> ?deadline:float -> unit -> t
 (** A fresh budget: at most [fuel] elementary steps and at most [deadline]
-    seconds of wall-clock time from now. Omitted components are unbounded;
-    with neither given, the result is {!unlimited}.
+    seconds from now. The deadline is armed and checked on the {e monotonic}
+    clock — a wall-clock step (NTP, manual change) mid-query can neither
+    spuriously expire a budget nor keep it alive past its real allowance.
+    Omitted components are unbounded; with neither given, the result is
+    {!unlimited}.
     @raise Invalid_argument on a negative fuel or deadline. *)
 
 val tick : t -> unit

@@ -1,0 +1,39 @@
+type t =
+  | Unix_socket of string
+  | Tcp of string * int
+
+let to_string = function
+  | Unix_socket path -> "unix:" ^ path
+  | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+
+let of_string s =
+  let prefixed p = String.length s > String.length p && String.sub s 0 (String.length p) = p in
+  let after p = String.sub s (String.length p) (String.length s - String.length p) in
+  if prefixed "unix:" then Ok (Unix_socket (after "unix:"))
+  else if prefixed "tcp:" then
+    let rest = after "tcp:" in
+    match String.rindex_opt rest ':' with
+    | None -> Error (Printf.sprintf "tcp address %S has no port" s)
+    | Some i -> (
+      let host = String.sub rest 0 i in
+      let port = String.sub rest (i + 1) (String.length rest - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p >= 0 && p < 65536 -> Ok (Tcp (host, p))
+      | _ -> Error (Printf.sprintf "invalid port %S" port))
+  else Error (Printf.sprintf "address %S: expected unix:PATH or tcp:HOST:PORT" s)
+
+let to_sockaddr = function
+  | Unix_socket path -> Unix.ADDR_UNIX path
+  | Tcp (host, port) ->
+    let inet =
+      try Unix.inet_addr_of_string host
+      with Failure _ -> (
+        match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+        | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> a
+        | _ -> invalid_arg (Printf.sprintf "cannot resolve host %S" host))
+    in
+    Unix.ADDR_INET (inet, port)
+
+let domain = function Unix_socket _ -> Unix.PF_UNIX | Tcp _ -> Unix.PF_INET
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,20 @@
+(** Listen/connect addresses: Unix-domain sockets for same-host apps, TCP
+    for everything else. The CLI syntax is [unix:PATH] or
+    [tcp:HOST:PORT]. *)
+
+type t =
+  | Unix_socket of string  (** Filesystem path of the socket. *)
+  | Tcp of string * int  (** Host (name or dotted quad) and port. *)
+
+val to_string : t -> string
+(** [unix:PATH] / [tcp:HOST:PORT] — inverse of {!of_string}. *)
+
+val of_string : string -> (t, string) result
+
+val to_sockaddr : t -> Unix.sockaddr
+(** Resolves TCP hostnames (IPv4).
+    @raise Invalid_argument when resolution fails. *)
+
+val domain : t -> Unix.socket_domain
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,95 @@
+exception Protocol_error of string
+
+type t = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;
+  scratch : Bytes.t;
+  mutable closed : bool;
+}
+
+let chunk = 4096
+
+let connect ?(read_deadline = 30.0) addr =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let fd = Unix.socket ~cloexec:true (Addr.domain addr) Unix.SOCK_STREAM 0 in
+  (try
+     Unix.connect fd (Addr.to_sockaddr addr);
+     if read_deadline > 0.0 then Unix.setsockopt_float fd Unix.SO_RCVTIMEO read_deadline
+   with exn ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise exn);
+  { fd; buf = Buffer.create chunk; scratch = Bytes.create chunk; closed = false }
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    (try Unix.shutdown t.fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let with_connection ?read_deadline addr f =
+  let t = connect ?read_deadline addr in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = String.length s in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done
+
+(* Read until the buffer holds one complete frame, then consume it. The
+   server speaks strict request/response on one connection, so at most one
+   response is ever in flight here. *)
+let read_frame t =
+  let rec loop () =
+    match Frame.decode (Buffer.contents t.buf) with
+    | Frame.Frame { payload; consumed } ->
+      let rest = Buffer.sub t.buf consumed (Buffer.length t.buf - consumed) in
+      Buffer.clear t.buf;
+      Buffer.add_string t.buf rest;
+      payload
+    | Frame.Corrupt e -> raise (Protocol_error (Errors.to_string e))
+    | Frame.Need_more _ -> (
+      match Unix.read t.fd t.scratch 0 chunk with
+      | 0 ->
+        raise
+          (Protocol_error
+             (if Buffer.length t.buf = 0 then "server closed the connection"
+              else "server closed the connection mid-frame"))
+      | n ->
+        Buffer.add_subbytes t.buf t.scratch 0 n;
+        loop ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        raise (Protocol_error "timed out waiting for the server's response")
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ())
+  in
+  loop ()
+
+let request t req =
+  if t.closed then raise (Protocol_error "connection is closed");
+  write_all t.fd (Frame.encode (Codec.encode_request req));
+  match Codec.decode_response (read_frame t) with
+  | Ok resp -> resp
+  | Error msg -> raise (Protocol_error msg)
+
+let query_string t ~principal query =
+  match request t (Codec.Query { principal; query }) with
+  | Codec.Decision d -> Ok d
+  | Codec.Error e -> Error e
+  | Codec.Pong | Codec.Stats_doc _ -> raise (Protocol_error "mismatched response to a query")
+
+let query t ~principal q = query_string t ~principal (Cq.Query.to_string q)
+
+let ping t =
+  match request t Codec.Ping with
+  | Codec.Pong -> ()
+  | Codec.Error e -> raise (Protocol_error (Errors.to_string e))
+  | Codec.Decision _ | Codec.Stats_doc _ -> raise (Protocol_error "mismatched response to a ping")
+
+let stats t =
+  match request t Codec.Stats with
+  | Codec.Stats_doc doc -> doc
+  | Codec.Error e -> raise (Protocol_error (Errors.to_string e))
+  | Codec.Decision _ | Codec.Pong -> raise (Protocol_error "mismatched response to a stats request")

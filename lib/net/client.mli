@@ -1,0 +1,46 @@
+(** Blocking client for the wire protocol: one connection, strict
+    request/response. Thread-compatible, not thread-safe — one domain per
+    connection (open several connections for concurrency, as the overload
+    tests do). *)
+
+exception Protocol_error of string
+(** The {e transport} failed: the server closed the connection, sent a
+    corrupt frame or unparseable response, or the read deadline expired.
+    Server-side refusals and typed wire errors are values, not
+    exceptions. *)
+
+type t
+
+val connect : ?read_deadline:float -> Addr.t -> t
+(** [read_deadline] (default 30 s; [0] disables) bounds each wait for a
+    response.
+    @raise Unix.Unix_error when the connection is refused. *)
+
+val close : t -> unit
+(** Half-closes the send side (clean EOF for the server) and closes the
+    descriptor. Idempotent. *)
+
+val with_connection : ?read_deadline:float -> Addr.t -> (t -> 'a) -> 'a
+
+val request : t -> Codec.request -> Codec.response
+(** One round trip.
+    @raise Protocol_error on transport failure. *)
+
+val query :
+  t -> principal:string -> Cq.Query.t -> (Disclosure.Monitor.decision, Errors.t) result
+(** Submit one query (sent as {!Cq.Query.to_string} concrete syntax).
+    [Ok] is the monitor's decision — including fail-closed refusals such
+    as [Refused Overload]; [Error] is a typed wire error
+    ([Unknown_principal], [Shutting_down], …).
+    @raise Protocol_error on transport failure. *)
+
+val query_string : t -> principal:string -> string -> (Disclosure.Monitor.decision, Errors.t) result
+(** Like {!query} with the concrete syntax already in hand (the CLI's
+    path — the server parses and validates). *)
+
+val ping : t -> unit
+(** Liveness round trip.
+    @raise Protocol_error when the server is not speaking the protocol. *)
+
+val stats : t -> Obs.Json.t
+(** Fetch the server's {!Server.stats_json} document, parsed. *)

@@ -1,0 +1,110 @@
+module Json = Obs.Json
+
+type request =
+  | Query of {
+      principal : string;
+      query : string;
+    }
+  | Ping
+  | Stats
+
+type response =
+  | Decision of Disclosure.Monitor.decision
+  | Pong
+  | Stats_doc of Json.t
+  | Error of Errors.t
+
+(* Requests: {"op":"query","principal":P,"query":Q} | {"op":"ping"}
+   | {"op":"stats"}.
+   Responses: {"ok":true,"decision":"answered"}
+   | {"ok":true,"decision":"refused","reason":TAG}
+   | {"ok":true,"pong":true} | {"ok":true,"stats":DOC}
+   | {"ok":false,"error":TAG,"detail":STR}.
+   Refusals cross the wire as their journal tag
+   ([Disclosure.Guard.refusal_to_tag]), so a decision survives the round
+   trip exactly as it would survive journal replay. *)
+
+let request_to_json = function
+  | Query { principal; query } ->
+    Json.Obj
+      [ ("op", Json.Str "query"); ("principal", Json.Str principal); ("query", Json.Str query) ]
+  | Ping -> Json.Obj [ ("op", Json.Str "ping") ]
+  | Stats -> Json.Obj [ ("op", Json.Str "stats") ]
+
+let request_of_json doc =
+  match Json.member "op" doc with
+  | Some (Json.Str "ping") -> Ok Ping
+  | Some (Json.Str "stats") -> Ok Stats
+  | Some (Json.Str "query") -> (
+    match (Json.member "principal" doc, Json.member "query" doc) with
+    | Some (Json.Str principal), Some (Json.Str query) -> Ok (Query { principal; query })
+    | _ ->
+      Stdlib.Error
+        (Errors.bad_request "query request needs string fields \"principal\" and \"query\""))
+  | Some (Json.Str op) -> Stdlib.Error (Errors.bad_request (Printf.sprintf "unknown op %S" op))
+  | Some _ -> Stdlib.Error (Errors.bad_request "\"op\" must be a string")
+  | None -> Stdlib.Error (Errors.bad_request "request object has no \"op\" field")
+
+let response_to_json = function
+  | Decision Disclosure.Monitor.Answered ->
+    Json.Obj [ ("ok", Json.Bool true); ("decision", Json.Str "answered") ]
+  | Decision (Disclosure.Monitor.Refused reason) ->
+    Json.Obj
+      [
+        ("ok", Json.Bool true);
+        ("decision", Json.Str "refused");
+        ("reason", Json.Str (Disclosure.Guard.refusal_to_tag reason));
+      ]
+  | Pong -> Json.Obj [ ("ok", Json.Bool true); ("pong", Json.Bool true) ]
+  | Stats_doc doc -> Json.Obj [ ("ok", Json.Bool true); ("stats", doc) ]
+  | Error e ->
+    Json.Obj
+      [
+        ("ok", Json.Bool false);
+        ("error", Json.Str (Errors.kind_to_tag e.Errors.kind));
+        ("detail", Json.Str e.Errors.detail);
+      ]
+
+let response_of_json doc =
+  match Json.member "ok" doc with
+  | Some (Json.Bool false) -> (
+    match (Json.member "error" doc, Json.member "detail" doc) with
+    | Some (Json.Str tag), detail -> (
+      let detail = match detail with Some (Json.Str d) -> d | _ -> "" in
+      match Errors.kind_of_tag tag with
+      | Some kind -> Ok (Error (Errors.v kind detail))
+      | None -> Stdlib.Error (Printf.sprintf "unknown error tag %S" tag))
+    | _ -> Stdlib.Error "error response needs a string \"error\" field")
+  | Some (Json.Bool true) -> (
+    match Json.member "decision" doc with
+    | Some (Json.Str "answered") -> Ok (Decision Disclosure.Monitor.Answered)
+    | Some (Json.Str "refused") -> (
+      match Json.member "reason" doc with
+      | Some (Json.Str tag) -> (
+        match Disclosure.Guard.refusal_of_tag tag with
+        | Some reason -> Ok (Decision (Disclosure.Monitor.Refused reason))
+        | None -> Stdlib.Error (Printf.sprintf "unknown refusal tag %S" tag))
+      | _ -> Stdlib.Error "refused decision has no \"reason\" tag")
+    | Some (Json.Str d) -> Stdlib.Error (Printf.sprintf "unknown decision %S" d)
+    | Some _ -> Stdlib.Error "\"decision\" must be a string"
+    | None -> (
+      match (Json.member "pong" doc, Json.member "stats" doc) with
+      | Some (Json.Bool true), _ -> Ok Pong
+      | _, Some doc -> Ok (Stats_doc doc)
+      | _ -> Stdlib.Error "ok response carries no decision, pong, or stats"))
+  | Some _ -> Stdlib.Error "\"ok\" must be a boolean"
+  | None -> Stdlib.Error "response object has no \"ok\" field"
+
+let encode_request r = Json.to_string (request_to_json r)
+
+let decode_request payload =
+  match Json.parse payload with
+  | Stdlib.Error msg -> Stdlib.Error (Errors.bad_json msg)
+  | Ok doc -> request_of_json doc
+
+let encode_response r = Json.to_string (response_to_json r)
+
+let decode_response payload =
+  match Json.parse payload with
+  | Stdlib.Error msg -> Stdlib.Error (Printf.sprintf "response is not JSON: %s" msg)
+  | Ok doc -> response_of_json doc

@@ -1,0 +1,38 @@
+(** Request/response payload codec.
+
+    Frame payloads are {!Obs.Json} documents (the in-tree RFC 8259
+    parser — no new dependency). Queries travel as [Cq] concrete syntax
+    (strings from {!Cq.Query.to_string}, re-parsed server-side), and
+    refusal reasons travel as their journal tag
+    ({!Disclosure.Guard.refusal_to_tag}) — a decision crosses the wire
+    with exactly the fidelity it survives journal replay. *)
+
+type request =
+  | Query of {
+      principal : string;
+      query : string;  (** [Cq] concrete syntax; parsed by the server. *)
+    }
+  | Ping  (** Liveness probe; answered without touching the monitor. *)
+  | Stats  (** Fetch the server's {!Server.stats_json} document. *)
+
+type response =
+  | Decision of Disclosure.Monitor.decision
+  | Pong
+  | Stats_doc of Obs.Json.t
+  | Error of Errors.t
+
+val request_to_json : request -> Obs.Json.t
+val request_of_json : Obs.Json.t -> (request, Errors.t) result
+
+val response_to_json : response -> Obs.Json.t
+val response_of_json : Obs.Json.t -> (response, string) result
+(** [Error] carries a parse diagnostic — client side only, never crosses
+    the wire. *)
+
+val encode_request : request -> string
+val decode_request : string -> (request, Errors.t) result
+(** Total: malformed JSON maps to [Errors.Bad_json], a well-formed
+    document of the wrong shape to [Errors.Bad_request]. Never raises. *)
+
+val encode_response : response -> string
+val decode_response : string -> (response, string) result

@@ -1,0 +1,139 @@
+let src = Logs.Src.create "disclosure.net.conn" ~doc:"Per-connection frame loop"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+module Metrics = Server.Metrics
+
+type config = {
+  read_deadline : float;
+  max_payload : int;
+}
+
+let default_config = { read_deadline = 30.0; max_payload = Frame.default_max_payload }
+
+(* One reference-monitor connection: a sequential request/response frame
+   loop on its own domain. The socket's receive timeout enforces the read
+   deadline, the frame decoder enforces the payload cap, and every failure
+   mode funnels into a typed [Errors.t] — sent to the peer when the socket
+   still works, and fatal ones close the connection. Nothing here ever
+   touches the journal: a protocol error is not a decision. *)
+
+let chunk = 4096
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = String.length s in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done
+
+type wire = {
+  fd : Unix.file_descr;
+  config : config;
+  metrics : Metrics.t option;
+  buf : Buffer.t;  (** Bytes received but not yet consumed as frames. *)
+  scratch : Bytes.t;
+}
+
+let count w c n =
+  match w.metrics with None -> () | Some m -> Metrics.add m c n
+
+let send w response =
+  Disclosure.Faults.trip Disclosure.Faults.Net_write;
+  let frame = Frame.encode (Codec.encode_response response) in
+  write_all w.fd frame;
+  count w Metrics.Net_bytes_out (String.length frame)
+
+(* Best-effort: the peer may already be gone when we try to tell it why we
+   are closing, and that must not mask the original error. *)
+let send_quietly w response = try send w response with _ -> ()
+
+type step =
+  | Continue
+  | Close_clean
+  | Close_error of Errors.t
+
+(* Consume every complete frame currently buffered. Frames are handled in
+   arrival order; the [Net] stage histogram times each one from decode
+   start to response written. *)
+let rec drain_frames w ~handle =
+  if Buffer.length w.buf = 0 then Continue
+  else
+    match Frame.decode ~max_payload:w.config.max_payload (Buffer.contents w.buf) with
+    | Frame.Need_more _ -> Continue
+    | Frame.Corrupt e -> Close_error e
+    | Frame.Frame { payload; consumed } ->
+      let rest = Buffer.sub w.buf consumed (Buffer.length w.buf - consumed) in
+      Buffer.clear w.buf;
+      Buffer.add_string w.buf rest;
+      let step =
+        let run () =
+          match
+            Disclosure.Faults.trip Disclosure.Faults.Net_decode;
+            Codec.decode_request payload
+          with
+          | Error e when Errors.fatal e -> Close_error e
+          | Error e ->
+            send w (Codec.Error e);
+            count w Metrics.Net_errors 1;
+            Continue
+          | Ok req -> (
+            match handle req with
+            | Codec.Error e when Errors.fatal e ->
+              (* The handler itself failed closed (fault, shutdown):
+                 report and close. *)
+              Close_error e
+            | resp ->
+              send w resp;
+              count w Metrics.Net_requests 1;
+              Continue)
+          | exception exn ->
+            Close_error (Errors.fault (Printexc.to_string exn))
+        in
+        match w.metrics with
+        | None -> run ()
+        | Some m -> Metrics.time m Metrics.Net run
+      in
+      (match step with Continue -> drain_frames w ~handle | _ -> step)
+
+let read_step w ~handle =
+  match Unix.read w.fd w.scratch 0 chunk with
+  | 0 ->
+    if Buffer.length w.buf = 0 then Close_clean
+    else
+      Close_error
+        (Errors.torn
+           (Printf.sprintf "peer closed with %d buffered bytes mid-frame" (Buffer.length w.buf)))
+  | n ->
+    count w Metrics.Net_bytes_in n;
+    Buffer.add_subbytes w.buf w.scratch 0 n;
+    drain_frames w ~handle
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+    Close_error (Errors.timeout ~seconds:w.config.read_deadline)
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> Continue
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+    if Buffer.length w.buf = 0 then Close_clean
+    else Close_error (Errors.torn "connection reset mid-frame")
+
+let serve ?metrics ?(config = default_config) ~handle fd =
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO config.read_deadline
+   with Unix.Unix_error _ -> () (* not a socket under some test harnesses *));
+  let w = { fd; config; metrics; buf = Buffer.create chunk; scratch = Bytes.create chunk } in
+  let rec loop () =
+    match read_step w ~handle with
+    | Continue -> loop ()
+    | Close_clean -> ()
+    | Close_error e ->
+      count w Metrics.Net_errors 1;
+      Log.debug (fun m -> m "closing connection: %a" Errors.pp e);
+      send_quietly w (Codec.Error e)
+  in
+  (try loop ()
+   with exn ->
+     (* Absolute backstop: a connection failure is never allowed to
+        propagate into the listener. *)
+     count w Metrics.Net_errors 1;
+     send_quietly w (Codec.Error (Errors.fault (Printexc.to_string exn))));
+  (try Unix.shutdown fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()

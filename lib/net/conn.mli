@@ -1,0 +1,38 @@
+(** One accepted connection: a sequential request/response frame loop,
+    run to completion on the connection's own domain.
+
+    Robustness is the contract. The socket receive timeout enforces the
+    per-connection read deadline, {!Frame.decode} enforces the payload cap
+    and CRC, and every failure mode — garbage, torn stream, timeout,
+    handler exception, injected {!Disclosure.Faults} fault — funnels into a
+    typed {!Errors.t} that is sent to the peer (best-effort) before the
+    connection closes. {!serve} never raises and never lets a failure
+    escape toward the listener, and none of these paths journal anything:
+    a protocol error is not a decision. *)
+
+type config = {
+  read_deadline : float;
+      (** Seconds the read loop will wait for bytes (socket
+          [SO_RCVTIMEO]); expiry closes the connection with
+          [Errors.Timeout]. *)
+  max_payload : int;  (** Per-frame payload cap (see {!Frame.decode}). *)
+}
+
+val default_config : config
+(** [{ read_deadline = 30.0; max_payload = Frame.default_max_payload }] *)
+
+val serve :
+  ?metrics:Server.Metrics.t ->
+  ?config:config ->
+  handle:(Codec.request -> Codec.response) ->
+  Unix.file_descr ->
+  unit
+(** [serve ~handle fd] owns [fd]: it runs the frame loop until the peer
+    half-closes (clean EOF between frames) or a fatal error occurs, then
+    half-closes its own send side and closes the descriptor. [handle] maps
+    each request to a response; returning a {e fatal} [Codec.Error] (see
+    {!Errors.fatal}) closes the connection after the error is sent, and an
+    exception from [handle] fails closed as [Errors.Fault]. With
+    [metrics], each handled frame is timed under the [Net] stage and the
+    [Net_requests] / [Net_errors] / [Net_bytes_in] / [Net_bytes_out]
+    counters are maintained. *)

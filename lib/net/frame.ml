@@ -1,0 +1,67 @@
+let magic = "DCN1"
+let version = 1
+let header_len = 13
+let default_max_payload = 1 lsl 20
+
+(* Header layout (13 bytes, all integers big-endian):
+     bytes 0..3   magic "DCN1"
+     byte  4      version (0x01)
+     bytes 5..8   payload length, unsigned 32-bit
+     bytes 9..12  CRC-32 of the payload bytes (Disclosure.Journal.crc32)
+   The payload follows immediately; frames are self-delimiting, so a
+   stream of frames needs no separators and a reader can always tell a
+   torn tail from a corrupt record — the same discipline as the J2
+   journal codec. *)
+
+let put_u32_be b v =
+  Buffer.add_char b (Char.chr ((v lsr 24) land 0xff));
+  Buffer.add_char b (Char.chr ((v lsr 16) land 0xff));
+  Buffer.add_char b (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char b (Char.chr (v land 0xff))
+
+let get_u32_be s off =
+  (Char.code s.[off] lsl 24)
+  lor (Char.code s.[off + 1] lsl 16)
+  lor (Char.code s.[off + 2] lsl 8)
+  lor Char.code s.[off + 3]
+
+let encode payload =
+  let b = Buffer.create (header_len + String.length payload) in
+  Buffer.add_string b magic;
+  Buffer.add_char b (Char.chr version);
+  put_u32_be b (String.length payload);
+  put_u32_be b (Disclosure.Journal.crc32 payload);
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+type progress =
+  | Frame of {
+      payload : string;
+      consumed : int;
+    }
+  | Need_more of int
+  | Corrupt of Errors.t
+
+let decode ?(max_payload = default_max_payload) buf =
+  let len = String.length buf in
+  (* Reject garbage on the shortest prefix that proves it: a wrong byte in
+     the magic or version is corrupt even if the header is incomplete. *)
+  let magic_avail = min len 4 in
+  if String.sub buf 0 magic_avail <> String.sub magic 0 magic_avail then
+    Corrupt Errors.bad_magic
+  else if len >= 5 && Char.code buf.[4] <> version then
+    Corrupt (Errors.bad_version (Char.code buf.[4]))
+  else if len < header_len then Need_more (header_len - len)
+  else
+    let payload_len = get_u32_be buf 5 in
+    if payload_len > max_payload then
+      Corrupt (Errors.oversized ~length:payload_len ~max:max_payload)
+    else
+      let total = header_len + payload_len in
+      if len < total then Need_more (total - len)
+      else
+        let payload = String.sub buf header_len payload_len in
+        let expected = get_u32_be buf 9 in
+        let actual = Disclosure.Journal.crc32 payload in
+        if expected <> actual then Corrupt (Errors.crc_mismatch ~expected ~actual)
+        else Frame { payload; consumed = total }

@@ -1,0 +1,45 @@
+(** Self-delimiting wire framing.
+
+    A frame is a 13-byte header — magic ["DCN1"], a version byte, the
+    payload length and the payload's CRC-32 (both unsigned 32-bit
+    big-endian) — followed by the payload bytes. The CRC uses the same
+    zlib-polynomial {!Disclosure.Journal.crc32} as the J2 journal codec,
+    and the decoder makes the same torn-versus-corrupt distinction: an
+    incomplete frame asks for more bytes, a provably damaged one returns a
+    typed {!Errors.t}. Decoding never raises on any input. *)
+
+val magic : string
+(** ["DCN1"] — 4 bytes. *)
+
+val version : int
+(** Current protocol version, [1]. *)
+
+val header_len : int
+(** [13]. *)
+
+val default_max_payload : int
+(** 1 MiB — ample for any query or stats document; a declared length above
+    the receiver's limit is rejected {e before} buffering the payload, so a
+    hostile header cannot balloon memory. *)
+
+val encode : string -> string
+(** [encode payload] is the full frame: header + payload. *)
+
+(** Decoder verdict on a buffer prefix. *)
+type progress =
+  | Frame of {
+      payload : string;  (** Verified payload (CRC checked). *)
+      consumed : int;  (** Bytes of the buffer this frame occupied. *)
+    }
+  | Need_more of int
+      (** The buffer holds a valid frame {e prefix}; at least this many
+          more bytes are needed. Never [Need_more 0]. *)
+  | Corrupt of Errors.t
+      (** The buffer can never extend to a valid frame: bad magic or
+          version, oversized declared length, or CRC mismatch. *)
+
+val decode : ?max_payload:int -> string -> progress
+(** [decode buf] examines [buf] from offset 0. Corruption is reported on
+    the shortest prefix that proves it (a wrong magic byte is [Corrupt]
+    even with one byte buffered). Total: never raises.
+    [max_payload] defaults to {!default_max_payload}. *)

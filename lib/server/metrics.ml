@@ -1,4 +1,5 @@
 type stage =
+  | Net
   | Wait
   | Admit
   | Canonicalize
@@ -10,17 +11,19 @@ type stage =
   | Rotate
 
 let stage_index = function
-  | Wait -> 0
-  | Admit -> 1
-  | Canonicalize -> 2
-  | Label -> 3
-  | Cache -> 4
-  | Decide -> 5
-  | Journal -> 6
-  | Checkpoint -> 7
-  | Rotate -> 8
+  | Net -> 0
+  | Wait -> 1
+  | Admit -> 2
+  | Canonicalize -> 3
+  | Label -> 4
+  | Cache -> 5
+  | Decide -> 6
+  | Journal -> 7
+  | Checkpoint -> 8
+  | Rotate -> 9
 
 let stage_name = function
+  | Net -> "net"
   | Wait -> "wait"
   | Admit -> "admit"
   | Canonicalize -> "canonicalize"
@@ -31,9 +34,10 @@ let stage_name = function
   | Checkpoint -> "checkpoint"
   | Rotate -> "rotate"
 
-let stages = [ Wait; Admit; Canonicalize; Label; Cache; Decide; Journal; Checkpoint; Rotate ]
+let stages =
+  [ Net; Wait; Admit; Canonicalize; Label; Cache; Decide; Journal; Checkpoint; Rotate ]
 
-let n_stages = 9
+let n_stages = 10
 
 type counter =
   | Submitted
@@ -47,6 +51,12 @@ type counter =
   | Rotations
   | Recoveries
   | Recovered_records
+  | Net_accepted
+  | Net_rejected
+  | Net_requests
+  | Net_errors
+  | Net_bytes_in
+  | Net_bytes_out
 
 let counter_index = function
   | Submitted -> 0
@@ -60,6 +70,12 @@ let counter_index = function
   | Rotations -> 8
   | Recoveries -> 9
   | Recovered_records -> 10
+  | Net_accepted -> 11
+  | Net_rejected -> 12
+  | Net_requests -> 13
+  | Net_errors -> 14
+  | Net_bytes_in -> 15
+  | Net_bytes_out -> 16
 
 let counter_name = function
   | Submitted -> "submitted"
@@ -73,6 +89,12 @@ let counter_name = function
   | Rotations -> "rotations"
   | Recoveries -> "recoveries"
   | Recovered_records -> "recovered_records"
+  | Net_accepted -> "net_accepted"
+  | Net_rejected -> "net_rejected"
+  | Net_requests -> "net_requests"
+  | Net_errors -> "net_errors"
+  | Net_bytes_in -> "net_bytes_in"
+  | Net_bytes_out -> "net_bytes_out"
 
 let counters =
   [
@@ -87,9 +109,15 @@ let counters =
     Rotations;
     Recoveries;
     Recovered_records;
+    Net_accepted;
+    Net_rejected;
+    Net_requests;
+    Net_errors;
+    Net_bytes_in;
+    Net_bytes_out;
   ]
 
-let n_counters = 11
+let n_counters = 17
 
 (* Per-shard runtime gauges, sampled by each worker domain from its own
    [Gc.quick_stat]. Gauges are set, not accumulated: the newest sample

@@ -6,6 +6,9 @@
 
 (** Pipeline stages timed by the serving layer. *)
 type stage =
+  | Net
+      (** Server-side handling of one wire request: frame decoded to
+          response bytes written, on the connection's domain ([lib/net]). *)
   | Wait  (** Mailbox residency: enqueue on the client domain to dequeue by the worker. *)
   | Admit  (** Pre-decision label admission on the cached submit path. *)
   | Canonicalize  (** Computing a cache key (normal form / canonical form). *)
@@ -29,6 +32,15 @@ type counter =
   | Rotations  (** Journal-segment rotation attempts. *)
   | Recoveries  (** Per-shard [Service.recover] replays completed. *)
   | Recovered_records  (** Decision records re-applied across recoveries. *)
+  | Net_accepted  (** Connections accepted by the networked front-end. *)
+  | Net_rejected
+      (** Connections refused at accept (connection cap, shutdown, fault). *)
+  | Net_requests  (** Wire requests fully handled (a response was sent). *)
+  | Net_errors
+      (** Typed protocol errors (garbage/torn/oversized frames, timeouts);
+          each closes its connection and journals nothing. *)
+  | Net_bytes_in  (** Payload + frame bytes read from clients. *)
+  | Net_bytes_out  (** Payload + frame bytes written to clients. *)
 
 (** Per-shard runtime gauges (newest sample wins, no accumulation), fed by
     each worker domain from its own [Gc.quick_stat]. *)

@@ -46,10 +46,14 @@ type t = {
   shards : Shard.t array;
   metrics : Metrics.t;
   trace : Obs.Trace.t option;
-  started_at : float; (* Unix.gettimeofday at create, for uptime/rates *)
+  started_at : float; (* Unix.gettimeofday at create — display only *)
+  started_ns : int64; (* Mclock at create — uptime and rate math *)
   assignment : (string, int) Hashtbl.t; (* principal -> shard index *)
   mutable order : string list; (* reversed global registration order *)
-  mutable state : state;
+  state : state Atomic.t;
+      (* Atomic, not plain mutable: the networked front-end submits from
+         connection domains, so the lifecycle check in [submit] races with
+         [stop] on the owner's domain. *)
 }
 
 type ticket = Monitor.decision Ivar.t
@@ -94,9 +98,10 @@ let create ?limits ?journal ?trace ?(config = default_config) pipeline =
     metrics;
     trace;
     started_at = Unix.gettimeofday ();
+    started_ns = Disclosure.Mclock.now_ns ();
     assignment = Hashtbl.create 64;
     order = [];
-    state = Created;
+    state = Atomic.make Created;
   }
 
 let config t = t.config
@@ -107,12 +112,19 @@ let trace t = t.trace
 
 let started_at t = t.started_at
 
-let uptime_s t = Float.max 0.0 (Unix.gettimeofday () -. t.started_at)
+(* Monotonic: a wall-clock step must not corrupt uptime-derived rates
+   (queries/s = submitted / uptime_s). [started_at] stays wall-clock purely
+   for display. *)
+let uptime_s t = Disclosure.Mclock.elapsed_s ~since:t.started_ns
 
 let shard_of t principal = t.shards.(fnv1a principal mod shard_count t)
 
+let state t = Atomic.get t.state
+
+let is_running t = state t = Running
+
 let require_created t what =
-  match t.state with
+  match state t with
   | Created -> ()
   | Running | Stopped ->
     invalid_arg (Printf.sprintf "Server.%s: server already started" what)
@@ -133,7 +145,7 @@ let principals t = List.rev t.order
 let start t =
   require_created t "start";
   Array.iter Shard.start t.shards;
-  t.state <- Running;
+  Atomic.set t.state Running;
   Log.info (fun m ->
       m "serving on %d domain(s), mailbox capacity %d, cache capacity %d"
         t.config.domains t.config.mailbox_capacity t.config.cache_capacity)
@@ -142,7 +154,7 @@ let start t =
    are processed once [start] spawns the workers. Tests use this to fill a
    mailbox deterministically. *)
 let submit t ~principal query : ticket =
-  (match t.state with
+  (match state t with
   | Stopped -> invalid_arg "Server.submit: server is stopped"
   | Created | Running -> ());
   if not (Hashtbl.mem t.assignment principal) then
@@ -170,7 +182,7 @@ let await (ticket : ticket) = Ivar.read ticket
 let submit_sync t ~principal query = await (submit t ~principal query)
 
 let drain t =
-  match t.state with
+  match state t with
   | Created | Stopped -> ()
   | Running ->
     let barriers =
@@ -184,7 +196,7 @@ let drain t =
     Array.iter (Option.iter Ivar.read) barriers
 
 let stop t =
-  match t.state with
+  match state t with
   | Stopped -> ()
   | Created ->
     (* Never started: no workers to join, but queued messages would leave
@@ -211,12 +223,12 @@ let stop t =
         flush ();
         Service.close (Shard.service shard))
       t.shards;
-    t.state <- Stopped
+    Atomic.set t.state Stopped
   | Running ->
     Array.iter (fun shard -> Mailbox.close (Shard.mailbox shard)) t.shards;
     Array.iter Shard.join t.shards;
     Array.iter (fun shard -> Service.close (Shard.service shard)) t.shards;
-    t.state <- Stopped;
+    Atomic.set t.state Stopped;
     Log.info (fun m -> m "stopped")
 
 (* --- introspection (exact only while shards are quiescent) ------------- *)
@@ -288,7 +300,7 @@ let stats_json t =
    calling domain; a running server sends each worker a Checkpoint control
    message, so the snapshot happens on the owning domain with no locks. *)
 let checkpoint t =
-  match t.state with
+  match state t with
   | Created | Stopped ->
     Array.fold_left
       (fun acc shard ->
@@ -330,7 +342,7 @@ let checkpoint t =
    count (and hash) as the run that wrote the segments. Each shard recovers
    its own checkpoint + tail under its base path <journal>.shard<i>. *)
 let recover t ~journal =
-  (match t.state with
+  (match state t with
   | Running -> invalid_arg "Server.recover: stop the server first"
   | Created | Stopped -> ());
   let rec loop i applied =

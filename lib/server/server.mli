@@ -134,12 +134,20 @@ val trace : t -> Obs.Trace.t option
 (** The recorder passed to {!create}, if any. *)
 
 val started_at : t -> float
-(** Wall-clock creation time ([Unix.gettimeofday]). Wall, not monotonic:
-    this is a timestamp for humans and rate math, not an interval source. *)
+(** Wall-clock creation time ([Unix.gettimeofday]) — a timestamp for humans
+    ({e display only}). Rate math must divide by {!uptime_s}, which does not
+    share this clock. *)
 
 val uptime_s : t -> float
-(** Seconds since {!started_at}, floored at [0] (a wall-clock step backwards
-    must not produce a negative uptime). *)
+(** Seconds since creation on the {e monotonic} clock
+    ({!Disclosure.Mclock}), never negative: a wall-clock step (NTP, manual
+    change) cannot corrupt uptime-derived rates such as
+    [submitted / uptime_s]. *)
+
+val is_running : t -> bool
+(** Between {!start} and {!stop}. Safe from any domain (the lifecycle state
+    is atomic) — the networked front-end uses it to gate submissions during
+    shutdown. *)
 
 val cache_stats : t -> Shard.cache_stats
 (** Summed over shards. *)
