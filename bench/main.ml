@@ -8,6 +8,7 @@
      dune exec bench/main.exe -- fig6       -- Figure 6 (policy checker)
      dune exec bench/main.exe -- guard      -- guarded vs unguarded labeling
      dune exec bench/main.exe -- net        -- loopback socket vs in-process
+     dune exec bench/main.exe -- replicate  -- hot-standby lag/failover/reload
      dune exec bench/main.exe -- micro      -- Bechamel micro-benchmarks
 
    Options: --n INT (queries per Figure 5 point), --checks INT (label checks
@@ -1098,6 +1099,205 @@ let run_net () =
   Format.printf "(wrote %s)@." json_path
 
 (* ------------------------------------------------------------------ *)
+(* Hot-standby replication: steady-state lag, failover time, reload    *)
+(* blackout                                                            *)
+
+let run_replicate () =
+  let shards = 2 in
+  let n = min options.n 20_000 in
+  let v1 = Disclosure.Sview.of_string "V1(x, y) :- Meetings(x, y)" in
+  let v2 = Disclosure.Sview.of_string "V2(x) :- Meetings(x, y)" in
+  let v3 = Disclosure.Sview.of_string "V3(x, y, z) :- Contacts(x, y, z)" in
+  let n_principals = 16 in
+  let policy ~open_calendar =
+    {
+      Disclosure.Policyfile.views = [ v1; v2; v3 ];
+      principals =
+        List.init n_principals (fun i ->
+            ( Printf.sprintf "app-%d" i,
+              [ ("meetings", [ "V1"; "V2" ]); ("contacts", [ "V3" ]) ] ))
+        @ [
+            ( "calendar-app",
+              [ ("default", if open_calendar then [ "V1"; "V2" ] else [ "V2" ]) ] );
+          ];
+    }
+  in
+  let resolve p =
+    match Disclosure.Policyfile.resolve p with
+    | Ok r -> r
+    | Error e -> failwith ("bench replicate: " ^ e)
+  in
+  let config =
+    {
+      Server.domains = shards;
+      mailbox_capacity = 4096;
+      cache_capacity = 0;
+      checkpoint_every = 0;
+      segment_bytes = 0;
+    }
+  in
+  let queries =
+    [|
+      Cq.Parser.query_exn "Q(x, y, z) :- Contacts(x, y, z)";
+      Cq.Parser.query_exn "Q(x, y) :- Meetings(x, y)";
+      Cq.Parser.query_exn "Q(x) :- Meetings(x, y)";
+    |]
+  in
+  let jbase = Filename.temp_file "disclosure-bench-rep-primary" ".journal" in
+  let mbase = Filename.temp_file "disclosure-bench-rep-mirror" ".journal" in
+  Sys.remove jbase;
+  Sys.remove mbase;
+  let sock = Filename.temp_file "disclosure-bench-rep" ".sock" in
+  let cleanup () =
+    List.iter
+      (fun base ->
+        for shard = 0 to shards - 1 do
+          let b = Printf.sprintf "%s.shard%d" base shard in
+          List.iter
+            (fun f -> try Sys.remove f with Sys_error _ -> ())
+            ([ b; b ^ ".ckpt"; b ^ ".ckpt.tmp" ]
+            @ List.init 16 (fun i -> Printf.sprintf "%s.%d" b (i + 1)))
+        done)
+      [ jbase; mbase ];
+    try Sys.remove sock with Sys_error _ -> ()
+  in
+  Fun.protect ~finally:cleanup (fun () ->
+      Format.printf "@.== Hot-standby replication (wall time) ==@.";
+      Format.printf "   (%d queries over %d principals, %d shards, follower polling)@.@." n
+        (n_principals + 1) shards;
+      (* Primary with a replication source attached; follower polls it
+         continuously over the loopback socket while the primary serves. *)
+      let server = Server.create ~journal:jbase ~config (Pipeline.create [ v1; v2; v3 ]) in
+      List.iter
+        (fun (principal, partitions) -> Server.register server ~principal ~partitions)
+        (resolve (policy ~open_calendar:false));
+      Server.start server;
+      let source = Replicate.Source.create ~server ~journal:jbase in
+      let addr = Net.Addr.Unix_socket sock in
+      let listener = Net.Listener.create ~extend:(Replicate.Source.handler source) ~server addr in
+      let fol =
+        match
+          Replicate.Follower.create ~journal:mbase ~shards (policy ~open_calendar:false)
+        with
+        | Ok f -> f
+        | Error e -> failwith ("bench replicate: follower: " ^ e)
+      in
+      let connect () =
+        Net.Client.connect_retry ~attempts:4 ~delay:0.005 ~max_delay:0.02 addr
+      in
+      Replicate.Follower.run fol ~connect ~interval:0.001;
+      (* Steady state: sample the replication-lag watermark while serving. *)
+      let samples = ref [] in
+      let (), serve_wall =
+        time_wall (fun () ->
+            for i = 0 to n - 1 do
+              ignore
+                (Server.submit_sync server
+                   ~principal:(Printf.sprintf "app-%d" (i mod n_principals))
+                   queries.(i mod 3));
+              if i mod 256 = 0 then
+                samples := float_of_int (Replicate.Follower.lag fol) :: !samples
+            done)
+      in
+      Server.drain server;
+      let caught, catchup_wall =
+        time_wall (fun () -> Replicate.Source.await_caught_up source ~timeout_s:30.0)
+      in
+      let sampled = Array.of_list !samples in
+      let mean_lag =
+        if Array.length sampled = 0 then 0.0
+        else Array.fold_left ( +. ) 0.0 sampled /. float_of_int (Array.length sampled)
+      in
+      let max_lag = Array.fold_left Float.max 0.0 sampled in
+      let shipped = Replicate.Follower.applied fol in
+      Format.printf "steady state: %d records replayed, mean lag %.0f bytes, max lag %.0f bytes@."
+        shipped mean_lag max_lag;
+      Format.printf "serve wall %.3f s (%.0f q/s), final catch-up %.1f ms, caught up: %b@."
+        serve_wall
+        (float_of_int n /. serve_wall)
+        (catchup_wall *. 1e3) caught;
+      (* Failover: the primary dies (listener and server stop), the
+         follower promotes over its mirror. *)
+      Net.Listener.stop listener;
+      Server.stop server;
+      let (promoted, replayed), failover_wall =
+        time_wall (fun () ->
+            match Replicate.Follower.promote fol ~config () with
+            | Ok x -> x
+            | Error e -> failwith ("bench replicate: promote: " ^ e))
+      in
+      Format.printf "failover: promoted in %.1f ms (%d records recovered from the mirror)@."
+        (failover_wall *. 1e3) replayed;
+      (* Reload blackout on the promoted primary: a client streams queries
+         while the policy is swapped; every query must be answered over the
+         SAME connection (zero drops), and the largest inter-response gap
+         bounds the observable blackout. *)
+      Server.start promoted;
+      let listener = Net.Listener.create ~server:promoted addr in
+      let stop_stream = Atomic.make false in
+      let wire_errors = Atomic.make 0 in
+      let streamer =
+        Domain.spawn (fun () ->
+            let client = Net.Client.connect addr in
+            let gaps = ref [] in
+            let refused = ref 0 and answered = ref 0 in
+            let last = ref (Unix.gettimeofday ()) in
+            while not (Atomic.get stop_stream) do
+              (match Net.Client.query client ~principal:"calendar-app" queries.(1) with
+              | Ok Monitor.Answered -> incr answered
+              | Ok (Monitor.Refused _) -> incr refused
+              | Error _ -> Atomic.incr wire_errors);
+              let now = Unix.gettimeofday () in
+              gaps := (now -. !last) :: !gaps;
+              last := now
+            done;
+            Net.Client.close client;
+            (!gaps, !refused, !answered))
+      in
+      let reloads = [ true; false; true ] in
+      List.iter
+        (fun open_calendar ->
+          Unix.sleepf 0.05;
+          match Server.reload promoted (policy ~open_calendar) with
+          | Ok () -> ()
+          | Error e -> failwith ("bench replicate: reload: " ^ e))
+        reloads;
+      Unix.sleepf 0.05;
+      Atomic.set stop_stream true;
+      let gaps, refused, answered = Domain.join streamer in
+      Net.Listener.stop listener;
+      Server.stop promoted;
+      let max_gap = List.fold_left Float.max 0.0 gaps in
+      let dropped = Atomic.get wire_errors in
+      Format.printf
+        "reload: %d reloads under load — %d answered, %d refused, %d dropped, max gap %.2f ms@."
+        (List.length reloads) answered refused dropped (max_gap *. 1e3);
+      let json_path = Option.value options.server_json ~default:"BENCH_replicate.json" in
+      let oc = open_out json_path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          Printf.fprintf oc
+            "{\n\
+            \  \"benchmark\": \"replicate\",\n\
+            \  \"queries\": %d,\n\
+            \  \"shards\": %d,\n\
+            \  \"steady_state\": {\"records_replayed\": %d, \"mean_lag_bytes\": %.0f, \
+             \"max_lag_bytes\": %.0f, \"serve_qps\": %.0f, \"final_catchup_ms\": %.1f, \
+             \"caught_up\": %b},\n\
+            \  \"failover\": {\"promote_ms\": %.1f, \"records_recovered\": %d},\n\
+            \  \"reload\": {\"reloads\": %d, \"queries_in_flight\": %d, \
+             \"dropped_connections\": %d, \"max_gap_ms\": %.2f, \"decision_flip_observed\": \
+             %b}\n\
+             }\n"
+            n shards shipped mean_lag max_lag
+            (float_of_int n /. serve_wall)
+            (catchup_wall *. 1e3) caught (failover_wall *. 1e3) replayed
+            (List.length reloads) (answered + refused) dropped (max_gap *. 1e3)
+            (answered > 0 && refused > 0));
+      Format.printf "(wrote %s)@." json_path)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 
 let run_micro () =
@@ -1173,7 +1373,7 @@ let () =
   parse_args ();
   let commands =
     if options.commands = [] then
-      [ "table2"; "fig3"; "fig5"; "fig6"; "ablation"; "guard"; "server"; "obs"; "recover"; "net"; "micro" ]
+      [ "table2"; "fig3"; "fig5"; "fig6"; "ablation"; "guard"; "server"; "obs"; "recover"; "net"; "replicate"; "micro" ]
     else options.commands
   in
   Format.printf
@@ -1191,6 +1391,7 @@ let () =
       | "obs" -> run_obs ()
       | "recover" -> run_recover ()
       | "net" -> run_net ()
+      | "replicate" -> run_replicate ()
       | "micro" -> run_micro ()
       | "all" ->
         run_table2 ();
@@ -1203,9 +1404,10 @@ let () =
         run_obs ();
         run_recover ();
         run_net ();
+        run_replicate ();
         run_micro ()
       | other ->
         Format.printf
-          "unknown command %s (try table2|fig3|fig5|fig6|ablation|guard|server|obs|recover|net|micro)@."
+          "unknown command %s (try table2|fig3|fig5|fig6|ablation|guard|server|obs|recover|net|replicate|micro)@."
           other)
     commands

@@ -7,9 +7,13 @@
      audit    run the Facebook Table 2 documentation audit
      replay   replay a (principal, query) workload single-threaded
      serve    run a workload on the sharded multicore serving layer, or
-              serve the framed wire protocol with --listen
+              serve the framed wire protocol with --listen (journaled
+              servers also ship their journal to replication followers;
+              SIGHUP reloads the policy online); with --follow, run as a
+              hot-standby follower with optional auto-failover
      query    submit queries to a serve --listen server over a socket
      client   replay a workload against (or ping/fetch stats from) a server
+     replicate  mirror a primary's journal locally and replay it
      analyze  static policy diagnostics for a deployment config
      stats    pretty-print a stats JSON document from `serve --stats`
 
@@ -417,6 +421,47 @@ let replay_cmd =
 
 (* --- serve ----------------------------------------------------------- *)
 
+(* Run an already-started server behind a listener until SIGINT/SIGTERM,
+   reloading the policy file online on SIGHUP (validate, then swap with
+   zero downtime), then drain gracefully: refuse new queries first
+   (quiesce), drain the shards, let an attached replication follower
+   finish pulling the committed tail, and only then close connections. *)
+let serve_until_signal ~server ~listener ~source ~config_file =
+  let stop_requested = Atomic.make false in
+  let reload_requested = Atomic.make false in
+  let on_signal = Sys.Signal_handle (fun _ -> Atomic.set stop_requested true) in
+  Sys.set_signal Sys.sigint on_signal;
+  Sys.set_signal Sys.sigterm on_signal;
+  (match Sys.os_type with
+  | "Unix" ->
+    Sys.set_signal Sys.sighup (Sys.Signal_handle (fun _ -> Atomic.set reload_requested true))
+  | _ -> ());
+  while not (Atomic.get stop_requested) do
+    if Atomic.exchange reload_requested false then
+      (match Disclosure.Policyfile.parse_file config_file with
+      | Error e -> Format.eprintf "reload rejected: %s@." e
+      | Ok policy -> (
+        match Server.reload server policy with
+        | Ok () ->
+          Format.printf "policy reloaded from %s@." config_file;
+          Format.print_flush ()
+        | Error e -> Format.eprintf "reload failed: %s@." e));
+    Unix.sleepf 0.2
+  done;
+  Net.Listener.quiesce listener;
+  Server.drain server;
+  (match source with
+  | Some src
+    when Array.exists Option.is_some (Replicate.Source.cursors src) ->
+    (* Only wait for a follower that actually attached: with no pull ever
+       received there is no shipped stream to flush, and [caught_up] would
+       stall the drain for the full timeout on a non-empty journal. *)
+    if not (Replicate.Source.await_caught_up src ~timeout_s:10.0) then
+      Format.eprintf "drain: follower did not catch up within 10s@."
+  | Some _ | None -> ());
+  Net.Listener.stop listener;
+  Server.drain server
+
 (* The multicore serving layer: the same deployment configs and workload
    format as `replay`, but queries are dispatched to Server's sharded worker
    domains (per-principal decision sequences are identical to `replay` by
@@ -583,15 +628,139 @@ let serve_cmd =
             "Per-frame payload cap with $(b,--listen); a frame declaring more is \
              rejected before its payload is buffered.")
   in
+  let follow_arg =
+    Arg.(
+      value
+      & opt (some addr_conv) None
+      & info [ "follow" ] ~docv:"ADDR"
+          ~doc:
+            "Run as a hot-standby follower of the primary at $(docv): continuously \
+             pull its journal into the local $(b,--journal) mirror (a bit-identical \
+             prefix of the primary's segments) and replay it. With \
+             $(b,--failover-after), promote automatically when the primary stays \
+             unreachable; combined with $(b,--listen), the promoted server starts \
+             serving (and shipping to its own followers) immediately.")
+  in
+  let poll_interval_arg =
+    Arg.(
+      value & opt nonneg_float 0.05
+      & info [ "poll-interval" ] ~docv:"SECONDS"
+          ~doc:"Replication pull cadence with $(b,--follow).")
+  in
+  let failover_after_arg =
+    Arg.(
+      value & opt nonneg_float 0.0
+      & info [ "failover-after" ] ~docv:"SECONDS"
+          ~doc:
+            "With $(b,--follow): promote once the primary has been unreachable for \
+             $(docv) seconds; 0 (default) never auto-promotes.")
+  in
   let run () config_file syntax workload_file fuel deadline journal domains mailbox cache
       checkpoint_every segment_bytes stats trace_out trace_sample slow_ms metrics_out
-      listen max_connections conn_deadline max_frame =
+      listen max_connections conn_deadline max_frame follow poll_interval failover_after =
     let config =
       match Disclosure.Policyfile.parse_file config_file with
       | Ok c -> c
       | Error e -> failwith e
     in
     let limits = limits_of fuel deadline in
+    let sconfig =
+      {
+        Server.domains;
+        mailbox_capacity = mailbox;
+        cache_capacity = cache;
+        checkpoint_every;
+        segment_bytes;
+      }
+    in
+    let lconfig () =
+      {
+        Net.Listener.default_config with
+        Net.Listener.max_connections;
+        conn = { Net.Conn.read_deadline = conn_deadline; max_payload = max_frame };
+      }
+    in
+    match follow with
+    | Some primary ->
+      (* Hot-standby mode: no server of our own until (auto-)promotion. *)
+      let mirror =
+        match journal with
+        | Some j -> j
+        | None -> failwith "--follow requires --journal (the local mirror base path)"
+      in
+      let fol =
+        match Replicate.Follower.create ~limits ~journal:mirror ~shards:domains config with
+        | Ok f -> f
+        | Error e -> failwith ("follower: " ^ e)
+      in
+      let stop_requested = Atomic.make false in
+      let on_signal = Sys.Signal_handle (fun _ -> Atomic.set stop_requested true) in
+      Sys.set_signal Sys.sigint on_signal;
+      Sys.set_signal Sys.sigterm on_signal;
+      Format.printf "following %s into mirror %s (%d shard(s))%s@."
+        (Net.Addr.to_string primary) mirror domains
+        (if failover_after > 0.0 then
+           Printf.sprintf "; auto-failover after %.1fs unreachable" failover_after
+         else "");
+      Format.print_flush ();
+      let failover = ref false in
+      let last_contact = ref (Unix.gettimeofday ()) in
+      let diverged () = Replicate.Follower.last_error fol <> None in
+      while (not (Atomic.get stop_requested)) && (not !failover) && not (diverged ()) do
+        match Net.Client.connect primary with
+        | exception (Unix.Unix_error _ | Net.Client.Protocol_error _) ->
+          if
+            failover_after > 0.0
+            && Unix.gettimeofday () -. !last_contact >= failover_after
+          then failover := true
+          else Unix.sleepf (Float.min (Float.max poll_interval 0.01) 0.2)
+        | client -> (
+          try
+            Fun.protect
+              ~finally:(fun () -> Net.Client.close client)
+              (fun () ->
+                while (not (Atomic.get stop_requested)) && not (diverged ()) do
+                  ignore (Replicate.Follower.poll_once fol client);
+                  last_contact := Unix.gettimeofday ();
+                  Unix.sleepf poll_interval
+                done)
+          with Net.Client.Protocol_error _ | Unix.Unix_error _ -> ())
+      done;
+      (match Replicate.Follower.last_error fol with
+      | Some e -> failwith ("replication diverged (fail closed): " ^ e)
+      | None -> ());
+      if not !failover then begin
+        if stats then Format.printf "%s@." (Replicate.Follower.stats_json fol);
+        0
+      end
+      else begin
+        Format.printf "primary unreachable for %.1fs; promoting from mirror %s@."
+          failover_after mirror;
+        Format.print_flush ();
+        match Replicate.Follower.promote fol ~config:sconfig () with
+        | Error e -> failwith ("failover failed: " ^ e)
+        | Ok (server, replayed) ->
+          Format.printf "promoted: replayed %d decision record(s) from the mirrored prefix@."
+            replayed;
+          Format.print_flush ();
+          Server.start server;
+          (match listen with
+          | Some addr ->
+            let source = Replicate.Source.create ~server ~journal:mirror in
+            let listener =
+              Net.Listener.create ~config:(lconfig ())
+                ~extend:(Replicate.Source.handler source) ~server addr
+            in
+            Format.printf "listening on %s; SIGINT/SIGTERM drains, SIGHUP reloads@."
+              (Net.Addr.to_string (Net.Listener.address listener));
+            Format.print_flush ();
+            serve_until_signal ~server ~listener ~source:(Some source) ~config_file
+          | None -> ());
+          if stats then Format.printf "@.%s@." (Server.stats_json server);
+          Server.stop server;
+          0
+      end
+    | None ->
     let trace =
       if trace_out <> None || slow_ms <> None then
         (* With --listen the listener gets a dedicated extra track for its
@@ -601,15 +770,7 @@ let serve_cmd =
       else None
     in
     let server =
-      Server.create ~limits ?journal ?trace
-        ~config:
-          {
-            Server.domains;
-            mailbox_capacity = mailbox;
-            cache_capacity = cache;
-            checkpoint_every;
-            segment_bytes;
-          }
+      Server.create ~limits ?journal ?trace ~config:sconfig
         (Pipeline.create config.Disclosure.Policyfile.views)
     in
     let dump () =
@@ -641,29 +802,22 @@ let serve_cmd =
     (match listen with
     | Some addr ->
       (* Network mode: put the server behind a socket and run until a
-         signal asks for a graceful drain. Workload input is not read. *)
-      let lconfig =
-        {
-          Net.Listener.default_config with
-          Net.Listener.max_connections;
-          conn = { Net.Conn.read_deadline = conn_deadline; max_payload = max_frame };
-        }
-      in
+         signal asks for a graceful drain. Workload input is not read.
+         A journaled server also ships its journal to replication
+         followers (Pull requests served straight off the segments). *)
       let ltrace = Option.map (fun tr -> (tr, domains)) trace in
-      let listener = Net.Listener.create ~config:lconfig ?trace:ltrace ~server addr in
-      let stop_requested = Atomic.make false in
-      let on_signal = Sys.Signal_handle (fun _ -> Atomic.set stop_requested true) in
-      Sys.set_signal Sys.sigint on_signal;
-      Sys.set_signal Sys.sigterm on_signal;
-      Format.printf "listening on %s (%d shard(s)); SIGINT/SIGTERM drains and exits@."
+      let source = Option.map (fun j -> Replicate.Source.create ~server ~journal:j) journal in
+      let extend = Option.map Replicate.Source.handler source in
+      let listener =
+        Net.Listener.create ~config:(lconfig ()) ?trace:ltrace ?extend ~server addr
+      in
+      Format.printf
+        "listening on %s (%d shard(s)%s); SIGINT/SIGTERM drains, SIGHUP reloads the policy@."
         (Net.Addr.to_string (Net.Listener.address listener))
-        domains;
+        domains
+        (if source <> None then ", replication source attached" else "");
       Format.print_flush ();
-      while not (Atomic.get stop_requested) do
-        Unix.sleepf 0.2
-      done;
-      Net.Listener.stop listener;
-      Server.drain server
+      serve_until_signal ~server ~listener ~source ~config_file
     | None ->
       let lines =
         match workload_file with
@@ -729,7 +883,8 @@ let serve_cmd =
       $ deadline_arg $ journal_arg $ domains_arg $ mailbox_arg $ cache_arg
       $ checkpoint_every_arg $ segment_bytes_arg $ stats_arg $ trace_out_arg
       $ trace_sample_arg $ slow_ms_arg $ metrics_out_arg $ listen_arg
-      $ max_connections_arg $ conn_deadline_arg $ max_frame_arg)
+      $ max_connections_arg $ conn_deadline_arg $ max_frame_arg $ follow_arg
+      $ poll_interval_arg $ failover_after_arg)
 
 (* --- query / client (networked) -------------------------------------- *)
 
@@ -861,6 +1016,108 @@ let client_cmd =
     Term.(
       const run $ setup_logs $ connect_arg $ syntax_arg $ workload_arg $ ping_arg
       $ stats_flag_arg)
+
+(* --- replicate ------------------------------------------------------- *)
+
+(* Standalone follower: pull a running primary's journal into a local
+   mirror and replay it — `serve --follow` without the promotion
+   machinery. --once catches up completely and exits (scriptable
+   backups / smoke tests); otherwise it follows until SIGINT/SIGTERM. *)
+let replicate_cmd =
+  let config_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "c"; "config" ] ~docv:"FILE"
+          ~doc:
+            "Deployment configuration — must match the primary's (the mirrored \
+             records replay through it).")
+  in
+  let journal_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "j"; "journal" ] ~docv:"BASE"
+          ~doc:
+            "Local mirror base path: shard $(i,i)'s segments land at \
+             $(docv).shard$(i,i), bit-identical to the primary's.")
+  in
+  let shards_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "The primary's shard (domain) count; 0 (default) asks the primary's \
+             stats document.")
+  in
+  let poll_interval_arg =
+    Arg.(
+      value & opt nonneg_float 0.05
+      & info [ "poll-interval" ] ~docv:"SECONDS" ~doc:"Pull cadence.")
+  in
+  let once_arg =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:
+            "Catch up completely (every shard to $(i,behind) = 0), print the \
+             follower stats JSON, and exit.")
+  in
+  let run () connect config_file journal shards poll_interval once =
+    let config =
+      match Disclosure.Policyfile.parse_file config_file with
+      | Ok c -> c
+      | Error e -> failwith e
+    in
+    let shards =
+      if shards > 0 then shards
+      else
+        Net.Client.with_connection connect (fun c ->
+            match Obs.Json.member "shards" (Net.Client.stats c) with
+            | Some (Obs.Json.Num f) -> int_of_float f
+            | _ -> failwith "primary stats carry no shard count; pass --shards")
+    in
+    let fol =
+      match Replicate.Follower.create ~journal ~shards config with
+      | Ok f -> f
+      | Error e -> failwith ("follower: " ^ e)
+    in
+    let finish () =
+      Format.printf "%s@." (Replicate.Follower.stats_json fol);
+      match Replicate.Follower.last_error fol with
+      | Some e ->
+        Format.eprintf "replication diverged (fail closed): %s@." e;
+        1
+      | None -> 0
+    in
+    if once then begin
+      Net.Client.with_connection connect (fun c ->
+          ignore (Replicate.Follower.poll_once fol c));
+      finish ()
+    end
+    else begin
+      let stop_requested = Atomic.make false in
+      let on_signal = Sys.Signal_handle (fun _ -> Atomic.set stop_requested true) in
+      Sys.set_signal Sys.sigint on_signal;
+      Sys.set_signal Sys.sigterm on_signal;
+      Replicate.Follower.run fol
+        ~connect:(fun () -> Net.Client.connect_retry connect)
+        ~interval:poll_interval;
+      while (not (Atomic.get stop_requested)) && Replicate.Follower.last_error fol = None do
+        Unix.sleepf 0.2
+      done;
+      Replicate.Follower.stop fol;
+      finish ()
+    end
+  in
+  let doc =
+    "Mirror a running $(b,serve --listen) primary's journal locally and replay it \
+     (hot-standby without auto-failover; see $(b,serve --follow) for that)."
+  in
+  Cmd.v (Cmd.info "replicate" ~doc)
+    Term.(
+      const run $ setup_logs $ connect_arg $ config_arg $ journal_arg $ shards_arg
+      $ poll_interval_arg $ once_arg)
 
 (* --- analyze -------------------------------------------------------- *)
 
@@ -1056,6 +1313,7 @@ let main_cmd =
       serve_cmd;
       query_cmd;
       client_cmd;
+      replicate_cmd;
       stats_cmd;
       analyze_cmd;
     ]

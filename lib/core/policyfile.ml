@@ -82,32 +82,47 @@ let parse_file path =
   | text -> parse ~path text
   | exception Sys_error msg -> Error msg
 
-let load ?limits ?journal t =
+(* Resolve every principal's partition view names against [t.views] — the
+   registration list [load] feeds to [Service.register], shared with the
+   serving layer's online reload (which must validate and stage a new
+   configuration before swapping anything). *)
+let resolve t =
   match
-    let pipeline = Pipeline.create t.views in
-    let service = Service.create ?limits ?journal pipeline in
-    let resolve principal name =
+    let resolve_view principal name =
       match List.find_opt (fun v -> String.equal v.Sview.name name) t.views with
       | Some v -> v
       | None -> failf "principal %s references unknown view %s" principal name
     in
-    List.iter
+    List.map
       (fun (principal, partitions) ->
         if partitions = [] then failf "principal %s has no partitions" principal;
-        let partitions =
+        ( principal,
           List.map
-            (fun (pname, names) -> (pname, List.map (resolve principal) names))
-            partitions
-        in
-        Service.register service ~principal ~partitions)
-      t.principals;
-    service
+            (fun (pname, names) -> (pname, List.map (resolve_view principal) names))
+            partitions ))
+      t.principals
   with
-  | service -> Ok service
+  | resolved -> Ok resolved
   | exception Err msg -> Error msg
-  | exception Registry.Duplicate_view name -> Error ("duplicate view " ^ name)
-  | exception Registry.Too_many_views rel -> Error ("too many views over relation " ^ rel)
-  | exception Service.Duplicate_principal p -> Error ("duplicate principal " ^ p)
+
+let load ?limits ?journal t =
+  match resolve t with
+  | Error msg -> Error msg
+  | Ok resolved -> (
+    match
+      let pipeline = Pipeline.create t.views in
+      let service = Service.create ?limits ?journal pipeline in
+      List.iter
+        (fun (principal, partitions) ->
+          Service.register service ~principal ~partitions)
+        resolved;
+      service
+    with
+    | service -> Ok service
+    | exception Err msg -> Error msg
+    | exception Registry.Duplicate_view name -> Error ("duplicate view " ^ name)
+    | exception Registry.Too_many_views rel -> Error ("too many views over relation " ^ rel)
+    | exception Service.Duplicate_principal p -> Error ("duplicate principal " ^ p))
 
 let to_string t =
   let buf = Buffer.create 256 in

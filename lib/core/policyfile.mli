@@ -32,6 +32,13 @@ val parse : ?path:string -> string -> (t, string) result
 val parse_file : string -> (t, string) result
 (** Reads and {!parse}s the file; every error names the file. *)
 
+val resolve : t -> ((string * (string * Sview.t list) list) list, string) result
+(** Resolve every principal's partition view names against [t.views]: the
+    registration list {!load} feeds to {!Service.register}, in file order.
+    Fails on unknown view names or principals without partitions. The
+    serving layer's online reload uses this to validate and stage a new
+    configuration before swapping anything in. *)
+
 val load : ?limits:Guard.limits -> ?journal:string -> t -> (Service.t, string) result
 (** Builds the pipeline and registers every principal; [limits] and [journal]
     are passed to {!Service.create}. Fails on unknown view names, duplicate

@@ -494,6 +494,18 @@ let reset t ~principal =
   Monitor.reset (monitor_of t principal);
   ignore (journal_append t ~principal ~label:"-" ~decision:"reset")
 
+let restore t ~principal state = Monitor.restore (monitor_of t principal) state
+
+(* The committed frontier of the active segment, for replication readers on
+   other domains. Two word-sized reads — racy but memory-safe: every append
+   flushes before its decision commits, so the on-disk file always holds at
+   least [bytes] bytes of well-formed records (a concurrent reader may see a
+   not-yet-committed suffix, which parses as a torn tail). *)
+let journal_position t =
+  match t.journal with
+  | Open_journal j -> Some (t.seq, j.bytes)
+  | No_journal | Closed_journal -> None
+
 (* --- snapshot & recovery ----------------------------------------------- *)
 
 let snapshot t =
@@ -551,6 +563,20 @@ let apply_decision t ~principal ~label_s ~decision =
           Monitor.commit_refusal m;
           Ok ()
         | Some _ -> Ok ())))
+
+(* The unit step of recovery's replay, exposed so a replication follower can
+   apply shipped records continuously instead of re-reading whole files.
+   Journals nothing: the follower mirrors the primary's bytes verbatim. *)
+let apply_journal_record t fields =
+  match fields with
+  | [ principal; label_s; decision ] -> (
+    match apply_decision t ~principal ~label_s ~decision with
+    | Ok () -> Ok ()
+    | Error (_kind, msg) -> Error msg)
+  | _ ->
+    Error
+      (Printf.sprintf "record has %d field(s), decision records have 3"
+         (List.length fields))
 
 (* Replay one v2 segment. The framing layer (Journal) has already separated
    torn-tail damage from corruption; a torn tail is tolerated only in the

@@ -148,6 +148,36 @@ val reset : t -> principal:string -> unit
     replay stays equivalent to the live history.
     @raise Unknown_principal *)
 
+val restore : t -> principal:string -> Monitor.state -> unit
+(** Overwrite the principal's monitor with [state], validated against the
+    policy shape (see {!Monitor.restore}). Journals nothing — the serving
+    layer's online policy reload uses it to carry unchanged principals'
+    state across a service swap, and follows the swap with a checkpoint so
+    recovery sees the carried state too.
+    @raise Unknown_principal
+    @raise Invalid_argument per {!Monitor.restore}. *)
+
+val journal_position : t -> (int * int) option
+(** [(active_segment_index, committed_bytes)]: the index the active segment
+    will receive when rotated (so rotated segments are exactly
+    [1 .. index - 1] minus compaction) and the byte count of the last
+    committed record boundary. [None] when no journal is configured or it
+    is closed/sealed. Safe to call from any domain — two word-sized racy
+    reads. Every append is flushed before its decision commits, so the
+    on-disk active segment always holds at least [committed_bytes] bytes of
+    well-formed records; a concurrent reader may also see a trailing
+    not-yet-committed suffix, which parses as a torn tail
+    ({!Journal.parse}). Replication readers rely on exactly this. *)
+
+val apply_journal_record : t -> string list -> (unit, string) result
+(** Re-apply one decision record's unescaped fields
+    ([[principal; label; decision]]) to the in-memory monitors — the unit
+    step of {!recover}'s replay, exposed so a replication follower can
+    apply shipped records continuously. Same replay semantics and failure
+    taxonomy as {!recover}'s [`Replay] class: unknown principals,
+    undecodable labels, a journaled answer the current policy refuses, and
+    records without exactly three fields are [Error]. Journals nothing. *)
+
 (** {1 Checkpoints, rotation, compaction}
 
     The journal alone makes recovery cost proportional to the whole history.

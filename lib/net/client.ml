@@ -20,6 +20,34 @@ let connect ?(read_deadline = 30.0) addr =
      raise exn);
   { fd; buf = Buffer.create chunk; scratch = Bytes.create chunk; closed = false }
 
+(* Transient connect-time failures: the peer is not there (yet). Anything
+   else — bad address family, EACCES, out of descriptors — is a caller
+   problem and retrying will not fix it. *)
+let retryable = function
+  | Unix.ECONNREFUSED | Unix.ECONNRESET | Unix.ENOENT | Unix.ENETUNREACH
+  | Unix.EHOSTUNREACH | Unix.ETIMEDOUT | Unix.EAGAIN | Unix.EINTR ->
+    true
+  | _ -> false
+
+let connect_retry ?(attempts = 8) ?(delay = 0.05) ?(max_delay = 2.0) ?(jitter = 0.25)
+    ?(sleep = Unix.sleepf) ?(rand = Random.float) ?read_deadline addr =
+  if attempts < 1 then invalid_arg "Client.connect_retry: attempts must be >= 1";
+  let backoff i =
+    let base = Float.min max_delay (delay *. Float.pow 2.0 (float_of_int i)) in
+    (* jitter in [1-j, 1+j] so synchronized reconnecting followers spread
+       out instead of hammering a recovering primary in lockstep *)
+    let factor = 1.0 +. (jitter *. ((2.0 *. rand 1.0) -. 1.0)) in
+    Float.max 0.0 (base *. factor)
+  in
+  let rec go i =
+    match connect ?read_deadline addr with
+    | t -> t
+    | exception Unix.Unix_error (err, _, _) when retryable err && i + 1 < attempts ->
+      sleep (backoff i);
+      go (i + 1)
+  in
+  go 0
+
 let close t =
   if not t.closed then begin
     t.closed <- true;
@@ -78,7 +106,8 @@ let query_string t ~principal query =
   match request t (Codec.Query { principal; query }) with
   | Codec.Decision d -> Ok d
   | Codec.Error e -> Error e
-  | Codec.Pong | Codec.Stats_doc _ -> raise (Protocol_error "mismatched response to a query")
+  | Codec.Pong | Codec.Stats_doc _ | Codec.Batch _ | Codec.Snapshot _ ->
+    raise (Protocol_error "mismatched response to a query")
 
 let query t ~principal q = query_string t ~principal (Cq.Query.to_string q)
 
@@ -86,10 +115,19 @@ let ping t =
   match request t Codec.Ping with
   | Codec.Pong -> ()
   | Codec.Error e -> raise (Protocol_error (Errors.to_string e))
-  | Codec.Decision _ | Codec.Stats_doc _ -> raise (Protocol_error "mismatched response to a ping")
+  | Codec.Decision _ | Codec.Stats_doc _ | Codec.Batch _ | Codec.Snapshot _ ->
+    raise (Protocol_error "mismatched response to a ping")
 
 let stats t =
   match request t Codec.Stats with
   | Codec.Stats_doc doc -> doc
   | Codec.Error e -> raise (Protocol_error (Errors.to_string e))
-  | Codec.Decision _ | Codec.Pong -> raise (Protocol_error "mismatched response to a stats request")
+  | Codec.Decision _ | Codec.Pong | Codec.Batch _ | Codec.Snapshot _ ->
+    raise (Protocol_error "mismatched response to a stats request")
+
+let pull t ~shard ~seg ~off ~max_bytes =
+  match request t (Codec.Pull { shard; seg; off; max_bytes }) with
+  | (Codec.Batch _ | Codec.Snapshot _) as r -> Ok r
+  | Codec.Error e -> Error e
+  | Codec.Decision _ | Codec.Pong | Codec.Stats_doc _ ->
+    raise (Protocol_error "mismatched response to a pull request")

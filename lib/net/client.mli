@@ -16,6 +16,31 @@ val connect : ?read_deadline:float -> Addr.t -> t
     response.
     @raise Unix.Unix_error when the connection is refused. *)
 
+val connect_retry :
+  ?attempts:int ->
+  ?delay:float ->
+  ?max_delay:float ->
+  ?jitter:float ->
+  ?sleep:(float -> unit) ->
+  ?rand:(float -> float) ->
+  ?read_deadline:float ->
+  Addr.t ->
+  t
+(** {!connect} with bounded exponential backoff on transient connect-time
+    failures ([ECONNREFUSED], [ECONNRESET], [ENOENT], [ENETUNREACH],
+    [EHOSTUNREACH], [ETIMEDOUT], [EAGAIN], [EINTR]) — the follower's
+    reconnect path when the primary restarts. At most [attempts] (default
+    8) tries; the wait before retry [i+1] is
+    [min max_delay (delay * 2^i)] scaled by a uniform jitter factor in
+    [[1 - jitter, 1 + jitter]] (defaults: 50 ms base, 2 s cap, 0.25
+    jitter), so synchronized followers spread out instead of reconnecting
+    in lockstep. [sleep] and [rand] (defaults [Unix.sleepf] /
+    [Random.float]) are injectable so tests can fake both the clock and
+    the dice.
+    @raise Unix.Unix_error the last failure when all attempts fail, or
+    immediately on a non-transient error ([EACCES], [EMFILE], …).
+    @raise Invalid_argument on [attempts < 1]. *)
+
 val close : t -> unit
 (** Half-closes the send side (clean EOF for the server) and closes the
     descriptor. Idempotent. *)
@@ -44,3 +69,15 @@ val ping : t -> unit
 
 val stats : t -> Obs.Json.t
 (** Fetch the server's {!Server.stats_json} document, parsed. *)
+
+val pull :
+  t ->
+  shard:int ->
+  seg:int ->
+  off:int ->
+  max_bytes:int ->
+  (Codec.response, Errors.t) result
+(** One replication pull round trip. [Ok] is always [Codec.Batch] or
+    [Codec.Snapshot]; [Error] is the typed wire error (e.g. [Bad_request]
+    when the server has no replication source attached).
+    @raise Protocol_error on transport failure. *)

@@ -7,12 +7,73 @@ type request =
     }
   | Ping
   | Stats
+  | Pull of {
+      shard : int;
+      seg : int;
+      off : int;
+      max_bytes : int;
+    }
 
 type response =
   | Decision of Disclosure.Monitor.decision
   | Pong
   | Stats_doc of Json.t
+  | Batch of {
+      shard : int;
+      data : string;
+      next_seg : int;
+      next_off : int;
+      behind : int;
+    }
+  | Snapshot of {
+      shard : int;
+      data : string;
+      next_seg : int;
+      next_off : int;
+    }
   | Error of Errors.t
+
+(* Journal and checkpoint bytes cross the wire hex-encoded: record fields
+   can hold arbitrary bytes (the v2 journal escapes, it does not restrict),
+   and the JSON layer must not be asked to round-trip non-UTF-8 strings.
+   Hex doubles the size; replication is not the hot path, bit-identity is
+   the contract. *)
+let hex_encode s =
+  let b = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents b
+
+let hex_decode s =
+  let n = String.length s in
+  if n mod 2 <> 0 then Stdlib.Error "odd-length hex payload"
+  else
+    let nibble c =
+      match c with
+      | '0' .. '9' -> Some (Char.code c - Char.code '0')
+      | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+      | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+      | _ -> None
+    in
+    let out = Bytes.create (n / 2) in
+    let rec go i =
+      if i >= n then Ok (Bytes.unsafe_to_string out)
+      else
+        match (nibble s.[i], nibble s.[i + 1]) with
+        | Some hi, Some lo ->
+          Bytes.unsafe_set out (i / 2) (Char.unsafe_chr ((hi lsl 4) lor lo));
+          go (i + 2)
+        | _ -> Stdlib.Error (Printf.sprintf "invalid hex digit at offset %d" i)
+    in
+    go 0
+
+(* Wire integers ride as JSON numbers (doubles): exact to 2^53, far beyond
+   any segment index or byte offset this protocol moves. Negative or
+   fractional values are rejected on decode. *)
+let int_field name doc =
+  match Json.member name doc with
+  | Some (Json.Num f) when Float.is_integer f && f >= 0.0 && f <= 9007199254740991.0 ->
+    Some (int_of_float f)
+  | _ -> None
 
 (* Requests: {"op":"query","principal":P,"query":Q} | {"op":"ping"}
    | {"op":"stats"}.
@@ -30,6 +91,15 @@ let request_to_json = function
       [ ("op", Json.Str "query"); ("principal", Json.Str principal); ("query", Json.Str query) ]
   | Ping -> Json.Obj [ ("op", Json.Str "ping") ]
   | Stats -> Json.Obj [ ("op", Json.Str "stats") ]
+  | Pull { shard; seg; off; max_bytes } ->
+    Json.Obj
+      [
+        ("op", Json.Str "pull");
+        ("shard", Json.Num (float_of_int shard));
+        ("seg", Json.Num (float_of_int seg));
+        ("off", Json.Num (float_of_int off));
+        ("max_bytes", Json.Num (float_of_int max_bytes));
+      ]
 
 let request_of_json doc =
   match Json.member "op" doc with
@@ -41,6 +111,20 @@ let request_of_json doc =
     | _ ->
       Stdlib.Error
         (Errors.bad_request "query request needs string fields \"principal\" and \"query\""))
+  | Some (Json.Str "pull") -> (
+    match
+      ( int_field "shard" doc,
+        int_field "seg" doc,
+        int_field "off" doc,
+        int_field "max_bytes" doc )
+    with
+    | Some shard, Some seg, Some off, Some max_bytes ->
+      Ok (Pull { shard; seg; off; max_bytes })
+    | _ ->
+      Stdlib.Error
+        (Errors.bad_request
+           "pull request needs non-negative integer fields \"shard\", \"seg\", \"off\", \
+            and \"max_bytes\""))
   | Some (Json.Str op) -> Stdlib.Error (Errors.bad_request (Printf.sprintf "unknown op %S" op))
   | Some _ -> Stdlib.Error (Errors.bad_request "\"op\" must be a string")
   | None -> Stdlib.Error (Errors.bad_request "request object has no \"op\" field")
@@ -57,6 +141,33 @@ let response_to_json = function
       ]
   | Pong -> Json.Obj [ ("ok", Json.Bool true); ("pong", Json.Bool true) ]
   | Stats_doc doc -> Json.Obj [ ("ok", Json.Bool true); ("stats", doc) ]
+  | Batch { shard; data; next_seg; next_off; behind } ->
+    Json.Obj
+      [
+        ("ok", Json.Bool true);
+        ( "batch",
+          Json.Obj
+            [
+              ("shard", Json.Num (float_of_int shard));
+              ("data", Json.Str (hex_encode data));
+              ("next_seg", Json.Num (float_of_int next_seg));
+              ("next_off", Json.Num (float_of_int next_off));
+              ("behind", Json.Num (float_of_int behind));
+            ] );
+      ]
+  | Snapshot { shard; data; next_seg; next_off } ->
+    Json.Obj
+      [
+        ("ok", Json.Bool true);
+        ( "snapshot",
+          Json.Obj
+            [
+              ("shard", Json.Num (float_of_int shard));
+              ("data", Json.Str (hex_encode data));
+              ("next_seg", Json.Num (float_of_int next_seg));
+              ("next_off", Json.Num (float_of_int next_off));
+            ] );
+      ]
   | Error e ->
     Json.Obj
       [
@@ -88,10 +199,44 @@ let response_of_json doc =
     | Some (Json.Str d) -> Stdlib.Error (Printf.sprintf "unknown decision %S" d)
     | Some _ -> Stdlib.Error "\"decision\" must be a string"
     | None -> (
-      match (Json.member "pong" doc, Json.member "stats" doc) with
-      | Some (Json.Bool true), _ -> Ok Pong
-      | _, Some doc -> Ok (Stats_doc doc)
-      | _ -> Stdlib.Error "ok response carries no decision, pong, or stats"))
+      match
+        (Json.member "pong" doc, Json.member "stats" doc, Json.member "batch" doc,
+         Json.member "snapshot" doc)
+      with
+      | Some (Json.Bool true), _, _, _ -> Ok Pong
+      | _, Some doc, _, _ -> Ok (Stats_doc doc)
+      | _, _, Some b, _ -> (
+        match
+          ( int_field "shard" b,
+            Json.member "data" b,
+            int_field "next_seg" b,
+            int_field "next_off" b,
+            int_field "behind" b )
+        with
+        | Some shard, Some (Json.Str hex), Some next_seg, Some next_off, Some behind -> (
+          match hex_decode hex with
+          | Ok data -> Ok (Batch { shard; data; next_seg; next_off; behind })
+          | Stdlib.Error e -> Stdlib.Error (Printf.sprintf "batch data: %s" e))
+        | _ ->
+          Stdlib.Error
+            "batch response needs integer \"shard\", \"next_seg\", \"next_off\", \
+             \"behind\" and hex string \"data\"")
+      | _, _, _, Some s -> (
+        match
+          ( int_field "shard" s,
+            Json.member "data" s,
+            int_field "next_seg" s,
+            int_field "next_off" s )
+        with
+        | Some shard, Some (Json.Str hex), Some next_seg, Some next_off -> (
+          match hex_decode hex with
+          | Ok data -> Ok (Snapshot { shard; data; next_seg; next_off })
+          | Stdlib.Error e -> Stdlib.Error (Printf.sprintf "snapshot data: %s" e))
+        | _ ->
+          Stdlib.Error
+            "snapshot response needs integer \"shard\", \"next_seg\", \"next_off\" \
+             and hex string \"data\"")
+      | _ -> Stdlib.Error "ok response carries no decision, pong, stats, batch, or snapshot"))
   | Some _ -> Stdlib.Error "\"ok\" must be a boolean"
   | None -> Stdlib.Error "response object has no \"ok\" field"
 

@@ -14,11 +14,40 @@ type request =
     }
   | Ping  (** Liveness probe; answered without touching the monitor. *)
   | Stats  (** Fetch the server's {!Server.stats_json} document. *)
+  | Pull of {
+      shard : int;
+      seg : int;  (** Active-segment index of the follower's cursor; [0]
+                      requests a bootstrap {!response.Snapshot}. *)
+      off : int;  (** Byte offset within [seg], at a record boundary. *)
+      max_bytes : int;  (** Soft cap on returned journal bytes. *)
+    }
+      (** Replication pull: "send me journal bytes from cursor
+          [(seg, off)] onward". Served only when the listener has a
+          replication source attached (see {!Listener.create}'s [extend]);
+          otherwise refused with [Bad_request]. *)
 
 type response =
   | Decision of Disclosure.Monitor.decision
   | Pong
   | Stats_doc of Obs.Json.t
+  | Batch of {
+      shard : int;
+      data : string;  (** Raw journal bytes, verbatim from the primary's
+                          segment files — the bit-identity contract.
+                          Hex-encoded on the wire. *)
+      next_seg : int;  (** Cursor after applying [data]. *)
+      next_off : int;
+      behind : int;  (** Primary's estimate of committed bytes still not
+                         shipped after this batch ([0] = caught up). *)
+    }
+  | Snapshot of {
+      shard : int;
+      data : string;  (** Raw checkpoint-file bytes ([""] when the primary
+                          has no checkpoint yet). Hex-encoded on the
+                          wire. *)
+      next_seg : int;  (** Cursor where tail shipping resumes. *)
+      next_off : int;
+    }
   | Error of Errors.t
 
 val request_to_json : request -> Obs.Json.t
@@ -36,3 +65,10 @@ val decode_request : string -> (request, Errors.t) result
 
 val encode_response : response -> string
 val decode_response : string -> (response, string) result
+
+val hex_encode : string -> string
+(** Lowercase hex of arbitrary bytes — how [Batch]/[Snapshot] data crosses
+    the JSON layer (which must never be asked to round-trip non-UTF-8). *)
+
+val hex_decode : string -> (string, string) result
+(** Inverse of {!hex_encode}; rejects odd lengths and non-hex digits. *)

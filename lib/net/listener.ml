@@ -20,6 +20,15 @@ type t = {
   listen_fd : Unix.file_descr;
   config : config;
   stopping : bool Atomic.t;
+  draining : bool Atomic.t;
+      (** {!quiesce} was called: refuse new queries, keep serving pings,
+          stats, and replication pulls so an attached follower can finish
+          catching up before the hard {!stop}. *)
+  extend : (Codec.request -> Codec.response option) option;
+      (** Dispatch hook tried before the built-ins — how the replication
+          source serves [Pull] without [lib/net] depending on
+          [lib/replicate]. Runs on the connection's domain; must be
+          domain-safe. *)
   mutable accept_domain : unit Domain.t option;
   mutex : Mutex.t;
   live : (int, Unix.file_descr * unit Domain.t) Hashtbl.t;  (** Guarded by [mutex]. *)
@@ -42,9 +51,11 @@ let metrics t = Server.metrics t.server
    for; overload comes back as an already-resolved [Refused Overload]
    ticket and crosses the wire like any other decision — it is never
    journaled, same as in-process shedding. *)
-let dispatch t req =
+let dispatch_builtin t req =
   match req with
   | Codec.Ping -> Codec.Pong
+  | Codec.Pull _ ->
+    Codec.Error (Errors.bad_request "no replication source attached")
   | Codec.Stats -> (
     match Obs.Json.parse (Server.stats_json t.server) with
     | Ok doc -> Codec.Stats_doc doc
@@ -54,7 +65,7 @@ let dispatch t req =
        server queues submissions in its mailboxes (the overload tests
        depend on that), and a stopped server's submit raises — mapped to
        [Shutting_down] below. *)
-    if Atomic.get t.stopping then
+    if Atomic.get t.stopping || Atomic.get t.draining then
       Codec.Error (Errors.shutting_down "server is draining; no new queries accepted")
     else
       match Cq.Parser.query query with
@@ -83,6 +94,11 @@ let dispatch t req =
              the mailbox close. Fail closed, don't crash the connection
              handler. *)
           Codec.Error (Errors.shutting_down msg)))
+
+let dispatch t req =
+  match (match t.extend with None -> None | Some f -> f req) with
+  | Some resp -> resp
+  | None -> dispatch_builtin t req
 
 (* Best-effort single-frame reply used when a connection is refused at
    accept: no [Conn.t] exists yet. *)
@@ -180,6 +196,8 @@ let create ?(config = default_config) ~server addr =
       listen_fd = fd;
       config;
       stopping = Atomic.make false;
+      draining = Atomic.make false;
+      extend = None;
       accept_domain = None;
       mutex = Mutex.create ();
       live = Hashtbl.create 16;
@@ -191,18 +209,26 @@ let create ?(config = default_config) ~server addr =
   in
   t
 
-let create ?config ?trace ~server addr =
+let create ?config ?trace ?extend ~server addr =
   let t = create ?config ~server addr in
   let t = match trace with None -> t | Some tr -> { t with trace = Some tr } in
+  let t = match extend with None -> t | Some f -> { t with extend = Some f } in
   t.accept_domain <- Some (Domain.spawn (fun () -> accept_loop t));
   Log.info (fun m -> m "listening on %a" Addr.pp t.bound);
   t
+
+let quiesce t =
+  if not (Atomic.exchange t.draining true) then
+    Log.info (fun m -> m "listener on %a draining: new queries refused" Addr.pp t.bound)
+
+let is_draining t = Atomic.get t.draining
 
 let address t = t.bound
 
 let connections t = live_count t
 
 let stop t =
+  Atomic.set t.draining true;
   if not (Atomic.exchange t.stopping true) then begin
     (* Wake the accept loop: closing the listening socket makes the blocked
        [accept] fail, and the loop treats that as shutdown. *)

@@ -29,7 +29,13 @@ val default_config : config
 
 type t
 
-val create : ?config:config -> ?trace:Obs.Trace.t * int -> server:Server.t -> Addr.t -> t
+val create :
+  ?config:config ->
+  ?trace:Obs.Trace.t * int ->
+  ?extend:(Codec.request -> Codec.response option) ->
+  server:Server.t ->
+  Addr.t ->
+  t
 (** Bind, listen, and spawn the accept domain. The server may be in any
     lifecycle state: queries submitted before {!Server.start} queue in the
     mailboxes (the overload tests use this), queries after {!Server.stop}
@@ -38,6 +44,13 @@ val create : ?config:config -> ?trace:Obs.Trace.t * int -> server:Server.t -> Ad
     {e dedicated to this listener} (no shard may write it); the listener
     serializes its own span writes, recording one ["net"] root span per
     wire query with the principal, query text, and outcome.
+
+    [extend] is a dispatch hook tried {e before} the built-in handlers on
+    every request — returning [Some] answers the request, [None] falls
+    through. This is how a replication source serves [Codec.Pull] without
+    [lib/net] depending on the replication library; without [extend],
+    [Pull] is refused with [Bad_request]. The hook runs on connection
+    domains concurrently and must be domain-safe.
     @raise Unix.Unix_error when binding fails (address in use, permission).
     @raise Invalid_argument on [max_connections < 1] or an unresolvable
     TCP host. *)
@@ -47,6 +60,17 @@ val address : t -> Addr.t
 
 val connections : t -> int
 (** Live connections right now (racy snapshot). *)
+
+val quiesce : t -> unit
+(** Enter drain mode without closing anything: new {e queries} are refused
+    with [Shutting_down], but connections stay open and pings, stats, and
+    replication pulls keep being served — so an attached follower can
+    finish shipping the committed tail before the hard {!stop}. Part of
+    the graceful-drain sequence: [quiesce] → [Server.drain] → wait for the
+    follower to catch up → [stop]. Idempotent. *)
+
+val is_draining : t -> bool
+(** Between {!quiesce} (or {!stop}) and process exit. *)
 
 val stop : t -> unit
 (** Graceful drain, described above. Does {e not} stop the server — the

@@ -1,0 +1,456 @@
+let src = Logs.Src.create "disclosure.replicate.follower" ~doc:"Hot-standby journal follower"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+module Metrics = Server.Metrics
+module Service = Disclosure.Service
+module Journal = Disclosure.Journal
+module Json = Obs.Json
+module Codec = Net.Codec
+module Errors = Net.Errors
+module Client = Net.Client
+
+type shard_state = {
+  base : string;
+  mutable service : Service.t;
+  mutable seg : int;  (** Local active-segment index; [0] = bootstrap needed. *)
+  mutable off : int;  (** Committed bytes in the local active file. *)
+  mutable behind : int;  (** Primary's last estimate of unshipped bytes. *)
+}
+
+type t = {
+  journal : string;
+  limits : Disclosure.Guard.limits option;
+  pipeline : Disclosure.Pipeline.t;
+  resolved : (string * (string * Disclosure.Sview.t list) list) list;
+  shards : shard_state array;
+  metrics : Metrics.t;
+  max_bytes : int;
+  mutable applied : int;
+  stopping : bool Atomic.t;
+  mutable domain : unit Domain.t option;
+  mutable last_error : string option;
+      (** A {e divergence} error — corrupt batch, replay failure. Fail
+          closed: the poll loop halts and promotion refuses. Transient
+          transport errors never land here. *)
+  mutex : Mutex.t;  (** Serializes apply against stats/cursor readers. *)
+}
+
+let locked m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let shard_base journal i = Printf.sprintf "%s.shard%d" journal i
+
+let segment_file base i = Printf.sprintf "%s.%d" base i
+
+let file_size path =
+  match Unix.stat path with
+  | { Unix.st_size; _ } -> st_size
+  | exception Unix.Unix_error _ -> 0
+
+(* Same family scan as Service's: sealed segments are [base.<i>] with a
+   purely numeric suffix. *)
+let rotated_segments base =
+  let dir = Filename.dirname base in
+  let prefix = Filename.basename base ^ "." in
+  let plen = String.length prefix in
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | entries ->
+    Array.to_list entries
+    |> List.filter_map (fun entry ->
+           if String.length entry > plen && String.sub entry 0 plen = prefix then
+             match int_of_string_opt (String.sub entry plen (String.length entry - plen)) with
+             | Some i when i >= 1 -> Some (i, Filename.concat dir entry)
+             | _ -> None
+           else None)
+    |> List.sort compare
+
+let ckpt_covers base =
+  let path = base ^ ".ckpt" in
+  if not (Sys.file_exists path) then 0
+  else
+    match Journal.read_file path with
+    | Ok ({ Journal.fields = "ckpt" :: "2" :: covers :: _; _ } :: _, None) ->
+      Option.value (int_of_string_opt covers) ~default:0
+    | Ok _ | Error _ | (exception Sys_error _) -> 0
+
+(* A fresh journal-less service holding this shard's slice of the
+   configuration — the follower never journals through the service; the
+   mirror is written raw, which is what makes it bit-identical. *)
+let fresh_service ?limits ~pipeline ~resolved ~shards shard =
+  let service = Service.create ?limits pipeline in
+  (try
+     List.iter
+       (fun (principal, partitions) ->
+         if Server.shard_index ~shards principal = shard then
+           Service.register service ~principal ~partitions)
+       resolved
+   with e ->
+     Service.close service;
+     raise e);
+  service
+
+(* Derive the resume cursor from the mirror alone, exactly as the primary
+   derives its own rotation sequence at create: active index = one above
+   the newest sealed segment or the checkpoint's coverage bound. An empty
+   family means bootstrap ([seg = 0]). *)
+let local_cursor base =
+  let max_seg = List.fold_left (fun acc (i, _) -> max acc i) 0 (rotated_segments base) in
+  let covers = ckpt_covers base in
+  let active = file_size base in
+  if max_seg = 0 && covers = 0 && active = 0 then (0, 0)
+  else (max max_seg covers + 1, active)
+
+let create ?limits ?(max_bytes = Source.default_max_bytes) ~journal ~shards policy =
+  if shards < 1 then invalid_arg "Follower.create: shards must be >= 1";
+  match Disclosure.Policyfile.resolve policy with
+  | Error e -> Error e
+  | Ok resolved -> (
+    match Disclosure.Pipeline.create policy.Disclosure.Policyfile.views with
+    | exception e -> Error ("invalid view set: " ^ Printexc.to_string e)
+    | pipeline ->
+      let states = Array.make shards None in
+      let err = ref None in
+      (try
+         for i = 0 to shards - 1 do
+           if !err = None then begin
+             let base = shard_base journal i in
+             let service = fresh_service ?limits ~pipeline ~resolved ~shards i in
+             (* An empty family is a follower that never mirrored a byte:
+                bootstrap state ([seg = 0]), not a recovery error. *)
+             if local_cursor base = (0, 0) then
+               states.(i) <- Some { base; service; seg = 0; off = 0; behind = 0 }
+             else
+               match Service.recover service ~journal:base with
+               | Error e ->
+                 Service.close service;
+                 err :=
+                   Some
+                     (Printf.sprintf "shard %d mirror: %s" i
+                        (Service.recovery_error_to_string e))
+               | Ok _ ->
+                 let seg, off = local_cursor base in
+                 states.(i) <- Some { base; service; seg; off; behind = 0 }
+           end
+         done
+       with e -> err := Some ("follower init failed: " ^ Printexc.to_string e));
+      match !err with
+      | Some e ->
+        Array.iter (function Some st -> Service.close st.service | None -> ()) states;
+        Error e
+      | None ->
+        Ok
+          {
+            journal;
+            limits;
+            pipeline;
+            resolved;
+            shards = Array.map (function Some st -> st | None -> assert false) states;
+            metrics = Metrics.create ~shards ();
+            max_bytes;
+            applied = 0;
+            stopping = Atomic.make false;
+            domain = None;
+            last_error = None;
+            mutex = Mutex.create ();
+          })
+
+(* --- applying shipped bytes ------------------------------------------- *)
+
+let append_mirror st data next_seg =
+  if data <> "" then begin
+    let oc = open_out_gen [ Open_append; Open_creat ] 0o644 st.base in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc data;
+        flush oc);
+    st.off <- st.off + String.length data
+  end;
+  (* The batch completed segment [st.seg]: seal the mirror the same way
+     the primary sealed its own — rename, fresh active. *)
+  while st.seg <> 0 && st.seg < next_seg do
+    if Sys.file_exists st.base then Sys.rename st.base (segment_file st.base st.seg);
+    st.seg <- st.seg + 1;
+    st.off <- 0
+  done
+
+let wipe_family base =
+  let rm path = try Sys.remove path with Sys_error _ -> () in
+  if Sys.file_exists base then rm base;
+  if Sys.file_exists (base ^ ".ckpt") then rm (base ^ ".ckpt");
+  List.iter (fun (_, path) -> rm path) (rotated_segments base)
+
+let rebootstrap t ~shard ~data ~next_seg =
+  let st = t.shards.(shard) in
+  wipe_family st.base;
+  if data <> "" then begin
+    (* Same atomic install as the primary's checkpoint: tmp, fsync,
+       rename — a crash mid-bootstrap leaves either no checkpoint (clean
+       re-bootstrap) or a complete one. *)
+    let tmp = st.base ^ ".ckpt.tmp" in
+    let oc = open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644 tmp in
+    (try
+       output_string oc data;
+       flush oc;
+       (try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ());
+       close_out oc
+     with e ->
+       close_out_noerr oc;
+       raise e);
+    Sys.rename tmp (st.base ^ ".ckpt")
+  end;
+  let service =
+    fresh_service ?limits:t.limits ~pipeline:t.pipeline ~resolved:t.resolved
+      ~shards:(Array.length t.shards) shard
+  in
+  (* No checkpoint shipped means the primary's history starts empty: the
+     fresh service IS the bootstrap state, and there is nothing to recover. *)
+  let recovered =
+    if data = "" then Ok ()
+    else
+      match Service.recover service ~journal:st.base with
+      | Ok _ -> Ok ()
+      | Error e ->
+        Error (Printf.sprintf "bootstrap checkpoint: %s" (Service.recovery_error_to_string e))
+  in
+  match recovered with
+  | Error e ->
+    Service.close service;
+    Error e
+  | Ok () ->
+    Service.close st.service;
+    st.service <- service;
+    st.seg <- next_seg;
+    st.off <- 0;
+    st.behind <- 0;
+    Ok ()
+
+let sample_gauges t =
+  Array.iteri
+    (fun i st ->
+      Metrics.set_gauge t.metrics ~shard:i Metrics.Journal_segment st.seg;
+      Metrics.set_gauge t.metrics ~shard:i Metrics.Journal_offset st.off;
+      Metrics.set_gauge t.metrics ~shard:i Metrics.Replication_lag st.behind)
+    t.shards
+
+(* Apply one pull response. Validation precedes mirroring: a batch that
+   does not parse cleanly, or whose records the configuration cannot
+   re-apply, never reaches the mirror — the on-disk prefix stays
+   bit-identical to a prefix the primary actually committed, and the
+   error is terminal (fail closed, never divergent). *)
+let apply_response t ~shard resp =
+  let st = t.shards.(shard) in
+  match resp with
+  | Codec.Batch { shard = s; data; next_seg; next_off; behind } ->
+    if s <> shard then Error (Printf.sprintf "batch for shard %d answered a pull for %d" s shard)
+    else begin
+      let parsed =
+        if data = "" then Ok []
+        else
+          match Journal.parse data with
+          | Error c ->
+            Error
+              (Printf.sprintf "corrupt batch at %d: %s" c.Journal.corrupt_offset
+                 c.Journal.corrupt_reason)
+          | Ok (_, Some torn) -> Error ("torn batch: " ^ torn.Journal.torn_reason)
+          | Ok (records, None) -> Ok records
+      in
+      match parsed with
+      | Error _ as e -> e
+      | Ok records -> (
+        let rec replay = function
+          | [] -> Ok ()
+          | r :: rest -> (
+            match Service.apply_journal_record st.service r.Journal.fields with
+            | Ok () ->
+              t.applied <- t.applied + 1;
+              Metrics.incr t.metrics Metrics.Rep_applied_records;
+              replay rest
+            | Error msg -> Error (Printf.sprintf "replay at %d: %s" r.Journal.offset msg))
+        in
+        match replay records with
+        | Error _ as e -> e
+        | Ok () ->
+          append_mirror st data next_seg;
+          st.behind <- behind;
+          if next_seg = st.seg && next_off <> st.off then
+            Error
+              (Printf.sprintf "cursor skew: primary says (%d,%d), mirror is at (%d,%d)"
+                 next_seg next_off st.seg st.off)
+          else Ok ())
+    end
+  | Codec.Snapshot { shard = s; data; next_seg; next_off = _ } ->
+    if s <> shard then
+      Error (Printf.sprintf "snapshot for shard %d answered a pull for %d" s shard)
+    else rebootstrap t ~shard ~data ~next_seg
+  | Codec.Error e -> Error (Errors.to_string e)
+  | Codec.Decision _ | Codec.Pong | Codec.Stats_doc _ -> Error "mismatched response to a pull"
+
+let apply_batch t ~shard resp = locked t.mutex (fun () -> apply_response t ~shard resp)
+
+(* --- polling ----------------------------------------------------------- *)
+
+exception Diverged of string
+
+let pull_shard t client shard =
+  let st = t.shards.(shard) in
+  let total = ref 0 in
+  let continue = ref true in
+  while !continue && not (Atomic.get t.stopping) do
+    match Client.pull client ~shard ~seg:st.seg ~off:st.off ~max_bytes:t.max_bytes with
+    | Error e ->
+      (* Typed wire error — mid-reload, no source attached yet. Transient:
+         skip this shard until the next poll. *)
+      Log.debug (fun m -> m "shard %d pull refused: %s" shard (Errors.to_string e));
+      continue := false
+    | Ok resp ->
+      let before = (st.seg, st.off) in
+      let applied =
+        locked t.mutex (fun () ->
+            let n =
+              match resp with
+              | Codec.Batch { data; _ } | Codec.Snapshot { data; _ } -> String.length data
+              | _ -> 0
+            in
+            match apply_response t ~shard resp with
+            | Ok () -> Ok n
+            | Error _ as e -> e)
+      in
+      (match applied with
+      | Error msg -> raise (Diverged (Printf.sprintf "shard %d: %s" shard msg))
+      | Ok n ->
+        total := !total + n;
+        Metrics.incr t.metrics Metrics.Rep_pulls;
+        Metrics.add t.metrics Metrics.Rep_shipped_bytes n;
+        (* Pull until a response stops moving the cursor: a snapshot only
+           re-baselines (the tail still has to be pulled, whatever [behind]
+           claims), and the final empty batch both ends the pass and shows
+           the source we asked FROM the committed watermark — which is what
+           its [caught_up] drain gate measures (possession proof). *)
+        if (st.seg, st.off) = before then continue := false)
+  done;
+  !total
+
+let poll_once t client =
+  let total = ref 0 in
+  (try
+     for shard = 0 to Array.length t.shards - 1 do
+       total := !total + pull_shard t client shard
+     done;
+     sample_gauges t
+   with Diverged msg ->
+     t.last_error <- Some msg;
+     Log.err (fun m -> m "replication halted (fail closed): %s" msg));
+  !total
+
+let run t ~connect ~interval =
+  if t.domain <> None then invalid_arg "Follower.run: already running";
+  t.domain <-
+    Some
+      (Domain.spawn (fun () ->
+           while (not (Atomic.get t.stopping)) && t.last_error = None do
+             match connect () with
+             | exception e ->
+               Log.warn (fun m -> m "primary unreachable: %s" (Printexc.to_string e));
+               if not (Atomic.get t.stopping) then Unix.sleepf interval
+             | client ->
+               (try
+                  Fun.protect
+                    ~finally:(fun () -> Client.close client)
+                    (fun () ->
+                      while (not (Atomic.get t.stopping)) && t.last_error = None do
+                        ignore (poll_once t client);
+                        if not (Atomic.get t.stopping) then Unix.sleepf interval
+                      done)
+                with
+               | Client.Protocol_error msg ->
+                 Log.warn (fun m -> m "primary connection lost: %s" msg)
+               | Unix.Unix_error (err, _, _) ->
+                 Log.warn (fun m -> m "primary connection lost: %s" (Unix.error_message err)))
+           done))
+
+let stop t =
+  Atomic.set t.stopping true;
+  match t.domain with
+  | None -> ()
+  | Some d ->
+    Domain.join d;
+    t.domain <- None
+
+(* --- introspection ----------------------------------------------------- *)
+
+let cursor t ~shard =
+  if shard < 0 || shard >= Array.length t.shards then invalid_arg "Follower.cursor";
+  locked t.mutex (fun () ->
+      let st = t.shards.(shard) in
+      (st.seg, st.off))
+
+let lag t =
+  locked t.mutex (fun () -> Array.fold_left (fun acc st -> acc + st.behind) 0 t.shards)
+
+let applied t = locked t.mutex (fun () -> t.applied)
+
+let last_error t = t.last_error
+
+let metrics t = t.metrics
+
+let service t ~shard =
+  if shard < 0 || shard >= Array.length t.shards then invalid_arg "Follower.service";
+  t.shards.(shard).service
+
+let stats_json t =
+  locked t.mutex (fun () ->
+      sample_gauges t;
+      let shards =
+        Array.to_list t.shards
+        |> List.map (fun st ->
+               Json.Obj
+                 [
+                   ("segment", Json.Num (float_of_int st.seg));
+                   ("offset", Json.Num (float_of_int st.off));
+                   ("behind", Json.Num (float_of_int st.behind));
+                 ])
+      in
+      let doc =
+        Json.Obj
+          ([
+             ("role", Json.Str "follower");
+             ("shards", Json.Num (float_of_int (Array.length t.shards)));
+             ("applied", Json.Num (float_of_int t.applied));
+             ("lag_bytes", Json.Num (float_of_int (Array.fold_left (fun a st -> a + st.behind) 0 t.shards)));
+             ("journal", Json.List shards);
+           ]
+          @
+          match t.last_error with
+          | None -> []
+          | Some e -> [ ("error", Json.Str e) ])
+      in
+      Json.to_string doc)
+
+(* --- failover ----------------------------------------------------------- *)
+
+let promote t ?config () =
+  stop t;
+  match t.last_error with
+  | Some e -> Error ("refusing to promote a diverged follower: " ^ e)
+  | None -> (
+    locked t.mutex (fun () ->
+        Array.iter (fun st -> Service.close st.service) t.shards;
+        let shards = Array.length t.shards in
+        let config =
+          match config with
+          | Some c -> { c with Server.domains = shards }
+          | None -> { Server.default_config with Server.domains = shards }
+        in
+        let server = Server.create ~journal:t.journal ~config t.pipeline in
+        List.iter
+          (fun (principal, partitions) -> Server.register server ~principal ~partitions)
+          t.resolved;
+        match Server.recover server ~journal:t.journal with
+        | Ok applied -> Ok (server, applied)
+        | Error e ->
+          Server.stop server;
+          Error (Service.recovery_error_to_string e)))

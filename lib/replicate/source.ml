@@ -1,0 +1,229 @@
+let src = Logs.Src.create "disclosure.replicate.source" ~doc:"Primary-side journal shipper"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+module Metrics = Server.Metrics
+module Journal = Disclosure.Journal
+module Codec = Net.Codec
+module Errors = Net.Errors
+
+let default_max_bytes = 1 lsl 20
+
+type t = {
+  server : Server.t;
+  journal : string;
+  shards : int;
+  cursors : (int * int) option array;
+      (** Last cursor each shard's follower pulled {e from} — the follower
+          asking from [(seg, off)] proves it already holds every byte
+          before it. Guarded by [mutex]. *)
+  mutex : Mutex.t;
+}
+
+let locked m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let create ~server ~journal =
+  let shards = (Server.config server).Server.domains in
+  { server; journal; shards; cursors = Array.make shards None; mutex = Mutex.create () }
+
+(* Mirrors Service's on-disk family: active segment at [base], sealed
+   segments at [base.<i>], checkpoint at [base.ckpt] — with the server's
+   per-shard base [<journal>.shard<i>]. *)
+let shard_base t i = Printf.sprintf "%s.shard%d" t.journal i
+
+let segment_file base i = Printf.sprintf "%s.%d" base i
+
+let file_size path =
+  match Unix.stat path with
+  | { Unix.st_size; _ } -> st_size
+  | exception Unix.Unix_error _ -> 0
+
+(* Read from [path] starting at [off]: at most ~[max_bytes], never past
+   [cap] (the committed region), and always ending on a record boundary.
+   Journal escaping removes raw LF from payloads, so every newline in the
+   file terminates a record; truncating at the last newline is exact. A
+   single record larger than [max_bytes] is shipped whole (the window
+   grows), otherwise a follower could never make progress past it. *)
+let read_records path ~off ~cap ~max_bytes =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let cap = min cap (in_channel_length ic) in
+      let avail = cap - off in
+      if avail <= 0 then ""
+      else
+        let rec attempt want =
+          let len = min want avail in
+          seek_in ic off;
+          let s = really_input_string ic len in
+          match String.rindex_opt s '\n' with
+          | Some k -> String.sub s 0 (k + 1)
+          | None when len < avail -> attempt (want * 2)
+          | None -> ""
+        in
+        attempt (max max_bytes 1))
+
+(* Committed bytes the follower still lacks once its cursor is
+   [(seg, off)] — sealed remainders plus the active segment. Best-effort
+   (sizes race with rotation); exactness comes from [behind = 0] only
+   being reported off the re-checked active position. *)
+let behind_estimate t ~shard ~aseq ~abytes ~seg ~off =
+  if seg >= aseq then max 0 (abytes - off)
+  else begin
+    let base = shard_base t shard in
+    let total = ref (max 0 (file_size (segment_file base seg) - off)) in
+    for j = seg + 1 to aseq - 1 do
+      total := !total + file_size (segment_file base j)
+    done;
+    !total + abytes
+  end
+
+(* Bootstrap (and re-bootstrap after compaction deleted a sealed segment
+   under the follower): ship the checkpoint file verbatim; the follower
+   resumes tailing right above its coverage bound. Concurrent
+   checkpointing is safe — the file is replaced atomically, so we read one
+   consistent version and parse [covers] out of the bytes we shipped. *)
+let snapshot t shard =
+  let base = shard_base t shard in
+  let ckpt = base ^ ".ckpt" in
+  if not (Sys.file_exists ckpt) then Codec.Snapshot { shard; data = ""; next_seg = 1; next_off = 0 }
+  else
+    let ic = open_in_bin ckpt in
+    let data =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Journal.parse data with
+    | Ok ({ Journal.fields = "ckpt" :: "2" :: covers :: _; _ } :: _, None) -> (
+      match int_of_string_opt covers with
+      | Some covers when covers >= 0 ->
+        Codec.Snapshot { shard; data; next_seg = covers + 1; next_off = 0 }
+      | _ -> Codec.Error (Errors.fault "checkpoint coverage bound did not parse"))
+    | Ok _ -> Codec.Error (Errors.fault "checkpoint file has no valid header record")
+    | Error c ->
+      Codec.Error
+        (Errors.fault
+           (Printf.sprintf "checkpoint corrupt at %d: %s" c.Journal.corrupt_offset
+              c.Journal.corrupt_reason))
+
+let rec serve t ~shard ~seg ~off ~max_bytes ~retries =
+  match Server.journal_position t.server ~shard with
+  | None ->
+    (* Journal-less shard — or, briefly, mid-reload. The follower treats
+       this as transient and retries on its next poll. *)
+    Codec.Error (Errors.busy "shard journal position unavailable")
+  | Some (aseq, abytes) ->
+    if seg = 0 then snapshot t shard
+    else if seg > aseq then
+      (* A follower ahead of the primary can only mean the primary's
+         journal was reset under it; make it start over. *)
+      snapshot t shard
+    else if seg < aseq then begin
+      let path = segment_file (shard_base t shard) seg in
+      if not (Sys.file_exists path) then
+        (* Compacted by a checkpoint — the history below the coverage
+           bound now only exists as the checkpoint. *)
+        snapshot t shard
+      else
+        let size = file_size path in
+        if off >= size then
+          Codec.Batch
+            {
+              shard;
+              data = "";
+              next_seg = seg + 1;
+              next_off = 0;
+              behind = behind_estimate t ~shard ~aseq ~abytes ~seg:(seg + 1) ~off:0;
+            }
+        else
+          let data = read_records path ~off ~cap:size ~max_bytes in
+          let n = String.length data in
+          let next_seg, next_off = if off + n >= size then (seg + 1, 0) else (seg, off + n) in
+          Codec.Batch
+            {
+              shard;
+              data;
+              next_seg;
+              next_off;
+              behind = behind_estimate t ~shard ~aseq ~abytes ~seg:next_seg ~off:next_off;
+            }
+    end
+    else begin
+      (* The active segment. [abytes] is the commit point: every byte
+         below it is a whole flushed record, anything above is garbage
+         from a failed append. *)
+      if off >= abytes then Codec.Batch { shard; data = ""; next_seg = seg; next_off = off; behind = 0 }
+      else
+        let base = shard_base t shard in
+        let data =
+          try read_records base ~off ~cap:abytes ~max_bytes
+          with Sys_error _ | End_of_file -> ""
+        in
+        (* Rotation race: between reading the position and reading the
+           file, the worker may have renamed [base] away and opened a
+           fresh one — the bytes we read would then belong to the wrong
+           segment. Re-check and retry down the sealed path. *)
+        match Server.journal_position t.server ~shard with
+        | Some (aseq2, _) when aseq2 = aseq ->
+          let n = String.length data in
+          Codec.Batch
+            { shard; data; next_seg = seg; next_off = off + n; behind = max 0 (abytes - off - n) }
+        | _ when retries > 0 -> serve t ~shard ~seg ~off ~max_bytes ~retries:(retries - 1)
+        | _ -> Codec.Batch { shard; data = ""; next_seg = seg; next_off = off; behind = max 0 (abytes - off) }
+    end
+
+let serve_pull t ~shard ~seg ~off ~max_bytes =
+  if shard < 0 || shard >= t.shards then
+    Codec.Error
+      (Errors.bad_request (Printf.sprintf "shard %d out of range (server has %d)" shard t.shards))
+  else if seg < 0 || off < 0 then Codec.Error (Errors.bad_request "negative replication cursor")
+  else begin
+    let m = Server.metrics t.server in
+    Metrics.incr m Metrics.Rep_pulls;
+    locked t.mutex (fun () -> t.cursors.(shard) <- Some (seg, off));
+    let max_bytes = if max_bytes <= 0 then default_max_bytes else max_bytes in
+    let resp = try serve t ~shard ~seg ~off ~max_bytes ~retries:4 with
+      | Sys_error msg -> Codec.Error (Errors.fault ("journal read failed: " ^ msg))
+      | End_of_file -> Codec.Error (Errors.fault "journal file shrank mid-read")
+    in
+    (match resp with
+    | Codec.Batch { data; _ } | Codec.Snapshot { data; _ } ->
+      Metrics.add m Metrics.Rep_shipped_bytes (String.length data)
+    | _ -> ());
+    resp
+  end
+
+let handler t = function
+  | Codec.Pull { shard; seg; off; max_bytes } -> Some (serve_pull t ~shard ~seg ~off ~max_bytes)
+  | Codec.Query _ | Codec.Ping | Codec.Stats -> None
+
+let cursors t = locked t.mutex (fun () -> Array.copy t.cursors)
+
+let caught_up t =
+  let ok = ref true in
+  for i = 0 to t.shards - 1 do
+    match Server.journal_position t.server ~shard:i with
+    | None -> ()
+    | Some (aseq, abytes) -> (
+      match locked t.mutex (fun () -> t.cursors.(i)) with
+      | Some (s, o) when s = aseq && o >= abytes -> ()
+      | Some _ -> ok := false
+      | None -> if not (aseq = 1 && abytes = 0) then ok := false)
+  done;
+  !ok
+
+let await_caught_up t ~timeout_s =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec wait () =
+    if caught_up t then true
+    else if Unix.gettimeofday () >= deadline then false
+    else begin
+      Unix.sleepf 0.005;
+      wait ()
+    end
+  in
+  wait ()

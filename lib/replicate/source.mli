@@ -1,0 +1,64 @@
+(** The primary side of hot-standby replication: serve {!Net.Codec.Pull}
+    requests by shipping raw journal bytes (and checkpoint bytes for
+    follower bootstrap) straight off the server's per-shard segment
+    families.
+
+    The shipper is {e pull-based and stateless about followers} beyond a
+    per-shard cursor watermark: the service flushes every record before
+    committing it, so the on-disk active segment always holds every
+    committed byte and a reader on another domain needs no cooperation
+    from the worker — {!Server.journal_position}'s racy watermark bounds
+    the committed region, and a rotation racing the read is detected by
+    re-checking the position and retrying down the sealed-segment path.
+
+    Bytes are shipped {e verbatim} — the follower's mirror is a
+    bit-identical prefix of the primary's segment family, which is the
+    failover contract ({!Follower.promote} recovers from the mirror
+    exactly as the primary itself would after a crash). *)
+
+type t
+
+val default_max_bytes : int
+(** 1 MiB — the per-pull byte cap when the follower passes
+    [max_bytes <= 0]. *)
+
+val create : server:Server.t -> journal:string -> t
+(** [journal] is the server-level base path passed to {!Server.create}
+    (shard [i]'s family lives at [<journal>.shard<i>]). The shard count is
+    taken from the server's config. *)
+
+val handler : t -> Net.Codec.request -> Net.Codec.response option
+(** The {!Net.Listener.create} [extend] hook: answers [Pull], falls
+    through on everything else. Domain-safe — runs on connection domains
+    concurrently.
+
+    Replies per cursor [(seg, off)]:
+    - [seg = 0] (or a cursor the primary can no longer serve — segment
+      compacted by a checkpoint, or a journal reset): [Snapshot] with the
+      checkpoint file's bytes (empty when none exists) and the cursor
+      where tailing resumes;
+    - a sealed segment: [Batch] of its bytes from [off], advancing to the
+      next segment at its end;
+    - the active segment: [Batch] of committed bytes from [off];
+      [behind = 0] only when the follower has every committed byte.
+
+    Batches always end at a record boundary. [max_bytes <= 0] means the
+    default (1 MiB); a single record larger than the cap ships whole. *)
+
+val serve_pull :
+  t -> shard:int -> seg:int -> off:int -> max_bytes:int -> Net.Codec.response
+(** The handler's core, exposed for in-process tests (no socket). *)
+
+val cursors : t -> (int * int) option array
+(** Per-shard cursor of the latest pull — the cursor a follower asks
+    {e from}, i.e. what it already holds. [None] until the first pull. *)
+
+val caught_up : t -> bool
+(** Every journaled shard's latest pull cursor is at the current committed
+    watermark (a shard nothing was ever pulled from counts only if its
+    journal is still empty). With the listener quiesced and the server
+    drained, [true] means the follower holds every committed record —
+    the graceful-drain gate. *)
+
+val await_caught_up : t -> timeout_s:float -> bool
+(** Poll {!caught_up} until it holds or [timeout_s] elapses. *)

@@ -57,6 +57,10 @@ type counter =
   | Net_errors
   | Net_bytes_in
   | Net_bytes_out
+  | Reloads
+  | Rep_pulls
+  | Rep_shipped_bytes
+  | Rep_applied_records
 
 let counter_index = function
   | Submitted -> 0
@@ -76,6 +80,10 @@ let counter_index = function
   | Net_errors -> 14
   | Net_bytes_in -> 15
   | Net_bytes_out -> 16
+  | Reloads -> 17
+  | Rep_pulls -> 18
+  | Rep_shipped_bytes -> 19
+  | Rep_applied_records -> 20
 
 let counter_name = function
   | Submitted -> "submitted"
@@ -95,6 +103,10 @@ let counter_name = function
   | Net_errors -> "net_errors"
   | Net_bytes_in -> "net_bytes_in"
   | Net_bytes_out -> "net_bytes_out"
+  | Reloads -> "reloads"
+  | Rep_pulls -> "rep_pulls"
+  | Rep_shipped_bytes -> "rep_shipped_bytes"
+  | Rep_applied_records -> "rep_applied_records"
 
 let counters =
   [
@@ -115,9 +127,13 @@ let counters =
     Net_errors;
     Net_bytes_in;
     Net_bytes_out;
+    Reloads;
+    Rep_pulls;
+    Rep_shipped_bytes;
+    Rep_applied_records;
   ]
 
-let n_counters = 17
+let n_counters = 21
 
 (* Per-shard runtime gauges, sampled by each worker domain from its own
    [Gc.quick_stat]. Gauges are set, not accumulated: the newest sample
@@ -126,20 +142,37 @@ type gauge =
   | Gc_minor_collections
   | Gc_major_collections
   | Gc_promoted_words
+  | Journal_segment
+  | Journal_offset
+  | Replication_lag
 
 let gauge_index = function
   | Gc_minor_collections -> 0
   | Gc_major_collections -> 1
   | Gc_promoted_words -> 2
+  | Journal_segment -> 3
+  | Journal_offset -> 4
+  | Replication_lag -> 5
 
 let gauge_name = function
   | Gc_minor_collections -> "gc_minor_collections"
   | Gc_major_collections -> "gc_major_collections"
   | Gc_promoted_words -> "gc_promoted_words"
+  | Journal_segment -> "journal_segment"
+  | Journal_offset -> "journal_offset"
+  | Replication_lag -> "replication_lag"
 
-let gauges = [ Gc_minor_collections; Gc_major_collections; Gc_promoted_words ]
+let gauges =
+  [
+    Gc_minor_collections;
+    Gc_major_collections;
+    Gc_promoted_words;
+    Journal_segment;
+    Journal_offset;
+    Replication_lag;
+  ]
 
-let n_gauges = 3
+let n_gauges = 6
 
 (* Power-of-two latency buckets: bucket [i] counts observations in
    [2^i, 2^(i+1)) nanoseconds. 40 buckets reach ~18 minutes. *)

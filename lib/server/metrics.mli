@@ -41,13 +41,24 @@ type counter =
           each closes its connection and journals nothing. *)
   | Net_bytes_in  (** Payload + frame bytes read from clients. *)
   | Net_bytes_out  (** Payload + frame bytes written to clients. *)
+  | Reloads  (** Online policy reloads completed (all shards swapped). *)
+  | Rep_pulls  (** Replication pull requests served (primary side). *)
+  | Rep_shipped_bytes  (** Journal/checkpoint bytes shipped to followers. *)
+  | Rep_applied_records  (** Shipped records replayed (follower side). *)
 
 (** Per-shard runtime gauges (newest sample wins, no accumulation), fed by
-    each worker domain from its own [Gc.quick_stat]. *)
+    each worker domain from its own [Gc.quick_stat] — plus the journal
+    watermark gauges, refreshed per decision by the worker (and exactly at
+    every barrier and stats scrape), and the follower-side replication lag. *)
 type gauge =
   | Gc_minor_collections
   | Gc_major_collections
   | Gc_promoted_words  (** Words promoted minor → major (truncated to int). *)
+  | Journal_segment  (** Active journal segment index of the shard. *)
+  | Journal_offset  (** Committed bytes in the shard's active segment. *)
+  | Replication_lag
+      (** Bytes of committed primary journal this node has not yet applied;
+          [0] on a primary. Set by the follower's replay loop. *)
 
 type t
 

@@ -48,7 +48,12 @@ type t = {
   trace : Obs.Trace.t option;
   started_at : float; (* Unix.gettimeofday at create — display only *)
   started_ns : int64; (* Mclock at create — uptime and rate math *)
-  assignment : (string, int) Hashtbl.t; (* principal -> shard index *)
+  assignment : (string, int) Hashtbl.t Atomic.t;
+      (* principal -> shard index. The table behind the Atomic is never
+         mutated after [start]: registration fills it pre-start (no
+         concurrent readers yet), and [reload] publishes a freshly built
+         replacement wholesale — connection domains racing [submit] against
+         a reload read either the old complete table or the new one. *)
   mutable order : string list; (* reversed global registration order *)
   state : state Atomic.t;
       (* Atomic, not plain mutable: the networked front-end submits from
@@ -67,6 +72,12 @@ let fnv1a s =
     (fun c -> h := ((!h lxor Char.code c) * 0x01000193) land 0xFFFFFFFF)
     s;
   !h
+
+(* The pure assignment function, exposed so a replication follower can
+   partition a configuration's principals exactly as the primary did —
+   the shipped per-shard segments only replay correctly under the same
+   split. *)
+let shard_index ~shards principal = fnv1a principal mod shards
 
 let shard_count t = Array.length t.shards
 
@@ -99,7 +110,7 @@ let create ?limits ?journal ?trace ?(config = default_config) pipeline =
     trace;
     started_at = Unix.gettimeofday ();
     started_ns = Disclosure.Mclock.now_ns ();
-    assignment = Hashtbl.create 64;
+    assignment = Atomic.make (Hashtbl.create 64);
     order = [];
     state = Atomic.make Created;
   }
@@ -117,7 +128,7 @@ let started_at t = t.started_at
    for display. *)
 let uptime_s t = Disclosure.Mclock.elapsed_s ~since:t.started_ns
 
-let shard_of t principal = t.shards.(fnv1a principal mod shard_count t)
+let shard_of t principal = t.shards.(shard_index ~shards:(shard_count t) principal)
 
 let state t = Atomic.get t.state
 
@@ -132,8 +143,8 @@ let require_created t what =
 let register t ~principal ~partitions =
   require_created t "register";
   let shard = shard_of t principal in
-  Service.register (Shard.service shard) ~principal ~partitions;
-  Hashtbl.replace t.assignment principal (Shard.index shard);
+  Shard.register shard ~principal ~partitions;
+  Hashtbl.replace (Atomic.get t.assignment) principal (Shard.index shard);
   t.order <- principal :: t.order;
   Log.debug (fun m -> m "principal %s -> shard %d" principal (Shard.index shard))
 
@@ -157,7 +168,7 @@ let submit t ~principal query : ticket =
   (match state t with
   | Stopped -> invalid_arg "Server.submit: server is stopped"
   | Created | Running -> ());
-  if not (Hashtbl.mem t.assignment principal) then
+  if not (Hashtbl.mem (Atomic.get t.assignment) principal) then
     raise (Service.Unknown_principal principal);
   Metrics.incr t.metrics Metrics.Submitted;
   let shard = shard_of t principal in
@@ -213,6 +224,9 @@ let stop t =
           | Some (Shard.Checkpoint iv) ->
             Ivar.fill iv (Error "server stopped before start");
             flush ()
+          | Some (Shard.Reload { reply; _ }) ->
+            Ivar.fill reply (Error "server stopped before start");
+            flush ()
           | Some (Shard.Query { ticket; _ }) ->
             Metrics.incr t.metrics Metrics.Refused;
             ignore
@@ -234,7 +248,7 @@ let stop t =
 (* --- introspection (exact only while shards are quiescent) ------------- *)
 
 let owning_service t principal =
-  if not (Hashtbl.mem t.assignment principal) then
+  if not (Hashtbl.mem (Atomic.get t.assignment) principal) then
     raise (Service.Unknown_principal principal);
   Shard.service (shard_of t principal)
 
@@ -262,6 +276,33 @@ let cache_stats t =
     { Shard.hits = 0; misses = 0; evictions = 0; entries = 0; capacity = 0 }
     t.shards
 
+(* Per-shard journal watermarks, readable from any domain (racy word
+   reads — see Service.journal_position). [None] for journal-less shards
+   and, briefly, for a shard mid-reload. *)
+let journal_positions t = Array.map Shard.journal_position t.shards
+
+let journal_position t ~shard =
+  if shard < 0 || shard >= shard_count t then
+    invalid_arg "Server.journal_position: shard out of range";
+  Shard.journal_position t.shards.(shard)
+
+(* Workers refresh these gauges per decision; a scrape-time refresh makes
+   them exact even on an idle server, so replication lag is computable
+   from one scrape of each node. *)
+let refresh_journal_gauges t =
+  Array.iter
+    (fun shard ->
+      match Shard.journal_position shard with
+      | None -> ()
+      | Some (seq, bytes) ->
+        Metrics.set_gauge t.metrics ~shard:(Shard.index shard) Metrics.Journal_segment seq;
+        Metrics.set_gauge t.metrics ~shard:(Shard.index shard) Metrics.Journal_offset bytes)
+    t.shards
+
+let prometheus t =
+  refresh_journal_gauges t;
+  Metrics.to_prometheus t.metrics
+
 (* One self-describing stats document: uptime and start timestamp ride
    along with the counters so a single scrape is rate-computable
    (queries/s = submitted / uptime_s) without scraping twice. Embeds
@@ -269,13 +310,25 @@ let cache_stats t =
    JSON, and the obs test suite parses the whole document to keep it
    honest. *)
 let stats_json t =
+  refresh_journal_gauges t;
   let cache = cache_stats t in
   let b = Buffer.create 1024 in
   Buffer.add_string b
     (Printf.sprintf
        "{\"started_at\": %.3f, \"uptime_s\": %.3f, \"shards\": %d, \"principals\": %d, "
        t.started_at (uptime_s t) (shard_count t)
-       (Hashtbl.length t.assignment));
+       (Hashtbl.length (Atomic.get t.assignment)));
+  Buffer.add_string b "\"journal\": [";
+  Array.iteri
+    (fun i shard ->
+      if i > 0 then Buffer.add_string b ", ";
+      match Shard.journal_position shard with
+      | None -> Buffer.add_string b "null"
+      | Some (seq, bytes) ->
+        Buffer.add_string b
+          (Printf.sprintf "{\"segment\": %d, \"offset\": %d}" seq bytes))
+    t.shards;
+  Buffer.add_string b "], ";
   (match t.trace with
   | None -> ()
   | Some tr ->
@@ -358,3 +411,122 @@ let recover t ~journal =
       | Error e -> Error e
   in
   loop 0 0
+
+(* --- online policy reload ---------------------------------------------- *)
+
+(* Validate → swap, with no connection ever dropped: validation happens
+   first on a throwaway journal-less service (so every config-level error —
+   unknown views, duplicate principals, partition caps — is caught before
+   any shard is touched), then each shard swaps its own service on its own
+   worker domain via a Reload control message. Mailbox ordering is the
+   consistency story: every query is decided by exactly the policy version
+   live when its shard's worker dequeues it. The new assignment table and
+   registration order are published only after every shard has swapped, so
+   a principal new in the configuration becomes submittable only once its
+   shard can decide for it; in the window where a shard has swapped but the
+   table has not been republished, queries for since-removed principals
+   reach the shard and come back as fail-closed [Refused (Fault _)]
+   refusals — never a wrong answer, never a dropped connection.
+
+   After validation, a per-shard failure can only be journal I/O (reopening
+   the base, the post-swap checkpoint). Such a failure leaves THAT shard on
+   its old service (fail closed) while other shards may have swapped; the
+   error is surfaced and the assignment is not republished — the operator
+   retries the reload or restarts. *)
+let reload t policy =
+  match state t with
+  | Stopped -> Error "Server.reload: server is stopped"
+  | Created | Running -> (
+    match Disclosure.Policyfile.resolve policy with
+    | Error msg -> Error msg
+    | Ok resolved -> (
+      match
+        let pipeline =
+          Disclosure.Pipeline.create policy.Disclosure.Policyfile.views
+        in
+        let probe = Service.create pipeline in
+        List.iter
+          (fun (principal, partitions) ->
+            Service.register probe ~principal ~partitions)
+          resolved;
+        pipeline
+      with
+      | exception Disclosure.Registry.Duplicate_view name ->
+        Error ("duplicate view " ^ name)
+      | exception Disclosure.Registry.Too_many_views rel ->
+        Error ("too many views over relation " ^ rel)
+      | exception Service.Duplicate_principal p -> Error ("duplicate principal " ^ p)
+      | exception Invalid_argument msg -> Error msg
+      | exception e -> Error (Printexc.to_string e)
+      | pipeline -> (
+        let shards_n = shard_count t in
+        let per_shard = Array.make shards_n [] in
+        List.iter
+          (fun ((principal, _) as entry) ->
+            let i = shard_index ~shards:shards_n principal in
+            per_shard.(i) <- entry :: per_shard.(i))
+          (List.rev resolved);
+        let swept =
+          match state t with
+          | Stopped -> Error "server stopped during reload"
+          | Created ->
+            Array.fold_left
+              (fun acc shard ->
+                match acc with
+                | Error _ -> acc
+                | Ok () -> (
+                  match
+                    Shard.reload shard ~pipeline
+                      ~principals:per_shard.(Shard.index shard)
+                  with
+                  | Ok () -> Ok ()
+                  | Error msg ->
+                    Error (Printf.sprintf "shard %d: %s" (Shard.index shard) msg)))
+              (Ok ()) t.shards
+          | Running ->
+            let tickets =
+              Array.map
+                (fun shard ->
+                  let iv = Ivar.create () in
+                  if
+                    Mailbox.push (Shard.mailbox shard)
+                      (Shard.Reload
+                         {
+                           pipeline;
+                           principals = per_shard.(Shard.index shard);
+                           reply = iv;
+                         })
+                  then (shard, Some iv)
+                  else (shard, None))
+                t.shards
+            in
+            Array.fold_left
+              (fun acc (shard, iv) ->
+                let result =
+                  match iv with
+                  | Some iv -> Ivar.read iv
+                  | None -> Error "mailbox closed"
+                in
+                match (acc, result) with
+                | Error _, _ -> acc
+                | Ok (), Ok () -> Ok ()
+                | Ok (), Error msg ->
+                  Error (Printf.sprintf "shard %d: %s" (Shard.index shard) msg))
+              (Ok ()) tickets
+        in
+        match swept with
+        | Error _ as e -> e
+        | Ok () ->
+          let table = Hashtbl.create 64 in
+          List.iter
+            (fun (principal, _) ->
+              Hashtbl.replace table principal (shard_index ~shards:shards_n principal))
+            resolved;
+          Atomic.set t.assignment table;
+          t.order <- List.rev_map fst resolved;
+          Metrics.incr t.metrics Metrics.Reloads;
+          Log.info (fun m ->
+              m "policy reloaded: %d view(s), %d principal(s)"
+                (List.length policy.Disclosure.Policyfile.views)
+                (List.length resolved));
+          Ok ())))

@@ -152,12 +152,35 @@ val is_running : t -> bool
 val cache_stats : t -> Shard.cache_stats
 (** Summed over shards. *)
 
+val shard_index : shards:int -> string -> int
+(** The pure principal→shard assignment (stable FNV-1a hash mod [shards]) —
+    exposed so a replication follower can partition a configuration's
+    principals exactly as the primary did. *)
+
+val journal_positions : t -> (int * int) option array
+(** Per-shard [(active_segment, committed_bytes)] journal watermarks, by
+    shard index. Safe from any domain (racy word reads, see
+    {!Disclosure.Service.journal_position}); [None] for journal-less shards
+    and, briefly, for a shard mid-reload. *)
+
+val journal_position : t -> shard:int -> (int * int) option
+(** One shard's watermark. @raise Invalid_argument on an out-of-range
+    shard. *)
+
+val prometheus : t -> string
+(** {!Metrics.to_prometheus} after refreshing the per-shard journal
+    watermark gauges, so a single scrape carries the exact committed
+    offsets (replication lag = primary offset − follower offset, no second
+    scrape). *)
+
 val stats_json : t -> string
 (** One JSON object with everything a dashboard needs from a single scrape:
-    [started_at] (epoch seconds), [uptime_s], [shards], [principals],
-    [cache] totals, the full {!Metrics.to_json} document under [metrics],
-    and — when tracing — a [trace] object with the sampling configuration
-    and retained/dropped scope counts. Rates are single-scrape computable:
+    [started_at] (epoch seconds), [uptime_s], [shards], [principals], a
+    [journal] array of per-shard [{segment, offset}] committed watermarks
+    ([null] for journal-less shards), [cache] totals, the full
+    {!Metrics.to_json} document under [metrics], and — when tracing — a
+    [trace] object with the sampling configuration and retained/dropped
+    scope counts. Rates are single-scrape computable:
     [submitted / uptime_s]. *)
 
 (** {1 Checkpointing and recovery} *)
@@ -181,3 +204,29 @@ val recover : t -> journal:string -> (int, Disclosure.Service.recovery_error) re
     segments, and a non-running server. A damaged shard journal fails the
     whole recovery with that shard's typed error.
     @raise Invalid_argument while running. *)
+
+(** {1 Online policy reload} *)
+
+val reload : t -> Disclosure.Policyfile.t -> (unit, string) result
+(** Swap in a new policy configuration with zero downtime: validate the
+    whole configuration first (unknown views, duplicate principals,
+    partition caps — any error aborts before a single shard is touched),
+    then swap each shard's service on its own worker domain via a
+    {!Shard.msg.Reload} control message. No connection is dropped and no
+    query is lost: mailbox ordering decides every query under exactly one
+    policy version. Principals whose partition lists are unchanged keep
+    their monitor state (the cumulative-disclosure charge survives);
+    changed or new principals start fresh. Each shard's label cache is
+    reset and its journal checkpointed post-swap, so recovery restores the
+    carried state rather than replaying old-policy records through the new
+    configuration.
+
+    During the swap window, queries for principals removed by the new
+    configuration fail closed ([Refused (Fault _)] from the shard, or
+    [Unknown_principal] once the new assignment is published); queries for
+    added principals raise [Unknown_principal] until publication. On
+    [Error] after validation passed (journal I/O only), the failing shard
+    keeps serving its {e old} policy while other shards may have swapped —
+    fail-closed per shard, never a wrong answer; the previous assignment
+    stays published, and the operator should retry or restart. Works on
+    both quiescent and running servers; [Error] on a stopped one. *)

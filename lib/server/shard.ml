@@ -24,6 +24,11 @@ type msg =
     }
   | Barrier of unit Ivar.t
   | Checkpoint of (unit, string) result Ivar.t
+  | Reload of {
+      pipeline : Disclosure.Pipeline.t;
+      principals : (string * (string * Disclosure.Sview.t list) list) list;
+      reply : (unit, string) result Ivar.t;
+    }
 
 (* How many decisions between Gc.quick_stat samples. quick_stat is cheap
    but not free; once per 64 queries keeps the gauges seconds-fresh under
@@ -33,8 +38,14 @@ let gc_sample_period = 64
 
 type t = {
   index : int;
-  service : Service.t;
-  cache : Label.t Label_cache.t option;
+  mutable service : Service.t;
+      (* Mutable for online policy reload: the worker (or the quiescent
+         owner) swaps in a freshly staged service on the same journal base.
+         Foreign domains may read the field (journal watermarks) but only
+         through the racy-safe [Service.journal_position]. *)
+  mutable cache : Label.t Label_cache.t option;
+      (* Recreated on reload: labels from the old pipeline must never
+         decide new-policy queries. *)
   mailbox : msg Mailbox.t;
   metrics : Metrics.t;
   trace : Obs.Trace.t option;
@@ -42,6 +53,15 @@ type t = {
       (* The in-flight query's trace scope. A ref (not a mutable field)
          because the service's observe callback is built before this record
          exists and must share the cell. Worker-domain only. *)
+  limits : Guard.limits option;
+  journal : string option; (* this shard's journal base path *)
+  segment_bytes : int;
+  observe : Service.observation -> unit;
+      (* The metrics/trace bridge passed to every service this shard owns —
+         kept so a reload's staged service reports identically. *)
+  mutable registered : (string * (string * Disclosure.Sview.t list) list) list;
+      (* Registration set of the live service, for reload's carry-over
+         decision (unchanged partitions keep their monitor state). *)
   checkpoint_every : int; (* decisions between automatic checkpoints; 0 = never *)
   mutable decided : int; (* decisions since the last automatic checkpoint *)
   mutable processed : int; (* total queries processed, for the gc cadence *)
@@ -86,6 +106,11 @@ let create ~index ?limits ?journal ?(segment_bytes = 0) ?(checkpoint_every = 0) 
     metrics;
     trace;
     scope;
+    limits;
+    journal;
+    segment_bytes;
+    observe;
+    registered = [];
     checkpoint_every;
     decided = 0;
     processed = 0;
@@ -97,6 +122,12 @@ let index t = t.index
 let service t = t.service
 
 let mailbox t = t.mailbox
+
+let register t ~principal ~partitions =
+  Service.register t.service ~principal ~partitions;
+  t.registered <- (principal, partitions) :: t.registered
+
+let journal_position t = Service.journal_position t.service
 
 (* --- observability helpers --------------------------------------------- *)
 
@@ -126,6 +157,16 @@ let sample_gc t =
     s.Gc.major_collections;
   Metrics.set_gauge t.metrics ~shard:t.index Metrics.Gc_promoted_words
     (int_of_float s.Gc.promoted_words)
+
+(* The journal watermark gauges: two atomic stores per decision, so the
+   committed frontier is always one scrape away (replication lag is
+   primary offset minus follower offset, no second scrape needed). *)
+let sample_journal t =
+  match Service.journal_position t.service with
+  | None -> ()
+  | Some (seq, bytes) ->
+    Metrics.set_gauge t.metrics ~shard:t.index Metrics.Journal_segment seq;
+    Metrics.set_gauge t.metrics ~shard:t.index Metrics.Journal_offset bytes
 
 (* --- query handling --------------------------------------------------- *)
 
@@ -267,14 +308,102 @@ let outcome_of = function
   | Monitor.Answered -> "answered"
   | Monitor.Refused reason -> "refused:" ^ Guard.refusal_to_tag reason
 
+(* --- online policy reload ---------------------------------------------- *)
+
+let partitions_equal ps qs =
+  List.equal
+    (fun (n1, vs1) (n2, vs2) ->
+      String.equal n1 n2 && List.equal Disclosure.Sview.equal vs1 vs2)
+    ps qs
+
+(* Swap in a new policy configuration without dropping a single decision.
+   Runs on the worker domain (a [Reload] control message) or inline on a
+   quiescent shard, so the mailbox serializes it against queries: every
+   query is decided by exactly one policy version — the one live when the
+   worker dequeues it.
+
+   The staged service opens the same journal base in append mode while the
+   live one still holds it; that is safe because this domain owns both and
+   nothing appends between staging and swap, so the staged byte count
+   cannot go stale. Registration failures abort with the live service
+   untouched (fail closed: the old policy keeps serving).
+
+   Monitor state carries over only for principals whose partition lists are
+   unchanged ({!Disclosure.Sview.equal} per view): their lattice is the
+   same, so the cumulative-disclosure charge must survive the swap. A
+   changed or new policy starts a fresh monitor — old charges are
+   incomparable under a different lattice.
+
+   The swap ends with a checkpoint of the carried state: recovery then
+   restores this snapshot and replays only new-policy records, never
+   old-policy records through the new configuration (which would fail
+   closed with [`Replay]). A failed post-swap checkpoint is logged, not
+   surfaced — serving continuity wins, and recovery stays fail-closed
+   until the next checkpoint succeeds. *)
+let reload t ~pipeline ~principals =
+  match
+    let staged =
+      Service.create ?limits:t.limits ?journal:t.journal
+        ~segment_bytes:t.segment_bytes ~observe:t.observe pipeline
+    in
+    (match
+       List.iter
+         (fun (principal, partitions) ->
+           Service.register staged ~principal ~partitions)
+         principals
+     with
+    | () -> ()
+    | exception e ->
+      Service.close staged;
+      raise e);
+    let old_state = Service.snapshot t.service in
+    List.iter
+      (fun (principal, partitions) ->
+        match List.assoc_opt principal t.registered with
+        | Some old_partitions when partitions_equal old_partitions partitions -> (
+          match List.assoc_opt principal old_state with
+          | Some st -> Service.restore staged ~principal st
+          | None -> ())
+        | _ -> ())
+      principals;
+    Service.close t.service;
+    t.service <- staged;
+    t.registered <- principals;
+    t.cache <-
+      Option.map
+        (fun c -> Label_cache.create ~capacity:(Label_cache.capacity c))
+        t.cache;
+    t.decided <- 0;
+    sample_journal t;
+    match t.journal with
+    | None -> ()
+    | Some _ -> (
+      match Service.checkpoint t.service with
+      | Ok () -> sample_journal t
+      | Error msg ->
+        Log.warn (fun m ->
+            m
+              "shard %d: post-reload checkpoint failed (recovery fails closed on the \
+               pre-reload history until the next checkpoint): %s"
+              t.index msg))
+  with
+  | () -> Ok ()
+  | exception e -> Error ("reload failed: " ^ Printexc.to_string e)
+
 let process t msg =
   match msg with
   | Barrier iv ->
     (* Barriers are the quiescence points: resample so gauge reads right
        after a drain are exact, not up to a period stale. *)
     sample_gc t;
+    sample_journal t;
     Ivar.fill iv ()
-  | Checkpoint iv -> Ivar.fill iv (checkpoint t)
+  | Checkpoint iv ->
+    let r = checkpoint t in
+    sample_journal t;
+    Ivar.fill iv r
+  | Reload { pipeline; principals; reply } ->
+    Ivar.fill reply (reload t ~pipeline ~principals)
   | Query { principal; query; ticket; enqueued_ns } ->
     let now = Disclosure.Mclock.now_ns () in
     let waited = enqueued_ns <> 0L && Int64.compare enqueued_ns now <= 0 in
@@ -314,7 +443,8 @@ let process t msg =
     ignore (Ivar.try_fill ticket decision);
     t.processed <- t.processed + 1;
     if t.processed mod gc_sample_period = 0 then sample_gc t;
-    maybe_auto_checkpoint t
+    maybe_auto_checkpoint t;
+    sample_journal t
 
 let run t =
   let rec loop () =

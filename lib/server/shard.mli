@@ -22,6 +22,16 @@ type msg =
       (** Control message: the worker checkpoints its service's journal
           ({!Disclosure.Service.checkpoint}) and fills the ivar with the
           result. *)
+  | Reload of {
+      pipeline : Disclosure.Pipeline.t;
+      principals : (string * (string * Disclosure.Sview.t list) list) list;
+      reply : (unit, string) result Ivar.t;
+    }
+      (** Control message: the worker swaps in the new policy configuration
+          ({!reload}) and fills the ivar with the result. Mailbox ordering
+          is the exactly-one-policy-version guarantee: every query is
+          decided by whichever service is live when the worker dequeues
+          it. *)
 
 type t
 
@@ -63,6 +73,35 @@ val service : t -> Disclosure.Service.t
 (** The shard's underlying service. Must only be used before {!start} or
     after {!join} (registration, recovery, snapshots) — while the worker
     runs, the worker owns it. *)
+
+val register :
+  t ->
+  principal:string ->
+  partitions:(string * Disclosure.Sview.t list) list ->
+  unit
+(** {!Disclosure.Service.register} on the shard's service, also recording
+    the partitions so a later {!reload} can decide which principals keep
+    their monitor state. The server registers through this, never through
+    {!service} directly. *)
+
+val journal_position : t -> (int * int) option
+(** {!Disclosure.Service.journal_position} of the live service: the
+    [(active_segment, committed_bytes)] watermark. Safe from any domain
+    (racy word reads); briefly [None] while a reload swaps services. *)
+
+val reload :
+  t ->
+  pipeline:Disclosure.Pipeline.t ->
+  principals:(string * (string * Disclosure.Sview.t list) list) list ->
+  (unit, string) result
+(** Swap in a new policy configuration: stage a fresh service on the same
+    journal base, register [principals] against [pipeline] (a failure
+    aborts with the live service untouched), carry monitor state for
+    principals whose partition lists are unchanged, reset the label cache,
+    and checkpoint the carried state so recovery never replays old-policy
+    records through the new configuration. Must only be called while the
+    worker is quiescent (before {!start} or after {!join}); while running,
+    send a {!msg.Reload} message instead. *)
 
 val mailbox : t -> msg Mailbox.t
 

@@ -1,0 +1,836 @@
+(* Replication suite (its own executable: it runs full primary/follower
+   pairs with worker domains, sockets, and a few dozen promotions).
+
+   The failover contract, torture-tested:
+
+   - the follower's mirror is a BIT-IDENTICAL prefix of the primary's
+     committed segment family, and promoting a follower that holds the
+     first [k] records yields exactly the state the primary's own crash
+     recovery would produce from that prefix — for EVERY record boundary
+     [k];
+   - a replication batch torn at any non-boundary offset, or with any
+     byte flipped, is rejected BEFORE touching the mirror — fail closed,
+     never divergent;
+   - bootstrap and re-bootstrap go through the primary's checkpoint and
+     re-converge to byte equality after compaction;
+   - online policy reload drops zero connections and decides every
+     in-flight query under exactly one policy version (monotone flip);
+   - graceful drain with a follower attached flushes the shipped stream
+     to the last committed record while queries are already refused. *)
+
+module Monitor = Disclosure.Monitor
+module Pipeline = Disclosure.Pipeline
+module Sview = Disclosure.Sview
+module Policyfile = Disclosure.Policyfile
+module Source = Replicate.Source
+module Follower = Replicate.Follower
+
+let pq = Cq.Parser.query_exn
+
+let v1 = Sview.of_string "V1(x, y) :- Meetings(x, y)"
+let v2 = Sview.of_string "V2(x) :- Meetings(x, y)"
+let v3 = Sview.of_string "V3(x, y, z) :- Contacts(x, y, z)"
+
+(* One principal name exercises the escape path in shipped bytes. *)
+let hostile = "tab\tapp"
+
+(* The shared configuration: primary and follower must resolve the same
+   policy so the follower partitions principals exactly as the primary. *)
+let policy : Policyfile.t =
+  {
+    Policyfile.views = [ v1; v2; v3 ];
+    principals =
+      [
+        ("crm-app", [ ("meetings", [ "V1"; "V2" ]); ("contacts", [ "V3" ]) ]);
+        ("calendar-app", [ ("default", [ "V2" ]) ]);
+        (hostile, [ ("default", [ "V2" ]) ]);
+      ];
+  }
+
+let q_contacts = pq "Q(x, y, z) :- Contacts(x, y, z)"
+let q_meetings = pq "Q(x, y) :- Meetings(x, y)"
+let q_slots = pq "Q(x) :- Meetings(x, y)"
+
+let history : (string * Cq.Query.t) list =
+  [
+    ("crm-app", q_contacts);
+    (hostile, q_slots);
+    ("calendar-app", q_slots);
+    ("crm-app", q_slots);
+    ("calendar-app", q_meetings);
+    ("crm-app", q_contacts);
+    (hostile, q_meetings);
+    ("crm-app", q_meetings);
+  ]
+
+let n_records = List.length history
+
+let config ~shards =
+  { Server.default_config with domains = shards; cache_capacity = 0 }
+
+let make_primary ?journal ~shards () =
+  let server = Server.create ?journal ~config:(config ~shards) (Pipeline.create [ v1; v2; v3 ]) in
+  (match Policyfile.resolve policy with
+  | Ok resolved ->
+    List.iter
+      (fun (principal, partitions) -> Server.register server ~principal ~partitions)
+      resolved
+  | Error e -> Alcotest.failf "resolve: %s" e);
+  server
+
+let make_follower ~journal ~shards () =
+  match Follower.create ~journal ~shards policy with
+  | Ok f -> f
+  | Error e -> Alcotest.failf "follower create: %s" e
+
+let run_history server =
+  List.iter (fun (principal, q) -> ignore (Server.submit_sync server ~principal q)) history;
+  Server.drain server
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+let read_opt path = if Sys.file_exists path then read_file path else ""
+
+let count_newlines s =
+  String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 0 s
+
+let rm f = try Sys.remove f with Sys_error _ -> ()
+
+let cleanup_family base =
+  for shard = 0 to 3 do
+    let b = Printf.sprintf "%s.shard%d" base shard in
+    rm b;
+    rm (b ^ ".ckpt");
+    rm (b ^ ".ckpt.tmp");
+    for i = 1 to 16 do
+      rm (Printf.sprintf "%s.%d" b i)
+    done
+  done;
+  rm base
+
+let with_bases f =
+  let jbase = Filename.temp_file "disclosure-rep-primary" ".journal" in
+  let mbase = Filename.temp_file "disclosure-rep-mirror" ".journal" in
+  rm jbase;
+  rm mbase;
+  Fun.protect
+    ~finally:(fun () ->
+      cleanup_family jbase;
+      cleanup_family mbase)
+    (fun () -> f jbase mbase)
+
+let with_sock f =
+  let path = Filename.temp_file "disclosure-rep" ".sock" in
+  Fun.protect ~finally:(fun () -> rm path) (fun () -> f (Net.Addr.Unix_socket path))
+
+(* Drive the follower to convergence through an in-process pull loop
+   (no socket): ask from the follower's own cursor, apply, stop once the
+   source answers an empty batch with [behind = 0]. *)
+let catch_up source fol ~shards =
+  for shard = 0 to shards - 1 do
+    let rounds = ref 0 in
+    let continue = ref true in
+    while !continue do
+      incr rounds;
+      if !rounds > 10_000 then Alcotest.failf "shard %d: replication does not converge" shard;
+      let seg, off = Follower.cursor fol ~shard in
+      let resp = Source.serve_pull source ~shard ~seg ~off ~max_bytes:0 in
+      (match Follower.apply_batch fol ~shard resp with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "shard %d apply: %s" shard e);
+      match resp with
+      | Net.Codec.Batch { behind = 0; data = ""; _ } -> continue := false
+      | _ -> ()
+    done
+  done
+
+(* Same loop over the wire, through [Net.Client.pull]. *)
+let catch_up_wire client fol ~shards =
+  for shard = 0 to shards - 1 do
+    let rounds = ref 0 in
+    let continue = ref true in
+    while !continue do
+      incr rounds;
+      if !rounds > 10_000 then Alcotest.failf "shard %d: wire replication does not converge" shard;
+      let seg, off = Follower.cursor fol ~shard in
+      match Net.Client.pull client ~shard ~seg ~off ~max_bytes:0 with
+      | Error e -> Alcotest.failf "shard %d pull: %s" shard (Net.Errors.to_string e)
+      | Ok resp -> (
+        (match Follower.apply_batch fol ~shard resp with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "shard %d apply: %s" shard e);
+        match resp with
+        | Net.Codec.Batch { behind = 0; data = ""; _ } -> continue := false
+        | _ -> ())
+    done
+  done
+
+let family_files base shard =
+  let b = Printf.sprintf "%s.shard%d" base shard in
+  (b, b ^ ".ckpt", List.init 16 (fun i -> Printf.sprintf "%s.%d" b (i + 1)))
+
+let check_family_equal ~what jbase mbase ~shards =
+  for shard = 0 to shards - 1 do
+    let pa, pc, pr = family_files jbase shard in
+    let ma, mc, mr = family_files mbase shard in
+    if read_opt pa <> read_opt ma then
+      Alcotest.failf "%s: shard %d active segment differs from primary" what shard;
+    if read_opt pc <> read_opt mc then
+      Alcotest.failf "%s: shard %d checkpoint differs from primary" what shard;
+    List.iter2
+      (fun p m ->
+        if read_opt p <> read_opt m then
+          Alcotest.failf "%s: shard %d sealed segment %s differs" what shard (Filename.basename p))
+      pr mr
+  done
+
+let sorted_snapshot l = List.sort (fun (a, _) (b, _) -> compare a b) l
+
+let follower_snapshot fol ~shards =
+  List.concat_map
+    (fun shard -> Disclosure.Service.snapshot (Follower.service fol ~shard))
+    (List.init shards Fun.id)
+
+let check_states_equal ~what server fol ~shards =
+  let p = sorted_snapshot (Server.snapshot server) in
+  let f = sorted_snapshot (follower_snapshot fol ~shards) in
+  if p <> f then Alcotest.failf "%s: follower state differs from primary" what
+
+(* --- codec: pull/batch/snapshot round trips --------------------------- *)
+
+let test_codec_roundtrip () =
+  let raw = String.init 256 Char.chr in
+  (match Net.Codec.hex_decode (Net.Codec.hex_encode raw) with
+  | Ok s -> Alcotest.(check string) "hex round trip" raw s
+  | Error e -> Alcotest.failf "hex: %s" e);
+  (match Net.Codec.hex_decode "0g" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad hex digit must be rejected");
+  (match Net.Codec.hex_decode "abc" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "odd-length hex must be rejected");
+  let req = Net.Codec.Pull { shard = 3; seg = 7; off = 123456; max_bytes = 65536 } in
+  (match Net.Codec.decode_request (Net.Codec.encode_request req) with
+  | Ok r when r = req -> ()
+  | Ok _ -> Alcotest.fail "pull request round trip changed fields"
+  | Error e -> Alcotest.failf "pull request: %s" (Net.Errors.to_string e));
+  let check_resp what resp =
+    match Net.Codec.decode_response (Net.Codec.encode_response resp) with
+    | Ok r when r = resp -> ()
+    | Ok _ -> Alcotest.failf "%s round trip changed fields" what
+    | Error e -> Alcotest.failf "%s: %s" what e
+  in
+  check_resp "batch"
+    (Net.Codec.Batch { shard = 1; data = "J2 \x00\xffbytes\n"; next_seg = 2; next_off = 0; behind = 42 });
+  check_resp "empty batch" (Net.Codec.Batch { shard = 0; data = ""; next_seg = 1; next_off = 0; behind = 0 });
+  check_resp "snapshot" (Net.Codec.Snapshot { shard = 1; data = "ckpt\tbytes\n"; next_seg = 5; next_off = 0 })
+
+(* --- steady state: bit-identical mirror, equal replayed state ---------- *)
+
+let test_steady_state () =
+  with_bases (fun jbase mbase ->
+      let shards = 2 in
+      let server = make_primary ~journal:jbase ~shards () in
+      Server.start server;
+      run_history server;
+      let source = Source.create ~server ~journal:jbase in
+      let fol = make_follower ~journal:mbase ~shards () in
+      catch_up source fol ~shards;
+      check_family_equal ~what:"steady state" jbase mbase ~shards;
+      check_states_equal ~what:"steady state" server fol ~shards;
+      Alcotest.(check bool) "source sees follower caught up" true (Source.caught_up source);
+      Alcotest.(check int) "lag is zero" 0 (Follower.lag fol);
+      Alcotest.(check int) "every record replayed" n_records (Follower.applied fol);
+      Alcotest.(check bool) "no divergence" true (Follower.last_error fol = None);
+      (* Incremental: more primary traffic, second catch-up stays identical. *)
+      run_history server;
+      catch_up source fol ~shards;
+      check_family_equal ~what:"incremental" jbase mbase ~shards;
+      check_states_equal ~what:"incremental" server fol ~shards;
+      Server.stop server)
+
+(* --- poll_once: one pass catches up completely from bootstrap ---------- *)
+
+let test_poll_once_catches_up () =
+  with_bases (fun jbase mbase ->
+      with_sock (fun addr ->
+          let shards = 2 in
+          let server = make_primary ~journal:jbase ~shards () in
+          Server.start server;
+          run_history server;
+          let source = Source.create ~server ~journal:jbase in
+          let listener =
+            Net.Listener.create ~extend:(Source.handler source) ~server addr
+          in
+          let fol = make_follower ~journal:mbase ~shards () in
+          let client = Net.Client.connect addr in
+          (* The documented contract: against a quiescent primary, a SINGLE
+             pass bootstraps AND pulls the whole tail — a bootstrap snapshot
+             must not end the pass early. *)
+          let shipped = Follower.poll_once fol client in
+          Alcotest.(check bool) "one pass ships bytes" true (shipped > 0);
+          Alcotest.(check int) "one pass replays everything" n_records (Follower.applied fol);
+          check_family_equal ~what:"poll_once" jbase mbase ~shards;
+          check_states_equal ~what:"poll_once" server fol ~shards;
+          Alcotest.(check bool) "source sees follower caught up" true (Source.caught_up source);
+          Net.Client.close client;
+          Net.Listener.stop listener;
+          Server.stop server))
+
+(* --- failover: kill the primary at EVERY record boundary --------------- *)
+
+let test_failover_every_record_boundary () =
+  with_bases (fun jbase mbase ->
+      let shards = 1 in
+      let server = make_primary ~journal:jbase ~shards () in
+      Server.start server;
+      (* states.(i) = primary snapshot after the first [i] records. *)
+      let states = Array.make (n_records + 1) (sorted_snapshot (Server.snapshot server)) in
+      List.iteri
+        (fun i (principal, q) ->
+          ignore (Server.submit_sync server ~principal q);
+          Server.drain server;
+          states.(i + 1) <- sorted_snapshot (Server.snapshot server))
+        history;
+      Server.stop server;
+      let whole = read_file (jbase ^ ".shard0") in
+      Alcotest.(check int) "every record committed" n_records (count_newlines whole);
+      (* Every record-boundary prefix: the stream a follower holds when the
+         primary dies right after shipping record [k]. Promotion must yield
+         exactly states.(k). *)
+      for cut = 0 to String.length whole do
+        if cut = 0 || whole.[cut - 1] = '\n' then begin
+          let prefix = String.sub whole 0 cut in
+          let k = count_newlines prefix in
+          cleanup_family mbase;
+          let fol = make_follower ~journal:mbase ~shards () in
+          (match
+             Follower.apply_batch fol ~shard:0
+               (Net.Codec.Snapshot { shard = 0; data = ""; next_seg = 1; next_off = 0 })
+           with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "cut %d: bootstrap: %s" cut e);
+          (match
+             Follower.apply_batch fol ~shard:0
+               (Net.Codec.Batch
+                  { shard = 0; data = prefix; next_seg = 1; next_off = cut; behind = 0 })
+           with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "cut %d: apply: %s" cut e);
+          if read_opt (mbase ^ ".shard0") <> prefix then
+            Alcotest.failf "cut %d: mirror is not the exact shipped prefix" cut;
+          match Follower.promote fol ~config:(config ~shards) () with
+          | Error e -> Alcotest.failf "cut %d: promote: %s" cut e
+          | Ok (promoted, applied) ->
+            if applied <> k then
+              Alcotest.failf "cut %d: promoted server replayed %d records, expected %d" cut
+                applied k;
+            if sorted_snapshot (Server.snapshot promoted) <> states.(k) then
+              Alcotest.failf "cut %d: promoted state diverges from the primary's prefix state"
+                cut;
+            Server.stop promoted
+        end
+      done)
+
+(* --- follower crash: torn mirror tail at every byte offset ------------- *)
+
+let test_follower_resume_torn_mirror () =
+  with_bases (fun jbase mbase ->
+      let shards = 1 in
+      let server = make_primary ~journal:jbase ~shards () in
+      Server.start server;
+      run_history server;
+      let source = Source.create ~server ~journal:jbase in
+      let whole = read_file (jbase ^ ".shard0") in
+      (* A follower killed mid-append leaves a torn mirror tail. Re-creating
+         it must drop the torn record, resume from the committed boundary,
+         and re-converge to byte equality. *)
+      List.iter
+        (fun cut ->
+          cleanup_family mbase;
+          Out_channel.with_open_bin (mbase ^ ".shard0") (fun oc ->
+              Out_channel.output_string oc (String.sub whole 0 cut));
+          let fol = make_follower ~journal:mbase ~shards () in
+          let _seg, off = Follower.cursor fol ~shard:0 in
+          let committed =
+            let last_nl = ref 0 in
+            String.iteri (fun i c -> if c = '\n' && i < cut then last_nl := i + 1) whole;
+            !last_nl
+          in
+          if off <> committed then
+            Alcotest.failf "cut %d: resume cursor %d, expected committed boundary %d" cut off
+              committed;
+          catch_up source fol ~shards;
+          if read_opt (mbase ^ ".shard0") <> whole then
+            Alcotest.failf "cut %d: re-converged mirror is not byte-identical" cut;
+          check_states_equal ~what:(Printf.sprintf "torn mirror cut %d" cut) server fol ~shards)
+        (List.init (String.length whole + 1) Fun.id);
+      Server.stop server)
+
+(* --- tamper: torn and flipped replication batches fail closed ---------- *)
+
+let test_tamper_every_offset () =
+  with_bases (fun jbase mbase ->
+      let shards = 1 in
+      let server = make_primary ~journal:jbase ~shards () in
+      Server.start server;
+      run_history server;
+      let whole = read_file (jbase ^ ".shard0") in
+      Server.stop server;
+      let fol = make_follower ~journal:mbase ~shards () in
+      (match
+         Follower.apply_batch fol ~shard:0
+           (Net.Codec.Snapshot { shard = 0; data = ""; next_seg = 1; next_off = 0 })
+       with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "bootstrap: %s" e);
+      let apply data =
+        Follower.apply_batch fol ~shard:0
+          (Net.Codec.Batch
+             { shard = 0; data; next_seg = 1; next_off = String.length data; behind = 0 })
+      in
+      let check_rejected what data =
+        (match apply data with
+        | Error _ -> ()
+        | Ok () -> Alcotest.failf "%s: tampered batch must be rejected" what);
+        if read_opt (mbase ^ ".shard0") <> "" then
+          Alcotest.failf "%s: rejected batch reached the mirror" what;
+        if Follower.cursor fol ~shard:0 <> (1, 0) then
+          Alcotest.failf "%s: rejected batch moved the cursor" what
+      in
+      (* Torn at every non-boundary offset: a batch must end at a record
+         boundary, so a mid-record cut is a corrupt sender. *)
+      for cut = 1 to String.length whole - 1 do
+        if whole.[cut - 1] <> '\n' then
+          check_rejected (Printf.sprintf "torn at %d" cut) (String.sub whole 0 cut)
+      done;
+      (* Every byte flipped, three patterns: CRC or framing must catch it. *)
+      List.iter
+        (fun pattern ->
+          for i = 0 to String.length whole - 1 do
+            let flipped = Bytes.of_string whole in
+            Bytes.set flipped i (Char.chr (Char.code whole.[i] lxor pattern));
+            check_rejected
+              (Printf.sprintf "flip 0x%02x at %d" pattern i)
+              (Bytes.to_string flipped)
+          done)
+        [ 0x01; 0x80; 0xff ];
+      (* Wrong shard id fails closed too. *)
+      (match
+         Follower.apply_batch fol ~shard:0
+           (Net.Codec.Batch { shard = 1; data = whole; next_seg = 1; next_off = String.length whole; behind = 0 })
+       with
+      | Error _ -> ()
+      | Ok () -> Alcotest.fail "wrong-shard batch must be rejected");
+      (* Direct rejections are not divergence: the pristine stream still
+         applies and yields the exact final state. *)
+      (match apply whole with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "pristine batch after tampering: %s" e);
+      Alcotest.(check int) "all records replayed" n_records (Follower.applied fol);
+      if read_opt (mbase ^ ".shard0") <> whole then
+        Alcotest.fail "mirror is not byte-identical after pristine apply")
+
+(* --- bootstrap and re-bootstrap through checkpoints -------------------- *)
+
+let test_checkpoint_bootstrap () =
+  with_bases (fun jbase mbase ->
+      let shards = 2 in
+      let server = make_primary ~journal:jbase ~shards () in
+      Server.start server;
+      run_history server;
+      (match Server.checkpoint server with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "checkpoint: %s" e);
+      run_history server;
+      let source = Source.create ~server ~journal:jbase in
+      (* A fresh follower's first pull (seg = 0) must bootstrap from the
+         checkpoint, not replay from genesis. *)
+      (match Source.serve_pull source ~shard:0 ~seg:0 ~off:0 ~max_bytes:0 with
+      | Net.Codec.Snapshot { data; _ } ->
+        Alcotest.(check bool) "bootstrap ships checkpoint bytes" true (data <> "")
+      | _ -> Alcotest.fail "seg 0 pull must answer Snapshot");
+      let fol = make_follower ~journal:mbase ~shards () in
+      catch_up source fol ~shards;
+      check_family_equal ~what:"bootstrap" jbase mbase ~shards;
+      check_states_equal ~what:"bootstrap" server fol ~shards;
+      (* More traffic, then a compacting checkpoint strands the follower's
+         cursor in a segment the primary no longer has: the source must
+         answer Snapshot and the follower must re-bootstrap cleanly. *)
+      run_history server;
+      (match Server.checkpoint server with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "second checkpoint: %s" e);
+      catch_up source fol ~shards;
+      check_family_equal ~what:"re-bootstrap" jbase mbase ~shards;
+      check_states_equal ~what:"re-bootstrap" server fol ~shards;
+      Alcotest.(check bool) "no divergence across re-bootstrap" true
+        (Follower.last_error fol = None);
+      (* The re-bootstrapped mirror still promotes to the primary's state. *)
+      (match Follower.promote fol ~config:(config ~shards) () with
+      | Error e -> Alcotest.failf "promote after re-bootstrap: %s" e
+      | Ok (promoted, _) ->
+        if sorted_snapshot (Server.snapshot promoted) <> sorted_snapshot (Server.snapshot server)
+        then Alcotest.fail "promoted state differs after re-bootstrap";
+        Server.stop promoted);
+      Server.stop server)
+
+(* --- online reload: flip, carry-over, reset, invalid no-op ------------- *)
+
+let policy_open_calendar : Policyfile.t =
+  {
+    policy with
+    Policyfile.principals =
+      [
+        ("crm-app", [ ("meetings", [ "V1"; "V2" ]); ("contacts", [ "V3" ]) ]);
+        ("calendar-app", [ ("default", [ "V1"; "V2" ]) ]);
+        (hostile, [ ("default", [ "V2" ]) ]);
+      ];
+  }
+
+let test_reload_semantics () =
+  let shards = 2 in
+  let server = make_primary ~shards () in
+  Server.start server;
+  Fun.protect ~finally:(fun () -> Server.stop server)
+    (fun () ->
+      (* Old policy: calendar-app's V2 cannot answer Q(x, y). *)
+      Alcotest.(check bool) "refused under old policy" true
+        (Server.submit_sync server ~principal:"calendar-app" q_meetings <> Monitor.Answered);
+      (* crm-app accrues state the reload must carry (its partitions are
+         unchanged): answering q_slots kills the contacts partition. *)
+      Alcotest.(check bool) "crm narrows" true
+        (Server.submit_sync server ~principal:"crm-app" q_slots = Monitor.Answered);
+      Server.drain server;
+      let before = List.assoc "crm-app" (Server.snapshot server) in
+      (* Invalid configuration: validation fails, nothing swaps. *)
+      let bad =
+        { policy with Policyfile.principals = [ ("crm-app", [ ("p", [ "V9" ]) ]) ] }
+      in
+      (match Server.reload server bad with
+      | Error _ -> ()
+      | Ok () -> Alcotest.fail "unknown view must fail validation");
+      Alcotest.(check bool) "still refused after rejected reload" true
+        (Server.submit_sync server ~principal:"calendar-app" q_meetings <> Monitor.Answered);
+      (* Valid reload: calendar-app flips to answered; crm-app's charge
+         survives (unchanged partitions carry their monitor state). *)
+      (match Server.reload server policy_open_calendar with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "reload: %s" e);
+      Alcotest.(check bool) "answered under new policy" true
+        (Server.submit_sync server ~principal:"calendar-app" q_meetings = Monitor.Answered);
+      Server.drain server;
+      let after = List.assoc "crm-app" (Server.snapshot server) in
+      Alcotest.(check bool) "unchanged partitions carry state" true (before = after);
+      Alcotest.(check bool) "carried kill still refuses contacts" true
+        (Server.submit_sync server ~principal:"crm-app" q_contacts <> Monitor.Answered);
+      (* Changing a principal's partitions resets it: contacts comes back. *)
+      let reshaped =
+        {
+          policy with
+          Policyfile.principals =
+            [
+              ("crm-app", [ ("all", [ "V1"; "V2"; "V3" ]) ]);
+              ("calendar-app", [ ("default", [ "V1"; "V2" ]) ]);
+              (hostile, [ ("default", [ "V2" ]) ]);
+            ];
+        }
+      in
+      (match Server.reload server reshaped with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "reshape reload: %s" e);
+      Alcotest.(check bool) "reshaped principal starts fresh" true
+        (Server.submit_sync server ~principal:"crm-app" q_contacts = Monitor.Answered))
+
+let test_reload_recovery_equivalence () =
+  with_bases (fun jbase _ ->
+      let shards = 2 in
+      let server = make_primary ~journal:jbase ~shards () in
+      Server.start server;
+      ignore (Server.submit_sync server ~principal:"crm-app" q_slots);
+      ignore (Server.submit_sync server ~principal:(hostile) q_slots);
+      (match Server.reload server policy_open_calendar with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "reload: %s" e);
+      ignore (Server.submit_sync server ~principal:"calendar-app" q_meetings);
+      ignore (Server.submit_sync server ~principal:"crm-app" q_contacts);
+      Server.drain server;
+      let live = sorted_snapshot (Server.snapshot server) in
+      Server.stop server;
+      (* Recovery under the NEW registration set must reproduce the live
+         state: the reload checkpointed post-swap, so replay never pushes
+         old-policy records through the new configuration. *)
+      let fresh = Server.create ~config:(config ~shards) (Pipeline.create [ v1; v2; v3 ]) in
+      (match Policyfile.resolve policy_open_calendar with
+      | Ok resolved ->
+        List.iter
+          (fun (principal, partitions) -> Server.register fresh ~principal ~partitions)
+          resolved
+      | Error e -> Alcotest.failf "resolve: %s" e);
+      match Server.recover fresh ~journal:jbase with
+      | Error e ->
+        Alcotest.failf "recovery after reload: %s" (Disclosure.Service.recovery_error_to_string e)
+      | Ok _ ->
+        if sorted_snapshot (Server.snapshot fresh) <> live then
+          Alcotest.fail "recovered state differs from live post-reload state")
+
+(* --- reload over the wire: zero dropped connections, monotone flip ----- *)
+
+let test_reload_zero_drop () =
+  with_sock (fun addr ->
+      let shards = 2 in
+      let server = make_primary ~shards () in
+      Server.start server;
+      let listener = Net.Listener.create ~server addr in
+      let client = Net.Client.connect addr in
+      (* No replication source attached: Pull must be a typed refusal, not
+         a dropped connection. *)
+      (match Net.Client.pull client ~shard:0 ~seg:1 ~off:0 ~max_bytes:0 with
+      | Error { Net.Errors.kind = Net.Errors.Bad_request; _ } -> ()
+      | Error e -> Alcotest.failf "pull without source: %s" (Net.Errors.to_string e)
+      | Ok _ -> Alcotest.fail "pull without source must be refused");
+      let n_queries = 200 in
+      let failure = Atomic.make None in
+      let streamer =
+        Domain.spawn (fun () ->
+            let c = Net.Client.connect addr in
+            let decisions =
+              List.init n_queries (fun _ ->
+                  match Net.Client.query c ~principal:"calendar-app" q_meetings with
+                  | Ok d -> Some d
+                  | Error e ->
+                    Atomic.set failure (Some (Net.Errors.to_string e));
+                    None)
+            in
+            Net.Client.close c;
+            decisions)
+      in
+      (* Swap policies mid-stream. *)
+      Unix.sleepf 0.005;
+      (match Server.reload server policy_open_calendar with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "reload: %s" e);
+      let decisions = Domain.join streamer in
+      (match Atomic.get failure with
+      | None -> ()
+      | Some e -> Alcotest.failf "connection saw a wire error during reload: %s" e);
+      Alcotest.(check int) "zero dropped queries" n_queries (List.length decisions);
+      (* Exactly one policy version per query: the decision stream flips
+         refused -> answered at most once, never back. *)
+      let flipped_back = ref false and seen_answer = ref false in
+      List.iter
+        (fun d ->
+          match d with
+          | Some Monitor.Answered -> seen_answer := true
+          | Some (Monitor.Refused _) -> if !seen_answer then flipped_back := true
+          | None -> ())
+        decisions;
+      Alcotest.(check bool) "decisions are monotone across the swap" false !flipped_back;
+      (* The reload completed before the stream ended or right after: the
+         next query is decided by the new policy. *)
+      Alcotest.(check bool) "post-reload query answered" true
+        (match Net.Client.query client ~principal:"calendar-app" q_meetings with
+        | Ok Monitor.Answered -> true
+        | _ -> false);
+      Net.Client.close client;
+      Net.Listener.stop listener;
+      Server.stop server)
+
+(* --- graceful drain with a follower attached --------------------------- *)
+
+let test_graceful_drain_with_follower () =
+  with_bases (fun jbase mbase ->
+      with_sock (fun addr ->
+          let shards = 2 in
+          let server = make_primary ~journal:jbase ~shards () in
+          Server.start server;
+          let source = Source.create ~server ~journal:jbase in
+          let listener =
+            Net.Listener.create ~extend:(Source.handler source) ~server addr
+          in
+          let client = Net.Client.connect addr in
+          List.iter
+            (fun (principal, q) ->
+              match Net.Client.query client ~principal q with
+              | Ok _ -> ()
+              | Error e -> Alcotest.failf "query: %s" (Net.Errors.to_string e))
+            history;
+          (* Follower connects and pulls a LITTLE, then the operator drains:
+             the shipped stream must still flush to the last committed
+             record before the socket closes. *)
+          let fol = make_follower ~journal:mbase ~shards () in
+          let seg, off = Follower.cursor fol ~shard:0 in
+          (match Net.Client.pull client ~shard:0 ~seg ~off ~max_bytes:1 with
+          | Ok resp -> (
+            match Follower.apply_batch fol ~shard:0 resp with
+            | Ok () -> ()
+            | Error e -> Alcotest.failf "partial apply: %s" e)
+          | Error e -> Alcotest.failf "partial pull: %s" (Net.Errors.to_string e));
+          Alcotest.(check bool) "not yet caught up" false (Source.caught_up source);
+          (* Drain sequence, as `disclosurectl serve` runs it on SIGTERM. *)
+          Net.Listener.quiesce listener;
+          Server.drain server;
+          (* The replication stream still serves until caught up... *)
+          Net.Client.ping client;
+          catch_up_wire client fol ~shards;
+          Alcotest.(check bool) "source flushed to last committed record" true
+            (Source.await_caught_up source ~timeout_s:5.0);
+          (* ...while new queries are refused fail-closed (Shutting_down is
+             a fatal wire error: the server replies, then closes). *)
+          (match Net.Client.query client ~principal:"crm-app" q_slots with
+          | Error { Net.Errors.kind = Net.Errors.Shutting_down; _ } -> ()
+          | Error e -> Alcotest.failf "drain refusal: %s" (Net.Errors.to_string e)
+          | Ok _ -> Alcotest.fail "query during drain must be refused");
+          Net.Client.close client;
+          Net.Listener.stop listener;
+          Server.stop server;
+          check_family_equal ~what:"drain" jbase mbase ~shards;
+          check_states_equal ~what:"drain" server fol ~shards))
+
+(* --- client reconnect backoff ------------------------------------------ *)
+
+let test_connect_retry_backoff () =
+  let missing = Filename.temp_file "disclosure-rep" ".sock" in
+  Sys.remove missing;
+  let addr = Net.Addr.Unix_socket missing in
+  let run ~attempts ~jitter ~rand =
+    let sleeps = ref [] in
+    (try
+       ignore
+         (Net.Client.connect_retry ~attempts ~delay:0.01 ~max_delay:0.04 ~jitter
+            ~sleep:(fun d -> sleeps := d :: !sleeps)
+            ~rand addr);
+       Alcotest.fail "connect to a missing socket must fail"
+     with Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _) -> ());
+    List.rev !sleeps
+  in
+  (* No jitter: the exact truncated exponential schedule, one sleep per
+     retry (attempts - 1 of them), capped at max_delay. *)
+  let delays = run ~attempts:5 ~jitter:0.0 ~rand:Random.float in
+  Alcotest.(check (list (float 1e-9))) "truncated exponential schedule"
+    [ 0.01; 0.02; 0.04; 0.04 ] delays;
+  (* Jitter bounds: rand pegged high scales by (1 + j), pegged low by (1 - j). *)
+  let high = run ~attempts:3 ~jitter:0.5 ~rand:(fun bound -> bound) in
+  Alcotest.(check (list (float 1e-9))) "jitter upper bound" [ 0.015; 0.03 ] high;
+  let low = run ~attempts:3 ~jitter:0.5 ~rand:(fun _ -> 0.0) in
+  Alcotest.(check (list (float 1e-9))) "jitter lower bound" [ 0.005; 0.01 ] low;
+  (* attempts = 1 means a single try: no sleeps at all. *)
+  Alcotest.(check (list (float 1e-9))) "single attempt never sleeps" []
+    (run ~attempts:1 ~jitter:0.0 ~rand:Random.float);
+  (try
+     ignore (Net.Client.connect_retry ~attempts:0 addr);
+     Alcotest.fail "attempts = 0 must be rejected"
+   with Invalid_argument _ -> ())
+
+let test_connect_retry_succeeds_after_refusals () =
+  with_sock (fun addr ->
+      let server = make_primary ~shards:1 () in
+      Server.start server;
+      let listener = ref None in
+      let failures = ref 0 in
+      (* The listener appears only during the second backoff sleep: the
+         client must ride out two failed connects and then succeed. *)
+      let sleep _ =
+        incr failures;
+        if !failures = 2 then listener := Some (Net.Listener.create ~server addr)
+      in
+      let client = Net.Client.connect_retry ~attempts:8 ~delay:0.001 ~jitter:0.0 ~sleep addr in
+      Net.Client.ping client;
+      Net.Client.close client;
+      Alcotest.(check int) "exactly two refused attempts" 2 !failures;
+      (match !listener with Some l -> Net.Listener.stop l | None -> ());
+      Server.stop server)
+
+(* --- watermarks in stats and Prometheus -------------------------------- *)
+
+let test_stats_and_prometheus () =
+  with_bases (fun jbase mbase ->
+      let shards = 2 in
+      let server = make_primary ~journal:jbase ~shards () in
+      Server.start server;
+      run_history server;
+      let source = Source.create ~server ~journal:jbase in
+      let fol = make_follower ~journal:mbase ~shards () in
+      catch_up source fol ~shards;
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+        go 0
+      in
+      let stats = Server.stats_json server in
+      List.iter
+        (fun needle ->
+          if not (contains stats needle) then
+            Alcotest.failf "stats_json is missing %S" needle)
+        [ "\"journal\""; "\"segment\""; "\"offset\"" ];
+      let prom = Server.prometheus server in
+      List.iter
+        (fun needle ->
+          if not (contains prom needle) then Alcotest.failf "prometheus is missing %S" needle)
+        [ "journal_offset"; "journal_segment"; "rep_pulls"; "rep_shipped_bytes" ];
+      (* The committed watermark in stats matches the shard's position. *)
+      (match Server.journal_position server ~shard:0 with
+      | Some (seg, off) ->
+        if not (contains stats (Printf.sprintf "\"segment\": %d" seg))
+           && not (contains stats (Printf.sprintf "\"segment\":%d" seg))
+        then Alcotest.failf "stats_json journal array misses segment %d" seg;
+        ignore off
+      | None -> Alcotest.fail "journaled shard must report a position");
+      let fstats = Follower.stats_json fol in
+      List.iter
+        (fun needle ->
+          if not (contains fstats needle) then
+            Alcotest.failf "follower stats_json is missing %S" needle)
+        [ "\"role\""; "follower"; "\"journal\""; "\"applied\""; "\"lag_bytes\"" ];
+      let fprom = Server.Metrics.to_prometheus (Follower.metrics fol) in
+      List.iter
+        (fun needle ->
+          if not (contains fprom needle) then
+            Alcotest.failf "follower prometheus is missing %S" needle)
+        [ "replication_lag"; "rep_applied_records" ];
+      Server.stop server)
+
+let () =
+  Alcotest.run "disclosure-replicate"
+    [
+      ( "codec",
+        [ Alcotest.test_case "pull/batch/snapshot round trips" `Quick test_codec_roundtrip ] );
+      ( "replication",
+        [
+          Alcotest.test_case "steady state is bit-identical" `Quick test_steady_state;
+          Alcotest.test_case "poll_once catches up in one pass" `Quick test_poll_once_catches_up;
+          Alcotest.test_case "checkpoint bootstrap and re-bootstrap" `Quick
+            test_checkpoint_bootstrap;
+        ] );
+      ( "failover",
+        [
+          Alcotest.test_case "promote at every record boundary" `Slow
+            test_failover_every_record_boundary;
+          Alcotest.test_case "follower resumes over a torn mirror" `Slow
+            test_follower_resume_torn_mirror;
+          Alcotest.test_case "torn and flipped batches fail closed" `Slow
+            test_tamper_every_offset;
+        ] );
+      ( "reload",
+        [
+          Alcotest.test_case "flip, carry-over, reset, invalid no-op" `Quick
+            test_reload_semantics;
+          Alcotest.test_case "reload then recovery equivalence" `Quick
+            test_reload_recovery_equivalence;
+          Alcotest.test_case "zero dropped connections over the wire" `Quick
+            test_reload_zero_drop;
+        ] );
+      ( "drain",
+        [
+          Alcotest.test_case "graceful drain flushes the follower" `Quick
+            test_graceful_drain_with_follower;
+        ] );
+      ( "client",
+        [
+          Alcotest.test_case "reconnect backoff schedule and jitter" `Quick
+            test_connect_retry_backoff;
+          Alcotest.test_case "reconnect succeeds after refusals" `Quick
+            test_connect_retry_succeeds_after_refusals;
+        ] );
+      ( "observability",
+        [ Alcotest.test_case "watermarks in stats and prometheus" `Quick test_stats_and_prometheus ] );
+    ]
