@@ -505,6 +505,16 @@ let serve_cmd =
             "Per-shard mailbox bound; submissions beyond it are shed as \
              'refused (server overloaded)' instead of blocking.")
   in
+  let drain_arg =
+    Arg.(
+      value
+      & opt positive_int Server.default_config.Server.drain
+      & info [ "drain" ] ~docv:"N"
+          ~doc:
+            "Max mailbox messages a shard worker dequeues per wakeup — batching \
+             amortizes the wakeup cost under load without changing processing \
+             order or overload shedding.")
+  in
   let cache_arg =
     Arg.(
       value
@@ -655,9 +665,20 @@ let serve_cmd =
             "With $(b,--follow): promote once the primary has been unreachable for \
              $(docv) seconds; 0 (default) never auto-promotes.")
   in
-  let run () config_file syntax workload_file fuel deadline journal domains mailbox cache
-      checkpoint_every segment_bytes stats trace_out trace_sample slow_ms metrics_out
-      listen max_connections conn_deadline max_frame follow poll_interval failover_after =
+  let follower_id_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "follower-id" ] ~docv:"ID"
+          ~doc:
+            "With $(b,--follow): the name this standby reports to the primary's \
+             per-follower cursor table. The default is pid-qualified and fresh per \
+             process; pass a stable $(docv) so the primary keeps tracking this \
+             standby across its restarts.")
+  in
+  let run () config_file syntax workload_file fuel deadline journal domains mailbox drain
+      cache checkpoint_every segment_bytes stats trace_out trace_sample slow_ms metrics_out
+      listen max_connections conn_deadline max_frame follow poll_interval failover_after
+      follower_id =
     let config =
       match Disclosure.Policyfile.parse_file config_file with
       | Ok c -> c
@@ -671,6 +692,7 @@ let serve_cmd =
         cache_capacity = cache;
         checkpoint_every;
         segment_bytes;
+        drain;
       }
     in
     let lconfig () =
@@ -689,7 +711,10 @@ let serve_cmd =
         | None -> failwith "--follow requires --journal (the local mirror base path)"
       in
       let fol =
-        match Replicate.Follower.create ~limits ~journal:mirror ~shards:domains config with
+        match
+          Replicate.Follower.create ~id:follower_id ~limits ~journal:mirror
+            ~shards:domains config
+        with
         | Ok f -> f
         | Error e -> failwith ("follower: " ^ e)
       in
@@ -880,11 +905,11 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ setup_logs $ config_arg $ syntax_arg $ workload_arg $ fuel_arg
-      $ deadline_arg $ journal_arg $ domains_arg $ mailbox_arg $ cache_arg
+      $ deadline_arg $ journal_arg $ domains_arg $ mailbox_arg $ drain_arg $ cache_arg
       $ checkpoint_every_arg $ segment_bytes_arg $ stats_arg $ trace_out_arg
       $ trace_sample_arg $ slow_ms_arg $ metrics_out_arg $ listen_arg
       $ max_connections_arg $ conn_deadline_arg $ max_frame_arg $ follow_arg
-      $ poll_interval_arg $ failover_after_arg)
+      $ poll_interval_arg $ failover_after_arg $ follower_id_arg)
 
 (* --- query / client (networked) -------------------------------------- *)
 
@@ -1063,7 +1088,15 @@ let replicate_cmd =
             "Catch up completely (every shard to $(i,behind) = 0), print the \
              follower stats JSON, and exit.")
   in
-  let run () connect config_file journal shards poll_interval once =
+  let follower_id_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "follower-id" ] ~docv:"ID"
+          ~doc:
+            "The name this mirror reports to the primary's per-follower cursor \
+             table; the default is pid-qualified and fresh per process.")
+  in
+  let run () connect config_file journal shards poll_interval once follower_id =
     let config =
       match Disclosure.Policyfile.parse_file config_file with
       | Ok c -> c
@@ -1078,7 +1111,7 @@ let replicate_cmd =
             | _ -> failwith "primary stats carry no shard count; pass --shards")
     in
     let fol =
-      match Replicate.Follower.create ~journal ~shards config with
+      match Replicate.Follower.create ~id:follower_id ~journal ~shards config with
       | Ok f -> f
       | Error e -> failwith ("follower: " ^ e)
     in
@@ -1117,7 +1150,7 @@ let replicate_cmd =
   Cmd.v (Cmd.info "replicate" ~doc)
     Term.(
       const run $ setup_logs $ connect_arg $ config_arg $ journal_arg $ shards_arg
-      $ poll_interval_arg $ once_arg)
+      $ poll_interval_arg $ once_arg $ follower_id_arg)
 
 (* --- analyze -------------------------------------------------------- *)
 

@@ -1,0 +1,271 @@
+(* A per-relation decision diagram over pattern codes.
+
+   One walk of length arity classifies a query atom against every view of
+   the relation at once: each node branches on the canonical code at one
+   position, and each leaf is the finished Section-6 view bitmask. The
+   diagram is the subset construction over the per-view matcher programs —
+   a node's state is the vector of live matcher states — hash-consed so
+   shared suffixes collapse; once every view is dead the path short-cuts
+   straight to the ⊤ leaf, which is what keeps failing regions from
+   expanding the node count.
+
+   The edge alphabet is value-free: variable codes key edges directly, and
+   constants are keyed by their class (repeat occurrence) or, on first
+   occurrence, by which of the relation's finitely many *view* constants
+   they equal ([tag_const_new] branched over the dictionary, with one
+   "other" branch for values no view mentions). Two query constants that
+   agree on that dictionary and on their class structure are
+   indistinguishable to every matcher, so the branching is exact.
+
+   Construction is bounded by [max_nodes]; a relation whose diagram would
+   exceed the bound simply stays on the matcher tier (still compiled —
+   this is not the interpreter fallback and is not counted as one). *)
+
+module Value = Relational.Value
+module Tagged = Disclosure.Tagged
+
+type target =
+  | N of int (* interior node id *)
+  | L of int (* leaf: finished view bitmask (0 = no view matches, label ⊤) *)
+
+type t = {
+  arity : int;
+  dict : (Value.t, int) Hashtbl.t; (* view constant value -> dictionary index *)
+  n_dict : int; (* dictionary size; index n_dict = "no view constant equals it" *)
+  root : target;
+  edges : (int, target) Hashtbl.t array; (* per interior node *)
+  nodes : int;
+}
+
+exception Too_big
+
+(* --- build-time matcher states ----------------------------------------- *)
+
+(* Mirrors Matcher.run's scratch, but persistent: theta holds symbol codes,
+   pair holds query existential classes, cover holds Matcher's cover codes
+   per query existential class. Plain arrays inside tuples so the
+   hash-consing table can use structural equality directly. *)
+type vstate = int array * int array * int array (* theta, pair, cover *)
+
+type symbol = {
+  key : int; (* edge key *)
+  code : int; (* canonical Pattern code this symbol stands for *)
+  stag : int; (* Pattern tag of [code] *)
+  scls : int; (* Pattern class of [code] *)
+  m : int; (* dictionary index; only meaningful for constant symbols *)
+}
+
+let set_cover cover x c =
+  let cur = cover.(x) in
+  if cur = Matcher.cover_unset then begin
+    cover.(x) <- c;
+    true
+  end
+  else cur = c
+
+(* Advance one view's state over [sym] at position [i]; [dict_m] gives the
+   dictionary index of the view's own constant at constant positions. *)
+let step (prog : Matcher.t) (dict_m : int array) i sym ((theta, pair, cover) : vstate) =
+  let clone () = (Array.copy theta, Array.copy pair, Array.copy cover) in
+  match prog.Matcher.ops.(i) with
+  | Matcher.Const_eq _ ->
+    if sym.stag = Pattern.tag_const && sym.m = dict_m.(i) then Some (clone ()) else None
+  | Matcher.Dist_bind s ->
+    let ((theta', _, cover') as st) = clone () in
+    theta'.(s) <- sym.code;
+    if sym.stag = Pattern.tag_exist && not (set_cover cover' sym.scls Matcher.cover_by_dist)
+    then None
+    else Some st
+  | Matcher.Dist_check s ->
+    if theta.(s) <> sym.code then None
+    else
+      let ((_, _, cover') as st) = clone () in
+      if sym.stag = Pattern.tag_exist && not (set_cover cover' sym.scls Matcher.cover_by_dist)
+      then None
+      else Some st
+  | Matcher.Exist_bind s ->
+    if sym.stag <> Pattern.tag_exist then None
+    else
+      let ((_, pair', cover') as st) = clone () in
+      pair'.(s) <- sym.scls;
+      if set_cover cover' sym.scls s then Some st else None
+  | Matcher.Exist_check s ->
+    if sym.stag <> Pattern.tag_exist || pair.(s) <> sym.scls then None
+    else
+      let ((_, _, cover') as st) = clone () in
+      if set_cover cover' sym.scls s then Some st else None
+
+(* --- construction ------------------------------------------------------ *)
+
+(* Node identity for hash-consing: position, the class counters (they fix
+   which edge symbols are well-formed), first-occurrence constant
+   dictionary branches, and the live matcher states. Structural equality
+   is exact on this shape. *)
+type bstate = int * int * int * int list * vstate option array
+
+let build ?(max_nodes = 4096) ~(views : (Matcher.t * int) array) ~arity () =
+  let dict = Hashtbl.create 8 in
+  Array.iter
+    (fun ((prog : Matcher.t), _) ->
+      Array.iter
+        (function
+          | Matcher.Const_eq v ->
+            if not (Hashtbl.mem dict v) then Hashtbl.add dict v (Hashtbl.length dict)
+          | _ -> ())
+        prog.Matcher.ops)
+    views;
+  let n_dict = Hashtbl.length dict in
+  let dict_ms =
+    Array.map
+      (fun ((prog : Matcher.t), _) ->
+        Array.map
+          (function Matcher.Const_eq v -> Hashtbl.find dict v | _ -> -1)
+          prog.Matcher.ops)
+      views
+  in
+  let fresh_vstate (prog : Matcher.t) : vstate =
+    ( Array.make (max prog.Matcher.n_dist 1) (-1),
+      Array.make (max prog.Matcher.n_exist 1) (-1),
+      Array.make (max arity 1) Matcher.cover_unset )
+  in
+  let mask_of (states : vstate option array) =
+    let mask = ref 0 in
+    Array.iteri
+      (fun vi -> function
+        | Some _ -> mask := !mask lor (1 lsl snd views.(vi))
+        | None -> ())
+      states;
+    !mask
+  in
+  let interned : (bstate, int) Hashtbl.t = Hashtbl.create 64 in
+  let edges_rev = ref [] in
+  let n_nodes = ref 0 in
+  let worklist = Queue.create () in
+  (* Returns the target for [st]; interior states are interned, finished or
+     all-dead states collapse to leaves. *)
+  let target_of ((depth, _, _, _, states) as st : bstate) =
+    if depth = arity then L (mask_of states)
+    else if Array.for_all Option.is_none states then L 0
+    else
+      match Hashtbl.find_opt interned st with
+      | Some id -> N id
+      | None ->
+        let id = !n_nodes in
+        incr n_nodes;
+        if !n_nodes > max_nodes then raise Too_big;
+        let tbl = Hashtbl.create 16 in
+        edges_rev := tbl :: !edges_rev;
+        Hashtbl.add interned st id;
+        Queue.push (st, tbl) worklist;
+        N id
+  in
+  let symbols dcount ecount cconsts =
+    let syms = ref [] in
+    let var tag count =
+      for j = 0 to count do
+        let code = Pattern.code ~tag ~cls:j in
+        syms := { key = code; code; stag = tag; scls = j; m = -1 } :: !syms
+      done
+    in
+    var Pattern.tag_dist dcount;
+    var Pattern.tag_exist ecount;
+    (* Repeat occurrences of already-seen constant classes. *)
+    List.iteri
+      (fun k m ->
+        let code = Pattern.code ~tag:Pattern.tag_const ~cls:k in
+        syms := { key = code; code; stag = Pattern.tag_const; scls = k; m } :: !syms)
+      cconsts;
+    (* A first-occurrence constant, branched by the view-constant it
+       equals; branch [n_dict] is "equal to none of them". *)
+    let k_new = List.length cconsts in
+    for m = 0 to n_dict do
+      let code = Pattern.code ~tag:Pattern.tag_const ~cls:k_new in
+      syms :=
+        { key = Pattern.code ~tag:Pattern.tag_const_new ~cls:m;
+          code;
+          stag = Pattern.tag_const;
+          scls = k_new;
+          m }
+        :: !syms
+    done;
+    !syms
+  in
+  match
+    let root_states = Array.map (fun (prog, _) -> Some (fresh_vstate prog)) views in
+    let root = target_of (0, 0, 0, [], root_states) in
+    while not (Queue.is_empty worklist) do
+      let (depth, dcount, ecount, cconsts, states), tbl = Queue.pop worklist in
+      List.iter
+        (fun sym ->
+          let states' =
+            Array.mapi
+              (fun vi -> function
+                | None -> None
+                | Some st -> step (fst views.(vi)) dict_ms.(vi) depth sym st)
+              states
+          in
+          let dcount' =
+            if sym.stag = Pattern.tag_dist && sym.scls = dcount then dcount + 1 else dcount
+          in
+          let ecount' =
+            if sym.stag = Pattern.tag_exist && sym.scls = ecount then ecount + 1
+            else ecount
+          in
+          let cconsts' =
+            if sym.stag = Pattern.tag_const && sym.scls = List.length cconsts then
+              cconsts @ [ sym.m ]
+            else cconsts
+          in
+          Hashtbl.replace tbl sym.key
+            (target_of (depth + 1, dcount', ecount', cconsts', states')))
+        (symbols dcount ecount cconsts)
+    done;
+    root
+  with
+  | root ->
+    Some
+      {
+        arity;
+        dict;
+        n_dict;
+        root;
+        edges = Array.of_list (List.rev !edges_rev);
+        nodes = !n_nodes;
+      }
+  | exception Too_big -> None
+
+let node_count t = t.nodes
+
+(* --- evaluation -------------------------------------------------------- *)
+
+(* Walk the diagram over a pattern's codes. [None] means a missing edge —
+   impossible for patterns produced by Pattern.encode (the construction
+   enumerates every well-formed code), kept as a defensive escape so a
+   logic error degrades to the counted interpreter fallback, never to a
+   wrong mask. *)
+let eval t (p : Pattern.t) =
+  if Pattern.arity p <> t.arity then Some 0
+  else begin
+    let consts_seen = ref 0 in
+    let rec walk target i =
+      match target with
+      | L mask -> Some mask
+      | N id ->
+        if i >= t.arity then None
+        else
+          let c = p.Pattern.codes.(i) in
+          let key =
+            if Pattern.tag c = Pattern.tag_const && Pattern.cls c = !consts_seen then begin
+              incr consts_seen;
+              let v = p.Pattern.consts.(Pattern.cls c) in
+              let m = Option.value ~default:t.n_dict (Hashtbl.find_opt t.dict v) in
+              Pattern.code ~tag:Pattern.tag_const_new ~cls:m
+            end
+            else c
+          in
+          (match Hashtbl.find_opt t.edges.(id) key with
+          | Some tgt -> walk tgt (i + 1)
+          | None -> None)
+    in
+    walk t.root 0
+  end

@@ -1,0 +1,22 @@
+(** Per-relation decision diagrams over pattern codes.
+
+    One walk of length arity classifies a query atom against every view of
+    a relation at once: nodes branch on the canonical code at one position
+    (constants additionally branch, on first occurrence, by which view
+    constant they equal), leaves hold the finished Section-6 view bitmask.
+    Built by subset construction over the per-view {!Matcher} programs with
+    hash-consed states; [build] returns [None] when the construction would
+    exceed [max_nodes], in which case the relation stays on the matcher
+    tier. [eval] returns [None] only on a missing edge — a defensive
+    escape to the counted interpreter fallback, unreachable for patterns
+    from {!Pattern.encode}. *)
+
+type t
+
+val build :
+  ?max_nodes:int -> views:(Matcher.t * int) array -> arity:int -> unit -> t option
+(** [views] pairs each view's matcher program with its registry bit. *)
+
+val node_count : t -> int
+
+val eval : t -> Pattern.t -> int option

@@ -1,0 +1,116 @@
+(* Canonical position-code encoding of a tagged atom.
+
+   The single-atom rewriting check (Rewrite_single.check) looks at a query
+   atom only through (a) the equivalence classes its terms induce over the
+   atom's positions — two positions carry rw-equal terms iff they hold the
+   same variable, or constants that are value-equal — (b) the kind
+   (distinguished / existential / constant) of each class, and (c) the
+   values of its constants, compared against the view's constants. Nothing
+   else: variable *names* never reach the check. So an atom can be encoded
+   as one int code per position — kind tag plus a class id numbered by
+   first occurrence — plus a side table of constant values, and two atoms
+   with equal encodings are indistinguishable to every view. That encoding
+   is the compiled fragment's alphabet: matcher programs and decision
+   diagrams run over codes, and the per-atom label memo keys on them. *)
+
+module Value = Relational.Value
+module Tagged = Disclosure.Tagged
+
+(* Tag in the low 2 bits, class id above. Class ids are dense and numbered
+   in order of first occurrence per kind, so the encoding is invariant
+   under variable renaming (exactly like Tagged.canonicalize, but
+   kind-separated and integer-coded). *)
+let tag_const = 0
+
+let tag_dist = 1
+
+let tag_exist = 2
+
+(* One extra tag used only as a decision-diagram edge key: a constant
+   class seen for the first time, branched by which view constant (if
+   any) it equals. Never appears in [codes]. *)
+let tag_const_new = 3
+
+let code ~tag ~cls = (cls lsl 2) lor tag
+
+let tag c = c land 3
+
+let cls c = c lsr 2
+
+(* Positions beyond this arity do not get compiled: the fallback to the
+   interpreted labeler (counted, never silent) covers them. The bound is
+   far above every schema in the tree (the widest Facebook relation,
+   User, has 34 columns); it exists so the compiled fragment has an
+   honest, testable boundary. *)
+let max_arity = 64
+
+type t = {
+  pred : string;
+  codes : int array;
+  consts : Value.t array; (* constant class id -> value, first-occurrence order *)
+}
+
+exception Outside_fragment
+
+let encode_exn (a : Tagged.atom) =
+  let args = Array.of_list a.Tagged.args in
+  let arity = Array.length args in
+  if arity > max_arity then raise Outside_fragment;
+  let codes = Array.make arity 0 in
+  let dist : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let exist : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let consts = ref [] in
+  let n_consts = ref 0 in
+  let const_cls v =
+    (* Linear scan over the atom's few distinct constants: cheaper than a
+       hashtable at these sizes and exact under Value.equal. *)
+    let rec find i = function
+      | [] ->
+        consts := !consts @ [ v ];
+        incr n_consts;
+        !n_consts - 1
+      | u :: rest -> if Value.equal u v then i else find (i + 1) rest
+    in
+    find 0 !consts
+  in
+  let var_cls table x =
+    match Hashtbl.find_opt table x with
+    | Some c -> c
+    | None ->
+      let c = Hashtbl.length table in
+      Hashtbl.add table x c;
+      c
+  in
+  Array.iteri
+    (fun i t ->
+      codes.(i) <-
+        (match (t : Tagged.term) with
+        | Tagged.Const v -> code ~tag:tag_const ~cls:(const_cls v)
+        | Tagged.Var (x, Tagged.Distinguished) -> code ~tag:tag_dist ~cls:(var_cls dist x)
+        | Tagged.Var (x, Tagged.Existential) -> code ~tag:tag_exist ~cls:(var_cls exist x)))
+    args;
+  { pred = a.Tagged.pred; codes; consts = Array.of_list !consts }
+
+let encode a = match encode_exn a with p -> Some p | exception Outside_fragment -> None
+
+let arity t = Array.length t.codes
+
+(* Structural memo key: codes plus constant values (pred is implicit — the
+   memo tables are per relation group). Polymorphic hash/equality are exact
+   here: int arrays and Value.t are flat structural data. *)
+let memo_key t = (t.codes, t.consts)
+
+let pp ppf t =
+  let pp_code ppf c =
+    let k = cls c in
+    match tag c with
+    | x when x = tag_const -> Format.fprintf ppf "c%d=%a" k Value.pp t.consts.(k)
+    | x when x = tag_dist -> Format.fprintf ppf "d%d" k
+    | x when x = tag_exist -> Format.fprintf ppf "e%d" k
+    | _ -> Format.fprintf ppf "?%d" k
+  in
+  Format.fprintf ppf "%s(%a)" t.pred
+    (Format.pp_print_seq
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       pp_code)
+    (Array.to_seq t.codes)

@@ -373,7 +373,7 @@ let checkpoint t =
 
 (* --- guarded submission ----------------------------------------------- *)
 
-let guarded_label t q =
+let guarded_label_with labeler t q =
   let width = ref (-1) in
   observed t `Label
     ~detail:(fun () ->
@@ -384,14 +384,17 @@ let guarded_label t q =
           (match Guard.admit_query t.limits q with
           | Ok () -> ()
           | Error r -> raise (Guard.Refuse r));
-          let label = Pipeline.label ~budget t.pipeline q in
+          let label = labeler ~budget q in
           (match Guard.admit_label t.limits label with
           | Ok () -> ()
           | Error r -> raise (Guard.Refuse r));
           width := List.length (Label.atoms label);
           label))
 
-let label_query t q = guarded_label t q
+let label_query t q =
+  guarded_label_with (fun ~budget q -> Pipeline.label ~budget t.pipeline q) t q
+
+let label_query_with t ~labeler q = guarded_label_with labeler t q
 
 (* Decide, journal, then commit — in that order. A refusal for any non-policy
    reason leaves the monitor bit-identical (not even a counter moves); a
@@ -464,7 +467,7 @@ let refuse t ~principal ?label reason =
 let submit t ~principal q =
   let m = monitor_of t principal in
   let decision =
-    match guarded_label t q with
+    match label_query t q with
     | Error reason ->
       ignore (journal_append t ~principal ~label:"-" ~decision:(refused_line reason));
       Monitor.Refused reason

@@ -113,6 +113,18 @@ val label_query : t -> Cq.Query.t -> (Label.t, Guard.refusal_reason) result
     {!submit_label} on success or {!refuse} on error; the serving layer uses
     this split to insert a label cache between the two halves. *)
 
+val label_query_with :
+  t ->
+  labeler:(budget:Cq.Budget.t -> Cq.Query.t -> Label.t) ->
+  Cq.Query.t ->
+  (Label.t, Guard.refusal_reason) result
+(** {!label_query} with the labeling step delegated to [labeler], which runs
+    under the same admission checks, guard budget, fault points, and timing
+    observation as {!Pipeline.label} would. The serving layer passes the
+    AOT-compiled labeler here; the contract is that [labeler] must be
+    bit-identical to [Pipeline.label] on this service's pipeline (the
+    compiled artifact's equivalence is enforced by differential tests). *)
+
 val refuse : t -> principal:string -> ?label:Label.t -> Guard.refusal_reason -> Monitor.decision
 (** Journal a non-policy refusal decided outside the service — overload
     shedding, or a labeling failure from {!label_query} — and return

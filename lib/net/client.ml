@@ -125,8 +125,8 @@ let stats t =
   | Codec.Decision _ | Codec.Pong | Codec.Batch _ | Codec.Snapshot _ ->
     raise (Protocol_error "mismatched response to a stats request")
 
-let pull t ~shard ~seg ~off ~max_bytes =
-  match request t (Codec.Pull { shard; seg; off; max_bytes }) with
+let pull ?(follower = "") t ~shard ~seg ~off ~max_bytes =
+  match request t (Codec.Pull { shard; seg; off; max_bytes; follower }) with
   | (Codec.Batch _ | Codec.Snapshot _) as r -> Ok r
   | Codec.Error e -> Error e
   | Codec.Decision _ | Codec.Pong | Codec.Stats_doc _ ->

@@ -71,6 +71,7 @@ val stats : t -> Obs.Json.t
 (** Fetch the server's {!Server.stats_json} document, parsed. *)
 
 val pull :
+  ?follower:string ->
   t ->
   shard:int ->
   seg:int ->
@@ -79,5 +80,7 @@ val pull :
   (Codec.response, Errors.t) result
 (** One replication pull round trip. [Ok] is always [Codec.Batch] or
     [Codec.Snapshot]; [Error] is the typed wire error (e.g. [Bad_request]
-    when the server has no replication source attached).
+    when the server has no replication source attached). [follower]
+    (default [""], the anonymous pool) names this follower on the primary's
+    per-follower cursor table — give each standby a distinct id.
     @raise Protocol_error on transport failure. *)

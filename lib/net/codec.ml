@@ -12,6 +12,7 @@ type request =
       seg : int;
       off : int;
       max_bytes : int;
+      follower : string;
     }
 
 type response =
@@ -91,7 +92,7 @@ let request_to_json = function
       [ ("op", Json.Str "query"); ("principal", Json.Str principal); ("query", Json.Str query) ]
   | Ping -> Json.Obj [ ("op", Json.Str "ping") ]
   | Stats -> Json.Obj [ ("op", Json.Str "stats") ]
-  | Pull { shard; seg; off; max_bytes } ->
+  | Pull { shard; seg; off; max_bytes; follower } ->
     Json.Obj
       [
         ("op", Json.Str "pull");
@@ -99,6 +100,7 @@ let request_to_json = function
         ("seg", Json.Num (float_of_int seg));
         ("off", Json.Num (float_of_int off));
         ("max_bytes", Json.Num (float_of_int max_bytes));
+        ("follower", Json.Str follower);
       ]
 
 let request_of_json doc =
@@ -119,7 +121,13 @@ let request_of_json doc =
         int_field "max_bytes" doc )
     with
     | Some shard, Some seg, Some off, Some max_bytes ->
-      Ok (Pull { shard; seg; off; max_bytes })
+      (* [follower] identifies the puller so the primary can keep one
+         cursor per follower; absent on pre-field clients, which then all
+         share the anonymous "" follower. *)
+      let follower =
+        match Json.member "follower" doc with Some (Json.Str f) -> f | _ -> ""
+      in
+      Ok (Pull { shard; seg; off; max_bytes; follower })
     | _ ->
       Stdlib.Error
         (Errors.bad_request

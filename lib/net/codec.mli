@@ -20,6 +20,12 @@ type request =
                       requests a bootstrap {!response.Snapshot}. *)
       off : int;  (** Byte offset within [seg], at a record boundary. *)
       max_bytes : int;  (** Soft cap on returned journal bytes. *)
+      follower : string;
+          (** Identifies the pulling follower so the primary keeps one
+              cursor per follower (correct caught-up/lag watermarks with
+              several standbys). Decoded as [""] when the field is absent
+              (pre-field clients), which pools such pullers under one
+              anonymous cursor. *)
     }
       (** Replication pull: "send me journal bytes from cursor
           [(seg, off)] onward". Served only when the listener has a

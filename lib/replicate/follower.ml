@@ -19,6 +19,7 @@ type shard_state = {
 }
 
 type t = {
+  id : string;  (** Sent with every pull — the primary's cursor-table key. *)
   journal : string;
   limits : Disclosure.Guard.limits option;
   pipeline : Disclosure.Pipeline.t;
@@ -103,8 +104,16 @@ let local_cursor base =
   if max_seg = 0 && covers = 0 && active = 0 then (0, 0)
   else (max max_seg covers + 1, active)
 
-let create ?limits ?(max_bytes = Source.default_max_bytes) ~journal ~shards policy =
+(* Distinct per process-lifetime by construction; pid-qualified so two
+   standby processes pulling the same primary never share a cursor. *)
+let follower_counter = Atomic.make 0
+
+let default_id () =
+  Printf.sprintf "follower-%d-%d" (Unix.getpid ()) (Atomic.fetch_and_add follower_counter 1)
+
+let create ?id ?limits ?(max_bytes = Source.default_max_bytes) ~journal ~shards policy =
   if shards < 1 then invalid_arg "Follower.create: shards must be >= 1";
+  let id = match id with Some "" | None -> default_id () | Some id -> id in
   match Disclosure.Policyfile.resolve policy with
   | Error e -> Error e
   | Ok resolved -> (
@@ -143,6 +152,7 @@ let create ?limits ?(max_bytes = Source.default_max_bytes) ~journal ~shards poli
       | None ->
         Ok
           {
+            id;
             journal;
             limits;
             pipeline;
@@ -300,7 +310,9 @@ let pull_shard t client shard =
   let total = ref 0 in
   let continue = ref true in
   while !continue && not (Atomic.get t.stopping) do
-    match Client.pull client ~shard ~seg:st.seg ~off:st.off ~max_bytes:t.max_bytes with
+    match
+      Client.pull ~follower:t.id client ~shard ~seg:st.seg ~off:st.off ~max_bytes:t.max_bytes
+    with
     | Error e ->
       (* Typed wire error — mid-reload, no source attached yet. Transient:
          skip this shard until the next poll. *)
@@ -381,6 +393,8 @@ let stop t =
     t.domain <- None
 
 (* --- introspection ----------------------------------------------------- *)
+
+let id t = t.id
 
 let cursor t ~shard =
   if shard < 0 || shard >= Array.length t.shards then invalid_arg "Follower.cursor";

@@ -25,6 +25,7 @@
 type t
 
 val create :
+  ?id:string ->
   ?limits:Disclosure.Guard.limits ->
   ?max_bytes:int ->
   journal:string ->
@@ -38,7 +39,16 @@ val create :
     and each shard's mirror is recovered — an existing mirror resumes
     (with any torn local tail truncated away), an empty one starts in
     bootstrap state. [max_bytes] caps each pull (default 1 MiB).
+
+    [id] names this follower on the primary's per-follower cursor table
+    (sent with every pull). Defaults to a pid-qualified generated id,
+    distinct per [create] within the process — give a standby a stable id
+    only if you want its cursor to survive its own restarts.
     @raise Invalid_argument on [shards < 1]. *)
+
+val id : t -> string
+(** The id sent with every pull ({!create}'s [id] or the generated
+    default). *)
 
 val apply_batch : t -> shard:int -> Net.Codec.response -> (unit, string) result
 (** Validate and apply one pull response (a [Batch] mirrors and replays; a

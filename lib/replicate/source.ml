@@ -9,14 +9,23 @@ module Errors = Net.Errors
 
 let default_max_bytes = 1 lsl 20
 
+(* One tracked follower: the cursor it last pulled {e from} per shard — a
+   follower asking from [(seg, off)] proves it already holds every byte
+   before it — and the [behind] estimate the last batch reported, for the
+   primary-side replication-lag gauge. *)
+type follower = {
+  cursors : (int * int) option array;
+  behinds : int array; (* last reported behind per shard; -1 = unknown *)
+}
+
 type t = {
   server : Server.t;
   journal : string;
   shards : int;
-  cursors : (int * int) option array;
-      (** Last cursor each shard's follower pulled {e from} — the follower
-          asking from [(seg, off)] proves it already holds every byte
-          before it. Guarded by [mutex]. *)
+  followers : (string, follower) Hashtbl.t;
+      (** Per-follower cursor state, keyed by the id the follower sends in
+          its pulls (clients without the field pool under [""]). Guarded by
+          [mutex]. *)
   mutex : Mutex.t;
 }
 
@@ -26,7 +35,18 @@ let locked m f =
 
 let create ~server ~journal =
   let shards = (Server.config server).Server.domains in
-  { server; journal; shards; cursors = Array.make shards None; mutex = Mutex.create () }
+  { server; journal; shards; followers = Hashtbl.create 4; mutex = Mutex.create () }
+
+(* Call under [mutex]. *)
+let follower_entry t id =
+  match Hashtbl.find_opt t.followers id with
+  | Some f -> f
+  | None ->
+    let f =
+      { cursors = Array.make t.shards None; behinds = Array.make t.shards (-1) }
+    in
+    Hashtbl.add t.followers id f;
+    f
 
 (* Mirrors Service's on-disk family: active segment at [base], sealed
    segments at [base.<i>], checkpoint at [base.ckpt] — with the server's
@@ -176,7 +196,18 @@ let rec serve t ~shard ~seg ~off ~max_bytes ~retries =
         | _ -> Codec.Batch { shard; data = ""; next_seg = seg; next_off = off; behind = max 0 (abytes - off) }
     end
 
-let serve_pull t ~shard ~seg ~off ~max_bytes =
+(* The primary-side lag gauge: worst (largest) last-reported behind across
+   followers, per shard. A follower that has never pulled the shard is
+   unknown, not zero, and is skipped. Call under [mutex]. *)
+let refresh_lag_gauge t ~shard =
+  let m = Server.metrics t.server in
+  let worst = ref (-1) in
+  Hashtbl.iter
+    (fun _ f -> if f.behinds.(shard) > !worst then worst := f.behinds.(shard))
+    t.followers;
+  if !worst >= 0 then Metrics.set_gauge m ~shard Metrics.Replication_lag !worst
+
+let serve_pull ?(follower = "") t ~shard ~seg ~off ~max_bytes =
   if shard < 0 || shard >= t.shards then
     Codec.Error
       (Errors.bad_request (Printf.sprintf "shard %d out of range (server has %d)" shard t.shards))
@@ -184,37 +215,84 @@ let serve_pull t ~shard ~seg ~off ~max_bytes =
   else begin
     let m = Server.metrics t.server in
     Metrics.incr m Metrics.Rep_pulls;
-    locked t.mutex (fun () -> t.cursors.(shard) <- Some (seg, off));
+    locked t.mutex (fun () -> (follower_entry t follower).cursors.(shard) <- Some (seg, off));
     let max_bytes = if max_bytes <= 0 then default_max_bytes else max_bytes in
     let resp = try serve t ~shard ~seg ~off ~max_bytes ~retries:4 with
       | Sys_error msg -> Codec.Error (Errors.fault ("journal read failed: " ^ msg))
       | End_of_file -> Codec.Error (Errors.fault "journal file shrank mid-read")
     in
     (match resp with
-    | Codec.Batch { data; _ } | Codec.Snapshot { data; _ } ->
+    | Codec.Batch { data; behind; _ } ->
+      Metrics.add m Metrics.Rep_shipped_bytes (String.length data);
+      locked t.mutex (fun () ->
+          (follower_entry t follower).behinds.(shard) <- behind;
+          refresh_lag_gauge t ~shard)
+    | Codec.Snapshot { data; _ } ->
       Metrics.add m Metrics.Rep_shipped_bytes (String.length data)
     | _ -> ());
     resp
   end
 
 let handler t = function
-  | Codec.Pull { shard; seg; off; max_bytes } -> Some (serve_pull t ~shard ~seg ~off ~max_bytes)
+  | Codec.Pull { shard; seg; off; max_bytes; follower } ->
+    Some (serve_pull ~follower t ~shard ~seg ~off ~max_bytes)
   | Codec.Query _ | Codec.Ping | Codec.Stats -> None
 
-let cursors t = locked t.mutex (fun () -> Array.copy t.cursors)
+let followers t =
+  locked t.mutex (fun () -> Hashtbl.fold (fun id _ acc -> id :: acc) t.followers [])
+  |> List.sort String.compare
 
-let caught_up t =
+let forget t ~follower = locked t.mutex (fun () -> Hashtbl.remove t.followers follower)
+
+(* Cursor order: a follower at a later segment holds strictly more than one
+   at an earlier segment; within a segment, more bytes is further ahead. *)
+let cursor_leq a b =
+  match (a, b) with
+  | (s1, o1), (s2, o2) -> s1 < s2 || (s1 = s2 && o1 <= o2)
+
+(* The merged per-shard watermark: the {e least-advanced} cursor over every
+   follower that pulled the shard (None only when nobody has). The drain
+   gate compares this against the committed position, so with several
+   standbys it only opens when the slowest one has everything. *)
+let cursors t =
+  locked t.mutex (fun () ->
+      Array.init t.shards (fun shard ->
+          Hashtbl.fold
+            (fun _ f acc ->
+              match (acc, f.cursors.(shard)) with
+              | None, c | c, None -> c
+              | Some a, Some b -> Some (if cursor_leq a b then a else b))
+            t.followers None))
+
+(* One follower's cursor array against the committed positions: caught up
+   iff every journaled shard's cursor sits at the committed watermark (a
+   shard it never pulled passes only while that journal is still empty). *)
+let cursors_caught_up t (cs : (int * int) option array) =
   let ok = ref true in
   for i = 0 to t.shards - 1 do
     match Server.journal_position t.server ~shard:i with
     | None -> ()
     | Some (aseq, abytes) -> (
-      match locked t.mutex (fun () -> t.cursors.(i)) with
+      match cs.(i) with
       | Some (s, o) when s = aseq && o >= abytes -> ()
       | Some _ -> ok := false
       | None -> if not (aseq = 1 && abytes = 0) then ok := false)
   done;
   !ok
+
+(* Every known follower, not the merged watermark: a standby that has not
+   yet pulled some shard must hold the gate closed even while a faster
+   standby is fully caught up. With no follower ever seen, this degrades
+   to the pre-tracking behaviour — true only while every journaled shard
+   is still empty. *)
+let caught_up t =
+  let snapshots =
+    locked t.mutex (fun () ->
+        Hashtbl.fold (fun _ f acc -> Array.copy f.cursors :: acc) t.followers [])
+  in
+  match snapshots with
+  | [] -> cursors_caught_up t (Array.make t.shards None)
+  | fs -> List.for_all (cursors_caught_up t) fs
 
 let await_caught_up t ~timeout_s =
   let deadline = Unix.gettimeofday () +. timeout_s in

@@ -4,7 +4,7 @@
     families.
 
     The shipper is {e pull-based and stateless about followers} beyond a
-    per-shard cursor watermark: the service flushes every record before
+    per-follower cursor table: the service flushes every record before
     committing it, so the on-disk active segment always holds every
     committed byte and a reader on another domain needs no cooperation
     from the worker — {!Server.journal_position}'s racy watermark bounds
@@ -46,19 +46,35 @@ val handler : t -> Net.Codec.request -> Net.Codec.response option
     default (1 MiB); a single record larger than the cap ships whole. *)
 
 val serve_pull :
+  ?follower:string ->
   t -> shard:int -> seg:int -> off:int -> max_bytes:int -> Net.Codec.response
-(** The handler's core, exposed for in-process tests (no socket). *)
+(** The handler's core, exposed for in-process tests (no socket).
+    [follower] (default [""]) is the id the cursor is recorded under —
+    the handler passes the wire request's field through. *)
+
+val followers : t -> string list
+(** Ids of every follower that has ever pulled, sorted. Clients that send
+    no id pool under [""]. *)
+
+val forget : t -> follower:string -> unit
+(** Drop a follower's cursor state. A decommissioned standby would
+    otherwise hold {!caught_up} false forever (its cursors stop
+    advancing); after [forget], it re-registers by simply pulling again. *)
 
 val cursors : t -> (int * int) option array
-(** Per-shard cursor of the latest pull — the cursor a follower asks
-    {e from}, i.e. what it already holds. [None] until the first pull. *)
+(** Per-shard merged watermark: the {e least-advanced} cursor over every
+    follower that has pulled the shard — what the slowest standby already
+    holds. [None] until the first pull on that shard. *)
 
 val caught_up : t -> bool
-(** Every journaled shard's latest pull cursor is at the current committed
-    watermark (a shard nothing was ever pulled from counts only if its
-    journal is still empty). With the listener quiesced and the server
-    drained, [true] means the follower holds every committed record —
-    the graceful-drain gate. *)
+(** {e Every} known follower's cursor is at the current committed
+    watermark on every journaled shard (a shard a follower never pulled
+    from counts only while its journal is still empty; a standby lagging
+    on any shard holds the gate closed even while a faster one is fully
+    caught up). With no follower known, true only while every journaled
+    shard is empty. With the listener quiesced and the server drained,
+    [true] means every standby holds every committed record — the
+    graceful-drain gate. *)
 
 val await_caught_up : t -> timeout_s:float -> bool
 (** Poll {!caught_up} until it holds or [timeout_s] elapses. *)

@@ -1,19 +1,22 @@
-(* String-keyed LRU cache: hash table into an intrusive doubly-linked recency
-   list (head = most recent, tail = eviction candidate). Not thread-safe by
-   design — each shard owns one cache and is the only domain touching it. *)
+(* LRU cache: hash table into an intrusive doubly-linked recency list
+   (head = most recent, tail = eviction candidate). Keys are any structural
+   type the polymorphic Hashtbl hashes correctly — the serving layer uses
+   hash-consed int query ids, tests and older callers use strings. Not
+   thread-safe by design — each shard owns one cache and is the only domain
+   touching it. *)
 
-type 'a node = {
-  key : string;
-  mutable value : 'a;
-  mutable prev : 'a node option;
-  mutable next : 'a node option;
+type ('k, 'v) node = {
+  key : 'k;
+  mutable value : 'v;
+  mutable prev : ('k, 'v) node option;
+  mutable next : ('k, 'v) node option;
 }
 
-type 'a t = {
+type ('k, 'v) t = {
   capacity : int;
-  table : (string, 'a node) Hashtbl.t;
-  mutable head : 'a node option;
-  mutable tail : 'a node option;
+  table : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable head : ('k, 'v) node option;
+  mutable tail : ('k, 'v) node option;
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;

@@ -54,6 +54,28 @@ let pop t =
         Some x
       | None -> None (* closed and drained *))
 
+let pop_batch t ~max =
+  if max < 1 then invalid_arg "Mailbox.pop_batch: max must be >= 1";
+  with_lock t (fun () ->
+      while Queue.is_empty t.queue && not t.closed do
+        Condition.wait t.nonempty t.mutex
+      done;
+      let rec drain n acc =
+        if n >= max then acc
+        else
+          match Queue.take_opt t.queue with
+          | Some x -> drain (n + 1) (x :: acc)
+          | None -> acc
+      in
+      match drain 0 [] with
+      | [] -> [] (* closed and drained *)
+      | acc ->
+        (* One lock round per batch; waking every blocked producer at once
+           is correct (each rechecks the bound) and cheaper than [length acc]
+           signal calls. *)
+        Condition.broadcast t.not_full;
+        List.rev acc)
+
 let close t =
   with_lock t (fun () ->
       if not t.closed then begin

@@ -23,6 +23,15 @@ val pop : 'a t -> 'a option
     mailbox is closed {e and} drained — messages enqueued before {!close}
     are always delivered. *)
 
+val pop_batch : 'a t -> max:int -> 'a list
+(** Consumer side: blocks until at least one message is available, then
+    drains up to [max] under one lock acquisition, in queue order. [[]]
+    once the mailbox is closed {e and} drained. Batching amortizes the
+    wakeup/lock round per message into one per batch under load, while a
+    lone message still dequeues immediately — same delivery order and
+    close semantics as [max] successive {!pop}s.
+    @raise Invalid_argument when [max < 1]. *)
+
 val close : 'a t -> unit
 (** Idempotent. Wakes all waiters; subsequent pushes fail, pops drain the
     remaining messages then return [None]. *)

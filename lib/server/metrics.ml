@@ -145,6 +145,10 @@ type gauge =
   | Journal_segment
   | Journal_offset
   | Replication_lag
+  | Compile_version
+  | Compile_fallbacks
+  | Intern_entries
+  | Diagram_nodes
 
 let gauge_index = function
   | Gc_minor_collections -> 0
@@ -153,6 +157,10 @@ let gauge_index = function
   | Journal_segment -> 3
   | Journal_offset -> 4
   | Replication_lag -> 5
+  | Compile_version -> 6
+  | Compile_fallbacks -> 7
+  | Intern_entries -> 8
+  | Diagram_nodes -> 9
 
 let gauge_name = function
   | Gc_minor_collections -> "gc_minor_collections"
@@ -161,6 +169,10 @@ let gauge_name = function
   | Journal_segment -> "journal_segment"
   | Journal_offset -> "journal_offset"
   | Replication_lag -> "replication_lag"
+  | Compile_version -> "compile_version"
+  | Compile_fallbacks -> "compile_fallbacks"
+  | Intern_entries -> "intern_entries"
+  | Diagram_nodes -> "diagram_nodes"
 
 let gauges =
   [
@@ -170,9 +182,13 @@ let gauges =
     Journal_segment;
     Journal_offset;
     Replication_lag;
+    Compile_version;
+    Compile_fallbacks;
+    Intern_entries;
+    Diagram_nodes;
   ]
 
-let n_gauges = 6
+let n_gauges = 10
 
 (* Power-of-two latency buckets: bucket [i] counts observations in
    [2^i, 2^(i+1)) nanoseconds. 40 buckets reach ~18 minutes. *)

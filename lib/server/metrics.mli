@@ -57,8 +57,19 @@ type gauge =
   | Journal_segment  (** Active journal segment index of the shard. *)
   | Journal_offset  (** Committed bytes in the shard's active segment. *)
   | Replication_lag
-      (** Bytes of committed primary journal this node has not yet applied;
-          [0] on a primary. Set by the follower's replay loop. *)
+      (** On a follower: bytes of committed primary journal this node has
+          not yet applied (set by the replay loop). On a primary with a
+          replication source: the worst last-reported lag across known
+          followers (set as pulls are served). *)
+  | Compile_version
+      (** Version of the shard's live AOT-compiled labeling artifact; bumped
+          by every online policy reload. *)
+  | Compile_fallbacks
+      (** Queries the compiled labeler escaped to the interpreter for
+          (outside the compiled fragment). [0] on the standard workload. *)
+  | Intern_entries  (** Live entries in the shard's hash-consing table. *)
+  | Diagram_nodes
+      (** Total decision-diagram nodes in the shard's compiled artifact. *)
 
 type t
 

@@ -25,6 +25,7 @@ type config = {
   cache_capacity : int;
   checkpoint_every : int;
   segment_bytes : int;
+  drain : int;
 }
 
 let default_config =
@@ -34,6 +35,7 @@ let default_config =
     cache_capacity = 4096;
     checkpoint_every = 0;
     segment_bytes = 0;
+    drain = 64;
   }
 
 type state =
@@ -93,6 +95,7 @@ let create ?limits ?journal ?trace ?(config = default_config) pipeline =
     invalid_arg "Server.create: checkpoint_every must be >= 0";
   if config.segment_bytes < 0 then
     invalid_arg "Server.create: segment_bytes must be >= 0";
+  if config.drain < 1 then invalid_arg "Server.create: drain must be >= 1";
   let metrics = Metrics.create ~shards:config.domains () in
   let shards =
     Array.init config.domains (fun i ->
@@ -101,7 +104,8 @@ let create ?limits ?journal ?trace ?(config = default_config) pipeline =
           ~segment_bytes:config.segment_bytes
           ~checkpoint_every:config.checkpoint_every ?trace
           ~mailbox_capacity:config.mailbox_capacity
-          ~cache_capacity:config.cache_capacity ~metrics pipeline)
+          ~cache_capacity:config.cache_capacity ~drain:config.drain ~metrics
+          pipeline)
   in
   {
     config;
@@ -276,6 +280,48 @@ let cache_stats t =
     { Shard.hits = 0; misses = 0; evictions = 0; entries = 0; capacity = 0 }
     t.shards
 
+(* Aggregated compiled-labeler statistics: counters sum across shards,
+   the version is the maximum (shards reload in lockstep, so a mixed
+   version is only ever visible mid-reload). Counter reads are racy word
+   reads, same contract as the gauges. *)
+let compile_stats t =
+  Array.fold_left
+    (fun (acc : Compile.Artifact.stats) shard ->
+      let s = Shard.compile_stats shard in
+      {
+        Compile.Artifact.version = max acc.Compile.Artifact.version s.Compile.Artifact.version;
+        groups = acc.groups + s.groups;
+        diagram_groups = acc.diagram_groups + s.diagram_groups;
+        diagram_nodes = acc.diagram_nodes + s.diagram_nodes;
+        fallbacks = acc.fallbacks + s.fallbacks;
+        atom_hits = acc.atom_hits + s.atom_hits;
+        atom_misses = acc.atom_misses + s.atom_misses;
+        query_hits = acc.query_hits + s.query_hits;
+        query_misses = acc.query_misses + s.query_misses;
+        intern_entries = acc.intern_entries + s.intern_entries;
+        intern_capacity = acc.intern_capacity + s.intern_capacity;
+        intern_hits = acc.intern_hits + s.intern_hits;
+        intern_misses = acc.intern_misses + s.intern_misses;
+        intern_flushes = acc.intern_flushes + s.intern_flushes;
+      })
+    {
+      Compile.Artifact.version = 0;
+      groups = 0;
+      diagram_groups = 0;
+      diagram_nodes = 0;
+      fallbacks = 0;
+      atom_hits = 0;
+      atom_misses = 0;
+      query_hits = 0;
+      query_misses = 0;
+      intern_entries = 0;
+      intern_capacity = 0;
+      intern_hits = 0;
+      intern_misses = 0;
+      intern_flushes = 0;
+    }
+    t.shards
+
 (* Per-shard journal watermarks, readable from any domain (racy word
    reads — see Service.journal_position). [None] for journal-less shards
    and, briefly, for a shard mid-reload. *)
@@ -343,6 +389,21 @@ let stats_json t =
         \"capacity\": %d}, "
        cache.Shard.hits cache.Shard.misses cache.Shard.evictions cache.Shard.entries
        cache.Shard.capacity);
+  let cs = compile_stats t in
+  Buffer.add_string b
+    (Printf.sprintf
+       "\"compile\": {\"version\": %d, \"groups\": %d, \"diagram_groups\": %d, \
+        \"diagram_nodes\": %d, \"fallbacks\": %d, \"atom_hits\": %d, \"atom_misses\": \
+        %d, \"query_hits\": %d, \"query_misses\": %d, \"intern_entries\": %d, \
+        \"intern_capacity\": %d, \"intern_hits\": %d, \"intern_misses\": %d, \
+        \"intern_flushes\": %d}, "
+       cs.Compile.Artifact.version cs.Compile.Artifact.groups
+       cs.Compile.Artifact.diagram_groups cs.Compile.Artifact.diagram_nodes
+       cs.Compile.Artifact.fallbacks cs.Compile.Artifact.atom_hits
+       cs.Compile.Artifact.atom_misses cs.Compile.Artifact.query_hits
+       cs.Compile.Artifact.query_misses cs.Compile.Artifact.intern_entries
+       cs.Compile.Artifact.intern_capacity cs.Compile.Artifact.intern_hits
+       cs.Compile.Artifact.intern_misses cs.Compile.Artifact.intern_flushes);
   Buffer.add_string b (Printf.sprintf "\"metrics\": %s}" (Metrics.to_json t.metrics));
   Buffer.contents b
 

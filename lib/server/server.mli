@@ -42,11 +42,17 @@ type config = {
   segment_bytes : int;
       (** Per-shard journal-segment rotation threshold in bytes; [0] never
           rotates. *)
+  drain : int;
+      (** Max mailbox messages a shard worker dequeues per wakeup (≥ 1) —
+          one lock round amortized over the batch cuts per-query [Wait]
+          overhead under load. Processing stays strictly in dequeue order
+          on the one worker domain, and overload shedding still happens at
+          push time against [mailbox_capacity]. *)
 }
 
 val default_config : config
 (** [{ domains = 4; mailbox_capacity = 1024; cache_capacity = 4096;
-      checkpoint_every = 0; segment_bytes = 0 }] *)
+      checkpoint_every = 0; segment_bytes = 0; drain = 64 }] *)
 
 type t
 
@@ -70,9 +76,9 @@ val create :
     recorder's sampling policy. Tracing off ([trace] absent) costs one
     monotonic-clock read per query (the enqueue stamp for the [Wait]
     histogram) and nothing else.
-    @raise Invalid_argument on a non-positive [domains] or
-    [mailbox_capacity], or a negative [cache_capacity], [checkpoint_every],
-    or [segment_bytes]. *)
+    @raise Invalid_argument on a non-positive [domains], [mailbox_capacity],
+    or [drain], or a negative [cache_capacity], [checkpoint_every], or
+    [segment_bytes]. *)
 
 val config : t -> config
 
@@ -152,6 +158,12 @@ val is_running : t -> bool
 val cache_stats : t -> Shard.cache_stats
 (** Summed over shards. *)
 
+val compile_stats : t -> Compile.Artifact.stats
+(** Compiled-labeler statistics summed over shards (the [version] field is
+    the maximum — shards reload in lockstep, so versions only diverge for
+    the duration of a reload). Counter reads are racy word reads; exact on
+    a quiescent or drained server. *)
+
 val shard_index : shards:int -> string -> int
 (** The pure principal→shard assignment (stable FNV-1a hash mod [shards]) —
     exposed so a replication follower can partition a configuration's
@@ -177,10 +189,11 @@ val stats_json : t -> string
 (** One JSON object with everything a dashboard needs from a single scrape:
     [started_at] (epoch seconds), [uptime_s], [shards], [principals], a
     [journal] array of per-shard [{segment, offset}] committed watermarks
-    ([null] for journal-less shards), [cache] totals, the full
-    {!Metrics.to_json} document under [metrics], and — when tracing — a
-    [trace] object with the sampling configuration and retained/dropped
-    scope counts. Rates are single-scrape computable:
+    ([null] for journal-less shards), [cache] totals, [compile] totals
+    (artifact version, fallback count, memo and interner statistics,
+    diagram size — see {!compile_stats}), the full {!Metrics.to_json}
+    document under [metrics], and — when tracing — a [trace] object with
+    the sampling configuration and retained/dropped scope counts. Rates are single-scrape computable:
     [submitted / uptime_s]. *)
 
 (** {1 Checkpointing and recovery} *)

@@ -10,6 +10,7 @@ module Service = Disclosure.Service
 module Guard = Disclosure.Guard
 module Monitor = Disclosure.Monitor
 module Label = Disclosure.Label
+module Artifact = Compile.Artifact
 
 let src = Logs.Src.create "disclosure.shard" ~doc:"Serving-layer shard"
 
@@ -43,9 +44,15 @@ type t = {
          owner) swaps in a freshly staged service on the same journal base.
          Foreign domains may read the field (journal watermarks) but only
          through the racy-safe [Service.journal_position]. *)
-  mutable cache : Label.t Label_cache.t option;
-      (* Recreated on reload: labels from the old pipeline must never
-         decide new-policy queries. *)
+  mutable cache : (int, Label.t) Label_cache.t option;
+      (* Keyed by hash-consed query ids from the artifact's interner.
+         Recreated on reload: labels from the old pipeline must never
+         decide new-policy queries (and the fresh artifact's interner
+         restarts its id space anyway). *)
+  mutable artifact : Artifact.t;
+      (* The AOT-compiled labeler for the live pipeline. Swapped together
+         with the service on reload (version + 1); worker-domain only, like
+         the cache. *)
   mailbox : msg Mailbox.t;
   metrics : Metrics.t;
   trace : Obs.Trace.t option;
@@ -62,6 +69,7 @@ type t = {
   mutable registered : (string * (string * Disclosure.Sview.t list) list) list;
       (* Registration set of the live service, for reload's carry-over
          decision (unchanged partitions keep their monitor state). *)
+  drain : int; (* max messages dequeued per mailbox wakeup *)
   checkpoint_every : int; (* decisions between automatic checkpoints; 0 = never *)
   mutable decided : int; (* decisions since the last automatic checkpoint *)
   mutable processed : int; (* total queries processed, for the gc cadence *)
@@ -69,8 +77,9 @@ type t = {
 }
 
 let create ~index ?limits ?journal ?(segment_bytes = 0) ?(checkpoint_every = 0) ?trace
-    ~mailbox_capacity ~cache_capacity ~metrics pipeline =
+    ~mailbox_capacity ~cache_capacity ?(drain = 64) ~metrics pipeline =
   if checkpoint_every < 0 then invalid_arg "Shard.create: checkpoint_every must be >= 0";
+  if drain < 1 then invalid_arg "Shard.create: drain must be >= 1";
   let scope = ref None in
   let observe (o : Service.observation) =
     let stage =
@@ -102,6 +111,7 @@ let create ~index ?limits ?journal ?(segment_bytes = 0) ?(checkpoint_every = 0) 
     index;
     service;
     cache;
+    artifact = Artifact.compile pipeline;
     mailbox = Mailbox.create ~capacity:mailbox_capacity;
     metrics;
     trace;
@@ -111,6 +121,7 @@ let create ~index ?limits ?journal ?(segment_bytes = 0) ?(checkpoint_every = 0) 
     segment_bytes;
     observe;
     registered = [];
+    drain;
     checkpoint_every;
     decided = 0;
     processed = 0;
@@ -168,20 +179,44 @@ let sample_journal t =
     Metrics.set_gauge t.metrics ~shard:t.index Metrics.Journal_segment seq;
     Metrics.set_gauge t.metrics ~shard:t.index Metrics.Journal_offset bytes
 
+(* Compiled-labeler gauges, refreshed on the gc cadence, at barriers, and
+   after every reload — four plain int stores. *)
+let sample_compile t =
+  let s = Artifact.stats t.artifact in
+  Metrics.set_gauge t.metrics ~shard:t.index Metrics.Compile_version s.Artifact.version;
+  Metrics.set_gauge t.metrics ~shard:t.index Metrics.Compile_fallbacks
+    s.Artifact.fallbacks;
+  Metrics.set_gauge t.metrics ~shard:t.index Metrics.Intern_entries
+    s.Artifact.intern_entries;
+  Metrics.set_gauge t.metrics ~shard:t.index Metrics.Diagram_nodes s.Artifact.diagram_nodes
+
 (* --- query handling --------------------------------------------------- *)
+
+(* Labeling goes through the AOT-compiled artifact: same guarded run,
+   admission checks, fault points, and timing observation as the
+   interpreted [Service.label_query], with the labeling step swapped for
+   the artifact (bit-identical by the compile library's contract, enforced
+   by the differential suite in test_compile). *)
+let label_query t q =
+  Service.label_query_with t.service
+    ~labeler:(fun ~budget q -> Artifact.label ~budget t.artifact q)
+    q
 
 (* The uncached path is Service.submit split in two ([label_query] then
    [submit_label] / [refuse]) so the cached path below can splice a lookup
    between the halves while journaling and deciding identically. *)
 let uncached t ~principal q =
   note t "cache" "off";
-  match Service.label_query t.service q with
+  match label_query t q with
   | Error reason -> Service.refuse t.service ~principal reason
   | Ok label -> Service.submit_label t.service ~principal label
 
-(* Cache lookup tries the three key levels of {!Canon} in cost order: the
-   exact serialization, the reorder/rename-invariant normal form, then the
-   minimized canonical form. The canonical keys are computed under their own
+(* Cache lookup tries three key levels in cost order, each hash-consed to an
+   int id by the artifact's interner: the query's own (head, body) structure,
+   its reorder/rename-invariant normal form, then the minimized canonical
+   form. Interned ids are monotone across interner flushes and the cache is
+   recreated whenever the artifact is (reload), so a stale id can never
+   alias a live entry. The canonical keys are computed under their own
    guarded run (fresh budget), so canonicalization can never eat the budget
    of the labeling run and a key failure degrades to skipping that level —
    never to a refusal the sequential service would not have issued. On a
@@ -197,7 +232,9 @@ let cached t cache ~principal q =
     Service.refuse svc ~principal reason
   | Ok () ->
     let find k = timed t Metrics.Cache (fun () -> Label_cache.find cache k) in
-    let k0 = timed t Metrics.Canonicalize (fun () -> Canon.exact_key q) in
+    let k0 =
+      timed t Metrics.Canonicalize (fun () -> Artifact.intern_query t.artifact q)
+    in
     (* The cache level that served (or "miss"), and the width of the label
        the cache handed back — the miss path's width is reported by the
        service's own `Label observation instead. *)
@@ -216,15 +253,16 @@ let cached t cache ~principal q =
       level_hit "exact" label;
       Service.submit_label svc ~principal label
     | None -> (
-      let key (f : budget:Cq.Budget.t -> Cq.Query.t -> string) =
+      let key (f : budget:Cq.Budget.t -> Cq.Query.t -> Cq.Query.t) =
         match
           timed t Metrics.Canonicalize (fun () ->
-              Guard.run limits (fun budget -> f ~budget q))
+              Guard.run limits (fun budget ->
+                  Artifact.intern_query t.artifact (f ~budget q)))
         with
         | Ok k when k <> k0 -> Some k
         | _ -> None
       in
-      let k1 = key (fun ~budget q -> Canon.normal_key ~budget q) in
+      let k1 = key (fun ~budget q -> Cq.Minimize.normal_form ~budget q) in
       match Option.map find k1 |> Option.join with
       | Some label ->
         level_hit "normal" label;
@@ -233,7 +271,7 @@ let cached t cache ~principal q =
         (* The minimized canonical form catches repeats that differ by
            redundant atoms; worth the homomorphism work only this deep. *)
         let k2 =
-          match key (fun ~budget q -> Canon.minimized_key ~budget q) with
+          match key (fun ~budget q -> Cq.Minimize.canonicalize ~budget q) with
           | Some k when Some k <> k1 -> Some k
           | _ -> None
         in
@@ -244,7 +282,7 @@ let cached t cache ~principal q =
         | None -> (
           Metrics.incr t.metrics Metrics.Cache_miss;
           note t "cache" "miss";
-          match Service.label_query svc q with
+          match label_query t q with
           | Error reason -> Service.refuse svc ~principal reason
           | Ok label ->
             let before = Label_cache.evictions cache in
@@ -366,15 +404,25 @@ let reload t ~pipeline ~principals =
           | None -> ())
         | _ -> ())
       principals;
+    (* Compile the new pipeline's artifact before touching the live state:
+       a compile failure aborts the reload with the old policy (and its
+       artifact) still serving. The version bump is what tests and scrapes
+       use to observe that a reload rebuilt the compiled state rather than
+       serving stale labels. *)
+    let artifact =
+      Artifact.compile ~version:(Artifact.version t.artifact + 1) pipeline
+    in
     Service.close t.service;
     t.service <- staged;
     t.registered <- principals;
+    t.artifact <- artifact;
     t.cache <-
       Option.map
         (fun c -> Label_cache.create ~capacity:(Label_cache.capacity c))
         t.cache;
     t.decided <- 0;
     sample_journal t;
+    sample_compile t;
     match t.journal with
     | None -> ()
     | Some _ -> (
@@ -397,6 +445,7 @@ let process t msg =
        after a drain are exact, not up to a period stale. *)
     sample_gc t;
     sample_journal t;
+    sample_compile t;
     Ivar.fill iv ()
   | Checkpoint iv ->
     let r = checkpoint t in
@@ -442,16 +491,27 @@ let process t msg =
     | None -> ());
     ignore (Ivar.try_fill ticket decision);
     t.processed <- t.processed + 1;
-    if t.processed mod gc_sample_period = 0 then sample_gc t;
+    if t.processed mod gc_sample_period = 0 then begin
+      sample_gc t;
+      sample_compile t
+    end;
     maybe_auto_checkpoint t;
     sample_journal t
 
 let run t =
+  (* Drain up to [drain] messages per wakeup: one lock round and one
+     condition wait amortized over the whole batch cuts the per-query Wait
+     overhead under load. Messages are processed strictly in dequeue order
+     on this one domain, so the sequential-equivalence contract (and every
+     barrier/reload ordering argument) is untouched — a batch is just N
+     back-to-back pops that skipped the lock between them. Overload
+     shedding is also untouched: it happens at push time against the
+     mailbox bound, which batching does not change. *)
   let rec loop () =
-    match Mailbox.pop t.mailbox with
-    | None -> ()
-    | Some msg ->
-      process t msg;
+    match Mailbox.pop_batch t.mailbox ~max:t.drain with
+    | [] -> ()
+    | batch ->
+      List.iter (process t) batch;
       loop ()
   in
   loop ()
@@ -477,6 +537,10 @@ type cache_stats = {
   entries : int;
   capacity : int;
 }
+
+let artifact t = t.artifact
+
+let compile_stats t = Artifact.stats t.artifact
 
 let cache_stats t =
   match t.cache with

@@ -44,10 +44,14 @@ val create :
   ?trace:Obs.Trace.t ->
   mailbox_capacity:int ->
   cache_capacity:int ->
+  ?drain:int ->
   metrics:Metrics.t ->
   Disclosure.Pipeline.t ->
   t
-(** [cache_capacity = 0] disables the label cache. [journal], when given, is
+(** [cache_capacity = 0] disables the label cache. [drain] (default 64)
+    caps how many mailbox messages the worker dequeues per wakeup
+    ({!Mailbox.pop_batch}) — processing order and the shed-at-push
+    overload valve are unchanged. [journal], when given, is
     this shard's own journal base path (the server derives one per shard);
     [segment_bytes] (default [0] = never) rotates the shard's active segment
     at that size, and [checkpoint_every] (default [0] = never) checkpoints
@@ -126,6 +130,17 @@ val start : t -> unit
 val join : t -> unit
 (** Wait for the worker to exit (it exits when the mailbox is closed and
     drained). No-op when never started. *)
+
+val artifact : t -> Compile.Artifact.t
+(** The shard's live AOT-compiled labeler. Swapped (with a bumped version)
+    by every {!reload}. Must only be inspected while the worker is
+    quiescent (before {!start}, after {!join}, or after a barrier) — its
+    memo tables are worker-domain state, like the cache. *)
+
+val compile_stats : t -> Compile.Artifact.stats
+(** {!Compile.Artifact.stats} of the live artifact: version, fallbacks,
+    memo hit rates, interner occupancy, diagram size. Same quiescence
+    caveat as {!artifact}. *)
 
 type cache_stats = {
   hits : int;

@@ -44,7 +44,7 @@ let make_server ?journal ?trace ?(mailbox_capacity = 1024) ?(cache_capacity = 25
     Server.create ?journal ?trace
       ~config:
         { Server.domains; mailbox_capacity; cache_capacity; checkpoint_every = 0;
-          segment_bytes = 0 }
+          segment_bytes = 0; drain = Server.default_config.Server.drain }
       (pipeline ())
   in
   register_all server;

@@ -44,6 +44,7 @@ let make_server ?trace ?(domains = 2) ?(cache_capacity = 256) () =
           cache_capacity;
           checkpoint_every = 0;
           segment_bytes = 0;
+          drain = Server.default_config.Server.drain;
         }
       (pipeline ())
   in

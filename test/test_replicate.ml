@@ -208,7 +208,9 @@ let test_codec_roundtrip () =
   (match Net.Codec.hex_decode "abc" with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "odd-length hex must be rejected");
-  let req = Net.Codec.Pull { shard = 3; seg = 7; off = 123456; max_bytes = 65536 } in
+  let req =
+    Net.Codec.Pull { shard = 3; seg = 7; off = 123456; max_bytes = 65536; follower = "s1" }
+  in
   (match Net.Codec.decode_request (Net.Codec.encode_request req) with
   | Ok r when r = req -> ()
   | Ok _ -> Alcotest.fail "pull request round trip changed fields"
@@ -740,6 +742,94 @@ let test_connect_retry_succeeds_after_refusals () =
       (match !listener with Some l -> Net.Listener.stop l | None -> ());
       Server.stop server)
 
+(* --- per-follower cursors: two standbys, correct watermarks ------------ *)
+
+(* Pull everything for one named follower, tracking the cursor from the
+   responses alone (no Follower.t needed — cursor accounting is entirely
+   primary-side). *)
+let pull_all source ~follower ~shard =
+  let seg = ref 0 and off = ref 0 in
+  let rounds = ref 0 in
+  let continue = ref true in
+  while !continue do
+    incr rounds;
+    if !rounds > 10_000 then Alcotest.failf "shard %d: pull does not converge" shard;
+    match Source.serve_pull ~follower source ~shard ~seg:!seg ~off:!off ~max_bytes:0 with
+    | Net.Codec.Batch { data; next_seg; next_off; behind; _ } ->
+      if data = "" && behind = 0 then continue := false;
+      seg := next_seg;
+      off := next_off
+    | Net.Codec.Snapshot { next_seg; next_off; _ } ->
+      seg := next_seg;
+      off := next_off
+    | _ -> Alcotest.fail "mismatched pull response"
+  done
+
+let test_two_follower_watermarks () =
+  with_bases (fun jbase _mbase ->
+      let shards = 1 in
+      let server = make_primary ~journal:jbase ~shards () in
+      Server.start server;
+      run_history server;
+      let source = Source.create ~server ~journal:jbase in
+      (* Nobody has pulled: a non-empty journal with no known follower is
+         not caught up (no standby holds its bytes). *)
+      Alcotest.(check bool) "no followers, non-empty journal" false (Source.caught_up source);
+      Alcotest.(check (list string)) "no followers yet" [] (Source.followers source);
+      (* Standby "a" catches up fully: the gate opens — every KNOWN
+         follower is caught up. *)
+      pull_all source ~follower:"a" ~shard:0;
+      Alcotest.(check (list string)) "a registered" [ "a" ] (Source.followers source);
+      Alcotest.(check bool) "a alone, caught up" true (Source.caught_up source);
+      (* Standby "b" appears but only bootstraps (one pull from seg 0) —
+         b's cursor lags, so b must hold the gate closed even though a is
+         still fully caught up. Before per-follower cursors, b's pull
+         OVERWROTE the single shared cursor and this very state reported
+         caught_up = true with a standby missing committed bytes. *)
+      let bseg, boff =
+        match Source.serve_pull ~follower:"b" source ~shard:0 ~seg:0 ~off:0 ~max_bytes:0 with
+        | Net.Codec.Snapshot { next_seg; next_off; _ } -> (next_seg, next_off)
+        | _ -> Alcotest.fail "bootstrap pull must answer a snapshot"
+      in
+      (* One record-sized batch: b now holds a strict prefix and has
+         reported a positive [behind] — which the primary-side lag gauge
+         must surface as the fleet's worst lag. *)
+      (match
+         Source.serve_pull ~follower:"b" source ~shard:0 ~seg:bseg ~off:boff ~max_bytes:1
+       with
+      | Net.Codec.Batch { behind; _ } ->
+        Alcotest.(check bool) "b is strictly behind" true (behind > 0)
+      | _ -> Alcotest.fail "tail pull must answer a batch");
+      Alcotest.(check bool) "lag gauge tracks the laggard" true
+        (Server.Metrics.gauge_value (Server.metrics server) ~shard:0
+           Server.Metrics.Replication_lag
+        > 0);
+      Alcotest.(check (list string)) "both registered" [ "a"; "b" ] (Source.followers source);
+      Alcotest.(check bool) "b lags, gate closed" false (Source.caught_up source);
+      (* The merged cursor is the LEAST-advanced one — what the slowest
+         standby already holds, i.e. b's, strictly behind the watermark. *)
+      (match (Source.cursors source).(0), Server.journal_position server ~shard:0 with
+      | Some (cseg, coff), Some (aseg, abytes) ->
+        Alcotest.(check bool) "merged cursor is the laggard's" true
+          (cseg < aseg || (cseg = aseg && coff < abytes))
+      | None, _ -> Alcotest.fail "merged cursor must exist once anyone pulled"
+      | _, None -> Alcotest.fail "journaled shard must report a position");
+      (* b catches up: gate reopens. *)
+      pull_all source ~follower:"b" ~shard:0;
+      Alcotest.(check bool) "both caught up" true (Source.caught_up source);
+      (* More traffic: BOTH must re-pull before the gate reopens — one
+         fast standby must not mask the other. *)
+      run_history server;
+      Alcotest.(check bool) "new traffic closes the gate" false (Source.caught_up source);
+      pull_all source ~follower:"a" ~shard:0;
+      Alcotest.(check bool) "a alone is not enough" false (Source.caught_up source);
+      (* Decommission b instead of catching it up: forget drops its cursor
+         and the gate reflects the remaining fleet. *)
+      Source.forget source ~follower:"b";
+      Alcotest.(check (list string)) "b forgotten" [ "a" ] (Source.followers source);
+      Alcotest.(check bool) "a-only fleet caught up" true (Source.caught_up source);
+      Server.stop server)
+
 (* --- watermarks in stats and Prometheus -------------------------------- *)
 
 let test_stats_and_prometheus () =
@@ -830,6 +920,11 @@ let () =
             test_connect_retry_backoff;
           Alcotest.test_case "reconnect succeeds after refusals" `Quick
             test_connect_retry_succeeds_after_refusals;
+        ] );
+      ( "cursors",
+        [
+          Alcotest.test_case "two standbys, per-follower watermarks" `Quick
+            test_two_follower_watermarks;
         ] );
       ( "observability",
         [ Alcotest.test_case "watermarks in stats and prometheus" `Quick test_stats_and_prometheus ] );

@@ -49,7 +49,7 @@ let make_server ?journal ?(cache_capacity = 256) ?(mailbox_capacity = 1024)
     Server.create ?journal
       ~config:
         { Server.domains; mailbox_capacity; cache_capacity; checkpoint_every;
-          segment_bytes }
+          segment_bytes; drain = Server.default_config.Server.drain }
       (pipeline ())
   in
   register_all (fun ~principal ~partitions -> Server.register server ~principal ~partitions);
@@ -419,6 +419,42 @@ let test_mailbox () =
       "Mailbox.create: capacity must be >= 1") (fun () ->
       ignore (Server.Mailbox.create ~capacity:0))
 
+let test_mailbox_pop_batch () =
+  let module Mb = Server.Mailbox in
+  (* Queue order, batch cap, and remainder batches. *)
+  let mb = Mb.create ~capacity:16 in
+  for i = 1 to 10 do
+    check_bool "push" true (Mb.try_push mb i)
+  done;
+  check_bool "first batch in order" true (Mb.pop_batch mb ~max:4 = [ 1; 2; 3; 4 ]);
+  check_bool "second batch" true (Mb.pop_batch mb ~max:4 = [ 5; 6; 7; 8 ]);
+  check_bool "short final batch" true (Mb.pop_batch mb ~max:4 = [ 9; 10 ]);
+  (* A lone message dequeues immediately — no waiting to fill a batch. *)
+  check_bool "push lone" true (Mb.try_push mb 11);
+  check_bool "lone message" true (Mb.pop_batch mb ~max:64 = [ 11 ]);
+  (* Close semantics mirror pop's: drain the backlog, then []. *)
+  check_bool "push 12" true (Mb.try_push mb 12);
+  check_bool "push 13" true (Mb.try_push mb 13);
+  Mb.close mb;
+  check_bool "drains after close" true (Mb.pop_batch mb ~max:64 = [ 12; 13 ]);
+  check_bool "empty after drain" true (Mb.pop_batch mb ~max:64 = []);
+  Alcotest.check_raises "max validated"
+    (Invalid_argument "Mailbox.pop_batch: max must be >= 1") (fun () ->
+      ignore (Mb.pop_batch (Mb.create ~capacity:1) ~max:0));
+  (* A draining batch must wake BLOCKED producers (broadcast, not one
+     signal per message): fill, block two pushers on other domains, drain. *)
+  let mb = Mb.create ~capacity:2 in
+  check_bool "fill 1" true (Mb.try_push mb 1);
+  check_bool "fill 2" true (Mb.try_push mb 2);
+  let pushers = Array.init 2 (fun i -> Domain.spawn (fun () -> Mb.push mb (10 + i))) in
+  (* Both producers are (about to be) parked on the not_full condition. *)
+  let first = Mb.pop_batch mb ~max:2 in
+  check_bool "drained the backlog" true (first = [ 1; 2 ]);
+  check_bool "both producers complete" true
+    (Array.for_all (fun d -> Domain.join d) pushers);
+  let rest = List.sort compare (Mb.pop_batch mb ~max:4) in
+  check_bool "both blocked pushes delivered" true (rest = [ 10; 11 ])
+
 let test_label_cache_lru () =
   let c = Server.Label_cache.create ~capacity:2 in
   Server.Label_cache.add c "a" 1;
@@ -526,6 +562,7 @@ let () =
       ( "components",
         [
           Alcotest.test_case "bounded mailbox" `Quick test_mailbox;
+          Alcotest.test_case "batched dequeue" `Quick test_mailbox_pop_batch;
           Alcotest.test_case "label cache LRU" `Quick test_label_cache_lru;
           Alcotest.test_case "hot key does not churn the LRU list" `Quick
             test_label_cache_hot_key_no_churn;
