@@ -515,6 +515,17 @@ let serve_cmd =
              amortizes the wakeup cost under load without changing processing \
              order or overload shedding.")
   in
+  let group_commit_arg =
+    Arg.(
+      value & flag
+      & info [ "group-commit" ]
+          ~doc:
+            "Batch journal flushes across each drained mailbox batch: one \
+             covering fsync per drain instead of one per decision, with every \
+             decision's reply held until the covering flush. Decisions, journal \
+             bytes, and recovery are bit-identical to per-decision commits; a \
+             failed covering flush refuses the whole batch fail-closed.")
+  in
   let cache_arg =
     Arg.(
       value
@@ -676,9 +687,9 @@ let serve_cmd =
              standby across its restarts.")
   in
   let run () config_file syntax workload_file fuel deadline journal domains mailbox drain
-      cache checkpoint_every segment_bytes stats trace_out trace_sample slow_ms metrics_out
-      listen max_connections conn_deadline max_frame follow poll_interval failover_after
-      follower_id =
+      group_commit cache checkpoint_every segment_bytes stats trace_out trace_sample
+      slow_ms metrics_out listen max_connections conn_deadline max_frame follow
+      poll_interval failover_after follower_id =
     let config =
       match Disclosure.Policyfile.parse_file config_file with
       | Ok c -> c
@@ -693,6 +704,7 @@ let serve_cmd =
         checkpoint_every;
         segment_bytes;
         drain;
+        group_commit;
       }
     in
     let lconfig () =
@@ -905,7 +917,8 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ setup_logs $ config_arg $ syntax_arg $ workload_arg $ fuel_arg
-      $ deadline_arg $ journal_arg $ domains_arg $ mailbox_arg $ drain_arg $ cache_arg
+      $ deadline_arg $ journal_arg $ domains_arg $ mailbox_arg $ drain_arg
+      $ group_commit_arg $ cache_arg
       $ checkpoint_every_arg $ segment_bytes_arg $ stats_arg $ trace_out_arg
       $ trace_sample_arg $ slow_ms_arg $ metrics_out_arg $ listen_arg
       $ max_connections_arg $ conn_deadline_arg $ max_frame_arg $ follow_arg

@@ -26,6 +26,20 @@ type observation = {
   detail : (string * string) list;
 }
 
+(* An open group-commit batch (see [batch_begin]). Appends buffer in the
+   channel without flushing and [j.bytes] stays at the durable frontier;
+   monitor commits happen inline (a later decision in the batch must see an
+   earlier one's narrowed mask) but each touched principal's pre-batch state
+   is saved so an abort can restore it. [poisoned] records the first append
+   failure: from then on every append in the batch refuses, and [batch_end]
+   rolls the whole batch back instead of flushing. *)
+type batch = {
+  mutable pending_bytes : int;
+  mutable pending_records : int;
+  saved : (string, Monitor.state) Hashtbl.t;
+  mutable poisoned : string option;
+}
+
 type t = {
   pipeline : Pipeline.t;
   limits : Guard.limits;
@@ -34,6 +48,8 @@ type t = {
   mutable seq : int; (* index the next rotated segment will get *)
   mutable rotations : int;
   mutable checkpoints : int;
+  mutable flushes : int; (* journal flushes issued (per-decision or per-batch) *)
+  mutable batch : batch option;
   mutable warned_closed : bool;
   observe : (observation -> unit) option;
   monitors : (string, Monitor.t) Hashtbl.t;
@@ -104,18 +120,13 @@ let create ?(limits = Guard.no_limits) ?journal ?(journal_format = `V2) ?(segmen
     seq;
     rotations = 0;
     checkpoints = 0;
+    flushes = 0;
+    batch = None;
     warned_closed = false;
     observe;
     monitors = Hashtbl.create 16;
     order = [];
   }
-
-let close t =
-  match t.journal with
-  | No_journal | Closed_journal -> ()
-  | Open_journal j ->
-    close_out j.oc;
-    t.journal <- Closed_journal
 
 (* Instrumented sections for the serving layer's metrics: only pay for a
    clock read when an observer is attached. Monotonic time — a wall-clock
@@ -206,16 +217,37 @@ let discard_partial_append t cfg j =
    [j.bytes] only on success; on failure, roll the segment back to the
    commit point before re-raising. The [Journal_flush] fault stage injects
    at the most dangerous instant: bytes handed to the channel, none of them
-   durable. *)
+   durable.
+
+   Inside an open group-commit batch the flush is deferred: the record only
+   reaches the channel buffer, [j.bytes] (the durable frontier replication
+   readers watch) stays put, and [batch_end] issues the one covering flush.
+   A failed append poisons the batch — the channel may hold a partial
+   record, so nothing else may be appended and the whole batch must roll
+   back rather than flush garbage. *)
 let append_bytes t cfg j s =
-  (try
-     output_string j.oc s;
-     Faults.trip Faults.Journal_flush;
-     flush j.oc
-   with e ->
-     discard_partial_append t cfg j;
-     raise e);
-  j.bytes <- j.bytes + String.length s
+  match t.batch with
+  | Some b -> (
+    match b.poisoned with
+    | Some msg ->
+      raise (Guard.Refuse (Guard.Fault ("journal batch already failed: " ^ msg)))
+    | None ->
+      (try output_string j.oc s
+       with e ->
+         b.poisoned <- Some (Printexc.to_string e);
+         raise e);
+      b.pending_bytes <- b.pending_bytes + String.length s;
+      b.pending_records <- b.pending_records + 1)
+  | None ->
+    (try
+       output_string j.oc s;
+       Faults.trip Faults.Journal_flush;
+       flush j.oc
+     with e ->
+       discard_partial_append t cfg j;
+       raise e);
+    t.flushes <- t.flushes + 1;
+    j.bytes <- j.bytes + String.length s
 
 (* Rotate the active segment: close, rename to the next numbered segment,
    reopen a fresh active file. Raises on failure, but always leaves [j.oc]
@@ -237,8 +269,12 @@ let rotate_exn t cfg j =
         reopen ();
         raise e)
 
+(* Never rotates inside an open batch: closing the channel would flush the
+   buffered (not yet covered) records into the sealed segment. [j.bytes]
+   does not advance during a batch anyway, so the size check re-fires at
+   [batch_end] once the flush lands. *)
 let maybe_rotate t cfg j =
-  if cfg.segment_bytes > 0 && j.bytes >= cfg.segment_bytes then
+  if t.batch = None && cfg.segment_bytes > 0 && j.bytes >= cfg.segment_bytes then
     try rotate_exn t cfg j
     with e ->
       (* The decision's record is already durable in the active segment;
@@ -297,6 +333,102 @@ let journal_append t ~principal ~label ~decision =
 
 let refused_line reason = "refused:" ^ Guard.refusal_to_tag reason
 
+(* --- group commit ------------------------------------------------------ *)
+
+let batch_active t = t.batch <> None
+
+let flush_count t = t.flushes
+
+let batch_begin t =
+  if t.batch <> None then invalid_arg "Service.batch_begin: a batch is already open";
+  t.batch <-
+    Some
+      { pending_bytes = 0; pending_records = 0; saved = Hashtbl.create 8; poisoned = None }
+
+(* Capture [principal]'s pre-batch monitor state (first touch only) so an
+   aborted batch can restore it. Called by every commit path and by
+   [reset]. *)
+let batch_save t ~principal m =
+  match t.batch with
+  | None -> ()
+  | Some b ->
+    if not (Hashtbl.mem b.saved principal) then Hashtbl.add b.saved principal (Monitor.state m)
+
+(* Undo the whole batch: every touched monitor returns to its pre-batch
+   state and the segment is rolled back to the durable frontier (the channel
+   may hold partial bytes of any record in the batch — none of them were
+   covered by a flush, so recovery semantics are exactly as if each decision
+   had individually failed its journal append before commit). *)
+let batch_abort t b msg =
+  Hashtbl.iter
+    (fun principal st ->
+      match Hashtbl.find_opt t.monitors principal with
+      | Some m -> Monitor.restore m st
+      | None -> ())
+    b.saved;
+  (match (t.journal, t.jcfg) with
+  | Open_journal j, Some cfg -> discard_partial_append t cfg j
+  | _ -> ());
+  t.batch <- None;
+  Error (Guard.Fault msg)
+
+let batch_end t =
+  match t.batch with
+  | None -> Ok ()
+  | Some b -> (
+    match b.poisoned with
+    | Some msg -> batch_abort t b ("journal batch aborted: " ^ msg)
+    | None ->
+      if b.pending_records = 0 then begin
+        t.batch <- None;
+        Ok ()
+      end
+      else (
+        match (t.journal, t.jcfg) with
+        | Open_journal j, Some cfg -> (
+          match
+            observed t `Journal
+              ~detail:(fun () ->
+                [
+                  ("journal_bytes", string_of_int b.pending_bytes);
+                  ("group_records", string_of_int b.pending_records);
+                ])
+              (fun () ->
+                Faults.trip Faults.Journal_flush;
+                flush j.oc)
+          with
+          | () ->
+            j.bytes <- j.bytes + b.pending_bytes;
+            t.flushes <- t.flushes + 1;
+            t.batch <- None;
+            maybe_rotate t cfg j;
+            Ok ()
+          | exception e ->
+            batch_abort t b ("journal batch flush: " ^ Printexc.to_string e))
+        | _ ->
+          (* The journal closed or was never configured: there is nothing
+             durable to flush, and the commits already happened inline. *)
+          t.batch <- None;
+          Ok ()))
+
+let close t =
+  (* Ending any open batch first keeps [close]'s contract ("durable up to
+     the last submission"): close_out would flush the buffered records
+     anyway, but without advancing the committed frontier or running the
+     abort path — so settle the batch properly before touching the
+     channel. *)
+  (match batch_end t with
+  | Ok () -> ()
+  | Error reason ->
+    Log.warn (fun m ->
+        m "open journal batch failed at close (its decisions were rolled back): %s"
+          (Guard.refusal_to_tag reason)));
+  match t.journal with
+  | No_journal | Closed_journal -> ()
+  | Open_journal j ->
+    close_out j.oc;
+    t.journal <- Closed_journal
+
 (* --- checkpoints ------------------------------------------------------- *)
 
 (* Serialize every monitor's state with the same record codec as the
@@ -308,6 +440,10 @@ let checkpoint t =
   match (t.journal, t.jcfg) with
   | (No_journal, _ | _, None) -> Error "Service.checkpoint: no journal configured"
   | Closed_journal, _ -> Error "Service.checkpoint: journal is closed"
+  | Open_journal _, _ when t.batch <> None ->
+    (* The checkpoint's rotate would seal buffered, uncovered records into a
+       numbered segment. Callers (the shard) end the batch first. *)
+    Error "Service.checkpoint: a journal batch is open"
   | Open_journal j, Some cfg -> (
     match cfg.format with
     | `Legacy -> Error "Service.checkpoint: requires the v2 journal format"
@@ -415,12 +551,14 @@ let decide_and_commit t ~principal m label =
   | Ok None -> (
     match journal_append t ~principal ~label:encoded ~decision:(refused_line Guard.Policy) with
     | Ok () ->
+      batch_save t ~principal m;
       Monitor.commit_refusal m;
       Monitor.Refused Guard.Policy
     | Error reason -> Monitor.Refused reason)
   | Ok (Some surviving) -> (
     match journal_append t ~principal ~label:encoded ~decision:"answered" with
     | Ok () ->
+      batch_save t ~principal m;
       Monitor.commit_answer m ~surviving;
       Monitor.Answered
     | Error reason -> Monitor.Refused reason)
@@ -494,7 +632,9 @@ let stats t ~principal =
   (Monitor.answered_count m, Monitor.refused_count m)
 
 let reset t ~principal =
-  Monitor.reset (monitor_of t principal);
+  let m = monitor_of t principal in
+  batch_save t ~principal m;
+  Monitor.reset m;
   ignore (journal_append t ~principal ~label:"-" ~decision:"reset")
 
 let restore t ~principal state = Monitor.restore (monitor_of t principal) state

@@ -63,7 +63,9 @@ val create :
     @raise Invalid_argument on a negative [segment_bytes]. *)
 
 val close : t -> unit
-(** Close the journal channel, if any. The service remains usable, but
+(** Close the journal channel, if any. An open group-commit batch is ended
+    first ({!batch_end}), so its buffered records are either flushed and
+    committed or rolled back — never silently flushed past the frontier. The service remains usable, but
     decisions submitted after [close] are {e not} durably journaled: a later
     {!recover} from the journal reproduces only the pre-[close] prefix of the
     history. The first post-[close] submission logs a [Logs] warning (source
@@ -180,6 +182,56 @@ val journal_position : t -> (int * int) option
     well-formed records; a concurrent reader may also see a trailing
     not-yet-committed suffix, which parses as a torn tail
     ({!Journal.parse}). Replication readers rely on exactly this. *)
+
+(** {1 Group commit}
+
+    Per-decision durability pays one [flush] per record. A group-commit
+    batch amortizes it: between {!batch_begin} and {!batch_end}, journal
+    appends buffer in the channel and the one flush at {!batch_end} covers
+    them all — fsyncs drop from N per batch to 1. The serving layer opens a
+    batch around each drained mailbox batch and holds every decision's
+    ticket until the covering flush, so callers still never observe a
+    decision whose record is not durable.
+
+    Semantics are bit-identical to per-decision commits:
+
+    - Monitor commits stay inline (a later query in the batch must see an
+      earlier one's narrowed mask), but each touched principal's pre-batch
+      state is saved on first touch.
+    - The committed frontier ({!journal_position}) only advances at the
+      covering flush, so replication readers never ship uncovered bytes.
+    - If any append or the covering flush fails, the {e whole batch}
+      aborts: the file is truncated back to the durable frontier, every
+      touched monitor is restored to its pre-batch state, and {!batch_end}
+      returns [Error] — the caller refuses every decision in the batch,
+      exactly as if each had individually failed its append before commit.
+      Recovery then replays a journal with no trace of the batch.
+    - Rotation and checkpoints defer to batch boundaries ({!checkpoint}
+      refuses while a batch is open; size-triggered rotation re-fires after
+      the flush).
+
+    A crash between the appends and the flush loses at most the current
+    batch's decisions — whose tickets were never filled, so no caller was
+    told they committed. *)
+
+val batch_begin : t -> unit
+(** Open a group-commit batch. Decisions submitted until {!batch_end}
+    buffer their journal records without flushing.
+    @raise Invalid_argument if a batch is already open. *)
+
+val batch_end : t -> (unit, Guard.refusal_reason) result
+(** Flush the covering write and close the batch. [Ok] when every buffered
+    record is durable (or the batch was empty / journal-less); [Error
+    (Fault _)] when the batch aborted — all of its decisions were rolled
+    back and must be reported refused. No-op [Ok] when no batch is open.
+    The {!Faults.Journal_flush} stage injects at the covering flush. *)
+
+val batch_active : t -> bool
+
+val flush_count : t -> int
+(** Journal flushes issued by this service instance: one per decision
+    without group commit, one per non-empty batch with it. The fsync-
+    amortization benchmarks and CI guard read this. *)
 
 val apply_journal_record : t -> string list -> (unit, string) result
 (** Re-apply one decision record's unescaped fields

@@ -3,6 +3,7 @@ exception Protocol_error of string
 type t = {
   fd : Unix.file_descr;
   buf : Buffer.t;
+  mutable pos : int;  (** Consumed prefix of [buf] — dead bytes before the next frame. *)
   scratch : Bytes.t;
   mutable closed : bool;
 }
@@ -18,7 +19,7 @@ let connect ?(read_deadline = 30.0) addr =
    with exn ->
      (try Unix.close fd with Unix.Unix_error _ -> ());
      raise exn);
-  { fd; buf = Buffer.create chunk; scratch = Bytes.create chunk; closed = false }
+  { fd; buf = Buffer.create chunk; pos = 0; scratch = Bytes.create chunk; closed = false }
 
 (* Transient connect-time failures: the peer is not there (yet). Anything
    else — bad address family, EACCES, out of descriptors — is a caller
@@ -59,24 +60,32 @@ let with_connection ?read_deadline addr f =
   let t = connect ?read_deadline addr in
   Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
 
-let write_all fd s =
-  let b = Bytes.unsafe_of_string s in
-  let n = String.length s in
-  let off = ref 0 in
-  while !off < n do
-    off := !off + Unix.write fd b !off (n - !off)
-  done
+(* How much dead prefix we tolerate before recopying the live tail. With a
+   pipelined window in flight, compacting after every frame would recopy
+   the remaining responses once per frame — O(n²) over the window. *)
+let compact_threshold = 1 lsl 16
 
-(* Read until the buffer holds one complete frame, then consume it. The
-   server speaks strict request/response on one connection, so at most one
-   response is ever in flight here. *)
+let compact t =
+  if t.pos = Buffer.length t.buf then begin
+    Buffer.clear t.buf;
+    t.pos <- 0
+  end
+  else if t.pos >= compact_threshold then begin
+    let rest = Buffer.sub t.buf t.pos (Buffer.length t.buf - t.pos) in
+    Buffer.clear t.buf;
+    Buffer.add_string t.buf rest;
+    t.pos <- 0
+  end
+
+(* Read until the buffer holds one complete frame at the cursor, then
+   consume it by advancing [pos] — responses already buffered behind it
+   (a pipelined window) are not recopied. *)
 let read_frame t =
   let rec loop () =
-    match Frame.decode (Buffer.contents t.buf) with
+    match Frame.decode_sub (Buffer.contents t.buf) ~off:t.pos with
     | Frame.Frame { payload; consumed } ->
-      let rest = Buffer.sub t.buf consumed (Buffer.length t.buf - consumed) in
-      Buffer.clear t.buf;
-      Buffer.add_string t.buf rest;
+      t.pos <- t.pos + consumed;
+      compact t;
       payload
     | Frame.Corrupt e -> raise (Protocol_error (Errors.to_string e))
     | Frame.Need_more _ -> (
@@ -84,7 +93,7 @@ let read_frame t =
       | 0 ->
         raise
           (Protocol_error
-             (if Buffer.length t.buf = 0 then "server closed the connection"
+             (if Buffer.length t.buf - t.pos = 0 then "server closed the connection"
               else "server closed the connection mid-frame"))
       | n ->
         Buffer.add_subbytes t.buf t.scratch 0 n;
@@ -95,12 +104,45 @@ let read_frame t =
   in
   loop ()
 
-let request t req =
-  if t.closed then raise (Protocol_error "connection is closed");
-  write_all t.fd (Frame.encode (Codec.encode_request req));
-  match Codec.decode_response (read_frame t) with
+let decode_response_exn payload =
+  match Codec.decode_response payload with
   | Ok resp -> resp
   | Error msg -> raise (Protocol_error msg)
+
+let request t req =
+  if t.closed then raise (Protocol_error "connection is closed");
+  Fdio.write_all t.fd (Frame.encode (Codec.encode_request req));
+  decode_response_exn (read_frame t)
+
+let request_pipelined ?(depth = 32) t reqs =
+  if depth < 1 then invalid_arg "Client.request_pipelined: depth must be >= 1";
+  if t.closed then raise (Protocol_error "connection is closed");
+  let frames = Array.of_list (List.map (fun r -> Frame.encode (Codec.encode_request r)) reqs) in
+  let n = Array.length frames in
+  let sent = ref 0 in
+  let received = ref 0 in
+  let acc = ref [] in
+  let out = Buffer.create chunk in
+  while !received < n do
+    (* Top up the in-flight window, coalescing the new frames into one
+       write. The depth bound is what makes a blocking client safe: with
+       both windows' worth of bytes bounded, the server can always drain
+       what we sent and we can always drain what it responded — neither
+       side ever blocks on write with the other also blocked on write. *)
+    if !sent < n && !sent - !received < depth then begin
+      Buffer.clear out;
+      while !sent < n && !sent - !received < depth do
+        Buffer.add_string out frames.(!sent);
+        incr sent
+      done;
+      Fdio.write_all t.fd (Buffer.contents out)
+    end;
+    (* The server decides one connection's frames strictly in arrival
+       order, so responses match requests positionally. *)
+    acc := decode_response_exn (read_frame t) :: !acc;
+    incr received
+  done;
+  List.rev !acc
 
 let query_string t ~principal query =
   match request t (Codec.Query { principal; query }) with
@@ -110,6 +152,19 @@ let query_string t ~principal query =
     raise (Protocol_error "mismatched response to a query")
 
 let query t ~principal q = query_string t ~principal (Cq.Query.to_string q)
+
+let query_batch_string ?depth t queries =
+  let reqs = List.map (fun (principal, query) -> Codec.Query { principal; query }) queries in
+  List.map
+    (function
+      | Codec.Decision d -> Ok d
+      | Codec.Error e -> Error e
+      | Codec.Pong | Codec.Stats_doc _ | Codec.Batch _ | Codec.Snapshot _ ->
+        raise (Protocol_error "mismatched response to a query"))
+    (request_pipelined ?depth t reqs)
+
+let query_batch ?depth t queries =
+  query_batch_string ?depth t (List.map (fun (p, q) -> (p, Cq.Query.to_string q)) queries)
 
 let ping t =
   match request t Codec.Ping with

@@ -1,7 +1,9 @@
-(** Blocking client for the wire protocol: one connection, strict
-    request/response. Thread-compatible, not thread-safe — one domain per
-    connection (open several connections for concurrency, as the overload
-    tests do). *)
+(** Blocking client for the wire protocol: one connection, requests
+    answered strictly in order. {!request} is one round trip at a time;
+    {!query_batch} pipelines a bounded window of requests so many are in
+    flight per round trip. Thread-compatible, not thread-safe — one domain
+    per connection (open several connections for concurrency, as the
+    overload tests do). *)
 
 exception Protocol_error of string
 (** The {e transport} failed: the server closed the connection, sent a
@@ -51,6 +53,21 @@ val request : t -> Codec.request -> Codec.response
 (** One round trip.
     @raise Protocol_error on transport failure. *)
 
+val request_pipelined : ?depth:int -> t -> Codec.request list -> Codec.response list
+(** Send the requests down the one connection with up to [depth] (default
+    32) in flight at once, and return the responses in request order. The
+    server decides one connection's frames strictly in arrival order, so
+    responses correspond to requests positionally — same answers as
+    [List.map (request t)], minus a round trip per request. The depth
+    bound keeps the unread bytes on both sockets bounded, so the blocking
+    client can never deadlock against a server that writes in batches. If
+    the connection dies mid-batch ([Protocol_error]), responses not yet
+    read are lost — like any torn connection, the caller cannot tell which
+    of the unacknowledged requests were decided (journaled decisions
+    survive and recovery replays them).
+    @raise Protocol_error on transport failure.
+    @raise Invalid_argument on [depth < 1]. *)
+
 val query :
   t -> principal:string -> Cq.Query.t -> (Disclosure.Monitor.decision, Errors.t) result
 (** Submit one query (sent as {!Cq.Query.to_string} concrete syntax).
@@ -62,6 +79,23 @@ val query :
 val query_string : t -> principal:string -> string -> (Disclosure.Monitor.decision, Errors.t) result
 (** Like {!query} with the concrete syntax already in hand (the CLI's
     path — the server parses and validates). *)
+
+val query_batch :
+  ?depth:int ->
+  t ->
+  (string * Cq.Query.t) list ->
+  (Disclosure.Monitor.decision, Errors.t) result list
+(** Pipeline a batch of [(principal, query)] submissions
+    ({!request_pipelined}) and return each one's result in order, with the
+    same [Ok]/[Error] split as {!query}. Decisions are identical to
+    issuing the queries one by one — pipelining changes scheduling, never
+    semantics.
+    @raise Protocol_error on transport failure (see
+    {!request_pipelined} for what is knowable about a torn batch). *)
+
+val query_batch_string :
+  ?depth:int -> t -> (string * string) list -> (Disclosure.Monitor.decision, Errors.t) result list
+(** {!query_batch} with the concrete syntax already in hand. *)
 
 val ping : t -> unit
 (** Liveness round trip.

@@ -11,22 +11,18 @@ type config = {
 
 let default_config = { read_deadline = 30.0; max_payload = Frame.default_max_payload }
 
-(* One reference-monitor connection: a sequential request/response frame
-   loop on its own domain. The socket's receive timeout enforces the read
-   deadline, the frame decoder enforces the payload cap, and every failure
-   mode funnels into a typed [Errors.t] — sent to the peer when the socket
-   still works, and fatal ones close the connection. Nothing here ever
-   touches the journal: a protocol error is not a decision. *)
+(* One reference-monitor connection: a pipelined frame loop on its own
+   domain. The socket's receive timeout enforces the read deadline, the
+   frame decoder enforces the payload cap, and every failure mode funnels
+   into a typed [Errors.t] — sent to the peer when the socket still works,
+   and fatal ones close the connection. Requests are decided strictly in
+   arrival order, but every complete frame already buffered is decoded and
+   handled before anything is written back, and the batch's responses go
+   out in one vectorized write — a pipelining client pays one syscall per
+   batch, not one round trip per request. Nothing here ever touches the
+   journal: a protocol error is not a decision. *)
 
 let chunk = 4096
-
-let write_all fd s =
-  let b = Bytes.unsafe_of_string s in
-  let n = String.length s in
-  let off = ref 0 in
-  while !off < n do
-    off := !off + Unix.write fd b !off (n - !off)
-  done
 
 type wire = {
   fd : Unix.file_descr;
@@ -42,7 +38,7 @@ let count w c n =
 let send w response =
   Disclosure.Faults.trip Disclosure.Faults.Net_write;
   let frame = Frame.encode (Codec.encode_response response) in
-  write_all w.fd frame;
+  Fdio.write_all w.fd frame;
   count w Metrics.Net_bytes_out (String.length frame)
 
 (* Best-effort: the peer may already be gone when we try to tell it why we
@@ -54,48 +50,117 @@ type step =
   | Close_clean
   | Close_error of Errors.t
 
-(* Consume every complete frame currently buffered. Frames are handled in
-   arrival order; the [Net] stage histogram times each one from decode
-   start to response written. *)
-let rec drain_frames w ~handle =
+type reply =
+  | Now of Codec.response
+  | Later of (unit -> Codec.response)
+
+(* Consume every complete frame currently buffered, then flush all their
+   responses with a single write — in two phases:
+
+   Phase 1 walks one snapshot of the receive buffer at increasing offsets
+   ([Frame.decode_sub], one compaction per batch instead of one per frame
+   — the old decode-at-zero loop recopied the whole buffer per frame,
+   O(n²) across a deep pipeline), dispatching each frame as it decodes.
+   The handler answers [Now resp] for immediate work or [Later thunk] for
+   deferred work (the listener submits the query into its shard's mailbox
+   and defers the await) — so by the end of phase 1 {e every} buffered
+   query is already in flight across the shards, and a pipelining client's
+   window lands in the shard's drained batch together: one group-commit
+   fsync covers it.
+
+   Phase 2 forces the deferred replies in arrival order (responses match
+   requests positionally) and vectorizes the whole batch's responses into
+   a single write. The [Net] stage histogram times each frame's phase-1
+   work — decode and dispatch; a deferred await is mailbox wait, which the
+   server already accounts under [Wait].
+
+   A raised [Net_write] fault (or a handler/thunk exception) propagates to
+   [serve]'s backstop exactly as it did when each response was written
+   eagerly: the connection dies with this batch's buffered responses
+   undelivered, which a pipelining client must treat like any other torn
+   connection. *)
+let drain_frames w ~handle =
   if Buffer.length w.buf = 0 then Continue
-  else
-    match Frame.decode ~max_payload:w.config.max_payload (Buffer.contents w.buf) with
-    | Frame.Need_more _ -> Continue
-    | Frame.Corrupt e -> Close_error e
-    | Frame.Frame { payload; consumed } ->
-      let rest = Buffer.sub w.buf consumed (Buffer.length w.buf - consumed) in
-      Buffer.clear w.buf;
-      Buffer.add_string w.buf rest;
-      let step =
-        let run () =
-          match
-            Disclosure.Faults.trip Disclosure.Faults.Net_decode;
-            Codec.decode_request payload
-          with
-          | Error e when Errors.fatal e -> Close_error e
-          | Error e ->
-            send w (Codec.Error e);
-            count w Metrics.Net_errors 1;
-            Continue
-          | Ok req -> (
-            match handle req with
-            | Codec.Error e when Errors.fatal e ->
-              (* The handler itself failed closed (fault, shutdown):
-                 report and close. *)
-              Close_error e
-            | resp ->
-              send w resp;
-              count w Metrics.Net_requests 1;
-              Continue)
-          | exception exn ->
-            Close_error (Errors.fault (Printexc.to_string exn))
+  else begin
+    let data = Buffer.contents w.buf in
+    let len = String.length data in
+    let off = ref 0 in
+    let verdict = ref Continue in
+    let halted = ref false in
+    let pending = ref [] (* replies in reverse arrival order *) in
+    while (not !halted) && !off < len do
+      match Frame.decode_sub ~max_payload:w.config.max_payload data ~off:!off with
+      | Frame.Need_more _ -> halted := true
+      | Frame.Corrupt e ->
+        verdict := Close_error e;
+        halted := true
+      | Frame.Frame { payload; consumed } ->
+        off := !off + consumed;
+        let step =
+          let run () =
+            match
+              Disclosure.Faults.trip Disclosure.Faults.Net_decode;
+              Codec.decode_request payload
+            with
+            | Error e when Errors.fatal e -> Close_error e
+            | Error e ->
+              pending := Now (Codec.Error e) :: !pending;
+              count w Metrics.Net_errors 1;
+              Continue
+            | Ok req -> (
+              match handle req with
+              | Now (Codec.Error e) when Errors.fatal e ->
+                (* The handler itself failed closed (fault, shutdown):
+                   report and close. *)
+                Close_error e
+              | reply ->
+                pending := reply :: !pending;
+                count w Metrics.Net_requests 1;
+                Continue)
+            | exception exn ->
+              Close_error (Errors.fault (Printexc.to_string exn))
+          in
+          match w.metrics with
+          | None -> run ()
+          | Some m -> Metrics.time m Metrics.Net run
         in
-        match w.metrics with
-        | None -> run ()
-        | Some m -> Metrics.time m Metrics.Net run
-      in
-      (match step with Continue -> drain_frames w ~handle | _ -> step)
+        (match step with
+        | Continue -> ()
+        | s ->
+          verdict := s;
+          halted := true)
+    done;
+    (* One compaction for the whole batch. *)
+    Buffer.clear w.buf;
+    if !off < len then Buffer.add_substring w.buf data !off (len - !off);
+    (* Phase 2: force deferred replies in order and buffer every response.
+       A fatal deferred response closes like a fatal immediate one —
+       responses completed before it still go out first, then [serve]
+       sends the closing error frame; replies after it are dropped (their
+       queries were already submitted and decided; the client sees a torn
+       connection). *)
+    let out = Buffer.create chunk in
+    let respond response =
+      Disclosure.Faults.trip Disclosure.Faults.Net_write;
+      Buffer.add_string out (Frame.encode (Codec.encode_response response))
+    in
+    let stop = ref false in
+    List.iter
+      (fun reply ->
+        if not !stop then
+          match (match reply with Now resp -> resp | Later force -> force ()) with
+          | Codec.Error e when Errors.fatal e ->
+            verdict := Close_error e;
+            stop := true
+          | resp -> respond resp)
+      (List.rev !pending);
+    (* One vectorized write for every response buffered this batch. *)
+    if Buffer.length out > 0 then begin
+      Fdio.write_all w.fd (Buffer.contents out);
+      count w Metrics.Net_bytes_out (Buffer.length out)
+    end;
+    !verdict
+  end
 
 let read_step w ~handle =
   match Unix.read w.fd w.scratch 0 chunk with

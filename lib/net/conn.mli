@@ -1,5 +1,13 @@
-(** One accepted connection: a sequential request/response frame loop,
-    run to completion on the connection's own domain.
+(** One accepted connection: a pipelined frame loop, run to completion on
+    the connection's own domain.
+
+    Requests on one connection are decided strictly in arrival order —
+    responses match requests positionally — but the loop decodes {e every}
+    complete frame already buffered before writing anything back, and the
+    batch's responses leave in a single vectorized write. A serial
+    request/response client sees exactly the old behavior (each batch is
+    one frame); a pipelining client ({!Client.query_batch}) amortizes the
+    write syscall and the network round trip across the whole window.
 
     Robustness is the contract. The socket receive timeout enforces the
     per-connection read deadline, {!Frame.decode} enforces the payload cap
@@ -21,18 +29,32 @@ type config = {
 val default_config : config
 (** [{ read_deadline = 30.0; max_payload = Frame.default_max_payload }] *)
 
+(** A handler's verdict on one request. *)
+type reply =
+  | Now of Codec.response  (** Answer immediately (pings, stats, errors). *)
+  | Later of (unit -> Codec.response)
+      (** The work is already in flight (a query submitted to its shard's
+          mailbox); the thunk blocks for the result. The loop dispatches
+          {e every} buffered frame before forcing any thunk, so a
+          pipelined window crosses the shards as one batch — with group
+          commit, one covering fsync. Thunks are forced in arrival order;
+          a thunk whose frame-batch dies fatally before it is forced is
+          dropped (its decision stands server-side, undelivered). *)
+
 val serve :
   ?metrics:Server.Metrics.t ->
   ?config:config ->
-  handle:(Codec.request -> Codec.response) ->
+  handle:(Codec.request -> reply) ->
   Unix.file_descr ->
   unit
 (** [serve ~handle fd] owns [fd]: it runs the frame loop until the peer
     half-closes (clean EOF between frames) or a fatal error occurs, then
     half-closes its own send side and closes the descriptor. [handle] maps
-    each request to a response; returning a {e fatal} [Codec.Error] (see
-    {!Errors.fatal}) closes the connection after the error is sent, and an
-    exception from [handle] fails closed as [Errors.Fault]. With
-    [metrics], each handled frame is timed under the [Net] stage and the
+    each request to a {!reply}; a {e fatal} [Codec.Error] (see
+    {!Errors.fatal}), whether immediate or deferred, closes the connection
+    after the error is sent, and an exception from [handle] or a forced
+    thunk fails closed as [Errors.Fault]. With [metrics], each frame's
+    decode-and-dispatch is timed under the [Net] stage (a deferred await
+    is mailbox wait, accounted by the server under [Wait]) and the
     [Net_requests] / [Net_errors] / [Net_bytes_in] / [Net_bytes_out]
     counters are maintained. *)

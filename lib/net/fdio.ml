@@ -1,0 +1,30 @@
+(* Restartable descriptor writes shared by the server's connection loop
+   and the client. A write on a socket can return short, be interrupted by
+   a signal (EINTR), or report a momentarily full send buffer
+   (EAGAIN/EWOULDBLOCK — a send timeout or a nonblocking descriptor). All
+   three must mean "keep writing from where we stopped": anything else
+   tears a frame mid-stream and the peer sees CRC garbage.
+
+   [Unix.single_write], not [Unix.write]: [Unix.write] loops over internal
+   16 KiB chunks and raises EINTR even after earlier chunks reached the
+   kernel, losing the count — a retry from the saved offset then resends
+   those bytes and the peer sees a duplicated, corrupt stream.
+   [single_write] makes exactly one write(2) syscall, so EINTR always
+   means "nothing was written this call" and the offset stays exact. *)
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = String.length s in
+  let off = ref 0 in
+  while !off < n do
+    match Unix.single_write fd b !off (n - !off) with
+    | written -> off := !off + written
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      (* Wait for the kernel to drain the send buffer, then retry. The
+         select timeout only bounds this one wait — the loop never gives
+         up on its own; a dead peer surfaces as EPIPE/ECONNRESET from the
+         retried write, not as a silent partial frame. *)
+      (try ignore (Unix.select [] [ fd ] [] 0.05)
+       with Unix.Unix_error (Unix.EINTR, _, _) -> ())
+  done

@@ -1,0 +1,15 @@
+(** Restartable descriptor writes, shared by {!Conn} and {!Client}.
+
+    A partial [Unix.write], an [EINTR], or a transient
+    [EAGAIN]/[EWOULDBLOCK] (send timeout, nonblocking descriptor) must
+    never tear a frame mid-stream — the peer would read CRC garbage and
+    close an otherwise healthy connection. *)
+
+val write_all : Unix.file_descr -> string -> unit
+(** Write the whole string, resuming after short writes, retrying
+    immediately on [EINTR], and waiting for writability (bounded
+    [Unix.select] waits) on [EAGAIN]/[EWOULDBLOCK] before retrying. Built
+    on [Unix.single_write] (exactly one write(2) per attempt), so an
+    interrupted attempt wrote nothing and the resume offset stays exact —
+    never writes a byte twice and never gives up with bytes unwritten.
+    @raise Unix.Unix_error on real failures ([EPIPE], [ECONNRESET], …). *)

@@ -42,26 +42,32 @@ type progress =
   | Need_more of int
   | Corrupt of Errors.t
 
-let decode ?(max_payload = default_max_payload) buf =
-  let len = String.length buf in
+let decode_sub ?(max_payload = default_max_payload) buf ~off =
+  if off < 0 || off > String.length buf then
+    invalid_arg "Frame.decode_sub: offset out of bounds";
+  let len = String.length buf - off in
   (* Reject garbage on the shortest prefix that proves it: a wrong byte in
      the magic or version is corrupt even if the header is incomplete. *)
   let magic_avail = min len 4 in
-  if String.sub buf 0 magic_avail <> String.sub magic 0 magic_avail then
-    Corrupt Errors.bad_magic
-  else if len >= 5 && Char.code buf.[4] <> version then
-    Corrupt (Errors.bad_version (Char.code buf.[4]))
+  let rec magic_ok i =
+    i >= magic_avail || (buf.[off + i] = magic.[i] && magic_ok (i + 1))
+  in
+  if not (magic_ok 0) then Corrupt Errors.bad_magic
+  else if len >= 5 && Char.code buf.[off + 4] <> version then
+    Corrupt (Errors.bad_version (Char.code buf.[off + 4]))
   else if len < header_len then Need_more (header_len - len)
   else
-    let payload_len = get_u32_be buf 5 in
+    let payload_len = get_u32_be buf (off + 5) in
     if payload_len > max_payload then
       Corrupt (Errors.oversized ~length:payload_len ~max:max_payload)
     else
       let total = header_len + payload_len in
       if len < total then Need_more (total - len)
       else
-        let payload = String.sub buf header_len payload_len in
-        let expected = get_u32_be buf 9 in
+        let payload = String.sub buf (off + header_len) payload_len in
+        let expected = get_u32_be buf (off + 9) in
         let actual = Disclosure.Journal.crc32 payload in
         if expected <> actual then Corrupt (Errors.crc_mismatch ~expected ~actual)
         else Frame { payload; consumed = total }
+
+let decode ?max_payload buf = decode_sub ?max_payload buf ~off:0

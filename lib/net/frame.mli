@@ -43,3 +43,13 @@ val decode : ?max_payload:int -> string -> progress
     the shortest prefix that proves it (a wrong magic byte is [Corrupt]
     even with one byte buffered). Total: never raises.
     [max_payload] defaults to {!default_max_payload}. *)
+
+val decode_sub : ?max_payload:int -> string -> off:int -> progress
+(** [decode_sub buf ~off] is [decode] on the suffix of [buf] starting at
+    [off], without copying it: [consumed] counts from [off] and [Need_more]
+    measures against [String.length buf - off]. This is the pipelined frame
+    loop's decoder — it walks one snapshot of the receive buffer at
+    increasing offsets and compacts once per read batch instead of once per
+    frame. [decode] is [decode_sub ~off:0].
+    @raise Invalid_argument when [off] is outside [[0, length buf]] (the
+    only partial case; decoding itself never raises). *)

@@ -46,58 +46,69 @@ let locked m f =
 
 let metrics t = Server.metrics t.server
 
-(* The request → response map, run on the connection's domain. Submitting
+(* The request → reply map, run on the connection's domain. Submitting
    into the shard mailboxes from a foreign domain is exactly what they are
    for; overload comes back as an already-resolved [Refused Overload]
    ticket and crosses the wire like any other decision — it is never
-   journaled, same as in-process shedding. *)
+   journaled, same as in-process shedding. Queries are submitted here but
+   awaited in the deferred thunk ([Conn.Later]): the frame loop dispatches
+   every buffered frame before forcing any await, so a pipelined window
+   lands in the shard mailboxes as one batch — with group commit, one
+   covering fsync — instead of paying a full shard round trip per frame. *)
 let dispatch_builtin t req =
   match req with
-  | Codec.Ping -> Codec.Pong
+  | Codec.Ping -> Conn.Now Codec.Pong
   | Codec.Pull _ ->
-    Codec.Error (Errors.bad_request "no replication source attached")
+    Conn.Now (Codec.Error (Errors.bad_request "no replication source attached"))
   | Codec.Stats -> (
     match Obs.Json.parse (Server.stats_json t.server) with
-    | Ok doc -> Codec.Stats_doc doc
-    | Error msg -> Codec.Error (Errors.fault ("stats document did not parse: " ^ msg)))
+    | Ok doc -> Conn.Now (Codec.Stats_doc doc)
+    | Error msg ->
+      Conn.Now (Codec.Error (Errors.fault ("stats document did not parse: " ^ msg))))
   | Codec.Query { principal; query } -> (
     (* Only the listener's own lifecycle gates here: a not-yet-started
        server queues submissions in its mailboxes (the overload tests
        depend on that), and a stopped server's submit raises — mapped to
        [Shutting_down] below. *)
     if Atomic.get t.stopping || Atomic.get t.draining then
-      Codec.Error (Errors.shutting_down "server is draining; no new queries accepted")
+      Conn.Now
+        (Codec.Error (Errors.shutting_down "server is draining; no new queries accepted"))
     else
       match Cq.Parser.query query with
-      | Error msg -> Codec.Error (Errors.bad_request msg)
+      | Error msg -> Conn.Now (Codec.Error (Errors.bad_request msg))
       | Ok q -> (
         let start_ns = Disclosure.Mclock.now_ns () in
-        match Server.submit_sync t.server ~principal q with
-        | decision ->
-          (match t.trace with
-          | None -> ()
-          | Some (trace, track) ->
-            let outcome =
-              match decision with
-              | Disclosure.Monitor.Answered -> "answered"
-              | Disclosure.Monitor.Refused r -> Disclosure.Guard.refusal_to_tag r
-            in
-            locked t.trace_mutex (fun () ->
-                let scope = Obs.Trace.query_begin trace ~track ~name:"net" ~start_ns ~principal () in
-                Obs.Trace.annotate scope "query" query;
-                Obs.Trace.query_end scope ~outcome));
-          Codec.Decision decision
+        match Server.submit t.server ~principal q with
+        | ticket ->
+          Conn.Later
+            (fun () ->
+              let decision = Server.await ticket in
+              (match t.trace with
+              | None -> ()
+              | Some (trace, track) ->
+                let outcome =
+                  match decision with
+                  | Disclosure.Monitor.Answered -> "answered"
+                  | Disclosure.Monitor.Refused r -> Disclosure.Guard.refusal_to_tag r
+                in
+                locked t.trace_mutex (fun () ->
+                    let scope =
+                      Obs.Trace.query_begin trace ~track ~name:"net" ~start_ns ~principal ()
+                    in
+                    Obs.Trace.annotate scope "query" query;
+                    Obs.Trace.query_end scope ~outcome));
+              Codec.Decision decision)
         | exception Disclosure.Service.Unknown_principal p ->
-          Codec.Error (Errors.unknown_principal p)
+          Conn.Now (Codec.Error (Errors.unknown_principal p))
         | exception Invalid_argument msg ->
           (* submit after stop — the race window between the gate above and
              the mailbox close. Fail closed, don't crash the connection
              handler. *)
-          Codec.Error (Errors.shutting_down msg)))
+          Conn.Now (Codec.Error (Errors.shutting_down msg))))
 
 let dispatch t req =
   match (match t.extend with None -> None | Some f -> f req) with
-  | Some resp -> resp
+  | Some resp -> Conn.Now resp
   | None -> dispatch_builtin t req
 
 (* Best-effort single-frame reply used when a connection is refused at

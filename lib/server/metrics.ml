@@ -144,6 +144,7 @@ type gauge =
   | Gc_promoted_words
   | Journal_segment
   | Journal_offset
+  | Journal_flushes
   | Replication_lag
   | Compile_version
   | Compile_fallbacks
@@ -156,11 +157,12 @@ let gauge_index = function
   | Gc_promoted_words -> 2
   | Journal_segment -> 3
   | Journal_offset -> 4
-  | Replication_lag -> 5
-  | Compile_version -> 6
-  | Compile_fallbacks -> 7
-  | Intern_entries -> 8
-  | Diagram_nodes -> 9
+  | Journal_flushes -> 5
+  | Replication_lag -> 6
+  | Compile_version -> 7
+  | Compile_fallbacks -> 8
+  | Intern_entries -> 9
+  | Diagram_nodes -> 10
 
 let gauge_name = function
   | Gc_minor_collections -> "gc_minor_collections"
@@ -168,6 +170,7 @@ let gauge_name = function
   | Gc_promoted_words -> "gc_promoted_words"
   | Journal_segment -> "journal_segment"
   | Journal_offset -> "journal_offset"
+  | Journal_flushes -> "journal_flushes"
   | Replication_lag -> "replication_lag"
   | Compile_version -> "compile_version"
   | Compile_fallbacks -> "compile_fallbacks"
@@ -181,6 +184,7 @@ let gauges =
     Gc_promoted_words;
     Journal_segment;
     Journal_offset;
+    Journal_flushes;
     Replication_lag;
     Compile_version;
     Compile_fallbacks;
@@ -188,7 +192,7 @@ let gauges =
     Diagram_nodes;
   ]
 
-let n_gauges = 10
+let n_gauges = 11
 
 (* Power-of-two latency buckets: bucket [i] counts observations in
    [2^i, 2^(i+1)) nanoseconds. 40 buckets reach ~18 minutes. *)

@@ -56,6 +56,10 @@ type gauge =
   | Gc_promoted_words  (** Words promoted minor → major (truncated to int). *)
   | Journal_segment  (** Active journal segment index of the shard. *)
   | Journal_offset  (** Committed bytes in the shard's active segment. *)
+  | Journal_flushes
+      (** Journal flushes issued by the shard's service: one per decision
+          without group commit, one per drained batch with it — the
+          fsync-amortization benchmarks divide this by decisions. *)
   | Replication_lag
       (** On a follower: bytes of committed primary journal this node has
           not yet applied (set by the replay loop). On a primary with a

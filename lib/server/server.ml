@@ -26,6 +26,7 @@ type config = {
   checkpoint_every : int;
   segment_bytes : int;
   drain : int;
+  group_commit : bool;
 }
 
 let default_config =
@@ -36,6 +37,7 @@ let default_config =
     checkpoint_every = 0;
     segment_bytes = 0;
     drain = 64;
+    group_commit = false;
   }
 
 type state =
@@ -104,8 +106,8 @@ let create ?limits ?journal ?trace ?(config = default_config) pipeline =
           ~segment_bytes:config.segment_bytes
           ~checkpoint_every:config.checkpoint_every ?trace
           ~mailbox_capacity:config.mailbox_capacity
-          ~cache_capacity:config.cache_capacity ~drain:config.drain ~metrics
-          pipeline)
+          ~cache_capacity:config.cache_capacity ~drain:config.drain
+          ~group_commit:config.group_commit ~metrics pipeline)
   in
   {
     config;
@@ -326,6 +328,10 @@ let compile_stats t =
    reads — see Service.journal_position). [None] for journal-less shards
    and, briefly, for a shard mid-reload. *)
 let journal_positions t = Array.map Shard.journal_position t.shards
+
+(* Same read discipline as the watermarks: racy word reads, exact only on
+   a quiescent or drained server. *)
+let flush_counts t = Array.map Shard.flush_count t.shards
 
 let journal_position t ~shard =
   if shard < 0 || shard >= shard_count t then

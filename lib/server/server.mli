@@ -48,11 +48,20 @@ type config = {
           overhead under load. Processing stays strictly in dequeue order
           on the one worker domain, and overload shedding still happens at
           push time against [mailbox_capacity]. *)
+  group_commit : bool;
+      (** Batch journal flushes across each drained mailbox batch (see
+          {!Shard.create}): one covering fsync per drain instead of one per
+          decision, with every ticket in the batch filled only after that
+          flush. Decisions, journal bytes, and recovery are bit-identical
+          to per-decision commits; a failed covering flush refuses the
+          whole batch with the monitors rolled back. No effect on
+          journal-less servers beyond the deferred ticket fills. *)
 }
 
 val default_config : config
 (** [{ domains = 4; mailbox_capacity = 1024; cache_capacity = 4096;
-      checkpoint_every = 0; segment_bytes = 0; drain = 64 }] *)
+      checkpoint_every = 0; segment_bytes = 0; drain = 64;
+      group_commit = false }] *)
 
 type t
 
@@ -178,6 +187,13 @@ val journal_positions : t -> (int * int) option array
 val journal_position : t -> shard:int -> (int * int) option
 (** One shard's watermark. @raise Invalid_argument on an out-of-range
     shard. *)
+
+val flush_counts : t -> int array
+(** Per-shard journal flush (fsync) counts by shard index
+    ({!Shard.flush_count}) — one per decision without [group_commit], one
+    per drained batch with it; the group-commit benchmark and tests divide
+    by decisions to bound fsyncs per decision. Racy word reads; exact on a
+    quiescent or drained server. *)
 
 val prometheus : t -> string
 (** {!Metrics.to_prometheus} after refreshing the per-shard journal

@@ -70,6 +70,15 @@ type t = {
       (* Registration set of the live service, for reload's carry-over
          decision (unchanged partitions keep their monitor state). *)
   drain : int; (* max messages dequeued per mailbox wakeup *)
+  group_commit : bool;
+      (* Batch journal flushes across each drained mailbox batch: the worker
+         opens a Service batch before the first query of a drain, defers
+         every ticket fill into [deferred], and fills them all after the one
+         covering flush. Control messages (barrier/checkpoint/reload) force
+         the flush first, so their ordering guarantees are unchanged. *)
+  mutable deferred : (Monitor.decision Ivar.t * Monitor.decision) list;
+      (* Decisions awaiting the covering flush, newest first. Worker-domain
+         only. *)
   checkpoint_every : int; (* decisions between automatic checkpoints; 0 = never *)
   mutable decided : int; (* decisions since the last automatic checkpoint *)
   mutable processed : int; (* total queries processed, for the gc cadence *)
@@ -77,7 +86,8 @@ type t = {
 }
 
 let create ~index ?limits ?journal ?(segment_bytes = 0) ?(checkpoint_every = 0) ?trace
-    ~mailbox_capacity ~cache_capacity ?(drain = 64) ~metrics pipeline =
+    ~mailbox_capacity ~cache_capacity ?(drain = 64) ?(group_commit = false) ~metrics
+    pipeline =
   if checkpoint_every < 0 then invalid_arg "Shard.create: checkpoint_every must be >= 0";
   if drain < 1 then invalid_arg "Shard.create: drain must be >= 1";
   let scope = ref None in
@@ -122,6 +132,8 @@ let create ~index ?limits ?journal ?(segment_bytes = 0) ?(checkpoint_every = 0) 
     observe;
     registered = [];
     drain;
+    group_commit;
+    deferred = [];
     checkpoint_every;
     decided = 0;
     processed = 0;
@@ -173,11 +185,15 @@ let sample_gc t =
    committed frontier is always one scrape away (replication lag is
    primary offset minus follower offset, no second scrape needed). *)
 let sample_journal t =
+  Metrics.set_gauge t.metrics ~shard:t.index Metrics.Journal_flushes
+    (Service.flush_count t.service);
   match Service.journal_position t.service with
   | None -> ()
   | Some (seq, bytes) ->
     Metrics.set_gauge t.metrics ~shard:t.index Metrics.Journal_segment seq;
     Metrics.set_gauge t.metrics ~shard:t.index Metrics.Journal_offset bytes
+
+let flush_count t = Service.flush_count t.service
 
 (* Compiled-labeler gauges, refreshed on the gc cadence, at barriers, and
    after every reload — four plain int stores. *)
@@ -330,17 +346,23 @@ let checkpoint t =
    segment family independently, with no cross-domain coordination. A failed
    checkpoint never affects the decision path: it is logged, durability
    stays on the full journal, and the next cadence point retries. *)
-let maybe_auto_checkpoint t =
-  if t.checkpoint_every > 0 then begin
-    t.decided <- t.decided + 1;
-    if t.decided >= t.checkpoint_every then begin
-      t.decided <- 0;
-      match checkpoint t with
-      | Ok () -> ()
-      | Error msg ->
-        Log.warn (fun m -> m "shard %d: automatic checkpoint failed: %s" t.index msg)
-    end
+(* Split so group commit can count decisions per query but only trigger the
+   checkpoint at a batch boundary (a checkpoint rotates, which a service
+   refuses while its batch is open). *)
+let note_decided t = if t.checkpoint_every > 0 then t.decided <- t.decided + 1
+
+let checkpoint_if_due t =
+  if t.checkpoint_every > 0 && t.decided >= t.checkpoint_every then begin
+    t.decided <- 0;
+    match checkpoint t with
+    | Ok () -> ()
+    | Error msg ->
+      Log.warn (fun m -> m "shard %d: automatic checkpoint failed: %s" t.index msg)
   end
+
+let maybe_auto_checkpoint t =
+  note_decided t;
+  if not (Service.batch_active t.service) then checkpoint_if_due t
 
 let outcome_of = function
   | Monitor.Answered -> "answered"
@@ -481,15 +503,25 @@ let process t msg =
         (try Service.refuse t.service ~principal reason
          with _ -> Monitor.Refused reason)
     in
-    (match decision with
-    | Monitor.Answered -> Metrics.incr t.metrics Metrics.Answered
-    | Monitor.Refused _ -> Metrics.incr t.metrics Metrics.Refused);
     (match !(t.scope) with
     | Some sc ->
       t.scope := None;
+      (* Under group commit the span closes with the pre-flush decision; a
+         batch abort later flips the *ticket* to a fault refusal, which the
+         deferred fill below accounts for. *)
       Obs.Trace.query_end sc ~outcome:(outcome_of decision)
     | None -> ());
-    ignore (Ivar.try_fill ticket decision);
+    if t.group_commit && Service.batch_active t.service then
+      (* Ticket and outcome counters wait for the covering flush: the client
+         must never observe a decision whose journal record is not durable,
+         and a failed flush refuses the whole batch. *)
+      t.deferred <- (ticket, decision) :: t.deferred
+    else begin
+      (match decision with
+      | Monitor.Answered -> Metrics.incr t.metrics Metrics.Answered
+      | Monitor.Refused _ -> Metrics.incr t.metrics Metrics.Refused);
+      ignore (Ivar.try_fill ticket decision)
+    end;
     t.processed <- t.processed + 1;
     if t.processed mod gc_sample_period = 0 then begin
       sample_gc t;
@@ -497,6 +529,41 @@ let process t msg =
     end;
     maybe_auto_checkpoint t;
     sample_journal t
+
+(* End the open group-commit batch and settle every deferred ticket. On a
+   successful flush each ticket gets its decision; on a batch abort every
+   ticket in the batch is refused with the abort's fault reason — the
+   monitors were rolled back, so a refusal is the only answer consistent
+   with both the live state and what recovery will replay. Outcome counters
+   are bumped here (not at process time) so they count what clients were
+   actually told. *)
+let flush_group t =
+  if Service.batch_active t.service || t.deferred <> [] then begin
+    let result = Service.batch_end t.service in
+    let deferred = List.rev t.deferred in
+    t.deferred <- [];
+    (match result with
+    | Ok () -> ()
+    | Error reason ->
+      Log.warn (fun m ->
+          m "shard %d: group commit aborted, refusing %d decision(s): %s" t.index
+            (List.length deferred)
+            (Guard.refusal_to_tag reason)));
+    List.iter
+      (fun (ticket, decision) ->
+        let decision =
+          match result with
+          | Ok () -> decision
+          | Error reason -> Monitor.Refused reason
+        in
+        (match decision with
+        | Monitor.Answered -> Metrics.incr t.metrics Metrics.Answered
+        | Monitor.Refused _ -> Metrics.incr t.metrics Metrics.Refused);
+        ignore (Ivar.try_fill ticket decision))
+      deferred;
+    sample_journal t;
+    checkpoint_if_due t
+  end
 
 let run t =
   (* Drain up to [drain] messages per wakeup: one lock round and one
@@ -506,12 +573,33 @@ let run t =
      barrier/reload ordering argument) is untouched — a batch is just N
      back-to-back pops that skipped the lock between them. Overload
      shedding is also untouched: it happens at push time against the
-     mailbox bound, which batching does not change. *)
+     mailbox bound, which batching does not change.
+
+     With [group_commit], each drained batch also becomes one journal
+     batch: a Service batch opens before the first query, control messages
+     force the covering flush first (so a barrier still implies every
+     earlier decision is settled, and a checkpoint never sees an open
+     batch), and the drain ends with the flush that fills every deferred
+     ticket. *)
   let rec loop () =
     match Mailbox.pop_batch t.mailbox ~max:t.drain with
     | [] -> ()
     | batch ->
-      List.iter (process t) batch;
+      if t.group_commit then begin
+        List.iter
+          (fun msg ->
+            match msg with
+            | Query _ ->
+              if not (Service.batch_active t.service) then
+                Service.batch_begin t.service;
+              process t msg
+            | Barrier _ | Checkpoint _ | Reload _ ->
+              flush_group t;
+              process t msg)
+          batch;
+        flush_group t
+      end
+      else List.iter (process t) batch;
       loop ()
   in
   loop ()

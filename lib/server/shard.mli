@@ -45,13 +45,29 @@ val create :
   mailbox_capacity:int ->
   cache_capacity:int ->
   ?drain:int ->
+  ?group_commit:bool ->
   metrics:Metrics.t ->
   Disclosure.Pipeline.t ->
   t
 (** [cache_capacity = 0] disables the label cache. [drain] (default 64)
     caps how many mailbox messages the worker dequeues per wakeup
     ({!Mailbox.pop_batch}) — processing order and the shed-at-push
-    overload valve are unchanged. [journal], when given, is
+    overload valve are unchanged.
+
+    [group_commit] (default [false]) makes each drained mailbox batch one
+    journal batch ({!Disclosure.Service.batch_begin} / [batch_end]): every
+    decision's record buffers in the channel, one covering flush lands at
+    the end of the drain, and every ticket in the batch is filled only
+    after that flush — so clients still never observe a decision whose
+    record is not durable, while fsyncs drop from one per decision to one
+    per batch. Control messages (barrier, checkpoint, reload) force the
+    covering flush before they run, keeping their ordering guarantees
+    unchanged. A failed append or covering flush rolls the whole batch
+    back (monitors restored, segment truncated to the durable frontier)
+    and refuses every ticket in it — bit-identical to each decision
+    individually failing its append before commit.
+
+    [journal], when given, is
     this shard's own journal base path (the server derives one per shard);
     [segment_bytes] (default [0] = never) rotates the shard's active segment
     at that size, and [checkpoint_every] (default [0] = never) checkpoints
@@ -92,6 +108,11 @@ val journal_position : t -> (int * int) option
 (** {!Disclosure.Service.journal_position} of the live service: the
     [(active_segment, committed_bytes)] watermark. Safe from any domain
     (racy word reads); briefly [None] while a reload swaps services. *)
+
+val flush_count : t -> int
+(** {!Disclosure.Service.flush_count} of the live service (also exported as
+    the [journal_flushes] per-shard gauge). Exact only while the worker is
+    quiescent. *)
 
 val reload :
   t ->

@@ -172,6 +172,67 @@ let test_append_after_torn_recovery () =
         end
       done)
 
+(* --- group commit: torn batches recover to a whole-decision prefix ----- *)
+
+(* Run the history under group commit (a covering flush every [batch]
+   decisions), then torture the journal at every byte offset. The batched
+   journal must be bit-identical to the per-decision journal, and any
+   truncation — including mid-batch, where a crash tears records that were
+   never individually flushed — must recover to the exact state after the
+   last fully committed record, never a partial application of a batch. *)
+let test_group_commit_truncate_every_offset () =
+  with_base (fun base_plain ->
+      with_base (fun base ->
+          let plain = make_service ~journal:base_plain () in
+          ignore (run_history plain);
+          Service.close plain;
+          let plain_journal = read_file base_plain in
+          let batch = 3 in
+          let service = make_service ~journal:base () in
+          let states = Array.make (n_records + 1) (Service.snapshot service) in
+          let finish_batch () =
+            match Service.batch_end service with
+            | Ok () -> ()
+            | Error reason ->
+              Alcotest.failf "batch_end refused: %s" (Disclosure.Guard.refusal_to_tag reason)
+          in
+          Service.batch_begin service;
+          List.iteri
+            (fun i (principal, q) ->
+              (match q with
+              | Some q -> ignore (Service.submit service ~principal q)
+              | None -> Service.reset service ~principal);
+              states.(i + 1) <- Service.snapshot service;
+              if (i + 1) mod batch = 0 then begin
+                finish_batch ();
+                Service.batch_begin service
+              end)
+            history;
+          finish_batch ();
+          let flushes = Service.flush_count service in
+          Service.close service;
+          Alcotest.(check int) "one flush per batch" ((n_records + batch - 1) / batch)
+            flushes;
+          let whole = read_file base in
+          Alcotest.(check bool) "batched journal is bit-identical to per-decision" true
+            (String.equal whole plain_journal);
+          for cut = 0 to String.length whole do
+            write_file base (String.sub whole 0 cut);
+            let committed = count_newlines (String.sub whole 0 cut) in
+            match recover_fresh base with
+            | Error e ->
+              Alcotest.failf "cut at %d: torn group commit must always recover, got %s"
+                cut
+                (Service.recovery_error_to_string e)
+            | Ok (r, snap) ->
+              if r.Service.applied <> committed then
+                Alcotest.failf "cut at %d: applied %d, expected %d committed records" cut
+                  r.Service.applied committed;
+              if snap <> states.(committed) then
+                Alcotest.failf
+                  "cut at %d: recovered state is not the whole-decision prefix" cut
+          done))
+
 (* --- byte flips: every byte, several patterns -------------------------- *)
 
 let flip_patterns = [ 0x01; 0x80; 0xff ]
@@ -313,6 +374,8 @@ let () =
             test_truncate_every_offset;
           Alcotest.test_case "append after a torn-tail recovery, then recover again"
             `Quick test_append_after_torn_recovery;
+          Alcotest.test_case "truncate a group-commit journal at every byte offset"
+            `Quick test_group_commit_truncate_every_offset;
           Alcotest.test_case "flip every byte of the first record" `Quick
             test_flip_first_record;
           Alcotest.test_case "flip every byte of a middle record" `Quick

@@ -224,6 +224,54 @@ let test_journal_flush_fault_rolls_back () =
       Alcotest.(check bool) "replay = live despite the flush fault" true
         (Service.snapshot fresh = live))
 
+(* Group commit under a covering-flush fault: the whole batch aborts —
+   every monitor touched inside the batch is restored to its pre-batch
+   state, the segment is rolled back to the durable frontier, and
+   [batch_end] returns the fault. Recovery then sees exactly the records
+   earlier flushes covered, and the service keeps serving afterwards. *)
+let test_group_commit_flush_fault_aborts_batch () =
+  let path = Filename.temp_file "disclosure-batchfault" ".log" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let service = make_service ~journal:path () in
+      (* One durably committed batch first. *)
+      Service.batch_begin service;
+      ignore (Service.submit service ~principal:"app" q_slots);
+      (match Service.batch_end service with
+      | Ok () -> ()
+      | Error r ->
+        Alcotest.failf "clean batch_end refused: %s" (Guard.refusal_to_tag r));
+      Alcotest.(check int) "one covering flush" 1 (Service.flush_count service);
+      let durable = Service.snapshot service in
+      (* A batch whose covering flush fails. *)
+      Service.batch_begin service;
+      ignore (Service.submit service ~principal:"app" q_meetings);
+      Alcotest.(check bool) "batch decisions commit inline before the flush" true
+        (Service.snapshot service <> durable);
+      (match
+         Faults.with_fault Faults.Journal_flush (Faults.Raise "disk full") (fun () ->
+             Service.batch_end service)
+       with
+      | Error (Guard.Fault _) -> ()
+      | Ok () -> Alcotest.fail "covering-flush fault must abort the batch"
+      | Error r -> Alcotest.failf "expected a fault, got %s" (Guard.refusal_to_tag r));
+      Alcotest.(check bool) "whole batch rolled back to the pre-batch state" true
+        (Service.snapshot service = durable);
+      (* The service keeps working after the abort (per-decision commits). *)
+      ignore (Service.submit service ~principal:"app" q_meetings);
+      let live = Service.snapshot service in
+      Service.close service;
+      let fresh = make_service () in
+      (match Service.recover fresh ~journal:path with
+      | Ok r ->
+        Alcotest.(check int) "only flush-covered records replay" 2 r.Service.applied;
+        Alcotest.(check bool) "no torn tail left by the aborted batch" true
+          (not r.Service.torn_tail)
+      | Error e -> Alcotest.fail (Service.recovery_error_to_string e));
+      Alcotest.(check bool) "recovery = live after the aborted batch" true
+        (Service.snapshot fresh = live))
+
 (* Maintenance-path faults: a failed checkpoint (at the tmp-write or the
    rename) returns [Error], leaves the previous checkpoint and every segment
    intact, and never touches the monitor; once disarmed, checkpointing
@@ -388,6 +436,8 @@ let () =
           Alcotest.test_case "real deadline expiry" `Quick test_real_deadline_expiry;
           Alcotest.test_case "journal fault keeps replay equivalent" `Quick
             test_journal_fault_keeps_replay_equivalent;
+          Alcotest.test_case "group-commit flush fault aborts the whole batch" `Quick
+            test_group_commit_flush_fault_aborts_batch;
           Alcotest.test_case "journal flush fault rolls the segment back" `Quick
             test_journal_flush_fault_rolls_back;
           Alcotest.test_case "checkpoint faults fail safe" `Quick

@@ -39,12 +39,13 @@ let register_all server =
     ~partitions:[ ("meetings", [ v1; v2 ]); ("contacts", [ v3 ]) ];
   Server.register server ~principal:"hr-app" ~partitions:[ ("default", [ v3 ]) ]
 
-let make_server ?journal ?trace ?(mailbox_capacity = 1024) ?(cache_capacity = 256) () =
+let make_server ?journal ?trace ?(mailbox_capacity = 1024) ?(cache_capacity = 256)
+    ?(group_commit = false) () =
   let server =
     Server.create ?journal ?trace
       ~config:
         { Server.domains; mailbox_capacity; cache_capacity; checkpoint_every = 0;
-          segment_bytes = 0; drain = Server.default_config.Server.drain }
+          segment_bytes = 0; drain = Server.default_config.Server.drain; group_commit }
       (pipeline ())
   in
   register_all server;
@@ -319,6 +320,170 @@ let test_e2e_bit_identical_journal () =
                   true
                   (String.equal (read_file (base_wire ^ seg)) (read_file (base_proc ^ seg)))
               done)))
+
+(* The pipelined client against a group-commit server: the whole history
+   goes down one connection with a bounded in-flight window, and the
+   decisions come back in request order, bit-identical — decisions, monitor
+   states, journal bytes — to the serial in-process path with per-decision
+   commits. Pipelining and group commit change scheduling and fsync
+   batching, never semantics. *)
+let test_pipelined_e2e_bit_identical () =
+  with_tmp_base (fun base_pipe ->
+      with_tmp_base (fun base_proc ->
+          with_socket (fun addr ->
+              let server = make_server ~journal:base_pipe ~group_commit:true () in
+              Server.start server;
+              let listener = Net.Listener.create ~server addr in
+              let pipe_decisions =
+                Net.Client.with_connection addr (fun c ->
+                    Net.Client.query_batch_string ~depth:4 c history)
+                |> List.map (function
+                     | Ok d -> d
+                     | Error e ->
+                       Alcotest.failf "pipelined query failed: %s" (Errors.to_string e))
+              in
+              Net.Listener.stop listener;
+              Server.drain server;
+              let pipe_snapshot = Server.snapshot server in
+              let flushes = Array.fold_left ( + ) 0 (Server.flush_counts server) in
+              Server.stop server;
+              let server' = make_server ~journal:base_proc () in
+              Server.start server';
+              let proc_decisions =
+                List.map
+                  (fun (principal, q) -> Server.submit_sync server' ~principal (pq q))
+                  history
+              in
+              Server.drain server';
+              let proc_snapshot = Server.snapshot server' in
+              Server.stop server';
+              check_bool "pipelined decisions in request order, identical" true
+                (List.for_all2 Monitor.decision_equal pipe_decisions proc_decisions);
+              check_bool "monitor states identical" true (pipe_snapshot = proc_snapshot);
+              for i = 0 to domains - 1 do
+                let seg = Printf.sprintf ".shard%d" i in
+                check_bool
+                  (Printf.sprintf "shard %d journal bytes identical" i)
+                  true
+                  (String.equal (read_file (base_pipe ^ seg)) (read_file (base_proc ^ seg)))
+              done;
+              check_bool "group commit flushed at most once per decision" true
+                (flushes <= List.length history))))
+
+(* Mixed request kinds keep positional order through the pipelined frame
+   loop: immediate replies (pings) interleave with deferred decisions. *)
+let test_pipelined_mixed_requests_ordered () =
+  with_socket (fun addr ->
+      let server = make_server () in
+      Server.start server;
+      let listener = Net.Listener.create ~server addr in
+      let reqs =
+        [
+          Codec.Ping;
+          Codec.Query { principal = "calendar-app"; query = "Q(x) :- Meetings(x, y)" };
+          Codec.Ping;
+          Codec.Query { principal = "calendar-app"; query = "Q(x, y) :- Meetings(x, y)" };
+          Codec.Ping;
+        ]
+      in
+      let responses =
+        Net.Client.with_connection addr (fun c -> Net.Client.request_pipelined c reqs)
+      in
+      (match responses with
+      | [ Codec.Pong; Codec.Decision d1; Codec.Pong; Codec.Decision d2; Codec.Pong ] ->
+        check_bool "first decision answered" true (Monitor.is_answered d1);
+        check_bool "second decision refused (projection widens)" true
+          (Monitor.is_refused d2)
+      | rs -> Alcotest.failf "responses out of order or mistyped (%d)" (List.length rs));
+      Net.Listener.stop listener;
+      Server.stop server)
+
+(* [Frame.decode_sub] at offset [k] must agree exactly with [Frame.decode]
+   on the suffix — the pipelined frame loop depends on offset-based decoding
+   being indistinguishable from the old slice-and-decode. *)
+let test_decode_sub_equals_decode_on_suffix () =
+  let progress_equal a b =
+    match (a, b) with
+    | Frame.Frame { payload = p; consumed = c }, Frame.Frame { payload = p'; consumed = c' }
+      -> String.equal p p' && c = c'
+    | Frame.Need_more n, Frame.Need_more n' -> n = n'
+    | Frame.Corrupt e, Frame.Corrupt e' ->
+      String.equal (Errors.to_string e) (Errors.to_string e')
+    | _ -> false
+  in
+  let prefixes = [ ""; "x"; String.make 7 '\xff'; Frame.encode "earlier" ] in
+  let suffixes =
+    List.map Frame.encode sample_payloads
+    @ [ ""; "garbage"; String.sub (Frame.encode "torn") 0 5 ]
+  in
+  List.iter
+    (fun prefix ->
+      List.iter
+        (fun suffix ->
+          let off = String.length prefix in
+          check_bool
+            (Printf.sprintf "decode_sub at %d ≡ decode on suffix (%d bytes)" off
+               (String.length suffix))
+            true
+            (progress_equal
+               (Frame.decode_sub (prefix ^ suffix) ~off)
+               (Frame.decode suffix)))
+        suffixes)
+    prefixes;
+  (* Bad offsets are programmer errors, not protocol errors. *)
+  Alcotest.check_raises "negative offset rejected"
+    (Invalid_argument "Frame.decode_sub: offset out of bounds") (fun () ->
+      ignore (Frame.decode_sub "abc" ~off:(-1)));
+  Alcotest.check_raises "offset past the end rejected"
+    (Invalid_argument "Frame.decode_sub: offset out of bounds") (fun () ->
+      ignore (Frame.decode_sub "abc" ~off:4))
+
+(* [Fdio.write_all] under EINTR: the payload overflows the socket buffer so
+   the writer blocks, and an interval timer delivers SIGALRM while it is
+   blocked — each delivery interrupts the write with EINTR. The reader only
+   starts draining after the writer has filled the buffer. Every byte must
+   arrive, in order — the EINTR/partial-write loop may not drop, duplicate,
+   or reorder anything. *)
+let test_write_all_survives_eintr () =
+  let previous = Sys.signal Sys.sigalrm (Sys.Signal_handle (fun _ -> ())) in
+  Fun.protect
+    ~finally:(fun () ->
+      ignore
+        (Unix.setitimer Unix.ITIMER_REAL { Unix.it_interval = 0.0; it_value = 0.0 });
+      ignore (Sys.signal Sys.sigalrm previous))
+    (fun () ->
+      let sender, receiver = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let payload =
+        String.init (1 lsl 18) (fun i -> Char.chr ((i * 131) land 0xff))
+      in
+      let reader =
+        Domain.spawn (fun () ->
+            (* Let the writer fill the socket buffer and block in [write]
+               first, so the timer interrupts a blocked syscall. *)
+            (try Unix.sleepf 0.1 with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+            let buf = Bytes.create 4096 in
+            let out = Buffer.create (String.length payload) in
+            let rec loop () =
+              match Unix.read receiver buf 0 (Bytes.length buf) with
+              | 0 -> ()
+              | n ->
+                Buffer.add_subbytes out buf 0 n;
+                loop ()
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+            in
+            loop ();
+            Unix.close receiver;
+            Buffer.contents out)
+      in
+      ignore
+        (Unix.setitimer Unix.ITIMER_REAL { Unix.it_interval = 0.005; it_value = 0.005 });
+      Net.Fdio.write_all sender payload;
+      ignore
+        (Unix.setitimer Unix.ITIMER_REAL { Unix.it_interval = 0.0; it_value = 0.0 });
+      Unix.close sender;
+      let received = Domain.join reader in
+      check_int "every byte arrived" (String.length payload) (String.length received);
+      check_bool "bytes intact and in order" true (String.equal payload received))
 
 let test_ping_stats_over_wire () =
   with_socket (fun addr ->
@@ -792,6 +957,10 @@ let () =
           Alcotest.test_case "oversized header rejected early" `Quick
             test_frame_oversized_rejected_early;
           Alcotest.test_case "decode is total (fuzz)" `Quick test_frame_fuzz_never_raises;
+          Alcotest.test_case "decode_sub at an offset ≡ decode on the suffix" `Quick
+            test_decode_sub_equals_decode_on_suffix;
+          Alcotest.test_case "write_all survives an EINTR storm" `Quick
+            test_write_all_survives_eintr;
         ] );
       ( "codec",
         [
@@ -805,6 +974,10 @@ let () =
         [
           Alcotest.test_case "wire ≡ in-process, bit-identical journal" `Quick
             test_e2e_bit_identical_journal;
+          Alcotest.test_case "pipelined client ≡ in-process under group commit" `Quick
+            test_pipelined_e2e_bit_identical;
+          Alcotest.test_case "mixed pipelined requests keep positional order" `Quick
+            test_pipelined_mixed_requests_ordered;
           Alcotest.test_case "ping and stats over the wire" `Quick test_ping_stats_over_wire;
           Alcotest.test_case "semantic errors keep the connection" `Quick
             test_unknown_principal_keeps_connection;

@@ -45,6 +45,7 @@ let make_server ?trace ?(domains = 2) ?(cache_capacity = 256) () =
           checkpoint_every = 0;
           segment_bytes = 0;
           drain = Server.default_config.Server.drain;
+          group_commit = false;
         }
       (pipeline ())
   in

@@ -44,12 +44,12 @@ let register_all register =
   register ~principal:"todo-app" ~partitions:[ ("default", [ v2; v3 ]) ]
 
 let make_server ?journal ?(cache_capacity = 256) ?(mailbox_capacity = 1024)
-    ?(checkpoint_every = 0) ?(segment_bytes = 0) () =
+    ?(checkpoint_every = 0) ?(segment_bytes = 0) ?(group_commit = false) () =
   let server =
     Server.create ?journal
       ~config:
         { Server.domains; mailbox_capacity; cache_capacity; checkpoint_every;
-          segment_bytes; drain = Server.default_config.Server.drain }
+          segment_bytes; drain = Server.default_config.Server.drain; group_commit }
       (pipeline ())
   in
   register_all (fun ~principal ~partitions -> Server.register server ~principal ~partitions);
@@ -356,6 +356,79 @@ let test_auto_checkpoint_equivalence () =
         (Server.snapshot fresh = live);
       Server.stop fresh)
 
+(* --- group commit ------------------------------------------------------- *)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+(* One journaled pass over [history] with every query enqueued before
+   [start]: the workers then dequeue full [drain]-sized batches, so the
+   group-commit flush count is deterministic. Decisions are awaited after
+   [drain] (group commit fills tickets only at each batch's covering
+   flush). *)
+let journaled_pass ~group_commit base history =
+  let server = make_server ~journal:base ~group_commit () in
+  let tickets =
+    List.map (fun (principal, q) -> Server.submit server ~principal q) history
+  in
+  Server.start server;
+  Server.drain server;
+  let decisions =
+    List.map2 (fun (principal, _) t -> (principal, Server.await t)) history tickets
+  in
+  let snapshot = Server.snapshot server in
+  let flushes = Array.fold_left ( + ) 0 (Server.flush_counts server) in
+  Server.stop server;
+  let journals =
+    List.init domains (fun i -> read_file (Printf.sprintf "%s.shard%d" base i))
+  in
+  (decisions, snapshot, flushes, journals)
+
+(* The group-commit contract, differentially: against per-decision commits
+   over the same history, decisions, monitor states, and journal bytes are
+   all bit-identical, recovery restores the same state — and the observable
+   difference is strictly fewer fsyncs. *)
+let test_group_commit_differential () =
+  with_tmp_base (fun base_off ->
+      with_tmp_base (fun base_on ->
+          let rng = Random.State.make [| 0x6C07 |] in
+          let history = random_history rng ~steps:200 in
+          let dec_off, snap_off, flushes_off, journals_off =
+            journaled_pass ~group_commit:false base_off history
+          in
+          let dec_on, snap_on, flushes_on, journals_on =
+            journaled_pass ~group_commit:true base_on history
+          in
+          check_bool "decision sequences identical" true
+            (sequences_equal (group_by_principal dec_off) (group_by_principal dec_on));
+          check_bool "monitor snapshots identical" true (snap_off = snap_on);
+          List.iteri
+            (fun i (off, on) ->
+              check_bool (Printf.sprintf "shard %d journal bit-identical" i) true
+                (String.equal off on))
+            (List.combine journals_off journals_on);
+          check_bool "per-decision mode flushed at least once per record" true
+            (flushes_off >= List.length history * 9 / 10);
+          check_bool
+            (Printf.sprintf "group commit flushes strictly fewer (%d < %d)" flushes_on
+               flushes_off)
+            true
+            (flushes_on < flushes_off);
+          (* Batches are bounded by [drain], so at most ceil(records/drain)
+             flushes per shard plus slack for short trailing batches. *)
+          let drain = Server.default_config.Server.drain in
+          let bound = ((List.length history + drain - 1) / drain) + (2 * domains) in
+          check_bool
+            (Printf.sprintf "flush count bounded by batching (%d <= %d)" flushes_on bound)
+            true (flushes_on <= bound);
+          (* The group-commit journal recovers to the live state. *)
+          let fresh = make_server () in
+          (match Server.recover fresh ~journal:base_on with
+          | Ok _ -> ()
+          | Error e -> Alcotest.fail (Service.recovery_error_to_string e));
+          check_bool "recovered from group-commit journal = live state" true
+            (Server.snapshot fresh = snap_on);
+          Server.stop fresh))
+
 (* --- lifecycle and misc ------------------------------------------------ *)
 
 let test_unknown_principal () =
@@ -549,6 +622,8 @@ let () =
             test_checkpointed_server_recovery;
           Alcotest.test_case "automatic per-shard checkpoint cadence" `Quick
             test_auto_checkpoint_equivalence;
+          Alcotest.test_case "group commit: identical decisions, fewer fsyncs" `Quick
+            test_group_commit_differential;
         ] );
       ( "lifecycle",
         [
