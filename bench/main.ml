@@ -795,17 +795,38 @@ let run_obs () =
   let n = min options.n 20_000 in
   let n_principals = 32 in
   let principals = Array.init n_principals (Printf.sprintf "app-%d") in
-  let rng = Workload.Rng.create 2024 in
-  let policies =
-    Array.map
-      (fun _ ->
-        Policygen.partitions rng ~views ~max_partitions:2 ~max_elements:10)
-      principals
-  in
+  (* One all-views partition per principal, and only queries that partition
+     covers: every query answers and the alive masks never narrow, so the
+     stream exercises the head-sampled fast path the sampling knob exists
+     for. A refusal is always tail-retained regardless of sampling — a
+     refusal-heavy stream measures that guarantee (and retention cost),
+     not sampling; the always-trace-refusals property is pinned by
+     test_obs, and the retention path shares the ring/alloc work measured
+     by the [full] row here. *)
+  let grant_all = [ ("all", Array.to_list views) ] in
+  let policies = Array.map (fun _ -> grant_all) principals in
+  let policy = Disclosure.Policy.make (Pipeline.registry pipeline) grant_all in
   let g = Querygen.create ~seed:31337 () in
-  let queries = Array.init n (fun _ -> Querygen.generate g ~max_subqueries:3) in
-  let passes = 3 in
-  let run_mode trace =
+  let queries =
+    Array.init n (fun _ ->
+        let rec covered tries =
+          let q = Querygen.generate g ~max_subqueries:3 in
+          if tries > 200 then q
+          else
+            match Pipeline.label pipeline q with
+            | label when Disclosure.Policy.allowed policy label -> q
+            | _ -> covered (tries + 1)
+            | exception _ -> covered (tries + 1)
+        in
+        covered 0)
+  in
+  let labels = Array.map (fun q -> Pipeline.label pipeline q) queries in
+  let passes = 15 in
+  (* The modes are interleaved round-robin (one pass of each per round,
+     best pass wins) rather than run back to back: on a busy box the
+     environmental noise is time-correlated, and sequential mode runs
+     would compare a quiet window against a loud one. *)
+  let start_mode trace =
     let server =
       Server.create ?trace
         ~config:
@@ -824,39 +845,80 @@ let run_obs () =
       (fun i principal -> Server.register server ~principal ~partitions:policies.(i))
       principals;
     Server.start server;
-    let best = ref infinity in
-    for _ = 1 to passes do
-      let wall =
-        time_wall (fun () ->
-            Array.iteri
-              (fun i q ->
-                ignore
-                  (Server.submit server ~principal:principals.(i mod n_principals) q))
-              queries;
-            Server.drain server)
-        |> snd
-      in
-      if wall < !best then best := wall
-    done;
-    Server.stop server;
-    !best
+    server
+  in
+  let one_pass ~explain server =
+    time_wall (fun () ->
+        Array.iteri
+          (fun i q ->
+            let principal = principals.(i mod n_principals) in
+            if explain then ignore (Server.submit_explained server ~principal q)
+            else ignore (Server.submit server ~principal q))
+          queries;
+        Server.drain server)
+    |> snd
   in
   Format.printf "@.== Observability: tracing overhead (wall time, 1 domain) ==@.";
   Format.printf
-    "   (%d queries over %d principals, cache off, best of %d passes; %d core(s) \
-     available)@.@."
+    "   (%d answerable queries over %d principals, cache off, best of %d interleaved \
+     passes; %d core(s) available)@.@."
     n n_principals passes
     (Domain.recommended_domain_count ());
-  let base = run_mode None in
-  let modes =
+  let recorders =
     List.map
-      (fun (mode, sample) ->
-        let trace = Obs.Trace.create ~tracks:1 ~sample () in
-        let wall = run_mode (Some trace) in
-        (mode, wall, Obs.Trace.retained trace, Obs.Trace.dropped trace))
+      (fun (mode, sample) -> (mode, Obs.Trace.create ~tracks:1 ~sample ()))
       [ ("sampled16", 16); ("full", 1) ]
   in
-  let overhead wall = (wall -. base) /. base *. 100.0 in
+  let lineup =
+    ("disabled", start_mode None, false)
+    :: List.map (fun (mode, tr) -> (mode, start_mode (Some tr), false)) recorders
+    @ [ ("explain", start_mode None, true) ]
+  in
+  let best = Hashtbl.create 4 in
+  let rounds = Hashtbl.create 4 in
+  List.iter
+    (fun (mode, _, _) ->
+      Hashtbl.replace best mode infinity;
+      Hashtbl.replace rounds mode [])
+    lineup;
+  (* Rotate the running order each round: the first mode after a heavily
+     allocating one inherits its GC debt, and a fixed order would charge
+     that debt to the same mode every time. *)
+  let n_modes = List.length lineup in
+  for round = 0 to passes - 1 do
+    for slot = 0 to n_modes - 1 do
+      let mode, server, explain = List.nth lineup ((round + slot) mod n_modes) in
+      Gc.major ();
+      let wall = one_pass ~explain server in
+      if wall < Hashtbl.find best mode then Hashtbl.replace best mode wall;
+      Hashtbl.replace rounds mode (wall :: Hashtbl.find rounds mode)
+    done
+  done;
+  List.iter (fun (_, server, _) -> Server.stop server) lineup;
+  let base = Hashtbl.find best "disabled" in
+  let modes =
+    List.map
+      (fun (mode, tr) ->
+        (mode, Hashtbl.find best mode, Obs.Trace.retained tr, Obs.Trace.dropped tr))
+      recorders
+  in
+  let explain_wall = Hashtbl.find best "explain" in
+  (* Overhead is the median of per-round ratios against the disabled pass of
+     the SAME round, not a ratio of cross-round minima: noise on a shared box
+     is time-correlated, so adjacent passes see the same weather and their
+     ratio cancels it, while minima from different rounds compare a quiet
+     window against a loud one. *)
+  let overhead_of mode =
+    let ratios =
+      List.map2
+        (fun w d -> w /. d)
+        (Hashtbl.find rounds mode)
+        (Hashtbl.find rounds "disabled")
+      |> List.sort compare
+    in
+    let m = List.nth ratios (List.length ratios / 2) in
+    (m -. 1.0) *. 100.0
+  in
   Format.printf "%-12s %12s %14s %10s %10s %10s@." "mode" "wall (s)" "queries/s"
     "overhead" "retained" "dropped";
   Format.printf "%-12s %12.3f %14.0f %9.1f%% %10s %10s@." "disabled" base
@@ -866,14 +928,65 @@ let run_obs () =
     (fun (mode, wall, retained, dropped) ->
       Format.printf "%-12s %12.3f %14.0f %9.1f%% %10d %10d@." mode wall
         (float_of_int n /. wall)
-        (overhead wall) retained dropped)
+        (overhead_of mode) retained dropped)
     modes;
-  let sampled_overhead =
-    match modes with (_, w, _, _) :: _ -> overhead w | [] -> 0.0
-  in
+  Format.printf "%-12s %12.3f %14.0f %9.1f%% %10s %10s@." "explain" explain_wall
+    (float_of_int n /. explain_wall)
+    (overhead_of "explain") "-" "-";
+  let sampled_overhead = overhead_of "sampled16" in
   Format.printf
     "@.acceptance: 1-in-16 sampling within 10%% of tracing disabled: %b@."
     (sampled_overhead <= 10.0);
+  (* Provenance disabled-mode guard, allocation-based: wall time on a busy
+     box cannot resolve 1%, but allocation counts are deterministic. Run
+     the plain (capture never armed) decision path through an in-process
+     service, then a capture-armed pass over the same all-answered stream,
+     then the plain path again: if the machinery leaves any per-decision
+     residue when disarmed — a stale captured record, an attrs thunk, a
+     lazily retained explanation — the third pass allocates more than the
+     first. All three passes run on the bench domain, so the minor-word
+     counters see every allocation. *)
+  let service =
+    let s = Disclosure.Service.create pipeline in
+    Array.iteri
+      (fun i principal ->
+        Disclosure.Service.register s ~principal ~partitions:policies.(i))
+      principals;
+    s
+  in
+  let words_per_decision ~explain =
+    Gc.full_major ();
+    let before = Gc.minor_words () in
+    Array.iteri
+      (fun i label ->
+        let principal = principals.(i mod n_principals) in
+        if explain then Disclosure.Service.capture_begin service;
+        ignore (Disclosure.Service.submit_label service ~principal label);
+        if explain then ignore (Disclosure.Service.capture_take service))
+      labels;
+    let after = Gc.minor_words () in
+    (after -. before) /. float_of_int n
+  in
+  let words_off_before = words_per_decision ~explain:false in
+  let words_on = words_per_decision ~explain:true in
+  let words_off_after = words_per_decision ~explain:false in
+  Disclosure.Service.close service;
+  (* 1% relative plus a two-word absolute floor so a zero-allocation
+     baseline cannot fail on rounding. *)
+  let off_overhead_pct =
+    if words_off_after <= words_off_before then 0.0
+    else (words_off_after -. words_off_before) /. Float.max words_off_before 1.0 *. 100.0
+  in
+  let off_ok =
+    words_off_after <= (words_off_before *. 1.01) +. 2.0
+  in
+  Format.printf
+    "@.provenance: %.1f minor words/decision off, %.1f on (x%.1f); disabled-mode \
+     residue %.2f%%@."
+    words_off_before words_on
+    (words_on /. Float.max words_off_before 1.0)
+    off_overhead_pct;
+  Format.printf "acceptance: provenance disabled-mode overhead <= 1%%: %b@." off_ok;
   let json_path = Option.value options.server_json ~default:"BENCH_obs.json" in
   let oc = open_out json_path in
   Fun.protect
@@ -892,8 +1005,15 @@ let run_obs () =
                   %.1f, \"scopes_retained\": %d, \"scopes_dropped\": %d}"
                  mode wall
                  (float_of_int n /. wall)
-                 (overhead wall) retained dropped)
+                 (overhead_of mode) retained dropped)
              modes
+        @ [
+            Printf.sprintf
+              "{\"mode\": \"explain\", \"wall_s\": %.4f, \"qps\": %.0f, \"overhead_pct\": %.1f}"
+              explain_wall
+              (float_of_int n /. explain_wall)
+              (overhead_of "explain");
+          ]
         |> String.concat ",\n    "
       in
       Printf.fprintf oc
@@ -903,12 +1023,20 @@ let run_obs () =
         \  \"principals\": %d,\n\
         \  \"cores_available\": %d,\n\
         \  \"passes\": %d,\n\
-        \  \"modes\": [\n    %s\n  ]\n\
+        \  \"modes\": [\n    %s\n  ],\n\
+        \  \"provenance\": {\"words_per_decision_off\": %.1f, \"words_per_decision_on\": %.1f, \"disabled_mode_overhead_pct\": %.2f, \"disabled_mode_ok\": %b}\n\
          }\n"
         n n_principals
         (Domain.recommended_domain_count ())
-        passes mode_json);
-  Format.printf "(wrote %s)@." json_path
+        passes mode_json words_off_before words_on off_overhead_pct off_ok);
+  Format.printf "(wrote %s)@." json_path;
+  if not off_ok then begin
+    Format.printf
+      "FAIL: provenance guard: disabled-mode path allocates %.1f words/decision \
+       after a capture-armed pass vs %.1f before@."
+      words_off_after words_off_before;
+    exit 1
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Journal recovery: full replay vs checkpoint + tail                  *)
@@ -1301,7 +1429,7 @@ let run_replicate () =
         (fun (principal, partitions) -> Server.register server ~principal ~partitions)
         (resolve (policy ~open_calendar:false));
       Server.start server;
-      let source = Replicate.Source.create ~server ~journal:jbase in
+      let source = Replicate.Source.create ~server ~journal:jbase () in
       let addr = Net.Addr.Unix_socket sock in
       let listener = Net.Listener.create ~extend:(Replicate.Source.handler source) ~server addr in
       let fol =

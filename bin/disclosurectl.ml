@@ -4,7 +4,8 @@
      label    label queries with the security views they require
      check    run a sequence of queries through a reference monitor
      lattice  print the disclosure lattice over a view file as Graphviz
-     audit    run the Facebook Table 2 documentation audit
+     audit    replay a decision journal into an offline per-principal
+              disclosure ledger, or run the Facebook Table 2 audit
      replay   replay a (principal, query) workload single-threaded
      serve    run a workload on the sharded multicore serving layer, or
               serve the framed wire protocol with --listen (journaled
@@ -12,6 +13,9 @@
               SIGHUP reloads the policy online); with --follow, run as a
               hot-standby follower with optional auto-failover
      query    submit queries to a serve --listen server over a socket
+     explain  submit queries like `query` and print each decision's
+              structured provenance (witnesses, partitions, mask delta,
+              deciding tier, cache level, refusal cause chain)
      client   replay a workload against (or ping/fetch stats from) a server
      replicate  mirror a primary's journal locally and replay it
      analyze  static policy diagnostics for a deployment config
@@ -783,7 +787,7 @@ let serve_cmd =
           Server.start server;
           (match listen with
           | Some addr ->
-            let source = Replicate.Source.create ~server ~journal:mirror in
+            let source = Replicate.Source.create ~server ~journal:mirror () in
             let listener =
               Net.Listener.create ~config:(lconfig ())
                 ~extend:(Replicate.Source.handler source) ~server addr
@@ -843,7 +847,11 @@ let serve_cmd =
          A journaled server also ships its journal to replication
          followers (Pull requests served straight off the segments). *)
       let ltrace = Option.map (fun tr -> (tr, domains)) trace in
-      let source = Option.map (fun j -> Replicate.Source.create ~server ~journal:j) journal in
+      let source =
+        Option.map
+          (fun j -> Replicate.Source.create ?trace:ltrace ~server ~journal:j ())
+          journal
+      in
       let extend = Option.map Replicate.Source.handler source in
       let listener =
         Net.Listener.create ~config:(lconfig ()) ?trace:ltrace ?extend ~server addr
@@ -968,6 +976,55 @@ let query_cmd =
      the wire protocol."
   in
   Cmd.v (Cmd.info "query" ~doc)
+    Term.(const run $ setup_logs $ connect_arg $ syntax_arg $ principal_arg $ queries_arg)
+
+(* --- explain (networked) --------------------------------------------- *)
+
+(* `query` with the evidence trail: the server decides exactly as it would
+   for a plain query (committed, journaled, cached identically), but also
+   captures a structured provenance record — witnesses, partition report,
+   mask delta, deciding tier, cache level, refusal cause chain — and ships
+   it back out of band. *)
+let explain_cmd =
+  let principal_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "p"; "principal" ] ~docv:"NAME"
+          ~doc:"Principal the queries are submitted as.")
+  in
+  let queries_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"QUERY"
+          ~doc:"Queries to explain in order; reads one per line on stdin when absent.")
+  in
+  let run () connect syntax principal queries =
+    Net.Client.with_connection connect (fun c ->
+        let wire_errors = ref 0 in
+        List.iter
+          (fun s ->
+            let q = cq_of (parse_query syntax s) in
+            match Net.Client.explain c ~principal q with
+            | Ok (d, explanation) -> (
+              Format.printf "%-60s %a@." s Monitor.pp_decision d;
+              match explanation with
+              | Some e -> Format.printf "%a@." Disclosure.Explain.pp e
+              | None -> Format.printf "  (no explanation carried)@.")
+            | Error e ->
+              incr wire_errors;
+              Format.printf "%-60s wire error: %a@." s Net.Errors.pp e)
+          (read_queries queries);
+        if !wire_errors > 0 then 1 else 0)
+  in
+  let doc =
+    "Submit queries like $(b,query) but print each decision's structured \
+     provenance: witness views per label atom, the partition report, the \
+     cumulative-disclosure mask delta, budget spent, the deciding labeler \
+     tier and cache level, and — on refusals — the typed cause chain. The \
+     decisions are real: committed and journaled exactly as $(b,query)'s."
+  in
+  Cmd.v (Cmd.info "explain" ~doc)
     Term.(const run $ setup_logs $ connect_arg $ syntax_arg $ principal_arg $ queries_arg)
 
 let client_cmd =
@@ -1333,18 +1390,218 @@ let stats_cmd =
 
 (* --- audit ---------------------------------------------------------- *)
 
-let audit_cmd =
-  let run () () =
-    let module Audit = Disclosure.Audit in
-    let module Perms = Fbschema.Fb_permissions in
-    let discrepancies = Audit.compare_labelings ~left:Perms.fql ~right:Perms.graph in
-    Format.printf "audited %d User views; %d inconsistencies:@."
-      (List.length Perms.subjects) (List.length discrepancies);
-    List.iter (fun d -> Format.printf "  %a@." Audit.pp_discrepancy d) discrepancies;
-    0
+(* Offline disclosure ledger: replay a decision journal (a `replay`
+   journal, one shard family, or a whole server's BASE.shard* families)
+   through fresh journal-less services and report, per principal, what has
+   cumulatively been learned — answered/refused totals, the union of
+   security views witnessed by every answered label in the current policy
+   epoch, reset (policy-reload) boundaries, and which partitions remain
+   alive. The journal is the authority: nothing needs the server that
+   wrote it, and checkpoint-compacted history still counts via the
+   restored monitor state (its labels are gone, so compacted decisions
+   contribute to the totals but not to the witnessed-view union). *)
+let run_ledger config_file journal =
+  let config =
+    match Disclosure.Policyfile.parse_file config_file with
+    | Ok c -> c
+    | Error e -> failwith e
   in
-  let doc = "Audit the Facebook FQL vs Graph API permission documentation (Table 2)." in
-  Cmd.v (Cmd.info "audit" ~doc) Term.(const run $ setup_logs $ const ())
+  (* A journal family exists if its active file or its checkpoint does. *)
+  let family_exists base =
+    Sys.file_exists base || Sys.file_exists (base ^ ".ckpt")
+  in
+  let bases =
+    if family_exists journal then [ journal ]
+    else begin
+      let rec shards i acc =
+        let b = journal ^ ".shard" ^ string_of_int i in
+        if family_exists b then shards (i + 1) (b :: acc) else List.rev acc
+      in
+      match shards 0 [] with
+      | [] -> failwith ("no journal found at " ^ journal ^ " (or " ^ journal ^ ".shard0)")
+      | bs -> bs
+    end
+  in
+  (* Per-principal tail tallies, accumulated by Service.recover's
+     on_record hook across every family. *)
+  let tally : (string, _) Hashtbl.t = Hashtbl.create 16 in
+  let entry principal =
+    match Hashtbl.find_opt tally principal with
+    | Some e -> e
+    | None ->
+      let e =
+        object
+          val mutable answered = 0
+          val mutable resets = 0
+          val tags : (string, int) Hashtbl.t = Hashtbl.create 4
+          val views : (string, unit) Hashtbl.t = Hashtbl.create 8
+          method bump_answered = answered <- answered + 1
+          method bump_reset =
+            resets <- resets + 1;
+            (* A reset starts a fresh policy epoch: the monitor forgets,
+               so the epoch-cumulative view set restarts too. *)
+            Hashtbl.reset views
+          method bump_tag tag =
+            Hashtbl.replace tags tag
+              (1 + Option.value ~default:0 (Hashtbl.find_opt tags tag))
+          method learn names = List.iter (fun n -> Hashtbl.replace views n ()) names
+          method answered = answered
+          method resets = resets
+          method tags =
+            Hashtbl.fold (fun k v acc -> (k, v) :: acc) tags []
+            |> List.sort compare
+          method views =
+            Hashtbl.fold (fun k () acc -> k :: acc) views [] |> List.sort compare
+        end
+      in
+      Hashtbl.add tally principal e;
+      e
+  in
+  let applied = ref 0 and checkpoints = ref 0 and torn = ref 0 in
+  (* stats/alive per family, merged after: a principal's decisions all land
+     in one shard, so the family with activity for it is authoritative. *)
+  let per_family = ref [] in
+  List.iter
+    (fun base ->
+      let service =
+        match Disclosure.Policyfile.load config with
+        | Ok s -> s
+        | Error e -> failwith e
+      in
+      let registry = Pipeline.registry (Service.pipeline service) in
+      let on_record ~principal ~label ~decision =
+        let e = entry principal in
+        if decision = "answered" then begin
+          e#bump_answered;
+          if label <> "-" then
+            match Label.decode label with
+            | Error _ -> ()
+            | Ok l ->
+              e#learn
+                (List.concat_map snd (Disclosure.Explain.witnesses registry l))
+        end
+        else if decision = "reset" then e#bump_reset
+        else if String.length decision >= 8 && String.sub decision 0 8 = "refused:"
+        then e#bump_tag (String.sub decision 8 (String.length decision - 8))
+      in
+      (match Service.recover ~on_record service ~journal:base with
+      | Error err ->
+        failwith (base ^ ": " ^ Service.recovery_error_to_string err)
+      | Ok r ->
+        applied := !applied + r.Service.applied;
+        if r.Service.from_checkpoint then incr checkpoints;
+        if r.Service.torn_tail then incr torn);
+      let snapshot =
+        List.map
+          (fun p ->
+            let answered, refused = Service.stats service ~principal:p in
+            (p, answered, refused, Service.alive service ~principal:p))
+          (Service.principals service)
+      in
+      per_family := snapshot :: !per_family;
+      Service.close service)
+    bases;
+  (* Merge: sum counters; take alive from the family with the most activity
+     for the principal (the others never saw its records and stayed full). *)
+  let principals =
+    match !per_family with [] -> [] | s :: _ -> List.map (fun (p, _, _, _) -> p) s
+  in
+  Format.printf "ledger for %s: %d journal famil%s, %d record(s) replayed%s%s@.@."
+    journal (List.length bases)
+    (if List.length bases = 1 then "y" else "ies")
+    !applied
+    (if !checkpoints > 0 then
+       Printf.sprintf ", %d checkpoint(s) restored" !checkpoints
+     else "")
+    (if !torn > 0 then Printf.sprintf ", %d torn tail(s) dropped" !torn else "");
+  List.iter
+    (fun p ->
+      let rows =
+        List.map
+          (fun snapshot ->
+            let _, a, r, alive = List.find (fun (q, _, _, _) -> q = p) snapshot in
+            (a, r, alive))
+          !per_family
+      in
+      let answered = List.fold_left (fun acc (a, _, _) -> acc + a) 0 rows in
+      let refused = List.fold_left (fun acc (_, r, _) -> acc + r) 0 rows in
+      let alive =
+        let best = ref (-1) and alive = ref [] in
+        List.iter
+          (fun (a, r, al) ->
+            if a + r > !best then begin
+              best := a + r;
+              alive := al
+            end)
+          rows;
+        !alive
+      in
+      let e = entry p in
+      let compacted = answered - e#answered in
+      Format.printf "%-20s answered %d%s, refused %d%s, policy epochs %d@." p
+        answered
+        (if compacted > 0 then
+           Printf.sprintf " (%d from compacted history)" compacted
+         else "")
+        refused
+        (match e#tags with
+        | [] -> ""
+        | tags ->
+          " ["
+          ^ String.concat ", "
+              (List.map (fun (t, n) -> Printf.sprintf "%s x%d" t n) tags)
+          ^ "]")
+        (e#resets + 1);
+      Format.printf "%-20s   alive: %s@." ""
+        (match alive with [] -> "(none)" | l -> String.concat ", " l);
+      Format.printf "%-20s   learned: %s@." ""
+        (match e#views with
+        | [] -> "(nothing this epoch)"
+        | vs -> String.concat ", " vs))
+    principals;
+  0
+
+let audit_cmd =
+  let journal_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"JOURNAL"
+          ~doc:
+            "Decision journal to replay into a per-principal disclosure \
+             ledger: a $(b,replay --journal) file, one shard family, or a \
+             server journal base (its $(i,BASE).shard$(i,i) families are \
+             aggregated). Requires $(b,--config). Without $(docv), runs the \
+             Facebook documentation audit instead.")
+  in
+  let config_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "c"; "config" ] ~docv:"FILE"
+          ~doc:
+            "Deployment configuration the journal was written under (the \
+             ledger replays through its views and policies).")
+  in
+  let run () journal config =
+    match (journal, config) with
+    | Some j, Some c -> run_ledger c j
+    | Some _, None -> failwith "audit JOURNAL requires --config"
+    | None, _ ->
+      let module Audit = Disclosure.Audit in
+      let module Perms = Fbschema.Fb_permissions in
+      let discrepancies = Audit.compare_labelings ~left:Perms.fql ~right:Perms.graph in
+      Format.printf "audited %d User views; %d inconsistencies:@."
+        (List.length Perms.subjects) (List.length discrepancies);
+      List.iter (fun d -> Format.printf "  %a@." Audit.pp_discrepancy d) discrepancies;
+      0
+  in
+  let doc =
+    "Replay a decision journal into an offline per-principal disclosure \
+     ledger (with $(i,JOURNAL) and $(b,--config)), or audit the Facebook FQL \
+     vs Graph API permission documentation (Table 2)."
+  in
+  Cmd.v (Cmd.info "audit" ~doc) Term.(const run $ setup_logs $ journal_arg $ config_arg)
 
 let main_cmd =
   let doc = "fine-grained disclosure control for app ecosystems" in
@@ -1358,6 +1615,7 @@ let main_cmd =
       replay_cmd;
       serve_cmd;
       query_cmd;
+      explain_cmd;
       client_cmd;
       replicate_cmd;
       stats_cmd;

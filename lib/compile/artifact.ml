@@ -40,6 +40,31 @@ type group = {
   memo : (int array * Value.t array, Label.atom_label) Hashtbl.t;
 }
 
+(* Which tier of the compiled labeler decided a labeling, for provenance.
+   Ordered by escalation: a multi-atom query reports the highest tier any
+   of its atoms reached (a memo hit next to an interpreter escape is still
+   an escape). *)
+type tier =
+  | Tier_query_memo
+  | Tier_atom_memo
+  | Tier_diagram
+  | Tier_matcher
+  | Tier_fallback
+
+let tier_rank = function
+  | Tier_query_memo -> 0
+  | Tier_atom_memo -> 1
+  | Tier_diagram -> 2
+  | Tier_matcher -> 3
+  | Tier_fallback -> 4
+
+let tier_name = function
+  | Tier_query_memo -> "memo"
+  | Tier_atom_memo -> "atom-memo"
+  | Tier_diagram -> "diagram"
+  | Tier_matcher -> "matcher"
+  | Tier_fallback -> "fallback"
+
 type t = {
   pipeline : Pipeline.t;
   registry : Registry.t;
@@ -53,6 +78,7 @@ type t = {
   mutable atom_misses : int;
   mutable query_hits : int;
   mutable query_misses : int;
+  mutable last_tier : tier; (* deciding tier of the most recent [label] *)
 }
 
 let compile ?(version = 0) ?(intern_capacity = 65536) ?(memo_capacity = 65536) pipeline =
@@ -100,6 +126,7 @@ let compile ?(version = 0) ?(intern_capacity = 65536) ?(memo_capacity = 65536) p
     atom_misses = 0;
     query_hits = 0;
     query_misses = 0;
+    last_tier = Tier_query_memo;
   }
 
 let version t = t.version
@@ -125,12 +152,16 @@ let scan g p =
     (fun mask (prog, bit) -> if Matcher.run prog p then mask lor (1 lsl bit) else mask)
     0 g.matchers
 
+let escalate t tier =
+  if tier_rank tier > tier_rank t.last_tier then t.last_tier <- tier
+
 let label_atom ?(budget = Cq.Budget.unlimited) t (atom : Tagged.atom) =
   match Pattern.encode atom with
   | None ->
     (* Outside the fragment: interpreted labeler, which trips Faults.Label
        itself, so the per-atom fault schedule stays one trip either way. *)
     t.fallbacks <- t.fallbacks + 1;
+    escalate t Tier_fallback;
     Pipeline.label_atom ~budget t.pipeline atom
   | Some p -> (
     Faults.trip Faults.Label;
@@ -145,6 +176,7 @@ let label_atom ?(budget = Cq.Budget.unlimited) t (atom : Tagged.atom) =
         match Hashtbl.find_opt g.memo key with
         | Some w ->
           t.atom_hits <- t.atom_hits + 1;
+          escalate t Tier_atom_memo;
           w
         | None ->
           t.atom_misses <- t.atom_misses + 1;
@@ -152,13 +184,18 @@ let label_atom ?(budget = Cq.Budget.unlimited) t (atom : Tagged.atom) =
             match g.diagram with
             | Some d -> (
               match Diagram.eval d p with
-              | Some m -> m
+              | Some m ->
+                escalate t Tier_diagram;
+                m
               | None ->
                 (* Unreachable for encoded patterns; a construction bug
                    degrades to the exact matcher scan, counted. *)
                 t.fallbacks <- t.fallbacks + 1;
+                escalate t Tier_fallback;
                 scan g p)
-            | None -> scan g p
+            | None ->
+              escalate t Tier_matcher;
+              scan g p
           in
           let w = if mask = 0 then Label.top_atom else Label.make_atom ~rel_id ~mask in
           if Hashtbl.length g.memo >= t.memo_capacity then Hashtbl.reset g.memo;
@@ -166,6 +203,7 @@ let label_atom ?(budget = Cq.Budget.unlimited) t (atom : Tagged.atom) =
           w)))
 
 let label ?(budget = Cq.Budget.unlimited) t q =
+  t.last_tier <- Tier_query_memo;
   let id = intern_query t q in
   match Hashtbl.find_opt t.query_memo id with
   | Some lbl ->
@@ -182,6 +220,8 @@ let label ?(budget = Cq.Budget.unlimited) t q =
     let lbl = Array.of_list (List.map (fun a -> label_atom ~budget t a) atoms) in
     Hashtbl.add t.query_memo id (Array.copy lbl);
     lbl
+
+let last_tier t = t.last_tier
 
 type stats = {
   version : int;

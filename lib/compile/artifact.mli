@@ -16,6 +16,20 @@
 
 type t
 
+(** The labeler tier that decided a labeling, for decision provenance.
+    Ordered by escalation — whole-query memo hit, per-atom memo hit,
+    decision-diagram evaluation, flat matcher scan, escape to the
+    interpreted labeler. *)
+type tier =
+  | Tier_query_memo
+  | Tier_atom_memo
+  | Tier_diagram
+  | Tier_matcher
+  | Tier_fallback
+
+val tier_name : tier -> string
+(** ["memo"], ["atom-memo"], ["diagram"], ["matcher"], ["fallback"]. *)
+
 val compile :
   ?version:int -> ?intern_capacity:int -> ?memo_capacity:int -> Disclosure.Pipeline.t -> t
 
@@ -51,3 +65,9 @@ type stats = {
 
 val stats : t -> stats
 val fallbacks : t -> int
+
+val last_tier : t -> tier
+(** The deciding tier of the most recent {!label} call: the highest tier any
+    of the query's atoms escalated to ([Tier_query_memo] when the whole-query
+    memo hit). Standalone {!label_atom} calls escalate but do not reset, so
+    the value is meaningful per-[label]. Not thread-safe, like the memos. *)

@@ -54,6 +54,15 @@ type t = {
   observe : (observation -> unit) option;
   monitors : (string, Monitor.t) Hashtbl.t;
   mutable order : string list; (* reversed registration order *)
+  (* Provenance capture for the next submission (see [capture_begin]). Off by
+     default; the disabled path costs one field load per capture point and
+     allocates nothing — journal bytes and monitor state are identical either
+     way because explanations are assembled strictly out of band. *)
+  mutable capture_on : bool;
+  mutable captured : Explain.t option;
+  mutable cap_fuel : int option; (* labeling fuel burned, when fuel is limited *)
+  mutable cap_tier : string; (* "interpreter" when this service's labeler ran *)
+  mutable cap_t0 : int64; (* submission start, read only while capturing *)
 }
 
 exception Unknown_principal of string
@@ -126,7 +135,87 @@ let create ?(limits = Guard.no_limits) ?journal ?(journal_format = `V2) ?(segmen
     observe;
     monitors = Hashtbl.create 16;
     order = [];
+    capture_on = false;
+    captured = None;
+    cap_fuel = None;
+    cap_tier = "none";
+    cap_t0 = 0L;
   }
+
+(* --- provenance capture ------------------------------------------------- *)
+
+let capture_begin t =
+  t.capture_on <- true;
+  t.captured <- None;
+  t.cap_fuel <- None;
+  t.cap_tier <- "none";
+  t.cap_t0 <- Mclock.now_ns ()
+
+let capture_take t =
+  t.capture_on <- false;
+  let e = t.captured in
+  t.captured <- None;
+  e
+
+let cap_elapsed t = Int64.to_int (Int64.sub (Mclock.now_ns ()) t.cap_t0)
+
+(* A refusal's explanation, with whatever context existed when it fired:
+   pre-label refusals carry no witnesses, pre-monitor refusals no partition
+   report. [Resource Fuel] refusals report the whole fuel budget as spent —
+   by definition of the exhaustion. *)
+let capture_refusal t ~principal ~stage ?label ?monitor reason =
+  if t.capture_on then begin
+    let fuel_spent =
+      match (reason, t.cap_fuel) with
+      | Guard.Resource Guard.Fuel, _ -> t.limits.Guard.fuel
+      | _, spent -> spent
+    in
+    let mask_before = match monitor with Some m -> Monitor.alive_mask m | None -> 0 in
+    let base =
+      Explain.refused ~principal ~stage ?label ~mask_before ?fuel_spent
+        ~elapsed_ns:(cap_elapsed t) reason
+    in
+    let e =
+      match (label, monitor) with
+      | Some l, Some m ->
+        {
+          base with
+          Explain.atoms = Explain.witnesses (Pipeline.registry t.pipeline) l;
+          partitions = Explain.partition_report (Monitor.policy m) ~mask_before l;
+          tier = t.cap_tier;
+        }
+      | Some l, None ->
+        {
+          base with
+          Explain.atoms = Explain.witnesses (Pipeline.registry t.pipeline) l;
+          tier = t.cap_tier;
+        }
+      | None, _ -> base
+    in
+    t.captured <- Some e
+  end
+
+let capture_commit t ~principal ~m ~label ~encoded ~mask_before ~mask_after ~decision =
+  if t.capture_on then
+    t.captured <-
+      Some
+        {
+          Explain.principal;
+          decision;
+          label = encoded;
+          label_width = Array.length label;
+          atoms = Explain.witnesses (Pipeline.registry t.pipeline) label;
+          mask_before;
+          mask_after;
+          partitions = Explain.partition_report (Monitor.policy m) ~mask_before label;
+          fuel_spent = t.cap_fuel;
+          elapsed_ns = cap_elapsed t;
+          tier = t.cap_tier;
+          cache_level = "none";
+          cause =
+            (if decision = "answered" then []
+             else Explain.cause_of_refusal ~stage:"decide" Guard.Policy);
+        }
 
 (* Instrumented sections for the serving layer's metrics: only pay for a
    clock read when an observer is attached. Monotonic time — a wall-clock
@@ -525,6 +614,13 @@ let guarded_label_with labeler t q =
           | Ok () -> ()
           | Error r -> raise (Guard.Refuse r));
           width := List.length (Label.atoms label);
+          if t.capture_on then begin
+            t.cap_tier <- "interpreter";
+            t.cap_fuel <-
+              (match (t.limits.Guard.fuel, Cq.Budget.remaining_fuel budget) with
+              | Some limit, Some left -> Some (limit - left)
+              | _ -> None)
+          end;
           label))
 
 let label_query t q =
@@ -539,6 +635,7 @@ let label_query_with t ~labeler q = guarded_label_with labeler t q
    behind the live state. *)
 let decide_and_commit t ~principal m label =
   let encoded = Label.encode label in
+  let mask_before = Monitor.alive_mask m in
   match
     observed t `Decide (fun () ->
         Guard.run t.limits (fun _budget ->
@@ -547,21 +644,30 @@ let decide_and_commit t ~principal m label =
   with
   | Error reason ->
     ignore (journal_append t ~principal ~label:encoded ~decision:(refused_line reason));
+    capture_refusal t ~principal ~stage:"decide" ~label ~monitor:m reason;
     Monitor.Refused reason
   | Ok None -> (
     match journal_append t ~principal ~label:encoded ~decision:(refused_line Guard.Policy) with
     | Ok () ->
       batch_save t ~principal m;
       Monitor.commit_refusal m;
+      capture_commit t ~principal ~m ~label ~encoded ~mask_before ~mask_after:mask_before
+        ~decision:(refused_line Guard.Policy);
       Monitor.Refused Guard.Policy
-    | Error reason -> Monitor.Refused reason)
+    | Error reason ->
+      capture_refusal t ~principal ~stage:"journal" ~label ~monitor:m reason;
+      Monitor.Refused reason)
   | Ok (Some surviving) -> (
     match journal_append t ~principal ~label:encoded ~decision:"answered" with
     | Ok () ->
       batch_save t ~principal m;
       Monitor.commit_answer m ~surviving;
+      capture_commit t ~principal ~m ~label ~encoded ~mask_before ~mask_after:surviving
+        ~decision:"answered";
       Monitor.Answered
-    | Error reason -> Monitor.Refused reason)
+    | Error reason ->
+      capture_refusal t ~principal ~stage:"journal" ~label ~monitor:m reason;
+      Monitor.Refused reason)
 
 let submit_label t ~principal label =
   let m = monitor_of t principal in
@@ -582,6 +688,7 @@ let submit_label t ~principal label =
       ignore
         (journal_append t ~principal ~label:(Label.encode label)
            ~decision:(refused_line reason));
+      capture_refusal t ~principal ~stage:"admit" ~label ~monitor:m reason;
       Monitor.Refused reason
     | Ok () -> decide_and_commit t ~principal m label
   in
@@ -597,7 +704,9 @@ let refuse t ~principal ?label reason =
   (match reason with
   | Guard.Policy -> invalid_arg "Service.refuse: policy refusals must go through submit"
   | _ -> ());
-  ignore (monitor_of t principal : Monitor.t);
+  let m = monitor_of t principal in
+  let stage = match reason with Guard.Overload -> "overload" | _ -> "label" in
+  capture_refusal t ~principal ~stage ?label ~monitor:m reason;
   let label = match label with Some l -> Label.encode l | None -> "-" in
   ignore (journal_append t ~principal ~label ~decision:(refused_line reason));
   Monitor.Refused reason
@@ -608,6 +717,7 @@ let submit t ~principal q =
     match label_query t q with
     | Error reason ->
       ignore (journal_append t ~principal ~label:"-" ~decision:(refused_line reason));
+      capture_refusal t ~principal ~stage:"label" ~monitor:m reason;
       Monitor.Refused reason
     | Ok label -> decide_and_commit t ~principal m label
   in
@@ -725,7 +835,7 @@ let apply_journal_record t fields =
    torn-tail damage from corruption; a torn tail is tolerated only in the
    final file of the replay sequence — an interior segment was sealed by
    rotation and cannot legitimately end mid-record. *)
-let replay_v2 t ~file ~tolerate_torn =
+let replay_v2 t ~file ~tolerate_torn ~on_record =
   match Journal.read_file file with
   | exception Sys_error msg -> Error { file; offset = 0; kind = `Io; detail = msg }
   | Error c ->
@@ -758,7 +868,9 @@ let replay_v2 t ~file ~tolerate_torn =
           match fields with
           | [ principal; label_s; decision ] -> (
             match apply_decision t ~principal ~label_s ~decision with
-            | Ok () -> loop (applied + 1) rest
+            | Ok () ->
+              on_record ~principal ~label:label_s ~decision;
+              loop (applied + 1) rest
             | Error (kind, detail) -> Error { file; offset; kind; detail })
           | _ ->
             Error
@@ -777,7 +889,7 @@ let replay_v2 t ~file ~tolerate_torn =
    damage is recognized structurally: an error that truncation from the
    right could explain (missing fields, a strict prefix of a valid decision
    or refusal tag), on the file's final line only. *)
-let replay_legacy t ~file ~tolerate_torn =
+let replay_legacy t ~file ~tolerate_torn ~on_record =
   match open_in_bin file with
   | exception Sys_error msg -> Error { file; offset = 0; kind = `Io; detail = msg }
   | ic ->
@@ -792,7 +904,9 @@ let replay_legacy t ~file ~tolerate_torn =
             match String.split_on_char '\t' line with
             | [ principal; label_s; decision ] -> (
               match apply_decision t ~principal ~label_s ~decision with
-              | Ok () -> `Applied
+              | Ok () ->
+                on_record ~principal ~label:label_s ~decision;
+                `Applied
               | Error (kind, msg) -> (
                 (* Only damage truncation could have produced is torn: an
                    unknown decision word or refusal tag that is a strict
@@ -930,7 +1044,7 @@ let truncate_torn_tail t ~file ~offset =
         detail = "failed to truncate the torn tail: " ^ Printexc.to_string e;
       }
 
-let recover t ~journal:base =
+let recover ?(on_record = fun ~principal:_ ~label:_ ~decision:_ -> ()) t ~journal:base =
   Hashtbl.iter (fun _ m -> Monitor.reset m) t.monitors;
   let ( let* ) = Result.bind in
   let* covers, from_checkpoint = load_checkpoint t base in
@@ -975,8 +1089,8 @@ let recover t ~journal:base =
       | file :: rest ->
         let tolerate_torn = i = last in
         let* n, torn =
-          if Journal.is_v2_file file then replay_v2 t ~file ~tolerate_torn
-          else replay_legacy t ~file ~tolerate_torn
+          if Journal.is_v2_file file then replay_v2 t ~file ~tolerate_torn ~on_record
+          else replay_legacy t ~file ~tolerate_torn ~on_record
         in
         let* () =
           match torn with

@@ -137,6 +137,28 @@ val refuse : t -> principal:string -> ?label:Label.t -> Guard.refusal_reason -> 
     @raise Invalid_argument on {!Guard.Policy}, which commits monitor state
     and must go through {!submit}/{!submit_label}. *)
 
+(** {1 Decision provenance}
+
+    Between {!capture_begin} and {!capture_take}, the submission paths build
+    a structured {!Explain.t} for the decision they produce: witnesses and
+    partition report on commits, the typed cause chain on refusals, fuel
+    burned and wall time either way. Capture is strictly out of band — it
+    never changes a decision, a journal byte, or monitor state (the
+    differential suite in [test_explain] holds journals bit-identical with
+    capture on or off) — and the disabled path costs one boolean load per
+    capture point. The capture slot is single-shot and not thread-safe:
+    callers (the serving layer's shard loop) bracket exactly one submission
+    per capture, on the domain that owns the service. *)
+
+val capture_begin : t -> unit
+(** Arm provenance capture for the next submission on this service. Resets
+    any previously captured explanation. *)
+
+val capture_take : t -> Explain.t option
+(** Disarm capture and return the explanation of the submission since
+    {!capture_begin}, if one reached a decision point. [None] when nothing
+    was submitted while armed. *)
+
 val answer :
   t ->
   principal:string ->
@@ -312,7 +334,11 @@ type recovery = {
   torn_tail : bool;  (** A torn final record was dropped (and logged). *)
 }
 
-val recover : t -> journal:string -> (recovery, recovery_error) result
+val recover :
+  ?on_record:(principal:string -> label:string -> decision:string -> unit) ->
+  t ->
+  journal:string ->
+  (recovery, recovery_error) result
 (** Reset all monitors, restore the newest checkpoint (if [<base>.ckpt]
     exists), and replay the tail: rotated segments above the checkpoint's
     coverage bound in index order, then the active segment. Re-applies every
@@ -343,6 +369,13 @@ val recover : t -> journal:string -> (recovery, recovery_error) result
       not an error: recovery simply replays the full journal.
     - {e missing segment} — a hole in the rotated-segment indices above the
       checkpoint bound, or no journal files at all: fail closed with [`Io].
+
+    [on_record], when given, is called once per successfully replayed
+    decision record with its raw fields, {e after} the record was applied —
+    the offline audit ledger ([disclosurectl audit]) is built on this hook.
+    Checkpoint restoration does not fire it (those decisions were compacted
+    away; only their aggregate survives, visible through {!stats} and
+    {!alive}).
 
     On [Error], the monitors reflect the replayed prefix before the damage —
     callers must treat the service as unrecovered. *)

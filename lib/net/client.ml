@@ -144,45 +144,67 @@ let request_pipelined ?(depth = 32) t reqs =
   done;
   List.rev !acc
 
-let query_string t ~principal query =
-  match request t (Codec.Query { principal; query }) with
+let query_string ?ctx t ~principal query =
+  match request t (Codec.Query { principal; query; trace = ctx }) with
   | Codec.Decision d -> Ok d
   | Codec.Error e -> Error e
-  | Codec.Pong | Codec.Stats_doc _ | Codec.Batch _ | Codec.Snapshot _ ->
+  | Codec.Pong | Codec.Stats_doc _ | Codec.Batch _ | Codec.Snapshot _
+  | Codec.Explained _ ->
     raise (Protocol_error "mismatched response to a query")
 
-let query t ~principal q = query_string t ~principal (Cq.Query.to_string q)
+let query ?ctx t ~principal q = query_string ?ctx t ~principal (Cq.Query.to_string q)
 
-let query_batch_string ?depth t queries =
-  let reqs = List.map (fun (principal, query) -> Codec.Query { principal; query }) queries in
+let explain_string ?ctx t ~principal query =
+  match request t (Codec.Explain { principal; query; trace = ctx }) with
+  | Codec.Explained { decision; doc } -> (
+    match Codec.explain_of_json doc with
+    | Ok e -> Ok (decision, Some e)
+    | Error msg -> raise (Protocol_error msg))
+  | Codec.Decision d ->
+    (* The server decided but had no provenance to attach (capture failed);
+       the decision is still real and journaled. *)
+    Ok (d, None)
+  | Codec.Error e -> Error e
+  | Codec.Pong | Codec.Stats_doc _ | Codec.Batch _ | Codec.Snapshot _ ->
+    raise (Protocol_error "mismatched response to an explain request")
+
+let explain ?ctx t ~principal q = explain_string ?ctx t ~principal (Cq.Query.to_string q)
+
+let query_batch_string ?depth ?ctx t queries =
+  let reqs =
+    List.map (fun (principal, query) -> Codec.Query { principal; query; trace = ctx }) queries
+  in
   List.map
     (function
       | Codec.Decision d -> Ok d
       | Codec.Error e -> Error e
-      | Codec.Pong | Codec.Stats_doc _ | Codec.Batch _ | Codec.Snapshot _ ->
+      | Codec.Pong | Codec.Stats_doc _ | Codec.Batch _ | Codec.Snapshot _
+      | Codec.Explained _ ->
         raise (Protocol_error "mismatched response to a query"))
     (request_pipelined ?depth t reqs)
 
-let query_batch ?depth t queries =
-  query_batch_string ?depth t (List.map (fun (p, q) -> (p, Cq.Query.to_string q)) queries)
+let query_batch ?depth ?ctx t queries =
+  query_batch_string ?depth ?ctx t (List.map (fun (p, q) -> (p, Cq.Query.to_string q)) queries)
 
 let ping t =
   match request t Codec.Ping with
   | Codec.Pong -> ()
   | Codec.Error e -> raise (Protocol_error (Errors.to_string e))
-  | Codec.Decision _ | Codec.Stats_doc _ | Codec.Batch _ | Codec.Snapshot _ ->
+  | Codec.Decision _ | Codec.Stats_doc _ | Codec.Batch _ | Codec.Snapshot _
+  | Codec.Explained _ ->
     raise (Protocol_error "mismatched response to a ping")
 
 let stats t =
   match request t Codec.Stats with
   | Codec.Stats_doc doc -> doc
   | Codec.Error e -> raise (Protocol_error (Errors.to_string e))
-  | Codec.Decision _ | Codec.Pong | Codec.Batch _ | Codec.Snapshot _ ->
+  | Codec.Decision _ | Codec.Pong | Codec.Batch _ | Codec.Snapshot _
+  | Codec.Explained _ ->
     raise (Protocol_error "mismatched response to a stats request")
 
-let pull ?(follower = "") t ~shard ~seg ~off ~max_bytes =
-  match request t (Codec.Pull { shard; seg; off; max_bytes; follower }) with
+let pull ?(follower = "") ?ctx t ~shard ~seg ~off ~max_bytes =
+  match request t (Codec.Pull { shard; seg; off; max_bytes; follower; trace = ctx }) with
   | (Codec.Batch _ | Codec.Snapshot _) as r -> Ok r
   | Codec.Error e -> Error e
-  | Codec.Decision _ | Codec.Pong | Codec.Stats_doc _ ->
+  | Codec.Decision _ | Codec.Pong | Codec.Stats_doc _ | Codec.Explained _ ->
     raise (Protocol_error "mismatched response to a pull request")

@@ -69,19 +69,48 @@ val request_pipelined : ?depth:int -> t -> Codec.request list -> Codec.response 
     @raise Invalid_argument on [depth < 1]. *)
 
 val query :
-  t -> principal:string -> Cq.Query.t -> (Disclosure.Monitor.decision, Errors.t) result
+  ?ctx:int * int ->
+  t ->
+  principal:string ->
+  Cq.Query.t ->
+  (Disclosure.Monitor.decision, Errors.t) result
 (** Submit one query (sent as {!Cq.Query.to_string} concrete syntax).
     [Ok] is the monitor's decision — including fail-closed refusals such
     as [Refused Overload]; [Error] is a typed wire error
-    ([Unknown_principal], [Shutting_down], …).
+    ([Unknown_principal], [Shutting_down], …). [ctx], when given, is the
+    caller's [(trace_id, span_id)] (e.g. {!Obs.Trace.scope_ids} of a local
+    scope), carried on the wire frame so the server's spans for this query
+    join the caller's trace.
     @raise Protocol_error on transport failure. *)
 
-val query_string : t -> principal:string -> string -> (Disclosure.Monitor.decision, Errors.t) result
+val query_string :
+  ?ctx:int * int -> t -> principal:string -> string -> (Disclosure.Monitor.decision, Errors.t) result
 (** Like {!query} with the concrete syntax already in hand (the CLI's
     path — the server parses and validates). *)
 
+val explain :
+  ?ctx:int * int ->
+  t ->
+  principal:string ->
+  Cq.Query.t ->
+  (Disclosure.Monitor.decision * Disclosure.Explain.t option, Errors.t) result
+(** Like {!query} — the decision is real, committed, and journaled — but
+    also returns the decision's structured provenance, decoded from the
+    server's [Explained] response. [None] provenance means the server
+    decided but could not capture (never the common case).
+    @raise Protocol_error on transport failure or a malformed explain
+    document. *)
+
+val explain_string :
+  ?ctx:int * int ->
+  t ->
+  principal:string ->
+  string ->
+  (Disclosure.Monitor.decision * Disclosure.Explain.t option, Errors.t) result
+
 val query_batch :
   ?depth:int ->
+  ?ctx:int * int ->
   t ->
   (string * Cq.Query.t) list ->
   (Disclosure.Monitor.decision, Errors.t) result list
@@ -89,12 +118,17 @@ val query_batch :
     ({!request_pipelined}) and return each one's result in order, with the
     same [Ok]/[Error] split as {!query}. Decisions are identical to
     issuing the queries one by one — pipelining changes scheduling, never
-    semantics.
+    semantics. [ctx] is stamped on every request in the batch: the whole
+    window's server-side spans join the one caller trace.
     @raise Protocol_error on transport failure (see
     {!request_pipelined} for what is knowable about a torn batch). *)
 
 val query_batch_string :
-  ?depth:int -> t -> (string * string) list -> (Disclosure.Monitor.decision, Errors.t) result list
+  ?depth:int ->
+  ?ctx:int * int ->
+  t ->
+  (string * string) list ->
+  (Disclosure.Monitor.decision, Errors.t) result list
 (** {!query_batch} with the concrete syntax already in hand. *)
 
 val ping : t -> unit
@@ -106,6 +140,7 @@ val stats : t -> Obs.Json.t
 
 val pull :
   ?follower:string ->
+  ?ctx:int * int ->
   t ->
   shard:int ->
   seg:int ->
@@ -116,5 +151,7 @@ val pull :
     [Codec.Snapshot]; [Error] is the typed wire error (e.g. [Bad_request]
     when the server has no replication source attached). [follower]
     (default [""], the anonymous pool) names this follower on the primary's
-    per-follower cursor table — give each standby a distinct id.
+    per-follower cursor table — give each standby a distinct id. [ctx] is
+    the follower's replication-span identity; the primary's pull-serving
+    span joins that trace and echoes its own ids on the [Batch] response.
     @raise Protocol_error on transport failure. *)

@@ -4,6 +4,12 @@ type request =
   | Query of {
       principal : string;
       query : string;
+      trace : (int * int) option;
+    }
+  | Explain of {
+      principal : string;
+      query : string;
+      trace : (int * int) option;
     }
   | Ping
   | Stats
@@ -13,6 +19,7 @@ type request =
       off : int;
       max_bytes : int;
       follower : string;
+      trace : (int * int) option;
     }
 
 type response =
@@ -25,12 +32,17 @@ type response =
       next_seg : int;
       next_off : int;
       behind : int;
+      trace : (int * int) option;
     }
   | Snapshot of {
       shard : int;
       data : string;
       next_seg : int;
       next_off : int;
+    }
+  | Explained of {
+      decision : Disclosure.Monitor.decision;
+      doc : Json.t;
     }
   | Error of Errors.t
 
@@ -86,22 +98,44 @@ let int_field name doc =
    ([Disclosure.Guard.refusal_to_tag]), so a decision survives the round
    trip exactly as it would survive journal replay. *)
 
+(* The optional trace context rides as two plain integer members; decoders
+   that predate the field ignore unknown members, so adding it is
+   backward compatible in both directions. *)
+let trace_members = function
+  | None -> []
+  | Some (tid, sid) ->
+    [
+      ("trace_id", Json.Num (float_of_int tid));
+      ("span_id", Json.Num (float_of_int sid));
+    ]
+
+let trace_of doc =
+  match (int_field "trace_id" doc, int_field "span_id" doc) with
+  | Some tid, Some sid -> Some (tid, sid)
+  | _ -> None
+
 let request_to_json = function
-  | Query { principal; query } ->
+  | Query { principal; query; trace } ->
     Json.Obj
-      [ ("op", Json.Str "query"); ("principal", Json.Str principal); ("query", Json.Str query) ]
+      ([ ("op", Json.Str "query"); ("principal", Json.Str principal); ("query", Json.Str query) ]
+      @ trace_members trace)
+  | Explain { principal; query; trace } ->
+    Json.Obj
+      ([ ("op", Json.Str "explain"); ("principal", Json.Str principal); ("query", Json.Str query) ]
+      @ trace_members trace)
   | Ping -> Json.Obj [ ("op", Json.Str "ping") ]
   | Stats -> Json.Obj [ ("op", Json.Str "stats") ]
-  | Pull { shard; seg; off; max_bytes; follower } ->
+  | Pull { shard; seg; off; max_bytes; follower; trace } ->
     Json.Obj
-      [
-        ("op", Json.Str "pull");
-        ("shard", Json.Num (float_of_int shard));
-        ("seg", Json.Num (float_of_int seg));
-        ("off", Json.Num (float_of_int off));
-        ("max_bytes", Json.Num (float_of_int max_bytes));
-        ("follower", Json.Str follower);
-      ]
+      ([
+         ("op", Json.Str "pull");
+         ("shard", Json.Num (float_of_int shard));
+         ("seg", Json.Num (float_of_int seg));
+         ("off", Json.Num (float_of_int off));
+         ("max_bytes", Json.Num (float_of_int max_bytes));
+         ("follower", Json.Str follower);
+       ]
+      @ trace_members trace)
 
 let request_of_json doc =
   match Json.member "op" doc with
@@ -109,10 +143,18 @@ let request_of_json doc =
   | Some (Json.Str "stats") -> Ok Stats
   | Some (Json.Str "query") -> (
     match (Json.member "principal" doc, Json.member "query" doc) with
-    | Some (Json.Str principal), Some (Json.Str query) -> Ok (Query { principal; query })
+    | Some (Json.Str principal), Some (Json.Str query) ->
+      Ok (Query { principal; query; trace = trace_of doc })
     | _ ->
       Stdlib.Error
         (Errors.bad_request "query request needs string fields \"principal\" and \"query\""))
+  | Some (Json.Str "explain") -> (
+    match (Json.member "principal" doc, Json.member "query" doc) with
+    | Some (Json.Str principal), Some (Json.Str query) ->
+      Ok (Explain { principal; query; trace = trace_of doc })
+    | _ ->
+      Stdlib.Error
+        (Errors.bad_request "explain request needs string fields \"principal\" and \"query\""))
   | Some (Json.Str "pull") -> (
     match
       ( int_field "shard" doc,
@@ -127,7 +169,7 @@ let request_of_json doc =
       let follower =
         match Json.member "follower" doc with Some (Json.Str f) -> f | _ -> ""
       in
-      Ok (Pull { shard; seg; off; max_bytes; follower })
+      Ok (Pull { shard; seg; off; max_bytes; follower; trace = trace_of doc })
     | _ ->
       Stdlib.Error
         (Errors.bad_request
@@ -137,31 +179,34 @@ let request_of_json doc =
   | Some _ -> Stdlib.Error (Errors.bad_request "\"op\" must be a string")
   | None -> Stdlib.Error (Errors.bad_request "request object has no \"op\" field")
 
+let decision_members = function
+  | Disclosure.Monitor.Answered -> [ ("decision", Json.Str "answered") ]
+  | Disclosure.Monitor.Refused reason ->
+    [
+      ("decision", Json.Str "refused");
+      ("reason", Json.Str (Disclosure.Guard.refusal_to_tag reason));
+    ]
+
 let response_to_json = function
-  | Decision Disclosure.Monitor.Answered ->
-    Json.Obj [ ("ok", Json.Bool true); ("decision", Json.Str "answered") ]
-  | Decision (Disclosure.Monitor.Refused reason) ->
-    Json.Obj
-      [
-        ("ok", Json.Bool true);
-        ("decision", Json.Str "refused");
-        ("reason", Json.Str (Disclosure.Guard.refusal_to_tag reason));
-      ]
+  | Decision d -> Json.Obj (("ok", Json.Bool true) :: decision_members d)
+  | Explained { decision; doc } ->
+    Json.Obj ((("ok", Json.Bool true) :: decision_members decision) @ [ ("explain", doc) ])
   | Pong -> Json.Obj [ ("ok", Json.Bool true); ("pong", Json.Bool true) ]
   | Stats_doc doc -> Json.Obj [ ("ok", Json.Bool true); ("stats", doc) ]
-  | Batch { shard; data; next_seg; next_off; behind } ->
+  | Batch { shard; data; next_seg; next_off; behind; trace } ->
     Json.Obj
       [
         ("ok", Json.Bool true);
         ( "batch",
           Json.Obj
-            [
-              ("shard", Json.Num (float_of_int shard));
-              ("data", Json.Str (hex_encode data));
-              ("next_seg", Json.Num (float_of_int next_seg));
-              ("next_off", Json.Num (float_of_int next_off));
-              ("behind", Json.Num (float_of_int behind));
-            ] );
+            ([
+               ("shard", Json.Num (float_of_int shard));
+               ("data", Json.Str (hex_encode data));
+               ("next_seg", Json.Num (float_of_int next_seg));
+               ("next_off", Json.Num (float_of_int next_off));
+               ("behind", Json.Num (float_of_int behind));
+             ]
+            @ trace_members trace) );
       ]
   | Snapshot { shard; data; next_seg; next_off } ->
     Json.Obj
@@ -195,13 +240,18 @@ let response_of_json doc =
       | None -> Stdlib.Error (Printf.sprintf "unknown error tag %S" tag))
     | _ -> Stdlib.Error "error response needs a string \"error\" field")
   | Some (Json.Bool true) -> (
+    let with_explain d =
+      match Json.member "explain" doc with
+      | Some e -> Explained { decision = d; doc = e }
+      | None -> Decision d
+    in
     match Json.member "decision" doc with
-    | Some (Json.Str "answered") -> Ok (Decision Disclosure.Monitor.Answered)
+    | Some (Json.Str "answered") -> Ok (with_explain Disclosure.Monitor.Answered)
     | Some (Json.Str "refused") -> (
       match Json.member "reason" doc with
       | Some (Json.Str tag) -> (
         match Disclosure.Guard.refusal_of_tag tag with
-        | Some reason -> Ok (Decision (Disclosure.Monitor.Refused reason))
+        | Some reason -> Ok (with_explain (Disclosure.Monitor.Refused reason))
         | None -> Stdlib.Error (Printf.sprintf "unknown refusal tag %S" tag))
       | _ -> Stdlib.Error "refused decision has no \"reason\" tag")
     | Some (Json.Str d) -> Stdlib.Error (Printf.sprintf "unknown decision %S" d)
@@ -223,7 +273,8 @@ let response_of_json doc =
         with
         | Some shard, Some (Json.Str hex), Some next_seg, Some next_off, Some behind -> (
           match hex_decode hex with
-          | Ok data -> Ok (Batch { shard; data; next_seg; next_off; behind })
+          | Ok data ->
+            Ok (Batch { shard; data; next_seg; next_off; behind; trace = trace_of b })
           | Stdlib.Error e -> Stdlib.Error (Printf.sprintf "batch data: %s" e))
         | _ ->
           Stdlib.Error
@@ -247,6 +298,145 @@ let response_of_json doc =
       | _ -> Stdlib.Error "ok response carries no decision, pong, stats, batch, or snapshot"))
   | Some _ -> Stdlib.Error "\"ok\" must be a boolean"
   | None -> Stdlib.Error "response object has no \"ok\" field"
+
+(* --- Explain.t <-> JSON -------------------------------------------------- *)
+
+(* The structured explanation crosses the wire as a plain JSON object so
+   non-OCaml consumers can read it; [explain_of_json] restores the exact
+   record (the e2e suite round-trips it). Masks ride as ints — they fit:
+   Policy.max_partitions < 62 bits < 2^53. *)
+let explain_to_json (e : Disclosure.Explain.t) =
+  let module E = Disclosure.Explain in
+  let num i = Json.Num (float_of_int i) in
+  Json.Obj
+    [
+      ("principal", Json.Str e.E.principal);
+      ("decision", Json.Str e.E.decision);
+      ("label", Json.Str e.E.label);
+      ("label_width", num e.E.label_width);
+      ( "atoms",
+        Json.List
+          (List.map
+             (fun (rel, views) ->
+               Json.Obj
+                 [
+                   ("rel", num rel);
+                   ("views", Json.List (List.map (fun v -> Json.Str v) views));
+                 ])
+             e.E.atoms) );
+      ("mask_before", num e.E.mask_before);
+      ("mask_after", num e.E.mask_after);
+      ( "partitions",
+        Json.List
+          (List.map
+             (fun (name, alive, covers) ->
+               Json.Obj
+                 [
+                   ("name", Json.Str name);
+                   ("alive", Json.Bool alive);
+                   ("covers", Json.Bool covers);
+                 ])
+             e.E.partitions) );
+      ("fuel_spent", match e.E.fuel_spent with Some f -> num f | None -> Json.Null);
+      ("elapsed_ns", num e.E.elapsed_ns);
+      ("tier", Json.Str e.E.tier);
+      ("cache_level", Json.Str e.E.cache_level);
+      ( "cause",
+        Json.List
+          (List.map
+             (fun (c : E.cause) ->
+               Json.Obj [ ("stage", Json.Str c.E.stage); ("reason", Json.Str c.E.reason) ])
+             e.E.cause) );
+    ]
+
+let explain_of_json doc =
+  let module E = Disclosure.Explain in
+  let str name = match Json.member name doc with Some (Json.Str s) -> Some s | _ -> None in
+  (* label_width is -1 for pre-label refusals, so signed ints are needed
+     here where the wire protocol proper only moves non-negative ones. *)
+  let signed_int name =
+    match Json.member name doc with
+    | Some (Json.Num f) when Float.is_integer f && Float.abs f <= 9007199254740991.0 ->
+      Some (int_of_float f)
+    | _ -> None
+  in
+  let list name f =
+    match Json.member name doc with
+    | Some (Json.List xs) ->
+      List.fold_right
+        (fun x acc -> match (f x, acc) with Some v, Some l -> Some (v :: l) | _ -> None)
+        xs (Some [])
+    | _ -> None
+  in
+  let atom = function
+    | Json.Obj _ as o -> (
+      match (int_field "rel" o, Json.member "views" o) with
+      | Some rel, Some (Json.List vs) ->
+        List.fold_right
+          (fun v acc ->
+            match (v, acc) with Json.Str s, Some l -> Some (s :: l) | _ -> None)
+          vs (Some [])
+        |> Option.map (fun views -> (rel, views))
+      | _ -> None)
+    | _ -> None
+  in
+  let partition = function
+    | Json.Obj _ as o -> (
+      match (Json.member "name" o, Json.member "alive" o, Json.member "covers" o) with
+      | Some (Json.Str n), Some (Json.Bool a), Some (Json.Bool c) -> Some (n, a, c)
+      | _ -> None)
+    | _ -> None
+  in
+  let cause = function
+    | Json.Obj _ as o -> (
+      match (Json.member "stage" o, Json.member "reason" o) with
+      | Some (Json.Str stage), Some (Json.Str reason) -> Some { E.stage; reason }
+      | _ -> None)
+    | _ -> None
+  in
+  match
+    ( str "principal",
+      str "decision",
+      str "label",
+      signed_int "label_width",
+      list "atoms" atom,
+      signed_int "mask_before",
+      signed_int "mask_after",
+      list "partitions" partition,
+      signed_int "elapsed_ns",
+      str "tier" )
+  with
+  | ( Some principal,
+      Some decision,
+      Some label,
+      Some label_width,
+      Some atoms,
+      Some mask_before,
+      Some mask_after,
+      Some partitions,
+      Some elapsed_ns,
+      Some tier ) -> (
+    match (str "cache_level", list "cause" cause) with
+    | Some cache_level, Some cause ->
+      Ok
+        {
+          E.principal;
+          decision;
+          label;
+          label_width;
+          atoms;
+          mask_before;
+          mask_after;
+          partitions;
+          fuel_spent = signed_int "fuel_spent";
+          elapsed_ns;
+          tier;
+          cache_level;
+          cause;
+        }
+    | _ -> Stdlib.Error "malformed explain document"
+  )
+  | _ -> Stdlib.Error "malformed explain document"
 
 let encode_request r = Json.to_string (request_to_json r)
 

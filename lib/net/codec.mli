@@ -11,7 +11,23 @@ type request =
   | Query of {
       principal : string;
       query : string;  (** [Cq] concrete syntax; parsed by the server. *)
+      trace : (int * int) option;
+          (** Optional trace context [(trace_id, parent_span_id)]: the
+              caller's span identity, carried as two integer members (and
+              thus CRC'd with the rest of the frame). The server's spans
+              for this query join the caller's trace, stitching client,
+              listener, shard, and standby into one timeline. [None] on
+              pre-field clients — decoders ignore unknown members, so the
+              field is backward compatible both ways. *)
     }
+  | Explain of {
+      principal : string;
+      query : string;
+      trace : (int * int) option;
+    }
+      (** Like [Query] — the decision is real, committed, and journaled —
+          but the response additionally carries the structured decision
+          provenance ({!Disclosure.Explain.t} as JSON). *)
   | Ping  (** Liveness probe; answered without touching the monitor. *)
   | Stats  (** Fetch the server's {!Server.stats_json} document. *)
   | Pull of {
@@ -26,6 +42,9 @@ type request =
               several standbys). Decoded as [""] when the field is absent
               (pre-field clients), which pools such pullers under one
               anonymous cursor. *)
+      trace : (int * int) option;
+          (** Trace context of the follower's replication span, so the
+              primary's pull-serving span joins the follower's trace. *)
     }
       (** Replication pull: "send me journal bytes from cursor
           [(seg, off)] onward". Served only when the listener has a
@@ -45,6 +64,11 @@ type response =
       next_off : int;
       behind : int;  (** Primary's estimate of committed bytes still not
                          shipped after this batch ([0] = caught up). *)
+      trace : (int * int) option;
+          (** The primary's pull-serving span [(trace_id, span_id)] — the
+              follower stamps its apply span with it, so replication lag
+              is attributable to a specific primary-side serve in a merged
+              trace. *)
     }
   | Snapshot of {
       shard : int;
@@ -54,7 +78,18 @@ type response =
       next_seg : int;  (** Cursor where tail shipping resumes. *)
       next_off : int;
     }
+  | Explained of {
+      decision : Disclosure.Monitor.decision;
+      doc : Obs.Json.t;  (** {!explain_to_json} of the decision's provenance. *)
+    }
   | Error of Errors.t
+
+val explain_to_json : Disclosure.Explain.t -> Obs.Json.t
+(** The structured explanation as a plain JSON object (masks as integers —
+    they fit well under 2{^53}), so non-OCaml consumers can read it. *)
+
+val explain_of_json : Obs.Json.t -> (Disclosure.Explain.t, string) result
+(** Exact inverse of {!explain_to_json}. *)
 
 val request_to_json : request -> Obs.Json.t
 val request_of_json : Obs.Json.t -> (request, Errors.t) result

@@ -133,6 +133,13 @@ let drain_frames w ~handle =
     (* One compaction for the whole batch. *)
     Buffer.clear w.buf;
     if !off < len then Buffer.add_substring w.buf data !off (len - !off);
+    (* Frames decoded per wakeup = the client's effective pipeline depth:
+       mean 1 means request/response lockstep, deeper means the window is
+       actually landing in shard batches together. *)
+    (match w.metrics with
+    | Some m when !pending <> [] ->
+      Metrics.record_size m Metrics.Pipeline_window (List.length !pending)
+    | _ -> ());
     (* Phase 2: force deferred replies in order and buffer every response.
        A fatal deferred response closes like a fatal immediate one —
        responses completed before it still go out first, then [serve]

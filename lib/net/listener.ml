@@ -55,6 +55,68 @@ let metrics t = Server.metrics t.server
    every buffered frame before forcing any await, so a pipelined window
    lands in the shard mailboxes as one batch — with group commit, one
    covering fsync — instead of paying a full shard round trip per frame. *)
+(* The listener's own span for a served query. With [ctx] (the client's
+   trace context from the wire frame) the span joins the client's trace —
+   and the same ctx was forwarded to the shard, so client, listener, and
+   shard render as one stitched timeline in a merged export. *)
+let net_span t ~start_ns ~principal ~query ~ctx decision =
+  match t.trace with
+  | None -> ()
+  | Some (trace, track) ->
+    let outcome =
+      match decision with
+      | Disclosure.Monitor.Answered -> "answered"
+      | Disclosure.Monitor.Refused r -> Disclosure.Guard.refusal_to_tag r
+    in
+    locked t.trace_mutex (fun () ->
+        let scope =
+          Obs.Trace.query_begin trace ~track ~name:"net" ~start_ns ?ctx ~principal ()
+        in
+        Obs.Trace.annotate scope "query" query;
+        Obs.Trace.query_end scope ~outcome)
+
+(* Shared body of [Query] and [Explain] requests: lifecycle gate, parse,
+   submit now / await in the deferred thunk. *)
+let serve_query t ~principal ~query ~ctx ~explain =
+  (* Only the listener's own lifecycle gates here: a not-yet-started
+     server queues submissions in its mailboxes (the overload tests
+     depend on that), and a stopped server's submit raises — mapped to
+     [Shutting_down] below. *)
+  if Atomic.get t.stopping || Atomic.get t.draining then
+    Conn.Now
+      (Codec.Error (Errors.shutting_down "server is draining; no new queries accepted"))
+  else
+    match Cq.Parser.query query with
+    | Error msg -> Conn.Now (Codec.Error (Errors.bad_request msg))
+    | Ok q -> (
+      let start_ns = Disclosure.Mclock.now_ns () in
+      match
+        if explain then begin
+          let ticket = Server.submit_explained ?ctx t.server ~principal q in
+          fun () ->
+            let decision, explanation = Server.await_explained ticket in
+            net_span t ~start_ns ~principal ~query ~ctx decision;
+            match explanation with
+            | Some e -> Codec.Explained { decision; doc = Codec.explain_to_json e }
+            | None -> Codec.Decision decision
+        end
+        else begin
+          let ticket = Server.submit ?ctx t.server ~principal q in
+          fun () ->
+            let decision = Server.await ticket in
+            net_span t ~start_ns ~principal ~query ~ctx decision;
+            Codec.Decision decision
+        end
+      with
+      | thunk -> Conn.Later thunk
+      | exception Disclosure.Service.Unknown_principal p ->
+        Conn.Now (Codec.Error (Errors.unknown_principal p))
+      | exception Invalid_argument msg ->
+        (* submit after stop — the race window between the gate above and
+           the mailbox close. Fail closed, don't crash the connection
+           handler. *)
+        Conn.Now (Codec.Error (Errors.shutting_down msg)))
+
 let dispatch_builtin t req =
   match req with
   | Codec.Ping -> Conn.Now Codec.Pong
@@ -65,46 +127,10 @@ let dispatch_builtin t req =
     | Ok doc -> Conn.Now (Codec.Stats_doc doc)
     | Error msg ->
       Conn.Now (Codec.Error (Errors.fault ("stats document did not parse: " ^ msg))))
-  | Codec.Query { principal; query } -> (
-    (* Only the listener's own lifecycle gates here: a not-yet-started
-       server queues submissions in its mailboxes (the overload tests
-       depend on that), and a stopped server's submit raises — mapped to
-       [Shutting_down] below. *)
-    if Atomic.get t.stopping || Atomic.get t.draining then
-      Conn.Now
-        (Codec.Error (Errors.shutting_down "server is draining; no new queries accepted"))
-    else
-      match Cq.Parser.query query with
-      | Error msg -> Conn.Now (Codec.Error (Errors.bad_request msg))
-      | Ok q -> (
-        let start_ns = Disclosure.Mclock.now_ns () in
-        match Server.submit t.server ~principal q with
-        | ticket ->
-          Conn.Later
-            (fun () ->
-              let decision = Server.await ticket in
-              (match t.trace with
-              | None -> ()
-              | Some (trace, track) ->
-                let outcome =
-                  match decision with
-                  | Disclosure.Monitor.Answered -> "answered"
-                  | Disclosure.Monitor.Refused r -> Disclosure.Guard.refusal_to_tag r
-                in
-                locked t.trace_mutex (fun () ->
-                    let scope =
-                      Obs.Trace.query_begin trace ~track ~name:"net" ~start_ns ~principal ()
-                    in
-                    Obs.Trace.annotate scope "query" query;
-                    Obs.Trace.query_end scope ~outcome));
-              Codec.Decision decision)
-        | exception Disclosure.Service.Unknown_principal p ->
-          Conn.Now (Codec.Error (Errors.unknown_principal p))
-        | exception Invalid_argument msg ->
-          (* submit after stop — the race window between the gate above and
-             the mailbox close. Fail closed, don't crash the connection
-             handler. *)
-          Conn.Now (Codec.Error (Errors.shutting_down msg))))
+  | Codec.Query { principal; query; trace } ->
+    serve_query t ~principal ~query ~ctx:trace ~explain:false
+  | Codec.Explain { principal; query; trace } ->
+    serve_query t ~principal ~query ~ctx:trace ~explain:true
 
 let dispatch t req =
   match (match t.extend with None -> None | Some f -> f req) with

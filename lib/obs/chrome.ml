@@ -6,7 +6,7 @@
 
 let us_of_ns ns = Int64.to_float ns /. 1e3
 
-let event ~epoch (s : Trace.span) =
+let event ?(pid = 1) ~epoch (s : Trace.span) =
   Json.Obj
     [
       ("name", Json.Str s.Trace.name);
@@ -14,19 +14,28 @@ let event ~epoch (s : Trace.span) =
       ("ph", Json.Str "X");
       ("ts", Json.Num (us_of_ns (Int64.sub s.Trace.start_ns epoch)));
       ("dur", Json.Num (float_of_int s.Trace.dur_ns /. 1e3));
-      ("pid", Json.Num 1.0);
+      ("pid", Json.Num (float_of_int pid));
       ("tid", Json.Num (float_of_int s.Trace.track));
       ("id", Json.Num (float_of_int s.Trace.trace_id));
       ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) s.Trace.attrs));
     ]
 
-let thread_meta ~name tid =
+let thread_meta ?(pid = 1) ~name tid =
   Json.Obj
     [
       ("name", Json.Str "thread_name");
       ("ph", Json.Str "M");
-      ("pid", Json.Num 1.0);
+      ("pid", Json.Num (float_of_int pid));
       ("tid", Json.Num (float_of_int tid));
+      ("args", Json.Obj [ ("name", Json.Str name) ]);
+    ]
+
+let process_meta ~name pid =
+  Json.Obj
+    [
+      ("name", Json.Str "process_name");
+      ("ph", Json.Str "M");
+      ("pid", Json.Num (float_of_int pid));
       ("args", Json.Obj [ ("name", Json.Str name) ]);
     ]
 
@@ -45,3 +54,34 @@ let export_json ?(track_name = default_track_name) t =
     ]
 
 let export ?track_name t = Json.to_string (export_json ?track_name t)
+
+(* Merge several recorders — client, primary server, standby — into one
+   document: recorder [i] renders as Chrome process [i + 1] (named), and
+   all events share the earliest recorder's epoch. Sound because every
+   recorder reads the same process-wide monotonic clock (Mclock), so
+   cross-recorder timestamps are directly comparable; spans from different
+   recorders that share a propagated trace id therefore line up as one
+   query's timeline across process tracks. *)
+let export_merged_json parts =
+  let epoch =
+    List.fold_left
+      (fun acc (_, t) ->
+        let e = Trace.epoch_ns t in
+        if Int64.compare e acc < 0 then e else acc)
+      Int64.max_int parts
+  in
+  let events =
+    List.concat
+      (List.mapi
+         (fun i (name, t) ->
+           let pid = i + 1 in
+           process_meta ~name pid
+           :: List.init (Trace.tracks t) (fun tr ->
+                  thread_meta ~pid ~name:(default_track_name tr) tr)
+           @ List.map (event ~pid ~epoch) (Trace.spans t))
+         parts)
+  in
+  Json.Obj
+    [ ("displayTimeUnit", Json.Str "ms"); ("traceEvents", Json.List events) ]
+
+let export_merged parts = Json.to_string (export_merged_json parts)

@@ -17,3 +17,14 @@ val export_json : ?track_name:(int -> string) -> Trace.t -> Json.t
 
 val export : ?track_name:(int -> string) -> Trace.t -> string
 (** [Json.to_string] of {!export_json} — well-formed by construction. *)
+
+val export_merged_json : (string * Trace.t) list -> Json.t
+(** Merge several recorders into one document: element [i]'s spans render
+    under Chrome process [i + 1], labeled with the given name
+    (["client"], ["primary"], ["standby"], …), and all timestamps share
+    the earliest recorder's epoch — sound because every recorder reads the
+    same process-wide monotonic clock. Spans whose trace ids were
+    propagated across processes (the wire trace-context field) thus stitch
+    into one query timeline spanning the merged tracks. *)
+
+val export_merged : (string * Trace.t) list -> string

@@ -12,16 +12,25 @@ type span = {
 }
 
 (* One bounded ring of retained spans per track. The track's worker domain
-   is the only writer, so a push is two plain atomic stores (slot, then
-   head) with no CAS; [head] counts pushes forever and the slot index is
-   [head land mask], so readers can reconstruct the window without any
-   writer cooperation. Slots hold immutable records — a racing reader sees
-   either the old span or the new one, never a torn mix. *)
+   is the only writer: a push is one plain slot store followed by the
+   [head] release store that publishes it — [head] counts pushes forever
+   and the slot index is [head land mask], so readers can reconstruct the
+   window without any writer cooperation. Slots are plain (not atomic):
+   the reader acquires [head] first, which orders every slot written
+   before the bump; a slot overwritten by a racing wrap-around read is a
+   whole immutable record — stale or fresh, never torn. Keeping the slot
+   store out of the atomics matters: retention runs for every refusal
+   regardless of sampling, and each removed fence is measurable against a
+   microsecond-scale serving path (BENCH_obs.json). The retained/dropped
+   tallies are plain owner-written ints for the same reason, summed on
+   read. *)
 type ring = {
-  slots : span option Atomic.t array;
+  slots : span option array;
   mask : int;
   head : int Atomic.t;
   mutable seen : int; (* queries begun on this track; owner-domain only *)
+  mutable r_retained : int;
+  mutable r_dropped : int;
 }
 
 type t = {
@@ -30,8 +39,6 @@ type t = {
   epoch_ns : int64;
   rings : ring array;
   next_id : int Atomic.t; (* trace and span ids; unique, not dense *)
-  retained_count : int Atomic.t;
-  dropped_count : int Atomic.t;
 }
 
 (* A child span waiting for its scope to close: ids are only assigned (and
@@ -50,6 +57,8 @@ type scope = {
   s_name : string;
   s_start : int64;
   s_sampled : bool;
+  s_ctx : (int * int) option; (* inherited (trace id, parent span id) *)
+  mutable s_ids : (int * int) option; (* lazily assigned (trace id, span id) *)
   mutable principal : string;
   mutable children : pending list; (* newest first *)
   mutable notes : (string * string) list; (* newest first *)
@@ -78,14 +87,14 @@ let create ?(buffer = 4096) ?(sample = 1) ?slow_ms ~tracks () =
     rings =
       Array.init tracks (fun _ ->
           {
-            slots = Array.init cap (fun _ -> Atomic.make None);
+            slots = Array.make cap None;
             mask = cap - 1;
             head = Atomic.make 0;
             seen = 0;
+            r_retained = 0;
+            r_dropped = 0;
           });
     next_id = Atomic.make 1;
-    retained_count = Atomic.make 0;
-    dropped_count = Atomic.make 0;
   }
 
 let sample_rate t = t.sample
@@ -100,7 +109,7 @@ let fresh_id t = Atomic.fetch_and_add t.next_id 1
 
 (* --- recording ---------------------------------------------------------- *)
 
-let query_begin t ~track ?(name = "query") ?start_ns ?(force = false) ~principal () =
+let query_begin t ~track ?(name = "query") ?start_ns ?(force = false) ?ctx ~principal () =
   let track =
     let n = Array.length t.rings in
     if track >= 0 && track < n then track else (track land max_int) mod n
@@ -120,6 +129,8 @@ let query_begin t ~track ?(name = "query") ?start_ns ?(force = false) ~principal
     s_name = name;
     s_start;
     s_sampled = sampled;
+    s_ctx = ctx;
+    s_ids = None;
     principal;
     children = [];
     notes = [];
@@ -127,6 +138,28 @@ let query_begin t ~track ?(name = "query") ?start_ns ?(force = false) ~principal
   }
 
 let sampled sc = sc.s_sampled
+
+(* The scope's (trace id, root span id), assigned on first demand. A scope
+   with an inherited context keeps the caller's trace id so every process
+   touched by the query lands in one trace; otherwise both ids are fresh.
+   [query_end] reuses the cached pair, so asking for the ids up front (to
+   put them on a wire frame) and retaining the scope later agree. *)
+let scope_ids sc =
+  match sc.s_ids with
+  | Some ids -> ids
+  | None ->
+    let t = sc.recorder in
+    (* One atomic round trip even when both ids are fresh: this runs per
+       retained span, and every refusal is retained. *)
+    let ids =
+      match sc.s_ctx with
+      | Some (tid, _) -> (tid, fresh_id t)
+      | None ->
+        let base = Atomic.fetch_and_add t.next_id 2 in
+        (base, base + 1)
+    in
+    sc.s_ids <- Some ids;
+    ids
 
 let annotate sc k v = sc.notes <- (k, v) :: sc.notes
 
@@ -142,8 +175,11 @@ let record_interval ?(attrs = []) sc ~name ~start_ns ~end_ns =
   sc.children <- { p_name = name; p_start = start_ns; p_end = end_ns; p_attrs = attrs } :: sc.children
 
 (* Keep only each key's most recent value, preserving first-written order
-   otherwise ([annotate] documents later-wins). *)
-let dedup_notes newest_first =
+   otherwise ([annotate] documents later-wins). The empty (and dominant:
+   every unsampled retained refusal) case allocates nothing. *)
+let dedup_notes = function
+  | [] -> []
+  | newest_first ->
   let seen = Hashtbl.create 8 in
   List.iter
     (fun (k, v) -> if not (Hashtbl.mem seen k) then Hashtbl.add seen k v)
@@ -158,7 +194,7 @@ let dedup_notes newest_first =
 
 let push ring s =
   let h = Atomic.get ring.head in
-  Atomic.set ring.slots.(h land ring.mask) (Some s);
+  Array.unsafe_set ring.slots (h land ring.mask) (Some s);
   Atomic.set ring.head (h + 1)
 
 let clamp_i64 lo hi v = if Int64.compare v lo < 0 then lo else if Int64.compare v hi > 0 then hi else v
@@ -171,16 +207,42 @@ let query_end sc ~outcome =
     let end_ns = if Int64.compare now sc.s_start < 0 then sc.s_start else now in
     let dur_ns = Int64.to_int (Int64.sub end_ns sc.s_start) in
     let slow = t.slow_ns > 0 && dur_ns >= t.slow_ns in
+    (* Allocation-free prefix test: this runs for every query, sampled or
+       not, and a [String.sub] here is one word of garbage per decision. *)
     let refused =
-      String.length outcome >= 7 && String.sub outcome 0 7 = "refused"
+      String.length outcome >= 7
+      && String.unsafe_get outcome 0 = 'r'
+      && String.unsafe_get outcome 1 = 'e'
+      && String.unsafe_get outcome 2 = 'f'
+      && String.unsafe_get outcome 3 = 'u'
+      && String.unsafe_get outcome 4 = 's'
+      && String.unsafe_get outcome 5 = 'e'
+      && String.unsafe_get outcome 6 = 'd'
     in
-    if not (sc.s_sampled || slow || refused) then
-      ignore (Atomic.fetch_and_add t.dropped_count 1)
-    else begin
-      ignore (Atomic.fetch_and_add t.retained_count 1);
+    if not (sc.s_sampled || slow || refused) then begin
       let ring = t.rings.(sc.s_track) in
-      let trace_id = fresh_id t in
-      let root_id = fresh_id t in
+      ring.r_dropped <- ring.r_dropped + 1
+    end
+    else begin
+      let ring = t.rings.(sc.s_track) in
+      ring.r_retained <- ring.r_retained + 1;
+      let trace_id, root_id = scope_ids sc in
+      (* An inherited context stays out of [parent]: the parent span lives in
+         another process's recorder, and a dangling local parent id would
+         evict the root from [roots] / [slow_log]. The link is carried as an
+         attribute instead, which the merged exporter surfaces. *)
+      let attrs =
+        (* Built innermost-first so the common bare case (no slow flag, no
+           inherited context, no notes) is two conses and no list append. *)
+        let tail =
+          match sc.s_ctx with
+          | Some (_, psid) ->
+            ("parent_span", string_of_int psid) :: dedup_notes sc.notes
+          | None -> dedup_notes sc.notes
+        in
+        let tail = if slow then ("slow", "true") :: tail else tail in
+        ("principal", sc.principal) :: ("outcome", outcome) :: tail
+      in
       let root =
         {
           trace_id;
@@ -190,10 +252,7 @@ let query_end sc ~outcome =
           name = sc.s_name;
           start_ns = sc.s_start;
           dur_ns;
-          attrs =
-            (("principal", sc.principal) :: ("outcome", outcome)
-            :: (if slow then [ ("slow", "true") ] else []))
-            @ dedup_notes sc.notes;
+          attrs;
         }
       in
       push ring root;
@@ -222,6 +281,10 @@ let query_end sc ~outcome =
 
 (* --- reading ------------------------------------------------------------ *)
 
+(* The acquire on [head] orders every slot the writer stored before its
+   bump; a concurrent wrap-around may overwrite a slot mid-walk, in which
+   case the reader sees the newer (immutable) span — already the documented
+   tolerance for this ring. *)
 let ring_spans r =
   let h = Atomic.get r.head in
   let cap = Array.length r.slots in
@@ -229,7 +292,7 @@ let ring_spans r =
   let rec go i acc =
     if i < lo then acc
     else
-      match Atomic.get r.slots.(i land r.mask) with
+      match Array.unsafe_get r.slots (i land r.mask) with
       | Some s -> go (i - 1) (s :: acc)
       | None -> go (i - 1) acc
   in
@@ -249,9 +312,9 @@ let spans t =
 
 let roots t = List.filter (fun s -> s.parent = None) (spans t)
 
-let retained t = Atomic.get t.retained_count
+let retained t = Array.fold_left (fun acc r -> acc + r.r_retained) 0 t.rings
 
-let dropped t = Atomic.get t.dropped_count
+let dropped t = Array.fold_left (fun acc r -> acc + r.r_dropped) 0 t.rings
 
 let is_slow s = List.assoc_opt "slow" s.attrs = Some "true"
 

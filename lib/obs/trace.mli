@@ -75,18 +75,39 @@ type scope
 (** One in-flight query (or maintenance operation) being traced. *)
 
 val query_begin :
-  t -> track:int -> ?name:string -> ?start_ns:int64 -> ?force:bool -> principal:string -> unit -> scope
+  t ->
+  track:int ->
+  ?name:string ->
+  ?start_ns:int64 ->
+  ?force:bool ->
+  ?ctx:int * int ->
+  principal:string ->
+  unit ->
+  scope
 (** Open a scope. [name] (default ["query"]) names the root span.
     [start_ns] (default now) backdates the root — the serving layer passes
     the enqueue timestamp so the mailbox wait is inside the query span.
     [force] (default false) marks the scope sampled regardless of the head
-    rate; maintenance operations (checkpoints) use it. Out-of-range tracks
-    are clamped into range rather than raised on — tracing must never turn
-    a valid query into a crash. *)
+    rate; maintenance operations (checkpoints) use it. [ctx], when given, is
+    an inherited [(trace_id, parent_span_id)] from another process (a wire
+    frame's trace-context field): the scope joins that trace instead of
+    starting its own, and its root — still parentless locally, so
+    {!roots} / {!slow_log} semantics are unchanged — carries the link as a
+    [parent_span] attribute. Out-of-range tracks are clamped into range
+    rather than raised on — tracing must never turn a valid query into a
+    crash. *)
 
 val sampled : scope -> bool
 (** Whether the scope was head-sampled (or forced). Tail retention can still
     keep an unsampled scope at {!query_end}. *)
+
+val scope_ids : scope -> int * int
+(** The scope's [(trace_id, root_span_id)], assigned on first call (fresh
+    ids, or the inherited trace id when the scope has a [ctx]) and cached —
+    {!query_end} stamps the retained root with the same pair, so ids read
+    here (to propagate on a wire frame) and ids in the exported trace agree.
+    Calling this on a scope that ends up dropped wastes two ids; ids are
+    unique, not dense, so that is harmless. *)
 
 val annotate : scope -> string -> string -> unit
 (** Attach an attribute to the scope's root span. Later values win on

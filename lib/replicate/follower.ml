@@ -35,6 +35,9 @@ type t = {
           closed: the poll loop halts and promotion refuses. Transient
           transport errors never land here. *)
   mutex : Mutex.t;  (** Serializes apply against stats/cursor readers. *)
+  trace : Obs.Trace.t option;
+      (** Recorder for the standby's replication spans (track = shard).
+          Written only by the poll domain. *)
 }
 
 let locked m f =
@@ -111,7 +114,7 @@ let follower_counter = Atomic.make 0
 let default_id () =
   Printf.sprintf "follower-%d-%d" (Unix.getpid ()) (Atomic.fetch_and_add follower_counter 1)
 
-let create ?id ?limits ?(max_bytes = Source.default_max_bytes) ~journal ~shards policy =
+let create ?id ?limits ?(max_bytes = Source.default_max_bytes) ?trace ~journal ~shards policy =
   if shards < 1 then invalid_arg "Follower.create: shards must be >= 1";
   let id = match id with Some "" | None -> default_id () | Some id -> id in
   match Disclosure.Policyfile.resolve policy with
@@ -165,6 +168,7 @@ let create ?id ?limits ?(max_bytes = Source.default_max_bytes) ~journal ~shards 
             domain = None;
             last_error = None;
             mutex = Mutex.create ();
+            trace;
           })
 
 (* --- applying shipped bytes ------------------------------------------- *)
@@ -254,7 +258,7 @@ let sample_gauges t =
 let apply_response t ~shard resp =
   let st = t.shards.(shard) in
   match resp with
-  | Codec.Batch { shard = s; data; next_seg; next_off; behind } ->
+  | Codec.Batch { shard = s; data; next_seg; next_off; behind; trace = _ } ->
     if s <> shard then Error (Printf.sprintf "batch for shard %d answered a pull for %d" s shard)
     else begin
       let parsed =
@@ -297,7 +301,8 @@ let apply_response t ~shard resp =
       Error (Printf.sprintf "snapshot for shard %d answered a pull for %d" s shard)
     else rebootstrap t ~shard ~data ~next_seg
   | Codec.Error e -> Error (Errors.to_string e)
-  | Codec.Decision _ | Codec.Pong | Codec.Stats_doc _ -> Error "mismatched response to a pull"
+  | Codec.Decision _ | Codec.Explained _ | Codec.Pong | Codec.Stats_doc _ ->
+    Error "mismatched response to a pull"
 
 let apply_batch t ~shard resp = locked t.mutex (fun () -> apply_response t ~shard resp)
 
@@ -310,15 +315,42 @@ let pull_shard t client shard =
   let total = ref 0 in
   let continue = ref true in
   while !continue && not (Atomic.get t.stopping) do
+    (* One span per pull round trip. Its ids travel as the pull's trace
+       context, so the primary's serving span joins this trace; the batch
+       echoes the primary span's id back, annotated here — a merged export
+       shows exactly which primary-side serve produced the bytes this apply
+       span is paying for. *)
+    let sc =
+      match t.trace with
+      | None -> None
+      | Some tr ->
+        Some (Obs.Trace.query_begin tr ~track:shard ~name:"replicate" ~principal:"-" ())
+    in
+    let ctx = Option.map Obs.Trace.scope_ids sc in
+    let finish outcome =
+      match sc with Some s -> Obs.Trace.query_end s ~outcome | None -> ()
+    in
     match
-      Client.pull ~follower:t.id client ~shard ~seg:st.seg ~off:st.off ~max_bytes:t.max_bytes
+      Client.pull ~follower:t.id ?ctx client ~shard ~seg:st.seg ~off:st.off
+        ~max_bytes:t.max_bytes
     with
     | Error e ->
       (* Typed wire error — mid-reload, no source attached yet. Transient:
          skip this shard until the next poll. *)
       Log.debug (fun m -> m "shard %d pull refused: %s" shard (Errors.to_string e));
+      finish "refused";
       continue := false
     | Ok resp ->
+      (match (sc, resp) with
+      | Some s, Codec.Batch { data; behind; trace; _ } ->
+        Obs.Trace.annotate s "bytes" (string_of_int (String.length data));
+        Obs.Trace.annotate s "behind" (string_of_int behind);
+        (match trace with
+        | Some (_, psid) -> Obs.Trace.annotate s "primary_span" (string_of_int psid)
+        | None -> ())
+      | Some s, Codec.Snapshot { data; _ } ->
+        Obs.Trace.annotate s "bytes" (string_of_int (String.length data))
+      | _ -> ());
       let before = (st.seg, st.off) in
       let applied =
         locked t.mutex (fun () ->
@@ -332,8 +364,11 @@ let pull_shard t client shard =
             | Error _ as e -> e)
       in
       (match applied with
-      | Error msg -> raise (Diverged (Printf.sprintf "shard %d: %s" shard msg))
+      | Error msg ->
+        finish "diverged";
+        raise (Diverged (Printf.sprintf "shard %d: %s" shard msg))
       | Ok n ->
+        finish (match resp with Codec.Snapshot _ -> "snapshot" | _ -> "batch");
         total := !total + n;
         Metrics.incr t.metrics Metrics.Rep_pulls;
         Metrics.add t.metrics Metrics.Rep_shipped_bytes n;

@@ -28,6 +28,7 @@ val create :
   ?id:string ->
   ?limits:Disclosure.Guard.limits ->
   ?max_bytes:int ->
+  ?trace:Obs.Trace.t ->
   journal:string ->
   shards:int ->
   Disclosure.Policyfile.t ->
@@ -39,6 +40,14 @@ val create :
     and each shard's mirror is recovered — an existing mirror resumes
     (with any torn local tail truncated away), an empty one starts in
     bootstrap state. [max_bytes] caps each pull (default 1 MiB).
+
+    [trace], when given, records one ["replicate"] span per pull round
+    trip on track [shard]: its ids travel as the pull's trace context (so
+    the primary's serving span joins the standby's trace), and the batch's
+    echoed primary-span id lands as a [primary_span] attribute — in a
+    merged export ({!Obs.Chrome.export_merged}), replication lag is
+    attributable to the specific primary-side serve that produced each
+    batch. The recorder needs at least [shards] tracks.
 
     [id] names this follower on the primary's per-follower cursor table
     (sent with every pull). Defaults to a pid-qualified generated id,

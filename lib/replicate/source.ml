@@ -27,15 +27,27 @@ type t = {
           its pulls (clients without the field pool under [""]). Guarded by
           [mutex]. *)
   mutex : Mutex.t;
+  trace : (Obs.Trace.t * int) option;
+      (** Recorder + track for the primary's pull-serving spans. *)
+  trace_mutex : Mutex.t;
+      (** Pulls arrive on connection domains; one writer per track. *)
 }
 
 let locked m f =
   Mutex.lock m;
   Fun.protect ~finally:(fun () -> Mutex.unlock m) f
 
-let create ~server ~journal =
+let create ?trace ~server ~journal () =
   let shards = (Server.config server).Server.domains in
-  { server; journal; shards; followers = Hashtbl.create 4; mutex = Mutex.create () }
+  {
+    server;
+    journal;
+    shards;
+    followers = Hashtbl.create 4;
+    mutex = Mutex.create ();
+    trace;
+    trace_mutex = Mutex.create ();
+  }
 
 (* Call under [mutex]. *)
 let follower_entry t id =
@@ -158,6 +170,7 @@ let rec serve t ~shard ~seg ~off ~max_bytes ~retries =
               next_seg = seg + 1;
               next_off = 0;
               behind = behind_estimate t ~shard ~aseq ~abytes ~seg:(seg + 1) ~off:0;
+              trace = None;
             }
         else
           let data = read_records path ~off ~cap:size ~max_bytes in
@@ -170,13 +183,15 @@ let rec serve t ~shard ~seg ~off ~max_bytes ~retries =
               next_seg;
               next_off;
               behind = behind_estimate t ~shard ~aseq ~abytes ~seg:next_seg ~off:next_off;
+              trace = None;
             }
     end
     else begin
       (* The active segment. [abytes] is the commit point: every byte
          below it is a whole flushed record, anything above is garbage
          from a failed append. *)
-      if off >= abytes then Codec.Batch { shard; data = ""; next_seg = seg; next_off = off; behind = 0 }
+      if off >= abytes then
+        Codec.Batch { shard; data = ""; next_seg = seg; next_off = off; behind = 0; trace = None }
       else
         let base = shard_base t shard in
         let data =
@@ -191,9 +206,25 @@ let rec serve t ~shard ~seg ~off ~max_bytes ~retries =
         | Some (aseq2, _) when aseq2 = aseq ->
           let n = String.length data in
           Codec.Batch
-            { shard; data; next_seg = seg; next_off = off + n; behind = max 0 (abytes - off - n) }
+            {
+              shard;
+              data;
+              next_seg = seg;
+              next_off = off + n;
+              behind = max 0 (abytes - off - n);
+              trace = None;
+            }
         | _ when retries > 0 -> serve t ~shard ~seg ~off ~max_bytes ~retries:(retries - 1)
-        | _ -> Codec.Batch { shard; data = ""; next_seg = seg; next_off = off; behind = max 0 (abytes - off) }
+        | _ ->
+          Codec.Batch
+            {
+              shard;
+              data = "";
+              next_seg = seg;
+              next_off = off;
+              behind = max 0 (abytes - off);
+              trace = None;
+            }
     end
 
 (* The primary-side lag gauge: worst (largest) last-reported behind across
@@ -207,13 +238,49 @@ let refresh_lag_gauge t ~shard =
     t.followers;
   if !worst >= 0 then Metrics.set_gauge m ~shard Metrics.Replication_lag !worst
 
-let serve_pull ?(follower = "") t ~shard ~seg ~off ~max_bytes =
+(* The primary's pull-serving span: joins the follower's trace when the
+   pull carried a trace context, and its own ids are echoed on the [Batch]
+   response — so a lagging batch is attributable to a specific
+   primary-side serve in a merged trace. Outcomes other than "answered"
+   are always tail-retained, so pull spans survive any head-sampling
+   rate. *)
+let pull_span t ~ctx ~shard ~start_ns resp =
+  match t.trace with
+  | None -> resp
+  | Some (trace, track) ->
+    let ids =
+      locked t.trace_mutex (fun () ->
+          let sc =
+            Obs.Trace.query_begin trace ~track ~name:"pull" ~start_ns ?ctx ~principal:"-" ()
+          in
+          let ids = Obs.Trace.scope_ids sc in
+          Obs.Trace.annotate sc "shard" (string_of_int shard);
+          let outcome =
+            match resp with
+            | Codec.Batch { data; behind; _ } ->
+              Obs.Trace.annotate sc "bytes" (string_of_int (String.length data));
+              Obs.Trace.annotate sc "behind" (string_of_int behind);
+              "batch"
+            | Codec.Snapshot { data; _ } ->
+              Obs.Trace.annotate sc "bytes" (string_of_int (String.length data));
+              "snapshot"
+            | _ -> "error"
+          in
+          Obs.Trace.query_end sc ~outcome;
+          ids)
+    in
+    (match resp with
+    | Codec.Batch b -> Codec.Batch { b with trace = Some ids }
+    | resp -> resp)
+
+let serve_pull ?(follower = "") ?ctx t ~shard ~seg ~off ~max_bytes =
   if shard < 0 || shard >= t.shards then
     Codec.Error
       (Errors.bad_request (Printf.sprintf "shard %d out of range (server has %d)" shard t.shards))
   else if seg < 0 || off < 0 then Codec.Error (Errors.bad_request "negative replication cursor")
   else begin
     let m = Server.metrics t.server in
+    let start_ns = Disclosure.Mclock.now_ns () in
     Metrics.incr m Metrics.Rep_pulls;
     locked t.mutex (fun () -> (follower_entry t follower).cursors.(shard) <- Some (seg, off));
     let max_bytes = if max_bytes <= 0 then default_max_bytes else max_bytes in
@@ -230,13 +297,13 @@ let serve_pull ?(follower = "") t ~shard ~seg ~off ~max_bytes =
     | Codec.Snapshot { data; _ } ->
       Metrics.add m Metrics.Rep_shipped_bytes (String.length data)
     | _ -> ());
-    resp
+    pull_span t ~ctx ~shard ~start_ns resp
   end
 
 let handler t = function
-  | Codec.Pull { shard; seg; off; max_bytes; follower } ->
-    Some (serve_pull ~follower t ~shard ~seg ~off ~max_bytes)
-  | Codec.Query _ | Codec.Ping | Codec.Stats -> None
+  | Codec.Pull { shard; seg; off; max_bytes; follower; trace } ->
+    Some (serve_pull ~follower ?ctx:trace t ~shard ~seg ~off ~max_bytes)
+  | Codec.Query _ | Codec.Explain _ | Codec.Ping | Codec.Stats -> None
 
 let followers t =
   locked t.mutex (fun () -> Hashtbl.fold (fun id _ acc -> id :: acc) t.followers [])

@@ -22,10 +22,14 @@ val default_max_bytes : int
 (** 1 MiB — the per-pull byte cap when the follower passes
     [max_bytes <= 0]. *)
 
-val create : server:Server.t -> journal:string -> t
+val create : ?trace:Obs.Trace.t * int -> server:Server.t -> journal:string -> unit -> t
 (** [journal] is the server-level base path passed to {!Server.create}
     (shard [i]'s family lives at [<journal>.shard<i>]). The shard count is
-    taken from the server's config. *)
+    taken from the server's config. [trace], when given, is a recorder and
+    track index: every served pull records a ["pull"] span there — joined
+    to the follower's trace when the pull carried a trace context, with
+    the span's own ids echoed on the [Batch] response so the follower's
+    apply span can name the serve that produced its bytes. *)
 
 val handler : t -> Net.Codec.request -> Net.Codec.response option
 (** The {!Net.Listener.create} [extend] hook: answers [Pull], falls
@@ -47,10 +51,12 @@ val handler : t -> Net.Codec.request -> Net.Codec.response option
 
 val serve_pull :
   ?follower:string ->
+  ?ctx:int * int ->
   t -> shard:int -> seg:int -> off:int -> max_bytes:int -> Net.Codec.response
 (** The handler's core, exposed for in-process tests (no socket).
     [follower] (default [""]) is the id the cursor is recorded under —
-    the handler passes the wire request's field through. *)
+    the handler passes the wire request's field through, along with its
+    trace context as [ctx]. *)
 
 val followers : t -> string list
 (** Ids of every follower that has ever pulled, sorted. Clients that send

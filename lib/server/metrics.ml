@@ -194,15 +194,85 @@ let gauges =
 
 let n_gauges = 11
 
+(* Labeler tiers, for per-tier decision counters and latency histograms.
+   Mirrors [Compile.Artifact.tier] plus the two serving-layer outcomes the
+   artifact never sees: a label-cache hit (no labeling at all) and the
+   interpreted pipeline (no artifact compiled). The serving layer maps
+   between the two enums — [lib/server] cannot name [Compile]'s here without
+   inverting the dependency. *)
+type tier =
+  | Tier_cache
+  | Tier_query_memo
+  | Tier_atom_memo
+  | Tier_diagram
+  | Tier_matcher
+  | Tier_fallback
+  | Tier_interpreter
+
+let tier_index = function
+  | Tier_cache -> 0
+  | Tier_query_memo -> 1
+  | Tier_atom_memo -> 2
+  | Tier_diagram -> 3
+  | Tier_matcher -> 4
+  | Tier_fallback -> 5
+  | Tier_interpreter -> 6
+
+let tier_name = function
+  | Tier_cache -> "cache"
+  | Tier_query_memo -> "memo"
+  | Tier_atom_memo -> "atom-memo"
+  | Tier_diagram -> "diagram"
+  | Tier_matcher -> "matcher"
+  | Tier_fallback -> "fallback"
+  | Tier_interpreter -> "interpreter"
+
+let tiers =
+  [
+    Tier_cache;
+    Tier_query_memo;
+    Tier_atom_memo;
+    Tier_diagram;
+    Tier_matcher;
+    Tier_fallback;
+    Tier_interpreter;
+  ]
+
+let n_tiers = 7
+
+(* Batching-shape histograms: dimensionless sizes, not durations. *)
+type size =
+  | Group_batch (* decisions covered by one group-commit fsync *)
+  | Pipeline_window (* frames decoded per connection wakeup *)
+
+let size_index = function Group_batch -> 0 | Pipeline_window -> 1
+
+let size_name = function
+  | Group_batch -> "group_commit_batch_size"
+  | Pipeline_window -> "pipeline_window_depth"
+
+let sizes = [ Group_batch; Pipeline_window ]
+
+let n_sizes = 2
+
 (* Power-of-two latency buckets: bucket [i] counts observations in
    [2^i, 2^(i+1)) nanoseconds. 40 buckets reach ~18 minutes. *)
 let n_buckets = 40
+
+(* Size buckets top out at 2^16: mailbox and pipelining caps are far below. *)
+let n_size_buckets = 16
 
 type t = {
   counter_cells : int Atomic.t array;
   bucket_cells : int Atomic.t array array; (* per stage *)
   stage_count : int Atomic.t array;
   stage_total_ns : int Atomic.t array;
+  tier_bucket_cells : int Atomic.t array array; (* per tier *)
+  tier_count : int Atomic.t array;
+  tier_total_ns : int Atomic.t array;
+  size_bucket_cells : int Atomic.t array array; (* per size kind *)
+  size_count : int Atomic.t array;
+  size_total : int Atomic.t array;
   gauge_cells : int Atomic.t array array; (* per shard *)
 }
 
@@ -213,6 +283,14 @@ let create ?(shards = 1) () =
     bucket_cells = Array.init n_stages (fun _ -> Array.init n_buckets (fun _ -> Atomic.make 0));
     stage_count = Array.init n_stages (fun _ -> Atomic.make 0);
     stage_total_ns = Array.init n_stages (fun _ -> Atomic.make 0);
+    tier_bucket_cells =
+      Array.init n_tiers (fun _ -> Array.init n_buckets (fun _ -> Atomic.make 0));
+    tier_count = Array.init n_tiers (fun _ -> Atomic.make 0);
+    tier_total_ns = Array.init n_tiers (fun _ -> Atomic.make 0);
+    size_bucket_cells =
+      Array.init n_sizes (fun _ -> Array.init n_size_buckets (fun _ -> Atomic.make 0));
+    size_count = Array.init n_sizes (fun _ -> Atomic.make 0);
+    size_total = Array.init n_sizes (fun _ -> Atomic.make 0);
     gauge_cells = Array.init shards (fun _ -> Array.init n_gauges (fun _ -> Atomic.make 0));
   }
 
@@ -255,6 +333,33 @@ let record t stage seconds =
   ignore (Atomic.fetch_and_add t.stage_total_ns.(i) ns);
   ignore (Atomic.fetch_and_add t.bucket_cells.(i).(bucket_of_ns ns) 1)
 
+let record_tier t tier seconds =
+  let i = tier_index tier in
+  let ns = int_of_float (seconds *. 1e9) in
+  let ns = if ns < 0 then 0 else ns in
+  ignore (Atomic.fetch_and_add t.tier_count.(i) 1);
+  ignore (Atomic.fetch_and_add t.tier_total_ns.(i) ns);
+  ignore (Atomic.fetch_and_add t.tier_bucket_cells.(i).(bucket_of_ns ns) 1)
+
+let size_bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let b = ref 0 in
+    let n = ref v in
+    while !n > 1 do
+      n := !n lsr 1;
+      b := !b + 1
+    done;
+    min !b (n_size_buckets - 1)
+  end
+
+let record_size t size v =
+  let i = size_index size in
+  let v = if v < 0 then 0 else v in
+  ignore (Atomic.fetch_and_add t.size_count.(i) 1);
+  ignore (Atomic.fetch_and_add t.size_total.(i) v);
+  ignore (Atomic.fetch_and_add t.size_bucket_cells.(i).(size_bucket_of v) 1)
+
 (* Monotonic, not wall-clock: an NTP step must not poison the histograms.
    [Mclock.elapsed_s] additionally floors at 0, and [record] clamps again —
    a negative sample can never underflow the bucket index. *)
@@ -275,6 +380,24 @@ let histogram t stage =
     count = Atomic.get t.stage_count.(i);
     total_ns = Atomic.get t.stage_total_ns.(i);
     buckets = Array.map Atomic.get t.bucket_cells.(i);
+  }
+
+let tier_histogram t tier =
+  let i = tier_index tier in
+  {
+    count = Atomic.get t.tier_count.(i);
+    total_ns = Atomic.get t.tier_total_ns.(i);
+    buckets = Array.map Atomic.get t.tier_bucket_cells.(i);
+  }
+
+(* [total_ns] holds the dimensionless sum (decisions, frames) — the
+   histogram shape is shared, the unit is not. *)
+let size_histogram t size =
+  let i = size_index size in
+  {
+    count = Atomic.get t.size_count.(i);
+    total_ns = Atomic.get t.size_total.(i);
+    buckets = Array.map Atomic.get t.size_bucket_cells.(i);
   }
 
 let mean_ns h = if h.count = 0 then 0.0 else float_of_int h.total_ns /. float_of_int h.count
@@ -313,6 +436,23 @@ let pp ppf t =
         (float_of_int (percentile_ns h 0.5) /. 1e3)
         (float_of_int (percentile_ns h 0.99) /. 1e3))
     stages;
+  Format.fprintf ppf "labeler tiers (count, mean, p99 upper bound):@,";
+  List.iter
+    (fun tier ->
+      let h = tier_histogram t tier in
+      if h.count > 0 then
+        Format.fprintf ppf "  %-12s %9d  mean %8.1fus  p99 <= %8.1fus@,"
+          (tier_name tier) h.count (mean_ns h /. 1e3)
+          (float_of_int (percentile_ns h 0.99) /. 1e3))
+    tiers;
+  Format.fprintf ppf "batch shapes (count, mean, p99 upper bound):@,";
+  List.iter
+    (fun size ->
+      let h = size_histogram t size in
+      if h.count > 0 then
+        Format.fprintf ppf "  %-28s %9d  mean %8.1f  p99 <= %d@," (size_name size)
+          h.count (mean_ns h) (percentile_ns h 0.99))
+    sizes;
   Format.fprintf ppf "per-shard gc gauges:@,";
   for shard = 0 to shard_count t - 1 do
     Format.fprintf ppf "  shard %d:" shard;
@@ -341,6 +481,24 @@ let to_json t =
            (stage_name s) h.count h.total_ns (mean_ns h)
            (percentile_ns h 0.5) (percentile_ns h 0.99)))
     stages;
+  Buffer.add_string b "}, \"tiers\": {";
+  List.iteri
+    (fun i tier ->
+      if i > 0 then Buffer.add_string b ", ";
+      let h = tier_histogram t tier in
+      Buffer.add_string b
+        (Printf.sprintf "%S: {\"count\": %d, \"total_ns\": %d, \"mean_ns\": %.1f, \"p99_ns\": %d}"
+           (tier_name tier) h.count h.total_ns (mean_ns h) (percentile_ns h 0.99)))
+    tiers;
+  Buffer.add_string b "}, \"sizes\": {";
+  List.iteri
+    (fun i size ->
+      if i > 0 then Buffer.add_string b ", ";
+      let h = size_histogram t size in
+      Buffer.add_string b
+        (Printf.sprintf "%S: {\"count\": %d, \"total\": %d, \"mean\": %.1f, \"p99\": %d}"
+           (size_name size) h.count h.total_ns (mean_ns h) (percentile_ns h 0.99)))
+    sizes;
   Buffer.add_string b "}, \"shards\": [";
   for shard = 0 to shard_count t - 1 do
     if shard > 0 then Buffer.add_string b ", ";
@@ -396,6 +554,61 @@ let to_prometheus t =
         ~sum:(float_of_int h.total_ns /. 1e9)
         ~count:h.count)
     stages;
+  let name = "disclosure_tier_decisions_total" in
+  Obs.Prometheus.header b ~name
+    ~help:"Decisions by deciding labeler tier (cache hit, memo levels, diagram, matcher, interpreter escape)."
+    ~typ:"counter";
+  List.iter
+    (fun tier ->
+      Obs.Prometheus.sample b ~name
+        ~labels:[ ("tier", tier_name tier) ]
+        (float_of_int (tier_histogram t tier).count))
+    tiers;
+  let name = "disclosure_tier_duration_seconds" in
+  Obs.Prometheus.header b ~name
+    ~help:"End-to-end labeling+decision latency by deciding labeler tier." ~typ:"histogram";
+  List.iter
+    (fun tier ->
+      let h = tier_histogram t tier in
+      let running = ref 0 in
+      let buckets =
+        Array.to_list
+          (Array.mapi
+             (fun i n ->
+               running := !running + n;
+               (Float.ldexp 1.0 (i + 1) /. 1e9, !running))
+             h.buckets)
+      in
+      Obs.Prometheus.histogram b ~name
+        ~labels:[ ("tier", tier_name tier) ]
+        ~buckets
+        ~sum:(float_of_int h.total_ns /. 1e9)
+        ~count:h.count)
+    tiers;
+  List.iter
+    (fun size ->
+      let name = Printf.sprintf "disclosure_%s" (size_name size) in
+      Obs.Prometheus.header b ~name
+        ~help:
+          (match size with
+          | Group_batch -> "Decisions covered by one group-commit fsync."
+          | Pipeline_window -> "Frames decoded per connection wakeup (pipelining depth).")
+        ~typ:"histogram";
+      let h = size_histogram t size in
+      let running = ref 0 in
+      let buckets =
+        Array.to_list
+          (Array.mapi
+             (fun i n ->
+               running := !running + n;
+               (* Bucket [i] covers [2^i, 2^(i+1)): upper edge as a count. *)
+               (Float.ldexp 1.0 (i + 1), !running))
+             h.buckets)
+      in
+      Obs.Prometheus.histogram b ~name ~buckets
+        ~sum:(float_of_int h.total_ns)
+        ~count:h.count)
+    sizes;
   List.iter
     (fun g ->
       let name = Printf.sprintf "disclosure_shard_%s" (gauge_name g) in

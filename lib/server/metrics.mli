@@ -75,6 +75,26 @@ type gauge =
   | Diagram_nodes
       (** Total decision-diagram nodes in the shard's compiled artifact. *)
 
+(** The labeler tier that decided a query, for per-tier decision counters
+    and latency histograms — {!Compile.Artifact.tier} plus the two
+    serving-layer outcomes the artifact never sees. Fed by the shard with
+    the whole submit latency (labeling + decision + journal), so tier
+    histograms show what each tier buys end to end. *)
+type tier =
+  | Tier_cache  (** Label-cache hit: no labeling ran at all. *)
+  | Tier_query_memo  (** Whole-query memo hit in the compiled artifact. *)
+  | Tier_atom_memo  (** Every atom served by the per-group atom memo. *)
+  | Tier_diagram  (** At least one atom evaluated a decision diagram. *)
+  | Tier_matcher  (** At least one atom fell to the flat matcher scan. *)
+  | Tier_fallback  (** At least one atom escaped to the interpreted labeler. *)
+  | Tier_interpreter  (** No compiled artifact: the interpreted pipeline labeled. *)
+
+(** Dimensionless batching-shape histograms (same power-of-two buckets,
+    values instead of nanoseconds). *)
+type size =
+  | Group_batch  (** Decisions covered by one group-commit fsync. *)
+  | Pipeline_window  (** Frames decoded per connection wakeup. *)
+
 type t
 
 val create : ?shards:int -> unit -> t
@@ -86,10 +106,14 @@ val shard_count : t -> int
 val stages : stage list
 val counters : counter list
 val gauges : gauge list
+val tiers : tier list
+val sizes : size list
 
 val stage_name : stage -> string
 val counter_name : counter -> string
 val gauge_name : gauge -> string
+val tier_name : tier -> string
+val size_name : size -> string
 
 val incr : t -> counter -> unit
 val add : t -> counter -> int -> unit
@@ -111,6 +135,13 @@ val time : t -> stage -> (unit -> 'a) -> 'a
 (** Runs the thunk and {!record}s its duration (monotonic clock, never
     negative), whether it returns or raises. *)
 
+val record_tier : t -> tier -> float -> unit
+(** One decision's end-to-end latency, attributed to its deciding tier. *)
+
+val record_size : t -> size -> int -> unit
+(** One batching-shape observation (a batch's decision count, a wakeup's
+    frame count). Negative values are clamped to [0]. *)
+
 type histogram = {
   count : int;
   total_ns : int;
@@ -118,6 +149,12 @@ type histogram = {
 }
 
 val histogram : t -> stage -> histogram
+
+val tier_histogram : t -> tier -> histogram
+
+val size_histogram : t -> size -> histogram
+(** [total_ns] holds the dimensionless sum and [buckets.(i)] counts values
+    in [[2{^i}, 2{^i+1})] — the histogram shape is shared, the unit is not. *)
 
 val mean_ns : histogram -> float
 
@@ -129,7 +166,9 @@ val pp : Format.formatter -> t -> unit
 
 val to_json : t -> string
 (** One JSON object: each counter by name, a ["stages"] object mapping
-    stage names to [{count, total_ns, mean_ns, p50_ns, p99_ns}], and a
+    stage names to [{count, total_ns, mean_ns, p50_ns, p99_ns}], a
+    ["tiers"] object of per-tier [{count, total_ns, mean_ns, p99_ns}], a
+    ["sizes"] object of per-shape [{count, total, mean, p99}], and a
     ["shards"] array of per-shard gauge objects. *)
 
 val to_prometheus : t -> string
@@ -137,4 +176,8 @@ val to_prometheus : t -> string
     [disclosure_<name>_total], every stage histogram as a
     [disclosure_stage_duration_seconds{stage="..."}] family member with
     cumulative power-of-two buckets ([le] in seconds), [_sum], and
-    [_count], and every gauge as [disclosure_shard_<name>{shard="i"}]. *)
+    [_count], per-tier decisions as [disclosure_tier_decisions_total] and
+    latency as [disclosure_tier_duration_seconds{tier="..."}], the batching
+    shapes as [disclosure_group_commit_batch_size] /
+    [disclosure_pipeline_window_depth] value histograms, and every gauge as
+    [disclosure_shard_<name>{shard="i"}]. *)

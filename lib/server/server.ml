@@ -67,6 +67,8 @@ type t = {
 
 type ticket = Monitor.decision Ivar.t
 
+type explained_ticket = (Monitor.decision * Disclosure.Explain.t option) Ivar.t
+
 (* FNV-1a, 32-bit: principal-to-shard assignment must be stable across runs
    and OCaml versions (journal segments are replayed by shard index), so we
    avoid Hashtbl.hash, whose algorithm is unspecified. *)
@@ -170,31 +172,56 @@ let start t =
 (* Submission is allowed in Created too: messages queue in the mailboxes and
    are processed once [start] spawns the workers. Tests use this to fill a
    mailbox deterministically. *)
-let submit t ~principal query : ticket =
+let admit t ~principal =
   (match state t with
   | Stopped -> invalid_arg "Server.submit: server is stopped"
   | Created | Running -> ());
   if not (Hashtbl.mem (Atomic.get t.assignment) principal) then
     raise (Service.Unknown_principal principal);
   Metrics.incr t.metrics Metrics.Submitted;
-  let shard = shard_of t principal in
+  shard_of t principal
+
+(* Fail-closed load shedding: the decision is made here, on the client's
+   domain, without touching the shard — the monitor stays bit-identical
+   and nothing is journaled (the journal belongs to the worker domain;
+   Overload never commits state, so recovery is unaffected). *)
+let shed t =
+  Metrics.incr t.metrics Metrics.Overloaded;
+  Metrics.incr t.metrics Metrics.Refused
+
+let submit ?ctx t ~principal query : ticket =
+  let shard = admit t ~principal in
   let ticket = Ivar.create () in
   if
     Mailbox.try_push (Shard.mailbox shard)
       (Shard.Query
-         { principal; query; ticket; enqueued_ns = Disclosure.Mclock.now_ns () })
+         { principal; query; ticket; enqueued_ns = Disclosure.Mclock.now_ns (); ctx })
   then ticket
   else begin
-    (* Fail-closed load shedding: the decision is made here, on the client's
-       domain, without touching the shard — the monitor stays bit-identical
-       and nothing is journaled (the journal belongs to the worker domain;
-       Overload never commits state, so recovery is unaffected). *)
-    Metrics.incr t.metrics Metrics.Overloaded;
-    Metrics.incr t.metrics Metrics.Refused;
+    shed t;
     Ivar.create_filled (Monitor.Refused Guard.Overload)
   end
 
+let submit_explained ?ctx t ~principal query : explained_ticket =
+  let shard = admit t ~principal in
+  let ticket = Ivar.create () in
+  if
+    Mailbox.try_push (Shard.mailbox shard)
+      (Shard.Explain
+         { principal; query; ticket; enqueued_ns = Disclosure.Mclock.now_ns (); ctx })
+  then ticket
+  else begin
+    shed t;
+    (* The shard never saw the query, so the explanation is built here: an
+       overload-stage refusal with no label, tier, or mask movement. *)
+    Ivar.create_filled
+      ( Monitor.Refused Guard.Overload,
+        Some (Disclosure.Explain.refused ~principal ~stage:"overload" Guard.Overload) )
+  end
+
 let await (ticket : ticket) = Ivar.read ticket
+
+let await_explained (ticket : explained_ticket) = Ivar.read ticket
 
 let submit_sync t ~principal query = await (submit t ~principal query)
 
@@ -238,6 +265,14 @@ let stop t =
             ignore
               (Ivar.try_fill ticket
                  (Monitor.Refused (Guard.Fault "server stopped before start")));
+            flush ()
+          | Some (Shard.Explain { ticket; principal; _ }) ->
+            Metrics.incr t.metrics Metrics.Refused;
+            let reason = Guard.Fault "server stopped before start" in
+            ignore
+              (Ivar.try_fill ticket
+                 ( Monitor.Refused reason,
+                   Some (Disclosure.Explain.refused ~principal ~stage:"admit" reason) ));
             flush ()
         in
         flush ();

@@ -68,6 +68,10 @@ type t
 type ticket = Disclosure.Monitor.decision Ivar.t
 (** A pending decision; resolve with {!await}. *)
 
+type explained_ticket = (Disclosure.Monitor.decision * Disclosure.Explain.t option) Ivar.t
+(** A pending decision plus its provenance; resolve with
+    {!await_explained}. *)
+
 val create :
   ?limits:Disclosure.Guard.limits ->
   ?journal:string ->
@@ -107,15 +111,32 @@ val start : t -> unit
 (** Spawn the worker domains.
     @raise Invalid_argument when already started or stopped. *)
 
-val submit : t -> principal:string -> Cq.Query.t -> ticket
+val submit : ?ctx:int * int -> t -> principal:string -> Cq.Query.t -> ticket
 (** Enqueue a query on the principal's shard. Never blocks: a full mailbox
     sheds the query with a ticket already resolved to
-    [Refused Overload] (see the overview above).
+    [Refused Overload] (see the overview above). [ctx], when given, is the
+    caller's [(trace_id, parent_span_id)] (typically decoded from a wire
+    frame): the shard's spans for this query join that trace.
+    @raise Disclosure.Service.Unknown_principal
+    @raise Invalid_argument after {!stop}. *)
+
+val submit_explained :
+  ?ctx:int * int -> t -> principal:string -> Cq.Query.t -> explained_ticket
+(** Like {!submit} — the decision is identical, committed, and journaled —
+    but the ticket also carries the decision's structured provenance
+    ({!Disclosure.Explain.t}): matched views, mask delta, budget spent,
+    deciding tier and cache level, refusal cause chain. Shed queries
+    resolve immediately with an overload-stage explanation built on the
+    caller's domain. The explanation is [None] only if capture failed
+    inside the service.
     @raise Disclosure.Service.Unknown_principal
     @raise Invalid_argument after {!stop}. *)
 
 val await : ticket -> Disclosure.Monitor.decision
 (** Blocks until the shard has decided (immediately for shed queries). *)
+
+val await_explained :
+  explained_ticket -> Disclosure.Monitor.decision * Disclosure.Explain.t option
 
 val submit_sync : t -> principal:string -> Cq.Query.t -> Disclosure.Monitor.decision
 (** [await (submit t ~principal q)]. *)

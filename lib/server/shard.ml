@@ -10,6 +10,7 @@ module Service = Disclosure.Service
 module Guard = Disclosure.Guard
 module Monitor = Disclosure.Monitor
 module Label = Disclosure.Label
+module Explain = Disclosure.Explain
 module Artifact = Compile.Artifact
 
 let src = Logs.Src.create "disclosure.shard" ~doc:"Serving-layer shard"
@@ -22,6 +23,16 @@ type msg =
       query : Cq.Query.t;
       ticket : Monitor.decision Ivar.t;
       enqueued_ns : int64; (* Mclock stamp at submit; 0 = unknown *)
+      ctx : (int * int) option;
+          (* Inherited trace context from the wire, so the shard's root span
+             joins the caller's trace. *)
+    }
+  | Explain of {
+      principal : string;
+      query : Cq.Query.t;
+      ticket : (Monitor.decision * Explain.t option) Ivar.t;
+      enqueued_ns : int64;
+      ctx : (int * int) option;
     }
   | Barrier of unit Ivar.t
   | Checkpoint of (unit, string) result Ivar.t
@@ -36,6 +47,17 @@ type msg =
    load for well under 1% overhead, and every barrier resamples so
    quiescent reads are exact. *)
 let gc_sample_period = 64
+
+(* Who gets told the decision: a plain ticket, or an explain ticket that also
+   receives the captured provenance. The principal rides along so a
+   group-commit batch abort can synthesize a journal-stage explanation for
+   tickets whose captured one described the rolled-back decision. *)
+type pending =
+  | Plain of Monitor.decision Ivar.t
+  | Explained of {
+      ticket : (Monitor.decision * Explain.t option) Ivar.t;
+      principal : string;
+    }
 
 type t = {
   index : int;
@@ -76,9 +98,15 @@ type t = {
          every ticket fill into [deferred], and fills them all after the one
          covering flush. Control messages (barrier/checkpoint/reload) force
          the flush first, so their ordering guarantees are unchanged. *)
-  mutable deferred : (Monitor.decision Ivar.t * Monitor.decision) list;
+  mutable deferred : (pending * Monitor.decision * Explain.t option) list;
       (* Decisions awaiting the covering flush, newest first. Worker-domain
          only. *)
+  mutable last_cache : string;
+      (* Which cache level served the query being processed ("exact" /
+         "normal" / "minimized"), or "miss" / "off" when the labeler ran, or
+         "none" when the query refused before either was consulted. Reset at
+         the top of every query; worker-domain only. Feeds the per-tier
+         metrics and the explanation's [cache_level]. *)
   checkpoint_every : int; (* decisions between automatic checkpoints; 0 = never *)
   mutable decided : int; (* decisions since the last automatic checkpoint *)
   mutable processed : int; (* total queries processed, for the gc cadence *)
@@ -134,6 +162,7 @@ let create ~index ?limits ?journal ?(segment_bytes = 0) ?(checkpoint_every = 0) 
     drain;
     group_commit;
     deferred = [];
+    last_cache = "none";
     checkpoint_every;
     decided = 0;
     processed = 0;
@@ -223,6 +252,7 @@ let label_query t q =
    between the halves while journaling and deciding identically. *)
 let uncached t ~principal q =
   note t "cache" "off";
+  t.last_cache <- "off";
   match label_query t q with
   | Error reason -> Service.refuse t.service ~principal reason
   | Ok label -> Service.submit_label t.service ~principal label
@@ -256,6 +286,7 @@ let cached t cache ~principal q =
        service's own `Label observation instead. *)
     let level_hit level label =
       note t "cache" level;
+      t.last_cache <- level;
       note t "label_width" (string_of_int (List.length (Label.atoms label)))
     in
     let hit label =
@@ -298,6 +329,7 @@ let cached t cache ~principal q =
         | None -> (
           Metrics.incr t.metrics Metrics.Cache_miss;
           note t "cache" "miss";
+          t.last_cache <- "miss";
           match label_query t q with
           | Error reason -> Service.refuse svc ~principal reason
           | Ok label ->
@@ -367,6 +399,47 @@ let maybe_auto_checkpoint t =
 let outcome_of = function
   | Monitor.Answered -> "answered"
   | Monitor.Refused reason -> "refused:" ^ Guard.refusal_to_tag reason
+
+(* Which serving tier decided the query just handled, in the metrics enum
+   (which extends the artifact's escalation ladder with [Tier_cache] for
+   label-cache hits and [Tier_interpreter] for artifact-less services). [None]
+   when the query refused before cache or labeler were consulted (admission,
+   overload) — there is no tier to charge. Valid only immediately after
+   [handle]: [Artifact.label] resets its escalation at entry, so [last_tier]
+   describes exactly the query that just ran it. *)
+let metrics_tier t =
+  match t.last_cache with
+  | "exact" | "normal" | "minimized" -> Some Metrics.Tier_cache
+  | "off" | "miss" ->
+    Some
+      (match Artifact.last_tier t.artifact with
+      | Artifact.Tier_query_memo -> Metrics.Tier_query_memo
+      | Artifact.Tier_atom_memo -> Metrics.Tier_atom_memo
+      | Artifact.Tier_diagram -> Metrics.Tier_diagram
+      | Artifact.Tier_matcher -> Metrics.Tier_matcher
+      | Artifact.Tier_fallback -> Metrics.Tier_fallback)
+  | _ -> None
+
+(* The service captures everything it can see; the shard owns the two facts
+   the service cannot know — which compiled tier labeled the query and which
+   cache level served it — and stitches them into the explanation here. *)
+let stitch_explain t e =
+  let tier =
+    match metrics_tier t with
+    | Some mt -> Metrics.tier_name mt
+    | None -> e.Explain.tier
+  in
+  { e with Explain.tier; cache_level = t.last_cache }
+
+(* Fill a ticket and bump the outcome counters — the one place clients are
+   actually told, so the counters count what clients observed. *)
+let settle t pending decision explanation =
+  (match decision with
+  | Monitor.Answered -> Metrics.incr t.metrics Metrics.Answered
+  | Monitor.Refused _ -> Metrics.incr t.metrics Metrics.Refused);
+  match pending with
+  | Plain ticket -> ignore (Ivar.try_fill ticket decision)
+  | Explained { ticket; _ } -> ignore (Ivar.try_fill ticket (decision, explanation))
 
 (* --- online policy reload ---------------------------------------------- *)
 
@@ -460,7 +533,7 @@ let reload t ~pipeline ~principals =
   | () -> Ok ()
   | exception e -> Error ("reload failed: " ^ Printexc.to_string e)
 
-let process t msg =
+let rec process t msg =
   match msg with
   | Barrier iv ->
     (* Barriers are the quiescence points: resample so gauge reads right
@@ -475,60 +548,83 @@ let process t msg =
     Ivar.fill iv r
   | Reload { pipeline; principals; reply } ->
     Ivar.fill reply (reload t ~pipeline ~principals)
-  | Query { principal; query; ticket; enqueued_ns } ->
-    let now = Disclosure.Mclock.now_ns () in
-    let waited = enqueued_ns <> 0L && Int64.compare enqueued_ns now <= 0 in
-    if waited then
-      Metrics.record t.metrics Metrics.Wait
-        (Int64.to_float (Int64.sub now enqueued_ns) /. 1e9);
-    (match t.trace with
-    | None -> ()
+  | Query { principal; query; ticket; enqueued_ns; ctx } ->
+    serve t ~principal ~query ~enqueued_ns ~ctx ~explain:false (Plain ticket)
+  | Explain { principal; query; ticket; enqueued_ns; ctx } ->
+    serve t ~principal ~query ~enqueued_ns ~ctx ~explain:true
+      (Explained { ticket; principal })
+
+(* The shared body of [Query] and [Explain]: wait accounting, trace scope,
+   decision, per-tier latency, ticket settlement (immediate or deferred to
+   the covering group-commit flush). *)
+and serve t ~principal ~query ~enqueued_ns ~ctx ~explain pending =
+  let now = Disclosure.Mclock.now_ns () in
+  let waited = enqueued_ns <> 0L && Int64.compare enqueued_ns now <= 0 in
+  if waited then
+    Metrics.record t.metrics Metrics.Wait
+      (Int64.to_float (Int64.sub now enqueued_ns) /. 1e9);
+  let sc_opt =
+    match t.trace with
+    | None -> None
     | Some tr ->
       (* The root span starts at enqueue time so the mailbox wait is inside
-         the query, not unaccounted dead time before it. *)
+         the query, not unaccounted dead time before it. The scope is
+         published to the observe bridge only when head-sampled: an unsampled
+         query builds no children, notes, or attribute thunks on the fast
+         path — tail retention can still keep its bare root at query_end. *)
       let sc =
         Obs.Trace.query_begin tr ~track:t.index
           ?start_ns:(if waited then Some enqueued_ns else None)
-          ~principal ()
+          ?ctx ~principal ()
       in
-      if waited then
-        Obs.Trace.record_interval sc ~name:"wait" ~start_ns:enqueued_ns ~end_ns:now;
-      t.scope := Some sc);
-    let decision =
-      try handle t ~principal query
-      with e ->
-        (* Fail closed even on bugs in the shard itself; the service's own
-           guard has already kept monitor state untouched. *)
-        let reason = Guard.Fault (Printexc.to_string e) in
-        (try Service.refuse t.service ~principal reason
-         with _ -> Monitor.Refused reason)
-    in
-    (match !(t.scope) with
-    | Some sc ->
-      t.scope := None;
-      (* Under group commit the span closes with the pre-flush decision; a
-         batch abort later flips the *ticket* to a fault refusal, which the
-         deferred fill below accounts for. *)
-      Obs.Trace.query_end sc ~outcome:(outcome_of decision)
-    | None -> ());
-    if t.group_commit && Service.batch_active t.service then
-      (* Ticket and outcome counters wait for the covering flush: the client
-         must never observe a decision whose journal record is not durable,
-         and a failed flush refuses the whole batch. *)
-      t.deferred <- (ticket, decision) :: t.deferred
-    else begin
-      (match decision with
-      | Monitor.Answered -> Metrics.incr t.metrics Metrics.Answered
-      | Monitor.Refused _ -> Metrics.incr t.metrics Metrics.Refused);
-      ignore (Ivar.try_fill ticket decision)
-    end;
-    t.processed <- t.processed + 1;
-    if t.processed mod gc_sample_period = 0 then begin
-      sample_gc t;
-      sample_compile t
-    end;
-    maybe_auto_checkpoint t;
-    sample_journal t
+      if Obs.Trace.sampled sc then begin
+        if waited then
+          Obs.Trace.record_interval sc ~name:"wait" ~start_ns:enqueued_ns ~end_ns:now;
+        t.scope := Some sc
+      end;
+      Some sc
+  in
+  if explain then Service.capture_begin t.service;
+  t.last_cache <- "none";
+  let t0 = Disclosure.Mclock.now_ns () in
+  let decision =
+    try handle t ~principal query
+    with e ->
+      (* Fail closed even on bugs in the shard itself; the service's own
+         guard has already kept monitor state untouched. *)
+      let reason = Guard.Fault (Printexc.to_string e) in
+      (try Service.refuse t.service ~principal reason
+       with _ -> Monitor.Refused reason)
+  in
+  (match metrics_tier t with
+  | Some tier ->
+    Metrics.record_tier t.metrics tier (Disclosure.Mclock.elapsed_s ~since:t0)
+  | None -> ());
+  let explanation =
+    if explain then Option.map (stitch_explain t) (Service.capture_take t.service)
+    else None
+  in
+  (match sc_opt with
+  | Some sc ->
+    t.scope := None;
+    (* Under group commit the span closes with the pre-flush decision; a
+       batch abort later flips the *ticket* to a fault refusal, which the
+       deferred fill below accounts for. *)
+    Obs.Trace.query_end sc ~outcome:(outcome_of decision)
+  | None -> ());
+  if t.group_commit && Service.batch_active t.service then
+    (* Ticket and outcome counters wait for the covering flush: the client
+       must never observe a decision whose journal record is not durable,
+       and a failed flush refuses the whole batch. *)
+    t.deferred <- (pending, decision, explanation) :: t.deferred
+  else settle t pending decision explanation;
+  t.processed <- t.processed + 1;
+  if t.processed mod gc_sample_period = 0 then begin
+    sample_gc t;
+    sample_compile t
+  end;
+  maybe_auto_checkpoint t;
+  sample_journal t
 
 (* End the open group-commit batch and settle every deferred ticket. On a
    successful flush each ticket gets its decision; on a batch abort every
@@ -542,6 +638,11 @@ let flush_group t =
     let result = Service.batch_end t.service in
     let deferred = List.rev t.deferred in
     t.deferred <- [];
+    if deferred <> [] then
+      (* Decisions per fsync: the histogram that shows whether group commit
+         is actually amortizing (mean near 1 = no load, near [drain] =
+         saturated). *)
+      Metrics.record_size t.metrics Metrics.Group_batch (List.length deferred);
     (match result with
     | Ok () -> ()
     | Error reason ->
@@ -550,16 +651,24 @@ let flush_group t =
             (List.length deferred)
             (Guard.refusal_to_tag reason)));
     List.iter
-      (fun (ticket, decision) ->
-        let decision =
+      (fun (pending, decision, explanation) ->
+        let decision, explanation =
           match result with
-          | Ok () -> decision
-          | Error reason -> Monitor.Refused reason
+          | Ok () -> (decision, explanation)
+          | Error reason ->
+            (* Batch abort: monitors were rolled back, so refusal is the only
+               answer consistent with live state and replay. The captured
+               explanation described the rolled-back decision — replace it
+               with one naming the journal stage as the cause. *)
+            let explanation =
+              match pending with
+              | Plain _ -> None
+              | Explained { principal; _ } ->
+                Some (Explain.refused ~principal ~stage:"journal" reason)
+            in
+            (Monitor.Refused reason, explanation)
         in
-        (match decision with
-        | Monitor.Answered -> Metrics.incr t.metrics Metrics.Answered
-        | Monitor.Refused _ -> Metrics.incr t.metrics Metrics.Refused);
-        ignore (Ivar.try_fill ticket decision))
+        settle t pending decision explanation)
       deferred;
     sample_journal t;
     checkpoint_if_due t
@@ -589,7 +698,7 @@ let run t =
         List.iter
           (fun msg ->
             match msg with
-            | Query _ ->
+            | Query _ | Explain _ ->
               if not (Service.batch_active t.service) then
                 Service.batch_begin t.service;
               process t msg

@@ -14,7 +14,27 @@ type msg =
           (** {!Disclosure.Mclock.now_ns} at submit time, for the [Wait]
               histogram and the wait span; [0L] when unknown (the worker
               then skips wait accounting). *)
+      ctx : (int * int) option;
+          (** Inherited wire trace context [(trace_id, parent_span_id)]:
+              the shard's root span joins that trace instead of starting
+              its own (see {!Obs.Trace.query_begin}). *)
     }
+  | Explain of {
+      principal : string;
+      query : Cq.Query.t;
+      ticket : (Disclosure.Monitor.decision * Disclosure.Explain.t option) Ivar.t;
+      enqueued_ns : int64;
+      ctx : (int * int) option;
+    }
+      (** Like [Query] — the decision is identical, committed, and
+          journaled — but the worker additionally captures the decision's
+          provenance ({!Disclosure.Service.capture_begin}) and stitches in
+          the two facts only the shard knows: which compiled tier labeled
+          the query ({!Compile.Artifact.last_tier}, or ["cache"] on a
+          label-cache hit) and which cache level served it. The ticket's
+          explanation is [None] only if capture itself failed; under group
+          commit a batch abort replaces it with a journal-stage refusal
+          explanation. *)
   | Barrier of unit Ivar.t
       (** Control message: the worker fills the ivar when it reaches the
           barrier, i.e. after every earlier message has been processed. *)

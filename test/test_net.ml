@@ -205,8 +205,8 @@ let test_codec_roundtrip () =
   let requests =
     [
       Codec.Ping; Codec.Stats;
-      Codec.Query { principal = "crm-app"; query = "Q(x) :- Meetings(x, y)" };
-      Codec.Query { principal = "weird \"name\"\t"; query = "" };
+      Codec.Query { principal = "crm-app"; query = "Q(x) :- Meetings(x, y)"; trace = None };
+      Codec.Query { principal = "weird \"name\"\t"; query = ""; trace = None };
     ]
   in
   List.iter
@@ -380,9 +380,9 @@ let test_pipelined_mixed_requests_ordered () =
       let reqs =
         [
           Codec.Ping;
-          Codec.Query { principal = "calendar-app"; query = "Q(x) :- Meetings(x, y)" };
+          Codec.Query { principal = "calendar-app"; query = "Q(x) :- Meetings(x, y)"; trace = None };
           Codec.Ping;
-          Codec.Query { principal = "calendar-app"; query = "Q(x, y) :- Meetings(x, y)" };
+          Codec.Query { principal = "calendar-app"; query = "Q(x, y) :- Meetings(x, y)"; trace = None };
           Codec.Ping;
         ]
       in

@@ -78,7 +78,8 @@ let shard_harness ?trace () =
 let process_one shard ~principal q =
   let ticket = Server.Ivar.create () in
   Server.Shard.process shard
-    (Server.Shard.Query { principal; query = q; ticket; enqueued_ns = Mclock.now_ns () });
+    (Server.Shard.Query
+       { principal; query = q; ticket; enqueued_ns = Mclock.now_ns (); ctx = None });
   Server.Ivar.read ticket
 
 (* --- satellite: huge-sample regression for Metrics.record ------------- *)

@@ -209,7 +209,8 @@ let test_codec_roundtrip () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "odd-length hex must be rejected");
   let req =
-    Net.Codec.Pull { shard = 3; seg = 7; off = 123456; max_bytes = 65536; follower = "s1" }
+    Net.Codec.Pull
+      { shard = 3; seg = 7; off = 123456; max_bytes = 65536; follower = "s1"; trace = None }
   in
   (match Net.Codec.decode_request (Net.Codec.encode_request req) with
   | Ok r when r = req -> ()
@@ -222,8 +223,10 @@ let test_codec_roundtrip () =
     | Error e -> Alcotest.failf "%s: %s" what e
   in
   check_resp "batch"
-    (Net.Codec.Batch { shard = 1; data = "J2 \x00\xffbytes\n"; next_seg = 2; next_off = 0; behind = 42 });
-  check_resp "empty batch" (Net.Codec.Batch { shard = 0; data = ""; next_seg = 1; next_off = 0; behind = 0 });
+    (Net.Codec.Batch
+       { shard = 1; data = "J2 \x00\xffbytes\n"; next_seg = 2; next_off = 0; behind = 42; trace = None });
+  check_resp "empty batch"
+    (Net.Codec.Batch { shard = 0; data = ""; next_seg = 1; next_off = 0; behind = 0; trace = None });
   check_resp "snapshot" (Net.Codec.Snapshot { shard = 1; data = "ckpt\tbytes\n"; next_seg = 5; next_off = 0 })
 
 (* --- steady state: bit-identical mirror, equal replayed state ---------- *)
@@ -234,7 +237,7 @@ let test_steady_state () =
       let server = make_primary ~journal:jbase ~shards () in
       Server.start server;
       run_history server;
-      let source = Source.create ~server ~journal:jbase in
+      let source = Source.create ~server ~journal:jbase () in
       let fol = make_follower ~journal:mbase ~shards () in
       catch_up source fol ~shards;
       check_family_equal ~what:"steady state" jbase mbase ~shards;
@@ -259,7 +262,7 @@ let test_poll_once_catches_up () =
           let server = make_primary ~journal:jbase ~shards () in
           Server.start server;
           run_history server;
-          let source = Source.create ~server ~journal:jbase in
+          let source = Source.create ~server ~journal:jbase () in
           let listener =
             Net.Listener.create ~extend:(Source.handler source) ~server addr
           in
@@ -314,7 +317,8 @@ let test_failover_every_record_boundary () =
           (match
              Follower.apply_batch fol ~shard:0
                (Net.Codec.Batch
-                  { shard = 0; data = prefix; next_seg = 1; next_off = cut; behind = 0 })
+                  { shard = 0; data = prefix; next_seg = 1; next_off = cut; behind = 0;
+                    trace = None })
            with
           | Ok () -> ()
           | Error e -> Alcotest.failf "cut %d: apply: %s" cut e);
@@ -341,7 +345,7 @@ let test_follower_resume_torn_mirror () =
       let server = make_primary ~journal:jbase ~shards () in
       Server.start server;
       run_history server;
-      let source = Source.create ~server ~journal:jbase in
+      let source = Source.create ~server ~journal:jbase () in
       let whole = read_file (jbase ^ ".shard0") in
       (* A follower killed mid-append leaves a torn mirror tail. Re-creating
          it must drop the torn record, resume from the committed boundary,
@@ -388,7 +392,8 @@ let test_tamper_every_offset () =
       let apply data =
         Follower.apply_batch fol ~shard:0
           (Net.Codec.Batch
-             { shard = 0; data; next_seg = 1; next_off = String.length data; behind = 0 })
+             { shard = 0; data; next_seg = 1; next_off = String.length data; behind = 0;
+               trace = None })
       in
       let check_rejected what data =
         (match apply data with
@@ -419,7 +424,9 @@ let test_tamper_every_offset () =
       (* Wrong shard id fails closed too. *)
       (match
          Follower.apply_batch fol ~shard:0
-           (Net.Codec.Batch { shard = 1; data = whole; next_seg = 1; next_off = String.length whole; behind = 0 })
+           (Net.Codec.Batch
+              { shard = 1; data = whole; next_seg = 1; next_off = String.length whole;
+                behind = 0; trace = None })
        with
       | Error _ -> ()
       | Ok () -> Alcotest.fail "wrong-shard batch must be rejected");
@@ -444,7 +451,7 @@ let test_checkpoint_bootstrap () =
       | Ok () -> ()
       | Error e -> Alcotest.failf "checkpoint: %s" e);
       run_history server;
-      let source = Source.create ~server ~journal:jbase in
+      let source = Source.create ~server ~journal:jbase () in
       (* A fresh follower's first pull (seg = 0) must bootstrap from the
          checkpoint, not replay from genesis. *)
       (match Source.serve_pull source ~shard:0 ~seg:0 ~off:0 ~max_bytes:0 with
@@ -645,7 +652,7 @@ let test_graceful_drain_with_follower () =
           let shards = 2 in
           let server = make_primary ~journal:jbase ~shards () in
           Server.start server;
-          let source = Source.create ~server ~journal:jbase in
+          let source = Source.create ~server ~journal:jbase () in
           let listener =
             Net.Listener.create ~extend:(Source.handler source) ~server addr
           in
@@ -771,7 +778,7 @@ let test_two_follower_watermarks () =
       let server = make_primary ~journal:jbase ~shards () in
       Server.start server;
       run_history server;
-      let source = Source.create ~server ~journal:jbase in
+      let source = Source.create ~server ~journal:jbase () in
       (* Nobody has pulled: a non-empty journal with no known follower is
          not caught up (no standby holds its bytes). *)
       Alcotest.(check bool) "no followers, non-empty journal" false (Source.caught_up source);
@@ -838,7 +845,7 @@ let test_stats_and_prometheus () =
       let server = make_primary ~journal:jbase ~shards () in
       Server.start server;
       run_history server;
-      let source = Source.create ~server ~journal:jbase in
+      let source = Source.create ~server ~journal:jbase () in
       let fol = make_follower ~journal:mbase ~shards () in
       catch_up source fol ~shards;
       let contains hay needle =
