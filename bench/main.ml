@@ -10,6 +10,7 @@
      dune exec bench/main.exe -- net        -- loopback socket vs in-process
      dune exec bench/main.exe -- replicate  -- hot-standby lag/failover/reload
      dune exec bench/main.exe -- compile    -- AOT compiled labeler vs interpreted
+     dune exec bench/main.exe -- principals -- tiered store at 10k/100k/1M principals
      dune exec bench/main.exe -- micro      -- Bechamel micro-benchmarks
 
    Options: --n INT (queries per Figure 5 point), --checks INT (label checks
@@ -34,6 +35,10 @@ type options = {
   mutable checks : int; (* label checks per Figure 6 data point *)
   mutable labels : int; (* label pool size for Figure 6 *)
   mutable principals : int list;
+  mutable principals_set : bool;
+      (* --principals was given: fig6 and the store bench share the flag but
+         want different defaults (fig6 tops out at 1M monitors resident;
+         the store bench's whole point is 10k/100k/1M under a budget). *)
   mutable commands : string list;
   mutable csv_dir : string option; (* also write figN.csv for plotting *)
   mutable server_json : string option; (* output path for the server benchmark *)
@@ -45,6 +50,7 @@ let options =
     checks = 1_000_000;
     labels = 100_000;
     principals = [ 1_000; 50_000; 1_000_000 ];
+    principals_set = false;
     commands = [];
     csv_dir = None;
     server_json = None;
@@ -77,6 +83,7 @@ let parse_args () =
       go rest
     | "--principals" :: v :: rest ->
       options.principals <- List.map int_of_string (String.split_on_char ',' v);
+      options.principals_set <- true;
       go rest
     | "--csv" :: v :: rest ->
       options.csv_dir <- Some v;
@@ -603,6 +610,7 @@ let run_server () =
             segment_bytes = 0;
             drain = Server.default_config.Server.drain;
             group_commit = false;
+            resident = None;
           }
         pipeline
     in
@@ -695,6 +703,7 @@ let run_server () =
             segment_bytes = 0;
             drain;
             group_commit;
+            resident = None;
           }
         pipeline
     in
@@ -838,6 +847,7 @@ let run_obs () =
             segment_bytes = 0;
             drain = Server.default_config.Server.drain;
             group_commit = false;
+            resident = None;
           }
         pipeline
     in
@@ -1204,6 +1214,7 @@ let run_net () =
             segment_bytes = 0;
             drain = Server.default_config.Server.drain;
             group_commit = false;
+            resident = None;
           }
         pipeline
     in
@@ -1391,6 +1402,7 @@ let run_replicate () =
       segment_bytes = 0;
       drain = Server.default_config.Server.drain;
       group_commit = false;
+      resident = None;
     }
   in
   let queries =
@@ -1673,6 +1685,257 @@ let run_compile () =
   Format.printf "(wrote %s)@." json_path
 
 (* ------------------------------------------------------------------ *)
+(* Tiered principal store: million-principal Zipfian populations       *)
+
+(* Two legs (DESIGN.md §14). The differential leg pushes one seeded
+   Zipfian history through an always-resident service and through a tiered
+   one whose budget is far below the population (eviction pressure on every
+   decision, a mid-history checkpoint so spilled principals flow through
+   the checkpoint writer): decisions, journal bytes, checkpoint bytes, and
+   the final snapshot must be bit-identical or the bench exits 1. The scale
+   leg then grows the population to a million principals under a fixed
+   budget and reports registration cost, sustained decisions/sec, the
+   resident set, and fault-in latency percentiles. *)
+let run_principals () =
+  let module Service = Disclosure.Service in
+  let module Principalgen = Workload.Principalgen in
+  let pipeline = Fbschema.Fb_views.pipeline () in
+  let views = Array.of_list Fbschema.Fb_views.all in
+  (* A small shared pool of policy specs: each cold principal keeps one word
+     of pool reference, which is what makes a million of them cheap. *)
+  let pool_rng = Workload.Rng.create 1851 in
+  let pool =
+    Array.init 8 (fun _ ->
+        Policygen.partitions pool_rng ~views ~max_partitions:2 ~max_elements:10)
+  in
+  let spec rank = pool.(rank mod Array.length pool) in
+  let g = Querygen.create ~seed:31337 () in
+  let queries = Array.init 64 (fun _ -> Querygen.generate g ~max_subqueries:1) in
+  let read_file path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let rm f = try Sys.remove f with Sys_error _ -> () in
+  let cleanup base =
+    rm base;
+    rm (base ^ ".ckpt");
+    rm (base ^ ".ckpt.tmp");
+    rm (base ^ ".spill");
+    for i = 1 to 64 do
+      rm (Printf.sprintf "%s.%d" base i)
+    done
+  in
+  Format.printf
+    "@.== Tiered principal store: Zipfian populations under a resident budget ==@.@.";
+  let diff_n = 10_000 in
+  let diff_budget = 256 in
+  let diff_queries = min options.n 10_000 in
+  let run_history ~budget =
+    let base = Filename.temp_file "bench_principals" ".journal" in
+    Sys.remove base;
+    let service = Service.create ~journal:base pipeline in
+    let store =
+      match budget with
+      | None -> None
+      | Some b ->
+        Some
+          (Store.create ~budget:(Store.Principals b) ~spill:(base ^ ".spill")
+             service)
+    in
+    let register principal partitions =
+      match store with
+      | Some s -> Store.register s ~principal ~partitions
+      | None -> Service.register service ~principal ~partitions
+    in
+    for rank = 0 to diff_n - 1 do
+      register (Principalgen.name rank) (spec rank)
+    done;
+    let zipf =
+      Principalgen.create ~skew:1.0 ~n:diff_n (Workload.Rng.create 424242)
+    in
+    let decisions = ref [] in
+    for i = 0 to diff_queries - 1 do
+      let principal = Principalgen.name (Principalgen.next zipf) in
+      let d =
+        Service.submit service ~principal queries.(i mod Array.length queries)
+      in
+      decisions := d :: !decisions;
+      (match store with Some s -> Store.enforce s | None -> ());
+      if i = diff_queries / 2 then begin
+        (match Service.checkpoint service with
+        | Ok () -> ()
+        | Error msg -> failwith ("bench principals: checkpoint failed: " ^ msg));
+        match store with Some s -> Store.compact s | None -> ()
+      end
+    done;
+    let snap = Service.snapshot service in
+    let stats = Option.map Store.stats store in
+    (match store with Some s -> Store.close s | None -> ());
+    Service.close service;
+    let tail = read_file base in
+    let ckpt = read_file (base ^ ".ckpt") in
+    cleanup base;
+    (List.rev !decisions, snap, tail, ckpt, stats)
+  in
+  let d_base, s_base, tail_base, ckpt_base, _ = run_history ~budget:None in
+  let d_tier, s_tier, tail_tier, ckpt_tier, tier_stats =
+    run_history ~budget:(Some diff_budget)
+  in
+  let decisions_ok = d_base = d_tier in
+  let snapshot_ok = s_base = s_tier in
+  let journal_ok = String.equal tail_base tail_tier in
+  let ckpt_ok = String.equal ckpt_base ckpt_tier in
+  let identical = decisions_ok && snapshot_ok && journal_ok && ckpt_ok in
+  let diff_stats = Option.get tier_stats in
+  (* A differential that never evicted or faulted in proves nothing. *)
+  let exercised =
+    diff_stats.Store.stat_evictions > 0 && diff_stats.Store.stat_fault_ins > 0
+  in
+  Format.printf
+    "differential (%d principals, budget %d, %d decisions): decisions %b, \
+     journal %b, checkpoint %b, snapshot %b (%d evictions, %d fault-ins)@.@."
+    diff_n diff_budget diff_queries decisions_ok journal_ok ckpt_ok snapshot_ok
+    diff_stats.Store.stat_evictions diff_stats.Store.stat_fault_ins;
+  (* Scale leg: population sweep under a fixed budget, journal-less so the
+     point measures the store + monitor path (pre-labeled queries). *)
+  let counts =
+    if options.principals_set then options.principals
+    else [ 10_000; 100_000; 1_000_000 ]
+  in
+  let budget = 4_096 in
+  Format.printf "%-12s %12s %12s %10s %10s %10s %10s %12s %12s@." "principals"
+    "register(s)" "decisions/s" "resident" "spilled" "fresh" "fault-ins"
+    "p50(us)" "p99(us)";
+  let point n =
+    let fault_s = ref [] in
+    let observe (o : Service.observation) =
+      match o.Service.stage with
+      | `Fault_in -> fault_s := o.Service.seconds :: !fault_s
+      | _ -> ()
+    in
+    let service = Service.create ~observe pipeline in
+    let spill = Filename.temp_file "bench_principals" ".spill" in
+    let store = Store.create ~budget:(Store.Principals budget) ~spill service in
+    let (), register_s =
+      time_wall (fun () ->
+          for rank = 0 to n - 1 do
+            Store.register store
+              ~principal:(Principalgen.name rank)
+              ~partitions:(spec rank)
+          done)
+    in
+    let zipf =
+      Principalgen.create ~skew:1.0 ~n (Workload.Rng.create (9_000_000 + n))
+    in
+    let labels =
+      Array.of_list
+        (Array.to_list queries
+        |> List.filter_map (fun q ->
+               match Service.label_query service q with
+               | Ok l -> Some l
+               | Error _ -> None))
+    in
+    let q = min options.n 20_000 in
+    let (), wall =
+      time_wall (fun () ->
+          for i = 0 to q - 1 do
+            let principal = Principalgen.name (Principalgen.next zipf) in
+            ignore
+              (Service.submit_label service ~principal
+                 labels.(i mod Array.length labels));
+            Store.enforce store
+          done)
+    in
+    let st = Store.stats store in
+    let within = st.Store.stat_resident <= budget in
+    let samples = Array.of_list !fault_s in
+    Array.sort compare samples;
+    let pct p =
+      if Array.length samples = 0 then 0.0
+      else
+        samples.(min
+                   (Array.length samples - 1)
+                   (int_of_float (p *. float_of_int (Array.length samples))))
+    in
+    let p50 = pct 0.50 *. 1e6 and p99 = pct 0.99 *. 1e6 in
+    Store.close store;
+    Service.close service;
+    rm spill;
+    let qps = float_of_int q /. wall in
+    Format.printf "%-12d %12.3f %12.0f %10d %10d %10d %10d %12.1f %12.1f%s@." n
+      register_s qps st.Store.stat_resident st.Store.stat_spilled
+      st.Store.stat_fresh st.Store.stat_fault_ins p50 p99
+      (if within then "" else "  (OVER BUDGET)");
+    (n, register_s, q, qps, st, p50, p99, within)
+  in
+  let rows = List.map point counts in
+  let all_within = List.for_all (fun (_, _, _, _, _, _, _, w) -> w) rows in
+  write_csv "principals.csv"
+    [ "principals"; "register_s"; "decisions_per_s"; "resident"; "spilled";
+      "fresh"; "fault_ins"; "fault_in_p50_us"; "fault_in_p99_us" ]
+    (List.map
+       (fun (n, reg, _, qps, st, p50, p99, _) ->
+         [ string_of_int n; Printf.sprintf "%.3f" reg; Printf.sprintf "%.0f" qps;
+           string_of_int st.Store.stat_resident;
+           string_of_int st.Store.stat_spilled;
+           string_of_int st.Store.stat_fresh;
+           string_of_int st.Store.stat_fault_ins; Printf.sprintf "%.1f" p50;
+           Printf.sprintf "%.1f" p99 ])
+       rows);
+  let json_path = Option.value options.server_json ~default:"BENCH_principals.json" in
+  let oc = open_out json_path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let row_json =
+        rows
+        |> List.map (fun (n, reg, q, qps, st, p50, p99, within) ->
+               Printf.sprintf
+                 "{\"principals\": %d, \"register_s\": %.3f, \"decisions\": %d, \
+                  \"decisions_per_s\": %.0f, \"resident\": %d, \"spilled\": %d, \
+                  \"fresh\": %d, \"fault_ins\": %d, \"evictions\": %d, \
+                  \"spill_bytes\": %d, \"fault_in_p50_us\": %.2f, \
+                  \"fault_in_p99_us\": %.2f, \"within_budget\": %b}"
+                 n reg q qps st.Store.stat_resident st.Store.stat_spilled
+                 st.Store.stat_fresh st.Store.stat_fault_ins
+                 st.Store.stat_evictions st.Store.stat_spill_bytes p50 p99 within)
+        |> String.concat ",\n    "
+      in
+      Printf.fprintf oc
+        "{\n\
+        \  \"benchmark\": \"principals\",\n\
+        \  \"budget_principals\": %d,\n\
+        \  \"zipf_skew\": 1.0,\n\
+        \  \"differential\": {\"principals\": %d, \"budget\": %d, \"decisions\": %d, \
+         \"decisions_identical\": %b, \"journal_identical\": %b, \
+         \"checkpoint_identical\": %b, \"snapshot_identical\": %b, \
+         \"evictions\": %d, \"fault_ins\": %d},\n\
+        \  \"points\": [\n    %s\n  ],\n\
+        \  \"within_budget\": %b\n\
+         }\n"
+        budget diff_n diff_budget diff_queries decisions_ok journal_ok ckpt_ok
+        snapshot_ok diff_stats.Store.stat_evictions
+        diff_stats.Store.stat_fault_ins row_json all_within);
+  Format.printf "(wrote %s)@." json_path;
+  Format.printf
+    "@.acceptance: tiered store bit-identical to always-resident under \
+     eviction pressure, resident set within budget at every population — %s@."
+    (if identical && exercised && all_within then "PASS" else "FAIL");
+  if not (identical && exercised) then begin
+    Format.printf
+      "FAIL: tiered differential: decisions %b, journal %b, checkpoint %b, \
+       snapshot %b, exercised %b@."
+      decisions_ok journal_ok ckpt_ok snapshot_ok exercised;
+    exit 1
+  end;
+  if not all_within then begin
+    Format.printf "FAIL: resident set exceeded the %d-principal budget@." budget;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 
 let run_micro () =
@@ -1748,7 +2011,7 @@ let () =
   parse_args ();
   let commands =
     if options.commands = [] then
-      [ "table2"; "fig3"; "fig5"; "fig6"; "ablation"; "guard"; "server"; "obs"; "recover"; "net"; "replicate"; "compile"; "micro" ]
+      [ "table2"; "fig3"; "fig5"; "fig6"; "ablation"; "guard"; "server"; "obs"; "recover"; "net"; "replicate"; "compile"; "principals"; "micro" ]
     else options.commands
   in
   Format.printf
@@ -1768,6 +2031,7 @@ let () =
       | "net" -> run_net ()
       | "replicate" -> run_replicate ()
       | "compile" -> run_compile ()
+      | "principals" -> run_principals ()
       | "micro" -> run_micro ()
       | "all" ->
         run_table2 ();
@@ -1782,9 +2046,10 @@ let () =
         run_net ();
         run_replicate ();
         run_compile ();
+        run_principals ();
         run_micro ()
       | other ->
         Format.printf
-          "unknown command %s (try table2|fig3|fig5|fig6|ablation|guard|server|obs|recover|net|replicate|compile|micro)@."
+          "unknown command %s (try table2|fig3|fig5|fig6|ablation|guard|server|obs|recover|net|replicate|compile|principals|micro)@."
           other)
     commands

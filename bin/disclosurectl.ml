@@ -171,6 +171,46 @@ let nonneg_float =
   in
   Arg.conv (parse, Format.pp_print_float)
 
+(* Resident budget for the tiered principal store: a bare integer is a
+   principal count; a b/kb/mb/gb suffix makes it an approximate resident-heap
+   byte budget (resolved to a count from a measured monitor). *)
+let resident_conv =
+  let parse s =
+    let lower = String.lowercase_ascii (String.trim s) in
+    let bytes_with suffix mult =
+      if
+        String.length lower > String.length suffix
+        && Filename.check_suffix lower suffix
+      then
+        int_of_string_opt
+          (String.sub lower 0 (String.length lower - String.length suffix))
+        |> Option.map (fun n -> (n, mult))
+      else None
+    in
+    let ok n = n > 0 in
+    match int_of_string_opt lower with
+    | Some n when ok n -> Ok (Store.Principals n)
+    | Some _ -> Error (`Msg "must be a positive principal count")
+    | None -> (
+      match
+        List.find_map
+          (fun (suffix, mult) -> bytes_with suffix mult)
+          [ ("kb", 1024); ("mb", 1024 * 1024); ("gb", 1024 * 1024 * 1024); ("b", 1) ]
+      with
+      | Some (n, mult) when ok n -> Ok (Store.Bytes (n * mult))
+      | Some _ -> Error (`Msg "must be a positive byte budget")
+      | None ->
+        Error
+          (`Msg
+            "expected a principal count (e.g. 4096) or a byte budget with a \
+             b/kb/mb/gb suffix (e.g. 256mb)"))
+  in
+  let print ppf = function
+    | Store.Principals n -> Format.fprintf ppf "%d" n
+    | Store.Bytes n -> Format.fprintf ppf "%db" n
+  in
+  Arg.conv (parse, print)
+
 let fuel_arg =
   Arg.(
     value
@@ -556,6 +596,20 @@ let serve_cmd =
             "Rotate a shard's active journal segment once it reaches $(docv) \
              bytes; 0 never rotates. Requires $(b,--journal).")
   in
+  let resident_arg =
+    Arg.(
+      value
+      & opt (some resident_conv) None
+      & info [ "resident" ] ~docv:"BUDGET"
+          ~doc:
+            "Per-shard resident-set budget for the tiered principal store: keep \
+             at most $(docv) principals' monitors in memory (or, with a \
+             $(b,b)/$(b,kb)/$(b,mb)/$(b,gb) suffix, approximately that much \
+             resident heap). Cold principals spill to \
+             $(i,BASE).shard$(i,i).spill and fault back in on first touch; \
+             decisions, journal bytes, and checkpoint bytes are bit-identical \
+             to the unbounded default.")
+  in
   let stats_arg =
     Arg.(
       value & flag
@@ -691,7 +745,7 @@ let serve_cmd =
              standby across its restarts.")
   in
   let run () config_file syntax workload_file fuel deadline journal domains mailbox drain
-      group_commit cache checkpoint_every segment_bytes stats trace_out trace_sample
+      group_commit cache resident checkpoint_every segment_bytes stats trace_out trace_sample
       slow_ms metrics_out listen max_connections conn_deadline max_frame follow
       poll_interval failover_after follower_id =
     let config =
@@ -709,6 +763,7 @@ let serve_cmd =
         segment_bytes;
         drain;
         group_commit;
+        resident;
       }
     in
     let lconfig () =
@@ -728,7 +783,7 @@ let serve_cmd =
       in
       let fol =
         match
-          Replicate.Follower.create ~id:follower_id ~limits ~journal:mirror
+          Replicate.Follower.create ~id:follower_id ~limits ?resident ~journal:mirror
             ~shards:domains config
         with
         | Ok f -> f
@@ -908,13 +963,16 @@ let serve_cmd =
           refused
           (String.concat ", " (Server.alive server ~principal)))
       (Server.principals server);
+    (* Sample stats before [stop]: stopping closes the shard stores, so the
+       tiered-store block would read as the zero accumulator afterwards. *)
+    let stats_doc = if stats then Some (Server.stats_json server) else None in
     Server.stop server;
     dump ();
     (match trace with
     | Some tr when Obs.Trace.slow_log tr <> [] ->
       Format.eprintf "@.slow-query log:@.%a@." Obs.Trace.pp_slow_log tr
     | _ -> ());
-    if stats then Format.printf "@.%s@." (Server.stats_json server);
+    Option.iter (Format.printf "@.%s@.") stats_doc;
     0
   in
   let doc =
@@ -926,7 +984,7 @@ let serve_cmd =
     Term.(
       const run $ setup_logs $ config_arg $ syntax_arg $ workload_arg $ fuel_arg
       $ deadline_arg $ journal_arg $ domains_arg $ mailbox_arg $ drain_arg
-      $ group_commit_arg $ cache_arg
+      $ group_commit_arg $ cache_arg $ resident_arg
       $ checkpoint_every_arg $ segment_bytes_arg $ stats_arg $ trace_out_arg
       $ trace_sample_arg $ slow_ms_arg $ metrics_out_arg $ listen_arg
       $ max_connections_arg $ conn_deadline_arg $ max_frame_arg $ follow_arg
@@ -1375,6 +1433,16 @@ let stats_cmd =
       let g path = match int_of path c with Some v -> v | None -> 0 in
       Format.printf "@.label cache: %d/%d entries, %d hits, %d misses, %d evictions@."
         (g "entries") (g "capacity") (g "hits") (g "misses") (g "evictions"));
+    (match J.member "store" doc with
+    | None -> ()
+    | Some st ->
+      let g path = match int_of path st with Some v -> v | None -> 0 in
+      Format.printf
+        "@.tiered store: %d resident, %d spilled, %d fresh principal(s)@."
+        (g "resident") (g "spilled") (g "fresh");
+      Format.printf
+        "  %d fault-in(s), %d spill write(s), %d eviction(s), %d spill byte(s)@."
+        (g "fault_ins") (g "spill_writes") (g "evictions") (g "spill_bytes"));
     (match J.member "trace" doc with
     | None -> ()
     | Some tr ->

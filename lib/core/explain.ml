@@ -63,6 +63,14 @@ let cause_of_refusal ~stage reason =
       [
         step "admit"
           (Printf.sprintf "label has %d atom(s), width cap is %d" width max_width);
+      ]
+    | Guard.Spill detail ->
+      [
+        step "fault-in"
+          (Printf.sprintf
+             "spilled disclosure state could not be read back (refusing rather than \
+              forgetting history): %s"
+             detail);
       ])
   | Guard.Overload ->
     [

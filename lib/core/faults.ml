@@ -12,6 +12,8 @@ type stage =
   | Net_accept
   | Net_decode
   | Net_write
+  | Spill
+  | Fault_in
 
 type fault =
   | Exhaust_fuel
@@ -25,7 +27,10 @@ let submission_stages = [ Admission; Minimize; Dissect; Label; Decide; Journal ]
 let net_stages = [ Net_accept; Net_decode; Net_write ]
 
 let all_stages =
-  submission_stages @ [ Journal_flush; Checkpoint; Ckpt_rename; Rotate ] @ net_stages
+  submission_stages
+  @ [ Journal_flush; Checkpoint; Ckpt_rename; Rotate ]
+  @ net_stages
+  @ [ Spill; Fault_in ]
 
 let stage_index = function
   | Admission -> 0
@@ -41,6 +46,8 @@ let stage_index = function
   | Net_accept -> 10
   | Net_decode -> 11
   | Net_write -> 12
+  | Spill -> 13
+  | Fault_in -> 14
 
 let stage_name = function
   | Admission -> "admission"
@@ -56,6 +63,8 @@ let stage_name = function
   | Net_accept -> "net-accept"
   | Net_decode -> "net-decode"
   | Net_write -> "net-write"
+  | Spill -> "spill"
+  | Fault_in -> "fault-in"
 
 (* One slot per stage. [n_armed] lets the hot path skip the array scan with a
    single integer load when no fault is armed — the common (production)

@@ -30,6 +30,15 @@ type stage =
   | Net_accept  (** After a connection is accepted, before it is handed off. *)
   | Net_decode  (** Before a received frame is decoded. *)
   | Net_write  (** Before a response frame is written back. *)
+  | Spill
+      (** Before a cold principal's state is written to the spill file. A
+          fault here must abort the eviction, leaving the principal resident
+          and its state untouched — it never refuses a query. *)
+  | Fault_in
+      (** Before a spilled principal's state is read back from the spill
+          file. A fault here must refuse the touching query with
+          [Resource (Spill _)], leaving every resident monitor
+          bit-identical. *)
 
 type fault =
   | Exhaust_fuel  (** Raise {!Cq.Budget.Exhausted}[ Fuel]. *)

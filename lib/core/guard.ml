@@ -7,6 +7,7 @@ type resource =
   | Deadline
   | Query_too_large of { atoms : int; max_atoms : int }
   | Label_too_wide of { width : int; max_width : int }
+  | Spill of string
 
 type refusal_reason =
   | Policy
@@ -85,7 +86,8 @@ let resource_equal a b =
     x.atoms = y.atoms && x.max_atoms = y.max_atoms
   | Label_too_wide x, Label_too_wide y ->
     x.width = y.width && x.max_width = y.max_width
-  | (Fuel | Deadline | Query_too_large _ | Label_too_wide _), _ -> false
+  | Spill x, Spill y -> String.equal x y
+  | (Fuel | Deadline | Query_too_large _ | Label_too_wide _ | Spill _), _ -> false
 
 let refusal_equal a b =
   match a, b with
@@ -101,6 +103,7 @@ let pp_resource ppf = function
     Format.fprintf ppf "query too large (%d atoms, max %d)" atoms max_atoms
   | Label_too_wide { width; max_width } ->
     Format.fprintf ppf "label too wide (%d atoms, max %d)" width max_width
+  | Spill detail -> Format.fprintf ppf "spill read failed: %s" detail
 
 let pp_refusal ppf = function
   | Policy -> Format.pp_print_string ppf "policy"
@@ -117,6 +120,7 @@ let refusal_to_tag = function
   | Resource Deadline -> "resource:deadline"
   | Resource (Query_too_large _) -> "resource:query-too-large"
   | Resource (Label_too_wide _) -> "resource:label-too-wide"
+  | Resource (Spill _) -> "resource:spill"
   | Overload -> "overload"
   | Malformed _ -> "malformed"
   | Fault _ -> "fault"
@@ -129,6 +133,7 @@ let refusal_of_tag = function
     Some (Resource (Query_too_large { atoms = 0; max_atoms = 0 }))
   | "resource:label-too-wide" ->
     Some (Resource (Label_too_wide { width = 0; max_width = 0 }))
+  | "resource:spill" -> Some (Resource (Spill ""))
   | "overload" -> Some Overload
   | "malformed" -> Some (Malformed "")
   | "fault" -> Some (Fault "")

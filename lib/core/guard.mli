@@ -17,6 +17,11 @@ type resource =
       (** Refused at admission: body atom count over the cap. *)
   | Label_too_wide of { width : int; max_width : int }
       (** Refused post-labeling: label atom count over the cap. *)
+  | Spill of string
+      (** A spilled principal's on-disk state could not be faulted back in
+          (corrupt record, I/O error). Fail-closed: the query is refused
+          rather than the principal silently treated as fresh, which would
+          forget disclosure history and leak. *)
 
 type refusal_reason =
   | Policy  (** No still-alive partition covers the label (the paper's refusal). *)

@@ -76,6 +76,33 @@ let refused_count t = t.refused
 
 let state t = { alive_mask = t.alive; answered_count = t.answered; refused_count = t.refused }
 
+(* The checkpoint "p"-record field layout (mask in hex, then the two decimal
+   counters). The spill file reuses this codec so spilled state is
+   byte-identical to what a checkpoint would have written. *)
+let state_fields (s : state) =
+  [
+    Printf.sprintf "%x" s.alive_mask;
+    string_of_int s.answered_count;
+    string_of_int s.refused_count;
+  ]
+
+let state_of_fields = function
+  | [ mask_hex; answered_s; refused_s ] -> (
+    match
+      ( int_of_string_opt ("0x" ^ mask_hex),
+        int_of_string_opt answered_s,
+        int_of_string_opt refused_s )
+    with
+    | Some alive_mask, Some answered_count, Some refused_count ->
+      Some { alive_mask; answered_count; refused_count }
+    | _ -> None)
+  | _ -> None
+
+let is_pristine t = t.alive = t.initial && t.answered = 0 && t.refused = 0
+
+let pristine_state ~partitions =
+  { alive_mask = full_mask partitions; answered_count = 0; refused_count = 0 }
+
 let reset t =
   t.alive <- t.initial;
   t.answered <- 0;

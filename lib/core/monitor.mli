@@ -73,6 +73,27 @@ val refused_count : t -> int
 
 val state : t -> state
 
+val state_fields : state -> string list
+(** The checkpoint "p"-record field layout: alive mask in lowercase hex,
+    then the answered and refused counters in decimal. {!Service.checkpoint}
+    and the tiered store's spill file share this codec, so a spilled
+    principal's record is byte-identical to its checkpoint record. *)
+
+val state_of_fields : string list -> state option
+(** Inverse of {!state_fields}; [None] on the wrong arity or unparsable
+    numbers. The result still needs {!restore}'s validation against a
+    concrete monitor. *)
+
+val is_pristine : t -> bool
+(** Has the monitor never committed anything — alive mask at its initial
+    full value and both counters zero? A pristine monitor can be evicted
+    without writing any spill record and recreated from the policy alone. *)
+
+val pristine_state : partitions:int -> state
+(** The state a freshly created monitor over a policy with [partitions]
+    partitions would report.
+    @raise Too_many_partitions as {!create} would. *)
+
 val reset : t -> unit
 (** Forget the history: all partitions alive again, counters cleared. *)
 

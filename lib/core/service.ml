@@ -21,9 +21,24 @@ type journal_state =
   | Closed_journal
 
 type observation = {
-  stage : [ `Admit | `Label | `Decide | `Journal | `Checkpoint | `Rotate ];
+  stage : [ `Admit | `Label | `Decide | `Journal | `Checkpoint | `Rotate | `Fault_in ];
   seconds : float;
   detail : (string * string) list;
+}
+
+(* The tiered principal store's hooks (lib/store). Once a tier is installed,
+   [monitors] holds only the resident principals: a lookup miss asks the
+   tier to fault the principal back in ([tier_find], which adopts the
+   rebuilt monitor and may raise [Guard.Refuse (Resource (Spill _))] on a
+   corrupt spill record), every resident hit notifies it ([tier_touch], for
+   its eviction clock), state readers that must not disturb residency —
+   [checkpoint], [snapshot] — read cold principals through [tier_state],
+   and [recover] resets it alongside the monitors ([tier_reset]). *)
+type tier = {
+  tier_find : string -> Monitor.t option;
+  tier_state : string -> Monitor.state option;
+  tier_touch : string -> unit;
+  tier_reset : unit -> unit;
 }
 
 (* An open group-commit batch (see [batch_begin]). Appends buffer in the
@@ -54,6 +69,7 @@ type t = {
   observe : (observation -> unit) option;
   monitors : (string, Monitor.t) Hashtbl.t;
   mutable order : string list; (* reversed registration order *)
+  mutable tier : tier option;
   (* Provenance capture for the next submission (see [capture_begin]). Off by
      default; the disabled path costs one field load per capture point and
      allocates nothing — journal bytes and monitor state are identical either
@@ -135,6 +151,7 @@ let create ?(limits = Guard.no_limits) ?journal ?(journal_format = `V2) ?(segmen
     observe;
     monitors = Hashtbl.create 16;
     order = [];
+    tier = None;
     capture_on = false;
     captured = None;
     cap_fuel = None;
@@ -256,10 +273,62 @@ let register_stateless t ~principal ~views =
 
 let principals t = List.rev t.order
 
+(* --- tiered principal store hooks -------------------------------------- *)
+
+let set_tier t tier =
+  match t.tier with
+  | Some _ -> invalid_arg "Service.set_tier: a tier is already installed"
+  | None -> t.tier <- Some tier
+
+let clear_tier t = t.tier <- None
+
+(* Hand a rebuilt monitor back to the resident table (fault-in) and take one
+   out of it (eviction). [order] is untouched: registration order is the
+   principal's identity in checkpoints and [principals], residency is not. *)
+let adopt t ~principal m =
+  if Hashtbl.mem t.monitors principal then raise (Duplicate_principal principal);
+  Hashtbl.add t.monitors principal m
+
+let detach t ~principal =
+  match Hashtbl.find_opt t.monitors principal with
+  | None -> raise (Unknown_principal principal)
+  | Some m ->
+    Hashtbl.remove t.monitors principal;
+    m
+
+let resident_monitor t principal = Hashtbl.find_opt t.monitors principal
+
 let monitor_of t principal =
   match Hashtbl.find_opt t.monitors principal with
-  | Some m -> m
-  | None -> raise (Unknown_principal principal)
+  | Some m ->
+    (match t.tier with Some tier -> tier.tier_touch principal | None -> ());
+    m
+  | None -> (
+    match t.tier with
+    | None -> raise (Unknown_principal principal)
+    | Some tier -> (
+      (* Fault-in blocks exactly this lookup for one spill-file read; other
+         principals' queries on this shard were either ahead of it in the
+         batch or see the adopted monitor. A corrupt record escapes as
+         [Guard.Refuse (Resource (Spill _))] for the submission paths to
+         journal as a typed refusal. *)
+      match observed t `Fault_in (fun () -> tier.tier_find principal) with
+      | Some m -> m
+      | None -> raise (Unknown_principal principal)))
+
+(* State of any principal, resident or not, without disturbing residency —
+   checkpoints and snapshots iterate every principal and must neither fault
+   them all in nor advance the eviction clock. *)
+let state_of t principal =
+  match Hashtbl.find_opt t.monitors principal with
+  | Some m -> Monitor.state m
+  | None -> (
+    match t.tier with
+    | Some tier -> (
+      match tier.tier_state principal with
+      | Some st -> st
+      | None -> raise (Unknown_principal principal))
+    | None -> raise (Unknown_principal principal))
 
 (* --- decision journal ------------------------------------------------- *)
 
@@ -552,16 +621,13 @@ let checkpoint t =
                  [ "ckpt"; "2"; string_of_int covers; string_of_int (List.length ps) ]);
             List.iter
               (fun principal ->
-                let st = Monitor.state (monitor_of t principal) in
+                (* [state_of], not [monitor_of]: a checkpoint must not fault
+                   every spilled principal in (or touch the eviction clock) —
+                   and the tier's spill records use the same field codec, so
+                   the bytes are identical to the always-resident write. *)
+                let st = state_of t principal in
                 Buffer.add_string buf
-                  (Journal.encode
-                     [
-                       "p";
-                       principal;
-                       Printf.sprintf "%x" st.Monitor.alive_mask;
-                       string_of_int st.Monitor.answered_count;
-                       string_of_int st.Monitor.refused_count;
-                     ]))
+                  (Journal.encode ("p" :: principal :: Monitor.state_fields st)))
               ps;
             let tmp = ckpt_tmp_path cfg.base in
             Faults.trip Faults.Checkpoint;
@@ -669,8 +735,18 @@ let decide_and_commit t ~principal m label =
       capture_refusal t ~principal ~stage:"journal" ~label ~monitor:m reason;
       Monitor.Refused reason)
 
+(* A failed fault-in refuses the touching query fail-closed, like any other
+   pre-decision failure: journaled as a typed refusal (no monitor exists to
+   commit anything on), every resident monitor bit-identical. *)
+let fault_in_refused t ~principal reason =
+  ignore (journal_append t ~principal ~label:"-" ~decision:(refused_line reason));
+  capture_refusal t ~principal ~stage:"fault-in" reason;
+  Monitor.Refused reason
+
 let submit_label t ~principal label =
-  let m = monitor_of t principal in
+  match monitor_of t principal with
+  | exception Guard.Refuse reason -> fault_in_refused t ~principal reason
+  | m ->
   let decision =
     match
       (* The admission check is its own observed stage: the cached serving
@@ -704,15 +780,19 @@ let refuse t ~principal ?label reason =
   (match reason with
   | Guard.Policy -> invalid_arg "Service.refuse: policy refusals must go through submit"
   | _ -> ());
-  let m = monitor_of t principal in
-  let stage = match reason with Guard.Overload -> "overload" | _ -> "label" in
-  capture_refusal t ~principal ~stage ?label ~monitor:m reason;
-  let label = match label with Some l -> Label.encode l | None -> "-" in
-  ignore (journal_append t ~principal ~label ~decision:(refused_line reason));
-  Monitor.Refused reason
+  match monitor_of t principal with
+  | exception Guard.Refuse r -> fault_in_refused t ~principal r
+  | m ->
+    let stage = match reason with Guard.Overload -> "overload" | _ -> "label" in
+    capture_refusal t ~principal ~stage ?label ~monitor:m reason;
+    let label = match label with Some l -> Label.encode l | None -> "-" in
+    ignore (journal_append t ~principal ~label ~decision:(refused_line reason));
+    Monitor.Refused reason
 
 let submit t ~principal q =
-  let m = monitor_of t principal in
+  match monitor_of t principal with
+  | exception Guard.Refuse reason -> fault_in_refused t ~principal reason
+  | m ->
   let decision =
     match label_query t q with
     | Error reason ->
@@ -762,7 +842,7 @@ let journal_position t =
 (* --- snapshot & recovery ----------------------------------------------- *)
 
 let snapshot t =
-  List.map (fun principal -> (principal, Monitor.state (monitor_of t principal))) (principals t)
+  List.map (fun principal -> (principal, state_of t principal)) (principals t)
 
 type recovery_error = {
   file : string;
@@ -783,8 +863,25 @@ type recovery = {
    a complete record: a CRC-valid v2 record (or a complete legacy line) with
    an unknown principal, an undecodable label, or a replay disagreement is
    damage truncation cannot explain. *)
-let apply_decision t ~principal ~label_s ~decision =
+(* Tier-aware lookup for the replay paths: a spilled principal is faulted in
+   (replay commits to the live monitor), and a fault-in failure is surfaced
+   as a fatal replay error — recovery must fail closed, not skip records. *)
+let resident_or_fault t principal =
   match Hashtbl.find_opt t.monitors principal with
+  | Some m ->
+    (match t.tier with Some tier -> tier.tier_touch principal | None -> ());
+    Some m
+  | None -> (
+    match t.tier with
+    | None -> None
+    | Some tier -> tier.tier_find principal)
+
+let apply_decision t ~principal ~label_s ~decision =
+  match resident_or_fault t principal with
+  | exception Guard.Refuse reason ->
+    Error
+      ( `Io,
+        Format.asprintf "fault-in failed during replay: %a" Guard.pp_refusal reason )
   | None -> Error (`Replay, Printf.sprintf "unknown principal %S" principal)
   | Some m -> (
     match decision with
@@ -986,26 +1083,26 @@ let load_checkpoint t base =
             | [] -> Ok (covers, true)
             | ({ Journal.offset; fields } : Journal.record) :: rest -> (
               match fields with
-              | [ "p"; principal; mask_hex; answered_s; refused_s ] -> (
+              | "p" :: principal :: state_fields -> (
                 match
-                  ( Hashtbl.find_opt t.monitors principal,
-                    int_of_string_opt ("0x" ^ mask_hex),
-                    int_of_string_opt answered_s,
-                    int_of_string_opt refused_s )
+                  (resident_or_fault t principal, Monitor.state_of_fields state_fields)
                 with
-                | None, _, _, _ ->
+                | exception Guard.Refuse reason ->
+                  Error
+                    { file; offset; kind = `Io;
+                      detail =
+                        Format.asprintf "fault-in failed during checkpoint restore: %a"
+                          Guard.pp_refusal reason }
+                | None, _ ->
                   Error
                     { file; offset; kind = `Replay;
                       detail = Printf.sprintf "unknown principal %S in checkpoint" principal }
-                | Some m, Some alive_mask, Some answered_count, Some refused_count -> (
-                  match
-                    Monitor.restore m
-                      { Monitor.alive_mask; answered_count; refused_count }
-                  with
+                | Some m, Some st -> (
+                  match Monitor.restore m st with
                   | () -> apply rest
                   | exception Invalid_argument msg ->
                     Error { file; offset; kind = `Replay; detail = msg })
-                | _ -> corrupt offset "malformed checkpoint entry")
+                | Some _, None -> corrupt offset "malformed checkpoint entry")
               | _ -> corrupt offset "malformed checkpoint entry")
           in
           apply entries
@@ -1046,6 +1143,11 @@ let truncate_torn_tail t ~file ~offset =
 
 let recover ?(on_record = fun ~principal:_ ~label:_ ~decision:_ -> ()) t ~journal:base =
   Hashtbl.iter (fun _ m -> Monitor.reset m) t.monitors;
+  (* The journal is the authority: whatever the tier spilled before the
+     restart is stale against the replay below, so the tier forgets it
+     (non-resident principals become pristine, the spill file is reset) and
+     rebuilds its spilled set as the replay's own evictions write it. *)
+  (match t.tier with Some tier -> tier.tier_reset () | None -> ());
   let ( let* ) = Result.bind in
   let* covers, from_checkpoint = load_checkpoint t base in
   let rotated = List.filter (fun (i, _) -> i > covers) (rotated_segments base) in

@@ -24,7 +24,7 @@ type journal_format = [ `V2 | `Legacy ]
     rotation nor checkpoints. *)
 
 type observation = {
-  stage : [ `Admit | `Label | `Decide | `Journal | `Checkpoint | `Rotate ];
+  stage : [ `Admit | `Label | `Decide | `Journal | `Checkpoint | `Rotate | `Fault_in ];
   seconds : float;
   detail : (string * string) list;
       (** Stage-specific attributes, for span emitters: [`Label] reports
@@ -36,10 +36,11 @@ type observation = {
 (** One timed stage execution, reported to the [observe] callback of
     {!create}: the pre-decision label admission of {!submit_label}, the
     guarded labeling run, the policy decision, the journal append, a
-    checkpoint write, or a segment rotation. Durations come from the
-    monotonic clock ({!Mclock}) and are never negative. Used by the serving
-    layer to feed per-stage latency histograms and trace spans without the
-    service depending on any metrics machinery. *)
+    checkpoint write, a segment rotation, or a tiered-store fault-in (the
+    disk read that brings a spilled principal's state back). Durations come
+    from the monotonic clock ({!Mclock}) and are never negative. Used by the
+    serving layer to feed per-stage latency histograms and trace spans
+    without the service depending on any metrics machinery. *)
 
 exception Unknown_principal of string
 exception Duplicate_principal of string
@@ -92,7 +93,60 @@ val register_stateless : t -> principal:string -> views:Sview.t list -> unit
 (** Single-partition convenience form. *)
 
 val principals : t -> string list
-(** Registration order. *)
+(** Registration order. With a tier installed, this is every {e registered}
+    principal — resident or spilled. *)
+
+(** {1 Tiered principal store hooks}
+
+    A tiered store ([lib/store]) keeps only the hot principals' monitors in
+    the service's resident table and spills the cold ones to disk. The
+    service stays the single owner of the resident table; the store plugs in
+    through a {!tier} record and moves monitors in and out with {!adopt} and
+    {!detach}. Contracts the store upholds:
+
+    - [tier_find principal] rebuilds a non-resident principal's monitor,
+      {!adopt}s it, and returns it — or returns [None] for a name that was
+      never registered, or raises [Guard.Refuse (Resource (Spill _))] when
+      the spilled state cannot be read back (fail-closed: the submission
+      paths journal that as a typed refusal; the replay paths turn it into a
+      fatal recovery error).
+    - [tier_state principal] reports a non-resident principal's state
+      {e without} changing residency — {!checkpoint} and {!snapshot} read
+      cold principals through it, so neither faults the whole population in.
+    - [tier_touch principal] notifies the store of a resident hit (its
+      eviction clock).
+    - [tier_reset ()] forgets all spilled state (the journal is the
+      authority on a {!recover}).
+    - Eviction never runs while a group-commit batch is open: an aborting
+      batch restores pre-batch state through the resident table. *)
+
+type tier = {
+  tier_find : string -> Monitor.t option;
+  tier_state : string -> Monitor.state option;
+  tier_touch : string -> unit;
+  tier_reset : unit -> unit;
+}
+
+val set_tier : t -> tier -> unit
+(** Install the tier's hooks.
+    @raise Invalid_argument if one is already installed. *)
+
+val clear_tier : t -> unit
+
+val adopt : t -> principal:string -> Monitor.t -> unit
+(** Put a faulted-in monitor (back) into the resident table. Registration
+    order is untouched — residency is not identity.
+    @raise Duplicate_principal if already resident. *)
+
+val detach : t -> principal:string -> Monitor.t
+(** Remove a principal's monitor from the resident table (eviction) and
+    return it. The principal stays registered; a later lookup goes through
+    [tier_find].
+    @raise Unknown_principal if not resident. *)
+
+val resident_monitor : t -> string -> Monitor.t option
+(** The principal's monitor iff currently resident. Never faults in and
+    never touches the eviction clock. *)
 
 val submit : t -> principal:string -> Cq.Query.t -> Monitor.decision
 (** Labels the query under the service limits and submits it to the
@@ -100,6 +154,9 @@ val submit : t -> principal:string -> Cq.Query.t -> Monitor.decision
     malformed, fault — leaves the monitor's alive mask unchanged, and
     non-policy refusals leave the monitor bit-identical (not even a counter
     moves). A journal-append failure refuses the query {e before} commit.
+    With a tier installed, a spilled principal is faulted back in first; a
+    failed fault-in refuses the query with [Resource (Spill _)] (journaled,
+    resident monitors untouched).
     @raise Unknown_principal *)
 
 val submit_label : t -> principal:string -> Label.t -> Monitor.decision

@@ -13,6 +13,11 @@ module Client = Net.Client
 type shard_state = {
   base : string;
   mutable service : Service.t;
+  mutable store : Store.t option;
+      (** Tiered principal store over [service] when the follower was
+          created with a resident budget — the standby bounds its resident
+          set exactly like the primary, rebuilding spill state from the
+          mirrored journal it replays. *)
   mutable seg : int;  (** Local active-segment index; [0] = bootstrap needed. *)
   mutable off : int;  (** Committed bytes in the local active file. *)
   mutable behind : int;  (** Primary's last estimate of unshipped bytes. *)
@@ -24,6 +29,7 @@ type t = {
   limits : Disclosure.Guard.limits option;
   pipeline : Disclosure.Pipeline.t;
   resolved : (string * (string * Disclosure.Sview.t list) list) list;
+  resident : Store.budget option;
   shards : shard_state array;
   metrics : Metrics.t;
   max_bytes : int;
@@ -96,6 +102,32 @@ let fresh_service ?limits ~pipeline ~resolved ~shards shard =
      raise e);
   service
 
+(* Wrap a shard's mirror service in a tiered store when a resident budget
+   is configured. Fault-ins during replay enforce the budget themselves, so
+   the standby's resident set stays bounded without a serving loop driving
+   eviction. The spill file sits next to the mirror family; it is scratch
+   (reset here and on every recover), never part of the mirrored prefix. *)
+let attach_store ?resident ~resolved ~shards shard service base =
+  match resident with
+  | None -> None
+  | Some budget ->
+    let store = Store.create ~budget ~spill:(base ^ ".spill") service in
+    List.iter
+      (fun (principal, partitions) ->
+        if Server.shard_index ~shards principal = shard then
+          Store.track store ~principal ~partitions)
+      resolved;
+    Store.enforce store;
+    Some store
+
+let close_shard st =
+  (match st.store with
+  | Some store ->
+    Store.close store;
+    st.store <- None
+  | None -> ());
+  Service.close st.service
+
 (* Derive the resume cursor from the mirror alone, exactly as the primary
    derives its own rotation sequence at create: active index = one above
    the newest sealed segment or the checkpoint's coverage bound. An empty
@@ -114,7 +146,8 @@ let follower_counter = Atomic.make 0
 let default_id () =
   Printf.sprintf "follower-%d-%d" (Unix.getpid ()) (Atomic.fetch_and_add follower_counter 1)
 
-let create ?id ?limits ?(max_bytes = Source.default_max_bytes) ?trace ~journal ~shards policy =
+let create ?id ?limits ?(max_bytes = Source.default_max_bytes) ?trace ?resident ~journal
+    ~shards policy =
   if shards < 1 then invalid_arg "Follower.create: shards must be >= 1";
   let id = match id with Some "" | None -> default_id () | Some id -> id in
   match Disclosure.Policyfile.resolve policy with
@@ -130,10 +163,12 @@ let create ?id ?limits ?(max_bytes = Source.default_max_bytes) ?trace ~journal ~
            if !err = None then begin
              let base = shard_base journal i in
              let service = fresh_service ?limits ~pipeline ~resolved ~shards i in
+             let tiered () = attach_store ?resident ~resolved ~shards i service base in
              (* An empty family is a follower that never mirrored a byte:
                 bootstrap state ([seg = 0]), not a recovery error. *)
              if local_cursor base = (0, 0) then
-               states.(i) <- Some { base; service; seg = 0; off = 0; behind = 0 }
+               states.(i) <-
+                 Some { base; service; store = tiered (); seg = 0; off = 0; behind = 0 }
              else
                match Service.recover service ~journal:base with
                | Error e ->
@@ -144,13 +179,14 @@ let create ?id ?limits ?(max_bytes = Source.default_max_bytes) ?trace ~journal ~
                         (Service.recovery_error_to_string e))
                | Ok _ ->
                  let seg, off = local_cursor base in
-                 states.(i) <- Some { base; service; seg; off; behind = 0 }
+                 states.(i) <-
+                   Some { base; service; store = tiered (); seg; off; behind = 0 }
            end
          done
        with e -> err := Some ("follower init failed: " ^ Printexc.to_string e));
       match !err with
       | Some e ->
-        Array.iter (function Some st -> Service.close st.service | None -> ()) states;
+        Array.iter (function Some st -> close_shard st | None -> ()) states;
         Error e
       | None ->
         Ok
@@ -160,6 +196,7 @@ let create ?id ?limits ?(max_bytes = Source.default_max_bytes) ?trace ~journal ~
             limits;
             pipeline;
             resolved;
+            resident;
             shards = Array.map (function Some st -> st | None -> assert false) states;
             metrics = Metrics.create ~shards ();
             max_bytes;
@@ -235,8 +272,13 @@ let rebootstrap t ~shard ~data ~next_seg =
     Service.close service;
     Error e
   | Ok () ->
-    Service.close st.service;
+    (* Release the old store's spill file before the new store truncates
+       the same path. *)
+    close_shard st;
     st.service <- service;
+    st.store <-
+      attach_store ?resident:t.resident ~resolved:t.resolved
+        ~shards:(Array.length t.shards) shard service st.base;
     st.seg <- next_seg;
     st.off <- 0;
     st.behind <- 0;
@@ -450,6 +492,37 @@ let service t ~shard =
   if shard < 0 || shard >= Array.length t.shards then invalid_arg "Follower.service";
   t.shards.(shard).service
 
+let store_stats t =
+  match t.resident with
+  | None -> None
+  | Some _ ->
+    Some
+      (Array.fold_left
+         (fun (acc : Store.stats) st ->
+           match st.store with
+           | None -> acc
+           | Some store ->
+             let s = Store.stats store in
+             {
+               Store.stat_resident = acc.Store.stat_resident + s.Store.stat_resident;
+               stat_spilled = acc.stat_spilled + s.Store.stat_spilled;
+               stat_fresh = acc.stat_fresh + s.Store.stat_fresh;
+               stat_fault_ins = acc.stat_fault_ins + s.Store.stat_fault_ins;
+               stat_spill_writes = acc.stat_spill_writes + s.Store.stat_spill_writes;
+               stat_evictions = acc.stat_evictions + s.Store.stat_evictions;
+               stat_spill_bytes = acc.stat_spill_bytes + s.Store.stat_spill_bytes;
+             })
+         {
+           Store.stat_resident = 0;
+           stat_spilled = 0;
+           stat_fresh = 0;
+           stat_fault_ins = 0;
+           stat_spill_writes = 0;
+           stat_evictions = 0;
+           stat_spill_bytes = 0;
+         }
+         t.shards)
+
 let stats_json t =
   locked t.mutex (fun () ->
       sample_gauges t;
@@ -487,12 +560,20 @@ let promote t ?config () =
   | Some e -> Error ("refusing to promote a diverged follower: " ^ e)
   | None -> (
     locked t.mutex (fun () ->
-        Array.iter (fun st -> Service.close st.service) t.shards;
+        Array.iter close_shard t.shards;
         let shards = Array.length t.shards in
         let config =
           match config with
           | Some c -> { c with Server.domains = shards }
-          | None -> { Server.default_config with Server.domains = shards }
+          | None ->
+            (* The promoted server inherits the standby's resident budget:
+               a follower that bounded its memory must not need a full
+               resident set the moment it becomes primary. *)
+            {
+              Server.default_config with
+              Server.domains = shards;
+              resident = t.resident;
+            }
         in
         let server = Server.create ~journal:t.journal ~config t.pipeline in
         List.iter

@@ -29,6 +29,7 @@ val create :
   ?limits:Disclosure.Guard.limits ->
   ?max_bytes:int ->
   ?trace:Obs.Trace.t ->
+  ?resident:Store.budget ->
   journal:string ->
   shards:int ->
   Disclosure.Policyfile.t ->
@@ -48,6 +49,14 @@ val create :
     merged export ({!Obs.Chrome.export_merged}), replication lag is
     attributable to the specific primary-side serve that produced each
     batch. The recorder needs at least [shards] tracks.
+
+    [resident], when given, bounds each mirror service's resident set with
+    a tiered principal store ({!Store}) — the standby replays a
+    million-principal journal within the same memory budget as a tiered
+    primary, spilling to [<journal>.shard<i>.spill] (scratch, never part of
+    the mirrored prefix) and faulting back in during replay. Replayed
+    state stays bit-identical to an always-resident follower; a promoted
+    server inherits the budget unless [promote]'s [config] overrides it.
 
     [id] names this follower on the primary's per-follower cursor table
     (sent with every pull). Defaults to a pid-qualified generated id,
@@ -117,6 +126,10 @@ val service : t -> shard:int -> Disclosure.Service.t
 (** The shard's live journal-less service — for tests asserting the
     follower's replayed state matches the primary's. Only safe while the
     poll loop is stopped. *)
+
+val store_stats : t -> Store.stats option
+(** Tiered-store statistics summed over the mirror shards; [None] without
+    a [resident] budget. Only exact while the poll loop is stopped. *)
 
 val stats_json : t -> string
 (** One JSON object: role, shard count, applied records, total lag, a

@@ -9,6 +9,7 @@ type stage =
   | Journal
   | Checkpoint
   | Rotate
+  | Fault_in
 
 let stage_index = function
   | Net -> 0
@@ -21,6 +22,7 @@ let stage_index = function
   | Journal -> 7
   | Checkpoint -> 8
   | Rotate -> 9
+  | Fault_in -> 10
 
 let stage_name = function
   | Net -> "net"
@@ -33,11 +35,12 @@ let stage_name = function
   | Journal -> "journal"
   | Checkpoint -> "checkpoint"
   | Rotate -> "rotate"
+  | Fault_in -> "fault_in"
 
 let stages =
-  [ Net; Wait; Admit; Canonicalize; Label; Cache; Decide; Journal; Checkpoint; Rotate ]
+  [ Net; Wait; Admit; Canonicalize; Label; Cache; Decide; Journal; Checkpoint; Rotate; Fault_in ]
 
-let n_stages = 10
+let n_stages = 11
 
 type counter =
   | Submitted
@@ -150,6 +153,10 @@ type gauge =
   | Compile_fallbacks
   | Intern_entries
   | Diagram_nodes
+  | Resident_principals
+  | Spilled_principals
+  | Fault_ins
+  | Spill_bytes
 
 let gauge_index = function
   | Gc_minor_collections -> 0
@@ -163,6 +170,10 @@ let gauge_index = function
   | Compile_fallbacks -> 8
   | Intern_entries -> 9
   | Diagram_nodes -> 10
+  | Resident_principals -> 11
+  | Spilled_principals -> 12
+  | Fault_ins -> 13
+  | Spill_bytes -> 14
 
 let gauge_name = function
   | Gc_minor_collections -> "gc_minor_collections"
@@ -176,6 +187,10 @@ let gauge_name = function
   | Compile_fallbacks -> "compile_fallbacks"
   | Intern_entries -> "intern_entries"
   | Diagram_nodes -> "diagram_nodes"
+  | Resident_principals -> "resident_principals"
+  | Spilled_principals -> "spilled_principals"
+  | Fault_ins -> "fault_ins"
+  | Spill_bytes -> "spill_bytes"
 
 let gauges =
   [
@@ -190,9 +205,13 @@ let gauges =
     Compile_fallbacks;
     Intern_entries;
     Diagram_nodes;
+    Resident_principals;
+    Spilled_principals;
+    Fault_ins;
+    Spill_bytes;
   ]
 
-let n_gauges = 11
+let n_gauges = 15
 
 (* Labeler tiers, for per-tier decision counters and latency histograms.
    Mirrors [Compile.Artifact.tier] plus the two serving-layer outcomes the

@@ -18,6 +18,9 @@ type stage =
   | Journal  (** The decision-journal append. *)
   | Checkpoint  (** Writing a durable per-shard checkpoint. *)
   | Rotate  (** Rotating a shard's active journal segment. *)
+  | Fault_in
+      (** Reading a spilled principal's state back from the tiered store's
+          spill file (one disk read on the principal's first touch). *)
 
 (** Monotone event counters. *)
 type counter =
@@ -74,6 +77,12 @@ type gauge =
   | Intern_entries  (** Live entries in the shard's hash-consing table. *)
   | Diagram_nodes
       (** Total decision-diagram nodes in the shard's compiled artifact. *)
+  | Resident_principals
+      (** Principals whose monitors are in the shard's resident table ([0]
+          without a tiered store: gauges report the store's view). *)
+  | Spilled_principals  (** Principals represented by a spill record on disk. *)
+  | Fault_ins  (** Successful fault-ins since the store was created. *)
+  | Spill_bytes  (** Current size of the shard's spill file. *)
 
 (** The labeler tier that decided a query, for per-tier decision counters
     and latency histograms — {!Compile.Artifact.tier} plus the two

@@ -27,6 +27,7 @@ type config = {
   segment_bytes : int;
   drain : int;
   group_commit : bool;
+  resident : Store.budget option;
 }
 
 let default_config =
@@ -38,6 +39,7 @@ let default_config =
     segment_bytes = 0;
     drain = 64;
     group_commit = false;
+    resident = None;
   }
 
 type state =
@@ -109,7 +111,8 @@ let create ?limits ?journal ?trace ?(config = default_config) pipeline =
           ~checkpoint_every:config.checkpoint_every ?trace
           ~mailbox_capacity:config.mailbox_capacity
           ~cache_capacity:config.cache_capacity ~drain:config.drain
-          ~group_commit:config.group_commit ~metrics pipeline)
+          ~group_commit:config.group_commit ?resident:config.resident ~metrics
+          pipeline)
   in
   {
     config;
@@ -276,13 +279,18 @@ let stop t =
             flush ()
         in
         flush ();
+        Shard.close_store shard;
         Service.close (Shard.service shard))
       t.shards;
     Atomic.set t.state Stopped
   | Running ->
     Array.iter (fun shard -> Mailbox.close (Shard.mailbox shard)) t.shards;
     Array.iter Shard.join t.shards;
-    Array.iter (fun shard -> Service.close (Shard.service shard)) t.shards;
+    Array.iter
+      (fun shard ->
+        Shard.close_store shard;
+        Service.close (Shard.service shard))
+      t.shards;
     Atomic.set t.state Stopped;
     Log.info (fun m -> m "stopped")
 
@@ -359,6 +367,39 @@ let compile_stats t =
     }
     t.shards
 
+(* Tiered-store statistics summed over shards; [None] when the server was
+   not configured with a resident budget. Plain-int reads of worker-domain
+   counters — same racy-read contract as the gauges. *)
+let store_stats t =
+  match t.config.resident with
+  | None -> None
+  | Some _ ->
+    Some
+      (Array.fold_left
+         (fun (acc : Store.stats) shard ->
+           match Shard.store_stats shard with
+           | None -> acc
+           | Some s ->
+             {
+               Store.stat_resident = acc.Store.stat_resident + s.Store.stat_resident;
+               stat_spilled = acc.stat_spilled + s.Store.stat_spilled;
+               stat_fresh = acc.stat_fresh + s.Store.stat_fresh;
+               stat_fault_ins = acc.stat_fault_ins + s.Store.stat_fault_ins;
+               stat_spill_writes = acc.stat_spill_writes + s.Store.stat_spill_writes;
+               stat_evictions = acc.stat_evictions + s.Store.stat_evictions;
+               stat_spill_bytes = acc.stat_spill_bytes + s.Store.stat_spill_bytes;
+             })
+         {
+           Store.stat_resident = 0;
+           stat_spilled = 0;
+           stat_fresh = 0;
+           stat_fault_ins = 0;
+           stat_spill_writes = 0;
+           stat_evictions = 0;
+           stat_spill_bytes = 0;
+         }
+         t.shards)
+
 (* Per-shard journal watermarks, readable from any domain (racy word
    reads — see Service.journal_position). [None] for journal-less shards
    and, briefly, for a shard mid-reload. *)
@@ -430,6 +471,17 @@ let stats_json t =
         \"capacity\": %d}, "
        cache.Shard.hits cache.Shard.misses cache.Shard.evictions cache.Shard.entries
        cache.Shard.capacity);
+  (match store_stats t with
+  | None -> ()
+  | Some s ->
+    Buffer.add_string b
+      (Printf.sprintf
+         "\"store\": {\"resident\": %d, \"spilled\": %d, \"fresh\": %d, \
+          \"fault_ins\": %d, \"spill_writes\": %d, \"evictions\": %d, \
+          \"spill_bytes\": %d}, "
+         s.Store.stat_resident s.Store.stat_spilled s.Store.stat_fresh
+         s.Store.stat_fault_ins s.Store.stat_spill_writes s.Store.stat_evictions
+         s.Store.stat_spill_bytes));
   let cs = compile_stats t in
   Buffer.add_string b
     (Printf.sprintf

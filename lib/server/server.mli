@@ -56,12 +56,18 @@ type config = {
           to per-decision commits; a failed covering flush refuses the
           whole batch with the monitors rolled back. No effect on
           journal-less servers beyond the deferred ticket fills. *)
+  resident : Store.budget option;
+      (** Per-shard resident-set budget for the tiered principal store
+          ({!Store}): cold principals spill to [<journal>.shard<i>.spill]
+          and fault back in on first touch, with decisions, journal bytes,
+          and checkpoint bytes bit-identical to always-resident. [None]
+          (the default) keeps every principal resident. *)
 }
 
 val default_config : config
 (** [{ domains = 4; mailbox_capacity = 1024; cache_capacity = 4096;
       checkpoint_every = 0; segment_bytes = 0; drain = 64;
-      group_commit = false }] *)
+      group_commit = false; resident = None }] *)
 
 type t
 
@@ -194,6 +200,10 @@ val compile_stats : t -> Compile.Artifact.stats
     the duration of a reload). Counter reads are racy word reads; exact on
     a quiescent or drained server. *)
 
+val store_stats : t -> Store.stats option
+(** Tiered-store statistics summed over shards; [None] when [config.resident]
+    is [None]. Racy word reads; exact on a quiescent or drained server. *)
+
 val shard_index : shards:int -> string -> int
 (** The pure principal→shard assignment (stable FNV-1a hash mod [shards]) —
     exposed so a replication follower can partition a configuration's
@@ -226,7 +236,10 @@ val stats_json : t -> string
 (** One JSON object with everything a dashboard needs from a single scrape:
     [started_at] (epoch seconds), [uptime_s], [shards], [principals], a
     [journal] array of per-shard [{segment, offset}] committed watermarks
-    ([null] for journal-less shards), [cache] totals, [compile] totals
+    ([null] for journal-less shards), [cache] totals, a [store] object of
+    tiered-store totals when [config.resident] is set (resident / spilled /
+    fresh principals, fault-ins, spill writes, evictions, spill bytes),
+    [compile] totals
     (artifact version, fallback count, memo and interner statistics,
     diagram size — see {!compile_stats}), the full {!Metrics.to_json}
     document under [metrics], and — when tracing — a [trace] object with

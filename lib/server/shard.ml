@@ -110,12 +110,27 @@ type t = {
   checkpoint_every : int; (* decisions between automatic checkpoints; 0 = never *)
   mutable decided : int; (* decisions since the last automatic checkpoint *)
   mutable processed : int; (* total queries processed, for the gc cadence *)
+  resident : Store.budget option;
+      (* The tiered-store budget, or None for the classic always-resident
+         shard. Kept so reload can rebuild an equivalent store around the
+         staged service. *)
+  mutable store : Store.t option;
+      (* The tiered principal store wrapping [service] when [resident] is
+         set. Worker-domain only, like the service it manages. *)
   mutable domain : unit Domain.t option;
 }
 
+(* The spill file sits next to the shard's journal segments; a journal-less
+   shard gets a private temp file (the spill is process-private scratch
+   either way — never a durability artifact). *)
+let spill_path ~index journal =
+  match journal with
+  | Some base -> base ^ ".spill"
+  | None -> Filename.temp_file "disclosure" (Printf.sprintf ".shard%d.spill" index)
+
 let create ~index ?limits ?journal ?(segment_bytes = 0) ?(checkpoint_every = 0) ?trace
-    ~mailbox_capacity ~cache_capacity ?(drain = 64) ?(group_commit = false) ~metrics
-    pipeline =
+    ~mailbox_capacity ~cache_capacity ?(drain = 64) ?(group_commit = false) ?resident
+    ~metrics pipeline =
   if checkpoint_every < 0 then invalid_arg "Shard.create: checkpoint_every must be >= 0";
   if drain < 1 then invalid_arg "Shard.create: drain must be >= 1";
   let scope = ref None in
@@ -132,6 +147,7 @@ let create ~index ?limits ?journal ?(segment_bytes = 0) ?(checkpoint_every = 0) 
       | `Rotate ->
         Metrics.incr metrics Metrics.Rotations;
         Metrics.Rotate
+      | `Fault_in -> Metrics.Fault_in
     in
     Metrics.record metrics stage o.seconds;
     match !scope with
@@ -141,6 +157,12 @@ let create ~index ?limits ?journal ?(segment_bytes = 0) ?(checkpoint_every = 0) 
     | None -> ()
   in
   let service = Service.create ?limits ?journal ~segment_bytes ~observe pipeline in
+  let store =
+    match resident with
+    | None -> None
+    | Some budget ->
+      Some (Store.create ~budget ~spill:(spill_path ~index journal) service)
+  in
   let cache =
     if cache_capacity > 0 then Some (Label_cache.create ~capacity:cache_capacity)
     else None
@@ -166,6 +188,8 @@ let create ~index ?limits ?journal ?(segment_bytes = 0) ?(checkpoint_every = 0) 
     checkpoint_every;
     decided = 0;
     processed = 0;
+    resident;
+    store;
     domain = None;
   }
 
@@ -176,7 +200,12 @@ let service t = t.service
 let mailbox t = t.mailbox
 
 let register t ~principal ~partitions =
-  Service.register t.service ~principal ~partitions;
+  (match t.store with
+  | None -> Service.register t.service ~principal ~partitions
+  | Some store ->
+    (* The store's fused register also tracks the principal and enforces the
+       resident budget — registering a million principals stays within it. *)
+    Store.register store ~principal ~partitions);
   t.registered <- (principal, partitions) :: t.registered
 
 let journal_position t = Service.journal_position t.service
@@ -223,6 +252,30 @@ let sample_journal t =
     Metrics.set_gauge t.metrics ~shard:t.index Metrics.Journal_offset bytes
 
 let flush_count t = Service.flush_count t.service
+
+(* Tiered-store gauges, refreshed wherever the other gauges are — plain int
+   reads of the store's counters. *)
+let sample_store t =
+  match t.store with
+  | None -> ()
+  | Some store ->
+    let s = Store.stats store in
+    Metrics.set_gauge t.metrics ~shard:t.index Metrics.Resident_principals
+      s.Store.stat_resident;
+    Metrics.set_gauge t.metrics ~shard:t.index Metrics.Spilled_principals
+      s.Store.stat_spilled;
+    Metrics.set_gauge t.metrics ~shard:t.index Metrics.Fault_ins s.Store.stat_fault_ins;
+    Metrics.set_gauge t.metrics ~shard:t.index Metrics.Spill_bytes s.Store.stat_spill_bytes
+
+(* Eviction runs at decision/batch boundaries on the worker domain;
+   [Store.enforce] is itself a no-op while a group-commit batch is open
+   (mid-batch eviction would break the batch-abort rollback). *)
+let enforce_store t = match t.store with Some s -> Store.enforce s | None -> ()
+
+(* Spill-file compaction piggybacks on successful checkpoints: dead records
+   accumulate as spilled principals fault back in, and a checkpoint is the
+   natural quiescent point to drop them. *)
+let compact_store t = match t.store with Some s -> Store.compact s | None -> ()
 
 (* Compiled-labeler gauges, refreshed on the gc cadence, at barriers, and
    after every reload — four plain int stores. *)
@@ -387,14 +440,17 @@ let checkpoint_if_due t =
   if t.checkpoint_every > 0 && t.decided >= t.checkpoint_every then begin
     t.decided <- 0;
     match checkpoint t with
-    | Ok () -> ()
+    | Ok () -> compact_store t
     | Error msg ->
       Log.warn (fun m -> m "shard %d: automatic checkpoint failed: %s" t.index msg)
   end
 
 let maybe_auto_checkpoint t =
   note_decided t;
-  if not (Service.batch_active t.service) then checkpoint_if_due t
+  if not (Service.batch_active t.service) then begin
+    enforce_store t;
+    checkpoint_if_due t
+  end
 
 let outcome_of = function
   | Monitor.Answered -> "answered"
@@ -507,8 +563,35 @@ let reload t ~pipeline ~principals =
     let artifact =
       Artifact.compile ~version:(Artifact.version t.artifact + 1) pipeline
     in
+    (* The old store must release the spill file (and its tier hooks) before
+       a new store truncates the same path — but only after [snapshot] above,
+       which still reads spilled state through the old tier. *)
+    (match t.store with Some old -> Store.close old | None -> ());
+    t.store <- None;
     Service.close t.service;
     t.service <- staged;
+    (match t.resident with
+    | None -> ()
+    | Some budget -> (
+      match
+        let store =
+          Store.create ~budget ~spill:(spill_path ~index:t.index t.journal) staged
+        in
+        List.iter
+          (fun (principal, partitions) -> Store.track store ~principal ~partitions)
+          principals;
+        Store.enforce store;
+        store
+      with
+      | store -> t.store <- Some store
+      | exception e ->
+        (* Degrade to always-resident rather than stop serving: the store is
+           a memory bound, never a correctness dependency. *)
+        Log.warn (fun m ->
+            m
+              "shard %d: tiered store rebuild failed after reload (serving \
+               always-resident): %s"
+              t.index (Printexc.to_string e))));
     t.registered <- principals;
     t.artifact <- artifact;
     t.cache <-
@@ -518,6 +601,7 @@ let reload t ~pipeline ~principals =
     t.decided <- 0;
     sample_journal t;
     sample_compile t;
+    sample_store t;
     match t.journal with
     | None -> ()
     | Some _ -> (
@@ -541,10 +625,13 @@ let rec process t msg =
     sample_gc t;
     sample_journal t;
     sample_compile t;
+    sample_store t;
     Ivar.fill iv ()
   | Checkpoint iv ->
     let r = checkpoint t in
+    (match r with Ok () -> compact_store t | Error _ -> ());
     sample_journal t;
+    sample_store t;
     Ivar.fill iv r
   | Reload { pipeline; principals; reply } ->
     Ivar.fill reply (reload t ~pipeline ~principals)
@@ -621,7 +708,8 @@ and serve t ~principal ~query ~enqueued_ns ~ctx ~explain pending =
   t.processed <- t.processed + 1;
   if t.processed mod gc_sample_period = 0 then begin
     sample_gc t;
-    sample_compile t
+    sample_compile t;
+    sample_store t
   end;
   maybe_auto_checkpoint t;
   sample_journal t
@@ -670,6 +758,8 @@ let flush_group t =
         in
         settle t pending decision explanation)
       deferred;
+    (* The batch is closed: this is the eviction point under group commit. *)
+    enforce_store t;
     sample_journal t;
     checkpoint_if_due t
   end
@@ -738,6 +828,19 @@ type cache_stats = {
 let artifact t = t.artifact
 
 let compile_stats t = Artifact.stats t.artifact
+
+(* --- tiered principal store -------------------------------------------- *)
+
+let store t = t.store
+
+let store_stats t = Option.map Store.stats t.store
+
+let close_store t =
+  match t.store with
+  | None -> ()
+  | Some s ->
+    Store.close s;
+    t.store <- None
 
 let cache_stats t =
   match t.cache with

@@ -66,6 +66,7 @@ val create :
   cache_capacity:int ->
   ?drain:int ->
   ?group_commit:bool ->
+  ?resident:Store.budget ->
   metrics:Metrics.t ->
   Disclosure.Pipeline.t ->
   t
@@ -96,6 +97,14 @@ val create :
     cross-domain locks. The shard's service reports stage timings into
     [metrics] (including [Checkpoint] and [Rotate]), and a failed automatic
     checkpoint is logged, never surfaced as a refusal.
+
+    [resident], when given, wraps the shard's service in a tiered principal
+    store ({!Store}) bounded by that budget: cold principals spill to
+    [<journal>.shard<i>.spill] (a temp file on journal-less shards) and
+    fault back in on first touch, with decisions, journal bytes, and
+    checkpoint bytes bit-identical to the always-resident shard. Eviction
+    runs at decision boundaries (batch boundaries under [group_commit]),
+    and the spill file is compacted after each successful checkpoint.
 
     [trace], when given, additionally turns every observation into a span
     on the recorder's track [index]: each processed query opens a scope
@@ -194,3 +203,16 @@ type cache_stats = {
 val cache_stats : t -> cache_stats
 (** All zero when the cache is disabled. Exact only while the worker is
     quiescent (before {!start}, after {!join}, or after a barrier). *)
+
+val store : t -> Store.t option
+(** The shard's tiered principal store, when created with [?resident].
+    Same quiescence caveat as {!artifact}. *)
+
+val store_stats : t -> Store.stats option
+(** {!Store.stats} of the shard's store; [None] without one. Same
+    quiescence caveat as {!cache_stats}. *)
+
+val close_store : t -> unit
+(** Close the tiered store (uninstall its tier hooks, close the spill
+    channels). Called by the server on stop, after {!join}; idempotent and
+    a no-op without a store. *)

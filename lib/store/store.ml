@@ -1,0 +1,511 @@
+let src = Logs.Src.create "disclosure.store" ~doc:"Tiered principal store"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+open Disclosure
+
+type budget =
+  | Principals of int
+  | Bytes of int
+
+(* Where a principal's cumulative-disclosure state lives right now.
+   [Fresh] is the zero-I/O tier: a principal whose monitor was pristine
+   (initial alive mask, zero counters) when evicted needs no spill record —
+   it is rebuilt from the policy alone, and [tier_reset] demotes every
+   non-resident principal here because the journal replay is about to
+   recreate whatever the spill file held. *)
+type status =
+  | Resident
+  | Fresh
+  | Spilled of { off : int; len : int }
+
+type entry = {
+  principal : string;
+  partitions : (string * Sview.t list) list;
+      (* the registration-time spec, shared with the caller's pool — a cold
+         principal costs one word here, not a rebuilt Policy.t *)
+  n_partitions : int;
+  mutable status : status;
+  mutable referenced : bool; (* clock bit: touched since the hand last passed *)
+  mutable in_ring : bool;
+}
+
+type spill = {
+  path : string;
+  mutable oc : out_channel;
+  mutable ic : in_channel;
+}
+
+type t = {
+  service : Service.t;
+  budget : budget;
+  mutable target : int; (* resolved resident-principal target, 0 = unresolved Bytes *)
+  spill : spill;
+  index : (string, entry) Hashtbl.t;
+  ring : entry Queue.t; (* clock hand: pop front, second chance pushes back *)
+  mutable resident : int;
+  mutable spilled : int;
+  mutable fault_ins : int;
+  mutable spill_writes : int;
+  mutable evictions : int;
+  mutable spill_bytes : int; (* committed size of the spill file *)
+  mutable dead_records : int; (* spill records no entry points at anymore *)
+  mutable pinned : string option; (* mid-fault-in principal, exempt from eviction *)
+  mutable closed : bool;
+}
+
+type stats = {
+  stat_resident : int;
+  stat_spilled : int;
+  stat_fresh : int;
+  stat_fault_ins : int;
+  stat_spill_writes : int;
+  stat_evictions : int;
+  stat_spill_bytes : int;
+}
+
+let spill_header = Journal.encode [ "spill"; "1" ]
+
+let spill_refuse fmt =
+  Printf.ksprintf
+    (fun detail -> raise (Guard.Refuse (Guard.Resource (Guard.Spill detail))))
+    fmt
+
+(* --- spill file --------------------------------------------------------- *)
+
+(* Truncate the spill file back to a bare header. Used at creation and by
+   [tier_reset]: spilled state never survives a recovery — the journal
+   replay is the authority and rebuilds it through the replay's own
+   evictions. *)
+let spill_reset sp =
+  close_out_noerr sp.oc;
+  close_in_noerr sp.ic;
+  sp.oc <- open_out_gen [ Open_wronly; Open_creat; Open_trunc ] 0o644 sp.path;
+  output_string sp.oc spill_header;
+  flush sp.oc;
+  sp.ic <- open_in_bin sp.path;
+  String.length spill_header
+
+let spill_open path =
+  let oc = open_out_gen [ Open_wronly; Open_creat; Open_trunc ] 0o644 path in
+  output_string oc spill_header;
+  flush oc;
+  { path; oc; ic = open_in_bin path }
+
+(* A failed spill write may leave partial bytes in the channel or the file;
+   offsets handed out so far all point below [t.spill_bytes], so truncating
+   back there and reopening restores append-safety. *)
+let spill_rollback t =
+  let sp = t.spill in
+  close_out_noerr sp.oc;
+  let fd = Unix.openfile sp.path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () -> Unix.ftruncate fd t.spill_bytes);
+  sp.oc <- open_out_gen [ Open_append; Open_creat ] 0o644 sp.path
+
+(* A failed read may leave the buffered reader holding the very bytes that
+   failed validation; [seek_in] back to the same offset would serve them
+   from the buffer even after the disk heals or an operator repairs the
+   file. Reopening the reader makes every retry observe the current bytes.
+   If the reopen itself fails the channel stays closed and the next read
+   refuses again — still fail-closed, and the reopen is retried then. *)
+let spill_refresh_reader sp =
+  close_in_noerr sp.ic;
+  try sp.ic <- open_in_bin sp.path with Sys_error _ -> ()
+
+(* Read one principal's spill record back, verifying frame, CRC, record
+   shape, and the principal name before the state is even parsed. Any
+   failure — injected fault, I/O error, framing damage, a name mismatch —
+   becomes a [Resource (Spill _)] refusal: the principal's history exists
+   but cannot be trusted, and treating it as fresh would forget disclosures. *)
+let spill_read_raw t e ~off ~len =
+  let sp = t.spill in
+  let image =
+    try
+      Faults.trip Faults.Fault_in;
+      flush sp.oc;
+      seek_in sp.ic off;
+      really_input_string sp.ic len
+    with
+    | (Out_of_memory | Stack_overflow | Guard.Refuse _) as ex -> raise ex
+    | ex -> spill_refuse "%s: read at %d+%d: %s" sp.path off len (Printexc.to_string ex)
+  in
+  match Journal.parse image with
+  | Error c -> spill_refuse "%s: corrupt spill record at %d: %s" sp.path off c.Journal.corrupt_reason
+  | Ok (_, Some torn) ->
+    spill_refuse "%s: torn spill record at %d: %s" sp.path off torn.Journal.torn_reason
+  | Ok ([ { Journal.fields = "p" :: principal :: state_fields; _ } ], None) -> (
+    if not (String.equal principal e.principal) then
+      spill_refuse "%s: spill record at %d names %S, expected %S" sp.path off principal
+        e.principal;
+    match Monitor.state_of_fields state_fields with
+    | Some st -> st
+    | None -> spill_refuse "%s: malformed spill state at %d" sp.path off)
+  | Ok _ -> spill_refuse "%s: unexpected spill record shape at %d" sp.path off
+
+let spill_read t e ~off ~len =
+  try spill_read_raw t e ~off ~len
+  with Guard.Refuse _ as ex ->
+    spill_refresh_reader t.spill;
+    raise ex
+
+(* --- clock eviction ----------------------------------------------------- *)
+
+let ring_add t e =
+  if not e.in_ring then begin
+    e.in_ring <- true;
+    Queue.push e t.ring
+  end
+
+let make_monitor t e =
+  Monitor.create (Policy.make (Pipeline.registry (Service.pipeline t.service)) e.partitions)
+
+(* Evict one entry: pristine monitors are dropped with zero I/O, dirty ones
+   get a spill record written (and flushed — no fsync: durability comes from
+   the journal, the spill only needs to be readable by this process) before
+   the monitor leaves the resident table. A spill failure aborts the
+   eviction with the principal still resident and its state untouched. *)
+let evict t e =
+  match Service.resident_monitor t.service e.principal with
+  | None -> ()
+  | Some m ->
+    if Monitor.is_pristine m then begin
+      ignore (Service.detach t.service ~principal:e.principal);
+      e.status <- Fresh;
+      t.resident <- t.resident - 1;
+      t.evictions <- t.evictions + 1
+    end
+    else begin
+      Faults.trip Faults.Spill;
+      let sp = t.spill in
+      let s = Journal.encode ("p" :: e.principal :: Monitor.state_fields (Monitor.state m)) in
+      let off = t.spill_bytes in
+      (try
+         output_string sp.oc s;
+         flush sp.oc
+       with ex ->
+         (try spill_rollback t
+          with ex2 ->
+            Log.err (fun f ->
+                f "spill file unrecoverable after failed write: %s" (Printexc.to_string ex2)));
+         raise ex);
+      t.spill_bytes <- off + String.length s;
+      t.spill_writes <- t.spill_writes + 1;
+      e.status <- Spilled { off; len = String.length s };
+      ignore (Service.detach t.service ~principal:e.principal);
+      t.spilled <- t.spilled + 1;
+      t.resident <- t.resident - 1;
+      t.evictions <- t.evictions + 1
+    end
+
+(* Resolve a byte budget to a principal count once a monitor exists to
+   measure: resident cost per principal is the monitor's reachable heap
+   (policy included) plus index overhead — an estimate, re-derived never,
+   so the target is stable across a run. *)
+let resolve_target t =
+  if t.target > 0 then t.target
+  else begin
+    match t.budget with
+    | Principals n ->
+      t.target <- max 1 n;
+      t.target
+    | Bytes bytes ->
+      let sample =
+        Hashtbl.fold
+          (fun principal e acc ->
+            match acc with
+            | Some _ -> acc
+            | None -> (
+              match e.status with
+              | Resident -> (
+                match Service.resident_monitor t.service principal with
+                | Some m -> Some (m, e)
+                | None -> None)
+              | _ -> None))
+          t.index None
+      in
+      (match sample with
+      | None -> 1 (* nothing resident yet: nothing to enforce either *)
+      | Some (m, e) ->
+        let words = Obj.reachable_words (Obj.repr m) in
+        let per =
+          (words * (Sys.word_size / 8)) + String.length e.principal + 64
+        in
+        t.target <- max 1 (bytes / max 1 per);
+        Log.info (fun f ->
+            f "resident budget %d bytes ~ %d principal(s) at ~%d bytes each" bytes t.target
+              per);
+        t.target)
+  end
+
+(* Drive the clock hand until the resident set fits the budget. Never runs
+   inside an open group-commit batch (an aborting batch restores pre-batch
+   state through the resident table) and never evicts the pinned (mid-
+   fault-in) principal. The scan is bounded: every entry gets at most one
+   second chance per call, so a pass terminates even when everything was
+   recently touched. *)
+let enforce t =
+  if (not t.closed) && not (Service.batch_active t.service) then begin
+    let target = resolve_target t in
+    let scan_bound = ref (2 * Queue.length t.ring) in
+    while t.resident > target && !scan_bound > 0 && not (Queue.is_empty t.ring) do
+      decr scan_bound;
+      let e = Queue.pop t.ring in
+      if e.status <> Resident then e.in_ring <- false
+      else if Some e.principal = t.pinned || e.referenced then begin
+        e.referenced <- false;
+        Queue.push e t.ring
+      end
+      else begin
+        match evict t e with
+        | () ->
+          if e.status = Resident then (* eviction declined *) Queue.push e t.ring
+          else e.in_ring <- false
+        | exception ex ->
+          (* A spill failure is not a refusal — the principal just stays
+             resident, over budget, and the next pass retries. *)
+          Queue.push e t.ring;
+          scan_bound := 0;
+          Log.warn (fun f ->
+              f "eviction of %s failed (staying resident): %s" e.principal
+                (Printexc.to_string ex))
+      end
+    done
+  end
+
+(* --- the tier hooks ----------------------------------------------------- *)
+
+let fault_in t e =
+  let m =
+    match e.status with
+    | Resident -> (
+      match Service.resident_monitor t.service e.principal with
+      | Some m -> m
+      | None -> assert false)
+    | Fresh ->
+      let m = make_monitor t e in
+      Service.adopt t.service ~principal:e.principal m;
+      e.status <- Resident;
+      e.referenced <- true;
+      t.resident <- t.resident + 1;
+      t.fault_ins <- t.fault_ins + 1;
+      ring_add t e;
+      m
+    | Spilled { off; len } ->
+      let st = spill_read t e ~off ~len in
+      let m = make_monitor t e in
+      (try Monitor.restore m st
+       with Invalid_argument msg ->
+         spill_refuse "%s: spill state rejected for %s: %s" t.spill.path e.principal msg);
+      Service.adopt t.service ~principal:e.principal m;
+      e.status <- Resident;
+      e.referenced <- true;
+      t.resident <- t.resident + 1;
+      t.spilled <- t.spilled - 1;
+      t.dead_records <- t.dead_records + 1;
+      t.fault_ins <- t.fault_ins + 1;
+      ring_add t e;
+      m
+  in
+  (* Make room for the newcomer right away (never evicting it), so the
+     resident set is back under budget before the query proceeds. *)
+  let prev = t.pinned in
+  t.pinned <- Some e.principal;
+  Fun.protect ~finally:(fun () -> t.pinned <- prev) (fun () -> enforce t);
+  m
+
+let tier_find t principal =
+  match Hashtbl.find_opt t.index principal with
+  | None -> None
+  | Some e -> Some (fault_in t e)
+
+(* State without residency side effects: checkpoints and snapshots read
+   every cold principal through this, so their bytes match always-resident
+   mode without churning the clock or the resident set. No fault injection
+   here — [Faults.Fault_in] models the fault-in read; a genuinely corrupt
+   record still refuses. *)
+let tier_state t principal =
+  match Hashtbl.find_opt t.index principal with
+  | None -> None
+  | Some e -> (
+    match e.status with
+    | Resident ->
+      Option.map Monitor.state (Service.resident_monitor t.service principal)
+    | Fresh -> Some (Monitor.pristine_state ~partitions:e.n_partitions)
+    | Spilled { off; len } -> (
+      let sp = t.spill in
+      flush sp.oc;
+      try
+        let image =
+          try
+            seek_in sp.ic off;
+            really_input_string sp.ic len
+          with
+          | (Out_of_memory | Stack_overflow) as ex -> raise ex
+          | ex ->
+            spill_refuse "%s: read at %d+%d: %s" sp.path off len
+              (Printexc.to_string ex)
+        in
+        match Journal.parse image with
+        | Ok ([ { Journal.fields = "p" :: p :: fields; _ } ], None)
+          when String.equal p principal ->
+          (match Monitor.state_of_fields fields with
+          | Some st -> Some st
+          | None -> spill_refuse "%s: malformed spill state at %d" sp.path off)
+        | _ -> spill_refuse "%s: corrupt spill record at %d" sp.path off
+      with Guard.Refuse _ as ex ->
+        spill_refresh_reader sp;
+        raise ex))
+
+let tier_touch t principal =
+  match Hashtbl.find_opt t.index principal with
+  | None -> ()
+  | Some e -> e.referenced <- true
+
+let tier_reset t =
+  Hashtbl.iter
+    (fun _ e ->
+      match e.status with
+      | Resident -> ()
+      | Fresh -> ()
+      | Spilled _ ->
+        t.spilled <- t.spilled - 1;
+        e.status <- Fresh)
+    t.index;
+  t.spill_bytes <- spill_reset t.spill;
+  t.dead_records <- 0
+
+(* --- public API --------------------------------------------------------- *)
+
+let create ~budget ~spill service =
+  (match budget with
+  | Principals n when n < 1 -> invalid_arg "Store.create: budget must be >= 1 principal"
+  | Bytes n when n < 1 -> invalid_arg "Store.create: budget must be >= 1 byte"
+  | _ -> ());
+  let t =
+    {
+      service;
+      budget;
+      target = (match budget with Principals n -> max 1 n | Bytes _ -> 0);
+      spill = spill_open spill;
+      index = Hashtbl.create 1024;
+      ring = Queue.create ();
+      resident = 0;
+      spilled = 0;
+      fault_ins = 0;
+      spill_writes = 0;
+      evictions = 0;
+      spill_bytes = String.length spill_header;
+      dead_records = 0;
+      pinned = None;
+      closed = false;
+    }
+  in
+  Service.set_tier service
+    {
+      Service.tier_find = (fun p -> tier_find t p);
+      tier_state = (fun p -> tier_state t p);
+      tier_touch = (fun p -> tier_touch t p);
+      tier_reset = (fun () -> tier_reset t);
+    };
+  t
+
+let track t ~principal ~partitions =
+  if Hashtbl.mem t.index principal then
+    invalid_arg (Printf.sprintf "Store.track: %s is already tracked" principal);
+  (match Service.resident_monitor t.service principal with
+  | Some _ -> ()
+  | None -> raise (Service.Unknown_principal principal));
+  let e =
+    {
+      principal;
+      partitions;
+      n_partitions = List.length partitions;
+      status = Resident;
+      referenced = true;
+      in_ring = false;
+    }
+  in
+  Hashtbl.add t.index principal e;
+  t.resident <- t.resident + 1;
+  ring_add t e
+
+let register t ~principal ~partitions =
+  Service.register t.service ~principal ~partitions;
+  track t ~principal ~partitions;
+  enforce t
+
+let service t = t.service
+
+let budget t = t.budget
+
+let resident t = t.resident
+
+let spilled t = t.spilled
+
+let stats t =
+  {
+    stat_resident = t.resident;
+    stat_spilled = t.spilled;
+    stat_fresh = Hashtbl.length t.index - t.resident - t.spilled;
+    stat_fault_ins = t.fault_ins;
+    stat_spill_writes = t.spill_writes;
+    stat_evictions = t.evictions;
+    stat_spill_bytes = t.spill_bytes;
+  }
+
+(* Rewrite the spill file with only the records entries still point at.
+   Offsets move, so every surviving entry is repointed; a failure leaves the
+   old file (and old offsets) fully intact. Called by the shard after a
+   successful checkpoint; cheap no-op until enough records have died. *)
+let compact ?(force = false) t =
+  if force || (t.dead_records > 64 && t.dead_records > t.spilled) then begin
+    let sp = t.spill in
+    let tmp = sp.path ^ ".tmp" in
+    match
+      flush sp.oc;
+      let oc = open_out_bin tmp in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc spill_header;
+          let pos = ref (String.length spill_header) in
+          let moves =
+            Hashtbl.fold
+              (fun _ e acc ->
+                match e.status with
+                | Spilled { off; len } ->
+                  seek_in sp.ic off;
+                  let image = really_input_string sp.ic len in
+                  output_string oc image;
+                  let noff = !pos in
+                  pos := !pos + len;
+                  (e, noff, len) :: acc
+                | Resident | Fresh -> acc)
+              t.index []
+          in
+          flush oc;
+          (moves, !pos))
+    with
+    | moves, size ->
+      close_out_noerr sp.oc;
+      close_in_noerr sp.ic;
+      Sys.rename tmp sp.path;
+      sp.oc <- open_out_gen [ Open_append; Open_creat ] 0o644 sp.path;
+      sp.ic <- open_in_bin sp.path;
+      List.iter (fun (e, off, len) -> e.status <- Spilled { off; len }) moves;
+      t.spill_bytes <- size;
+      t.dead_records <- 0
+    | exception ex ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      Log.warn (fun f -> f "spill compaction failed (keeping old file): %s" (Printexc.to_string ex))
+  end
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    Service.clear_tier t.service;
+    close_out_noerr t.spill.oc;
+    close_in_noerr t.spill.ic
+  end

@@ -1,0 +1,108 @@
+(** A tiered principal store: million-principal cumulative-disclosure state
+    under a bounded resident set (DESIGN.md §14).
+
+    Per-principal monitor state normally lives fully resident in its shard's
+    {!Disclosure.Service}. At ecosystem scale (the paper's Facebook case
+    study) that caps the principal population by memory, so this store keeps
+    only the {e hot} principals' monitors resident and pushes the cold ones
+    down two tiers:
+
+    - {e fresh}: a principal whose monitor was pristine when evicted costs
+      nothing on disk — it is rebuilt from its registration-time policy
+      spec alone;
+    - {e spilled}: a dirty monitor's state is written to a per-shard spill
+      file in the checkpoint's own record codec
+      ({!Disclosure.Monitor.state_fields} framed by {!Disclosure.Journal}),
+      CRC'd and versioned, and faulted back in on the principal's next
+      touch — one disk read, under the service's [`Fault_in] observation
+      stage.
+
+    The contract is bit-identity: decisions, journal bytes, and checkpoint
+    bytes are identical to an always-resident service, whatever the
+    eviction schedule (the [@store] differential suite proves it, including
+    under group commit, fault injection, and standby failover). Fail-closed:
+    a spill record that cannot be read back refuses the touching query with
+    [Resource (Spill _)] rather than silently treating the principal as
+    fresh — forgetting disclosure history would leak.
+
+    The spill file is process-private scratch, not a durability artifact:
+    it is reset at creation and on every {!Disclosure.Service.recover}
+    (journal replay is the authority on history), flushed but never fsynced,
+    and compacted after checkpoints. Like the service it wraps, a store is
+    owned by one domain. *)
+
+type t
+
+type budget =
+  | Principals of int  (** Keep at most this many principals resident. *)
+  | Bytes of int
+      (** Approximate resident-heap budget; resolved to a principal count
+          from the measured size of the first resident monitor. *)
+
+val create : budget:budget -> spill:string -> Disclosure.Service.t -> t
+(** Wrap [service] with a tiered store, installing its
+    {!Disclosure.Service.tier} hooks. [spill] is the per-shard spill file's
+    path (created or truncated — stale spill state never survives a
+    restart). Principals already registered but never {!track}ed stay
+    permanently resident.
+    @raise Invalid_argument on a non-positive budget or if the service
+    already has a tier. *)
+
+val track :
+  t -> principal:string -> partitions:(string * Disclosure.Sview.t list) list -> unit
+(** Start managing an already-registered, currently resident principal.
+    [partitions] must be the spec it was registered with (the store rebuilds
+    evicted monitors from it; keep it shared from a pool — a cold principal
+    then costs one word of spec reference). The serving layer tracks each
+    principal it registers; {!register} is the fused convenience.
+    @raise Disclosure.Service.Unknown_principal if not resident.
+    @raise Invalid_argument if already tracked. *)
+
+val register :
+  t -> principal:string -> partitions:(string * Disclosure.Sview.t list) list -> unit
+(** {!Disclosure.Service.register} plus {!track} plus budget enforcement:
+    the one call that keeps registering a million principals within the
+    resident budget (each registration beyond it evicts a cold one).
+    @raise Disclosure.Service.Duplicate_principal, [Invalid_argument] as
+    the service's register does. *)
+
+val enforce : t -> unit
+(** Evict (clock/second-chance) until the resident set fits the budget.
+    No-op while a group-commit batch is open — the serving layer calls this
+    at batch boundaries — and never evicts the principal currently being
+    faulted in. A spill-write failure (including an armed {!Faults.Spill}
+    fault) aborts that eviction with the principal still resident and its
+    state untouched; it never refuses a query. *)
+
+val compact : ?force:bool -> t -> unit
+(** Rewrite the spill file keeping only live records (dead ones accumulate
+    as spilled principals fault back in). Without [force], a cheap no-op
+    until enough records have died. A failure keeps the old file and
+    offsets intact. The serving layer calls this after each successful
+    checkpoint. *)
+
+val service : t -> Disclosure.Service.t
+
+val budget : t -> budget
+
+val resident : t -> int
+(** Principals currently resident. *)
+
+val spilled : t -> int
+(** Principals currently represented by a spill record. *)
+
+type stats = {
+  stat_resident : int;
+  stat_spilled : int;
+  stat_fresh : int;  (** Non-resident principals with pristine (zero-I/O) state. *)
+  stat_fault_ins : int;  (** Successful fault-ins since creation. *)
+  stat_spill_writes : int;  (** Spill records written since creation. *)
+  stat_evictions : int;  (** Evictions (pristine drops + spills) since creation. *)
+  stat_spill_bytes : int;  (** Current spill-file size in bytes. *)
+}
+
+val stats : t -> stats
+
+val close : t -> unit
+(** Uninstall the tier hooks (the service reverts to always-resident for
+    whatever is still resident) and close the spill channels. Idempotent. *)

@@ -1,0 +1,51 @@
+(* Zipfian principal-id generator for million-principal workloads.
+
+   App ecosystems are heavy-tailed: a handful of apps issue most queries
+   while the long tail is touched rarely — exactly the population shape
+   that makes a tiered principal store pay off (the hot head stays
+   resident, the tail spills). The sampler draws ranks from a Zipf(s)
+   distribution over [0, n) by inverting the precomputed CDF with a binary
+   search: O(n) floats once at create, O(log n) per draw, deterministic
+   from the caller's Rng. *)
+
+type t = {
+  n : int;
+  cdf : float array; (* cdf.(r) = P(rank <= r), cdf.(n-1) = 1.0 *)
+  rng : Rng.t;
+}
+
+let create ?(skew = 1.0) ~n rng =
+  if n < 1 then invalid_arg "Principalgen.create: n must be >= 1";
+  if skew < 0.0 then invalid_arg "Principalgen.create: skew must be >= 0";
+  let cdf = Array.make n 0.0 in
+  let total = ref 0.0 in
+  for r = 0 to n - 1 do
+    total := !total +. (1.0 /. Float.pow (float_of_int (r + 1)) skew);
+    cdf.(r) <- !total
+  done;
+  let z = !total in
+  for r = 0 to n - 1 do
+    cdf.(r) <- cdf.(r) /. z
+  done;
+  (* Guard the top against rounding: a unit draw must always find a rank. *)
+  cdf.(n - 1) <- 1.0;
+  { n; cdf; rng }
+
+let size t = t.n
+
+let skewed_uniform t =
+  (* 53 uniform bits of the SplitMix64 stream -> [0, 1). *)
+  let bits = Int64.to_int (Int64.shift_right_logical (Rng.next64 t.rng) 11) in
+  float_of_int bits /. 9007199254740992.0
+
+let next t =
+  let u = skewed_uniform t in
+  (* Smallest rank r with cdf.(r) >= u. *)
+  let lo = ref 0 and hi = ref (t.n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) >= u then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let name rank = Printf.sprintf "app%07d" rank

@@ -1,0 +1,27 @@
+(** Zipfian principal-id sampler for million-principal workloads.
+
+    Real app ecosystems are heavy-tailed: a few apps issue most queries
+    while a long tail is touched rarely. This generator draws principal
+    {e ranks} from Zipf([skew]) over [\[0, n)] (rank 0 hottest), so the
+    tiered principal store's bench and tests exercise exactly that shape —
+    a hot resident head and a cold spilled tail. Deterministic from the
+    caller's {!Rng} (CDF inversion by binary search; O(n) setup, O(log n)
+    per draw). *)
+
+type t
+
+val create : ?skew:float -> n:int -> Rng.t -> t
+(** [skew] (default [1.0]) is the Zipf exponent: [0.0] is uniform, larger
+    concentrates mass on the low ranks.
+    @raise Invalid_argument on [n < 1] or a negative [skew]. *)
+
+val size : t -> int
+(** The population size [n]. *)
+
+val next : t -> int
+(** Draw the next rank in [\[0, size)]. *)
+
+val name : int -> string
+(** Canonical principal name for a rank ([app0000042]) — shared by the
+    bench, the tests, and any workload file generator so populations line
+    up across runs. *)

@@ -365,6 +365,118 @@ let test_truncate_tail_after_checkpoint () =
             Alcotest.failf "tail cut at %d: not the exact prefix state" cut
       done)
 
+(* --- spill-file torture: the tiered store's scratch file ---------------- *)
+
+module Guard = Disclosure.Guard
+
+let crm_partitions = [ ("meetings", [ v1; v2 ]); ("contacts", [ v3 ]) ]
+let cal_partitions = [ ("slots", [ v2 ]) ]
+
+(* A budget-1 tiered pair with crm-app's dirty state spilled: the calendar
+   touch's fault-in displaces it. *)
+let make_spilled spill =
+  let service = Service.create (Pipeline.create [ v1; v2; v3 ]) in
+  let store = Store.create ~budget:(Store.Principals 1) ~spill service in
+  Store.register store ~principal:"crm-app" ~partitions:crm_partitions;
+  Store.register store ~principal:"calendar-app" ~partitions:cal_partitions;
+  (match Service.submit service ~principal:"crm-app" q_contacts with
+  | Monitor.Answered -> ()
+  | d -> Alcotest.failf "fixture: crm setup got %a" Monitor.pp_decision d);
+  ignore (Service.submit service ~principal:"calendar-app" q_slots);
+  Store.enforce store;
+  if Service.resident_monitor service "crm-app" <> None then
+    Alcotest.fail "fixture: crm-app did not spill";
+  (service, store)
+
+(* The always-resident twin's state once the probe query succeeds. *)
+let spill_probe_expected () =
+  let service = Service.create (Pipeline.create [ v1; v2; v3 ]) in
+  Service.register service ~principal:"crm-app" ~partitions:crm_partitions;
+  Service.register service ~principal:"calendar-app" ~partitions:cal_partitions;
+  ignore (Service.submit service ~principal:"crm-app" q_contacts);
+  ignore (Service.submit service ~principal:"calendar-app" q_slots);
+  ignore (Service.submit service ~principal:"crm-app" q_contacts);
+  Service.snapshot service
+
+(* Flip every byte of the spill file under every pattern. A flip inside the
+   spilled record must refuse the touching query with a typed
+   [Resource (Spill _)] — never fault in a wrong state, never treat the
+   principal as fresh — and repairing the byte must restore service. A flip
+   outside the record (the file header) leaves the read untouched: the
+   fault-in must then return the exact spilled state. *)
+let test_spill_flip_every_byte () =
+  let expected = spill_probe_expected () in
+  let spill = Filename.temp_file "disclosure-crash" ".spill" in
+  Fun.protect
+    ~finally:(fun () -> rm spill)
+    (fun () ->
+      let fixture = ref (make_spilled spill) in
+      let good = ref (read_file spill) in
+      for pos = 0 to String.length !good - 1 do
+        List.iter
+          (fun pattern ->
+            let service, store = !fixture in
+            let damaged = Bytes.of_string !good in
+            Bytes.set damaged pos
+              (Char.chr (Char.code !good.[pos] lxor pattern land 0xff));
+            write_file spill (Bytes.to_string damaged);
+            match Service.submit service ~principal:"crm-app" q_contacts with
+            | Monitor.Refused (Guard.Resource (Guard.Spill _)) ->
+              (* Fail-closed: still spilled, nothing faulted in; the repair
+                 is observed on the next touch. *)
+              if Service.resident_monitor service "crm-app" <> None then
+                Alcotest.failf "flip %#x at %d: refused yet faulted in" pattern pos;
+              write_file spill !good
+            | Monitor.Answered ->
+              if Service.snapshot service <> expected then
+                Alcotest.failf "flip %#x at %d: answered with a wrong state" pattern
+                  pos;
+              Store.close store;
+              fixture := make_spilled spill;
+              good := read_file spill
+            | d ->
+              Alcotest.failf "flip %#x at %d: unexpected decision %a" pattern pos
+                Monitor.pp_decision d)
+          flip_patterns
+      done;
+      let service, store = !fixture in
+      write_file spill !good;
+      (match Service.submit service ~principal:"crm-app" q_contacts with
+      | Monitor.Answered -> ()
+      | d -> Alcotest.failf "restored spill must fault in, got %a" Monitor.pp_decision d);
+      if Service.snapshot service <> expected then
+        Alcotest.fail "restored spill faulted in a wrong state";
+      Store.close store)
+
+(* Truncate the spill file at every offset: the spilled record is the file's
+   suffix, so every proper truncation tears it and must refuse typed;
+   rewriting the full bytes restores the exact state. *)
+let test_spill_truncate_every_offset () =
+  let expected = spill_probe_expected () in
+  let spill = Filename.temp_file "disclosure-crash" ".spill" in
+  Fun.protect
+    ~finally:(fun () -> rm spill)
+    (fun () ->
+      let service, store = make_spilled spill in
+      let good = read_file spill in
+      for cut = 0 to String.length good - 1 do
+        write_file spill (String.sub good 0 cut);
+        (match Service.submit service ~principal:"crm-app" q_contacts with
+        | Monitor.Refused (Guard.Resource (Guard.Spill _)) -> ()
+        | d ->
+          Alcotest.failf "cut at %d: a torn spill record must refuse, got %a" cut
+            Monitor.pp_decision d);
+        if Service.resident_monitor service "crm-app" <> None then
+          Alcotest.failf "cut at %d: refused yet faulted in" cut
+      done;
+      write_file spill good;
+      (match Service.submit service ~principal:"crm-app" q_contacts with
+      | Monitor.Answered -> ()
+      | d -> Alcotest.failf "rewritten spill must fault in, got %a" Monitor.pp_decision d);
+      if Service.snapshot service <> expected then
+        Alcotest.fail "rewritten spill faulted in a wrong state";
+      Store.close store)
+
 let () =
   Alcotest.run "disclosure-crash"
     [
@@ -388,5 +500,9 @@ let () =
             test_checkpoint_damage_fails_closed;
           Alcotest.test_case "truncate the tail after a checkpoint" `Quick
             test_truncate_tail_after_checkpoint;
+          Alcotest.test_case "flip every byte of a spill record" `Quick
+            test_spill_flip_every_byte;
+          Alcotest.test_case "truncate the spill file at every offset" `Quick
+            test_spill_truncate_every_offset;
         ] );
     ]

@@ -100,7 +100,8 @@ let make_server ?limits ?journal ?trace ?(domains = domains)
     Server.create ?limits ?journal ?trace
       ~config:
         { Server.domains; mailbox_capacity; cache_capacity; checkpoint_every = 0;
-          segment_bytes = 0; drain = Server.default_config.Server.drain; group_commit }
+          segment_bytes = 0; drain = Server.default_config.Server.drain; group_commit;
+          resident = None }
       (pipeline ())
   in
   register_all server;

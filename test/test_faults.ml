@@ -401,6 +401,74 @@ let test_alive_mask_monotone () =
     done
   done
 
+(* Tiered-store stages (outside [submission_stages]: they only trip once a
+   [Store] is installed). A [Spill] fault must abort the eviction without
+   refusing anything — the touching query still answers and the dirty
+   principal stays resident, bit-identical. A [Fault_in] fault must refuse
+   the touching query with the typed [Resource (Spill _)] reason and leave
+   every monitor bit-identical — the suite's three invariants, through the
+   tier. *)
+let test_tiered_store_fault_matrix () =
+  List.iter
+    (fun fault ->
+      let name = Format.asprintf "tier/%a" Faults.pp_fault fault in
+      let spill = Filename.temp_file "disclosure-faults" ".spill" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove spill with Sys_error _ -> ())
+        (fun () ->
+          let service = Service.create (Pipeline.create [ v1; v2; v3 ]) in
+          let store = Store.create ~budget:(Store.Principals 1) ~spill service in
+          Store.register store ~principal:"app"
+            ~partitions:[ ("meetings", [ v1; v2 ]); ("contacts", [ v3 ]) ];
+          Store.register store ~principal:"other" ~partitions:[ ("slots", [ v2 ]) ];
+          (match Service.submit service ~principal:"app" q_slots with
+          | Monitor.Answered -> ()
+          | d -> Alcotest.failf "%s: setup not answered: %a" name Monitor.pp_decision d);
+          (* Spill: the eviction forced by the other principal's touch trips
+             the armed fault and aborts; nothing refuses. *)
+          let before = Service.snapshot service in
+          (match
+             Faults.with_fault Faults.Spill fault (fun () ->
+                 Service.submit service ~principal:"other" q_slots)
+           with
+          | Monitor.Answered -> ()
+          | d ->
+            Alcotest.failf "%s: a spill fault must never refuse, got %a" name
+              Monitor.pp_decision d);
+          if
+            Service.resident_monitor service "app" = None
+            || List.assoc "app" (Service.snapshot service) <> List.assoc "app" before
+          then Alcotest.failf "%s: aborted eviction touched the dirty principal" name;
+          (* Disarmed, enforcement spills one of the two dirty principals
+             (both have answered, so the victim's record is a real spill);
+             an armed fault-in fault then refuses its next touch, typed. *)
+          Store.enforce store;
+          if Store.resident store > 1 then
+            Alcotest.failf "%s: eviction did not resume once disarmed" name;
+          let victim, probe =
+            if Service.resident_monitor service "app" = None then ("app", q_meetings)
+            else ("other", q_slots)
+          in
+          let before = Service.snapshot service in
+          (match
+             Faults.with_fault Faults.Fault_in fault (fun () ->
+                 Service.submit service ~principal:victim probe)
+           with
+          | Monitor.Refused (Guard.Resource (Guard.Spill _)) -> ()
+          | d ->
+            Alcotest.failf "%s: expected a typed spill refusal, got %a" name
+              Monitor.pp_decision d);
+          if Service.snapshot service <> before then
+            Alcotest.failf "%s: spill refusal mutated monitor state" name;
+          (* Recovery: once disarmed, the same touch faults in and answers. *)
+          (match Service.submit service ~principal:victim probe with
+          | Monitor.Answered -> ()
+          | d ->
+            Alcotest.failf "%s: not answered after clearing: %a" name
+              Monitor.pp_decision d);
+          Store.close store))
+    all_faults
+
 (* The injection bookkeeping itself. *)
 let test_harness_bookkeeping () =
   Faults.clear ();
@@ -446,5 +514,7 @@ let () =
             test_rotation_fault_never_refuses;
           Alcotest.test_case "alive mask monotone under faults" `Quick
             test_alive_mask_monotone;
+          Alcotest.test_case "tiered-store stages: spill aborts, fault-in refuses"
+            `Quick test_tiered_store_fault_matrix;
         ] );
     ]

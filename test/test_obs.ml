@@ -46,6 +46,7 @@ let make_server ?trace ?(domains = 2) ?(cache_capacity = 256) () =
           segment_bytes = 0;
           drain = Server.default_config.Server.drain;
           group_commit = false;
+          resident = None;
         }
       (pipeline ())
   in
@@ -217,6 +218,77 @@ let test_prometheus_well_formed () =
   (* Gc gauges appear for shard 0 (the drain barrier resamples them). *)
   ignore (value "disclosure_shard_gc_minor_collections{shard=\"0\"}")
 
+(* --- tiered-store gauges ------------------------------------------------ *)
+
+(* A server with a resident budget populates the store gauges (sampled at
+   the drain barrier), records fault-ins under the [fault_in] stage, sums
+   the store totals into [stats_json], and exposes every store gauge in the
+   Prometheus text. *)
+let test_store_gauges_populate () =
+  let server =
+    Server.create
+      ~config:
+        {
+          Server.default_config with
+          Server.domains = 1;
+          cache_capacity = 0;
+          resident = Some (Store.Principals 2);
+        }
+      (pipeline ())
+  in
+  for i = 0 to 5 do
+    Server.register server
+      ~principal:(Printf.sprintf "app%d" i)
+      ~partitions:[ ("default", [ v2 ]) ]
+  done;
+  Server.start server;
+  for _round = 1 to 5 do
+    for i = 0 to 5 do
+      ignore
+        (Server.submit_sync server ~principal:(Printf.sprintf "app%d" i) q_answered)
+    done
+  done;
+  Server.drain server;
+  (* The store totals read through the live shards, so sample them (and the
+     stats document that embeds them) before stop closes the stores. *)
+  (match Server.store_stats server with
+  | None -> Alcotest.fail "store_stats must be Some on a tiered server"
+  | Some s ->
+    check_bool "evictions happened" true (s.Store.stat_evictions > 0);
+    check_bool "fault-ins happened" true (s.Store.stat_fault_ins > 0);
+    check_bool "resident within budget" true (s.Store.stat_resident <= 2));
+  let stats_doc = parse_ok "Server.stats_json" (Server.stats_json server) in
+  Server.stop server;
+  let m = Server.metrics server in
+  check_bool "fault_in stage recorded samples" true
+    ((Metrics.histogram m Metrics.Fault_in).Metrics.count > 0);
+  let samples = prom_samples (Metrics.to_prometheus m) in
+  let value name =
+    match List.assoc_opt name samples with
+    | Some v -> v
+    | None -> Alcotest.failf "missing sample %s" name
+  in
+  List.iter
+    (fun g ->
+      ignore
+        (value (Printf.sprintf "disclosure_shard_%s{shard=\"0\"}" (Metrics.gauge_name g))))
+    [
+      Metrics.Resident_principals;
+      Metrics.Spilled_principals;
+      Metrics.Fault_ins;
+      Metrics.Spill_bytes;
+    ];
+  check_bool "prometheus fault_ins populated" true
+    (value "disclosure_shard_fault_ins{shard=\"0\"}" > 0.0);
+  check_bool "prometheus resident within budget" true
+    (value "disclosure_shard_resident_principals{shard=\"0\"}" <= 2.0);
+  match Json.member "store" stats_doc with
+  | None -> Alcotest.fail "stats_json must embed the store block"
+  | Some store_doc -> (
+    match Option.bind (Json.member "fault_ins" store_doc) Json.to_float with
+    | Some v -> check_bool "stats_json store.fault_ins populated" true (v > 0.0)
+    | None -> Alcotest.fail "store block missing fault_ins")
+
 (* --- tracing a served workload ---------------------------------------- *)
 
 let test_chrome_nesting () =
@@ -366,6 +438,8 @@ let () =
           Alcotest.test_case "stats JSON round-trip" `Quick test_stats_json_round_trip;
           Alcotest.test_case "prometheus well-formed" `Quick
             test_prometheus_well_formed;
+          Alcotest.test_case "tiered-store gauges populate" `Quick
+            test_store_gauges_populate;
           Alcotest.test_case "chrome nesting" `Quick test_chrome_nesting;
         ] );
       ( "sampling",

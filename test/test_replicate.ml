@@ -253,6 +253,84 @@ let test_steady_state () =
       check_states_equal ~what:"incremental" server fol ~shards;
       Server.stop server)
 
+(* --- tiered follower: bounded standby, bit-identical, promotable -------- *)
+
+(* A follower with a resident budget replays the stream through the tiered
+   principal store: its mirror bytes and replayed state stay bit-identical
+   to an always-resident follower, the per-shard budget actually bounds the
+   standby's resident set, and promotion inherits the budget with the
+   history intact. *)
+let test_tiered_follower () =
+  with_bases (fun jbase mbase ->
+      let tbase = Filename.temp_file "disclosure-rep-tiered" ".journal" in
+      rm tbase;
+      let cleanup_spills base =
+        for shard = 0 to 3 do
+          rm (Printf.sprintf "%s.shard%d.spill" base shard)
+        done
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          cleanup_family tbase;
+          cleanup_spills tbase;
+          cleanup_spills mbase)
+        (fun () ->
+          let shards = 2 in
+          let server = make_primary ~journal:jbase ~shards () in
+          Server.start server;
+          run_history server;
+          run_history server;
+          let source = Source.create ~server ~journal:jbase () in
+          let plain = make_follower ~journal:mbase ~shards () in
+          let tiered =
+            match
+              Follower.create ~resident:(Store.Principals 1) ~journal:tbase ~shards
+                policy
+            with
+            | Ok f -> f
+            | Error e -> Alcotest.failf "tiered follower create: %s" e
+          in
+          catch_up source plain ~shards;
+          catch_up source tiered ~shards;
+          (* Bit-identity: the tiered mirror matches the primary's segment
+             family byte for byte (and hence the plain mirror too). *)
+          check_family_equal ~what:"tiered mirror" jbase tbase ~shards;
+          check_states_equal ~what:"tiered replay" server tiered ~shards;
+          Alcotest.(check bool) "tiered state = plain state" true
+            (sorted_snapshot (follower_snapshot tiered ~shards)
+            = sorted_snapshot (follower_snapshot plain ~shards));
+          (* The budget bites: at most one resident principal per shard, the
+             cold principals pushed down a tier. *)
+          (match Follower.store_stats tiered with
+          | None -> Alcotest.fail "store_stats must be Some on a tiered follower"
+          | Some s ->
+            Alcotest.(check bool) "resident bounded by the per-shard budget" true
+              (s.Store.stat_resident <= shards);
+            Alcotest.(check bool) "cold principals left the resident set" true
+              (s.Store.stat_spilled + s.Store.stat_fresh > 0));
+          Alcotest.(check int) "no lag" 0 (Follower.lag tiered);
+          Alcotest.(check bool) "no divergence" true (Follower.last_error tiered = None);
+          (* Promotion: recover over the mirror, budget inherited, history
+             intact (crm-app chose the contacts side, so meetings refuse). *)
+          (match Follower.promote tiered () with
+          | Error e -> Alcotest.failf "tiered promote: %s" e
+          | Ok (promoted, applied) ->
+            Alcotest.(check int) "every record replayed" (2 * n_records) applied;
+            Alcotest.(check bool) "promoted server inherits the budget" true
+              ((Server.config promoted).Server.resident = Some (Store.Principals 1));
+            Alcotest.(check bool) "promoted state = primary state" true
+              (sorted_snapshot (Server.snapshot promoted)
+              = sorted_snapshot (Server.snapshot server));
+            Server.start promoted;
+            Alcotest.(check bool) "promoted serves with the history intact" true
+              (Monitor.is_refused
+                 (Server.submit_sync promoted ~principal:"crm-app" q_meetings));
+            Alcotest.(check bool) "promoted answers within the chosen wall" true
+              (Server.submit_sync promoted ~principal:"crm-app" q_contacts
+              = Monitor.Answered);
+            Server.stop promoted);
+          Server.stop server))
+
 (* --- poll_once: one pass catches up completely from bootstrap ---------- *)
 
 let test_poll_once_catches_up () =
@@ -894,6 +972,8 @@ let () =
       ( "replication",
         [
           Alcotest.test_case "steady state is bit-identical" `Quick test_steady_state;
+          Alcotest.test_case "tiered follower: bounded, identical, promotable"
+            `Quick test_tiered_follower;
           Alcotest.test_case "poll_once catches up in one pass" `Quick test_poll_once_catches_up;
           Alcotest.test_case "checkpoint bootstrap and re-bootstrap" `Quick
             test_checkpoint_bootstrap;

@@ -49,7 +49,8 @@ let make_server ?journal ?(cache_capacity = 256) ?(mailbox_capacity = 1024)
     Server.create ?journal
       ~config:
         { Server.domains; mailbox_capacity; cache_capacity; checkpoint_every;
-          segment_bytes; drain = Server.default_config.Server.drain; group_commit }
+          segment_bytes; drain = Server.default_config.Server.drain; group_commit;
+          resident = None }
       (pipeline ())
   in
   register_all (fun ~principal ~partitions -> Server.register server ~principal ~partitions);

@@ -1,0 +1,579 @@
+(* Differential suite for the tiered principal store (DESIGN.md §14).
+
+   Self-contained (its own executable: it arms the global fault hooks). The
+   contract under test is bit-identity: whatever the eviction schedule, a
+   service wrapped in a store must produce the same decisions, the same
+   journal bytes, and the same checkpoint bytes as an always-resident
+   service over the same history — including under group commit and the
+   spill/fault-in fault points. Fail-closed: a spill record that cannot be
+   read back refuses the touching query with [Resource (Spill _)] and
+   leaves every resident monitor bit-identical. *)
+
+module Guard = Disclosure.Guard
+module Faults = Disclosure.Faults
+module Service = Disclosure.Service
+module Monitor = Disclosure.Monitor
+module Pipeline = Disclosure.Pipeline
+module Sview = Disclosure.Sview
+
+let pq = Cq.Parser.query_exn
+let sview s = Sview.of_string s
+
+let v1 = sview "V1(x, y) :- Meetings(x, y)"
+let v2 = sview "V2(x) :- Meetings(x, y)"
+let v3 = sview "V3(x, y, z) :- Contacts(x, y, z)"
+
+let specs =
+  [
+    ("calendar-app", [ ("slots", [ v2 ]) ]);
+    ("crm-app", [ ("meetings", [ v1; v2 ]); ("contacts", [ v3 ]) ]);
+    ("audit-app", [ ("all", [ v1; v2; v3 ]) ]);
+  ]
+
+let principals = Array.of_list (List.map fst specs)
+
+let queries =
+  [|
+    pq "Q(x) :- Meetings(x, y)";
+    pq "Q(x, y) :- Meetings(x, y)";
+    pq "Q(y) :- Meetings(x, y)";
+    pq "Q(x, y, z) :- Contacts(x, y, z)";
+    pq "Q(x) :- Contacts(x, y, z)";
+    pq "Q(x) :- Meetings(x, y), Contacts(y, e, p)";
+    pq "Q() :- Unknown(u)";
+  |]
+
+let rm f = try Sys.remove f with Sys_error _ -> ()
+
+let cleanup base =
+  rm base;
+  rm (base ^ ".ckpt");
+  rm (base ^ ".ckpt.tmp");
+  rm (base ^ ".spill");
+  rm (base ^ ".spill.tmp");
+  for i = 1 to 64 do
+    rm (Printf.sprintf "%s.%d" base i)
+  done
+
+let with_base f =
+  let base = Filename.temp_file "disclosure-store" ".journal" in
+  Sys.remove base;
+  Fun.protect ~finally:(fun () -> cleanup base) (fun () -> f base)
+
+let read_all path = In_channel.with_open_bin path In_channel.input_all
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Build a journaled service, optionally tiered with [budget]. Returns the
+   service and the store (when tiered). *)
+let make ?budget base =
+  let service = Service.create ~journal:base (Pipeline.create [ v1; v2; v3 ]) in
+  let store =
+    Option.map
+      (fun b -> Store.create ~budget:b ~spill:(base ^ ".spill") service)
+      budget
+  in
+  List.iter
+    (fun (principal, partitions) ->
+      match store with
+      | Some s -> Store.register s ~principal ~partitions
+      | None -> Service.register service ~principal ~partitions)
+    specs;
+  (service, store)
+
+let teardown service store =
+  (match store with Some s -> Store.close s | None -> ());
+  Service.close service
+
+(* --- construction ------------------------------------------------------- *)
+
+let test_create_validation () =
+  with_base (fun base ->
+      let service = Service.create (Pipeline.create [ v1; v2 ]) in
+      Alcotest.check_raises "zero principals"
+        (Invalid_argument "Store.create: budget must be >= 1 principal")
+        (fun () ->
+          ignore (Store.create ~budget:(Store.Principals 0) ~spill:(base ^ ".spill") service));
+      Alcotest.check_raises "zero bytes"
+        (Invalid_argument "Store.create: budget must be >= 1 byte") (fun () ->
+          ignore (Store.create ~budget:(Store.Bytes 0) ~spill:(base ^ ".spill") service));
+      let store =
+        Store.create ~budget:(Store.Principals 1) ~spill:(base ^ ".spill") service
+      in
+      (* One tier per service: the second wrapper must be rejected. *)
+      check_bool "second tier rejected" true
+        (match Store.create ~budget:(Store.Principals 1) ~spill:(base ^ ".spill2") service with
+        | _ -> false
+        | exception Invalid_argument _ -> true);
+      rm (base ^ ".spill2");
+      Store.close store;
+      Service.close service)
+
+(* The spill path is process-private scratch: stale bytes from a previous
+   process must not survive Store.create. *)
+let test_spill_truncated_at_create () =
+  with_base (fun base ->
+      Out_channel.with_open_bin (base ^ ".spill") (fun oc ->
+          Out_channel.output_string oc "stale garbage from a dead process");
+      let service, store = make ~budget:(Store.Principals 1) base in
+      let st = Store.stats (Option.get store) in
+      check_bool "stale spill bytes gone" true
+        (st.Store.stat_spill_bytes < 32);
+      teardown service store)
+
+(* --- eviction, fault-in, tiers ------------------------------------------ *)
+
+let test_eviction_and_fault_in () =
+  with_base (fun base ->
+      let service, store = make ~budget:(Store.Principals 1) base in
+      let store = Option.get store in
+      (* Dirty crm-app (one answered query narrows its wall), then force it
+         out: budget 1 and two other registered principals. *)
+      check_bool "crm answered" true
+        (Service.submit service ~principal:"crm-app" queries.(3) = Monitor.Answered);
+      ignore (Service.submit service ~principal:"calendar-app" queries.(0));
+      Store.enforce store;
+      check_bool "resident within budget" true (Store.resident store <= 1);
+      let st = Store.stats store in
+      check_bool "evictions happened" true (st.Store.stat_evictions > 0);
+      check_bool "dirty eviction wrote a spill record" true
+        (st.Store.stat_spill_writes > 0);
+      (* Touching the spilled principal faults it back in with its history:
+         the contacts side was chosen, so meetings must still refuse. *)
+      check_bool "faulted-in history intact (refuses meetings)" true
+        (Service.submit service ~principal:"crm-app" queries.(1) |> Monitor.is_refused);
+      check_bool "faulted-in history intact (answers contacts)" true
+        (Service.submit service ~principal:"crm-app" queries.(4) = Monitor.Answered);
+      check_bool "fault-ins counted" true
+        ((Store.stats store).Store.stat_fault_ins > 0);
+      teardown service (Some store))
+
+(* Pristine monitors take the fresh tier: zero spill I/O. *)
+let test_fresh_tier_zero_io () =
+  with_base (fun base ->
+      let service, store = make ~budget:(Store.Principals 1) base in
+      let store = Option.get store in
+      Store.enforce store;
+      let st = Store.stats store in
+      check_bool "evicted below budget" true (st.Store.stat_resident <= 1);
+      check_int "no spill records for pristine monitors" 0 st.Store.stat_spill_writes;
+      check_bool "evicted principals are fresh" true (st.Store.stat_fresh >= 2);
+      (* A fresh principal faults in as pristine: full lattice available. *)
+      check_bool "fresh fault-in answers" true
+        (Service.submit service ~principal:"crm-app" queries.(3) = Monitor.Answered);
+      teardown service (Some store))
+
+let test_stats_invariant () =
+  with_base (fun base ->
+      let service, store = make ~budget:(Store.Principals 2) base in
+      let store = Option.get store in
+      let rng = Random.State.make [| 0xACE |] in
+      for _ = 1 to 200 do
+        let principal = principals.(Random.State.int rng (Array.length principals)) in
+        ignore
+          (Service.submit service ~principal
+             queries.(Random.State.int rng (Array.length queries)));
+        if Random.State.int rng 3 = 0 then Store.enforce store
+      done;
+      let st = Store.stats store in
+      check_int "tiers partition the population"
+        (List.length specs)
+        (st.Store.stat_resident + st.Store.stat_spilled + st.Store.stat_fresh);
+      teardown service (Some store))
+
+(* --- the differential matrix -------------------------------------------- *)
+
+(* One random history: (principal index, action index) pairs; action >=
+   Array.length queries means reset. *)
+let random_history rng steps =
+  List.init steps (fun _ ->
+      ( Random.State.int rng (Array.length principals),
+        Random.State.int rng (Array.length queries + 1) ))
+
+(* Run [history] through a journaled service — always-resident when [budget]
+   is [None] — enforcing eviction every [cadence] steps and checkpointing
+   mid-history. Returns (decisions, snapshot, tail bytes, checkpoint bytes). *)
+let run_history ?budget ~cadence history base =
+  let service, store = make ?budget base in
+  let steps = List.length history in
+  let decisions = ref [] in
+  List.iteri
+    (fun i (pi, ai) ->
+      let principal = principals.(pi) in
+      (if ai >= Array.length queries then Service.reset service ~principal
+       else decisions := Service.submit service ~principal queries.(ai) :: !decisions);
+      (match store with
+      | Some s when (i + 1) mod cadence = 0 -> Store.enforce s
+      | _ -> ());
+      if i = steps / 2 then begin
+        (match Service.checkpoint service with
+        | Ok () -> ()
+        | Error msg -> Alcotest.failf "checkpoint failed: %s" msg);
+        match store with Some s -> Store.compact s | None -> ()
+      end)
+    history;
+  let snap = Service.snapshot service in
+  teardown service store;
+  (List.rev !decisions, snap, read_all base, read_all (base ^ ".ckpt"))
+
+let test_differential_matrix () =
+  let rng = Random.State.make [| 0x7EED |] in
+  List.iter
+    (fun budget ->
+      List.iter
+        (fun cadence ->
+          for _ = 1 to 10 do
+            let history = random_history rng (4 + Random.State.int rng 16) in
+            let d0, s0, j0, c0 =
+              with_base (fun b -> run_history ~cadence:1 history b)
+            in
+            let d1, s1, j1, c1 =
+              with_base (fun b ->
+                  run_history ~budget:(Store.Principals budget) ~cadence history b)
+            in
+            let name = Printf.sprintf "budget %d cadence %d" budget cadence in
+            check_bool (name ^ ": decisions identical") true (d0 = d1);
+            check_bool (name ^ ": snapshot identical") true (s0 = s1);
+            check_bool (name ^ ": journal bytes identical") true (String.equal j0 j1);
+            check_bool (name ^ ": checkpoint bytes identical") true (String.equal c0 c1)
+          done)
+        [ 1; 3 ])
+    [ 1; 2; 8 ]
+
+(* The same differential under group commit: decisions batch between
+   [batch_begin]/[batch_end], eviction runs at batch boundaries (and is a
+   no-op inside an open batch). *)
+let test_group_commit_differential () =
+  let rng = Random.State.make [| 0xBA7C4 |] in
+  let run ?budget history base =
+    let service, store = make ?budget base in
+    let decisions = ref [] in
+    let batch = ref 0 in
+    Service.batch_begin service;
+    List.iter
+      (fun (pi, ai) ->
+        let principal = principals.(pi) in
+        (if ai >= Array.length queries then Service.reset service ~principal
+         else
+           decisions := Service.submit service ~principal queries.(ai) :: !decisions);
+        (* Mid-batch enforcement must be a no-op: an aborting batch restores
+           pre-batch state through the resident table. *)
+        (match store with Some s -> Store.enforce s | None -> ());
+        incr batch;
+        if !batch mod 4 = 0 then begin
+          (match Service.batch_end service with
+          | Ok () -> ()
+          | Error r -> Alcotest.failf "batch aborted: %s" (Guard.refusal_to_tag r));
+          (match store with Some s -> Store.enforce s | None -> ());
+          Service.batch_begin service
+        end)
+      history;
+    (match Service.batch_end service with
+    | Ok () -> ()
+    | Error r -> Alcotest.failf "batch aborted: %s" (Guard.refusal_to_tag r));
+    let snap = Service.snapshot service in
+    teardown service store;
+    (List.rev !decisions, snap, read_all base)
+  in
+  for _ = 1 to 10 do
+    let history = random_history rng (4 + Random.State.int rng 16) in
+    let d0, s0, j0 = with_base (fun b -> run history b) in
+    let d1, s1, j1 =
+      with_base (fun b -> run ~budget:(Store.Principals 1) history b)
+    in
+    check_bool "group commit: decisions identical" true (d0 = d1);
+    check_bool "group commit: snapshot identical" true (s0 = s1);
+    check_bool "group commit: journal bytes identical" true (String.equal j0 j1)
+  done;
+  (* And directly: no eviction happens while a batch is open (registration-
+     time enforcement ran before the batch, so compare deltas). *)
+  with_base (fun base ->
+      let service, store = make ~budget:(Store.Principals 1) base in
+      let store = Option.get store in
+      Service.batch_begin service;
+      ignore (Service.submit service ~principal:"crm-app" queries.(3));
+      ignore (Service.submit service ~principal:"calendar-app" queries.(0));
+      let ev_in = (Store.stats store).Store.stat_evictions in
+      Store.enforce store;
+      check_int "no eviction inside an open batch" ev_in
+        (Store.stats store).Store.stat_evictions;
+      (match Service.batch_end service with
+      | Ok () -> ()
+      | Error r -> Alcotest.failf "batch aborted: %s" (Guard.refusal_to_tag r));
+      Store.enforce store;
+      check_bool "eviction resumes at the batch boundary" true
+        ((Store.stats store).Store.stat_evictions > 0);
+      teardown service (Some store))
+
+(* --- fault injection ----------------------------------------------------- *)
+
+let all_faults = [ Faults.Exhaust_fuel; Faults.Expire_deadline; Faults.Raise "injected" ]
+
+(* A spill-write fault aborts the eviction: the dirty principal stays
+   resident, its state untouched, and no query is ever refused — the
+   touching query that forced the over-budget state still answers. *)
+let test_spill_fault_keeps_resident () =
+  List.iter
+    (fun fault ->
+      with_base (fun base ->
+          (* Budget 2: dirty crm-app and calendar-app both fit; the audit-app
+             touch below then needs an eviction, and the only candidates are
+             dirty — exactly the spill path. *)
+          let service, store = make ~budget:(Store.Principals 2) base in
+          let store = Option.get store in
+          check_bool "setup answered (crm)" true
+            (Service.submit service ~principal:"crm-app" queries.(3) = Monitor.Answered);
+          check_bool "setup answered (calendar)" true
+            (Service.submit service ~principal:"calendar-app" queries.(0)
+            = Monitor.Answered);
+          let writes0 = (Store.stats store).Store.stat_spill_writes in
+          let others snap = List.filter (fun (p, _) -> p <> "audit-app") snap in
+          let before = others (Service.snapshot service) in
+          let d =
+            Faults.with_fault Faults.Spill fault (fun () ->
+                Service.submit service ~principal:"audit-app" queries.(0))
+          in
+          check_bool "the touching query still answers" true (d = Monitor.Answered);
+          check_int "no spill record written under the fault" writes0
+            (Store.stats store).Store.stat_spill_writes;
+          check_bool "dirty principals stayed resident, over budget" true
+            (Store.resident store > 2);
+          check_bool "their state is untouched" true
+            (others (Service.snapshot service) = before);
+          (* Disarmed, the next pass spills normally and history survives. *)
+          Store.enforce store;
+          check_bool "eviction succeeds once disarmed" true
+            (Store.resident store <= 2);
+          check_bool "spill writes resume once disarmed" true
+            ((Store.stats store).Store.stat_spill_writes > writes0);
+          check_bool "history intact after the retried spill" true
+            (Service.submit service ~principal:"crm-app" queries.(1)
+            |> Monitor.is_refused);
+          teardown service (Some store)))
+    all_faults
+
+(* A fault-in fault refuses the touching query with [Resource (Spill _)],
+   leaves every resident monitor bit-identical, and journals the refusal. *)
+let test_fault_in_fault_refuses () =
+  List.iter
+    (fun fault ->
+      with_base (fun base ->
+          let service, store = make ~budget:(Store.Principals 1) base in
+          let store = Option.get store in
+          check_bool "setup answered" true
+            (Service.submit service ~principal:"crm-app" queries.(3) = Monitor.Answered);
+          (* Displace crm-app: the calendar touch faults calendar in, and the
+             fault-in's own enforcement evicts the dirty crm monitor. *)
+          ignore (Service.submit service ~principal:"calendar-app" queries.(0));
+          Store.enforce store;
+          check_bool "crm spilled" true
+            (Service.resident_monitor service "crm-app" = None);
+          let before = Service.snapshot service in
+          let d =
+            Faults.with_fault Faults.Fault_in fault (fun () ->
+                Service.submit service ~principal:"crm-app" queries.(4))
+          in
+          (match d with
+          | Monitor.Refused (Guard.Resource (Guard.Spill _)) -> ()
+          | d ->
+            Alcotest.failf "expected a spill refusal, got %a" Monitor.pp_decision d);
+          check_bool "refusal left every monitor bit-identical" true
+            (Service.snapshot service = before);
+          (* Disarmed, the same touch faults in and the history is intact. *)
+          check_bool "fault-in succeeds once disarmed" true
+            (Service.submit service ~principal:"crm-app" queries.(4) = Monitor.Answered);
+          check_bool "history intact" true
+            (Service.submit service ~principal:"crm-app" queries.(1)
+            |> Monitor.is_refused);
+          let live = Service.snapshot service in
+          teardown service (Some store);
+          (* The refusal is durable: the journal replays to the same state. *)
+          let fresh, fstore = make ~budget:(Store.Principals 1) (base ^ ".re") in
+          (match Service.recover fresh ~journal:base with
+          | Ok _ -> ()
+          | Error e -> Alcotest.fail (Service.recovery_error_to_string e));
+          check_bool "journal (with the spill refusal) replays bit-identically"
+            true
+            (Service.snapshot fresh = live);
+          teardown fresh fstore;
+          cleanup (base ^ ".re")))
+    all_faults
+
+(* A corrupt spill record on disk is a typed fail-closed refusal; repairing
+   the bytes restores service with the history intact. *)
+let test_corrupt_spill_fails_closed () =
+  with_base (fun base ->
+      let service, store = make ~budget:(Store.Principals 1) base in
+      let store = Option.get store in
+      check_bool "setup answered" true
+        (Service.submit service ~principal:"crm-app" queries.(3) = Monitor.Answered);
+      ignore (Service.submit service ~principal:"calendar-app" queries.(0));
+      Store.enforce store;
+      check_bool "crm spilled" true
+        (Service.resident_monitor service "crm-app" = None);
+      let spill = base ^ ".spill" in
+      let good = read_all spill in
+      let flip i =
+        let b = Bytes.of_string good in
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40));
+        Out_channel.with_open_bin spill (fun oc -> Out_channel.output_bytes oc b)
+      in
+      let restore () =
+        Out_channel.with_open_bin spill (fun oc -> Out_channel.output_string oc good)
+      in
+      (* Flip a byte inside the record body (past the header). *)
+      flip (String.length good - 8);
+      (match Service.submit service ~principal:"crm-app" queries.(4) with
+      | Monitor.Refused (Guard.Resource (Guard.Spill _)) -> ()
+      | d -> Alcotest.failf "expected a spill refusal, got %a" Monitor.pp_decision d);
+      check_bool "still refusing while corrupt" true
+        (Service.submit service ~principal:"crm-app" queries.(4) |> Monitor.is_refused);
+      restore ();
+      check_bool "repaired record faults in" true
+        (Service.submit service ~principal:"crm-app" queries.(4) = Monitor.Answered);
+      check_bool "history intact after repair" true
+        (Service.submit service ~principal:"crm-app" queries.(1) |> Monitor.is_refused);
+      teardown service (Some store))
+
+(* --- reset, recovery, compaction ----------------------------------------- *)
+
+let test_reset_spilled_principal () =
+  with_base (fun base ->
+      let service, store = make ~budget:(Store.Principals 1) base in
+      let store = Option.get store in
+      check_bool "narrowed" true
+        (Service.submit service ~principal:"crm-app" queries.(3) = Monitor.Answered);
+      ignore (Service.submit service ~principal:"calendar-app" queries.(0));
+      Store.enforce store;
+      check_bool "spilled" true (Service.resident_monitor service "crm-app" = None);
+      Service.reset service ~principal:"crm-app";
+      check_bool "reset restored the full lattice" true
+        (Service.submit service ~principal:"crm-app" queries.(1) = Monitor.Answered);
+      let live = Service.snapshot service in
+      teardown service (Some store);
+      let fresh, fstore = make ~budget:(Store.Principals 1) (base ^ ".re") in
+      (match Service.recover fresh ~journal:base with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail (Service.recovery_error_to_string e));
+      check_bool "reset-through-spill replays bit-identically" true
+        (Service.snapshot fresh = live);
+      teardown fresh fstore;
+      cleanup (base ^ ".re"))
+
+(* Recovery replays through the tier: the recovering store's spill file is
+   reset first (the journal is the authority), then repopulated by the
+   replay's own evictions. *)
+let test_recover_through_tier () =
+  with_base (fun base ->
+      let history = random_history (Random.State.make [| 0x5111 |]) 40 in
+      let service, store = make base in
+      List.iter
+        (fun (pi, ai) ->
+          let principal = principals.(pi) in
+          if ai >= Array.length queries then Service.reset service ~principal
+          else ignore (Service.submit service ~principal queries.(ai)))
+        history;
+      let live = Service.snapshot service in
+      teardown service store;
+      let fresh, fstore = make ~budget:(Store.Principals 1) (base ^ ".re") in
+      let fstore = Option.get fstore in
+      (match Service.recover fresh ~journal:base with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail (Service.recovery_error_to_string e));
+      check_bool "recovered through the tier = live" true
+        (Service.snapshot fresh = live);
+      check_bool "replay stayed within budget" true (Store.resident fstore <= 1);
+      teardown fresh (Some fstore);
+      cleanup (base ^ ".re"))
+
+let test_compaction () =
+  with_base (fun base ->
+      let service, store = make ~budget:(Store.Principals 1) base in
+      let store = Option.get store in
+      (* Spill/fault-in cycles leave dead records behind. *)
+      for _ = 1 to 20 do
+        ignore (Service.submit service ~principal:"crm-app" queries.(4));
+        ignore (Service.submit service ~principal:"calendar-app" queries.(0));
+        Store.enforce store
+      done;
+      let before = (Store.stats store).Store.stat_spill_bytes in
+      Store.compact ~force:true store;
+      let after = (Store.stats store).Store.stat_spill_bytes in
+      check_bool "compaction shrank the spill file" true (after < before);
+      (* Offsets were repointed: spilled principals still fault in. *)
+      check_bool "post-compaction fault-in" true
+        (Service.submit service ~principal:"crm-app" queries.(4) = Monitor.Answered);
+      check_bool "history intact" true
+        (Service.submit service ~principal:"crm-app" queries.(1) |> Monitor.is_refused);
+      teardown service (Some store))
+
+let test_bytes_budget () =
+  with_base (fun base ->
+      let service, store = make ~budget:(Store.Bytes 1) base in
+      let store = Option.get store in
+      (* 1 byte resolves to the 1-principal floor. *)
+      ignore (Service.submit service ~principal:"crm-app" queries.(3));
+      Store.enforce store;
+      check_bool "byte budget bounds the resident set" true
+        (Store.resident store <= 1);
+      check_bool "decisions unaffected" true
+        (Service.submit service ~principal:"crm-app" queries.(4) = Monitor.Answered);
+      teardown service (Some store))
+
+(* --- qcheck: live ≡ tiered at random budgets and cadences ---------------- *)
+
+let prop_tier_differential =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:40
+       ~name:"tiered ≡ always-resident (decisions, journal, checkpoint, snapshot)"
+       QCheck.(
+         triple
+           (list_of_size Gen.(2 -- 16)
+              (pair (int_bound (Array.length principals - 1))
+                 (int_bound (Array.length queries))))
+           (int_range 1 3) (int_range 1 4))
+       (fun (history, budget, cadence) ->
+         let d0, s0, j0, c0 = with_base (fun b -> run_history ~cadence:1 history b) in
+         let d1, s1, j1, c1 =
+           with_base (fun b ->
+               run_history ~budget:(Store.Principals budget) ~cadence history b)
+         in
+         d0 = d1 && s0 = s1 && String.equal j0 j1 && String.equal c0 c1))
+
+let () =
+  Alcotest.run "disclosure-store"
+    [
+      ( "store",
+        [
+          Alcotest.test_case "budget validation and single tier" `Quick
+            test_create_validation;
+          Alcotest.test_case "spill file truncated at create" `Quick
+            test_spill_truncated_at_create;
+          Alcotest.test_case "eviction, spill, fault-in" `Quick
+            test_eviction_and_fault_in;
+          Alcotest.test_case "fresh tier: pristine eviction is zero-I/O" `Quick
+            test_fresh_tier_zero_io;
+          Alcotest.test_case "tiers partition the population" `Quick
+            test_stats_invariant;
+          Alcotest.test_case "differential matrix (budgets × cadences)" `Quick
+            test_differential_matrix;
+          Alcotest.test_case "differential under group commit" `Quick
+            test_group_commit_differential;
+          Alcotest.test_case "spill fault keeps the principal resident" `Quick
+            test_spill_fault_keeps_resident;
+          Alcotest.test_case "fault-in fault refuses fail-closed" `Quick
+            test_fault_in_fault_refuses;
+          Alcotest.test_case "corrupt spill record fails closed" `Quick
+            test_corrupt_spill_fails_closed;
+          Alcotest.test_case "reset reaches spilled principals" `Quick
+            test_reset_spilled_principal;
+          Alcotest.test_case "recovery replays through the tier" `Quick
+            test_recover_through_tier;
+          Alcotest.test_case "spill compaction repoints live records" `Quick
+            test_compaction;
+          Alcotest.test_case "byte budget resolves to a principal count" `Quick
+            test_bytes_budget;
+          prop_tier_differential;
+        ] );
+    ]

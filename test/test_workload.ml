@@ -122,6 +122,62 @@ let test_policygen_monitors () =
       ignore (Disclosure.Monitor.submit m (Pipeline.label p q)))
     monitors
 
+(* --- Zipfian principal sampler ----------------------------------------- *)
+
+module Principalgen = Workload.Principalgen
+
+let test_principalgen_deterministic () =
+  let draw seed =
+    let g = Principalgen.create ~n:1000 (Rng.create seed) in
+    List.init 200 (fun _ -> Principalgen.next g)
+  in
+  Alcotest.check Alcotest.(list int) "same seed, same ranks" (draw 7) (draw 7);
+  Helpers.check_bool "different seed, different ranks" true (draw 7 <> draw 8)
+
+let test_principalgen_bounds () =
+  let g = Principalgen.create ~skew:1.2 ~n:37 (Rng.create 9) in
+  Helpers.check_int "size" 37 (Principalgen.size g);
+  for _ = 1 to 2000 do
+    let r = Principalgen.next g in
+    Helpers.check_bool "rank in [0, n)" true (r >= 0 && r < 37)
+  done
+
+(* Zipf shape: rank 0 must dominate, and the head must be drawn far more
+   often than the tail; with skew 0 the draw is uniform-ish (no such
+   domination). *)
+let test_principalgen_skew () =
+  let counts skew =
+    let g = Principalgen.create ~skew ~n:100 (Rng.create 42) in
+    let c = Array.make 100 0 in
+    for _ = 1 to 10_000 do
+      let r = Principalgen.next g in
+      c.(r) <- c.(r) + 1
+    done;
+    c
+  in
+  let zipf = counts 1.0 in
+  Helpers.check_bool "rank 0 is the mode" true
+    (Array.for_all (fun x -> x <= zipf.(0)) zipf);
+  let head = zipf.(0) + zipf.(1) + zipf.(2) in
+  let tail = zipf.(97) + zipf.(98) + zipf.(99) in
+  Helpers.check_bool "head dominates tail" true (head > 10 * max 1 tail);
+  let uniform = counts 0.0 in
+  let umax = Array.fold_left max 0 uniform and umin = Array.fold_left min max_int uniform in
+  Helpers.check_bool "skew 0 is roughly uniform" true (umax < 5 * max 1 umin)
+
+let test_principalgen_validation () =
+  Alcotest.check_raises "n < 1" (Invalid_argument "Principalgen.create: n must be >= 1")
+    (fun () -> ignore (Principalgen.create ~n:0 (Rng.create 1)));
+  Alcotest.check_raises "negative skew"
+    (Invalid_argument "Principalgen.create: skew must be >= 0") (fun () ->
+      ignore (Principalgen.create ~skew:(-0.5) ~n:10 (Rng.create 1)))
+
+let test_principalgen_names () =
+  Helpers.check_bool "canonical rank names" true
+    (Principalgen.name 0 = "app0000000" && Principalgen.name 42 = "app0000042");
+  Helpers.check_bool "names are unique across a population" true
+    (Principalgen.name 999_999 <> Principalgen.name 99_999)
+
 let suite =
   [
     Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
@@ -134,4 +190,10 @@ let suite =
     Alcotest.test_case "querygen labelable fraction" `Quick test_querygen_labelable;
     Alcotest.test_case "policygen shape" `Quick test_policygen;
     Alcotest.test_case "policygen monitors" `Quick test_policygen_monitors;
+    Alcotest.test_case "principalgen deterministic" `Quick
+      test_principalgen_deterministic;
+    Alcotest.test_case "principalgen bounds" `Quick test_principalgen_bounds;
+    Alcotest.test_case "principalgen zipf skew" `Quick test_principalgen_skew;
+    Alcotest.test_case "principalgen validation" `Quick test_principalgen_validation;
+    Alcotest.test_case "principalgen names" `Quick test_principalgen_names;
   ]
